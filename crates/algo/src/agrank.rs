@@ -1,0 +1,509 @@
+//! AgRank (Alg. 2): proximity- and resource-aware agent ranking.
+//!
+//! Upon session start, a potential-agent set `N(s)` is formed from each
+//! user's `n_ngbr` nearest agents. Agents are then ranked by a random
+//! walk over the normalized inter-agent delay matrix
+//! `D̂_lk = min(D)/D_lk`, with the walk's *personalization* given by each
+//! agent's normalized residual quadruple `(û, d̂, t̂, σ̂)` — this is what
+//! makes the ranking resource-aware. Each user subscribes to the
+//! highest-ranked agent among its own `N(u)`; transcoding tasks follow
+//! the rule of thumb of [`crate::placement`].
+//!
+//! ## Interpretation notes (see DESIGN.md)
+//!
+//! The paper's pseudocode iterates `πᵀ[t+1] = πᵀ[t]·D̂` from the
+//! residual-quadruple initialization. A pure power iteration converges to
+//! the principal eigenvector *regardless of initialization*, which would
+//! discard resource-awareness; since the design is "motivated by the idea
+//! of Google's PageRank", we keep the residual quadruple in the fixed
+//! point the way PageRank does — as a teleport (personalization) vector
+//! with damping `α` (default 0.85). Setting `damping = 1.0` recovers the
+//! paper's literal iteration.
+
+use crate::placement;
+use vc_core::{SystemState, TaskId, UapProblem};
+use vc_model::{AgentId, SessionId, UserId};
+
+/// Tuning knobs of AgRank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgRankConfig {
+    /// `n_ngbr ∈ [1, L]`: nearest agents per user considered as candidates.
+    /// 1 reproduces Nrst; `L` subscribes the session to one agent.
+    pub n_ngbr: usize,
+    /// PageRank damping `α ∈ [0, 1]`; `1.0` is the paper's literal
+    /// resource-oblivious power iteration.
+    pub damping: f64,
+    /// Convergence threshold ε on `‖π[t+1] − π[t]‖₁`.
+    pub epsilon: f64,
+    /// Iteration cap (the scheme converges in `O(−log ε)` iterations).
+    pub max_iters: usize,
+}
+
+impl AgRankConfig {
+    /// The paper's configuration with the given `n_ngbr`.
+    pub fn paper(n_ngbr: usize) -> Self {
+        assert!(n_ngbr >= 1, "n_ngbr must be at least 1");
+        Self {
+            n_ngbr,
+            damping: 0.85,
+            epsilon: 1e-10,
+            max_iters: 500,
+        }
+    }
+}
+
+impl Default for AgRankConfig {
+    fn default() -> Self {
+        Self::paper(2)
+    }
+}
+
+/// Residual agent capacities, the `(û, d̂, t̂)` part of the ranking
+/// quadruple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Residuals {
+    /// Remaining upload capacity per agent (Mbps).
+    pub upload: Vec<f64>,
+    /// Remaining download capacity per agent (Mbps).
+    pub download: Vec<f64>,
+    /// Remaining transcoding slots per agent.
+    pub transcode: Vec<f64>,
+}
+
+impl Residuals {
+    /// Full capacities (nothing consumed yet).
+    pub fn full(problem: &UapProblem) -> Self {
+        let inst = problem.instance();
+        Self {
+            upload: inst.agents().iter().map(|a| a.capacity().upload_mbps).collect(),
+            download: inst
+                .agents()
+                .iter()
+                .map(|a| a.capacity().download_mbps)
+                .collect(),
+            transcode: inst
+                .agents()
+                .iter()
+                .map(|a| f64::from(a.capacity().transcode_slots))
+                .collect(),
+        }
+    }
+
+    /// Capacities minus the loads of a live system state (clamped at 0).
+    pub fn from_state(state: &SystemState) -> Self {
+        let inst = state.problem().instance();
+        let totals = state.totals();
+        let mut r = Self::full(state.problem());
+        for l in inst.agent_ids() {
+            let i = l.index();
+            r.upload[i] = (r.upload[i] - totals.upload[i]).max(0.0);
+            r.download[i] = (r.download[i] - totals.download[i]).max(0.0);
+            r.transcode[i] = (r.transcode[i] - f64::from(totals.transcode[i])).max(0.0);
+        }
+        r
+    }
+}
+
+/// The outcome of ranking a session's potential agents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentRanking {
+    /// `N(s)`: the session's potential agents (ascending id order).
+    pub candidates: Vec<AgentId>,
+    /// Rank scores `π_l`, parallel to `candidates`, summing to 1.
+    pub scores: Vec<f64>,
+    /// `N(u)` per session user, each sorted by descending rank score.
+    pub user_candidates: Vec<(UserId, Vec<AgentId>)>,
+    /// Power-iteration rounds until `‖Δπ‖₁ < ε`.
+    pub iterations: usize,
+}
+
+impl AgentRanking {
+    /// The rank score of agent `l`, if it is a candidate.
+    pub fn score_of(&self, l: AgentId) -> Option<f64> {
+        self.candidates
+            .iter()
+            .position(|&c| c == l)
+            .map(|i| self.scores[i])
+    }
+
+    /// The ranked candidate list of user `u` (best first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a member of the ranked session.
+    pub fn candidates_of(&self, u: UserId) -> &[AgentId] {
+        &self
+            .user_candidates
+            .iter()
+            .find(|(w, _)| *w == u)
+            .expect("user belongs to the ranked session")
+            .1
+    }
+
+    /// The best-ranked agent for user `u` (Line 16 of Alg. 2).
+    pub fn best_for(&self, u: UserId) -> AgentId {
+        self.candidates_of(u)[0]
+    }
+}
+
+/// Normalizes a component vector to `[0, 1]` by its maximum; infinite
+/// entries score 1 (abundant resource), and an all-zero vector stays zero.
+fn normalize_component(values: &[f64]) -> Vec<f64> {
+    let max_finite = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                1.0
+            } else if max_finite > 0.0 {
+                v / max_finite
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Ranks the potential agents of session `s` (Lines 1–14 of Alg. 2).
+pub fn rank_agents(
+    problem: &UapProblem,
+    s: SessionId,
+    residuals: &Residuals,
+    config: &AgRankConfig,
+) -> AgentRanking {
+    let inst = problem.instance();
+    let session = inst.session(s);
+    let n_ngbr = config.n_ngbr.min(inst.num_agents()).max(1);
+
+    // N(u): top n_ngbr nearest agents per user; N(s): their union.
+    let mut user_near: Vec<(UserId, Vec<AgentId>)> = Vec::with_capacity(session.len());
+    let mut candidates: Vec<AgentId> = Vec::new();
+    for &u in session.users() {
+        let near: Vec<AgentId> = inst
+            .delays()
+            .agents_by_proximity(u)
+            .into_iter()
+            .take(n_ngbr)
+            .collect();
+        for &l in &near {
+            if !candidates.contains(&l) {
+                candidates.push(l);
+            }
+        }
+        user_near.push((u, near));
+    }
+    candidates.sort();
+    let n = candidates.len();
+
+    // Personalization π₀: normalized residual quadruple (û + d̂ + t̂ + σ̂).
+    let up = normalize_component(
+        &candidates
+            .iter()
+            .map(|l| residuals.upload[l.index()])
+            .collect::<Vec<_>>(),
+    );
+    let down = normalize_component(
+        &candidates
+            .iter()
+            .map(|l| residuals.download[l.index()])
+            .collect::<Vec<_>>(),
+    );
+    let slots = normalize_component(
+        &candidates
+            .iter()
+            .map(|l| residuals.transcode[l.index()])
+            .collect::<Vec<_>>(),
+    );
+    // σ̂: transcoding speed score — inverse of the agent's latency factor.
+    let speed = normalize_component(
+        &candidates
+            .iter()
+            .map(|l| 1.0 / inst.agent(*l).speed_factor())
+            .collect::<Vec<_>>(),
+    );
+    let mut pi0: Vec<f64> = (0..n)
+        .map(|i| up[i] + down[i] + slots[i] + speed[i])
+        .collect();
+    let z: f64 = pi0.iter().sum();
+    if z > 0.0 {
+        for x in &mut pi0 {
+            *x /= z;
+        }
+    } else {
+        pi0 = vec![1.0 / n as f64; n];
+    }
+
+    let (scores, iterations) = if n == 1 {
+        (vec![1.0], 0)
+    } else {
+        power_iterate(inst, &candidates, &pi0, config)
+    };
+
+    // Order each user's candidates by descending rank (ties: nearer first).
+    let mut user_candidates = user_near;
+    for (_, near) in &mut user_candidates {
+        let score = |l: AgentId| {
+            candidates
+                .iter()
+                .position(|&c| c == l)
+                .map(|i| scores[i])
+                .unwrap_or(0.0)
+        };
+        near.sort_by(|a, b| {
+            score(*b)
+                .partial_cmp(&score(*a))
+                .expect("scores are finite")
+                .then(a.cmp(b))
+        });
+    }
+
+    AgentRanking {
+        candidates,
+        scores,
+        user_candidates,
+        iterations,
+    }
+}
+
+/// The damped random walk over the normalized delay matrix.
+fn power_iterate(
+    inst: &vc_model::Instance,
+    candidates: &[AgentId],
+    pi0: &[f64],
+    config: &AgRankConfig,
+) -> (Vec<f64>, usize) {
+    let n = candidates.len();
+    // D̂_lk = min positive delay / D_lk; diagonal handled as self-affinity 1.
+    let mut min_pos = f64::INFINITY;
+    for (i, &l) in candidates.iter().enumerate() {
+        for &k in &candidates[i + 1..] {
+            let d = inst.d_ms(l, k);
+            if d > 0.0 {
+                min_pos = min_pos.min(d);
+            }
+        }
+    }
+    if !min_pos.is_finite() {
+        min_pos = 1.0; // all candidate pairs have zero delay: uniform affinity
+    }
+    let mut w = vec![0.0; n * n];
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            let affinity = if i == j {
+                1.0
+            } else {
+                let d = inst.d_ms(candidates[i], candidates[j]);
+                if d > 0.0 {
+                    min_pos / d
+                } else {
+                    1.0
+                }
+            };
+            w[i * n + j] = affinity;
+            row_sum += affinity;
+        }
+        for j in 0..n {
+            w[i * n + j] /= row_sum;
+        }
+    }
+
+    let alpha = config.damping;
+    let mut pi = pi0.to_vec();
+    let mut iterations = 0;
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                next[j] += pi[i] * w[i * n + j];
+            }
+        }
+        for j in 0..n {
+            next[j] = alpha * next[j] + (1.0 - alpha) * pi0[j];
+        }
+        // Renormalize (guards drift; walk is stochastic so sum is ~1).
+        let z: f64 = next.iter().sum();
+        for x in &mut next {
+            *x /= z;
+        }
+        let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        pi = next;
+        if delta < config.epsilon {
+            break;
+        }
+    }
+    (pi, iterations)
+}
+
+/// Complete AgRank output for one session: user and task placements
+/// (Lines 15–17 of Alg. 2 plus the transcoding rule of thumb).
+#[derive(Debug, Clone)]
+pub struct SessionAssignment {
+    /// Chosen agent per session user.
+    pub users: Vec<(UserId, AgentId)>,
+    /// Chosen agent per session task.
+    pub tasks: Vec<(TaskId, AgentId)>,
+    /// The ranking that produced the placement.
+    pub ranking: AgentRanking,
+}
+
+/// Runs AgRank for one session against the given residuals.
+pub fn assign_session(
+    problem: &UapProblem,
+    s: SessionId,
+    residuals: &Residuals,
+    config: &AgRankConfig,
+) -> SessionAssignment {
+    let ranking = rank_agents(problem, s, residuals, config);
+    let users: Vec<(UserId, AgentId)> = ranking
+        .user_candidates
+        .iter()
+        .map(|(u, cands)| (*u, cands[0]))
+        .collect();
+    // Rule of thumb needs a full user→agent map; only session members matter.
+    let mut user_agent = vec![AgentId::new(0); problem.instance().num_users()];
+    for &(u, a) in &users {
+        user_agent[u.index()] = a;
+    }
+    let all_tasks = placement::rule_of_thumb(problem, &user_agent);
+    let tasks = problem
+        .tasks()
+        .of_session(s)
+        .iter()
+        .map(|&t| (t, all_tasks[t.index()]))
+        .collect();
+    SessionAssignment {
+        users,
+        tasks,
+        ranking,
+    }
+}
+
+/// Builds a complete initial assignment by running AgRank on every
+/// session independently against full capacities (the static bootstrap
+/// used by the Table II experiments; capacity-aware sequential admission
+/// lives in [`crate::admission`]).
+pub fn agrank_assignment(problem: &UapProblem, config: &AgRankConfig) -> vc_core::Assignment {
+    let residuals = Residuals::full(problem);
+    let mut user_agent = vec![AgentId::new(0); problem.instance().num_users()];
+    let mut task_agent = vec![AgentId::new(0); problem.tasks().len()];
+    for s in problem.instance().session_ids() {
+        let sa = assign_session(problem, s, &residuals, config);
+        for (u, a) in sa.users {
+            user_agent[u.index()] = a;
+        }
+        for (t, a) in sa.tasks {
+            task_agent[t.index()] = a;
+        }
+    }
+    vc_core::Assignment::new(problem, user_agent, task_agent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nearest::nearest_assignment;
+    use crate::test_fixtures::fig2_like_problem;
+
+    #[test]
+    fn nngbr_one_reproduces_nearest_assignment() {
+        let p = fig2_like_problem();
+        let cfg = AgRankConfig::paper(1);
+        let ours = agrank_assignment(&p, &cfg);
+        let nrst = nearest_assignment(&p);
+        assert_eq!(ours.user_agents(), nrst.user_agents());
+    }
+
+    #[test]
+    fn nngbr_l_collapses_session_to_one_agent() {
+        let p = fig2_like_problem();
+        let cfg = AgRankConfig::paper(p.instance().num_agents());
+        let asg = agrank_assignment(&p, &cfg);
+        let first = asg.agent_of_user(UserId::new(0));
+        for u in p.instance().user_ids() {
+            assert_eq!(asg.agent_of_user(u), first);
+        }
+    }
+
+    #[test]
+    fn scores_form_a_distribution() {
+        let p = fig2_like_problem();
+        let r = Residuals::full(&p);
+        let ranking = rank_agents(&p, SessionId::new(0), &r, &AgRankConfig::paper(3));
+        let sum: f64 = ranking.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(ranking.scores.iter().all(|s| *s >= 0.0));
+        assert!(ranking.iterations >= 1);
+    }
+
+    #[test]
+    fn well_connected_agents_rank_higher() {
+        // With nngbr = L every agent is a candidate; Tokyo (well connected
+        // to OR and SG in the fig2 matrix) should outrank São Paulo
+        // (distant from everyone).
+        let p = fig2_like_problem();
+        let r = Residuals::full(&p);
+        let ranking = rank_agents(
+            &p,
+            SessionId::new(0),
+            &r,
+            &AgRankConfig::paper(p.instance().num_agents()),
+        );
+        let to = ranking.score_of(AgentId::new(1)).unwrap();
+        let sp = ranking.score_of(AgentId::new(3)).unwrap();
+        assert!(to > sp, "tokyo {to} vs sao paulo {sp}");
+    }
+
+    #[test]
+    fn depleted_agents_rank_lower() {
+        let p = fig2_like_problem();
+        let mut r = Residuals::full(&p);
+        let full = rank_agents(&p, SessionId::new(0), &r, &AgRankConfig::paper(4));
+        // Deplete Tokyo entirely.
+        r.upload[1] = 0.0;
+        r.download[1] = 0.0;
+        r.transcode[1] = 0.0;
+        let depleted = rank_agents(&p, SessionId::new(0), &r, &AgRankConfig::paper(4));
+        assert!(
+            depleted.score_of(AgentId::new(1)).unwrap() < full.score_of(AgentId::new(1)).unwrap(),
+            "depletion must reduce the rank"
+        );
+    }
+
+    #[test]
+    fn damping_one_ignores_resources() {
+        // The paper's literal power iteration: residuals must not matter.
+        let p = fig2_like_problem();
+        let mut cfg = AgRankConfig::paper(4);
+        cfg.damping = 1.0;
+        let full = rank_agents(&p, SessionId::new(0), &Residuals::full(&p), &cfg);
+        let mut r = Residuals::full(&p);
+        r.upload[1] = 0.0;
+        r.transcode[1] = 0.0;
+        let depleted = rank_agents(&p, SessionId::new(0), &r, &cfg);
+        for (a, b) in full.scores.iter().zip(&depleted.scores) {
+            assert!((a - b).abs() < 1e-6, "pure power iteration forgot init");
+        }
+    }
+
+    #[test]
+    fn user_candidates_sorted_by_rank() {
+        let p = fig2_like_problem();
+        let r = Residuals::full(&p);
+        let ranking = rank_agents(&p, SessionId::new(0), &r, &AgRankConfig::paper(3));
+        for (_, cands) in &ranking.user_candidates {
+            let scores: Vec<f64> = cands
+                .iter()
+                .map(|l| ranking.score_of(*l).unwrap_or(0.0))
+                .collect();
+            for w in scores.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "candidates not rank-sorted");
+            }
+        }
+    }
+}

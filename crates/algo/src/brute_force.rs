@@ -1,0 +1,251 @@
+//! Exact enumeration of the assignment space.
+//!
+//! The decision space has `L^(U+θ_sum)` points; for the small instances
+//! used in verification (e.g. Fig. 3's 8-state example) we can enumerate
+//! it outright, find the true optimum `Φ_min`, and build the exact
+//! feasible-solution graph whose CTMC `vc-markov` analyzes.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use vc_core::{Assignment, SystemState, UapProblem};
+use vc_markov::StateGraph;
+use vc_model::AgentId;
+
+/// Refusal to enumerate a space larger than the configured limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooLargeError {
+    /// Number of assignments the instance implies.
+    pub states: u128,
+    /// The configured cap.
+    pub limit: usize,
+}
+
+impl fmt::Display for TooLargeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state space has {} assignments, exceeding the limit {}",
+            self.states, self.limit
+        )
+    }
+}
+
+impl Error for TooLargeError {}
+
+/// A fully enumerated assignment space.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// Every assignment (feasible and infeasible), in mixed-radix order.
+    pub assignments: Vec<Assignment>,
+    /// Global objective `Φ` of each assignment.
+    pub objectives: Vec<f64>,
+    /// Whether each assignment satisfies constraints (5)–(8).
+    pub feasible: Vec<bool>,
+}
+
+impl Enumeration {
+    /// Index and objective of the best *feasible* assignment.
+    pub fn optimum(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.assignments.len() {
+            if self.feasible[i] {
+                match best {
+                    Some((_, phi)) if phi <= self.objectives[i] => {}
+                    _ => best = Some((i, self.objectives[i])),
+                }
+            }
+        }
+        best
+    }
+
+    /// Number of feasible assignments `|F|`.
+    pub fn feasible_count(&self) -> usize {
+        self.feasible.iter().filter(|f| **f).count()
+    }
+}
+
+/// Enumerates every assignment of the problem.
+///
+/// # Errors
+///
+/// Returns [`TooLargeError`] if `L^(U+θ_sum)` exceeds `limit`.
+pub fn enumerate_all(problem: &Arc<UapProblem>, limit: usize) -> Result<Enumeration, TooLargeError> {
+    let nl = problem.instance().num_agents();
+    let (nu, nt) = problem.decision_dims();
+    let digits = nu + nt;
+    let states = (nl as u128)
+        .checked_pow(digits as u32)
+        .unwrap_or(u128::MAX);
+    if states > limit as u128 {
+        return Err(TooLargeError {
+            states,
+            limit,
+        });
+    }
+    let states = states as usize;
+    let mut assignments = Vec::with_capacity(states);
+    let mut objectives = Vec::with_capacity(states);
+    let mut feasible = Vec::with_capacity(states);
+    let mut counter = vec![0usize; digits];
+    for _ in 0..states {
+        let user_agent: Vec<AgentId> = counter[..nu].iter().map(|&d| AgentId::from(d)).collect();
+        let task_agent: Vec<AgentId> = counter[nu..].iter().map(|&d| AgentId::from(d)).collect();
+        let asg = Assignment::new(problem, user_agent, task_agent);
+        let state = SystemState::new(problem.clone(), asg.clone());
+        objectives.push(state.objective());
+        feasible.push(state.is_feasible());
+        assignments.push(asg);
+        // Mixed-radix increment (least-significant digit first).
+        for d in counter.iter_mut() {
+            *d += 1;
+            if *d < nl {
+                break;
+            }
+            *d = 0;
+        }
+    }
+    Ok(Enumeration {
+        assignments,
+        objectives,
+        feasible,
+    })
+}
+
+/// The exact optimal feasible assignment and its objective.
+///
+/// # Errors
+///
+/// Returns [`TooLargeError`] if the space exceeds `limit`.
+pub fn optimal(
+    problem: &Arc<UapProblem>,
+    limit: usize,
+) -> Result<Option<(Assignment, f64)>, TooLargeError> {
+    let e = enumerate_all(problem, limit)?;
+    Ok(e.optimum().map(|(i, phi)| (e.assignments[i].clone(), phi)))
+}
+
+/// Builds the exact feasible-solution graph: states are feasible
+/// assignments, edges connect pairs differing in exactly one decision —
+/// the Markov chain of Fig. 3. Returns the graph and the assignment
+/// behind each node.
+///
+/// # Errors
+///
+/// Returns [`TooLargeError`] if the space exceeds `limit`.
+pub fn feasible_graph(
+    problem: &Arc<UapProblem>,
+    limit: usize,
+) -> Result<(StateGraph, Vec<Assignment>), TooLargeError> {
+    let e = enumerate_all(problem, limit)?;
+    let nl = problem.instance().num_agents();
+    let (nu, nt) = problem.decision_dims();
+
+    let mut nodes: Vec<Assignment> = Vec::with_capacity(e.feasible_count());
+    let mut energies = Vec::with_capacity(e.feasible_count());
+    let mut index: HashMap<Assignment, usize> = HashMap::new();
+    for i in 0..e.assignments.len() {
+        if e.feasible[i] {
+            index.insert(e.assignments[i].clone(), nodes.len());
+            nodes.push(e.assignments[i].clone());
+            energies.push(e.objectives[i]);
+        }
+    }
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, asg) in nodes.iter().enumerate() {
+        // Generate all single-decision variants and look them up.
+        for u in 0..nu {
+            for l in 0..nl {
+                let l = AgentId::from(l);
+                if asg.user_agents()[u] != l {
+                    let mut v = asg.clone();
+                    v.set_user(vc_model::UserId::from(u), l);
+                    if let Some(&j) = index.get(&v) {
+                        adjacency[i].push(j);
+                    }
+                }
+            }
+        }
+        for t in 0..nt {
+            for l in 0..nl {
+                let l = AgentId::from(l);
+                if asg.task_agents()[t] != l {
+                    let mut v = asg.clone();
+                    v.set_task(vc_core::TaskId::from(t), l);
+                    if let Some(&j) = index.get(&v) {
+                        adjacency[i].push(j);
+                    }
+                }
+            }
+        }
+    }
+    let graph = StateGraph::new(energies, adjacency).expect("constructed graph is symmetric");
+    Ok((graph, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{fig3_like_problem, single_task_problem};
+
+    #[test]
+    fn fig3_scenario_has_eight_states() {
+        // 1 session, 2 users, 1 task, 2 agents → 2³ = 8 assignments, all
+        // feasible with unlimited capacities — exactly Fig. 3(a).
+        let p = Arc::new(fig3_like_problem());
+        let e = enumerate_all(&p, 100).unwrap();
+        assert_eq!(e.assignments.len(), 8);
+        assert_eq!(e.feasible_count(), 8);
+    }
+
+    #[test]
+    fn fig3_graph_is_a_cube() {
+        // Each state differs from exactly 3 neighbors by one decision:
+        // the 3-dimensional hypercube of Fig. 3(b).
+        let p = Arc::new(fig3_like_problem());
+        let (g, nodes) = feasible_graph(&p, 100).unwrap();
+        assert_eq!(g.len(), 8);
+        assert_eq!(nodes.len(), 8);
+        for i in 0..8 {
+            assert_eq!(g.neighbors(i).len(), 3, "state {i} degree");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn optimum_is_true_minimum() {
+        let p = Arc::new(single_task_problem());
+        let e = enumerate_all(&p, 100).unwrap();
+        let (i, phi) = e.optimum().unwrap();
+        for j in 0..e.assignments.len() {
+            if e.feasible[j] {
+                assert!(phi <= e.objectives[j] + 1e-12);
+            }
+        }
+        assert!(e.feasible[i]);
+        // And the convenience wrapper agrees.
+        let (asg, phi2) = optimal(&p, 100).unwrap().unwrap();
+        assert_eq!(&asg, &e.assignments[i]);
+        assert_eq!(phi, phi2);
+    }
+
+    #[test]
+    fn refuses_oversized_spaces() {
+        let p = Arc::new(fig3_like_problem());
+        let err = enumerate_all(&p, 4).unwrap_err();
+        assert_eq!(err.states, 8);
+        assert!(err.to_string().contains("8"));
+    }
+
+    #[test]
+    fn graph_energies_match_enumeration() {
+        let p = Arc::new(single_task_problem());
+        let e = enumerate_all(&p, 100).unwrap();
+        let (g, nodes) = feasible_graph(&p, 100).unwrap();
+        for (i, asg) in nodes.iter().enumerate() {
+            let j = e.assignments.iter().position(|a| a == asg).unwrap();
+            assert!((g.energy(i) - e.objectives[j]).abs() < 1e-12);
+        }
+    }
+}

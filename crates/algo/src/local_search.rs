@@ -1,0 +1,97 @@
+//! Greedy steepest-descent baseline.
+//!
+//! Repeatedly applies the feasible single-decision move with the largest
+//! objective improvement until none improves. Deterministic, hence a
+//! useful yardstick for Alg. 1: Markov hopping should approach (and, by
+//! escaping local minima, sometimes beat) greedy descent.
+
+use vc_core::{neighborhood, SystemState};
+
+/// Result of a greedy descent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DescentResult {
+    /// Moves applied before reaching a local minimum.
+    pub steps: usize,
+    /// Final global objective.
+    pub objective: f64,
+}
+
+/// Runs steepest descent in place, up to `max_steps` moves.
+pub fn greedy_descent(state: &mut SystemState, max_steps: usize) -> DescentResult {
+    let mut steps = 0;
+    while steps < max_steps {
+        let mut best: Option<(vc_core::Decision, f64)> = None;
+        for s in state.active_sessions().collect::<Vec<_>>() {
+            let phi_now = state.session_objective(s);
+            for m in neighborhood::feasible_moves(state, s) {
+                let delta = m.new_phi - phi_now;
+                if delta < -1e-9 {
+                    match best {
+                        Some((_, d)) if d <= delta => {}
+                        _ => best = Some((m.decision, delta)),
+                    }
+                }
+            }
+        }
+        match best {
+            Some((decision, _)) => {
+                state
+                    .try_apply(decision)
+                    .expect("feasible move stays feasible single-threaded");
+                steps += 1;
+            }
+            None => break,
+        }
+    }
+    DescentResult {
+        steps,
+        objective: state.objective(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use crate::nearest::nearest_assignment;
+    use crate::test_fixtures::{fig2_like_problem, single_task_problem};
+    use std::sync::Arc;
+    use vc_core::{Assignment, SystemState};
+    use vc_model::AgentId;
+
+    #[test]
+    fn descent_never_increases_objective() {
+        let p = Arc::new(fig2_like_problem());
+        let mut st = SystemState::new(p.clone(), nearest_assignment(&p));
+        let start = st.objective();
+        let result = greedy_descent(&mut st, 1000);
+        assert!(result.objective <= start + 1e-12);
+        assert_eq!(result.objective, st.objective());
+        assert!(st.is_feasible());
+    }
+
+    #[test]
+    fn descent_reaches_global_optimum_on_tiny_instance() {
+        // On a single-session instance with a small space, greedy descent
+        // from any corner should land on (or very near) the true optimum.
+        let p = Arc::new(single_task_problem());
+        let (_, phi_opt) = brute_force::optimal(&p, 1000).unwrap().unwrap();
+        let mut st = SystemState::new(p.clone(), Assignment::all_to_agent(&p, AgentId::new(0)));
+        let result = greedy_descent(&mut st, 1000);
+        assert!(
+            result.objective <= phi_opt + 1e-9,
+            "greedy {} vs optimal {phi_opt}",
+            result.objective
+        );
+    }
+
+    #[test]
+    fn zero_budget_is_a_no_op() {
+        let p = Arc::new(fig2_like_problem());
+        let mut st = SystemState::new(p.clone(), nearest_assignment(&p));
+        let before = st.objective();
+        let result = greedy_descent(&mut st, 0);
+        assert_eq!(result.steps, 0);
+        assert_eq!(st.objective(), before);
+    }
+}

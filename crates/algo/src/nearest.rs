@@ -1,0 +1,54 @@
+//! The Nrst baseline: nearest-agent user assignment.
+//!
+//! Airlift \[11\] and vSkyConf \[21\] subscribe every user to the agent
+//! with the lowest measured user-to-agent delay, obliviously to where the
+//! other session participants are. Transcoding tasks are then placed by
+//! the same rule of thumb AgRank uses, so comparisons against AgRank and
+//! Alg. 1 isolate the effect of *user* placement.
+
+use crate::placement;
+use vc_core::{Assignment, UapProblem};
+use vc_model::AgentId;
+
+/// Builds the nearest-agent assignment for all users (and rule-of-thumb
+/// transcoding placement).
+pub fn nearest_assignment(problem: &UapProblem) -> Assignment {
+    let inst = problem.instance();
+    let user_agent: Vec<AgentId> = inst
+        .user_ids()
+        .map(|u| inst.delays().nearest_agent(u))
+        .collect();
+    let task_agent = placement::rule_of_thumb(problem, &user_agent);
+    Assignment::new(problem, user_agent, task_agent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::fig2_like_problem;
+    use vc_model::UserId;
+
+    #[test]
+    fn users_go_to_their_nearest_agents() {
+        let p = fig2_like_problem();
+        let asg = nearest_assignment(&p);
+        let inst = p.instance();
+        for u in inst.user_ids() {
+            let assigned = asg.agent_of_user(u);
+            for l in inst.agent_ids() {
+                assert!(
+                    inst.h_ms(assigned, u) <= inst.h_ms(l, u) + 1e-12,
+                    "user {u}: {assigned} not nearest"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_nearest_sends_user4_to_singapore() {
+        // The paper's motivating observation: Nrst puts user 4 [HK] on SG.
+        let p = fig2_like_problem();
+        let asg = nearest_assignment(&p);
+        assert_eq!(asg.agent_of_user(UserId::new(3)), AgentId::new(2));
+    }
+}

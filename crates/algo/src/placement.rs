@@ -1,0 +1,114 @@
+//! Transcoding-task placement: the rule of thumb of Sec. IV-B.
+//!
+//! "When there are at least two destinations with the same downstream
+//! representation for the outgoing flow of a particular user, assigning
+//! the respective transcoding task at the source agent is a good
+//! solution, whose transcoded stream can be served to more than one
+//! destination." Singleton tasks go to the destination's agent (the
+//! transcoded — usually lower — bitrate then crosses the inter-agent
+//! link instead of the raw stream crossing it twice).
+
+use std::collections::HashMap;
+use vc_core::{TaskId, UapProblem};
+use vc_model::{AgentId, ReprId, UserId};
+
+/// Places every transcoding task given a user→agent map, following the
+/// rule of thumb. Returns one agent per task, indexed by [`TaskId`].
+///
+/// # Panics
+///
+/// Panics if `user_agent.len()` differs from the instance's user count.
+pub fn rule_of_thumb(problem: &UapProblem, user_agent: &[AgentId]) -> Vec<AgentId> {
+    assert_eq!(
+        user_agent.len(),
+        problem.instance().num_users(),
+        "user→agent map must cover all users"
+    );
+    // Group tasks by (source, target representation): destinations of the
+    // same transcoded stream.
+    let mut groups: HashMap<(UserId, ReprId), Vec<TaskId>> = HashMap::new();
+    for (t, task) in problem.tasks().iter() {
+        groups.entry((task.src, task.target)).or_default().push(t);
+    }
+    let mut placement = vec![AgentId::new(0); problem.tasks().len()];
+    for ((src, _), tasks) in groups {
+        if tasks.len() >= 2 {
+            // Shared stream: transcode once at the source agent.
+            for t in tasks {
+                placement[t.index()] = user_agent[src.index()];
+            }
+        } else {
+            // Single destination: transcode at the destination agent.
+            let t = tasks[0];
+            let dst = problem.tasks().task(t).dst;
+            placement[t.index()] = user_agent[dst.index()];
+        }
+    }
+    placement
+}
+
+/// Ablation variant: every transcoding task at the *source* user's agent.
+///
+/// # Panics
+///
+/// Panics if `user_agent.len()` differs from the instance's user count.
+pub fn always_source(problem: &UapProblem, user_agent: &[AgentId]) -> Vec<AgentId> {
+    assert_eq!(user_agent.len(), problem.instance().num_users());
+    problem
+        .tasks()
+        .iter()
+        .map(|(_, task)| user_agent[task.src.index()])
+        .collect()
+}
+
+/// Ablation variant: every transcoding task at the *destination* user's
+/// agent.
+///
+/// # Panics
+///
+/// Panics if `user_agent.len()` differs from the instance's user count.
+pub fn always_destination(problem: &UapProblem, user_agent: &[AgentId]) -> Vec<AgentId> {
+    assert_eq!(user_agent.len(), problem.instance().num_users());
+    problem
+        .tasks()
+        .iter()
+        .map(|(_, task)| user_agent[task.dst.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{fan_out_problem, single_task_problem};
+
+    #[test]
+    fn singleton_goes_to_destination_agent() {
+        let p = single_task_problem();
+        // u0 on agent 0, u1 on agent 1; the only task is u0→u1.
+        let user_agent = vec![AgentId::new(0), AgentId::new(1)];
+        let placement = rule_of_thumb(&p, &user_agent);
+        assert_eq!(placement, vec![AgentId::new(1)]);
+    }
+
+    #[test]
+    fn shared_group_goes_to_source_agent() {
+        let p = fan_out_problem();
+        // u0 (source) on agent 2; destinations u1, u2 elsewhere. Both
+        // tasks demand the same 360p target → place at source agent 2.
+        let user_agent = vec![AgentId::new(2), AgentId::new(0), AgentId::new(1)];
+        let placement = rule_of_thumb(&p, &user_agent);
+        for (t, task) in p.tasks().iter() {
+            assert_eq!(task.src, vc_model::UserId::new(0));
+            assert_eq!(placement[t.index()], AgentId::new(2));
+        }
+    }
+
+    #[test]
+    fn placement_follows_user_moves() {
+        let p = single_task_problem();
+        let a = rule_of_thumb(&p, &[AgentId::new(0), AgentId::new(0)]);
+        assert_eq!(a, vec![AgentId::new(0)]);
+        let b = rule_of_thumb(&p, &[AgentId::new(1), AgentId::new(0)]);
+        assert_eq!(b, vec![AgentId::new(0)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared fixtures for the crate's unit tests.
+
+use vc_core::UapProblem;
+use vc_cost::CostModel;
+use vc_model::{AgentSpec, InstanceBuilder, ReprLadder};
+
+/// Two agents, one session (u0 720p→360p demand, u1 360p→360p), one task.
+pub fn single_task_problem() -> UapProblem {
+    let ladder = ReprLadder::standard_four();
+    let r360 = ladder.by_name("360p").unwrap().id();
+    let r720 = ladder.by_name("720p").unwrap().id();
+    let mut b = InstanceBuilder::new(ladder);
+    b.add_agent(AgentSpec::builder("a").build());
+    b.add_agent(AgentSpec::builder("b").speed_factor(1.5).build());
+    let s = b.add_session();
+    b.add_user(s, r720, r360);
+    b.add_user(s, r360, r360);
+    b.symmetric_delays(|_, _| 40.0, |l, u| 10.0 + 15.0 * ((l + u) % 2) as f64);
+    UapProblem::new(b.build().unwrap(), CostModel::paper_default())
+}
+
+/// Three agents; u0 (720p) fans out to u1 and u2, who both demand 360p —
+/// two tasks sharing one (source, target) group.
+pub fn fan_out_problem() -> UapProblem {
+    let ladder = ReprLadder::standard_four();
+    let r360 = ladder.by_name("360p").unwrap().id();
+    let r720 = ladder.by_name("720p").unwrap().id();
+    let mut b = InstanceBuilder::new(ladder);
+    b.add_agent(AgentSpec::builder("a").build());
+    b.add_agent(AgentSpec::builder("b").build());
+    b.add_agent(AgentSpec::builder("c").build());
+    let s = b.add_session();
+    b.add_user(s, r720, r360);
+    b.add_user(s, r360, r360);
+    b.add_user(s, r360, r360);
+    b.symmetric_delays(|_, _| 25.0, |l, u| 5.0 + 7.0 * ((l * 2 + u) % 3) as f64);
+    UapProblem::new(b.build().unwrap(), CostModel::paper_default())
+}
+
+/// The Fig. 2 scenario wrapped as a problem (via `vc-net`'s measured data).
+pub fn fig2_like_problem() -> UapProblem {
+    UapProblem::new(vc_net::fig2::instance(), CostModel::paper_default())
+}
+
+/// The Fig. 3 example space: 1 session, 2 users, 1 transcoding task,
+/// 2 agents — `2³ = 8` feasible assignments forming a cube.
+pub fn fig3_like_problem() -> UapProblem {
+    let ladder = ReprLadder::standard_four();
+    let r360 = ladder.by_name("360p").unwrap().id();
+    let r480 = ladder.by_name("480p").unwrap().id();
+    let r720 = ladder.by_name("720p").unwrap().id();
+    let mut b = InstanceBuilder::new(ladder);
+    b.add_agent(AgentSpec::builder("l1").build());
+    b.add_agent(AgentSpec::builder("l2").speed_factor(1.4).build());
+    let s = b.add_session();
+    b.add_user(s, r720, r360); // u0: upstream transcoded for u1
+    b.add_user(s, r360, r480); // u1 demands 480p of u0's 720p → one task
+    b.symmetric_delays(|_, _| 35.0, |l, u| 12.0 + 9.0 * ((l + u) % 2) as f64);
+    UapProblem::new(b.build().unwrap(), CostModel::paper_default())
+}
+
+/// Three sessions of two 720p users each; three agents with last-mile
+/// capacity for exactly one session each; every user is nearest to agent
+/// A. Nrst piles everyone on A and fails after one session; AgRank#2
+/// reaches B; AgRank#3 also reaches C and admits everything.
+pub fn scarce_capacity_problem() -> UapProblem {
+    let ladder = ReprLadder::standard_four();
+    let r720 = ladder.by_name("720p").unwrap().id();
+    let mut b = InstanceBuilder::new(ladder);
+    for name in ["a", "b", "c"] {
+        b.add_agent(
+            AgentSpec::builder(name)
+                .download_mbps(11.0)
+                .upload_mbps(11.0)
+                .transcode_slots(1)
+                .build(),
+        );
+    }
+    for _ in 0..3 {
+        let s = b.add_session();
+        b.add_user(s, r720, r720);
+        b.add_user(s, r720, r720);
+    }
+    // Everyone is nearest to A (5 ms), then B (10 ms), then C (15 ms).
+    b.symmetric_delays(|l, k| 20.0 * ((l as f64) - (k as f64)).abs(), |l, _| 5.0 + 5.0 * l as f64);
+    UapProblem::new(b.build().unwrap(), CostModel::paper_default())
+}

@@ -1,0 +1,40 @@
+//! Micro-benchmarks of AgRank: one session's ranking and the whole-system
+//! bootstrap (the paper reports < 200 ms per session on a micro instance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vc_algo::agrank::{agrank_assignment, rank_agents, AgRankConfig, Residuals};
+use vc_core::UapProblem;
+use vc_cost::CostModel;
+use vc_model::SessionId;
+use vc_workloads::{large_scale_instance, LargeScaleConfig};
+
+fn bench_rank_one_session(c: &mut Criterion) {
+    let problem = UapProblem::new(
+        large_scale_instance(&LargeScaleConfig::default()),
+        CostModel::paper_default(),
+    );
+    let residuals = Residuals::full(&problem);
+    let mut group = c.benchmark_group("agrank_rank_session");
+    for n_ngbr in [2usize, 3, 7] {
+        let config = AgRankConfig::paper(n_ngbr);
+        group.bench_function(format!("nngbr_{n_ngbr}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(rank_agents(&problem, SessionId::new(0), &residuals, &config))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bootstrap_all_sessions(c: &mut Criterion) {
+    let problem = UapProblem::new(
+        large_scale_instance(&LargeScaleConfig::default()),
+        CostModel::paper_default(),
+    );
+    c.bench_function("agrank_bootstrap_200_users", |b| {
+        b.iter(|| std::hint::black_box(agrank_assignment(&problem, &AgRankConfig::paper(2))))
+    });
+}
+
+criterion_group!(benches, bench_rank_one_session, bench_bootstrap_all_sessions);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end benchmark: a full Alg. 1 run (50 simulated seconds) on the
+//! prototype workload — the cost of regenerating one Fig. 4-style trace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use vc_algo::markov::{Alg1Config, Alg1Engine};
+use vc_algo::nearest::nearest_assignment;
+use vc_core::{SystemState, UapProblem};
+use vc_cost::CostModel;
+use vc_workloads::{prototype_instance, PrototypeConfig};
+
+fn bench_alg1_run(c: &mut Criterion) {
+    let problem = Arc::new(UapProblem::new(
+        prototype_instance(&PrototypeConfig::default()),
+        CostModel::paper_default(),
+    ));
+    let base = SystemState::new(problem.clone(), nearest_assignment(&problem));
+    let engine = Alg1Engine::new(Alg1Config::paper(400.0));
+    let mut group = c.benchmark_group("alg1_run_prototype");
+    group.sample_size(20);
+    group.bench_function("50_sim_seconds", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                (base.clone(), StdRng::seed_from_u64(seed))
+            },
+            |(mut state, mut rng)| {
+                std::hint::black_box(engine.run(&mut state, 50.0, &mut rng));
+                state.objective()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1_run);
+criterion_main!(benches);

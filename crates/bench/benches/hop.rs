@@ -1,0 +1,41 @@
+//! Micro-benchmark of one Alg. 1 HOP (enumerate + Gibbs-sample + apply).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use vc_algo::markov::{Alg1Config, Alg1Engine};
+use vc_algo::nearest::nearest_assignment;
+use vc_core::{SystemState, UapProblem};
+use vc_cost::CostModel;
+use vc_model::SessionId;
+use vc_workloads::{large_scale_instance, prototype_instance, LargeScaleConfig, PrototypeConfig};
+
+fn bench_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_hop");
+    let prototype = Arc::new(UapProblem::new(
+        prototype_instance(&PrototypeConfig::default()),
+        CostModel::paper_default(),
+    ));
+    let large = Arc::new(UapProblem::new(
+        large_scale_instance(&LargeScaleConfig::default()),
+        CostModel::paper_default(),
+    ));
+    for (label, problem) in [("prototype", prototype), ("large_scale", large)] {
+        let engine = Alg1Engine::new(Alg1Config::paper(400.0));
+        let base = SystemState::new(problem.clone(), nearest_assignment(&problem));
+        group.bench_function(label, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter_batched(
+                || base.clone(),
+                |mut state| {
+                    std::hint::black_box(engine.hop(&mut state, SessionId::new(0), &mut rng))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hop);
+criterion_main!(benches);

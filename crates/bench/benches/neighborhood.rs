@@ -1,0 +1,43 @@
+//! Micro-benchmark of feasible-neighborhood enumeration — the inner loop
+//! of every HOP (the paper's per-iteration complexity claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vc_algo::nearest::nearest_assignment;
+use vc_core::{neighborhood, SystemState, UapProblem};
+use vc_cost::CostModel;
+use vc_model::SessionId;
+use vc_workloads::{large_scale_instance, prototype_instance, LargeScaleConfig, PrototypeConfig};
+
+fn bench_feasible_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasible_moves");
+    let prototype = Arc::new(UapProblem::new(
+        prototype_instance(&PrototypeConfig::default()),
+        CostModel::paper_default(),
+    ));
+    let large = Arc::new(UapProblem::new(
+        large_scale_instance(&LargeScaleConfig::default()),
+        CostModel::paper_default(),
+    ));
+    for (label, problem) in [("prototype", prototype), ("large_scale", large)] {
+        let state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(neighborhood::feasible_moves(&state, SessionId::new(0))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_moves_prototype(c: &mut Criterion) {
+    let problem = Arc::new(UapProblem::new(
+        prototype_instance(&PrototypeConfig::default()),
+        CostModel::paper_default(),
+    ));
+    let state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+    c.bench_function("all_feasible_moves/prototype", |b| {
+        b.iter(|| std::hint::black_box(neighborhood::all_feasible_moves(&state)))
+    });
+}
+
+criterion_group!(benches, bench_feasible_moves, bench_all_moves_prototype);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the UAP evaluation core: per-session evaluation
+//! and full-system construction at prototype and Internet scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use vc_algo::nearest::nearest_assignment;
+use vc_core::{evaluate::evaluate_session, SystemState, UapProblem};
+use vc_cost::CostModel;
+use vc_model::SessionId;
+use vc_workloads::{large_scale_instance, prototype_instance, LargeScaleConfig, PrototypeConfig};
+
+fn problems() -> Vec<(&'static str, Arc<UapProblem>)> {
+    vec![
+        (
+            "prototype",
+            Arc::new(UapProblem::new(
+                prototype_instance(&PrototypeConfig::default()),
+                CostModel::paper_default(),
+            )),
+        ),
+        (
+            "large_scale",
+            Arc::new(UapProblem::new(
+                large_scale_instance(&LargeScaleConfig::default()),
+                CostModel::paper_default(),
+            )),
+        ),
+    ]
+}
+
+fn bench_evaluate_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_session");
+    for (label, problem) in problems() {
+        let assignment = nearest_assignment(&problem);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(evaluate_session(&problem, &assignment, SessionId::new(0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_state_new(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_state_new");
+    for (label, problem) in problems() {
+        let assignment = nearest_assignment(&problem);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || assignment.clone(),
+                |asg| std::hint::black_box(SystemState::new(problem.clone(), asg)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_objective_readout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_readout");
+    for (label, problem) in problems() {
+        let state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box((
+                    state.objective(),
+                    state.total_traffic_mbps(),
+                    state.mean_delay_ms(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate_session,
+    bench_system_state_new,
+    bench_objective_readout
+);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
+//! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration all
+//! ```
+
+use vc_bench::experiments::*;
+use vc_bench::experiments::table2::Table2Config;
+
+#[derive(Debug, Clone)]
+struct Options {
+    ids: Vec<String>,
+    scenarios: usize,
+    duration_s: f64,
+    seed: u64,
+}
+
+const ALL_IDS: [&str; 14] = [
+    "fig2", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "fig10", "theorem1",
+    "robust", "migration", "ablation", "churn",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: experiments <id>... [--scenarios N] [--duration S] [--seed K]");
+    eprintln!("ids: {} all", ALL_IDS.join(" "));
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        ids: Vec::new(),
+        scenarios: 100,
+        duration_s: 0.0, // 0 = per-experiment default
+        seed: 2015,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenarios" => {
+                opts.scenarios = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--duration" => {
+                opts.duration_s = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "all" => opts.ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => opts.ids.push(id.to_string()),
+            _ => usage(),
+        }
+    }
+    if opts.ids.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut shared_table2: Option<table2::Table2Result> = None;
+    for id in &opts.ids {
+        let started = std::time::Instant::now();
+        println!("\n================================================================");
+        match id.as_str() {
+            "fig2" => fig2::print(&fig2::run()),
+            "fig4" => {
+                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 200.0 };
+                fig4::print(&fig4::run(d, opts.seed));
+            }
+            "fig5" => {
+                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 120.0 };
+                fig5::print(&fig5::run(d, opts.seed));
+            }
+            "fig6" => {
+                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 100.0 };
+                fig6::print(&fig6::run(d, opts.seed));
+            }
+            "fig7" => {
+                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 200.0 };
+                fig7::print(&fig7::run(d, opts.seed));
+            }
+            "table2" | "fig8" => {
+                if shared_table2.is_none() {
+                    let config = Table2Config {
+                        scenarios: opts.scenarios,
+                        duration_s: if opts.duration_s > 0.0 { opts.duration_s } else { 400.0 },
+                        ..Table2Config::default()
+                    };
+                    shared_table2 = Some(table2::run(&config));
+                }
+                let result = shared_table2.as_ref().expect("just computed");
+                if id == "table2" {
+                    table2::print(result);
+                } else {
+                    fig8::print(&fig8::from_table2(result));
+                }
+            }
+            "fig9" => {
+                // The paper sweeps 400–900 Mbps; our synthetic workload's
+                // feasibility transition sits higher (users are placed
+                // farther from agents, so last-mile + inter-agent loads
+                // are heavier) — the grid brackets *our* transition.
+                let points_bw = [800.0, 1000.0, 1200.0, 1400.0, 1600.0];
+                let a = fig9::run_bandwidth(&points_bw, opts.scenarios, opts.seed);
+                fig9::print(
+                    "Fig. 9(a) — successful initializations vs mean bandwidth capacity",
+                    "mean bandwidth (Mbps)",
+                    &a,
+                );
+                let points_tc = [20.0, 30.0, 40.0, 50.0, 60.0];
+                let b = fig9::run_transcode(&points_tc, opts.scenarios, opts.seed);
+                fig9::print(
+                    "\nFig. 9(b) — successful initializations vs mean transcoding capacity",
+                    "mean slots (#)",
+                    &b,
+                );
+            }
+            "fig10" => {
+                let scenarios = opts.scenarios.min(30);
+                fig10::print(&fig10::run(&[1, 2, 3, 4, 5, 6, 7], scenarios, opts.seed));
+            }
+            "theorem1" => {
+                // Objective values of the Fig. 3 instance are O(100–1000),
+                // so the informative β range starts well below 1.
+                let rows = theorem1::run(&[0.001, 0.01, 0.1, 1.0, 100.0, 400.0], &[0.0, 2.0, 10.0]);
+                theorem1::print(&rows);
+            }
+            "robust" => {
+                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 300.0 };
+                robust::print(&robust::run(&[0.0, 1.0, 5.0, 20.0, 80.0], d, 5));
+            }
+            "migration" => migration::print(&migration::run(&[20.0, 30.0, 50.0, 80.0, 110.0])),
+            "ablation" => {
+                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 300.0 };
+                ablation::print_all(opts.scenarios.min(30), d, opts.seed);
+            }
+            "churn" => {
+                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 200.0 };
+                churn::print(&churn::run(d, opts.seed));
+            }
+            _ => unreachable!("ids validated in parse_args"),
+        }
+        eprintln!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,72 @@
+//! Failure injection (extension): an agent fails mid-run, its users and
+//! tasks are evacuated immediately, Alg. 1 re-optimizes around the hole,
+//! and the agent's recovery lets the optimizer pull sessions back.
+
+use super::prototype_nrst_state;
+use crate::util::print_series_table;
+use vc_model::AgentId;
+use vc_sim::{ChurnEvent, ConferenceSim, SimConfig, SimReport};
+
+/// When the failure hits (s).
+pub const FAIL_AT_S: f64 = 60.0;
+/// When the agent recovers (s).
+pub const RECOVER_AT_S: f64 = 140.0;
+
+/// Runs the prototype workload with agent 0 failing and recovering.
+pub fn run(duration_s: f64, seed: u64) -> SimReport {
+    let state = prototype_nrst_state(seed);
+    let agent = AgentId::new(0);
+    ConferenceSim::new(state, SimConfig::paper_default(duration_s, seed))
+        .with_churn(vec![
+            ChurnEvent {
+                time_s: FAIL_AT_S,
+                agent,
+                up: false,
+            },
+            ChurnEvent {
+                time_s: RECOVER_AT_S,
+                agent,
+                up: true,
+            },
+        ])
+        .run()
+}
+
+/// Prints the series and the evacuation summary.
+pub fn print(report: &SimReport) {
+    println!(
+        "Failure injection — agent a0 fails at t = {FAIL_AT_S} s, recovers at t = {RECOVER_AT_S} s"
+    );
+    print_series_table(
+        &[
+            ("traffic Mbps", &report.traffic),
+            ("delay ms", &report.delay),
+        ],
+        10.0,
+    );
+    for &(t, agent, moved, forced) in &report.evacuations {
+        println!(
+            "\nevacuation at t = {t:.0} s: {moved} migrations off {agent} ({forced} forced)"
+        );
+    }
+    println!(
+        "final state feasible: {} | {} total hops",
+        report.final_state.is_feasible(),
+        report.hops.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_triggers_evacuation_and_system_recovers() {
+        let report = run(200.0, 2015);
+        assert_eq!(report.evacuations.len(), 1);
+        let (_, _, moved, _) = report.evacuations[0];
+        assert!(moved > 0);
+        assert!(report.final_state.is_feasible());
+        assert!(report.final_state.is_agent_available(AgentId::new(0)));
+    }
+}

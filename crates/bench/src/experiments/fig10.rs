@@ -1,0 +1,88 @@
+//! Fig. 10 — the impact of `n_ngbr` on AgRank's initial assignment:
+//! traffic falls as the candidate sets widen; with `n_ngbr = L` whole
+//! sessions collapse onto single agents and delay suffers.
+
+use crate::util::{mean, par_map_seeds};
+use std::sync::Arc;
+use vc_algo::agrank::{agrank_assignment, AgRankConfig};
+use vc_core::{SystemState, UapProblem};
+use vc_cost::CostModel;
+use vc_workloads::{large_scale_instance, LargeScaleConfig};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NngbrPoint {
+    /// The candidate-set size.
+    pub n_ngbr: usize,
+    /// Mean inter-agent traffic (Mbps) across scenarios.
+    pub traffic_mbps: f64,
+    /// Mean conferencing delay (ms) across scenarios.
+    pub delay_ms: f64,
+}
+
+/// Evaluates AgRank's initial assignment for each `n_ngbr`.
+pub fn run(nngbrs: &[usize], scenarios: usize, base_seed: u64) -> Vec<NngbrPoint> {
+    let seeds: Vec<u64> = (0..scenarios as u64).map(|i| base_seed + i).collect();
+    let per_seed = par_map_seeds(&seeds, |seed| {
+        let instance = large_scale_instance(&LargeScaleConfig {
+            seed,
+            ..LargeScaleConfig::default()
+        });
+        let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
+        nngbrs
+            .iter()
+            .map(|&n| {
+                let asg = agrank_assignment(&problem, &AgRankConfig::paper(n));
+                let state = SystemState::new(problem.clone(), asg);
+                (state.total_traffic_mbps(), state.mean_delay_ms())
+            })
+            .collect::<Vec<_>>()
+    });
+    nngbrs
+        .iter()
+        .enumerate()
+        .map(|(i, &n_ngbr)| NngbrPoint {
+            n_ngbr,
+            traffic_mbps: mean(&per_seed.iter().map(|r| r[i].0).collect::<Vec<_>>()),
+            delay_ms: mean(&per_seed.iter().map(|r| r[i].1).collect::<Vec<_>>()),
+        })
+        .collect()
+}
+
+/// Prints the sweep.
+pub fn print(points: &[NngbrPoint]) {
+    println!("Fig. 10 — impact of n_ngbr on AgRank's initial assignment");
+    println!("{:>8} {:>16} {:>12}", "n_ngbr", "traffic Mbps", "delay ms");
+    for p in points {
+        println!(
+            "{:>8} {:>16.0} {:>12.1}",
+            p.n_ngbr, p.traffic_mbps, p.delay_ms
+        );
+    }
+    println!("\n(n_ngbr = 1 is exactly Nrst; n_ngbr = L collapses each session onto one agent)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nngbr_one_has_highest_traffic() {
+        let pts = run(&[1, 4, 7], 3, 90);
+        assert!(pts[0].traffic_mbps > pts[1].traffic_mbps);
+        assert!(pts[1].traffic_mbps >= pts[2].traffic_mbps);
+    }
+
+    #[test]
+    fn full_collapse_raises_delay_over_moderate_nngbr() {
+        let pts = run(&[2, 7], 3, 91);
+        // The paper: with n_ngbr = L users "suffer from long conferencing
+        // delays" relative to moderate candidate sets.
+        assert!(
+            pts[1].delay_ms > pts[0].delay_ms - 20.0,
+            "expected collapse delay {} to be comparable-or-worse than {}",
+            pts[1].delay_ms,
+            pts[0].delay_ms
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 2 — the motivating example, quantified.
+//!
+//! Reports (a) the nearest assignment, (b) the paper's proposed single
+//! change (user 4 \[HK\] from Singapore to Tokyo, everyone else pinned),
+//! and (c) the exact optimum, each with inter-agent traffic and mean
+//! conferencing delay.
+
+use std::sync::Arc;
+use vc_algo::brute_force;
+use vc_algo::nearest::nearest_assignment;
+use vc_core::{Decision, SystemState, UapProblem};
+use vc_cost::CostModel;
+use vc_model::{AgentId, UserId};
+
+/// One labeled operating point of the Fig. 2 scenario.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    /// Row label.
+    pub label: &'static str,
+    /// Total inter-agent traffic (Mbps).
+    pub traffic_mbps: f64,
+    /// Mean conferencing delay (ms).
+    pub delay_ms: f64,
+    /// Objective value.
+    pub objective: f64,
+    /// Agent serving user 4 \[HK\].
+    pub user4_agent: String,
+}
+
+/// The experiment output.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// The three operating points: Nrst, Nrst + (user4→Tokyo), optimum.
+    pub points: Vec<OperatingPoint>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig2Result {
+    let problem = Arc::new(UapProblem::new(
+        vc_net::fig2::instance(),
+        CostModel::paper_default(),
+    ));
+    let user4 = UserId::new(3);
+    let inst = problem.instance();
+    let point = |label, state: &SystemState| OperatingPoint {
+        label,
+        traffic_mbps: state.total_traffic_mbps(),
+        delay_ms: state.mean_delay_ms(),
+        objective: state.objective(),
+        user4_agent: inst
+            .agent(state.assignment().agent_of_user(user4))
+            .name()
+            .to_string(),
+    };
+
+    let nrst = SystemState::new(problem.clone(), nearest_assignment(&problem));
+    let mut moved = nrst.clone();
+    moved.apply_unchecked(Decision::User(user4, AgentId::new(1))); // Tokyo
+    let (opt_asg, _) = brute_force::optimal(&problem, 10_000)
+        .expect("fig2 space enumerable")
+        .expect("fig2 feasible");
+    let opt = SystemState::new(problem.clone(), opt_asg);
+
+    Fig2Result {
+        points: vec![
+            point("Nrst (user 4 on Singapore)", &nrst),
+            point("user 4 moved to Tokyo", &moved),
+            point("exact optimum", &opt),
+        ],
+    }
+}
+
+/// Prints the paper-style comparison.
+pub fn print(result: &Fig2Result) {
+    println!("Fig. 2 — nearest assignment is neither delay- nor cost-optimal");
+    println!(
+        "{:<30} {:>14} {:>12} {:>12} {:>16}",
+        "assignment", "traffic Mbps", "delay ms", "objective", "user4 agent"
+    );
+    for p in &result.points {
+        println!(
+            "{:<30} {:>14.1} {:>12.1} {:>12.1} {:>16}",
+            p.label, p.traffic_mbps, p.delay_ms, p.objective, p.user4_agent
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_user4_to_tokyo_improves_both_metrics() {
+        let r = run();
+        let nrst = &r.points[0];
+        let moved = &r.points[1];
+        assert!(moved.traffic_mbps < nrst.traffic_mbps);
+        assert!(moved.delay_ms < nrst.delay_ms);
+        assert_eq!(nrst.user4_agent, "ec2-singapore");
+        assert_eq!(moved.user4_agent, "ec2-tokyo");
+    }
+
+    #[test]
+    fn optimum_dominates_nearest() {
+        let r = run();
+        assert!(r.points[2].objective <= r.points[0].objective);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig. 5 — adaptation to session dynamics: 6 sessions at t = 0, 4 more
+//! arrive at t = 40 s, 3 depart at t = 80 s; β = 400.
+
+use super::prototype_problem;
+use crate::util::print_series_table;
+use vc_algo::agrank::AgRankConfig;
+use vc_algo::nearest::nearest_assignment;
+use vc_core::SystemState;
+use vc_model::SessionId;
+use vc_sim::{ArrivalPolicy, ConferenceSim, DynamicsEvent, SimConfig, SimReport};
+
+/// Arrival instant of the 4 extra sessions (s).
+pub const ARRIVAL_AT_S: f64 = 40.0;
+/// Departure instant of the 3 leaving sessions (s).
+pub const DEPARTURE_AT_S: f64 = 80.0;
+
+/// Runs the dynamic scenario.
+pub fn run(duration_s: f64, seed: u64) -> SimReport {
+    let problem = prototype_problem(seed);
+    let n = problem.instance().num_sessions();
+    assert!(n >= 10, "prototype workload has 10 sessions");
+    let assignment = nearest_assignment(&problem);
+    let mut active = vec![false; n];
+    for s in active.iter_mut().take(6) {
+        *s = true;
+    }
+    let state = SystemState::with_active(problem, assignment, active);
+
+    let mut dynamics = Vec::new();
+    for s in 6..10 {
+        dynamics.push(DynamicsEvent {
+            time_s: ARRIVAL_AT_S,
+            session: SessionId::new(s as u32),
+            arrives: true,
+        });
+    }
+    for s in 0..3 {
+        dynamics.push(DynamicsEvent {
+            time_s: DEPARTURE_AT_S,
+            session: SessionId::new(s as u32),
+            arrives: false,
+        });
+    }
+
+    let mut config = SimConfig::paper_default(duration_s, seed);
+    config.arrival_policy = ArrivalPolicy::AgRank(AgRankConfig::paper(2));
+    ConferenceSim::new(state, config).with_dynamics(dynamics).run()
+}
+
+/// Prints the traffic/delay series with the dynamics marked.
+pub fn print(report: &SimReport) {
+    println!(
+        "Fig. 5 — session arrival at t = {ARRIVAL_AT_S} s, departure at t = {DEPARTURE_AT_S} s (β = 400)"
+    );
+    print_series_table(
+        &[
+            ("traffic Mbps", &report.traffic),
+            ("delay ms", &report.delay),
+        ],
+        5.0,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_raise_and_departures_lower_traffic() {
+        let report = run(120.0, 8);
+        let before_arrival = report.traffic.value_at(35.0).unwrap();
+        let after_arrival = report.traffic.value_at(45.0).unwrap();
+        assert!(
+            after_arrival > before_arrival,
+            "arrival: {before_arrival} → {after_arrival}"
+        );
+        let before_departure = report.traffic.value_at(78.0).unwrap();
+        let after_departure = report.traffic.value_at(85.0).unwrap();
+        assert!(
+            after_departure < before_departure,
+            "departure: {before_departure} → {after_departure}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 8 — box plots of conferencing delay across scenarios, for the
+//! initial assignments and each α configuration (reported as five-number
+//! summaries).
+
+use super::table2::{self, Table2Config, Table2Result};
+use vc_sim::BoxStats;
+
+/// A labeled delay distribution.
+#[derive(Debug, Clone)]
+pub struct DelayBox {
+    /// Configuration label.
+    pub label: String,
+    /// Five-number summary of mean conferencing delay across scenarios.
+    pub stats: BoxStats,
+}
+
+/// Summarizes a Table II result into the Fig. 8 box statistics.
+pub fn from_table2(result: &Table2Result) -> Vec<DelayBox> {
+    let mut out = Vec::new();
+    for (init, rows) in [("Nrst", &result.nrst), ("AgRank", &result.agrank)] {
+        for (c, col) in table2::COLUMNS.iter().enumerate() {
+            let delays: Vec<f64> = rows.iter().map(|r| r[c].delay).collect();
+            out.push(DelayBox {
+                label: format!("{init} / {col}"),
+                stats: BoxStats::from_values(&delays),
+            });
+        }
+    }
+    out
+}
+
+/// Runs Table II and reports the box statistics.
+pub fn run(config: &Table2Config) -> Vec<DelayBox> {
+    from_table2(&table2::run(config))
+}
+
+/// Prints the five-number summaries.
+pub fn print(boxes: &[DelayBox]) {
+    println!("Fig. 8 — conferencing delay distribution across scenarios (ms)");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "configuration", "min", "q1", "median", "q3", "max", "mean"
+    );
+    for b in boxes {
+        println!(
+            "{:<28} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
+            b.label, b.stats.min, b.stats.q1, b.stats.median, b.stats.q3, b.stats.max, b.stats.mean
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_boxes_with_ordered_quartiles() {
+        let boxes = run(&Table2Config {
+            scenarios: 3,
+            duration_s: 20.0,
+            beta: 400.0,
+            base_seed: 11,
+        });
+        assert_eq!(boxes.len(), 8);
+        for b in &boxes {
+            assert!(b.stats.min <= b.stats.q1);
+            assert!(b.stats.q1 <= b.stats.median);
+            assert!(b.stats.median <= b.stats.q3);
+            assert!(b.stats.q3 <= b.stats.max);
+        }
+    }
+}

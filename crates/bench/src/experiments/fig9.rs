@@ -1,0 +1,140 @@
+//! Fig. 9 — percentage of successfully initialized scenarios under
+//! capacity limits: (a) sweeping mean bandwidth with unlimited
+//! transcoding, (b) sweeping mean transcoding slots with unlimited
+//! bandwidth; policies Nrst, AgRank#2, AgRank#3.
+
+use crate::util::par_map_seeds;
+use std::sync::Arc;
+use vc_algo::admission::{admit_all, AdmissionPolicy};
+use vc_algo::agrank::AgRankConfig;
+use vc_core::UapProblem;
+use vc_cost::CostModel;
+use vc_workloads::{large_scale_instance, LargeScaleConfig};
+
+/// The three policies of the figure, in plot order.
+pub const POLICIES: [&str; 3] = ["AgRank#3", "AgRank#2", "Nrst"];
+
+/// One sweep point: capacity value and success rate (%) per policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept mean capacity (Mbps or slots).
+    pub capacity: f64,
+    /// Success rate (%) for `[AgRank#3, AgRank#2, Nrst]`.
+    pub success_pct: [f64; 3],
+}
+
+fn policies() -> [AdmissionPolicy; 3] {
+    [
+        AdmissionPolicy::AgRank(AgRankConfig::paper(3)),
+        AdmissionPolicy::AgRank(AgRankConfig::paper(2)),
+        AdmissionPolicy::Nearest,
+    ]
+}
+
+fn sweep(
+    points: &[f64],
+    scenarios: usize,
+    base_seed: u64,
+    make_config: impl Fn(f64, u64) -> LargeScaleConfig + Sync,
+) -> Vec<SweepPoint> {
+    points
+        .iter()
+        .map(|&capacity| {
+            let seeds: Vec<u64> = (0..scenarios as u64).map(|i| base_seed + i).collect();
+            let successes = par_map_seeds(&seeds, |seed| {
+                let instance = large_scale_instance(&make_config(capacity, seed));
+                let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
+                let mut out = [false; 3];
+                for (i, policy) in policies().iter().enumerate() {
+                    out[i] = admit_all(problem.clone(), policy).success;
+                }
+                out
+            });
+            let mut pct = [0.0; 3];
+            for s in &successes {
+                for i in 0..3 {
+                    if s[i] {
+                        pct[i] += 1.0;
+                    }
+                }
+            }
+            for p in &mut pct {
+                *p *= 100.0 / scenarios as f64;
+            }
+            SweepPoint {
+                capacity,
+                success_pct: pct,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 9(a): bandwidth sweep (unlimited transcoding capacity).
+pub fn run_bandwidth(points: &[f64], scenarios: usize, base_seed: u64) -> Vec<SweepPoint> {
+    sweep(points, scenarios, base_seed, |capacity, seed| LargeScaleConfig {
+        mean_bandwidth_mbps: Some(capacity),
+        mean_transcode_slots: None,
+        seed,
+        ..LargeScaleConfig::default()
+    })
+}
+
+/// Fig. 9(b): transcoding sweep (unlimited bandwidth capacity).
+pub fn run_transcode(points: &[f64], scenarios: usize, base_seed: u64) -> Vec<SweepPoint> {
+    sweep(points, scenarios, base_seed, |capacity, seed| LargeScaleConfig {
+        mean_bandwidth_mbps: None,
+        mean_transcode_slots: Some(capacity),
+        seed,
+        ..LargeScaleConfig::default()
+    })
+}
+
+/// Prints one sweep as the paper's percent-success table.
+pub fn print(title: &str, unit: &str, points: &[SweepPoint]) {
+    println!("{title}");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        unit, POLICIES[0], POLICIES[1], POLICIES[2]
+    );
+    for p in points {
+        println!(
+            "{:<22.0} {:>9.0}% {:>9.0}% {:>9.0}%",
+            p.capacity, p.success_pct[0], p.success_pct[1], p.success_pct[2]
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_ordering_matches_paper() {
+        // At a mid-transition bandwidth the paper's ordering holds:
+        // AgRank#3 ≥ AgRank#2 ≥ Nrst.
+        let pts = run_bandwidth(&[1000.0], 6, 50);
+        let p = &pts[0];
+        assert!(p.success_pct[0] >= p.success_pct[1]);
+        assert!(p.success_pct[1] >= p.success_pct[2]);
+    }
+
+    #[test]
+    fn success_is_monotone_in_capacity() {
+        let pts = run_bandwidth(&[800.0, 1600.0], 6, 60);
+        for i in 0..3 {
+            assert!(
+                pts[1].success_pct[i] >= pts[0].success_pct[i],
+                "policy {i} not monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn unlimited_transcode_sweep_runs() {
+        let pts = run_transcode(&[40.0], 4, 70);
+        assert_eq!(pts.len(), 1);
+        for pct in pts[0].success_pct {
+            assert!((0.0..=100.0).contains(&pct));
+        }
+    }
+}

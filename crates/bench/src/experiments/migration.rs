@@ -1,0 +1,75 @@
+//! Sec. V-A migration micro-experiment: instant teardown freezes 2–3
+//! frames of a 30 fps stream; the dual-feed trick avoids the freeze at
+//! ~13.2 Kb of redundant 240p traffic.
+
+use vc_sim::streaming::{simulate_migration, InterruptionReport, StreamingConfig};
+
+/// One grid point of the migration experiment.
+#[derive(Debug, Clone)]
+pub struct MigrationPoint {
+    /// Switch-over window (ms).
+    pub switch_ms: f64,
+    /// Without dual-feed.
+    pub teardown: InterruptionReport,
+    /// With dual-feed.
+    pub dual_feed: InterruptionReport,
+}
+
+/// Runs the grid of switch-over windows.
+pub fn run(switch_windows_ms: &[f64]) -> Vec<MigrationPoint> {
+    switch_windows_ms
+        .iter()
+        .map(|&switch_ms| {
+            let config = StreamingConfig {
+                switch_ms,
+                ..StreamingConfig::paper_default()
+            };
+            MigrationPoint {
+                switch_ms,
+                teardown: simulate_migration(&config, false),
+                dual_feed: simulate_migration(&config, true),
+            }
+        })
+        .collect()
+}
+
+/// Prints the comparison table.
+pub fn print(points: &[MigrationPoint]) {
+    println!("Migration interruption — 30 fps 240p stream, migration mid-call");
+    println!(
+        "{:>10} | {:>14} {:>12} | {:>14} {:>12} {:>14}",
+        "switch ms", "frozen frames", "max gap ms", "frozen frames", "max gap ms", "redundant Kb"
+    );
+    println!("{:>10} | {:>27} | {:>43}", "", "instant teardown", "dual-feed overlap");
+    for p in points {
+        println!(
+            "{:>10.0} | {:>14} {:>12.1} | {:>14} {:>12.1} {:>14.1}",
+            p.switch_ms,
+            p.teardown.frozen_frames,
+            p.teardown.max_gap_ms,
+            p.dual_feed.frozen_frames,
+            p.dual_feed.max_gap_ms,
+            p.dual_feed.redundant_kb
+        );
+    }
+    println!("\npaper: 2–3 frozen frames at 30 fps without the trick; ~13.2 Kb overhead with it (30 ms window)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_feed_never_freezes() {
+        for p in run(&[20.0, 50.0, 80.0, 110.0]) {
+            assert_eq!(p.dual_feed.frozen_frames, 0);
+            assert!(p.teardown.frozen_frames >= p.dual_feed.frozen_frames);
+        }
+    }
+
+    #[test]
+    fn paper_operating_point() {
+        let pts = run(&[30.0]);
+        assert!((pts[0].dual_feed.redundant_kb - 13.2).abs() < 1e-9);
+    }
+}

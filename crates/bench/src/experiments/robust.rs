@@ -1,0 +1,91 @@
+//! Sec. IV-A.4 — robustness of Alg. 1 to noisy objective measurements:
+//! the achieved cost degrades gracefully (bounded by Δmax, Theorem 1)
+//! as the quantized measurement error grows.
+
+use super::prototype_nrst_state;
+use crate::util::mean;
+use rand::{rngs::StdRng, SeedableRng};
+use vc_algo::markov::{Alg1Config, Alg1Engine};
+use vc_markov::perturb::NoiseSpec;
+
+/// Outcome at one noise level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisePoint {
+    /// The error bound Δ on observed Φ values.
+    pub delta: f64,
+    /// Mean final inter-agent traffic (Mbps) across repetitions.
+    pub traffic_mbps: f64,
+    /// Mean final conferencing delay (ms).
+    pub delay_ms: f64,
+    /// Mean final objective.
+    pub objective: f64,
+}
+
+/// Runs Alg. 1 under each noise level, averaged over `repeats` seeds.
+pub fn run(deltas: &[f64], duration_s: f64, repeats: u64) -> Vec<NoisePoint> {
+    deltas
+        .iter()
+        .map(|&delta| {
+            let mut traffic = Vec::new();
+            let mut delay = Vec::new();
+            let mut phi = Vec::new();
+            for seed in 0..repeats {
+                let mut state = prototype_nrst_state(2015);
+                let engine = Alg1Engine::new(Alg1Config {
+                    beta: 400.0,
+                    mean_countdown_s: 10.0,
+                    noise: if delta > 0.0 {
+                        Some(NoiseSpec::uniform(delta, 3))
+                    } else {
+                        None
+                    },
+                });
+                let mut rng = StdRng::seed_from_u64(seed);
+                engine.run(&mut state, duration_s, &mut rng);
+                traffic.push(state.total_traffic_mbps());
+                delay.push(state.mean_delay_ms());
+                phi.push(state.objective());
+            }
+            NoisePoint {
+                delta,
+                traffic_mbps: mean(&traffic),
+                delay_ms: mean(&delay),
+                objective: mean(&phi),
+            }
+        })
+        .collect()
+}
+
+/// Prints the degradation table.
+pub fn print(points: &[NoisePoint]) {
+    println!("Robustness — Alg. 1 under quantized measurement noise (prototype scale)");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "delta", "traffic Mbps", "delay ms", "objective"
+    );
+    for p in points {
+        println!(
+            "{:>8.1} {:>14.2} {:>12.1} {:>12.1}",
+            p.delta, p.traffic_mbps, p.delay_ms, p.objective
+        );
+    }
+    println!("\nTheorem 1: the expected objective under noise exceeds the clean one by ≤ Δmax.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_degrades_gracefully() {
+        let pts = run(&[0.0, 50.0], 150.0, 2);
+        // Moderate noise must not blow the objective up catastrophically —
+        // within Δmax plus stochastic slack of the clean run.
+        let clean = pts[0].objective;
+        let noisy = pts[1].objective;
+        assert!(
+            noisy < clean * 1.8 + 50.0,
+            "objective exploded under noise: {clean} → {noisy}"
+        );
+    }
+}

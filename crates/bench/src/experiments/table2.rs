@@ -1,0 +1,222 @@
+//! Table II — impact of the design parameters α on Alg. 1 at Internet
+//! scale: 100 random scenarios, {Nrst, AgRank} initialization × {initial,
+//! delay-only (α2 = 0), balanced (α1 = α2), traffic-only (α1 = 0)}.
+
+use crate::util::{mean, par_map_seeds};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use vc_algo::agrank::{agrank_assignment, AgRankConfig};
+use vc_algo::markov::{Alg1Config, Alg1Engine};
+use vc_algo::nearest::nearest_assignment;
+use vc_core::{Assignment, SystemState, UapProblem};
+use vc_cost::{CostModel, ObjectiveWeights};
+use vc_workloads::{large_scale_instance, LargeScaleConfig};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Table2Config {
+    /// Number of random scenarios (paper: 100).
+    pub scenarios: usize,
+    /// Simulated seconds of Alg. 1 per run.
+    pub duration_s: f64,
+    /// β of Alg. 1.
+    pub beta: f64,
+    /// First scenario seed.
+    pub base_seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Self {
+            scenarios: 100,
+            duration_s: 400.0,
+            beta: 400.0,
+            base_seed: 1000,
+        }
+    }
+}
+
+/// Traffic/delay of one configuration in one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Total inter-agent traffic (Mbps).
+    pub traffic: f64,
+    /// Mean conferencing delay (ms).
+    pub delay: f64,
+}
+
+/// Column labels, in order: initial assignment, then Alg. 1 under the
+/// three α configurations.
+pub const COLUMNS: [&str; 4] = ["Init", "a2=0 (delay)", "a1=a2", "a1=0 (traffic)"];
+
+/// Per-scenario metrics for one initialization policy: `[Init, delay-only,
+/// balanced, traffic-only]`.
+pub type PolicyRow = [Metrics; 4];
+
+/// The full experiment result.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// One row per scenario, Nrst initialization.
+    pub nrst: Vec<PolicyRow>,
+    /// One row per scenario, AgRank (nngbr = 2) initialization.
+    pub agrank: Vec<PolicyRow>,
+}
+
+fn weight_configs() -> [ObjectiveWeights; 3] {
+    [
+        ObjectiveWeights::delay_only(),
+        ObjectiveWeights::balanced(),
+        ObjectiveWeights::traffic_only(),
+    ]
+}
+
+fn measure(state: &SystemState) -> Metrics {
+    Metrics {
+        traffic: state.total_traffic_mbps(),
+        delay: state.mean_delay_ms(),
+    }
+}
+
+fn run_policy(
+    base: &UapProblem,
+    init: &Assignment,
+    config: &Table2Config,
+    seed: u64,
+) -> PolicyRow {
+    let init_metrics = {
+        let state = SystemState::new(Arc::new(base.clone()), init.clone());
+        measure(&state)
+    };
+    let mut row = [init_metrics; 4];
+    for (i, weights) in weight_configs().into_iter().enumerate() {
+        let problem = Arc::new(base.with_cost(CostModel::paper_default().with_weights(weights)));
+        let mut state = SystemState::new(problem, init.clone());
+        let engine = Alg1Engine::new(Alg1Config {
+            beta: config.beta,
+            mean_countdown_s: 10.0,
+            noise: None,
+        });
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(i as u64));
+        engine.run(&mut state, config.duration_s, &mut rng);
+        row[i + 1] = measure(&state);
+    }
+    row
+}
+
+/// Runs all scenarios (in parallel across threads).
+pub fn run(config: &Table2Config) -> Table2Result {
+    let seeds: Vec<u64> = (0..config.scenarios as u64)
+        .map(|i| config.base_seed + i)
+        .collect();
+    let rows = par_map_seeds(&seeds, |seed| {
+        let instance = large_scale_instance(&LargeScaleConfig {
+            seed,
+            ..LargeScaleConfig::default()
+        });
+        let base = UapProblem::new(instance, CostModel::paper_default());
+        let nrst_init = nearest_assignment(&base);
+        let agrank_init = agrank_assignment(&base, &AgRankConfig::paper(2));
+        (
+            run_policy(&base, &nrst_init, config, seed),
+            run_policy(&base, &agrank_init, config, seed ^ 0x5eed),
+        )
+    });
+    let (nrst, agrank) = rows.into_iter().unzip();
+    Table2Result { nrst, agrank }
+}
+
+/// Mean metrics per column.
+pub fn column_means(rows: &[PolicyRow]) -> [Metrics; 4] {
+    let mut out = [Metrics {
+        traffic: 0.0,
+        delay: 0.0,
+    }; 4];
+    for (c, slot) in out.iter_mut().enumerate() {
+        slot.traffic = mean(&rows.iter().map(|r| r[c].traffic).collect::<Vec<_>>());
+        slot.delay = mean(&rows.iter().map(|r| r[c].delay).collect::<Vec<_>>());
+    }
+    out
+}
+
+/// Prints the paper-style table plus the headline relative reductions.
+pub fn print(result: &Table2Result) {
+    println!("Table II — impact of the design parameter α on Alg. 1");
+    println!(
+        "{:<8} {:<8} {:>10} {:>14} {:>10} {:>16}",
+        "Init", "Metric", COLUMNS[0], COLUMNS[1], COLUMNS[2], COLUMNS[3]
+    );
+    let nrst = column_means(&result.nrst);
+    let agrank = column_means(&result.agrank);
+    for (label, cols) in [("Nrst", &nrst), ("AgRank", &agrank)] {
+        println!(
+            "{:<8} {:<8} {:>10.0} {:>14.0} {:>10.0} {:>16.0}",
+            label, "Traffic", cols[0].traffic, cols[1].traffic, cols[2].traffic, cols[3].traffic
+        );
+        println!(
+            "{:<8} {:<8} {:>10.0} {:>14.0} {:>10.0} {:>16.0}",
+            "", "Delay", cols[0].delay, cols[1].delay, cols[2].delay, cols[3].delay
+        );
+    }
+    let t0 = nrst[0].traffic;
+    let d0 = nrst[0].delay;
+    println!("\nvs the Nrst initial assignment (α1 = α2 column):");
+    println!(
+        "  Nrst init + Alg.1:   traffic −{:.0}%, delay {:+.0}%  (paper: −42%, −10%)",
+        100.0 * (1.0 - nrst[2].traffic / t0),
+        100.0 * (nrst[2].delay / d0 - 1.0)
+    );
+    println!(
+        "  AgRank init + Alg.1: traffic −{:.0}%, delay {:+.0}%  (paper: −77%, −2%)",
+        100.0 * (1.0 - agrank[2].traffic / t0),
+        100.0 * (agrank[2].delay / d0 - 1.0)
+    );
+    println!(
+        "  AgRank init alone:   traffic −{:.0}%, delay {:+.0}%  (paper: −73%, +6%)",
+        100.0 * (1.0 - agrank[0].traffic / t0),
+        100.0 * (agrank[0].delay / d0 - 1.0)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Table2Result {
+        run(&Table2Config {
+            scenarios: 2,
+            duration_s: 30.0,
+            beta: 400.0,
+            base_seed: 7,
+        })
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let r = tiny();
+        assert_eq!(r.nrst.len(), 2);
+        assert_eq!(r.agrank.len(), 2);
+    }
+
+    #[test]
+    fn traffic_only_config_minimizes_traffic_hardest() {
+        let r = tiny();
+        let nrst = column_means(&r.nrst);
+        // Every optimized column improves on the initial traffic, and the
+        // traffic-weighted columns improve on the delay-only one. (The
+        // traffic-only vs balanced ordering needs long runs and many
+        // scenarios to stabilize — asserted at full scale in the
+        // integration suite, not in this 30-second smoke test.)
+        for c in 1..4 {
+            assert!(nrst[c].traffic <= nrst[0].traffic + 1e-6);
+        }
+        assert!(nrst[3].traffic <= nrst[1].traffic + 1e-6);
+    }
+
+    #[test]
+    fn agrank_init_beats_nrst_init_on_traffic() {
+        let r = tiny();
+        let nrst = column_means(&r.nrst);
+        let agrank = column_means(&r.agrank);
+        assert!(agrank[0].traffic < nrst[0].traffic);
+    }
+}

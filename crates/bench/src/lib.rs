@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment is a library function returning a structured result
+//! plus a `print` routine producing the rows/series the paper reports;
+//! the `experiments` binary dispatches on experiment ids (see
+//! `DESIGN.md`'s experiment index). Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod util;
+
+pub use experiments::{
+    ablation, churn, fig10, fig2, fig4, fig5, fig6, fig7, fig8, fig9, migration, robust, table2,
+    theorem1,
+};

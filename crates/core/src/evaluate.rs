@@ -1,0 +1,526 @@
+//! Per-session evaluation: traffic accounting `μ_klu`, transcoding
+//! occupancy `ν_lru`, end-to-end delays `d_uv`, and the local objective
+//! `Φ_s`.
+//!
+//! This module is a line-by-line transcription of Sec. III-B/III-C:
+//!
+//! * **`μ_klu`** (download traffic at agent `l` receiving via agent `k`
+//!   the stream originated by `u`) has three terms: (1) the raw upstream
+//!   shipped from `u`'s agent to every agent transcoding `u`'s stream;
+//!   (2) the raw upstream shipped to agents hosting destinations that
+//!   want it un-transcoded (skipped when the agent already receives the
+//!   stream for transcoding — the paper's `(1−ν′_lu)` factor); (3) each
+//!   transcoded representation shipped from its transcoder(s) to the
+//!   agents hosting destinations demanding it (skipped when the
+//!   destination agent is `u`'s own agent — the paper's `(1−λ_lu)`
+//!   factor).
+//! * **`ν_lru`** occupies one transcoding unit per *distinct* `(u, r)`
+//!   pair at an agent regardless of the number of destinations.
+//! * **`d_uv`** sums the two last-mile hops, the inter-agent hop(s) —
+//!   through the transcoding agent when `θ_uv = 1` — and the transcoding
+//!   latency `σ_l` (counted once; the paper's printed formula nests σ
+//!   inside the `Σ_k`, an evident typo).
+
+use crate::{Assignment, UapProblem};
+use vc_model::{AgentId, ReprId, SessionId, UserId};
+
+/// Everything the optimizer needs to know about one session under one
+/// assignment: per-agent resource loads, inter-agent ingress `x_ls`,
+/// transcoding occupancy `y_ls`, per-user delays `d_u`, and the weighted
+/// local objective `Φ_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionLoad {
+    /// Per-agent download load (Mbps): last-mile upstreams + inter-agent ingress.
+    pub download: Vec<f64>,
+    /// Per-agent upload load (Mbps): last-mile downstreams + inter-agent egress.
+    pub upload: Vec<f64>,
+    /// `x_ls`: inter-agent ingress per agent (Mbps), the argument of `g_l`.
+    pub ingress: Vec<f64>,
+    /// `y_ls`: transcoding units occupied per agent (distinct `(u, r)` pairs).
+    pub transcode_units: Vec<u32>,
+    /// `d_u` per session participant (same order as `session.users()`):
+    /// the worst delay `u` experiences *receiving* from the others.
+    pub user_delay: Vec<f64>,
+    /// `max_{u,v} d_uv` over all flows of the session (constraint (8) check).
+    pub max_flow_delay: f64,
+    /// `F(d_s)`.
+    pub delay_cost: f64,
+    /// `G(x_s) = Σ_l price_l · g(x_ls)`.
+    pub traffic_cost: f64,
+    /// `H(y_s) = Σ_l price_l · h(y_ls)`.
+    pub transcode_cost: f64,
+    /// `Φ_s = α1·F + α2·G + α3·H`.
+    pub phi: f64,
+}
+
+impl SessionLoad {
+    /// A zeroed load (used for inactive sessions).
+    pub fn empty(num_agents: usize) -> Self {
+        Self {
+            download: vec![0.0; num_agents],
+            upload: vec![0.0; num_agents],
+            ingress: vec![0.0; num_agents],
+            transcode_units: vec![0; num_agents],
+            user_delay: Vec::new(),
+            max_flow_delay: 0.0,
+            delay_cost: 0.0,
+            traffic_cost: 0.0,
+            transcode_cost: 0.0,
+            phi: 0.0,
+        }
+    }
+
+    /// Total inter-agent traffic of the session (Σ_l x_ls, Mbps) — the
+    /// quantity the paper reports as "inter-agent traffic".
+    pub fn total_ingress_mbps(&self) -> f64 {
+        self.ingress.iter().sum()
+    }
+}
+
+/// Evaluates session `s` under `assignment`, computing all loads, delays
+/// and costs from scratch.
+///
+/// # Panics
+///
+/// Panics if `s` is out of range for the problem's instance.
+pub fn evaluate_session(problem: &UapProblem, assignment: &Assignment, s: SessionId) -> SessionLoad {
+    let inst = problem.instance();
+    let nl = inst.num_agents();
+    let session = inst.session(s);
+    let mut flows = FlowMatrix::new(nl);
+    let mut load = SessionLoad::empty(nl);
+
+    // --- Traffic accounting (constraints (5)/(6) and x_ls). -------------
+    for &u in session.users() {
+        let a_u = assignment.agent_of_user(u);
+        let upstream = inst.user(u).upstream();
+        let k_up = inst.kappa(upstream);
+
+        // Last-mile upstream: u pushes its stream into its agent.
+        load.download[a_u.index()] += k_up;
+        // Last-mile downstream: u's agent pushes to u every stream u demands.
+        let demanded: f64 = inst
+            .participants(u)
+            .map(|v| inst.kappa(inst.user(u).downstream_from(v)))
+            .sum();
+        load.upload[a_u.index()] += demanded;
+
+        accumulate_stream_flows(problem, assignment, u, a_u, k_up, &mut flows);
+    }
+
+    for k in 0..nl {
+        for l in 0..nl {
+            if k == l {
+                continue;
+            }
+            let f = flows.get(k, l);
+            if f > 0.0 {
+                load.download[l] += f;
+                load.upload[k] += f;
+                load.ingress[l] += f;
+            }
+        }
+    }
+
+    // --- Transcoding occupancy ν_lru (constraint (7) and y_ls). ---------
+    // One unit per distinct (agent, src-user, target-rep) triple.
+    let mut seen: Vec<(AgentId, UserId, ReprId)> = Vec::new();
+    for &t in problem.tasks().of_session(s) {
+        let task = problem.tasks().task(t);
+        let triple = (assignment.agent_of_task(t), task.src, task.target);
+        if !seen.contains(&triple) {
+            seen.push(triple);
+            load.transcode_units[triple.0.index()] += 1;
+        }
+    }
+
+    // --- End-to-end delays d_uv (constraint (8) and F(d_s)). ------------
+    load.user_delay = vec![0.0; session.len()];
+    for (u, v) in session.flows() {
+        let d = flow_delay(problem, assignment, u, v);
+        load.max_flow_delay = load.max_flow_delay.max(d);
+        // d_v = max over incoming flows u→v.
+        let pos = session
+            .users()
+            .iter()
+            .position(|&w| w == v)
+            .expect("flow destination is a session member");
+        load.user_delay[pos] = load.user_delay[pos].max(d);
+    }
+
+    // --- Costs. ----------------------------------------------------------
+    let cost = problem.cost();
+    load.delay_cost = cost.delay.cost(&load.user_delay);
+    load.traffic_cost = (0..nl)
+        .map(|l| {
+            inst.agent(AgentId::from(l)).price_per_mbps() * cost.bandwidth.cost(load.ingress[l])
+        })
+        .sum();
+    load.transcode_cost = (0..nl)
+        .map(|l| {
+            inst.agent(AgentId::from(l)).price_per_task()
+                * cost.transcode.cost(f64::from(load.transcode_units[l]))
+        })
+        .sum();
+    load.phi = cost
+        .weights
+        .combine(load.delay_cost, load.traffic_cost, load.transcode_cost);
+    load
+}
+
+/// End-to-end delay of the flow `u → v` (Sec. III-C):
+/// `H_{a(u),u} + H_{a(v),v}` plus either the direct hop `D_{a(u),a(v)}`
+/// (no transcoding) or the relay through the transcoder `l` with its
+/// latency: `D_{l,a(u)} + D_{l,a(v)} + σ_l(r^u_u, r^d_{vu})`.
+pub fn flow_delay(problem: &UapProblem, assignment: &Assignment, u: UserId, v: UserId) -> f64 {
+    flow_delay_breakdown(problem, assignment, u, v).total()
+}
+
+/// The additive components of one flow's end-to-end delay — useful for
+/// diagnosing *where* an assignment loses its delay budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBreakdown {
+    /// `H_{a(u),u}`: source last mile (ms).
+    pub source_last_mile_ms: f64,
+    /// `H_{a(v),v}`: destination last mile (ms).
+    pub destination_last_mile_ms: f64,
+    /// Inter-agent propagation: `D_{a(u),a(v)}` directly, or
+    /// `D_{l,a(u)} + D_{l,a(v)}` through the transcoder (ms).
+    pub inter_agent_ms: f64,
+    /// `σ_l(r^u_u, r^d_{vu})` when the flow is transcoded, else 0 (ms).
+    pub transcode_ms: f64,
+}
+
+impl DelayBreakdown {
+    /// The flow's total end-to-end delay `d_uv` (ms).
+    pub fn total(&self) -> f64 {
+        self.source_last_mile_ms
+            + self.destination_last_mile_ms
+            + self.inter_agent_ms
+            + self.transcode_ms
+    }
+}
+
+/// Computes the delay components of the flow `u → v`.
+pub fn flow_delay_breakdown(
+    problem: &UapProblem,
+    assignment: &Assignment,
+    u: UserId,
+    v: UserId,
+) -> DelayBreakdown {
+    let inst = problem.instance();
+    let a_u = assignment.agent_of_user(u);
+    let a_v = assignment.agent_of_user(v);
+    let (inter_agent_ms, transcode_ms) = match problem.tasks().find(u, v) {
+        Some(t) => {
+            let l = assignment.agent_of_task(t);
+            let task = problem.tasks().task(t);
+            (
+                inst.d_ms(l, a_u) + inst.d_ms(l, a_v),
+                inst.sigma_ms(l, inst.user(u).upstream(), task.target),
+            )
+        }
+        None => (inst.d_ms(a_u, a_v), 0.0),
+    };
+    DelayBreakdown {
+        source_last_mile_ms: inst.h_ms(a_u, u),
+        destination_last_mile_ms: inst.h_ms(a_v, v),
+        inter_agent_ms,
+        transcode_ms,
+    }
+}
+
+/// Dense `L×L` inter-agent flow matrix (`flows[k][l]` = Mbps from `k` to `l`).
+struct FlowMatrix {
+    nl: usize,
+    data: Vec<f64>,
+}
+
+impl FlowMatrix {
+    fn new(nl: usize) -> Self {
+        Self {
+            nl,
+            data: vec![0.0; nl * nl],
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, from: AgentId, to: AgentId, mbps: f64) {
+        self.data[from.index() * self.nl + to.index()] += mbps;
+    }
+
+    #[inline]
+    fn get(&self, from: usize, to: usize) -> f64 {
+        self.data[from * self.nl + to]
+    }
+}
+
+/// Accumulates the three `μ_klu` terms for user `u`'s stream.
+fn accumulate_stream_flows(
+    problem: &UapProblem,
+    assignment: &Assignment,
+    u: UserId,
+    a_u: AgentId,
+    k_up: f64,
+    flows: &mut FlowMatrix,
+) {
+    let inst = problem.instance();
+    let tasks_u = problem.tasks().of_source(u);
+
+    // T_u: agents transcoding u's stream (ν′_lu = 1).
+    let mut transcoder_agents: Vec<AgentId> = Vec::new();
+    for &t in tasks_u {
+        let a = assignment.agent_of_task(t);
+        if !transcoder_agents.contains(&a) {
+            transcoder_agents.push(a);
+        }
+    }
+
+    // Term 1: raw upstream from u's agent to every transcoding agent.
+    for &l in &transcoder_agents {
+        if l != a_u {
+            flows.add(a_u, l, k_up);
+        }
+    }
+
+    // Term 2: raw upstream to agents hosting un-transcoded destinations
+    // (θ_uv = 0), unless the agent already receives it for transcoding.
+    let mut raw_dest_agents: Vec<AgentId> = Vec::new();
+    for v in inst.participants(u) {
+        if !inst.theta(u, v) {
+            let a_v = assignment.agent_of_user(v);
+            if a_v != a_u
+                && !transcoder_agents.contains(&a_v)
+                && !raw_dest_agents.contains(&a_v)
+            {
+                raw_dest_agents.push(a_v);
+            }
+        }
+    }
+    for &l in &raw_dest_agents {
+        flows.add(a_u, l, k_up);
+    }
+
+    // Term 3: transcoded streams from their transcoder(s) to the agents
+    // hosting destinations that demand them. The paper's (1−λ_lu) factor
+    // skips deliveries back to u's own agent.
+    let mut reps: Vec<ReprId> = Vec::new();
+    for &t in tasks_u {
+        let r = problem.tasks().task(t).target;
+        if !reps.contains(&r) {
+            reps.push(r);
+        }
+    }
+    for r in reps {
+        let k_r = inst.kappa(r);
+        let mut transcoders_r: Vec<AgentId> = Vec::new();
+        let mut dest_agents_r: Vec<AgentId> = Vec::new();
+        for &t in tasks_u {
+            let task = problem.tasks().task(t);
+            if task.target != r {
+                continue;
+            }
+            let ta = assignment.agent_of_task(t);
+            if !transcoders_r.contains(&ta) {
+                transcoders_r.push(ta);
+            }
+            let da = assignment.agent_of_user(task.dst);
+            if da != a_u && !dest_agents_r.contains(&da) {
+                dest_agents_r.push(da);
+            }
+        }
+        for &l in &dest_agents_r {
+            for &k in &transcoders_r {
+                if k != l {
+                    flows.add(k, l, k_r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{three_agent_problem, two_agent_problem};
+    use crate::{Assignment, TaskId};
+    use vc_model::AgentId;
+
+    const A: AgentId = AgentId::new(0);
+    const B: AgentId = AgentId::new(1);
+    const C: AgentId = AgentId::new(2);
+    const S0: SessionId = SessionId::new(0);
+
+    /// Hand-computed reference for the two-agent fixture:
+    /// u0 (720p up, wants 360p of all) on A; u1 (360p up, wants 360p) on B;
+    /// the single task (u0→u1, 360p) on A.
+    #[test]
+    fn two_agent_source_transcoding_numbers() {
+        let p = two_agent_problem();
+        let mut asg = Assignment::all_to_agent(&p, A);
+        asg.set_user(UserId::new(1), B);
+        // Task stays on A (source agent).
+        let load = evaluate_session(&p, &asg, S0);
+
+        // Flows: A→B carries transcoded 360p (1 Mbps); B→A carries u1's raw
+        // 360p for u0 (1 Mbps).
+        assert!((load.ingress[A.index()] - 1.0).abs() < 1e-12);
+        assert!((load.ingress[B.index()] - 1.0).abs() < 1e-12);
+        assert!((load.total_ingress_mbps() - 2.0).abs() < 1e-12);
+
+        // Download: A gets u0's 5 Mbps upstream + 1 Mbps from B = 6.
+        //           B gets u1's 1 Mbps upstream + 1 Mbps from A = 2.
+        assert!((load.download[A.index()] - 6.0).abs() < 1e-12);
+        assert!((load.download[B.index()] - 2.0).abs() < 1e-12);
+
+        // Upload: A pushes 1 Mbps (last-mile to u0) + 1 Mbps egress = 2.
+        //         B pushes 1 Mbps (last-mile to u1) + 1 Mbps egress = 2.
+        assert!((load.upload[A.index()] - 2.0).abs() < 1e-12);
+        assert!((load.upload[B.index()] - 2.0).abs() < 1e-12);
+
+        // One transcoding unit, on A.
+        assert_eq!(load.transcode_units, vec![1, 0]);
+
+        // Delays: u0→u1 via transcoder A: 10 + 5 + 0 + 40 + σ_A(5,1)=22 → 77.
+        //         u1→u0 direct: 5 + 10 + 40 = 55.
+        assert!((load.max_flow_delay - 77.0).abs() < 1e-9);
+        assert!((load.user_delay[0] - 55.0).abs() < 1e-9); // u0 receives
+        assert!((load.user_delay[1] - 77.0).abs() < 1e-9); // u1 receives
+        assert!((load.delay_cost - 66.0).abs() < 1e-9);
+
+        // Linear unit-price costs: traffic 2, transcode 1.
+        assert!((load.traffic_cost - 2.0).abs() < 1e-12);
+        assert!((load.transcode_cost - 1.0).abs() < 1e-12);
+    }
+
+    /// Moving the task to the destination agent ships the raw 5 Mbps
+    /// instead of the transcoded 1 Mbps.
+    #[test]
+    fn destination_transcoding_ships_raw_stream() {
+        let p = two_agent_problem();
+        let mut asg = Assignment::all_to_agent(&p, A);
+        asg.set_user(UserId::new(1), B);
+        asg.set_task(TaskId::new(0), B);
+        let load = evaluate_session(&p, &asg, S0);
+        // A→B: raw 720p (5 Mbps) for transcoding at B; no transcoded
+        // delivery needed (destination is local to B).
+        assert!((load.ingress[B.index()] - 5.0).abs() < 1e-12);
+        assert!((load.ingress[A.index()] - 1.0).abs() < 1e-12);
+        assert_eq!(load.transcode_units, vec![0, 1]);
+        // Delay u0→u1 via B: 10 + 5 + D[B,A]=40 + D[B,B]=0 + σ_B(5,1).
+        // B's speed factor is 2.0 → σ = 44; total 99.
+        assert!((load.max_flow_delay - 99.0).abs() < 1e-9);
+    }
+
+    /// With both users on one agent and the task there too, no inter-agent
+    /// traffic exists at all.
+    #[test]
+    fn colocated_session_has_zero_traffic() {
+        let p = two_agent_problem();
+        let asg = Assignment::all_to_agent(&p, A);
+        let load = evaluate_session(&p, &asg, S0);
+        assert_eq!(load.total_ingress_mbps(), 0.0);
+        assert!((load.download[A.index()] - 6.0).abs() < 1e-12); // 5 + 1 upstreams
+        assert_eq!(load.transcode_units, vec![1, 0]);
+        // Delays: u0→u1: 10 + 25 + 0 + 0 + 22 = 57; u1→u0: 25 + 10 = 35.
+        assert!((load.max_flow_delay - 57.0).abs() < 1e-9);
+    }
+
+    /// Tertiary-agent transcoding: stream relays via the transcoder, and
+    /// both legs of traffic exist.
+    #[test]
+    fn tertiary_transcoding_relays_via_agent() {
+        let p = three_agent_problem();
+        let mut asg = Assignment::all_to_agent(&p, A);
+        asg.set_user(UserId::new(1), B);
+        asg.set_task(TaskId::new(0), C);
+        let load = evaluate_session(&p, &asg, S0);
+        // A→C raw 5 Mbps; C→B transcoded 1 Mbps; B→A raw 1 Mbps (u1's stream).
+        assert!((load.ingress[C.index()] - 5.0).abs() < 1e-12);
+        assert!((load.ingress[B.index()] - 1.0).abs() < 1e-12);
+        assert!((load.ingress[A.index()] - 1.0).abs() < 1e-12);
+        assert_eq!(load.transcode_units, vec![0, 0, 1]);
+        // Delay u0→u1 via C: H[A,u0]=10 + H[B,u1]=5 + D[C,A]=30 + D[C,B]=20 + σ_C(5,1)=22 → 87.
+        assert!((load.max_flow_delay - 87.0).abs() < 1e-9);
+    }
+
+    /// Two destinations demanding the same representation hosted on the
+    /// same agent receive one shared transcoded stream (the max-, not
+    /// sum-, semantics of the paper's μ formula).
+    #[test]
+    fn shared_transcoded_delivery_counted_once() {
+        let p = three_agent_problem_with_two_destinations();
+        let mut asg = Assignment::all_to_agent(&p, A);
+        asg.set_user(UserId::new(1), B);
+        asg.set_user(UserId::new(2), B);
+        // Both tasks (u0→u1, u0→u2, target 360p) transcoded at A.
+        let load = evaluate_session(&p, &asg, S0);
+        // A→B: one transcoded 360p stream, shared: 1 Mbps (not 2).
+        assert!((load.ingress[B.index()] - 1.0).abs() < 1e-12);
+        // B→A: u1's and u2's raw 360p streams for u0: 2 Mbps.
+        assert!((load.ingress[A.index()] - 2.0).abs() < 1e-12);
+        // One transcoding unit at A: same (u0, 360p) pair for both dests.
+        assert_eq!(load.transcode_units, vec![1, 0, 0]);
+    }
+
+    /// u0 produces 720p and demands 360p; u1/u2 produce 360p and demand
+    /// 360p. Tasks: (u0→u1, 360p) and (u0→u2, 360p) only.
+    fn three_agent_problem_with_two_destinations() -> UapProblem {
+        use vc_cost::CostModel;
+        use vc_model::{AgentSpec, InstanceBuilder, ReprLadder};
+        let ladder = ReprLadder::standard_four();
+        let r360 = ladder.by_name("360p").unwrap().id();
+        let r720 = ladder.by_name("720p").unwrap().id();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_agent(AgentSpec::builder("a").build());
+        b.add_agent(AgentSpec::builder("b").build());
+        b.add_agent(AgentSpec::builder("c").build());
+        let s = b.add_session();
+        b.add_user(s, r720, r360); // u0: source of the transcoded flows
+        b.add_user(s, r360, r360); // u1: wants 360p of u0 → task
+        b.add_user(s, r360, r360); // u2: wants 360p of u0 → task
+        b.symmetric_delays(|_, _| 10.0, |_, _| 5.0);
+        UapProblem::new(b.build().unwrap(), CostModel::paper_default())
+    }
+
+    #[test]
+    fn delay_breakdown_components_sum_to_flow_delay() {
+        let p = two_agent_problem();
+        let mut asg = Assignment::all_to_agent(&p, A);
+        asg.set_user(UserId::new(1), B);
+        let bd = flow_delay_breakdown(&p, &asg, UserId::new(0), UserId::new(1));
+        // Transcoded flow via A: last miles 10 + 5, relay 0 + 40, σ 22.
+        assert_eq!(bd.source_last_mile_ms, 10.0);
+        assert_eq!(bd.destination_last_mile_ms, 5.0);
+        assert_eq!(bd.inter_agent_ms, 40.0);
+        assert!((bd.transcode_ms - 22.0).abs() < 1e-9);
+        assert!((bd.total() - flow_delay(&p, &asg, UserId::new(0), UserId::new(1))).abs() < 1e-12);
+        // Raw reverse flow: no transcode component.
+        let raw = flow_delay_breakdown(&p, &asg, UserId::new(1), UserId::new(0));
+        assert_eq!(raw.transcode_ms, 0.0);
+        assert_eq!(raw.inter_agent_ms, 40.0);
+    }
+
+    /// The μ formula's (1−λ_lu) factor: a transcoded stream is not shipped
+    /// back to the source's own agent even if a destination lives there.
+    #[test]
+    fn no_transcoded_delivery_back_to_source_agent() {
+        let p = three_agent_problem_with_two_destinations();
+        let mut asg = Assignment::all_to_agent(&p, A);
+        // u0 and u1 stay on A (a destination co-located with the source);
+        // u2 on B; both tasks transcoded at B.
+        asg.set_user(UserId::new(2), B);
+        asg.set_task(TaskId::new(0), B);
+        asg.set_task(TaskId::new(1), B);
+        let load = evaluate_session(&p, &asg, S0);
+        // Into B: raw 5 Mbps (u0's stream for transcoding at B)
+        //       + 1 Mbps (u1's raw stream for u2) = 6.
+        // Into A: u2's raw stream shared by u0 and u1 = 1 Mbps. The
+        // transcoded 360p of u0 is NOT shipped back to A for u1 — the
+        // (1−λ_lu) factor in the paper's μ definition excludes it.
+        assert!((load.ingress[B.index()] - 6.0).abs() < 1e-12);
+        assert!((load.ingress[A.index()] - 1.0).abs() < 1e-12);
+        // Both tasks share one (u0, 360p) unit at B.
+        assert_eq!(load.transcode_units, vec![0, 1, 0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Single-decision-change neighborhoods.
+//!
+//! Alg. 1 only hops between assignments differing in exactly one decision
+//! variable — one user's agent or one task's agent. This module
+//! enumerates those neighbors and their feasibility, which is also what
+//! the complexity analysis of the paper counts: `O(|U(s)|²·L)` work per
+//! HOP (ours is `O((|U(s)| + |T(s)|) · L)` candidate evaluations, each
+//! re-evaluating one session).
+
+use crate::evaluate::SessionLoad;
+use crate::{Decision, SystemState};
+use vc_model::{AgentId, SessionId};
+
+/// A feasible single-decision move and the session objective it yields.
+#[derive(Debug, Clone)]
+pub struct Move {
+    /// The decision to apply.
+    pub decision: Decision,
+    /// The session's local objective `Φ_s` after the move.
+    pub new_phi: f64,
+    /// The full evaluated load after the move (reusable on commit).
+    pub new_load: SessionLoad,
+}
+
+/// Enumerates all feasible single-decision moves of session `s`: each
+/// user to each other agent, each transcoding task to each other agent.
+/// Moves that would violate constraints (5)–(8) are filtered out.
+pub fn feasible_moves(state: &SystemState, s: SessionId) -> Vec<Move> {
+    let problem = state.problem();
+    let inst = problem.instance();
+    let session = inst.session(s);
+    let nl = inst.num_agents();
+    let mut out = Vec::new();
+
+    let consider = |decision: Decision, out: &mut Vec<Move>| {
+        let (new_load, verdict) = state.candidate(decision);
+        if verdict.is_ok() {
+            out.push(Move {
+                decision,
+                new_phi: new_load.phi,
+                new_load,
+            });
+        }
+    };
+
+    for &u in session.users() {
+        let current = state.assignment().agent_of_user(u);
+        for l in 0..nl {
+            let l = AgentId::from(l);
+            if l != current {
+                consider(Decision::User(u, l), &mut out);
+            }
+        }
+    }
+    for &t in problem.tasks().of_session(s) {
+        let current = state.assignment().agent_of_task(t);
+        for l in 0..nl {
+            let l = AgentId::from(l);
+            if l != current {
+                consider(Decision::Task(t, l), &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates feasible moves across **all active** sessions (used by
+/// centralized baselines; Alg. 1 proper works per session).
+pub fn all_feasible_moves(state: &SystemState) -> Vec<Move> {
+    state
+        .active_sessions()
+        .flat_map(|s| feasible_moves(state, s))
+        .collect()
+}
+
+/// The number of *potential* (not necessarily feasible) neighbors of
+/// session `s`: `(|U(s)| + |T(s)|) · (L − 1)`.
+pub fn neighborhood_size(state: &SystemState, s: SessionId) -> usize {
+    let problem = state.problem();
+    let users = problem.instance().session(s).len();
+    let tasks = problem.tasks().of_session(s).len();
+    (users + tasks) * (problem.instance().num_agents() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{capacity_limited_problem, two_agent_problem};
+    use crate::{Assignment, UapProblem};
+    use std::sync::Arc;
+    use vc_model::AgentId;
+
+    #[test]
+    fn full_neighborhood_when_unconstrained() {
+        let p = Arc::new(two_agent_problem());
+        let asg = Assignment::all_to_agent(&p, AgentId::new(0));
+        let st = SystemState::new(p, asg);
+        let s = SessionId::new(0);
+        let moves = feasible_moves(&st, s);
+        // 2 users + 1 task, each with 1 alternative agent.
+        assert_eq!(moves.len(), 3);
+        assert_eq!(moves.len(), neighborhood_size(&st, s));
+    }
+
+    #[test]
+    fn moves_report_correct_phi() {
+        let p = Arc::new(two_agent_problem());
+        let asg = Assignment::all_to_agent(&p, AgentId::new(0));
+        let st = SystemState::new(p.clone(), asg);
+        for m in feasible_moves(&st, SessionId::new(0)) {
+            let mut probe = st.clone();
+            probe.apply_unchecked(m.decision);
+            assert!(
+                (probe.session_objective(SessionId::new(0)) - m.new_phi).abs() < 1e-9,
+                "phi mismatch for {}",
+                m.decision
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_moves_are_filtered() {
+        let p = Arc::new(capacity_limited_problem());
+        let asg = Assignment::all_to_agent(&p, AgentId::new(0));
+        let st = SystemState::new(p.clone(), asg);
+        for m in all_feasible_moves(&st) {
+            // No feasible move may target agent c's transcoder (0 slots).
+            if let Decision::Task(_, a) = m.decision {
+                assert_ne!(a, AgentId::new(2), "task moved to zero-slot agent");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_bound_prunes_far_agents() {
+        use vc_cost::CostModel;
+        use vc_model::{AgentSpec, InstanceBuilder, ReprLadder};
+        // Agent b is so remote that any flow routed through it exceeds
+        // Dmax = 400 ms: moving either user there must be pruned.
+        let ladder = ReprLadder::standard_four();
+        let r = ladder.lowest();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_agent(AgentSpec::builder("near").build());
+        b.add_agent(AgentSpec::builder("far").build());
+        let s = b.add_session();
+        b.add_user(s, r, r);
+        b.add_user(s, r, r);
+        b.symmetric_delays(|_, _| 150.0, |l, _| if l == 0 { 10.0 } else { 300.0 });
+        let problem = Arc::new(UapProblem::new(
+            b.build().unwrap(),
+            CostModel::paper_default(),
+        ));
+        let asg = Assignment::all_to_agent(&problem, AgentId::new(0));
+        let st = SystemState::new(problem, asg);
+        let moves = feasible_moves(&st, SessionId::new(0));
+        // Candidate "user → far": 300 (last mile) + 150 (inter-agent) +
+        // 10 (other last mile) = 460 > 400 — pruned. Both users: none left.
+        assert!(
+            moves.is_empty(),
+            "far agent should be unreachable: {:?}",
+            moves.iter().map(|m| m.decision).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn relaxing_dmax_unprunes_the_far_agent() {
+        use vc_cost::CostModel;
+        use vc_model::{AgentSpec, InstanceBuilder, ReprLadder};
+        let ladder = ReprLadder::standard_four();
+        let r = ladder.lowest();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_agent(AgentSpec::builder("near").build());
+        b.add_agent(AgentSpec::builder("far").build());
+        let s = b.add_session();
+        b.add_user(s, r, r);
+        b.add_user(s, r, r);
+        b.symmetric_delays(|_, _| 150.0, |l, _| if l == 0 { 10.0 } else { 300.0 });
+        b.d_max_ms(1_000.0);
+        let problem = Arc::new(UapProblem::new(
+            b.build().unwrap(),
+            CostModel::paper_default(),
+        ));
+        let asg = Assignment::all_to_agent(&problem, AgentId::new(0));
+        let st = SystemState::new(problem, asg);
+        assert_eq!(feasible_moves(&st, SessionId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn all_moves_cover_active_sessions_only() {
+        let p = Arc::new(capacity_limited_problem());
+        let asg = Assignment::all_to_agent(&p, AgentId::new(0));
+        let mut st = SystemState::new(p, asg);
+        st.deactivate(SessionId::new(1));
+        for m in all_feasible_moves(&st) {
+            assert_eq!(st.session_of(m.decision), SessionId::new(0));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The optimizable problem: instance + derived task table + cost model.
+
+use crate::TaskTable;
+use serde::{Deserialize, Serialize};
+use vc_cost::CostModel;
+use vc_model::Instance;
+
+/// A complete UAP problem: the conferencing instance, the transcoding
+/// tasks derived from its `θ` matrix, and the cost model defining the
+/// objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UapProblem {
+    instance: Instance,
+    tasks: TaskTable,
+    cost: CostModel,
+}
+
+impl UapProblem {
+    /// Builds the problem from an instance and cost model (derives the
+    /// task table).
+    pub fn new(instance: Instance, cost: CostModel) -> Self {
+        let tasks = TaskTable::build(&instance);
+        Self {
+            instance,
+            tasks,
+            cost,
+        }
+    }
+
+    /// The underlying conferencing instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The transcoding task table.
+    pub fn tasks(&self) -> &TaskTable {
+        &self.tasks
+    }
+
+    /// The cost model (shapes of `F`, `g_l`, `h_l` and the α weights).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Returns a copy with a different cost model (the assignment space is
+    /// unchanged, so derived tables are reused).
+    pub fn with_cost(&self, cost: CostModel) -> Self {
+        Self {
+            instance: self.instance.clone(),
+            tasks: self.tasks.clone(),
+            cost,
+        }
+    }
+
+    /// Dimensions of the decision space: `(users, tasks)`. The number of
+    /// assignments is `L^(U + θ_sum)`, the paper's `O(L^{U+θ_sum})`.
+    pub fn decision_dims(&self) -> (usize, usize) {
+        (self.instance.num_users(), self.tasks.len())
+    }
+
+    /// `log |F|` upper bound used in the optimality-gap expressions
+    /// (Eqs. 10/12): `(U + θ_sum) · log L`.
+    pub fn log_state_space(&self) -> f64 {
+        let (u, t) = self.decision_dims();
+        ((u + t) as f64) * (self.instance.num_agents() as f64).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::small_problem;
+    use vc_cost::ObjectiveWeights;
+
+    #[test]
+    fn derives_task_table() {
+        let p = small_problem();
+        assert_eq!(p.tasks().len(), p.instance().theta_sum());
+    }
+
+    #[test]
+    fn log_state_space_matches_formula() {
+        let p = small_problem();
+        let (u, t) = p.decision_dims();
+        let expected = ((u + t) as f64) * (p.instance().num_agents() as f64).ln();
+        assert!((p.log_state_space() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_cost_changes_only_cost() {
+        let p = small_problem();
+        let q = p.with_cost(CostModel::paper_default().with_weights(ObjectiveWeights::delay_only()));
+        assert_eq!(p.tasks(), q.tasks());
+        assert_eq!(q.cost().weights.alpha_traffic(), 0.0);
+    }
+}

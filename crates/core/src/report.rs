@@ -1,0 +1,279 @@
+//! Operator-facing system report: who uses what, where the budget goes.
+//!
+//! [`SystemReport`] snapshots a [`SystemState`] into per-agent utilization
+//! rows and per-session summaries with delay decompositions — the view a
+//! conferencing provider's dashboard would render. Everything is plain
+//! data; [`std::fmt::Display`] renders an aligned text table.
+
+use crate::evaluate::flow_delay_breakdown;
+use crate::SystemState;
+use std::fmt;
+use vc_model::{AgentId, SessionId};
+
+/// Utilization of one agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentRow {
+    /// The agent.
+    pub agent: AgentId,
+    /// Site name.
+    pub name: String,
+    /// Users subscribed to this agent (active sessions only).
+    pub users: usize,
+    /// Transcoding units in use.
+    pub transcode_units: u32,
+    /// Download load vs capacity (Mbps; capacity may be infinite).
+    pub download_mbps: (f64, f64),
+    /// Upload load vs capacity (Mbps).
+    pub upload_mbps: (f64, f64),
+    /// Whether the agent currently accepts load.
+    pub available: bool,
+}
+
+/// Summary of one active session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRow {
+    /// The session.
+    pub session: SessionId,
+    /// Number of participants.
+    pub users: usize,
+    /// Distinct agents serving the session.
+    pub agents_used: usize,
+    /// Inter-agent traffic (Mbps).
+    pub traffic_mbps: f64,
+    /// Mean per-user worst receive delay (ms).
+    pub mean_delay_ms: f64,
+    /// Worst flow delay (ms) and its decomposition:
+    /// (last-mile, inter-agent, transcode).
+    pub worst_flow_ms: (f64, f64, f64, f64),
+}
+
+/// A complete snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// Per-agent utilization, in agent-id order.
+    pub agents: Vec<AgentRow>,
+    /// Per-active-session summaries, in session-id order.
+    pub sessions: Vec<SessionRow>,
+    /// Global objective `Φ`.
+    pub objective: f64,
+    /// Total inter-agent traffic (Mbps).
+    pub total_traffic_mbps: f64,
+    /// Mean conferencing delay (ms).
+    pub mean_delay_ms: f64,
+}
+
+impl SystemReport {
+    /// Snapshots the state.
+    pub fn capture(state: &SystemState) -> Self {
+        let problem = state.problem();
+        let inst = problem.instance();
+        let totals = state.totals();
+
+        let mut user_counts = vec![0usize; inst.num_agents()];
+        for s in state.active_sessions() {
+            for &u in inst.session(s).users() {
+                user_counts[state.assignment().agent_of_user(u).index()] += 1;
+            }
+        }
+        let agents = inst
+            .agent_ids()
+            .map(|l| {
+                let cap = inst.agent(l).capacity();
+                AgentRow {
+                    agent: l,
+                    name: inst.agent(l).name().to_string(),
+                    users: user_counts[l.index()],
+                    transcode_units: totals.transcode[l.index()],
+                    download_mbps: (totals.download[l.index()], cap.download_mbps),
+                    upload_mbps: (totals.upload[l.index()], cap.upload_mbps),
+                    available: state.is_agent_available(l),
+                }
+            })
+            .collect();
+
+        let sessions = state
+            .active_sessions()
+            .map(|s| {
+                let load = state.session_load(s);
+                let session = inst.session(s);
+                let mut agents_used: Vec<AgentId> = session
+                    .users()
+                    .iter()
+                    .map(|&u| state.assignment().agent_of_user(u))
+                    .collect();
+                agents_used.sort();
+                agents_used.dedup();
+                // Worst flow and its decomposition.
+                let mut worst = (0.0, 0.0, 0.0, 0.0);
+                for (u, v) in session.flows() {
+                    let bd = flow_delay_breakdown(problem, state.assignment(), u, v);
+                    if bd.total() > worst.0 {
+                        worst = (
+                            bd.total(),
+                            bd.source_last_mile_ms + bd.destination_last_mile_ms,
+                            bd.inter_agent_ms,
+                            bd.transcode_ms,
+                        );
+                    }
+                }
+                let mean_delay = if load.user_delay.is_empty() {
+                    0.0
+                } else {
+                    load.user_delay.iter().sum::<f64>() / load.user_delay.len() as f64
+                };
+                SessionRow {
+                    session: s,
+                    users: session.len(),
+                    agents_used: agents_used.len(),
+                    traffic_mbps: load.total_ingress_mbps(),
+                    mean_delay_ms: mean_delay,
+                    worst_flow_ms: worst,
+                }
+            })
+            .collect();
+
+        Self {
+            agents,
+            sessions,
+            objective: state.objective(),
+            total_traffic_mbps: state.total_traffic_mbps(),
+            mean_delay_ms: state.mean_delay_ms(),
+        }
+    }
+
+    /// The most loaded agent by download utilization fraction (None when
+    /// every capacity is infinite or zero-load).
+    pub fn download_hotspot(&self) -> Option<&AgentRow> {
+        self.agents
+            .iter()
+            .filter(|a| a.download_mbps.1.is_finite() && a.download_mbps.1 > 0.0)
+            .max_by(|a, b| {
+                let fa = a.download_mbps.0 / a.download_mbps.1;
+                let fb = b.download_mbps.0 / b.download_mbps.1;
+                fa.partial_cmp(&fb).expect("finite fractions")
+            })
+    }
+}
+
+fn fmt_cap(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.0}")
+    } else {
+        "∞".to_string()
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Φ = {:.1} | inter-agent {:.1} Mbps | mean delay {:.1} ms",
+            self.objective, self.total_traffic_mbps, self.mean_delay_ms
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>6} {:>7} {:>16} {:>16} {:>6}",
+            "agent", "users", "xcodes", "down (used/cap)", "up (used/cap)", "avail"
+        )?;
+        for a in &self.agents {
+            writeln!(
+                f,
+                "{:<16} {:>6} {:>7} {:>8.1}/{:<7} {:>8.1}/{:<7} {:>6}",
+                a.name,
+                a.users,
+                a.transcode_units,
+                a.download_mbps.0,
+                fmt_cap(a.download_mbps.1),
+                a.upload_mbps.0,
+                fmt_cap(a.upload_mbps.1),
+                if a.available { "yes" } else { "DOWN" }
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<10} {:>6} {:>7} {:>12} {:>10} {:>26}",
+            "session", "users", "agents", "traffic Mbps", "delay ms", "worst flow (lm/ia/xc ms)"
+        )?;
+        for s in &self.sessions {
+            writeln!(
+                f,
+                "{:<10} {:>6} {:>7} {:>12.2} {:>10.1} {:>8.0} ({:.0}/{:.0}/{:.0})",
+                s.session.to_string(),
+                s.users,
+                s.agents_used,
+                s.traffic_mbps,
+                s.mean_delay_ms,
+                s.worst_flow_ms.0,
+                s.worst_flow_ms.1,
+                s.worst_flow_ms.2,
+                s.worst_flow_ms.3,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{capacity_limited_problem, two_agent_problem};
+    use crate::{Assignment, Decision};
+    use std::sync::Arc;
+    use vc_model::UserId;
+
+    #[test]
+    fn capture_reflects_state() {
+        let p = Arc::new(two_agent_problem());
+        let mut st = SystemState::new(p.clone(), Assignment::all_to_agent(&p, AgentId::new(0)));
+        st.apply_unchecked(Decision::User(UserId::new(1), AgentId::new(1)));
+        let report = SystemReport::capture(&st);
+        assert_eq!(report.agents.len(), 2);
+        assert_eq!(report.agents[0].users, 1);
+        assert_eq!(report.agents[1].users, 1);
+        assert_eq!(report.sessions.len(), 1);
+        assert_eq!(report.sessions[0].agents_used, 2);
+        assert!((report.total_traffic_mbps - st.total_traffic_mbps()).abs() < 1e-12);
+        // The worst flow is the transcoded one; decomposition sums up.
+        let w = report.sessions[0].worst_flow_ms;
+        assert!((w.0 - (w.1 + w.2 + w.3)).abs() < 1e-9);
+        assert!(w.3 > 0.0, "transcode component expected");
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let p = Arc::new(capacity_limited_problem());
+        let st = SystemState::new(p.clone(), Assignment::all_to_agent(&p, AgentId::new(0)));
+        let text = SystemReport::capture(&st).to_string();
+        for a in p.instance().agents() {
+            assert!(text.contains(a.name()), "missing agent {}", a.name());
+        }
+        assert!(text.contains("s0"));
+        assert!(text.contains("s1"));
+    }
+
+    #[test]
+    fn hotspot_finds_most_utilized_agent() {
+        let p = Arc::new(capacity_limited_problem());
+        let st = SystemState::new(p.clone(), Assignment::all_to_agent(&p, AgentId::new(0)));
+        // Everything on agent 0 → it is the hotspot.
+        let report = SystemReport::capture(&st);
+        assert_eq!(report.download_hotspot().unwrap().agent, AgentId::new(0));
+    }
+
+    #[test]
+    fn unlimited_capacities_have_no_hotspot() {
+        let p = Arc::new(two_agent_problem());
+        let st = SystemState::new(p.clone(), Assignment::all_to_agent(&p, AgentId::new(0)));
+        assert!(SystemReport::capture(&st).download_hotspot().is_none());
+    }
+
+    #[test]
+    fn down_agents_are_flagged() {
+        let p = Arc::new(two_agent_problem());
+        let mut st = SystemState::new(p.clone(), Assignment::all_to_agent(&p, AgentId::new(0)));
+        st.set_agent_available(AgentId::new(1), false);
+        let report = SystemReport::capture(&st);
+        assert!(!report.agents[1].available);
+        assert!(report.to_string().contains("DOWN"));
+    }
+}

@@ -1,0 +1,579 @@
+//! Incrementally-maintained global system state.
+//!
+//! [`SystemState`] caches one [`SessionLoad`] per session plus per-agent
+//! load totals. Because a [`Decision`] touches exactly one session, a
+//! candidate move re-evaluates only that session and checks global
+//! capacities against `totals − old_load + new_load` — the same
+//! information Alg. 1's HOP step fetches as "the updated list of residual
+//! capacities of agents".
+
+use crate::evaluate::{evaluate_session, SessionLoad};
+use crate::{Assignment, Decision, UapProblem, Violation};
+use std::sync::Arc;
+use vc_model::{AgentId, SessionId};
+
+/// Aggregate per-agent loads across all *active* sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentTotals {
+    /// Download load per agent (Mbps), constraint (5) LHS.
+    pub download: Vec<f64>,
+    /// Upload load per agent (Mbps), constraint (6) LHS.
+    pub upload: Vec<f64>,
+    /// Transcoding units per agent, constraint (7) LHS.
+    pub transcode: Vec<u32>,
+}
+
+impl AgentTotals {
+    fn zero(num_agents: usize) -> Self {
+        Self {
+            download: vec![0.0; num_agents],
+            upload: vec![0.0; num_agents],
+            transcode: vec![0; num_agents],
+        }
+    }
+
+    fn add(&mut self, load: &SessionLoad) {
+        for l in 0..self.download.len() {
+            self.download[l] += load.download[l];
+            self.upload[l] += load.upload[l];
+            self.transcode[l] += load.transcode_units[l];
+        }
+    }
+
+    fn remove(&mut self, load: &SessionLoad) {
+        for l in 0..self.download.len() {
+            self.download[l] -= load.download[l];
+            self.upload[l] -= load.upload[l];
+            self.transcode[l] -= load.transcode_units[l];
+        }
+    }
+}
+
+/// The global state of the conferencing system under one assignment:
+/// cached per-session loads, per-agent totals, and the set of active
+/// sessions.
+#[derive(Debug, Clone)]
+pub struct SystemState {
+    problem: Arc<UapProblem>,
+    assignment: Assignment,
+    active: Vec<bool>,
+    loads: Vec<SessionLoad>,
+    totals: AgentTotals,
+    /// Per-agent availability: failed or drained agents accept no new
+    /// users/tasks and are reported as violations while still loaded.
+    available: Vec<bool>,
+}
+
+/// Numerical slack for capacity comparisons, guarding against float drift
+/// in the incrementally-maintained totals.
+const CAPACITY_EPS: f64 = 1e-6;
+
+impl SystemState {
+    /// Creates a state with **all** sessions active.
+    pub fn new(problem: Arc<UapProblem>, assignment: Assignment) -> Self {
+        let n = problem.instance().num_sessions();
+        Self::with_active(problem, assignment, vec![true; n])
+    }
+
+    /// Creates a state with an explicit active-session mask (dynamic
+    /// scenarios start some sessions later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` differs from the session count.
+    pub fn with_active(problem: Arc<UapProblem>, assignment: Assignment, active: Vec<bool>) -> Self {
+        assert_eq!(
+            active.len(),
+            problem.instance().num_sessions(),
+            "active mask must cover all sessions"
+        );
+        let nl = problem.instance().num_agents();
+        let mut loads = Vec::with_capacity(active.len());
+        let mut totals = AgentTotals::zero(nl);
+        for s in problem.instance().session_ids() {
+            if active[s.index()] {
+                let load = evaluate_session(&problem, &assignment, s);
+                totals.add(&load);
+                loads.push(load);
+            } else {
+                loads.push(SessionLoad::empty(nl));
+            }
+        }
+        let available = vec![true; nl];
+        Self {
+            problem,
+            assignment,
+            active,
+            loads,
+            totals,
+            available,
+        }
+    }
+
+    /// Marks an agent available/unavailable (failure injection or
+    /// drain-for-maintenance). Unavailable agents reject all new moves;
+    /// load still assigned there is reported by [`violations`](Self::violations).
+    pub fn set_agent_available(&mut self, l: AgentId, available: bool) {
+        self.available[l.index()] = available;
+    }
+
+    /// Whether agent `l` currently accepts load.
+    pub fn is_agent_available(&self, l: AgentId) -> bool {
+        self.available[l.index()]
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Arc<UapProblem> {
+        &self.problem
+    }
+
+    /// The current assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Whether session `s` is active.
+    pub fn is_active(&self, s: SessionId) -> bool {
+        self.active[s.index()]
+    }
+
+    /// Ids of the currently active sessions.
+    pub fn active_sessions(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.problem
+            .instance()
+            .session_ids()
+            .filter(move |s| self.active[s.index()])
+    }
+
+    /// Cached load of session `s` (zeroed if inactive).
+    pub fn session_load(&self, s: SessionId) -> &SessionLoad {
+        &self.loads[s.index()]
+    }
+
+    /// Per-agent load totals over active sessions.
+    pub fn totals(&self) -> &AgentTotals {
+        &self.totals
+    }
+
+    /// Global objective `Φ = Σ_s Φ_s` over active sessions.
+    pub fn objective(&self) -> f64 {
+        self.active_sessions()
+            .map(|s| self.loads[s.index()].phi)
+            .sum()
+    }
+
+    /// Local objective `Φ_s` of one session.
+    pub fn session_objective(&self, s: SessionId) -> f64 {
+        self.loads[s.index()].phi
+    }
+
+    /// Total inter-agent traffic in Mbps (the paper's headline cost metric).
+    pub fn total_traffic_mbps(&self) -> f64 {
+        self.active_sessions()
+            .map(|s| self.loads[s.index()].total_ingress_mbps())
+            .sum()
+    }
+
+    /// Average conferencing delay over all active users (the paper's
+    /// headline experience metric): mean of `d_u`.
+    pub fn mean_delay_ms(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in self.active_sessions() {
+            for d in &self.loads[s.index()].user_delay {
+                sum += d;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// All constraint violations of the current state.
+    pub fn violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let inst = self.problem.instance();
+        for l in inst.agent_ids() {
+            let cap = inst.agent(l).capacity();
+            let dl = self.totals.download[l.index()];
+            if dl > cap.download_mbps + CAPACITY_EPS {
+                out.push(Violation::Download {
+                    agent: l,
+                    load_mbps: dl,
+                    capacity_mbps: cap.download_mbps,
+                });
+            }
+            let ul = self.totals.upload[l.index()];
+            if ul > cap.upload_mbps + CAPACITY_EPS {
+                out.push(Violation::Upload {
+                    agent: l,
+                    load_mbps: ul,
+                    capacity_mbps: cap.upload_mbps,
+                });
+            }
+            let tl = self.totals.transcode[l.index()];
+            if tl > cap.transcode_slots {
+                out.push(Violation::Transcode {
+                    agent: l,
+                    units: tl,
+                    capacity: cap.transcode_slots,
+                });
+            }
+        }
+        for s in self.active_sessions() {
+            let load = &self.loads[s.index()];
+            if load.max_flow_delay > inst.d_max_ms() + CAPACITY_EPS {
+                out.push(Violation::Delay {
+                    session: s,
+                    delay_ms: load.max_flow_delay,
+                    bound_ms: inst.d_max_ms(),
+                });
+            }
+        }
+        // Unavailable agents still carrying users or tasks.
+        for l in inst.agent_ids() {
+            if self.available[l.index()] {
+                continue;
+            }
+            let hosts_load = self.active_sessions().any(|s| {
+                inst.session(s)
+                    .users()
+                    .iter()
+                    .any(|&u| self.assignment.agent_of_user(u) == l)
+                    || self
+                        .problem
+                        .tasks()
+                        .of_session(s)
+                        .iter()
+                        .any(|&t| self.assignment.agent_of_task(t) == l)
+            });
+            if hosts_load {
+                out.push(Violation::Unavailable { agent: l });
+            }
+        }
+        out
+    }
+
+    /// Whether the current state satisfies constraints (5)–(8).
+    pub fn is_feasible(&self) -> bool {
+        self.violations().is_empty()
+    }
+
+    /// The session a decision belongs to.
+    pub fn session_of(&self, decision: Decision) -> SessionId {
+        match decision {
+            Decision::User(u, _) => self.problem.instance().user(u).session(),
+            Decision::Task(t, _) => {
+                let task = self.problem.tasks().task(t);
+                self.problem.instance().user(task.src).session()
+            }
+        }
+    }
+
+    /// Evaluates a candidate decision without committing: returns the new
+    /// session load and the first violation it would introduce, if any.
+    ///
+    /// Feasibility is judged *globally*: capacities are checked against
+    /// `totals − old + new`; the delay bound against the new session load.
+    pub fn candidate(&self, decision: Decision) -> (SessionLoad, Result<(), Violation>) {
+        let s = self.session_of(decision);
+        let target = match decision {
+            Decision::User(_, a) | Decision::Task(_, a) => a,
+        };
+        let mut asg = self.assignment.clone();
+        asg.apply(decision);
+        let new_load = evaluate_session(&self.problem, &asg, s);
+        let verdict = if !self.available[target.index()] {
+            Err(Violation::Unavailable { agent: target })
+        } else if self.active[s.index()] {
+            self.check_swap(s, &new_load)
+        } else {
+            Ok(())
+        };
+        (new_load, verdict)
+    }
+
+    /// Checks whether replacing `s`'s load with `new_load` keeps the
+    /// system feasible.
+    fn check_swap(&self, s: SessionId, new_load: &SessionLoad) -> Result<(), Violation> {
+        let inst = self.problem.instance();
+        let old = &self.loads[s.index()];
+        for l in inst.agent_ids() {
+            let i = l.index();
+            let cap = inst.agent(l).capacity();
+            let dl = self.totals.download[i] - old.download[i] + new_load.download[i];
+            if dl > cap.download_mbps + CAPACITY_EPS {
+                return Err(Violation::Download {
+                    agent: l,
+                    load_mbps: dl,
+                    capacity_mbps: cap.download_mbps,
+                });
+            }
+            let ul = self.totals.upload[i] - old.upload[i] + new_load.upload[i];
+            if ul > cap.upload_mbps + CAPACITY_EPS {
+                return Err(Violation::Upload {
+                    agent: l,
+                    load_mbps: ul,
+                    capacity_mbps: cap.upload_mbps,
+                });
+            }
+            let tl = self.totals.transcode[i] - old.transcode_units[i] + new_load.transcode_units[i];
+            if tl > cap.transcode_slots {
+                return Err(Violation::Transcode {
+                    agent: l,
+                    units: tl,
+                    capacity: cap.transcode_slots,
+                });
+            }
+        }
+        if new_load.max_flow_delay > inst.d_max_ms() + CAPACITY_EPS {
+            return Err(Violation::Delay {
+                session: s,
+                delay_ms: new_load.max_flow_delay,
+                bound_ms: inst.d_max_ms(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies a decision if it keeps the system feasible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation the move would introduce; the state is
+    /// unchanged on error.
+    pub fn try_apply(&mut self, decision: Decision) -> Result<(), Violation> {
+        let (new_load, verdict) = self.candidate(decision);
+        verdict?;
+        self.commit(decision, new_load);
+        Ok(())
+    }
+
+    /// Applies a decision unconditionally (the state may become
+    /// infeasible; `violations()` will report it).
+    pub fn apply_unchecked(&mut self, decision: Decision) {
+        let (new_load, _) = self.candidate(decision);
+        self.commit(decision, new_load);
+    }
+
+    fn commit(&mut self, decision: Decision, new_load: SessionLoad) {
+        let s = self.session_of(decision);
+        self.assignment.apply(decision);
+        if self.active[s.index()] {
+            self.totals.remove(&self.loads[s.index()]);
+            self.totals.add(&new_load);
+        }
+        self.loads[s.index()] = new_load;
+    }
+
+    /// Activates session `s` (a session arrival), adding its load under
+    /// the current assignment.
+    pub fn activate(&mut self, s: SessionId) {
+        if self.active[s.index()] {
+            return;
+        }
+        let load = evaluate_session(&self.problem, &self.assignment, s);
+        self.totals.add(&load);
+        self.loads[s.index()] = load;
+        self.active[s.index()] = true;
+    }
+
+    /// Deactivates session `s` (a session departure), releasing its
+    /// resources.
+    pub fn deactivate(&mut self, s: SessionId) {
+        if !self.active[s.index()] {
+            return;
+        }
+        self.totals.remove(&self.loads[s.index()]);
+        self.loads[s.index()] = SessionLoad::empty(self.problem.instance().num_agents());
+        self.active[s.index()] = false;
+    }
+
+    /// Replaces the assignment of one session wholesale (bootstrap /
+    /// repair), re-evaluating it. Other sessions are untouched.
+    pub fn reassign_session(
+        &mut self,
+        s: SessionId,
+        user_agents: &[(vc_model::UserId, AgentId)],
+        task_agents: &[(crate::TaskId, AgentId)],
+    ) {
+        for &(u, a) in user_agents {
+            debug_assert_eq!(self.problem.instance().user(u).session(), s);
+            self.assignment.set_user(u, a);
+        }
+        for &(t, a) in task_agents {
+            self.assignment.set_task(t, a);
+        }
+        let new_load = evaluate_session(&self.problem, &self.assignment, s);
+        if self.active[s.index()] {
+            self.totals.remove(&self.loads[s.index()]);
+            self.totals.add(&new_load);
+        }
+        self.loads[s.index()] = new_load;
+    }
+
+    /// Rebuilds all cached loads and totals from scratch, squashing any
+    /// accumulated floating-point drift. Returns the largest absolute
+    /// total-load correction applied (useful for drift monitoring).
+    /// Agent availability is preserved.
+    pub fn rebuild(&mut self) -> f64 {
+        let mut fresh = SystemState::with_active(
+            self.problem.clone(),
+            self.assignment.clone(),
+            self.active.clone(),
+        );
+        fresh.available = self.available.clone();
+        let mut drift: f64 = 0.0;
+        for l in 0..self.totals.download.len() {
+            drift = drift.max((self.totals.download[l] - fresh.totals.download[l]).abs());
+            drift = drift.max((self.totals.upload[l] - fresh.totals.upload[l]).abs());
+        }
+        self.loads = fresh.loads;
+        self.totals = fresh.totals;
+        drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{capacity_limited_problem, two_agent_problem};
+    use crate::TaskId;
+    use vc_model::UserId;
+
+    const A: AgentId = AgentId::new(0);
+    const B: AgentId = AgentId::new(1);
+
+    fn state() -> SystemState {
+        let p = Arc::new(two_agent_problem());
+        let asg = Assignment::all_to_agent(&p, A);
+        SystemState::new(p, asg)
+    }
+
+    #[test]
+    fn objective_matches_session_sum() {
+        let st = state();
+        let s = SessionId::new(0);
+        assert!((st.objective() - st.session_objective(s)).abs() < 1e-12);
+        assert!(st.objective() > 0.0);
+    }
+
+    #[test]
+    fn apply_updates_incrementally_and_consistently() {
+        let mut st = state();
+        st.apply_unchecked(Decision::User(UserId::new(1), B));
+        st.apply_unchecked(Decision::Task(TaskId::new(0), B));
+        let incremental = (
+            st.objective(),
+            st.total_traffic_mbps(),
+            st.totals().clone(),
+        );
+        let drift = st.rebuild();
+        assert!(drift < 1e-9, "drift {drift}");
+        assert!((st.objective() - incremental.0).abs() < 1e-9);
+        assert!((st.total_traffic_mbps() - incremental.1).abs() < 1e-9);
+        assert_eq!(st.totals(), &incremental.2);
+    }
+
+    #[test]
+    fn try_apply_rejects_capacity_violation() {
+        let p = Arc::new(capacity_limited_problem());
+        let asg = Assignment::all_to_agent(&p, A);
+        let mut st = SystemState::new(p, asg);
+        // Agent c has zero transcoding slots: moving any task there must fail.
+        let err = st.try_apply(Decision::Task(TaskId::new(0), AgentId::new(2)));
+        assert!(matches!(err, Err(Violation::Transcode { .. })));
+        // State unchanged.
+        assert_eq!(st.assignment().agent_of_task(TaskId::new(0)), A);
+    }
+
+    #[test]
+    fn deactivate_releases_resources() {
+        let mut st = state();
+        let s = SessionId::new(0);
+        let before = st.totals().download[A.index()];
+        assert!(before > 0.0);
+        st.deactivate(s);
+        assert_eq!(st.totals().download[A.index()], 0.0);
+        assert_eq!(st.objective(), 0.0);
+        assert_eq!(st.mean_delay_ms(), 0.0);
+        st.activate(s);
+        assert!((st.totals().download[A.index()] - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activate_is_idempotent() {
+        let mut st = state();
+        let s = SessionId::new(0);
+        let obj = st.objective();
+        st.activate(s);
+        st.activate(s);
+        assert!((st.objective() - obj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_delay_averages_users() {
+        let mut st = state();
+        st.apply_unchecked(Decision::User(UserId::new(1), B));
+        let load = st.session_load(SessionId::new(0));
+        let expected = (load.user_delay[0] + load.user_delay[1]) / 2.0;
+        assert!((st.mean_delay_ms() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_does_not_mutate() {
+        let st = state();
+        let before = st.assignment().clone();
+        let (_, verdict) = st.candidate(Decision::User(UserId::new(0), B));
+        assert!(verdict.is_ok());
+        assert_eq!(st.assignment(), &before);
+    }
+
+    #[test]
+    fn unlimited_capacity_state_is_feasible() {
+        let st = state();
+        assert!(st.is_feasible(), "violations: {:?}", st.violations());
+    }
+
+    #[test]
+    fn unavailable_agents_reject_moves_and_report_load() {
+        let mut st = state();
+        st.set_agent_available(B, false);
+        let err = st.try_apply(Decision::User(UserId::new(0), B));
+        assert!(matches!(err, Err(Violation::Unavailable { agent }) if agent == B));
+        // Nothing on B yet: no violation reported.
+        assert!(st.is_feasible());
+        // Force a user onto B, then mark B down: the violation appears.
+        st.set_agent_available(B, true);
+        st.try_apply(Decision::User(UserId::new(0), B)).unwrap();
+        st.set_agent_available(B, false);
+        assert!(st
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::Unavailable { agent } if *agent == B)));
+        // Moving the user back to A repairs it.
+        st.try_apply(Decision::User(UserId::new(0), A)).unwrap();
+        // The task may still sit on A; B carries nothing.
+        assert!(st.is_feasible(), "violations: {:?}", st.violations());
+        // Rebuild preserves availability.
+        st.rebuild();
+        assert!(!st.is_agent_available(B));
+    }
+
+    #[test]
+    fn reassign_session_wholesale() {
+        let mut st = state();
+        st.reassign_session(
+            SessionId::new(0),
+            &[(UserId::new(0), B), (UserId::new(1), B)],
+            &[(TaskId::new(0), B)],
+        );
+        assert_eq!(st.assignment().agent_of_user(UserId::new(0)), B);
+        assert_eq!(st.total_traffic_mbps(), 0.0); // everyone co-located on B
+        let drift = st.rebuild();
+        assert!(drift < 1e-9);
+    }
+}

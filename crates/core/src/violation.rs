@@ -1,0 +1,124 @@
+//! Constraint violations: which of (5)–(8) an assignment breaks, and where.
+
+use std::fmt;
+use vc_model::{AgentId, SessionId};
+
+/// A violated UAP constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Violation {
+    /// Constraint (5): an agent's download capacity is exceeded.
+    Download {
+        /// The overloaded agent.
+        agent: AgentId,
+        /// Offered load in Mbps.
+        load_mbps: f64,
+        /// Capacity `d_l` in Mbps.
+        capacity_mbps: f64,
+    },
+    /// Constraint (6): an agent's upload capacity is exceeded.
+    Upload {
+        /// The overloaded agent.
+        agent: AgentId,
+        /// Offered load in Mbps.
+        load_mbps: f64,
+        /// Capacity `u_l` in Mbps.
+        capacity_mbps: f64,
+    },
+    /// Constraint (7): an agent's transcoding capacity is exceeded.
+    Transcode {
+        /// The overloaded agent.
+        agent: AgentId,
+        /// Occupied transcoding units.
+        units: u32,
+        /// Capacity `t_l` in units.
+        capacity: u32,
+    },
+    /// Constraint (8): a session contains a flow exceeding `Dmax`.
+    Delay {
+        /// The violating session.
+        session: SessionId,
+        /// Worst flow delay in the session, ms.
+        delay_ms: f64,
+        /// The bound `Dmax` in ms.
+        bound_ms: f64,
+    },
+    /// An agent marked unavailable (failed / drained) still carries users
+    /// or transcoding tasks.
+    Unavailable {
+        /// The unavailable agent.
+        agent: AgentId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Download {
+                agent,
+                load_mbps,
+                capacity_mbps,
+            } => write!(
+                f,
+                "download capacity exceeded at {agent}: {load_mbps:.2} > {capacity_mbps:.2} Mbps"
+            ),
+            Violation::Upload {
+                agent,
+                load_mbps,
+                capacity_mbps,
+            } => write!(
+                f,
+                "upload capacity exceeded at {agent}: {load_mbps:.2} > {capacity_mbps:.2} Mbps"
+            ),
+            Violation::Transcode {
+                agent,
+                units,
+                capacity,
+            } => write!(
+                f,
+                "transcoding capacity exceeded at {agent}: {units} > {capacity} units"
+            ),
+            Violation::Delay {
+                session,
+                delay_ms,
+                bound_ms,
+            } => write!(
+                f,
+                "delay bound exceeded in {session}: {delay_ms:.1} > {bound_ms:.1} ms"
+            ),
+            Violation::Unavailable { agent } => {
+                write!(f, "unavailable agent {agent} still carries load")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_constraint() {
+        let v = Violation::Download {
+            agent: AgentId::new(2),
+            load_mbps: 120.5,
+            capacity_mbps: 100.0,
+        };
+        let s = v.to_string();
+        assert!(s.contains("download"));
+        assert!(s.contains("a2"));
+        let v = Violation::Delay {
+            session: SessionId::new(1),
+            delay_ms: 450.0,
+            bound_ms: 400.0,
+        };
+        assert!(v.to_string().contains("s1"));
+    }
+
+    #[test]
+    fn violation_is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<Violation>();
+    }
+}

@@ -1,0 +1,220 @@
+//! Explicit solution-space graphs: states, energies, adjacency.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Errors building a [`StateGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Energy and adjacency lengths disagree, or the graph is empty.
+    Shape(String),
+    /// An adjacency entry points outside the state set or to itself.
+    BadEdge {
+        /// Source state index.
+        from: usize,
+        /// Offending neighbor index.
+        to: usize,
+    },
+    /// The adjacency relation is not symmetric.
+    Asymmetric {
+        /// Edge present from this state…
+        from: usize,
+        /// …to this one, but not back.
+        to: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Shape(msg) => write!(f, "malformed state graph: {msg}"),
+            GraphError::BadEdge { from, to } => {
+                write!(f, "invalid edge {from} → {to}")
+            }
+            GraphError::Asymmetric { from, to } => {
+                write!(f, "adjacency not symmetric: {from} → {to} has no reverse")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An enumerated solution space `F` with energies `Φ_f` and a symmetric
+/// neighbor relation (the single-decision-change links of the paper's
+/// Markov chain, Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateGraph {
+    energies: Vec<f64>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl StateGraph {
+    /// Builds and validates a state graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if shapes disagree, edges point out of
+    /// range or to themselves, or adjacency is asymmetric.
+    pub fn new(energies: Vec<f64>, adjacency: Vec<Vec<usize>>) -> Result<Self, GraphError> {
+        if energies.is_empty() {
+            return Err(GraphError::Shape("no states".into()));
+        }
+        if energies.len() != adjacency.len() {
+            return Err(GraphError::Shape(format!(
+                "{} energies but {} adjacency rows",
+                energies.len(),
+                adjacency.len()
+            )));
+        }
+        if energies.iter().any(|e| !e.is_finite()) {
+            return Err(GraphError::Shape("energies must be finite".into()));
+        }
+        let n = energies.len();
+        for (i, nbrs) in adjacency.iter().enumerate() {
+            for &j in nbrs {
+                if j >= n || j == i {
+                    return Err(GraphError::BadEdge { from: i, to: j });
+                }
+                if !adjacency[j].contains(&i) {
+                    return Err(GraphError::Asymmetric { from: i, to: j });
+                }
+            }
+        }
+        Ok(Self {
+            energies,
+            adjacency,
+        })
+    }
+
+    /// A complete graph over the given energies (every pair adjacent) —
+    /// handy in tests and for tiny spaces.
+    pub fn complete(energies: Vec<f64>) -> Self {
+        let n = energies.len();
+        let adjacency = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        Self::new(energies, adjacency).expect("complete graph is valid")
+    }
+
+    /// Number of states `|F|`.
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Whether the graph has no states (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// `Φ_f` of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn energy(&self, i: usize) -> f64 {
+        self.energies[i]
+    }
+
+    /// All energies.
+    pub fn energies(&self) -> &[f64] {
+        &self.energies
+    }
+
+    /// Neighbors of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// Index and energy of a minimum-energy state.
+    pub fn min_energy(&self) -> (usize, f64) {
+        let mut best = 0;
+        for i in 1..self.energies.len() {
+            if self.energies[i] < self.energies[best] {
+                best = i;
+            }
+        }
+        (best, self.energies[best])
+    }
+
+    /// Whether every state can reach every other (irreducibility of the
+    /// induced chain — the paper's first sufficient condition).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.adjacency[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    queue.push_back(j);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_is_connected_and_symmetric() {
+        let g = StateGraph::complete(vec![1.0, 2.0, 3.0]);
+        assert_eq!(g.len(), 3);
+        assert!(g.is_connected());
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.min_energy(), (0, 1.0));
+    }
+
+    #[test]
+    fn rejects_asymmetric_adjacency() {
+        let err = StateGraph::new(vec![0.0, 1.0], vec![vec![1], vec![]]);
+        assert_eq!(err, Err(GraphError::Asymmetric { from: 0, to: 1 }));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_range() {
+        assert!(matches!(
+            StateGraph::new(vec![0.0], vec![vec![0]]),
+            Err(GraphError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            StateGraph::new(vec![0.0, 1.0], vec![vec![5], vec![]]),
+            Err(GraphError::BadEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(StateGraph::new(vec![], vec![]).is_err());
+        assert!(StateGraph::new(vec![f64::NAN], vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn detects_disconnected_graph() {
+        // Two components: {0,1} and {2,3}.
+        let g = StateGraph::new(
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![vec![1], vec![0], vec![3], vec![2]],
+        )
+        .unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn min_energy_breaks_ties_to_first() {
+        let g = StateGraph::complete(vec![2.0, 1.0, 1.0]);
+        assert_eq!(g.min_energy(), (1, 1.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Convergence diagnostics: total variation distance and mixing time.
+
+use crate::Ctmc;
+
+/// Total variation distance `½·Σ|p_i − q_i|` between two distributions.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Empirical distribution of a sample of state indices.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains an index `≥ num_states`.
+pub fn empirical_distribution(samples: &[usize], num_states: usize) -> Vec<f64> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut counts = vec![0.0; num_states];
+    for &s in samples {
+        assert!(s < num_states, "sample {s} out of range");
+        counts[s] += 1.0;
+    }
+    let n = samples.len() as f64;
+    counts.iter().map(|c| c / n).collect()
+}
+
+/// Step budget for the uniformized transient analysis; stiff chains (huge
+/// rate spread) exceeding it return `None` rather than stalling.
+const MAX_UNIFORMIZED_STEPS: usize = 2_000_000;
+
+/// Estimates the mixing time of the chain: the earliest time `t` (on a
+/// geometric grid) at which the *worst-case-start* distribution of
+/// `X_t` is within `eps` total variation of the stationary law.
+///
+/// Uses uniformized transient analysis: `p(t) = p(0)·exp(Qt)` approximated
+/// by repeated multiplication with `P = I + Q/Λ` over `Λ·t` steps. Returns
+/// `None` when the chain has not mixed by `t_max` or the analysis exceeds
+/// its internal step budget (very stiff chains).
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `(0, 1)`.
+pub fn mixing_time_estimate(ctmc: &Ctmc, eps: f64, t_max: f64) -> Option<f64> {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    let n = ctmc.graph().len();
+    let target = ctmc.stationary_exact();
+    let q = ctmc.generator();
+    let lambda = q
+        .iter()
+        .enumerate()
+        .map(|(i, row)| -row[i])
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-12)
+        * 1.01;
+
+    // Transient distributions from every start state, advanced jointly.
+    let mut dists: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut d = vec![0.0; n];
+            d[i] = 1.0;
+            d
+        })
+        .collect();
+
+    let step = 1.0 / lambda;
+    let mut t = 0.0;
+    let mut next_check = step.max(t_max / 1024.0);
+    let mut scratch = vec![0.0; n];
+    let mut steps = 0usize;
+    while t <= t_max {
+        steps += 1;
+        if steps > MAX_UNIFORMIZED_STEPS {
+            return None;
+        }
+        // One uniformized step for each start distribution.
+        for d in &mut dists {
+            scratch.copy_from_slice(d);
+            for i in 0..n {
+                for &j in ctmc.graph().neighbors(i) {
+                    let p_ij = q[i][j] / lambda;
+                    scratch[j] += d[i] * p_ij;
+                    scratch[i] -= d[i] * p_ij;
+                }
+            }
+            d.copy_from_slice(&scratch);
+        }
+        t += step;
+        if t >= next_check {
+            let worst = dists
+                .iter()
+                .map(|d| total_variation(d, &target))
+                .fold(0.0f64, f64::max);
+            if worst <= eps {
+                return Some(t);
+            }
+            next_check += step.max(t_max / 1024.0);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateGraph;
+
+    #[test]
+    fn tv_basic_properties() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        // Symmetry.
+        assert_eq!(total_variation(&p, &q), total_variation(&q, &p));
+    }
+
+    #[test]
+    fn empirical_distribution_counts() {
+        let d = empirical_distribution(&[0, 1, 1, 2], 4);
+        assert_eq!(d, vec![0.25, 0.5, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn mixing_time_decreases_with_connectivity() {
+        // Complete graph mixes faster than a ring over the same energies.
+        let energies = vec![1.0, 2.0, 1.5, 2.5, 1.2, 2.2];
+        let ring_adj: Vec<Vec<usize>> = (0..6).map(|i| vec![(i + 5) % 6, (i + 1) % 6]).collect();
+        let ring = Ctmc::new(StateGraph::new(energies.clone(), ring_adj).unwrap(), 1.0, 1.0);
+        let complete = Ctmc::new(StateGraph::complete(energies), 1.0, 1.0);
+        let t_ring = mixing_time_estimate(&ring, 0.05, 500.0).expect("ring mixes");
+        let t_complete = mixing_time_estimate(&complete, 0.05, 500.0).expect("complete mixes");
+        assert!(
+            t_complete <= t_ring,
+            "complete {t_complete} vs ring {t_ring}"
+        );
+    }
+
+    #[test]
+    fn mixing_time_grows_with_beta() {
+        // Higher β → deeper wells → slower mixing (the paper's remark
+        // after Theorem 1).
+        let energies = vec![0.0, 2.0, 0.1, 2.0];
+        let adj: Vec<Vec<usize>> = (0..4).map(|i| vec![(i + 3) % 4, (i + 1) % 4]).collect();
+        let cold = Ctmc::new(StateGraph::new(energies.clone(), adj.clone()).unwrap(), 0.5, 1.0);
+        let hot = Ctmc::new(StateGraph::new(energies, adj).unwrap(), 4.0, 1.0);
+        let t_cold = mixing_time_estimate(&cold, 0.05, 2_000.0).expect("cold mixes");
+        let t_hot = mixing_time_estimate(&hot, 0.05, 2_000.0).expect("hot mixes");
+        assert!(t_cold < t_hot, "beta 0.5 {t_cold} vs beta 4 {t_hot}");
+    }
+
+    #[test]
+    fn mixing_time_none_when_horizon_too_short() {
+        // Moderate rates, but a horizon far below the relaxation time.
+        let energies = vec![0.0, 1.0, 0.0, 1.0];
+        let adj: Vec<Vec<usize>> = (0..4).map(|i| vec![(i + 3) % 4, (i + 1) % 4]).collect();
+        let c = Ctmc::new(StateGraph::new(energies, adj).unwrap(), 2.0, 1.0);
+        assert_eq!(mixing_time_estimate(&c, 0.001, 0.01), None);
+    }
+}

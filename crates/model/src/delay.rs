@@ -1,0 +1,308 @@
+//! Delay matrices: inter-agent (`D`, `L×L`) and agent-to-user (`H`, `L×U`).
+//!
+//! The paper assumes the provider "obtains agent-to-user and inter-agent
+//! delays through active measurements"; here they are plain matrices of
+//! one-way propagation delays in milliseconds, produced either by the
+//! synthetic geography model in `vc-net` or hand-entered measurement data
+//! (e.g. the Fig. 2 scenario).
+
+use crate::{AgentId, ModelError, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `rows×cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ModelError> {
+        if data.len() != rows * cols {
+            return Err(ModelError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix by tabulating `f(row, col)`.
+    pub fn tabulate(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of one row.
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Minimum over all entries (NaN-free input assumed).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum over all entries (NaN-free input assumed).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Whether all entries are finite and non-negative.
+    pub fn is_nonnegative(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+/// The pair of delay matrices the optimizer consumes.
+///
+/// `inter_agent` is `D = [D_lk]` (`L×L`, one-way ms, zero diagonal);
+/// `agent_user` is `H = [H_lu]` (`L×U`, one-way ms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayMatrices {
+    inter_agent: Matrix,
+    agent_user: Matrix,
+}
+
+impl DelayMatrices {
+    /// Creates and validates the matrix pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDelays`] if `D` is not square with a zero
+    /// diagonal, if the row counts disagree, or if any entry is negative or
+    /// non-finite.
+    pub fn new(inter_agent: Matrix, agent_user: Matrix) -> Result<Self, ModelError> {
+        if inter_agent.rows() != inter_agent.cols() {
+            return Err(ModelError::InvalidDelays(format!(
+                "inter-agent matrix must be square, got {}×{}",
+                inter_agent.rows(),
+                inter_agent.cols()
+            )));
+        }
+        if inter_agent.rows() != agent_user.rows() {
+            return Err(ModelError::InvalidDelays(format!(
+                "matrix agent counts disagree: D has {}, H has {}",
+                inter_agent.rows(),
+                agent_user.rows()
+            )));
+        }
+        if !inter_agent.is_nonnegative() || !agent_user.is_nonnegative() {
+            return Err(ModelError::InvalidDelays(
+                "delays must be finite and non-negative".into(),
+            ));
+        }
+        for l in 0..inter_agent.rows() {
+            if inter_agent.at(l, l) != 0.0 {
+                return Err(ModelError::InvalidDelays(format!(
+                    "inter-agent diagonal must be zero, D[{l}][{l}] = {}",
+                    inter_agent.at(l, l)
+                )));
+            }
+        }
+        Ok(Self {
+            inter_agent,
+            agent_user,
+        })
+    }
+
+    /// Number of agents `L` covered by the matrices.
+    pub fn num_agents(&self) -> usize {
+        self.inter_agent.rows()
+    }
+
+    /// Number of users `U` covered by the matrices.
+    pub fn num_users(&self) -> usize {
+        self.agent_user.cols()
+    }
+
+    /// `D_lk`: one-way delay between agents `l` and `k` in ms.
+    #[inline]
+    pub fn inter_agent_ms(&self, l: AgentId, k: AgentId) -> f64 {
+        self.inter_agent.at(l.index(), k.index())
+    }
+
+    /// `H_lu`: one-way delay between agent `l` and user `u` in ms.
+    #[inline]
+    pub fn agent_user_ms(&self, l: AgentId, u: UserId) -> f64 {
+        self.agent_user.at(l.index(), u.index())
+    }
+
+    /// The raw inter-agent matrix `D`.
+    pub fn inter_agent(&self) -> &Matrix {
+        &self.inter_agent
+    }
+
+    /// The raw agent-to-user matrix `H`.
+    pub fn agent_user(&self) -> &Matrix {
+        &self.agent_user
+    }
+
+    /// Agents sorted by proximity to user `u` (nearest first), the primitive
+    /// behind both the Nrst baseline and AgRank's potential-agent lists.
+    pub fn agents_by_proximity(&self, u: UserId) -> Vec<AgentId> {
+        let mut agents: Vec<AgentId> = (0..self.num_agents()).map(AgentId::from).collect();
+        agents.sort_by(|a, b| {
+            self.agent_user_ms(*a, u)
+                .partial_cmp(&self.agent_user_ms(*b, u))
+                .expect("delays are non-NaN")
+                .then(a.cmp(b))
+        });
+        agents
+    }
+
+    /// The nearest agent to user `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no agents.
+    pub fn nearest_agent(&self, u: UserId) -> AgentId {
+        self.agents_by_proximity(u)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> DelayMatrices {
+        // D: 2 agents; H: 2 agents × 3 users.
+        let d = Matrix::from_rows(2, 2, vec![0.0, 50.0, 50.0, 0.0]).unwrap();
+        let h = Matrix::from_rows(2, 3, vec![10.0, 20.0, 30.0, 25.0, 15.0, 5.0]).unwrap();
+        DelayMatrices::new(d, h).unwrap()
+    }
+
+    #[test]
+    fn matrix_indexing_round_trips() {
+        let mut m = Matrix::filled(2, 3, 0.0);
+        m.set(1, 2, 7.5);
+        assert_eq!(m.at(1, 2), 7.5);
+        assert_eq!(m.at(0, 0), 0.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.5]);
+        assert_eq!(m.min(), 0.0);
+        assert_eq!(m.max(), 7.5);
+    }
+
+    #[test]
+    fn from_rows_checks_dimensions() {
+        assert!(Matrix::from_rows(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_rows(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn tabulate_fills_by_function() {
+        let m = Matrix::tabulate(3, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.at(2, 1), 21.0);
+    }
+
+    #[test]
+    fn delay_matrices_accessors() {
+        let d = simple();
+        assert_eq!(d.num_agents(), 2);
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.inter_agent_ms(AgentId::new(0), AgentId::new(1)), 50.0);
+        assert_eq!(d.agent_user_ms(AgentId::new(1), UserId::new(2)), 5.0);
+    }
+
+    #[test]
+    fn rejects_nonzero_diagonal() {
+        let d = Matrix::from_rows(2, 2, vec![1.0, 50.0, 50.0, 0.0]).unwrap();
+        let h = Matrix::filled(2, 1, 0.0);
+        assert!(matches!(
+            DelayMatrices::new(d, h),
+            Err(ModelError::InvalidDelays(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_delay() {
+        let d = Matrix::from_rows(2, 2, vec![0.0, -3.0, 50.0, 0.0]).unwrap();
+        let h = Matrix::filled(2, 1, 0.0);
+        assert!(DelayMatrices::new(d, h).is_err());
+    }
+
+    #[test]
+    fn rejects_disagreeing_agent_counts() {
+        let d = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let h = Matrix::filled(3, 1, 0.0);
+        assert!(DelayMatrices::new(d, h).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square_inter_agent() {
+        let d = Matrix::filled(2, 3, 0.0);
+        let h = Matrix::filled(2, 1, 0.0);
+        assert!(DelayMatrices::new(d, h).is_err());
+    }
+
+    #[test]
+    fn proximity_ordering() {
+        let d = simple();
+        // User 2: agent 1 is at 5 ms, agent 0 at 30 ms.
+        assert_eq!(
+            d.agents_by_proximity(UserId::new(2)),
+            vec![AgentId::new(1), AgentId::new(0)]
+        );
+        assert_eq!(d.nearest_agent(UserId::new(0)), AgentId::new(0));
+    }
+
+    #[test]
+    fn proximity_tie_breaks_by_id() {
+        let d = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let h = Matrix::from_rows(2, 1, vec![10.0, 10.0]).unwrap();
+        let dm = DelayMatrices::new(d, h).unwrap();
+        assert_eq!(dm.nearest_agent(UserId::new(0)), AgentId::new(0));
+    }
+}

@@ -1,0 +1,521 @@
+//! Complete problem instances and their builder.
+//!
+//! An [`Instance`] bundles everything Sec. II of the paper defines:
+//! sessions and users (with their representation demands), agents, delay
+//! matrices, the transcoding-latency model and the delay bound `Dmax`.
+//! Instances are immutable once built; session arrival/departure dynamics
+//! are expressed by *activating* subsets of sessions in `vc-core`'s
+//! system state rather than by mutating the instance.
+
+use crate::{
+    AgentId, AgentSpec, Capacity, DelayMatrices, DownstreamDemand, Matrix, ModelError, ReprId,
+    ReprLadder, SessionId, SessionSpec, TranscodeLatencyModel, UserId, UserSpec,
+    DEFAULT_D_MAX_MS,
+};
+use serde::{Deserialize, Serialize};
+
+/// A complete, validated conferencing problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    ladder: ReprLadder,
+    agents: Vec<AgentSpec>,
+    users: Vec<UserSpec>,
+    sessions: Vec<SessionSpec>,
+    delays: DelayMatrices,
+    transcode_latency: TranscodeLatencyModel,
+    d_max_ms: f64,
+}
+
+impl Instance {
+    /// The representation ladder `R`.
+    pub fn ladder(&self) -> &ReprLadder {
+        &self.ladder
+    }
+
+    /// Number of agents `L`.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Number of users `U`.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of sessions `S`.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// All agents.
+    pub fn agents(&self) -> &[AgentSpec] {
+        &self.agents
+    }
+
+    /// All users.
+    pub fn users(&self) -> &[UserSpec] {
+        &self.users
+    }
+
+    /// All sessions.
+    pub fn sessions(&self) -> &[SessionSpec] {
+        &self.sessions
+    }
+
+    /// Agent lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn agent(&self, l: AgentId) -> &AgentSpec {
+        &self.agents[l.index()]
+    }
+
+    /// User lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn user(&self, u: UserId) -> &UserSpec {
+        &self.users[u.index()]
+    }
+
+    /// Session lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn session(&self, s: SessionId) -> &SessionSpec {
+        &self.sessions[s.index()]
+    }
+
+    /// Iterator over all agent ids.
+    pub fn agent_ids(&self) -> impl Iterator<Item = AgentId> {
+        (0..self.agents.len()).map(AgentId::from)
+    }
+
+    /// Iterator over all user ids.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> {
+        (0..self.users.len()).map(UserId::from)
+    }
+
+    /// Iterator over all session ids.
+    pub fn session_ids(&self) -> impl Iterator<Item = SessionId> {
+        (0..self.sessions.len()).map(SessionId::from)
+    }
+
+    /// The delay matrices `D` and `H`.
+    pub fn delays(&self) -> &DelayMatrices {
+        &self.delays
+    }
+
+    /// The transcoding-latency model shared by all agents.
+    pub fn transcode_latency(&self) -> &TranscodeLatencyModel {
+        &self.transcode_latency
+    }
+
+    /// `Dmax`: maximum acceptable end-to-end delay in ms (constraint (8)).
+    pub fn d_max_ms(&self) -> f64 {
+        self.d_max_ms
+    }
+
+    /// `κ(r)`: bitrate of representation `r` in Mbit/s.
+    #[inline]
+    pub fn kappa(&self, r: ReprId) -> f64 {
+        self.ladder.kappa(r)
+    }
+
+    /// `σ_l(r1, r2)`: transcoding latency at agent `l` from representation
+    /// `r1` to `r2`, in ms.
+    #[inline]
+    pub fn sigma_ms(&self, l: AgentId, r1: ReprId, r2: ReprId) -> f64 {
+        self.transcode_latency.latency_ms(
+            self.agent(l).speed_factor(),
+            self.kappa(r1),
+            self.kappa(r2),
+        )
+    }
+
+    /// `θ_{uv}`: 1 iff `u` and `v` share a session and `v` demands a
+    /// representation of `u`'s stream different from `u`'s upstream.
+    pub fn theta(&self, u: UserId, v: UserId) -> bool {
+        let uu = self.user(u);
+        let vv = self.user(v);
+        u != v && uu.session() == vv.session() && vv.downstream_from(u) != uu.upstream()
+    }
+
+    /// `θ_sum`: total number of (u, v) pairs requiring transcoding.
+    pub fn theta_sum(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| s.flows())
+            .filter(|&(u, v)| self.theta(u, v))
+            .count()
+    }
+
+    /// `P(u)`: other participants of `u`'s session.
+    pub fn participants(&self, u: UserId) -> impl Iterator<Item = UserId> + '_ {
+        self.session(self.user(u).session()).participants_except(u)
+    }
+
+    /// `H_lu` shortcut.
+    #[inline]
+    pub fn h_ms(&self, l: AgentId, u: UserId) -> f64 {
+        self.delays.agent_user_ms(l, u)
+    }
+
+    /// `D_lk` shortcut.
+    #[inline]
+    pub fn d_ms(&self, l: AgentId, k: AgentId) -> f64 {
+        self.delays.inter_agent_ms(l, k)
+    }
+
+    /// Returns a copy of this instance with every agent's capacity replaced.
+    /// Used by the Fig. 9 capacity sweeps.
+    pub fn with_uniform_capacity(&self, capacity: Capacity) -> Instance {
+        let mut clone = self.clone();
+        for a in &mut clone.agents {
+            *a = AgentSpec::builder(a.name())
+                .capacity(capacity)
+                .speed_factor(a.speed_factor())
+                .price_per_mbps(a.price_per_mbps())
+                .price_per_task(a.price_per_task())
+                .build();
+        }
+        clone
+    }
+
+    /// Returns a copy with a different delay bound `Dmax`.
+    pub fn with_d_max_ms(&self, d_max_ms: f64) -> Instance {
+        let mut clone = self.clone();
+        clone.d_max_ms = d_max_ms;
+        clone
+    }
+}
+
+/// Incremental builder for [`Instance`].
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    ladder: ReprLadder,
+    agents: Vec<AgentSpec>,
+    users: Vec<UserSpec>,
+    sessions: Vec<SessionSpec>,
+    delays: Option<DelayMatrices>,
+    transcode_latency: TranscodeLatencyModel,
+    d_max_ms: f64,
+}
+
+impl InstanceBuilder {
+    /// Starts a builder over the given representation ladder.
+    pub fn new(ladder: ReprLadder) -> Self {
+        Self {
+            ladder,
+            agents: Vec::new(),
+            users: Vec::new(),
+            sessions: Vec::new(),
+            delays: None,
+            transcode_latency: TranscodeLatencyModel::paper_default(),
+            d_max_ms: DEFAULT_D_MAX_MS,
+        }
+    }
+
+    /// Adds an agent, returning its id.
+    pub fn add_agent(&mut self, spec: AgentSpec) -> AgentId {
+        let id = AgentId::from(self.agents.len());
+        self.agents.push(spec);
+        id
+    }
+
+    /// Adds an empty session, returning its id. Users join via
+    /// [`add_user`](Self::add_user).
+    pub fn add_session(&mut self) -> SessionId {
+        let id = SessionId::from(self.sessions.len());
+        self.sessions.push(SessionSpec::new(id, Vec::new()));
+        id
+    }
+
+    /// Adds a user to `session` producing `upstream` and demanding
+    /// `downstream` of everyone; returns the user id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` has not been added.
+    pub fn add_user(&mut self, session: SessionId, upstream: ReprId, downstream: ReprId) -> UserId {
+        self.add_user_with_demand(session, upstream, DownstreamDemand::uniform(downstream))
+    }
+
+    /// Adds a user with a fully customized downstream demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` has not been added.
+    pub fn add_user_with_demand(
+        &mut self,
+        session: SessionId,
+        upstream: ReprId,
+        downstream: DownstreamDemand,
+    ) -> UserId {
+        assert!(
+            session.index() < self.sessions.len(),
+            "session {session} not added to the builder"
+        );
+        let id = UserId::from(self.users.len());
+        self.users
+            .push(UserSpec::new(id, session, upstream, downstream));
+        self.sessions[session.index()].push_user(id);
+        id
+    }
+
+    /// Records the geographic site index of the most recently added user.
+    pub fn set_user_site(&mut self, u: UserId, site: usize) {
+        let spec = self.users[u.index()].clone().with_site_index(site);
+        self.users[u.index()] = spec;
+    }
+
+    /// Sets explicit delay matrices.
+    pub fn delays(&mut self, delays: DelayMatrices) -> &mut Self {
+        self.delays = Some(delays);
+        self
+    }
+
+    /// Tabulates delay matrices from closures over indices:
+    /// `inter(l, k)` (must be symmetric in spirit; diagonal forced to 0)
+    /// and `user(l, u)`.
+    pub fn symmetric_delays(
+        &mut self,
+        mut inter: impl FnMut(usize, usize) -> f64,
+        user: impl FnMut(usize, usize) -> f64,
+    ) -> &mut Self {
+        let nl = self.agents.len();
+        let nu = self.users.len();
+        let d = Matrix::tabulate(nl, nl, |l, k| if l == k { 0.0 } else { inter(l, k) });
+        let h = Matrix::tabulate(nl, nu, user);
+        self.delays = Some(DelayMatrices::new(d, h).expect("tabulated delays are valid"));
+        self
+    }
+
+    /// Overrides the transcoding latency model.
+    pub fn transcode_latency(&mut self, model: TranscodeLatencyModel) -> &mut Self {
+        self.transcode_latency = model;
+        self
+    }
+
+    /// Overrides `Dmax` (default: 400 ms per ITU-T G.114).
+    pub fn d_max_ms(&mut self, v: f64) -> &mut Self {
+        self.d_max_ms = v;
+        self
+    }
+
+    /// Validates and builds the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if delays are missing or mis-dimensioned, any
+    /// session is empty, there are no agents/users, any referenced
+    /// representation is outside the ladder, or `Dmax` is not positive.
+    pub fn build(self) -> Result<Instance, ModelError> {
+        if self.agents.is_empty() {
+            return Err(ModelError::Inconsistent("no agents".into()));
+        }
+        if self.users.is_empty() {
+            return Err(ModelError::Inconsistent("no users".into()));
+        }
+        for s in &self.sessions {
+            if s.is_empty() {
+                return Err(ModelError::Inconsistent(format!("session {} is empty", s.id())));
+            }
+        }
+        for u in &self.users {
+            if self.ladder.get(u.upstream()).is_none() {
+                return Err(ModelError::UnknownId(format!(
+                    "user {} upstream representation {}",
+                    u.id(),
+                    u.upstream()
+                )));
+            }
+            if self.ladder.get(u.downstream().default_repr()).is_none() {
+                return Err(ModelError::UnknownId(format!(
+                    "user {} downstream representation {}",
+                    u.id(),
+                    u.downstream().default_repr()
+                )));
+            }
+            for (&src, &r) in u.downstream().overrides() {
+                if src.index() >= self.users.len() {
+                    return Err(ModelError::UnknownId(format!(
+                        "user {} downstream override references unknown user {src}",
+                        u.id()
+                    )));
+                }
+                if self.ladder.get(r).is_none() {
+                    return Err(ModelError::UnknownId(format!(
+                        "user {} downstream override representation {r}",
+                        u.id()
+                    )));
+                }
+            }
+        }
+        let delays = self
+            .delays
+            .ok_or_else(|| ModelError::Inconsistent("delay matrices not set".into()))?;
+        if delays.num_agents() != self.agents.len() {
+            return Err(ModelError::Inconsistent(format!(
+                "delay matrices cover {} agents but instance has {}",
+                delays.num_agents(),
+                self.agents.len()
+            )));
+        }
+        if delays.num_users() != self.users.len() {
+            return Err(ModelError::Inconsistent(format!(
+                "delay matrices cover {} users but instance has {}",
+                delays.num_users(),
+                self.users.len()
+            )));
+        }
+        if !(self.d_max_ms > 0.0) {
+            return Err(ModelError::Inconsistent(format!(
+                "Dmax must be positive, got {}",
+                self.d_max_ms
+            )));
+        }
+        Ok(Instance {
+            ladder: self.ladder,
+            agents: self.agents,
+            users: self.users,
+            sessions: self.sessions,
+            delays,
+            transcode_latency: self.transcode_latency,
+            d_max_ms: self.d_max_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_user_instance() -> Instance {
+        let ladder = ReprLadder::standard_four();
+        let r360 = ladder.by_name("360p").unwrap().id();
+        let r720 = ladder.by_name("720p").unwrap().id();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_agent(AgentSpec::builder("a").speed_factor(1.2).build());
+        b.add_agent(AgentSpec::builder("b").speed_factor(2.4).build());
+        let s = b.add_session();
+        b.add_user(s, r720, r360); // u0 produces 720p, wants 360p of others
+        b.add_user(s, r360, r360); // u1 produces 360p, wants 360p of others
+        b.symmetric_delays(|_, _| 40.0, |l, u| 10.0 * (l + u + 1) as f64);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn theta_detects_transcoding_needs() {
+        let inst = two_user_instance();
+        let (u0, u1) = (UserId::new(0), UserId::new(1));
+        // Flow u0 -> u1: u0 produces 720p, u1 wants 360p => transcode.
+        assert!(inst.theta(u0, u1));
+        // Flow u1 -> u0: u1 produces 360p, u0 wants 360p => no transcode.
+        assert!(!inst.theta(u1, u0));
+        // Self-flow never transcodes.
+        assert!(!inst.theta(u0, u0));
+        assert_eq!(inst.theta_sum(), 1);
+    }
+
+    #[test]
+    fn sigma_scales_with_speed_factor() {
+        let inst = two_user_instance();
+        let r720 = inst.ladder().by_name("720p").unwrap().id();
+        let r360 = inst.ladder().by_name("360p").unwrap().id();
+        let fast = inst.sigma_ms(AgentId::new(0), r720, r360);
+        let slow = inst.sigma_ms(AgentId::new(1), r720, r360);
+        assert!(slow > fast);
+        assert!((slow / fast - 2.0).abs() < 1e-9); // speed factors 1.2 vs 2.4
+    }
+
+    #[test]
+    fn participants_excludes_self() {
+        let inst = two_user_instance();
+        let others: Vec<_> = inst.participants(UserId::new(0)).collect();
+        assert_eq!(others, vec![UserId::new(1)]);
+    }
+
+    #[test]
+    fn build_rejects_empty_session() {
+        let ladder = ReprLadder::standard_four();
+        let mut b = InstanceBuilder::new(ladder.clone());
+        b.add_agent(AgentSpec::builder("a").build());
+        let _empty = b.add_session();
+        let s = b.add_session();
+        b.add_user(s, ladder.lowest(), ladder.lowest());
+        b.symmetric_delays(|_, _| 1.0, |_, _| 1.0);
+        assert!(matches!(b.build(), Err(ModelError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn build_rejects_missing_delays() {
+        let ladder = ReprLadder::standard_four();
+        let mut b = InstanceBuilder::new(ladder.clone());
+        b.add_agent(AgentSpec::builder("a").build());
+        let s = b.add_session();
+        b.add_user(s, ladder.lowest(), ladder.lowest());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn build_rejects_wrong_delay_dimensions() {
+        let ladder = ReprLadder::standard_four();
+        let mut b = InstanceBuilder::new(ladder.clone());
+        b.add_agent(AgentSpec::builder("a").build());
+        let s = b.add_session();
+        b.add_user(s, ladder.lowest(), ladder.lowest());
+        b.add_user(s, ladder.lowest(), ladder.lowest());
+        // Only one user column.
+        let d = Matrix::filled(1, 1, 0.0);
+        let h = Matrix::filled(1, 1, 5.0);
+        b.delays(DelayMatrices::new(d, h).unwrap());
+        assert!(matches!(b.build(), Err(ModelError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn build_rejects_nonpositive_dmax() {
+        let ladder = ReprLadder::standard_four();
+        let r = ladder.lowest();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_agent(AgentSpec::builder("a").build());
+        let s = b.add_session();
+        b.add_user(s, r, r);
+        b.symmetric_delays(|_, _| 1.0, |_, _| 1.0);
+        b.d_max_ms(0.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn with_uniform_capacity_replaces_all() {
+        let inst = two_user_instance();
+        let capped = inst.with_uniform_capacity(Capacity::new(100.0, 200.0, 3));
+        for a in capped.agents() {
+            assert_eq!(a.capacity().upload_mbps, 100.0);
+            assert_eq!(a.capacity().download_mbps, 200.0);
+            assert_eq!(a.capacity().transcode_slots, 3);
+        }
+        // Speed factors preserved.
+        assert_eq!(capped.agent(AgentId::new(1)).speed_factor(), 2.4);
+    }
+
+    #[test]
+    fn with_d_max_overrides_bound() {
+        let inst = two_user_instance().with_d_max_ms(250.0);
+        assert_eq!(inst.d_max_ms(), 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not added")]
+    fn add_user_to_unknown_session_panics() {
+        let ladder = ReprLadder::standard_four();
+        let r = ladder.lowest();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_user(SessionId::new(0), r, r);
+    }
+}

@@ -1,0 +1,176 @@
+//! The motivating scenario of Fig. 2, with the paper's measured latencies.
+//!
+//! Four users on PlanetLab nodes — 1 \[CA\], 2 \[BR\], 3 \[JP\], 4 \[HK\] —
+//! and four EC2 agents: Oregon (OR), Tokyo (TO), Singapore (SG) and
+//! São Paulo (SP). The paper prints the measured one-way edge latencies
+//! 45, 67, 117, 81, 181, 150 ms between agents and the user edges
+//! 27 ms (HK→TO) and 20 ms (HK→SG), and argues:
+//!
+//! * the *nearest* policy sends user 4 to SG (20 < 27 ms), but TO is the
+//!   better agent — `27 + 67` beats `20 + 117` toward user 1, and user 3
+//!   is already on TO so inter-agent traffic shrinks;
+//! * yet SG is *computationally* stronger, so a transcoding task on
+//!   user 4's stream may still belong on SG.
+//!
+//! The inter-agent values the text pins down are `TO–OR = 67` and
+//! `SG–OR = 117`; the remaining four printed values are assigned to the
+//! remaining edges by geographic plausibility: `TO–SG = 45`,
+//! `OR–SP = 81`, `TO–SP = 150`, `SG–SP = 181`.
+
+use vc_model::{
+    AgentId, AgentSpec, DelayMatrices, DownstreamDemand, Instance, InstanceBuilder, Matrix,
+    ReprLadder, UserId,
+};
+
+/// Oregon agent.
+pub const OR: AgentId = AgentId::new(0);
+/// Tokyo agent.
+pub const TO: AgentId = AgentId::new(1);
+/// Singapore agent.
+pub const SG: AgentId = AgentId::new(2);
+/// São Paulo agent.
+pub const SP: AgentId = AgentId::new(3);
+
+/// User 1, a PlanetLab node in California.
+pub const USER_CA: UserId = UserId::new(0);
+/// User 2, a PlanetLab node in Brazil.
+pub const USER_BR: UserId = UserId::new(1);
+/// User 3, a PlanetLab node in Japan.
+pub const USER_JP: UserId = UserId::new(2);
+/// User 4, a PlanetLab node in Hong Kong.
+pub const USER_HK: UserId = UserId::new(3);
+
+/// One-way inter-agent delays (ms), rows/cols ordered OR, TO, SG, SP.
+pub fn inter_agent_delays() -> Matrix {
+    Matrix::from_rows(
+        4,
+        4,
+        vec![
+            0.0, 67.0, 117.0, 81.0, //
+            67.0, 0.0, 45.0, 150.0, //
+            117.0, 45.0, 0.0, 181.0, //
+            81.0, 150.0, 181.0, 0.0,
+        ],
+    )
+    .expect("4×4 matrix")
+}
+
+/// One-way agent-to-user delays (ms), rows OR, TO, SG, SP × users CA, BR, JP, HK.
+/// The HK column's 27 (TO) and 20 (SG) are the values printed in the figure;
+/// the rest are filled in consistently with the geography.
+pub fn agent_user_delays() -> Matrix {
+    Matrix::from_rows(
+        4,
+        4,
+        vec![
+            15.0, 95.0, 60.0, 80.0, //
+            55.0, 140.0, 8.0, 27.0, //
+            90.0, 190.0, 40.0, 20.0, //
+            95.0, 25.0, 160.0, 170.0,
+        ],
+    )
+    .expect("4×4 matrix")
+}
+
+/// Builds the Fig. 2 scenario as a complete [`Instance`].
+///
+/// One session of four users; everyone produces and demands 720p, except
+/// user 1 \[CA\], who demands 480p of user 4's stream — yielding exactly one
+/// transcoding task (on user 4's upstream), matching the figure's story
+/// about choosing a transcoding agent for user 4.
+///
+/// The Singapore agent is the computationally strongest (speed factor
+/// 1.2); Tokyo is the weakest (2.0), as the "larger diamonds" in the
+/// figure indicate.
+pub fn instance() -> Instance {
+    let ladder = ReprLadder::standard_four();
+    let r480 = ladder.by_name("480p").expect("ladder has 480p").id();
+    let r720 = ladder.by_name("720p").expect("ladder has 720p").id();
+
+    let mut b = InstanceBuilder::new(ladder);
+    b.add_agent(AgentSpec::builder("ec2-oregon").speed_factor(1.6).build());
+    b.add_agent(AgentSpec::builder("ec2-tokyo").speed_factor(2.0).build());
+    b.add_agent(AgentSpec::builder("ec2-singapore").speed_factor(1.2).build());
+    b.add_agent(AgentSpec::builder("ec2-sao-paulo").speed_factor(1.4).build());
+
+    let s = b.add_session();
+    // User 1 [CA] wants 480p of user 4 [HK]'s 720p stream: one transcode task.
+    b.add_user_with_demand(
+        s,
+        r720,
+        DownstreamDemand::uniform(r720).with_override(USER_HK, r480),
+    );
+    b.add_user(s, r720, r720); // user 2 [BR]
+    b.add_user(s, r720, r720); // user 3 [JP]
+    b.add_user(s, r720, r720); // user 4 [HK]
+
+    b.delays(
+        DelayMatrices::new(inter_agent_delays(), agent_user_delays())
+            .expect("fig2 matrices are valid"),
+    );
+    b.build().expect("fig2 instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_agent_for_user4_is_singapore() {
+        let inst = instance();
+        assert_eq!(inst.delays().nearest_agent(USER_HK), SG);
+        // And the figure's printed values survive round-tripping.
+        assert_eq!(inst.h_ms(TO, USER_HK), 27.0);
+        assert_eq!(inst.h_ms(SG, USER_HK), 20.0);
+        assert_eq!(inst.d_ms(TO, OR), 67.0);
+        assert_eq!(inst.d_ms(SG, OR), 117.0);
+    }
+
+    #[test]
+    fn paper_delay_argument_holds() {
+        // Delay of flow user4 -> user1 via TO is at least 27 + 67,
+        // via SG at least 20 + 117 (the paper's inequality).
+        let inst = instance();
+        let via_to = inst.h_ms(TO, USER_HK) + inst.d_ms(TO, OR);
+        let via_sg = inst.h_ms(SG, USER_HK) + inst.d_ms(SG, OR);
+        assert!(via_to < via_sg, "{via_to} !< {via_sg}");
+    }
+
+    #[test]
+    fn exactly_one_transcoding_task() {
+        let inst = instance();
+        assert_eq!(inst.theta_sum(), 1);
+        assert!(inst.theta(USER_HK, USER_CA));
+        assert!(!inst.theta(USER_CA, USER_HK));
+    }
+
+    #[test]
+    fn singapore_transcodes_fastest() {
+        let inst = instance();
+        let ladder = inst.ladder();
+        let r720 = ladder.by_name("720p").unwrap().id();
+        let r480 = ladder.by_name("480p").unwrap().id();
+        let sg = inst.sigma_ms(SG, r720, r480);
+        for a in [OR, TO, SP] {
+            assert!(sg < inst.sigma_ms(a, r720, r480));
+        }
+    }
+
+    #[test]
+    fn matrices_are_symmetric() {
+        let d = inter_agent_delays();
+        for l in 0..4 {
+            for k in 0..4 {
+                assert_eq!(d.at(l, k), d.at(k, l));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_agents_match_geography() {
+        let inst = instance();
+        assert_eq!(inst.delays().nearest_agent(USER_CA), OR);
+        assert_eq!(inst.delays().nearest_agent(USER_BR), SP);
+        assert_eq!(inst.delays().nearest_agent(USER_JP), TO);
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-threaded Alg. 1 runtime: one thread per session, real locks.
+//!
+//! The paper deploys Alg. 1 *distributed*: each session's initiator
+//! agent runs its own WAIT/HOP loop, and a FREEZE/UNFREEZE message
+//! exchange guarantees that migrations are serialized ("the FREEZE
+//! message is passed as an intra-message within the cloud agents that
+//! operate in synchronized manner"). This module realizes that
+//! deployment shape on threads: every session loops over an exponential
+//! countdown (scaled to wall time) and a HOP under a global freeze lock
+//! on the shared system state — demonstrating that hops need no global
+//! coordination beyond the freeze, exactly as the paper argues.
+
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vc_algo::markov::{Alg1Config, Alg1Engine, HopOutcome};
+use vc_core::SystemState;
+use vc_model::SessionId;
+
+/// Configuration of the threaded runtime.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Alg. 1 parameters (β, mean countdown in *simulated* seconds, noise).
+    pub alg1: Alg1Config,
+    /// Wall-clock milliseconds per simulated second (e.g. 1.0 compresses
+    /// the prototype's 10 s countdowns to 10 ms).
+    pub ms_per_sim_second: f64,
+    /// Wall-clock run duration.
+    pub wall_duration: Duration,
+    /// Seed from which per-session RNGs are derived.
+    pub seed: u64,
+}
+
+/// A hop observed by the threaded runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelHop {
+    /// Wall-clock time since start.
+    pub at: Duration,
+    /// The hopping session.
+    pub session: SessionId,
+    /// What the hop did.
+    pub outcome: HopOutcome,
+}
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ParallelReport {
+    /// The final (still feasible) system state.
+    pub final_state: SystemState,
+    /// All hops in wall-clock order.
+    pub hops: Vec<ParallelHop>,
+}
+
+/// Runs one thread per active session until the wall deadline.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+pub fn run_parallel(state: SystemState, config: &ParallelConfig) -> ParallelReport {
+    let sessions: Vec<SessionId> = state.active_sessions().collect();
+    let shared = Arc::new(Mutex::new(state));
+    let hops = Arc::new(Mutex::new(Vec::<ParallelHop>::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let engine = Arc::new(Alg1Engine::new(config.alg1.clone()));
+
+    std::thread::scope(|scope| {
+        for (i, &session) in sessions.iter().enumerate() {
+            let shared = shared.clone();
+            let hops = hops.clone();
+            let stop = stop.clone();
+            let engine = engine.clone();
+            let ms_per_s = config.ms_per_sim_second;
+            let seed = config.seed.wrapping_add(i as u64);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                while !stop.load(Ordering::Relaxed) {
+                    // WAIT: exponential countdown in scaled wall time.
+                    let sim_wait = engine.next_countdown(&mut rng);
+                    let wall_ms = sim_wait * ms_per_s;
+                    // Sleep in small slices so the stop flag is honored.
+                    let mut remaining = wall_ms;
+                    while remaining > 0.0 && !stop.load(Ordering::Relaxed) {
+                        let slice = remaining.min(5.0);
+                        std::thread::sleep(Duration::from_micros((slice * 1000.0) as u64));
+                        remaining -= slice;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // HOP under the global FREEZE lock.
+                    let outcome = {
+                        let mut guard = shared.lock();
+                        engine.hop(&mut guard, session, &mut rng)
+                    };
+                    hops.lock().push(ParallelHop {
+                        at: started.elapsed(),
+                        session,
+                        outcome,
+                    });
+                }
+            });
+        }
+        std::thread::sleep(config.wall_duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let final_state = Arc::try_unwrap(shared)
+        .expect("all workers joined")
+        .into_inner();
+    let mut hops = Arc::try_unwrap(hops).expect("all workers joined").into_inner();
+    hops.sort_by_key(|h| h.at);
+    ParallelReport { final_state, hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use vc_algo::nearest::nearest_assignment;
+    use vc_core::UapProblem;
+    use vc_cost::CostModel;
+    use vc_model::{AgentSpec, InstanceBuilder, ReprLadder};
+
+    fn state() -> SystemState {
+        let ladder = ReprLadder::standard_four();
+        let r360 = ladder.by_name("360p").unwrap().id();
+        let r720 = ladder.by_name("720p").unwrap().id();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_agent(AgentSpec::builder("a").build());
+        b.add_agent(AgentSpec::builder("b").build());
+        b.add_agent(AgentSpec::builder("c").build());
+        for _ in 0..4 {
+            let s = b.add_session();
+            b.add_user(s, r720, r360);
+            b.add_user(s, r360, r360);
+            b.add_user(s, r720, r720);
+        }
+        b.symmetric_delays(
+            |l, k| 20.0 + 15.0 * ((l as f64) - (k as f64)).abs(),
+            |l, u| 8.0 + 7.0 * ((l + u) % 3) as f64,
+        );
+        let p = StdArc::new(UapProblem::new(b.build().unwrap(), CostModel::paper_default()));
+        SystemState::new(p.clone(), nearest_assignment(&p))
+    }
+
+    #[test]
+    fn threaded_sessions_hop_concurrently_and_stay_consistent() {
+        let initial = state();
+        let before = initial.objective();
+        let config = ParallelConfig {
+            alg1: Alg1Config {
+                beta: 1000.0,
+                mean_countdown_s: 5.0,
+                noise: None,
+            },
+            ms_per_sim_second: 1.0, // 5 s countdown → 5 ms wall
+            wall_duration: Duration::from_millis(400),
+            seed: 3,
+        };
+        let report = run_parallel(initial, &config);
+        assert!(
+            report.hops.len() >= 20,
+            "expected many hops, got {}",
+            report.hops.len()
+        );
+        // Hops from several distinct sessions (true concurrency).
+        let distinct: std::collections::HashSet<_> =
+            report.hops.iter().map(|h| h.session).collect();
+        assert!(distinct.len() >= 3, "only {} sessions hopped", distinct.len());
+        // The shared state survived concurrent mutation intact.
+        let mut final_state = report.final_state;
+        let drift = final_state.rebuild();
+        assert!(drift < 1e-6, "drift {drift}");
+        assert!(final_state.is_feasible());
+        assert!(final_state.objective() <= before);
+    }
+
+    #[test]
+    fn stop_flag_halts_all_workers() {
+        let config = ParallelConfig {
+            alg1: Alg1Config::paper(400.0),
+            ms_per_sim_second: 0.5,
+            wall_duration: Duration::from_millis(50),
+            seed: 1,
+        };
+        let started = Instant::now();
+        let _ = run_parallel(state(), &config);
+        // Generous bound: workers must join shortly after the deadline.
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

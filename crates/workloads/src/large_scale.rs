@@ -1,0 +1,237 @@
+//! The Sec. V-B Internet-scale trace-driven setup.
+//!
+//! "256 PlanetLab nodes as the users and 7 EC2 instances as the agents …
+//! 4 representations, 360p, 480p, 720p, and 1080p are exploited and a
+//! sparse transcoding matrix is considered such that 80% of users demand
+//! for 720p and only 20% demand for the others. … In each scenario,
+//! there are 200 users in total (picked randomly from 256 PlanetLab
+//! nodes), who join different sessions, while each session has at most 5
+//! users."
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use vc_model::{AgentSpec, Capacity, Instance, InstanceBuilder, ReprLadder};
+use vc_net::geo::GeoPoint;
+use vc_net::latency::{build_delay_matrices, LatencyModel};
+use vc_net::sites::{ec2_seven, SiteSampler};
+
+/// Configuration of one Internet-scale scenario.
+#[derive(Debug, Clone)]
+pub struct LargeScaleConfig {
+    /// Number of PlanetLab-style nodes to synthesize (paper: 256).
+    pub num_nodes: usize,
+    /// Number of users drawn from those nodes (paper: 200).
+    pub num_users: usize,
+    /// Maximum session size (paper: 5).
+    pub max_session_size: usize,
+    /// Probability a user demands 720p (paper: 0.8); the rest demand one
+    /// of the other three representations uniformly.
+    pub p_demand_720: f64,
+    /// Mean per-agent bandwidth capacity in Mbps (`None` = unlimited);
+    /// individual agents draw uniformly within ±20%. Used by Fig. 9(a).
+    pub mean_bandwidth_mbps: Option<f64>,
+    /// Mean per-agent transcoding slots (`None` = unlimited); drawn
+    /// within ±20%. Used by Fig. 9(b).
+    pub mean_transcode_slots: Option<f64>,
+    /// Multiplicative jitter on generated delays.
+    pub delay_jitter_frac: f64,
+    /// RNG seed (one seed = one "random scenario" of the paper's 100).
+    pub seed: u64,
+}
+
+impl Default for LargeScaleConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 256,
+            num_users: 200,
+            max_session_size: 5,
+            p_demand_720: 0.8,
+            mean_bandwidth_mbps: None,
+            mean_transcode_slots: None,
+            delay_jitter_frac: 0.08,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds one Internet-scale scenario.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (`num_users > num_nodes` is
+/// allowed — several users may sit on one node — but zero users or
+/// session sizes below 2 are not).
+pub fn large_scale_instance(config: &LargeScaleConfig) -> Instance {
+    assert!(config.num_users >= 2, "need at least two users");
+    assert!(config.max_session_size >= 2, "sessions need at least 2 users");
+    assert!(config.num_nodes >= 1, "need at least one node");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let ladder = ReprLadder::standard_four();
+    let r720 = ladder.by_name("720p").expect("ladder has 720p").id();
+    let others = [
+        ladder.by_name("360p").expect("ladder has 360p").id(),
+        ladder.by_name("480p").expect("ladder has 480p").id(),
+        ladder.by_name("1080p").expect("ladder has 1080p").id(),
+    ];
+
+    let mut b = InstanceBuilder::new(ladder);
+
+    // Agents in the seven EC2 regions, with capacity draws for the sweeps.
+    let agents = ec2_seven();
+    for site in &agents {
+        let speed = 1.2 + rng.gen::<f64>() * 1.2;
+        let mut spec = AgentSpec::builder(site.name()).speed_factor(speed);
+        let mut cap = Capacity::UNLIMITED;
+        if let Some(mean_bw) = config.mean_bandwidth_mbps {
+            let draw = mean_bw * (0.8 + 0.4 * rng.gen::<f64>());
+            cap.download_mbps = draw;
+            cap.upload_mbps = draw;
+        }
+        if let Some(mean_slots) = config.mean_transcode_slots {
+            let draw = mean_slots * (0.8 + 0.4 * rng.gen::<f64>());
+            cap.transcode_slots = draw.round().max(0.0) as u32;
+        }
+        spec = spec.capacity(cap);
+        b.add_agent(spec.build());
+    }
+
+    // 256 PlanetLab-style nodes: metros sampled with the PlanetLab mix,
+    // each node scattered up to ~30 km around its metro center.
+    let sampler = SiteSampler::planetlab_mix();
+    let nodes: Vec<GeoPoint> = (0..config.num_nodes)
+        .map(|_| {
+            let site = sampler.sample(&mut rng);
+            let p = site.point();
+            let lat = (p.lat_deg() + 0.3 * (rng.gen::<f64>() - 0.5)).clamp(-89.9, 89.9);
+            let lon = (p.lon_deg() + 0.3 * (rng.gen::<f64>() - 0.5)).clamp(-179.9, 179.9);
+            GeoPoint::new(lat, lon)
+        })
+        .collect();
+
+    // Sessions: draw sizes in [2, max] until num_users users are placed.
+    // If a draw would strand a single user, the size is adjusted by one
+    // (possibly exceeding the cap by one when the cap is 2).
+    let mut user_nodes: Vec<usize> = Vec::with_capacity(config.num_users);
+    let mut remaining = config.num_users;
+    while remaining > 0 {
+        let mut size = if remaining <= config.max_session_size {
+            remaining
+        } else {
+            rng.gen_range(2..=config.max_session_size)
+        };
+        if remaining - size == 1 {
+            if size + 1 <= config.max_session_size || size <= 2 {
+                size += 1;
+            } else {
+                size -= 1;
+            }
+        }
+        let s = b.add_session();
+        for _ in 0..size {
+            let node = rng.gen_range(0..config.num_nodes);
+            let demand = if rng.gen::<f64>() < config.p_demand_720 {
+                r720
+            } else {
+                others[rng.gen_range(0..others.len())]
+            };
+            let u = b.add_user(s, r720, demand);
+            b.set_user_site(u, node);
+            user_nodes.push(node);
+        }
+        remaining = config.num_users.saturating_sub(user_nodes.len());
+    }
+
+    let agent_points: Vec<GeoPoint> = agents.iter().map(|s| s.point()).collect();
+    let user_points: Vec<GeoPoint> = user_nodes.iter().map(|&i| nodes[i]).collect();
+    let delays = build_delay_matrices(
+        &LatencyModel::default(),
+        &agent_points,
+        &user_points,
+        config.delay_jitter_frac,
+        &mut rng,
+    )
+    .expect("generated delays are valid");
+    b.delays(delays);
+    b.build().expect("large-scale instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let inst = large_scale_instance(&LargeScaleConfig::default());
+        assert_eq!(inst.num_agents(), 7);
+        assert_eq!(inst.num_users(), 200);
+        for s in inst.sessions() {
+            assert!(s.len() >= 2 && s.len() <= 5, "session size {}", s.len());
+        }
+    }
+
+    #[test]
+    fn transcoding_matrix_is_sparse() {
+        let inst = large_scale_instance(&LargeScaleConfig::default());
+        // 80% demand 720p of 720p upstreams → no transcoding; roughly 20%
+        // of directed flows need it.
+        let total_flows: usize = inst.sessions().iter().map(|s| s.len() * (s.len() - 1)).sum();
+        let frac = inst.theta_sum() as f64 / total_flows as f64;
+        assert!(
+            (0.1..0.35).contains(&frac),
+            "transcoded flow fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn capacity_draws_center_on_mean() {
+        let inst = large_scale_instance(&LargeScaleConfig {
+            mean_bandwidth_mbps: Some(600.0),
+            mean_transcode_slots: Some(40.0),
+            seed: 5,
+            ..LargeScaleConfig::default()
+        });
+        for a in inst.agents() {
+            let c = a.capacity();
+            assert!((480.0..=720.0).contains(&c.download_mbps), "{}", c.download_mbps);
+            assert_eq!(c.download_mbps, c.upload_mbps);
+            assert!((31..=49).contains(&c.transcode_slots), "{}", c.transcode_slots);
+        }
+    }
+
+    #[test]
+    fn unlimited_by_default() {
+        let inst = large_scale_instance(&LargeScaleConfig::default());
+        for a in inst.agents() {
+            assert!(a.capacity().download_mbps.is_infinite());
+            assert_eq!(a.capacity().transcode_slots, u32::MAX);
+        }
+    }
+
+    #[test]
+    fn scenarios_differ_by_seed_only() {
+        let a = large_scale_instance(&LargeScaleConfig::default());
+        let b = large_scale_instance(&LargeScaleConfig::default());
+        let c = large_scale_instance(&LargeScaleConfig {
+            seed: 2,
+            ..LargeScaleConfig::default()
+        });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_single_user_sessions_and_exact_user_counts() {
+        for seed in 0..10 {
+            for num_users in [11usize, 13, 200] {
+                let inst = large_scale_instance(&LargeScaleConfig {
+                    seed,
+                    num_users,
+                    ..LargeScaleConfig::default()
+                });
+                assert_eq!(inst.num_users(), num_users, "seed {seed}");
+                for s in inst.sessions() {
+                    assert!(s.len() >= 2, "seed {seed}: session of {}", s.len());
+                }
+            }
+        }
+    }
+}

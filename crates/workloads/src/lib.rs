@@ -1,0 +1,24 @@
+//! Scenario generators for the paper's experiments.
+//!
+//! Two families:
+//!
+//! * [`prototype`] — the Sec. V-A testbed: 6 EC2 agents, conferencing
+//!   users in 10 metros (5 North America, 4 Asia, 1 Europe), 10 sessions
+//!   of 3–5 participants, two camera representations, transcoding
+//!   latencies in the measured 30–60 ms band;
+//! * [`large_scale`] — the Sec. V-B trace-driven setup: 7 EC2 agents,
+//!   256 PlanetLab-style nodes, 200 users in sessions of at most 5, the
+//!   four-step representation ladder with a sparse transcoding matrix
+//!   (80% of users demand 720p), and optional capacity draws for the
+//!   Fig. 9 sweeps.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod large_scale;
+pub mod prototype;
+
+pub use large_scale::{large_scale_instance, LargeScaleConfig};
+pub use prototype::{prototype_instance, PrototypeConfig};

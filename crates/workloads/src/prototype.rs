@@ -1,0 +1,190 @@
+//! The Sec. V-A prototype testbed.
+//!
+//! "6 Linux-based EC2 instances in different regions are employed as the
+//! cloud agents. … the transcoding latency of agents are in \[30, 60\] ms
+//! … Conferencing users are distributed in 10 locations (5 in North
+//! America, 4 in Asia, and 1 in Europe) … we have launched 10 actual
+//! conferencing sessions, each with 3–5 participants." Cameras capture
+//! two representations (240p/360p).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use vc_model::{AgentSpec, Instance, InstanceBuilder, ReprLadder};
+use vc_net::geo::GeoPoint;
+use vc_net::latency::{build_delay_matrices, LatencyModel};
+use vc_net::sites::{ec2_region, metro};
+
+/// Configuration of the prototype scenario.
+#[derive(Debug, Clone)]
+pub struct PrototypeConfig {
+    /// Number of conferencing sessions (paper: 10).
+    pub num_sessions: usize,
+    /// Participants per session, inclusive range (paper: 3–5).
+    pub session_size: (usize, usize),
+    /// Probability that a user demands the low (240p) representation.
+    pub p_low_demand: f64,
+    /// Multiplicative jitter on generated delays.
+    pub delay_jitter_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PrototypeConfig {
+    fn default() -> Self {
+        Self {
+            num_sessions: 10,
+            session_size: (3, 5),
+            p_low_demand: 0.3,
+            delay_jitter_frac: 0.08,
+            seed: 2015,
+        }
+    }
+}
+
+/// The six agent regions of the prototype.
+pub const PROTOTYPE_AGENT_REGIONS: [&str; 6] = [
+    "ec2-virginia",
+    "ec2-oregon",
+    "ec2-ireland",
+    "ec2-tokyo",
+    "ec2-singapore",
+    "ec2-sao-paulo",
+];
+
+/// The ten user metros: 5 North America, 4 Asia, 1 Europe.
+pub const PROTOTYPE_USER_METROS: [&str; 10] = [
+    "seattle",
+    "berkeley",
+    "chicago",
+    "new-york",
+    "atlanta",
+    "tokyo",
+    "seoul",
+    "hong-kong",
+    "singapore",
+    "london",
+];
+
+/// Builds the prototype instance.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no sessions, empty size
+/// range).
+pub fn prototype_instance(config: &PrototypeConfig) -> Instance {
+    assert!(config.num_sessions > 0, "need at least one session");
+    assert!(
+        config.session_size.0 >= 2 && config.session_size.0 <= config.session_size.1,
+        "invalid session size range"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let ladder = ReprLadder::prototype_two();
+    let r240 = ladder.by_name("240p").expect("ladder has 240p").id();
+    let r360 = ladder.by_name("360p").expect("ladder has 360p").id();
+
+    let mut b = InstanceBuilder::new(ladder);
+    // Agents: speed factors spread so σ(360p→240p at reference ≈ 25 ms
+    // scaled) lands in the measured [30, 60] ms band.
+    for name in PROTOTYPE_AGENT_REGIONS {
+        let speed = 1.2 + rng.gen::<f64>() * 1.2; // [1.2, 2.4]
+        b.add_agent(AgentSpec::builder(name).speed_factor(speed).build());
+    }
+
+    // Users: sessions of 3–5 participants drawn from the ten metros.
+    let mut user_sites: Vec<usize> = Vec::new();
+    for _ in 0..config.num_sessions {
+        let size = rng.gen_range(config.session_size.0..=config.session_size.1);
+        let s = b.add_session();
+        for _ in 0..size {
+            let site = rng.gen_range(0..PROTOTYPE_USER_METROS.len());
+            // Everyone uploads 360p; devices demand 240p with probability
+            // p_low_demand (those flows need transcoding).
+            let demand = if rng.gen::<f64>() < config.p_low_demand {
+                r240
+            } else {
+                r360
+            };
+            let u = b.add_user(s, r360, demand);
+            b.set_user_site(u, site);
+            user_sites.push(site);
+        }
+    }
+
+    let agent_points: Vec<GeoPoint> = PROTOTYPE_AGENT_REGIONS
+        .iter()
+        .map(|n| ec2_region(n).expect("region exists").point())
+        .collect();
+    let user_points: Vec<GeoPoint> = user_sites
+        .iter()
+        .map(|&i| metro(PROTOTYPE_USER_METROS[i]).expect("metro exists").point())
+        .collect();
+    let delays = build_delay_matrices(
+        &LatencyModel::default(),
+        &agent_points,
+        &user_points,
+        config.delay_jitter_frac,
+        &mut rng,
+    )
+    .expect("generated delays are valid");
+    b.delays(delays);
+    b.build().expect("prototype instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_model::AgentId;
+
+    #[test]
+    fn shape_matches_paper() {
+        let inst = prototype_instance(&PrototypeConfig::default());
+        assert_eq!(inst.num_agents(), 6);
+        assert_eq!(inst.num_sessions(), 10);
+        for s in inst.sessions() {
+            assert!((3..=5).contains(&s.len()), "session size {}", s.len());
+        }
+        assert!(inst.num_users() >= 30 && inst.num_users() <= 50);
+    }
+
+    #[test]
+    fn transcoding_latencies_in_measured_band() {
+        let inst = prototype_instance(&PrototypeConfig::default());
+        let r240 = inst.ladder().by_name("240p").unwrap().id();
+        let r360 = inst.ladder().by_name("360p").unwrap().id();
+        for l in 0..inst.num_agents() {
+            let sigma = inst.sigma_ms(AgentId::from(l), r360, r240);
+            assert!(
+                (14.0..=65.0).contains(&sigma),
+                "sigma {sigma} outside the plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn some_flows_need_transcoding() {
+        let inst = prototype_instance(&PrototypeConfig::default());
+        assert!(inst.theta_sum() > 0, "expected a nonempty transcoding matrix");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = prototype_instance(&PrototypeConfig::default());
+        let b = prototype_instance(&PrototypeConfig::default());
+        assert_eq!(a, b);
+        let c = prototype_instance(&PrototypeConfig {
+            seed: 99,
+            ..PrototypeConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn delays_are_internet_scale() {
+        let inst = prototype_instance(&PrototypeConfig::default());
+        // Tokyo–Virginia style pairs must exist: some inter-agent delays
+        // beyond 60 ms, none beyond 250 ms one-way.
+        let d = inst.delays().inter_agent();
+        let max = d.max();
+        assert!(max > 60.0, "max inter-agent delay {max}");
+        assert!(max < 250.0, "max inter-agent delay {max}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Internet-scale scenario: 200 users in ≤5-party sessions on 7 EC2
+//! agents (the Sec. V-B setup), comparing initial policies and Alg. 1.
+//!
+//! Run with: `cargo run --release --example internet_scale`
+
+use cloud_vc::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let instance = large_scale_instance(&LargeScaleConfig {
+        seed: 42,
+        ..LargeScaleConfig::default()
+    });
+    println!(
+        "Scenario: {} users, {} sessions, {} agents, {} transcoding tasks",
+        instance.num_users(),
+        instance.num_sessions(),
+        instance.num_agents(),
+        instance.theta_sum()
+    );
+    let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
+
+    // Initial policies.
+    let nrst = SystemState::new(problem.clone(), nearest_assignment(&problem));
+    let ag2 = SystemState::new(
+        problem.clone(),
+        agrank_assignment(&problem, &AgRankConfig::paper(2)),
+    );
+    println!("\n{:<28} {:>12} {:>12}", "policy", "traffic Mbps", "delay ms");
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "Nrst (nearest)",
+        nrst.total_traffic_mbps(),
+        nrst.mean_delay_ms()
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "AgRank (nngbr=2)",
+        ag2.total_traffic_mbps(),
+        ag2.mean_delay_ms()
+    );
+
+    // Alg. 1 on top of each.
+    let engine = Alg1Engine::new(Alg1Config::paper(400.0));
+    for (label, mut state) in [("Nrst + Alg.1", nrst), ("AgRank + Alg.1", ag2)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        engine.run(&mut state, 600.0, &mut rng);
+        println!(
+            "{:<28} {:>12.1} {:>12.1}",
+            label,
+            state.total_traffic_mbps(),
+            state.mean_delay_ms()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Quickstart: the paper's Fig. 2 scenario, end to end.
+//!
+//! Builds the four-user / four-agent motivating example with the measured
+//! latencies from the paper, compares the nearest-assignment baseline
+//! against the exact optimum and against Alg. 1, and prints where each
+//! user and the transcoding task land.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cloud_vc::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+fn describe(problem: &UapProblem, state: &SystemState, label: &str) {
+    let inst = problem.instance();
+    println!("\n=== {label} ===");
+    for u in inst.user_ids() {
+        let a = state.assignment().agent_of_user(u);
+        println!(
+            "  user {:>2} → {:<14} ({} ms last mile)",
+            u.index() + 1,
+            inst.agent(a).name(),
+            inst.h_ms(a, u)
+        );
+    }
+    for (t, task) in problem.tasks().iter() {
+        let a = state.assignment().agent_of_task(t);
+        println!(
+            "  transcode {}→{} ({}) at {}",
+            task.src.index() + 1,
+            task.dst.index() + 1,
+            inst.ladder().repr(task.target).name(),
+            inst.agent(a).name()
+        );
+    }
+    println!(
+        "  inter-agent traffic {:>6.2} Mbps | mean delay {:>6.1} ms | objective {:>8.2}",
+        state.total_traffic_mbps(),
+        state.mean_delay_ms(),
+        state.objective()
+    );
+}
+
+fn main() {
+    let instance = cloud_vc::net::fig2::instance();
+    let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
+
+    // 1. The commonly-adopted nearest policy (Airlift / vSkyConf).
+    let nrst = nearest_assignment(&problem);
+    let nrst_state = SystemState::new(problem.clone(), nrst);
+    describe(&problem, &nrst_state, "Nearest assignment (Nrst)");
+
+    // 2. The exact optimum by brute force (4^(4+1) = 1024 assignments).
+    let (opt_asg, opt_phi) = cloud_vc::algo::brute_force::optimal(&problem, 10_000)
+        .expect("fig2 space is enumerable")
+        .expect("fig2 has feasible assignments");
+    let opt_state = SystemState::new(problem.clone(), opt_asg);
+    describe(&problem, &opt_state, "Exact optimum (brute force)");
+
+    // 3. Alg. 1 from the Nrst start: converges to the optimum's
+    //    neighborhood without enumerating anything.
+    let mut state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+    let engine = Alg1Engine::new(Alg1Config::paper(400.0));
+    let mut rng = StdRng::seed_from_u64(2015);
+    let hops = engine.run(&mut state, 1200.0, &mut rng);
+    describe(&problem, &state, "After Alg. 1 (Markov approximation)");
+    println!(
+        "\nAlg. 1 executed {} hops over 1200 simulated seconds; optimal Φ = {:.2}, reached Φ = {:.2}",
+        hops.len(),
+        opt_phi,
+        state.objective()
+    );
+
+    // The paper's Fig. 2 argument: with users 1–3 pinned to their nearest
+    // agents, user 4 [HK] is better served by Tokyo than by its nearest
+    // agent Singapore — both in delay and in traffic.
+    let user4 = UserId::new(3);
+    let inst = problem.instance();
+    let tokyo = AgentId::new(1);
+    let singapore = AgentId::new(2);
+    let mut pinned = SystemState::new(problem.clone(), nearest_assignment(&problem));
+    let via_sg = (pinned.total_traffic_mbps(), pinned.mean_delay_ms());
+    pinned.apply_unchecked(Decision::User(user4, tokyo));
+    let via_to = (pinned.total_traffic_mbps(), pinned.mean_delay_ms());
+    println!(
+        "\nFig. 2 check for user 4 [HK] (others pinned to nearest):\n  via {} (nearest): {:.1} Mbps, {:.1} ms mean delay\n  via {}:           {:.1} Mbps, {:.1} ms mean delay",
+        inst.agent(singapore).name(),
+        via_sg.0,
+        via_sg.1,
+        inst.agent(tokyo).name(),
+        via_to.0,
+        via_to.1,
+    );
+}

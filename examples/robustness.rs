@@ -1,0 +1,53 @@
+//! Robustness to noisy measurements (Sec. IV-A.4 / Theorem 1).
+//!
+//! Runs Alg. 1 on the prototype workload with increasingly noisy
+//! objective measurements (the quantized error model), showing that the
+//! achieved objective degrades gracefully — bounded by `Δmax` per
+//! Theorem 1 — rather than collapsing.
+//!
+//! Run with: `cargo run --release --example robustness`
+
+use cloud_vc::markov::perturb::NoiseSpec;
+use cloud_vc::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let instance = prototype_instance(&PrototypeConfig::default());
+    let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
+
+    println!("{:>10} {:>14} {:>14} {:>12}", "delta", "traffic Mbps", "delay ms", "objective");
+    for delta in [0.0, 1.0, 5.0, 20.0, 80.0] {
+        let mut total_phi = 0.0;
+        let mut total_traffic = 0.0;
+        let mut total_delay = 0.0;
+        let runs = 5;
+        for seed in 0..runs {
+            let mut state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+            let engine = Alg1Engine::new(Alg1Config {
+                beta: 400.0,
+                mean_countdown_s: 10.0,
+                noise: if delta > 0.0 {
+                    Some(NoiseSpec::uniform(delta, 3))
+                } else {
+                    None
+                },
+            });
+            let mut rng = StdRng::seed_from_u64(seed);
+            engine.run(&mut state, 400.0, &mut rng);
+            total_phi += state.objective();
+            total_traffic += state.total_traffic_mbps();
+            total_delay += state.mean_delay_ms();
+        }
+        println!(
+            "{:>10.1} {:>14.2} {:>14.1} {:>12.1}",
+            delta,
+            total_traffic / runs as f64,
+            total_delay / runs as f64,
+            total_phi / runs as f64
+        );
+    }
+    println!("\nTheorem 1: the optimality gap grows by at most Δmax under");
+    println!("quantized measurement noise — the objective should degrade");
+    println!("smoothly down the table, not collapse.");
+}

@@ -1,0 +1,184 @@
+//! Property-based tests of the core invariants, over randomly generated
+//! instances and decision sequences.
+
+use cloud_vc::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+use vc_core::Decision;
+
+/// A randomly shaped small instance: 2–4 agents, 1–3 sessions of 2–4
+/// users, random representation demands and delays.
+#[derive(Debug, Clone)]
+struct RandomInstance {
+    sessions: Vec<Vec<(u8, u8)>>, // (upstream idx, demand idx) per user
+    inter_delay: Vec<Vec<f64>>,
+    user_delay_seed: u64,
+    speed: Vec<f64>,
+}
+
+fn random_instance_strategy() -> impl Strategy<Value = RandomInstance> {
+    (
+        2usize..=4,
+        prop::collection::vec(
+            prop::collection::vec((0u8..4, 0u8..4), 2..=4),
+            1..=3,
+        ),
+        any::<u64>(),
+    )
+        .prop_flat_map(|(num_agents, sessions, user_delay_seed)| {
+            let speeds = prop::collection::vec(1.0f64..2.5, num_agents);
+            let delays = prop::collection::vec(
+                prop::collection::vec(5.0f64..120.0, num_agents),
+                num_agents,
+            );
+            (Just(sessions), Just(user_delay_seed), speeds, delays).prop_map(
+                |(sessions, user_delay_seed, speed, inter_delay)| RandomInstance {
+                    sessions,
+                    inter_delay,
+                    user_delay_seed,
+                    speed,
+                },
+            )
+        })
+}
+
+fn build(spec: &RandomInstance) -> Arc<UapProblem> {
+    let ladder = ReprLadder::standard_four();
+    let reprs: Vec<ReprId> = ladder.ids().collect();
+    let mut b = InstanceBuilder::new(ladder);
+    for (i, s) in spec.speed.iter().enumerate() {
+        b.add_agent(AgentSpec::builder(format!("a{i}")).speed_factor(*s).build());
+    }
+    for session in &spec.sessions {
+        let sid = b.add_session();
+        for &(up, down) in session {
+            b.add_user(sid, reprs[up as usize % 4], reprs[down as usize % 4]);
+        }
+    }
+    let inter = spec.inter_delay.clone();
+    let seed = spec.user_delay_seed;
+    b.symmetric_delays(
+        move |l, k| inter[l.min(k)][l.max(k)],
+        move |l, u| {
+            // Deterministic pseudo-random H entries from the seed.
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((l * 131 + u * 31) as u64);
+            5.0 + (x % 1000) as f64 / 10.0
+        },
+    );
+    // A generous Dmax keeps random instances feasible so moves are legal.
+    b.d_max_ms(10_000.0);
+    Arc::new(UapProblem::new(b.build().expect("valid"), CostModel::paper_default()))
+}
+
+fn decisions_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((any::<u8>(), any::<u8>()), 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incrementally maintained state equals a from-scratch rebuild
+    /// after any sequence of decisions.
+    #[test]
+    fn incremental_matches_rebuild(spec in random_instance_strategy(), seq in decisions_strategy(24)) {
+        let problem = build(&spec);
+        let mut state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+        let nu = problem.instance().num_users();
+        let nt = problem.tasks().len();
+        let nl = problem.instance().num_agents();
+        for (a, b) in seq {
+            let decision = if nt > 0 && a % 2 == 0 {
+                Decision::Task(vc_core::TaskId::from((a as usize / 2) % nt), AgentId::from(b as usize % nl))
+            } else {
+                Decision::User(UserId::from((a as usize / 2) % nu), AgentId::from(b as usize % nl))
+            };
+            state.apply_unchecked(decision);
+        }
+        let phi_incremental = state.objective();
+        let traffic_incremental = state.total_traffic_mbps();
+        let drift = state.rebuild();
+        prop_assert!(drift < 1e-6, "drift {drift}");
+        prop_assert!((state.objective() - phi_incremental).abs() < 1e-6);
+        prop_assert!((state.total_traffic_mbps() - traffic_incremental).abs() < 1e-6);
+    }
+
+    /// Co-locating an entire session (users + tasks) on one agent always
+    /// produces zero inter-agent traffic for it.
+    #[test]
+    fn colocated_sessions_have_zero_traffic(spec in random_instance_strategy(), agent in 0u8..4) {
+        let problem = build(&spec);
+        let nl = problem.instance().num_agents();
+        let target = AgentId::from(agent as usize % nl);
+        let state = SystemState::new(problem.clone(), Assignment::all_to_agent(&problem, target));
+        prop_assert!(state.total_traffic_mbps().abs() < 1e-9);
+        for s in problem.instance().session_ids() {
+            prop_assert!(state.session_load(s).total_ingress_mbps().abs() < 1e-9);
+        }
+    }
+
+    /// Every flow's delay is at least the two last-mile hops, and the
+    /// session delay cost is monotone under the Mean shape.
+    #[test]
+    fn delays_bounded_below_by_last_mile(spec in random_instance_strategy()) {
+        let problem = build(&spec);
+        let state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+        let inst = problem.instance();
+        for s in inst.session_ids() {
+            let load = state.session_load(s);
+            for (i, &u) in inst.session(s).users().iter().enumerate() {
+                if inst.session(s).len() < 2 { continue; }
+                let a_u = state.assignment().agent_of_user(u);
+                prop_assert!(
+                    load.user_delay[i] >= inst.h_ms(a_u, u) - 1e-9,
+                    "user delay below its own last mile"
+                );
+            }
+        }
+    }
+
+    /// AgRank with a single candidate per user is exactly Nrst.
+    #[test]
+    fn agrank_one_neighbor_is_nearest(spec in random_instance_strategy()) {
+        let problem = build(&spec);
+        let agrank = agrank_assignment(&problem, &AgRankConfig::paper(1));
+        let nrst = nearest_assignment(&problem);
+        prop_assert_eq!(agrank.user_agents(), nrst.user_agents());
+    }
+
+    /// Applying a decision and reverting it restores the objective.
+    #[test]
+    fn apply_revert_round_trips(spec in random_instance_strategy(), u in any::<u8>(), a in any::<u8>()) {
+        let problem = build(&spec);
+        let mut state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+        let nu = problem.instance().num_users();
+        let nl = problem.instance().num_agents();
+        let user = UserId::from(u as usize % nu);
+        let before_phi = state.objective();
+        let before_agent = state.assignment().agent_of_user(user);
+        state.apply_unchecked(Decision::User(user, AgentId::from(a as usize % nl)));
+        state.apply_unchecked(Decision::User(user, before_agent));
+        prop_assert!((state.objective() - before_phi).abs() < 1e-6,
+            "revert mismatch: {before_phi} vs {}", state.objective());
+    }
+
+    /// Objectives, traffic and delays are finite and non-negative under
+    /// any assignment reachable here.
+    #[test]
+    fn metrics_are_finite_nonnegative(spec in random_instance_strategy(), agent in 0u8..4) {
+        let problem = build(&spec);
+        let nl = problem.instance().num_agents();
+        for asg in [
+            nearest_assignment(&problem),
+            Assignment::all_to_agent(&problem, AgentId::from(agent as usize % nl)),
+            agrank_assignment(&problem, &AgRankConfig::paper(2)),
+        ] {
+            let state = SystemState::new(problem.clone(), asg);
+            prop_assert!(state.objective().is_finite());
+            prop_assert!(state.objective() >= 0.0);
+            prop_assert!(state.total_traffic_mbps() >= 0.0);
+            prop_assert!(state.mean_delay_ms() >= 0.0);
+        }
+    }
+}
