@@ -146,14 +146,7 @@ fn admit_session(
         .try_fold(1usize, |acc, n| acc.checked_mul(n))
         .unwrap_or(usize::MAX);
     if combo_count <= COMBO_CAP {
-        return admit_by_enumeration(
-            problem,
-            state,
-            s,
-            &user_candidates,
-            &residuals,
-            policy,
-        );
+        return admit_by_enumeration(problem, state, s, &user_candidates, &residuals, policy);
     }
 
     // Greedy user placement with tentative last-mile accounting.
@@ -184,8 +177,8 @@ fn admit_session(
 
     // Transcoding groups: rule of thumb with rank-ordered fallback.
     let fallback_order = fallback_order_for(problem, s, &residuals, policy);
-    let tasks =
-        place_tasks(problem, s, &users, &residuals, &fallback_order).ok_or(AdmissionFailure::TaskFit)?;
+    let tasks = place_tasks(problem, s, &users, &residuals, &fallback_order)
+        .ok_or(AdmissionFailure::TaskFit)?;
 
     // Commit tentatively, then verify the global state: the per-user
     // check ignores inter-agent traffic, which the full evaluation may
@@ -461,14 +454,8 @@ mod tests {
         // The Fig. 9 ordering: AgRank#3 ≥ AgRank#2 ≥ Nrst.
         let p = Arc::new(scarce_capacity_problem());
         let nrst = admit_all(p.clone(), &AdmissionPolicy::Nearest);
-        let ag2 = admit_all(
-            p.clone(),
-            &AdmissionPolicy::AgRank(AgRankConfig::paper(2)),
-        );
-        let ag3 = admit_all(
-            p.clone(),
-            &AdmissionPolicy::AgRank(AgRankConfig::paper(3)),
-        );
+        let ag2 = admit_all(p.clone(), &AdmissionPolicy::AgRank(AgRankConfig::paper(2)));
+        let ag3 = admit_all(p.clone(), &AdmissionPolicy::AgRank(AgRankConfig::paper(3)));
         assert!(ag2.admitted >= nrst.admitted);
         assert!(ag3.admitted >= ag2.admitted);
         assert!(ag3.success, "AgRank#3 should place all three sessions");

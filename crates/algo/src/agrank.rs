@@ -75,7 +75,11 @@ impl Residuals {
     pub fn full(problem: &UapProblem) -> Self {
         let inst = problem.instance();
         Self {
-            upload: inst.agents().iter().map(|a| a.capacity().upload_mbps).collect(),
+            upload: inst
+                .agents()
+                .iter()
+                .map(|a| a.capacity().upload_mbps)
+                .collect(),
             download: inst
                 .agents()
                 .iter()
@@ -365,18 +369,7 @@ pub fn assign_session(
         .iter()
         .map(|(u, cands)| (*u, cands[0]))
         .collect();
-    // Rule of thumb needs a full user→agent map; only session members matter.
-    let mut user_agent = vec![AgentId::new(0); problem.instance().num_users()];
-    for &(u, a) in &users {
-        user_agent[u.index()] = a;
-    }
-    let all_tasks = placement::rule_of_thumb(problem, &user_agent);
-    let tasks = problem
-        .tasks()
-        .of_session(s)
-        .iter()
-        .map(|&t| (t, all_tasks[t.index()]))
-        .collect();
+    let tasks = placement::rule_of_thumb_session(problem, s, &users);
     SessionAssignment {
         users,
         tasks,

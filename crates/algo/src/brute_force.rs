@@ -71,18 +71,16 @@ impl Enumeration {
 /// # Errors
 ///
 /// Returns [`TooLargeError`] if `L^(U+θ_sum)` exceeds `limit`.
-pub fn enumerate_all(problem: &Arc<UapProblem>, limit: usize) -> Result<Enumeration, TooLargeError> {
+pub fn enumerate_all(
+    problem: &Arc<UapProblem>,
+    limit: usize,
+) -> Result<Enumeration, TooLargeError> {
     let nl = problem.instance().num_agents();
     let (nu, nt) = problem.decision_dims();
     let digits = nu + nt;
-    let states = (nl as u128)
-        .checked_pow(digits as u32)
-        .unwrap_or(u128::MAX);
+    let states = (nl as u128).checked_pow(digits as u32).unwrap_or(u128::MAX);
     if states > limit as u128 {
-        return Err(TooLargeError {
-            states,
-            limit,
-        });
+        return Err(TooLargeError { states, limit });
     }
     let states = states as usize;
     let mut assignments = Vec::with_capacity(states);

@@ -75,13 +75,13 @@ pub fn evacuate_agent(state: &mut SystemState, agent: AgentId) -> EvacuationRepo
             };
             let (load, verdict) = state.candidate(candidate);
             let entry = (candidate, load.phi);
-            if best_any.as_ref().map_or(true, |(_, phi)| load.phi < *phi) {
+            if best_any.as_ref().is_none_or(|(_, phi)| load.phi < *phi) {
                 best_any = Some(entry);
             }
             if verdict.is_ok()
                 && best_feasible
                     .as_ref()
-                    .map_or(true, |(_, phi)| load.phi < *phi)
+                    .is_none_or(|(_, phi)| load.phi < *phi)
             {
                 best_feasible = Some(entry);
             }
@@ -151,7 +151,7 @@ mod tests {
             "objective exploded: {before} → {}",
             st.objective()
         );
-        assert!(report.moves.len() >= 1);
+        assert!(!report.moves.is_empty());
     }
 
     #[test]
@@ -184,9 +184,17 @@ mod tests {
         let engine = Alg1Engine::new(Alg1Config::paper(50.0));
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..300 {
-            engine.hop(&mut st, p.instance().user(UserId::new(0)).session(), &mut rng);
+            engine.hop(
+                &mut st,
+                p.instance().user(UserId::new(0)).session(),
+                &mut rng,
+            );
             for u in p.instance().user_ids() {
-                assert_ne!(st.assignment().agent_of_user(u), sg, "hop used a down agent");
+                assert_ne!(
+                    st.assignment().agent_of_user(u),
+                    sg,
+                    "hop used a down agent"
+                );
             }
         }
     }

@@ -212,14 +212,11 @@ impl Alg1Engine {
             .map(|&s| (self.next_countdown(rng), s))
             .collect();
         let mut log = Vec::new();
-        loop {
-            let Some((idx, &(t, s))) = wakes
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite times"))
-            else {
-                break;
-            };
+        while let Some((idx, &(t, s))) = wakes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite times"))
+        {
             if t > duration_s {
                 break;
             }

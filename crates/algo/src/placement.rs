@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use vc_core::{TaskId, UapProblem};
-use vc_model::{AgentId, ReprId, UserId};
+use vc_model::{AgentId, ReprId, SessionId, UserId};
 
 /// Places every transcoding task given a user→agent map, following the
 /// rule of thumb. Returns one agent per task, indexed by [`TaskId`].
@@ -24,27 +24,77 @@ pub fn rule_of_thumb(problem: &UapProblem, user_agent: &[AgentId]) -> Vec<AgentI
         problem.instance().num_users(),
         "user→agent map must cover all users"
     );
-    // Group tasks by (source, target representation): destinations of the
-    // same transcoded stream.
+    let mut placement = vec![AgentId::new(0); problem.tasks().len()];
+    apply_rule(
+        problem,
+        problem.tasks().iter().map(|(t, _)| t),
+        |u| user_agent[u.index()],
+        |t, a| placement[t.index()] = a,
+    );
+    placement
+}
+
+/// The rule proper, shared by the whole-instance and session-scoped
+/// entry points: group tasks by (source, target representation) — the
+/// destinations of the same transcoded stream — then transcode shared
+/// streams once at the source agent and singletons at the destination
+/// agent.
+fn apply_rule(
+    problem: &UapProblem,
+    task_ids: impl Iterator<Item = TaskId>,
+    agent_of: impl Fn(UserId) -> AgentId,
+    mut assign: impl FnMut(TaskId, AgentId),
+) {
     let mut groups: HashMap<(UserId, ReprId), Vec<TaskId>> = HashMap::new();
-    for (t, task) in problem.tasks().iter() {
+    for t in task_ids {
+        let task = problem.tasks().task(t);
         groups.entry((task.src, task.target)).or_default().push(t);
     }
-    let mut placement = vec![AgentId::new(0); problem.tasks().len()];
     for ((src, _), tasks) in groups {
         if tasks.len() >= 2 {
             // Shared stream: transcode once at the source agent.
+            let agent = agent_of(src);
             for t in tasks {
-                placement[t.index()] = user_agent[src.index()];
+                assign(t, agent);
             }
         } else {
             // Single destination: transcode at the destination agent.
             let t = tasks[0];
-            let dst = problem.tasks().task(t).dst;
-            placement[t.index()] = user_agent[dst.index()];
+            assign(t, agent_of(problem.tasks().task(t).dst));
         }
     }
-    placement
+}
+
+/// [`rule_of_thumb`] restricted to one session: places only that
+/// session's tasks given its members' agents, at O(|session tasks|)
+/// cost instead of a pass over the whole instance — the admission
+/// hot path of the orchestrator control plane.
+///
+/// # Panics
+///
+/// Panics if a task endpoint of session `s` is missing from `users`.
+pub fn rule_of_thumb_session(
+    problem: &UapProblem,
+    s: SessionId,
+    users: &[(UserId, AgentId)],
+) -> Vec<(TaskId, AgentId)> {
+    let session_tasks = problem.tasks().of_session(s);
+    let mut out = Vec::with_capacity(session_tasks.len());
+    apply_rule(
+        problem,
+        session_tasks.iter().copied(),
+        |u| {
+            users
+                .iter()
+                .find(|&&(v, _)| v == u)
+                .map(|&(_, a)| a)
+                .expect("session user present in placement")
+        },
+        |t, a| out.push((t, a)),
+    );
+    // HashMap grouping is unordered; pin the output order.
+    out.sort_unstable_by_key(|&(t, _)| t);
+    out
 }
 
 /// Ablation variant: every transcoding task at the *source* user's agent.
@@ -100,6 +150,29 @@ mod tests {
         for (t, task) in p.tasks().iter() {
             assert_eq!(task.src, vc_model::UserId::new(0));
             assert_eq!(placement[t.index()], AgentId::new(2));
+        }
+    }
+
+    #[test]
+    fn session_scoped_matches_whole_instance() {
+        for p in [single_task_problem(), fan_out_problem()] {
+            let nl = 3u32;
+            let user_agent: Vec<AgentId> = (0..p.instance().num_users())
+                .map(|u| AgentId::new(u as u32 % nl))
+                .collect();
+            let full = rule_of_thumb(&p, &user_agent);
+            for s in p.instance().session_ids() {
+                let users: Vec<(vc_model::UserId, AgentId)> = p
+                    .instance()
+                    .session(s)
+                    .users()
+                    .iter()
+                    .map(|&u| (u, user_agent[u.index()]))
+                    .collect();
+                for (t, a) in rule_of_thumb_session(&p, s, &users) {
+                    assert_eq!(a, full[t.index()], "task {t:?} diverged");
+                }
+            }
         }
     }
 

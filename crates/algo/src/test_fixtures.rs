@@ -82,6 +82,9 @@ pub fn scarce_capacity_problem() -> UapProblem {
         b.add_user(s, r720, r720);
     }
     // Everyone is nearest to A (5 ms), then B (10 ms), then C (15 ms).
-    b.symmetric_delays(|l, k| 20.0 * ((l as f64) - (k as f64)).abs(), |l, _| 5.0 + 5.0 * l as f64);
+    b.symmetric_delays(
+        |l, k| 20.0 * ((l as f64) - (k as f64)).abs(),
+        |l, _| 5.0 + 5.0 * l as f64,
+    );
     UapProblem::new(b.build().unwrap(), CostModel::paper_default())
 }

@@ -19,7 +19,12 @@ fn bench_rank_one_session(c: &mut Criterion) {
         let config = AgRankConfig::paper(n_ngbr);
         group.bench_function(format!("nngbr_{n_ngbr}"), |b| {
             b.iter(|| {
-                std::hint::black_box(rank_agents(&problem, SessionId::new(0), &residuals, &config))
+                std::hint::black_box(rank_agents(
+                    &problem,
+                    SessionId::new(0),
+                    &residuals,
+                    &config,
+                ))
             })
         });
     }
@@ -36,5 +41,9 @@ fn bench_bootstrap_all_sessions(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rank_one_session, bench_bootstrap_all_sessions);
+criterion_group!(
+    benches,
+    bench_rank_one_session,
+    bench_bootstrap_all_sessions
+);
 criterion_main!(benches);

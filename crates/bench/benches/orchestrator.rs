@@ -1,0 +1,95 @@
+//! Control-plane throughput: session admission against the sharded
+//! ledger, and re-optimization hop execution, at 1k+ concurrent
+//! sessions over the Internet-scale universe.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use vc_algo::agrank::AgRankConfig;
+use vc_algo::markov::Alg1Config;
+use vc_core::UapProblem;
+use vc_cost::CostModel;
+use vc_model::SessionId;
+use vc_orchestrator::{Fleet, FleetConfig, PlacementPolicy, ReoptPool};
+use vc_workloads::{large_scale_instance, LargeScaleConfig};
+
+/// ~1.4k potential sessions over the 7 EC2 agents.
+fn universe() -> Arc<UapProblem> {
+    let instance = large_scale_instance(&LargeScaleConfig {
+        num_users: 3_500,
+        max_session_size: 3,
+        mean_bandwidth_mbps: Some(60_000.0),
+        mean_transcode_slots: Some(4_000.0),
+        seed: 9,
+        ..LargeScaleConfig::default()
+    });
+    Arc::new(UapProblem::new(instance, CostModel::paper_default()))
+}
+
+fn config() -> FleetConfig {
+    FleetConfig {
+        placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
+        alg1: Alg1Config::paper(400.0),
+        ledger_shards: 4,
+    }
+}
+
+fn bench_admit(c: &mut Criterion) {
+    let problem = universe();
+    let num_sessions = problem.instance().num_sessions();
+    assert!(num_sessions >= 1_000, "universe too small: {num_sessions}");
+    let mut group = c.benchmark_group("orchestrator_admit");
+    group.bench_function("admit_1k_sessions", |b| {
+        b.iter_batched(
+            || Fleet::new(problem.clone(), config()),
+            |fleet| {
+                let mut admitted = 0;
+                for i in 0..1_000 {
+                    if fleet.admit(SessionId::new(i)).is_ok() {
+                        admitted += 1;
+                    }
+                }
+                assert!(admitted >= 900, "only {admitted}/1000 admitted");
+                admitted
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_hops(c: &mut Criterion) {
+    let problem = universe();
+    let fleet = Fleet::new(problem.clone(), config());
+    let live: Vec<SessionId> = (0..1_000u32)
+        .map(SessionId::new)
+        .filter(|&s| fleet.admit(s).is_ok())
+        .collect();
+    assert!(live.len() >= 900);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut next = 0usize;
+    let mut group = c.benchmark_group("orchestrator_reopt");
+    group.bench_function("hop_at_1k_live", |b| {
+        b.iter(|| {
+            let s = live[next % live.len()];
+            next += 1;
+            fleet.hop_session(s, &mut rng)
+        })
+    });
+    group.bench_function("tick_1s_at_1k_live", |b| {
+        let pool = ReoptPool::new(17);
+        for &s in &live {
+            pool.register(&fleet, s, 0.0);
+        }
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 1.0;
+            pool.tick_until(&fleet, t)
+        })
+    });
+    group.finish();
+    assert!(fleet.audit().is_empty(), "bench corrupted the ledger");
+}
+
+criterion_group!(benches, bench_admit, bench_hops);
+criterion_main!(benches);

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
-//! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration all
+//! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration
+//!      ablation churn orchestrator all
 //! ```
 
-use vc_bench::experiments::*;
 use vc_bench::experiments::table2::Table2Config;
+use vc_bench::experiments::*;
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -16,9 +17,22 @@ struct Options {
     seed: u64,
 }
 
-const ALL_IDS: [&str; 14] = [
-    "fig2", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "fig10", "theorem1",
-    "robust", "migration", "ablation", "churn",
+const ALL_IDS: [&str; 15] = [
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "theorem1",
+    "robust",
+    "migration",
+    "ablation",
+    "churn",
+    "orchestrator",
 ];
 
 fn usage() -> ! {
@@ -75,26 +89,46 @@ fn main() {
         match id.as_str() {
             "fig2" => fig2::print(&fig2::run()),
             "fig4" => {
-                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 200.0 };
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    200.0
+                };
                 fig4::print(&fig4::run(d, opts.seed));
             }
             "fig5" => {
-                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 120.0 };
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    120.0
+                };
                 fig5::print(&fig5::run(d, opts.seed));
             }
             "fig6" => {
-                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 100.0 };
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    100.0
+                };
                 fig6::print(&fig6::run(d, opts.seed));
             }
             "fig7" => {
-                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 200.0 };
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    200.0
+                };
                 fig7::print(&fig7::run(d, opts.seed));
             }
             "table2" | "fig8" => {
                 if shared_table2.is_none() {
                     let config = Table2Config {
                         scenarios: opts.scenarios,
-                        duration_s: if opts.duration_s > 0.0 { opts.duration_s } else { 400.0 },
+                        duration_s: if opts.duration_s > 0.0 {
+                            opts.duration_s
+                        } else {
+                            400.0
+                        },
                         ..Table2Config::default()
                     };
                     shared_table2 = Some(table2::run(&config));
@@ -137,17 +171,37 @@ fn main() {
                 theorem1::print(&rows);
             }
             "robust" => {
-                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 300.0 };
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    300.0
+                };
                 robust::print(&robust::run(&[0.0, 1.0, 5.0, 20.0, 80.0], d, 5));
             }
             "migration" => migration::print(&migration::run(&[20.0, 30.0, 50.0, 80.0, 110.0])),
             "ablation" => {
-                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 300.0 };
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    300.0
+                };
                 ablation::print_all(opts.scenarios.min(30), d, opts.seed);
             }
             "churn" => {
-                let d = if opts.duration_s > 0.0 { opts.duration_s } else { 200.0 };
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    200.0
+                };
                 churn::print(&churn::run(d, opts.seed));
+            }
+            "orchestrator" => {
+                let d = if opts.duration_s > 0.0 {
+                    opts.duration_s
+                } else {
+                    60.0
+                };
+                orchestrator::print(&orchestrator::run(d, opts.seed));
             }
             _ => unreachable!("ids validated in parse_args"),
         }

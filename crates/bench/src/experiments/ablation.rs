@@ -86,8 +86,8 @@ pub fn agrank_damping(scenarios: usize, base_seed: u64) -> Vec<(f64, f64)> {
                 config.damping = damping;
                 admit_all(problem, &AdmissionPolicy::AgRank(config)).success
             });
-            let pct = 100.0 * successes.iter().filter(|s| **s).count() as f64
-                / scenarios.max(1) as f64;
+            let pct =
+                100.0 * successes.iter().filter(|s| **s).count() as f64 / scenarios.max(1) as f64;
             (damping, pct)
         })
         .collect()
@@ -130,7 +130,10 @@ pub fn print_all(scenarios: usize, duration_s: f64, base_seed: u64) {
     println!("Ablation 1 — transcoding placement rule (Nrst users, initial assignment)");
     println!("{:<24} {:>14} {:>12}", "rule", "traffic Mbps", "delay ms");
     for row in placement_rules(scenarios, base_seed) {
-        println!("{:<24} {:>14.0} {:>12.1}", row.label, row.traffic, row.delay);
+        println!(
+            "{:<24} {:>14.0} {:>12.1}",
+            row.label, row.traffic, row.delay
+        );
     }
 
     println!("\nAblation 2 — AgRank damping (1000 Mbps mean bandwidth, admission success)");
@@ -140,9 +143,15 @@ pub fn print_all(scenarios: usize, duration_s: f64, base_seed: u64) {
     }
 
     println!("\nAblation 3 — β schedule over {duration_s} simulated seconds");
-    println!("{:<24} {:>14} {:>12}", "schedule", "traffic Mbps", "delay ms");
+    println!(
+        "{:<24} {:>14} {:>12}",
+        "schedule", "traffic Mbps", "delay ms"
+    );
     for row in beta_schedule(scenarios, duration_s, base_seed) {
-        println!("{:<24} {:>14.0} {:>12.1}", row.label, row.traffic, row.delay);
+        println!(
+            "{:<24} {:>14.0} {:>12.1}",
+            row.label, row.traffic, row.delay
+        );
     }
 }
 

@@ -45,9 +45,7 @@ pub fn print(report: &SimReport) {
         10.0,
     );
     for &(t, agent, moved, forced) in &report.evacuations {
-        println!(
-            "\nevacuation at t = {t:.0} s: {moved} migrations off {agent} ({forced} forced)"
-        );
+        println!("\nevacuation at t = {t:.0} s: {moved} migrations off {agent} ({forced} forced)");
     }
     println!(
         "final state feasible: {} | {} total hops",

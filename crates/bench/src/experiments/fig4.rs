@@ -36,10 +36,8 @@ pub fn print(result: &Fig4Result) {
         .iter()
         .map(|(b, r)| (format!("beta={b}"), &r.traffic))
         .collect();
-    let traffic_refs: Vec<(&str, &vc_sim::TimeSeries)> = traffic
-        .iter()
-        .map(|(l, s)| (l.as_str(), *s))
-        .collect();
+    let traffic_refs: Vec<(&str, &vc_sim::TimeSeries)> =
+        traffic.iter().map(|(l, s)| (l.as_str(), *s)).collect();
     print_series_table(&traffic_refs, 10.0);
     println!("\n(b) conferencing delay (ms)");
     let delay: Vec<(String, &vc_sim::TimeSeries)> = result

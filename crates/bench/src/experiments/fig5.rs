@@ -44,7 +44,9 @@ pub fn run(duration_s: f64, seed: u64) -> SimReport {
 
     let mut config = SimConfig::paper_default(duration_s, seed);
     config.arrival_policy = ArrivalPolicy::AgRank(AgRankConfig::paper(2));
-    ConferenceSim::new(state, config).with_dynamics(dynamics).run()
+    ConferenceSim::new(state, config)
+        .with_dynamics(dynamics)
+        .run()
 }
 
 /// Prints the traffic/delay series with the dynamics marked.

@@ -71,21 +71,25 @@ fn sweep(
 
 /// Fig. 9(a): bandwidth sweep (unlimited transcoding capacity).
 pub fn run_bandwidth(points: &[f64], scenarios: usize, base_seed: u64) -> Vec<SweepPoint> {
-    sweep(points, scenarios, base_seed, |capacity, seed| LargeScaleConfig {
-        mean_bandwidth_mbps: Some(capacity),
-        mean_transcode_slots: None,
-        seed,
-        ..LargeScaleConfig::default()
+    sweep(points, scenarios, base_seed, |capacity, seed| {
+        LargeScaleConfig {
+            mean_bandwidth_mbps: Some(capacity),
+            mean_transcode_slots: None,
+            seed,
+            ..LargeScaleConfig::default()
+        }
     })
 }
 
 /// Fig. 9(b): transcoding sweep (unlimited bandwidth capacity).
 pub fn run_transcode(points: &[f64], scenarios: usize, base_seed: u64) -> Vec<SweepPoint> {
-    sweep(points, scenarios, base_seed, |capacity, seed| LargeScaleConfig {
-        mean_bandwidth_mbps: None,
-        mean_transcode_slots: Some(capacity),
-        seed,
-        ..LargeScaleConfig::default()
+    sweep(points, scenarios, base_seed, |capacity, seed| {
+        LargeScaleConfig {
+            mean_bandwidth_mbps: None,
+            mean_transcode_slots: Some(capacity),
+            seed,
+            ..LargeScaleConfig::default()
+        }
     })
 }
 

@@ -40,7 +40,10 @@ pub fn print(points: &[MigrationPoint]) {
         "{:>10} | {:>14} {:>12} | {:>14} {:>12} {:>14}",
         "switch ms", "frozen frames", "max gap ms", "frozen frames", "max gap ms", "redundant Kb"
     );
-    println!("{:>10} | {:>27} | {:>43}", "", "instant teardown", "dual-feed overlap");
+    println!(
+        "{:>10} | {:>27} | {:>43}",
+        "", "instant teardown", "dual-feed overlap"
+    );
     for p in points {
         println!(
             "{:>10.0} | {:>14} {:>12.1} | {:>14} {:>12.1} {:>14.1}",

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod migration;
+pub mod orchestrator;
 pub mod robust;
 pub mod table2;
 pub mod theorem1;

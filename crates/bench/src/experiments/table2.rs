@@ -77,12 +77,7 @@ fn measure(state: &SystemState) -> Metrics {
     }
 }
 
-fn run_policy(
-    base: &UapProblem,
-    init: &Assignment,
-    config: &Table2Config,
-    seed: u64,
-) -> PolicyRow {
+fn run_policy(base: &UapProblem, init: &Assignment, config: &Table2Config, seed: u64) -> PolicyRow {
     let init_metrics = {
         let state = SystemState::new(Arc::new(base.clone()), init.clone());
         measure(&state)

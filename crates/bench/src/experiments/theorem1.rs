@@ -44,7 +44,10 @@ pub fn fig3_problem() -> Arc<UapProblem> {
     b.add_user(s, r720, r360);
     b.add_user(s, r360, r480); // demands 480p of u0's 720p → one task
     b.symmetric_delays(|_, _| 35.0, |l, u| 12.0 + 9.0 * ((l + u) % 2) as f64);
-    Arc::new(UapProblem::new(b.build().unwrap(), CostModel::paper_default()))
+    Arc::new(UapProblem::new(
+        b.build().unwrap(),
+        CostModel::paper_default(),
+    ))
 }
 
 /// The exact feasible graph of the Fig. 3 instance.
@@ -116,7 +119,12 @@ pub fn print(rows: &[GapRow]) {
     for r in rows {
         println!(
             "{:>8.3} {:>8.2} {:>14.2e} {:>12.4} {:>12.4} {:>14.4} {:>14.4}",
-            r.beta, r.delta, r.stationary_tv, r.clean_gap, r.clean_bound, r.perturbed_gap,
+            r.beta,
+            r.delta,
+            r.stationary_tv,
+            r.clean_gap,
+            r.clean_bound,
+            r.perturbed_gap,
             r.perturbed_bound
         );
     }

@@ -17,9 +17,9 @@ where
     let mut results: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if i >= seeds.len() {
                     break;
@@ -29,9 +29,11 @@ where
                 guard[i] = Some(value);
             });
         }
-    })
-    .expect("scenario workers do not panic");
-    results.into_iter().map(|r| r.expect("all seeds ran")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all seeds ran"))
+        .collect()
 }
 
 /// Prints labeled time series side by side, sampled every `step` seconds.

@@ -80,12 +80,8 @@ impl Assignment {
     /// Applies a single-decision change, returning the previous agent.
     pub fn apply(&mut self, decision: Decision) -> AgentId {
         match decision {
-            Decision::User(u, a) => {
-                std::mem::replace(&mut self.user_agent[u.index()], a)
-            }
-            Decision::Task(t, a) => {
-                std::mem::replace(&mut self.task_agent[t.index()], a)
-            }
+            Decision::User(u, a) => std::mem::replace(&mut self.user_agent[u.index()], a),
+            Decision::Task(t, a) => std::mem::replace(&mut self.task_agent[t.index()], a),
         }
     }
 
@@ -175,7 +171,7 @@ mod tests {
         assert_eq!(a.hamming_distance(&b), 0);
         b.apply(Decision::User(UserId::new(1), AgentId::new(1)));
         assert_eq!(a.hamming_distance(&b), 1);
-        if p.tasks().len() > 0 {
+        if !p.tasks().is_empty() {
             b.apply(Decision::Task(TaskId::new(0), AgentId::new(1)));
             assert_eq!(a.hamming_distance(&b), 2);
         }

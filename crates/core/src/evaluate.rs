@@ -83,7 +83,11 @@ impl SessionLoad {
 /// # Panics
 ///
 /// Panics if `s` is out of range for the problem's instance.
-pub fn evaluate_session(problem: &UapProblem, assignment: &Assignment, s: SessionId) -> SessionLoad {
+pub fn evaluate_session(
+    problem: &UapProblem,
+    assignment: &Assignment,
+    s: SessionId,
+) -> SessionLoad {
     let inst = problem.instance();
     let nl = inst.num_agents();
     let session = inst.session(s);
@@ -289,10 +293,7 @@ fn accumulate_stream_flows(
     for v in inst.participants(u) {
         if !inst.theta(u, v) {
             let a_v = assignment.agent_of_user(v);
-            if a_v != a_u
-                && !transcoder_agents.contains(&a_v)
-                && !raw_dest_agents.contains(&a_v)
-            {
+            if a_v != a_u && !transcoder_agents.contains(&a_v) && !raw_dest_agents.contains(&a_v) {
                 raw_dest_agents.push(a_v);
             }
         }

@@ -89,7 +89,8 @@ mod tests {
     #[test]
     fn with_cost_changes_only_cost() {
         let p = small_problem();
-        let q = p.with_cost(CostModel::paper_default().with_weights(ObjectiveWeights::delay_only()));
+        let q =
+            p.with_cost(CostModel::paper_default().with_weights(ObjectiveWeights::delay_only()));
         assert_eq!(p.tasks(), q.tasks());
         assert_eq!(q.cost().weights.alpha_traffic(), 0.0);
     }

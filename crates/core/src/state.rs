@@ -81,7 +81,11 @@ impl SystemState {
     /// # Panics
     ///
     /// Panics if `active.len()` differs from the session count.
-    pub fn with_active(problem: Arc<UapProblem>, assignment: Assignment, active: Vec<bool>) -> Self {
+    pub fn with_active(
+        problem: Arc<UapProblem>,
+        assignment: Assignment,
+        active: Vec<bool>,
+    ) -> Self {
         assert_eq!(
             active.len(),
             problem.instance().num_sessions(),
@@ -320,7 +324,8 @@ impl SystemState {
                     capacity_mbps: cap.upload_mbps,
                 });
             }
-            let tl = self.totals.transcode[i] - old.transcode_units[i] + new_load.transcode_units[i];
+            let tl =
+                self.totals.transcode[i] - old.transcode_units[i] + new_load.transcode_units[i];
             if tl > cap.transcode_slots {
                 return Err(Violation::Transcode {
                     agent: l,
@@ -407,12 +412,18 @@ impl SystemState {
         for &(t, a) in task_agents {
             self.assignment.set_task(t, a);
         }
-        let new_load = evaluate_session(&self.problem, &self.assignment, s);
         if self.active[s.index()] {
+            let new_load = evaluate_session(&self.problem, &self.assignment, s);
             self.totals.remove(&self.loads[s.index()]);
             self.totals.add(&new_load);
+            self.loads[s.index()] = new_load;
+        } else {
+            // Inactive sessions carry no load (the deactivate convention);
+            // activation evaluates the new assignment exactly once. This
+            // keeps reassign+activate — the admission hot path — at one
+            // evaluation instead of two.
+            self.loads[s.index()] = SessionLoad::empty(self.problem.instance().num_agents());
         }
-        self.loads[s.index()] = new_load;
     }
 
     /// Rebuilds all cached loads and totals from scratch, squashing any
@@ -466,11 +477,7 @@ mod tests {
         let mut st = state();
         st.apply_unchecked(Decision::User(UserId::new(1), B));
         st.apply_unchecked(Decision::Task(TaskId::new(0), B));
-        let incremental = (
-            st.objective(),
-            st.total_traffic_mbps(),
-            st.totals().clone(),
-        );
+        let incremental = (st.objective(), st.total_traffic_mbps(), st.totals().clone());
         let drift = st.rebuild();
         assert!(drift < 1e-9, "drift {drift}");
         assert!((st.objective() - incremental.0).abs() < 1e-9);

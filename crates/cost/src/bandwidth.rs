@@ -41,7 +41,10 @@ impl BandwidthCost {
     ///
     /// Panics if either coefficient is negative or non-finite.
     pub fn quadratic(linear: f64, quadratic: f64) -> Self {
-        assert!(linear.is_finite() && linear >= 0.0, "linear coefficient invalid");
+        assert!(
+            linear.is_finite() && linear >= 0.0,
+            "linear coefficient invalid"
+        );
         assert!(
             quadratic.is_finite() && quadratic >= 0.0,
             "quadratic coefficient invalid"
@@ -56,7 +59,11 @@ impl BandwidthCost {
     /// Panics if `slopes.len() != knots.len() + 1`, knots are not strictly
     /// increasing positives, or slopes are negative or decreasing.
     pub fn piecewise(knots: Vec<f64>, slopes: Vec<f64>) -> Self {
-        assert_eq!(slopes.len(), knots.len() + 1, "need one more slope than knots");
+        assert_eq!(
+            slopes.len(),
+            knots.len() + 1,
+            "need one more slope than knots"
+        );
         assert!(
             knots.windows(2).all(|w| w[0] < w[1]) && knots.iter().all(|k| *k > 0.0),
             "knots must be strictly increasing positives"

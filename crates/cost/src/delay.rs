@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 
 /// Convex increasing delay cost over the vector `d_s = [d_u]` of per-user
 /// worst receive delays (ms).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum DelayCost {
     /// `F(d_s) = (Σ_u d_u)/|U(s)|` — the paper's example choice.
+    #[default]
     Mean,
     /// `F(d_s) = max_u d_u` — worst-participant experience.
     Max,
@@ -30,12 +31,6 @@ impl DelayCost {
                 .copied()
                 .fold(f64::NEG_INFINITY, f64::max),
         }
-    }
-}
-
-impl Default for DelayCost {
-    fn default() -> Self {
-        DelayCost::Mean
     }
 }
 

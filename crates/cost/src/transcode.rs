@@ -30,7 +30,10 @@ impl TranscodeCost {
     ///
     /// Panics if either coefficient is negative or non-finite.
     pub fn quadratic(linear: f64, quadratic: f64) -> Self {
-        assert!(linear.is_finite() && linear >= 0.0, "linear coefficient invalid");
+        assert!(
+            linear.is_finite() && linear >= 0.0,
+            "linear coefficient invalid"
+        );
         assert!(
             quadratic.is_finite() && quadratic >= 0.0,
             "quadratic coefficient invalid"

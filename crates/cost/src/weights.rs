@@ -31,7 +31,10 @@ impl ObjectiveWeights {
             ("alpha_traffic", alpha_traffic),
             ("alpha_transcode", alpha_transcode),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and ≥ 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and ≥ 0, got {v}"
+            );
         }
         Self {
             alpha_delay,

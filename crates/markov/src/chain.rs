@@ -99,9 +99,8 @@ impl Ctmc {
         if !self.graph.neighbors(from).contains(&to) {
             return 0.0;
         }
-        let exponent =
-            (0.5 * self.beta * (self.graph.energy(from) - self.graph.energy(to)))
-                .clamp(-MAX_EXPONENT, MAX_EXPONENT);
+        let exponent = (0.5 * self.beta * (self.graph.energy(from) - self.graph.energy(to)))
+            .clamp(-MAX_EXPONENT, MAX_EXPONENT);
         self.tau * exponent.exp()
     }
 
@@ -109,14 +108,14 @@ impl Ctmc {
     pub fn generator(&self) -> Vec<Vec<f64>> {
         let n = self.graph.len();
         let mut q = vec![vec![0.0; n]; n];
-        for i in 0..n {
+        for (i, row) in q.iter_mut().enumerate() {
             let mut total = 0.0;
             for &j in self.graph.neighbors(i) {
                 let r = self.rate(i, j);
-                q[i][j] = r;
+                row[j] = r;
                 total += r;
             }
-            q[i][i] = -total;
+            row[i] = -total;
         }
         q
     }
@@ -183,9 +182,7 @@ impl Ctmc {
                 a[j][i] = q[i][j] / max_rate;
             }
         }
-        for j in 0..n {
-            a[n - 1][j] = 1.0;
-        }
+        a[n - 1].fill(1.0);
         let mut b = vec![0.0; n];
         b[n - 1] = 1.0;
         for col in 0..n {
@@ -204,8 +201,10 @@ impl Ctmc {
             for row in (col + 1)..n {
                 let factor = a[row][col] / diag;
                 if factor != 0.0 {
-                    for k in col..n {
-                        a[row][k] -= factor * a[col][k];
+                    let (upper, lower) = a.split_at_mut(row);
+                    let pivot_row = &upper[col];
+                    for (k, entry) in lower[0].iter_mut().enumerate().skip(col) {
+                        *entry -= factor * pivot_row[k];
                     }
                     b[row] -= factor * b[col];
                 }

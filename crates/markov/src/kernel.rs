@@ -45,7 +45,10 @@ pub fn hop_kernel_stationary(graph: &StateGraph, beta: f64) -> Vec<f64> {
             z_f.ln() - beta * (graph.energy(f) - min_e)
         })
         .collect();
-    let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max_lw = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let weights: Vec<f64> = log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
     let z: f64 = weights.iter().sum();
     weights.into_iter().map(|w| w / z).collect()

@@ -129,7 +129,11 @@ mod tests {
         // Complete graph mixes faster than a ring over the same energies.
         let energies = vec![1.0, 2.0, 1.5, 2.5, 1.2, 2.2];
         let ring_adj: Vec<Vec<usize>> = (0..6).map(|i| vec![(i + 5) % 6, (i + 1) % 6]).collect();
-        let ring = Ctmc::new(StateGraph::new(energies.clone(), ring_adj).unwrap(), 1.0, 1.0);
+        let ring = Ctmc::new(
+            StateGraph::new(energies.clone(), ring_adj).unwrap(),
+            1.0,
+            1.0,
+        );
         let complete = Ctmc::new(StateGraph::complete(energies), 1.0, 1.0);
         let t_ring = mixing_time_estimate(&ring, 0.05, 500.0).expect("ring mixes");
         let t_complete = mixing_time_estimate(&complete, 0.05, 500.0).expect("complete mixes");
@@ -145,7 +149,11 @@ mod tests {
         // after Theorem 1).
         let energies = vec![0.0, 2.0, 0.1, 2.0];
         let adj: Vec<Vec<usize>> = (0..4).map(|i| vec![(i + 3) % 4, (i + 1) % 4]).collect();
-        let cold = Ctmc::new(StateGraph::new(energies.clone(), adj.clone()).unwrap(), 0.5, 1.0);
+        let cold = Ctmc::new(
+            StateGraph::new(energies.clone(), adj.clone()).unwrap(),
+            0.5,
+            1.0,
+        );
         let hot = Ctmc::new(StateGraph::new(energies, adj).unwrap(), 4.0, 1.0);
         let t_cold = mixing_time_estimate(&cold, 0.05, 2_000.0).expect("cold mixes");
         let t_hot = mixing_time_estimate(&hot, 0.05, 2_000.0).expect("hot mixes");

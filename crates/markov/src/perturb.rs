@@ -124,7 +124,10 @@ pub fn perturbed_stationary(graph: &StateGraph, beta: f64, noise: &[NoiseSpec]) 
         .zip(noise)
         .map(|(phi, n)| -beta * phi + n.log_delta_factor(beta))
         .collect();
-    let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max_lw = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let weights: Vec<f64> = log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
     let z: f64 = weights.iter().sum();
     weights.into_iter().map(|w| w / z).collect()
@@ -270,6 +273,9 @@ mod tests {
             mean += o;
         }
         mean /= 4000.0;
-        assert!(mean.abs() < 0.05, "symmetric noise should average ~0: {mean}");
+        assert!(
+            mean.abs() < 0.05,
+            "symmetric noise should average ~0: {mean}"
+        );
     }
 }

@@ -32,7 +32,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::InvalidLadder(msg) => write!(f, "invalid representation ladder: {msg}"),
             ModelError::DimensionMismatch { expected, actual } => {
-                write!(f, "matrix dimension mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "matrix dimension mismatch: expected {expected} elements, got {actual}"
+                )
             }
             ModelError::InvalidDelays(msg) => write!(f, "invalid delay matrices: {msg}"),
             ModelError::UnknownId(msg) => write!(f, "unknown identifier: {msg}"),

@@ -9,8 +9,7 @@
 
 use crate::{
     AgentId, AgentSpec, Capacity, DelayMatrices, DownstreamDemand, Matrix, ModelError, ReprId,
-    ReprLadder, SessionId, SessionSpec, TranscodeLatencyModel, UserId, UserSpec,
-    DEFAULT_D_MAX_MS,
+    ReprLadder, SessionId, SessionSpec, TranscodeLatencyModel, UserId, UserSpec, DEFAULT_D_MAX_MS,
 };
 use serde::{Deserialize, Serialize};
 
@@ -324,7 +323,10 @@ impl InstanceBuilder {
         }
         for s in &self.sessions {
             if s.is_empty() {
-                return Err(ModelError::Inconsistent(format!("session {} is empty", s.id())));
+                return Err(ModelError::Inconsistent(format!(
+                    "session {} is empty",
+                    s.id()
+                )));
             }
         }
         for u in &self.users {
@@ -374,7 +376,7 @@ impl InstanceBuilder {
                 self.users.len()
             )));
         }
-        if !(self.d_max_ms > 0.0) {
+        if self.d_max_ms.is_nan() || self.d_max_ms <= 0.0 {
             return Err(ModelError::Inconsistent(format!(
                 "Dmax must be positive, got {}",
                 self.d_max_ms

@@ -49,7 +49,7 @@ pub use delay::{DelayMatrices, Matrix};
 pub use error::ModelError;
 pub use ids::{id_range, AgentId, ReprId, SessionId, UserId};
 pub use instance::{Instance, InstanceBuilder};
-pub use repr::{Representation, ReprLadder};
+pub use repr::{ReprLadder, Representation};
 pub use session::SessionSpec;
 pub use transcode::TranscodeLatencyModel;
 pub use user::{DownstreamDemand, UserSpec};

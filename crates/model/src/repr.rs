@@ -92,7 +92,9 @@ impl ReprLadder {
         let reprs: Vec<Representation> = steps
             .into_iter()
             .enumerate()
-            .map(|(i, (name, height, kbps))| Representation::new(ReprId::from(i), name, height, kbps))
+            .map(|(i, (name, height, kbps))| {
+                Representation::new(ReprId::from(i), name, height, kbps)
+            })
             .collect();
         if reprs.is_empty() {
             return Err(ModelError::InvalidLadder("ladder must not be empty".into()));
@@ -107,7 +109,10 @@ impl ReprLadder {
         }
         for (i, a) in reprs.iter().enumerate() {
             if reprs[..i].iter().any(|b| b.name == a.name) {
-                return Err(ModelError::InvalidLadder(format!("duplicate name {}", a.name)));
+                return Err(ModelError::InvalidLadder(format!(
+                    "duplicate name {}",
+                    a.name
+                )));
             }
         }
         Ok(Self { reprs })

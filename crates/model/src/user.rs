@@ -130,8 +130,8 @@ mod tests {
 
     #[test]
     fn overrides_take_precedence() {
-        let d = DownstreamDemand::uniform(ReprId::new(2))
-            .with_override(UserId::new(5), ReprId::new(0));
+        let d =
+            DownstreamDemand::uniform(ReprId::new(2)).with_override(UserId::new(5), ReprId::new(0));
         assert_eq!(d.from_source(UserId::new(5)), ReprId::new(0));
         assert_eq!(d.from_source(UserId::new(6)), ReprId::new(2));
         assert_eq!(d.overrides().len(), 1);

@@ -90,8 +90,16 @@ pub fn instance() -> Instance {
     let mut b = InstanceBuilder::new(ladder);
     b.add_agent(AgentSpec::builder("ec2-oregon").speed_factor(1.6).build());
     b.add_agent(AgentSpec::builder("ec2-tokyo").speed_factor(2.0).build());
-    b.add_agent(AgentSpec::builder("ec2-singapore").speed_factor(1.2).build());
-    b.add_agent(AgentSpec::builder("ec2-sao-paulo").speed_factor(1.4).build());
+    b.add_agent(
+        AgentSpec::builder("ec2-singapore")
+            .speed_factor(1.2)
+            .build(),
+    );
+    b.add_agent(
+        AgentSpec::builder("ec2-sao-paulo")
+            .speed_factor(1.4)
+            .build(),
+    );
 
     let s = b.add_session();
     // User 1 [CA] wants 480p of user 4 [HK]'s 720p stream: one transcode task.

@@ -119,12 +119,12 @@ pub fn build_delay_matrices<R: Rng + ?Sized>(
         }
     }
     let mut h = Matrix::filled(nl, nu, 0.0);
-    for l in 0..nl {
-        for u in 0..nu {
+    for (l, &agent) in agents.iter().enumerate() {
+        for (u, &user) in users.iter().enumerate() {
             let v = if jitter_frac > 0.0 {
-                model.one_way_jittered_ms(agents[l], users[u], jitter_frac, rng)
+                model.one_way_jittered_ms(agent, user, jitter_frac, rng)
             } else {
-                model.one_way_ms(agents[l], users[u])
+                model.one_way_ms(agent, user)
             };
             h.set(l, u, v);
         }
@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn matrices_are_valid_and_symmetric() {
         let m = LatencyModel::default();
-        let agents: Vec<GeoPoint> = crate::sites::ec2_seven().iter().map(|s| s.point()).collect();
+        let agents: Vec<GeoPoint> = crate::sites::ec2_seven()
+            .iter()
+            .map(|s| s.point())
+            .collect();
         let users: Vec<GeoPoint> = ["hong-kong", "london", "seattle"]
             .iter()
             .map(|n| metro(n).unwrap().point())
@@ -194,10 +197,10 @@ mod tests {
         let m = LatencyModel::default();
         let agents = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(20.0, 20.0)];
         let users = vec![GeoPoint::new(10.0, 10.0)];
-        let a = build_delay_matrices(&m, &agents, &users, 0.0, &mut StdRng::seed_from_u64(1))
-            .unwrap();
-        let b = build_delay_matrices(&m, &agents, &users, 0.0, &mut StdRng::seed_from_u64(2))
-            .unwrap();
+        let a =
+            build_delay_matrices(&m, &agents, &users, 0.0, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b =
+            build_delay_matrices(&m, &agents, &users, 0.0, &mut StdRng::seed_from_u64(2)).unwrap();
         assert_eq!(a, b);
     }
 

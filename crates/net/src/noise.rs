@@ -23,7 +23,10 @@ impl DelayJitter {
     ///
     /// Panics unless `0 ≤ frac < 1`.
     pub fn new(frac: f64) -> Self {
-        assert!((0.0..1.0).contains(&frac), "noise fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "noise fraction must be in [0, 1)"
+        );
         Self { frac }
     }
 

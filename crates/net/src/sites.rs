@@ -266,7 +266,11 @@ mod tests {
             .filter(|s| s.region() == Region::NorthAmerica)
             .count() as f64
             / 4000.0;
-        let eu = sites.iter().filter(|s| s.region() == Region::Europe).count() as f64 / 4000.0;
+        let eu = sites
+            .iter()
+            .filter(|s| s.region() == Region::Europe)
+            .count() as f64
+            / 4000.0;
         assert!((na - 0.45).abs() < 0.05, "north america share {na}");
         assert!((eu - 0.35).abs() < 0.05, "europe share {eu}");
     }

@@ -76,8 +76,8 @@ impl RttTrace {
         let u1: f64 = rng.gen::<f64>().max(1e-12);
         let u2: f64 = rng.gen::<f64>();
         let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        self.deviation = self.config.ar_coeff * self.deviation
-            + self.config.noise_frac * self.base_ms * gauss;
+        self.deviation =
+            self.config.ar_coeff * self.deviation + self.config.noise_frac * self.base_ms * gauss;
         if rng.gen::<f64>() < self.config.spike_prob {
             self.spike += self.config.spike_scale * self.base_ms * rng.gen::<f64>();
         }
@@ -232,7 +232,10 @@ mod tests {
         let num: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
         let den: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
         let lag1 = num / den;
-        assert!(lag1 > 0.7, "expected strong lag-1 autocorrelation, got {lag1}");
+        assert!(
+            lag1 > 0.7,
+            "expected strong lag-1 autocorrelation, got {lag1}"
+        );
     }
 
     #[test]
@@ -253,8 +256,12 @@ mod tests {
     #[test]
     fn delay_trace_set_preserves_matrix_invariants() {
         use vc_model::{DelayMatrices, Matrix};
-        let d = Matrix::from_rows(3, 3, vec![0.0, 60.0, 90.0, 60.0, 0.0, 40.0, 90.0, 40.0, 0.0])
-            .unwrap();
+        let d = Matrix::from_rows(
+            3,
+            3,
+            vec![0.0, 60.0, 90.0, 60.0, 0.0, 40.0, 90.0, 40.0, 0.0],
+        )
+        .unwrap();
         let h = Matrix::from_rows(3, 2, vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
         let base = DelayMatrices::new(d, h).unwrap();
         let mut set = DelayTraceSet::new(base, TraceConfig::default());

@@ -1,0 +1,376 @@
+//! The fleet: admission, departure, failure handling, and hop execution
+//! over one shared `SystemState` + [`CapacityLedger`] pair.
+//!
+//! The `SystemState` (behind the FREEZE lock) is the *authoritative*
+//! assignment and load accounting; the ledger is the *contended*
+//! capacity view that admissions race on and telemetry reads without
+//! blocking migrations. Every mutation keeps the two in lock-step:
+//! [`Fleet::audit`] must always come back clean.
+
+use crate::ledger::{CapacityLedger, LedgerError, SessionHold};
+use parking_lot::Mutex;
+use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use vc_algo::agrank::{self, AgRankConfig};
+use vc_algo::churn::evacuate_agent;
+use vc_algo::markov::{Alg1Config, Alg1Engine, HopOutcome};
+use vc_algo::placement;
+use vc_core::{Assignment, SystemState, TaskId, UapProblem};
+use vc_model::{AgentId, SessionId, UserId};
+
+/// One candidate placement: session users and tasks to agents.
+type Placement = (Vec<(UserId, AgentId)>, Vec<(TaskId, AgentId)>);
+
+/// How arriving sessions are placed.
+#[derive(Debug, Clone)]
+pub enum PlacementPolicy {
+    /// Nearest agent per user (the Airlift/vSkyConf rule) — resource-
+    /// oblivious, no fallback.
+    Nearest,
+    /// AgRank bootstrap (Alg. 2) against the ledger's live residuals,
+    /// falling back through each user's ranked candidates.
+    AgRank(AgRankConfig),
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Placement at admission.
+    pub placement: PlacementPolicy,
+    /// Alg. 1 parameters for the re-optimization workers.
+    pub alg1: Alg1Config,
+    /// Ledger shard count (clamped to the agent count).
+    pub ledger_shards: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
+            alg1: Alg1Config::default(),
+            ledger_shards: 8,
+        }
+    }
+}
+
+/// Why a session was not admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitError {
+    /// The session is already live.
+    AlreadyLive(SessionId),
+    /// No placement satisfied the ledger (last refusal attached).
+    NoCapacity(LedgerError),
+    /// The placement satisfied capacities but broke the delay bound.
+    DelayBound {
+        /// Worst flow delay of the attempted placement (ms).
+        delay_ms: f64,
+        /// The instance's `Dmax` (ms).
+        bound_ms: f64,
+    },
+}
+
+/// Running totals of control-plane activity (all monotone counters).
+#[derive(Debug, Default)]
+pub struct FleetCounters {
+    /// Sessions admitted.
+    pub admitted: AtomicUsize,
+    /// Admission attempts refused.
+    pub rejected: AtomicUsize,
+    /// Sessions departed.
+    pub departed: AtomicUsize,
+    /// Successful HOP migrations.
+    pub migrations: AtomicUsize,
+    /// HOPs that stayed put (including no-feasible-move).
+    pub stays: AtomicUsize,
+    /// Evacuation moves applied on agent failures.
+    pub evacuations: AtomicUsize,
+    /// Evacuation moves that were *forced* (no feasible target existed —
+    /// capacity may be overshot until re-optimization drains it).
+    pub forced_moves: AtomicUsize,
+}
+
+impl FleetCounters {
+    /// Admission success rate over all attempts so far (1.0 when idle).
+    pub fn admission_success_rate(&self) -> f64 {
+        let ok = self.admitted.load(Ordering::Relaxed);
+        let no = self.rejected.load(Ordering::Relaxed);
+        if ok + no == 0 {
+            1.0
+        } else {
+            ok as f64 / (ok + no) as f64
+        }
+    }
+}
+
+/// The multi-session control plane. See the module docs.
+#[derive(Debug)]
+pub struct Fleet {
+    problem: Arc<UapProblem>,
+    /// The FREEZE lock: every assignment mutation serializes here.
+    state: Mutex<SystemState>,
+    ledger: CapacityLedger,
+    engine: Alg1Engine,
+    config: FleetConfig,
+    counters: FleetCounters,
+}
+
+impl Fleet {
+    /// Creates a fleet over `problem` with **no** live sessions: every
+    /// session of the instance is a *potential* conference that may
+    /// arrive later.
+    pub fn new(problem: Arc<UapProblem>, config: FleetConfig) -> Self {
+        let num_sessions = problem.instance().num_sessions();
+        let initial = Assignment::all_to_agent(&problem, AgentId::new(0));
+        let state = SystemState::with_active(problem.clone(), initial, vec![false; num_sessions]);
+        let ledger = CapacityLedger::new(&problem, config.ledger_shards);
+        Self {
+            problem,
+            state: Mutex::new(state),
+            ledger,
+            engine: Alg1Engine::new(config.alg1.clone()),
+            config,
+            counters: FleetCounters::default(),
+        }
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Arc<UapProblem> {
+        &self.problem
+    }
+
+    /// The shared capacity ledger.
+    pub fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    /// Control-plane counters.
+    pub fn counters(&self) -> &FleetCounters {
+        &self.counters
+    }
+
+    /// The configured Alg. 1 engine (workers draw countdowns from it).
+    pub fn engine(&self) -> &Alg1Engine {
+        &self.engine
+    }
+
+    /// Admits session `s`: bootstrap placement (per the configured
+    /// policy), atomic ledger reservation, activation. On any refusal
+    /// the fleet is left exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdmitError`].
+    pub fn admit(&self, s: SessionId) -> Result<(), AdmitError> {
+        let mut state = self.state.lock();
+        if state.is_active(s) {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError::AlreadyLive(s));
+        }
+        let inst = self.problem.instance();
+        let result = match &self.config.placement {
+            PlacementPolicy::Nearest => {
+                let users: Vec<(UserId, AgentId)> = inst
+                    .session(s)
+                    .users()
+                    .iter()
+                    .map(|&u| (u, inst.delays().nearest_agent(u)))
+                    .collect();
+                let (users, tasks) = self.with_tasks(s, users);
+                self.try_placement(&mut state, s, users, tasks)
+            }
+            PlacementPolicy::AgRank(config) => {
+                let residuals = self.ledger.residuals();
+                let sa = agrank::assign_session(&self.problem, s, &residuals, config);
+                // First choice reuses the bootstrap's own task placement.
+                let mut outcome =
+                    self.try_placement(&mut state, s, sa.users.clone(), sa.tasks.clone());
+                if outcome.is_err() {
+                    // Fallbacks, built lazily only after a refusal: walk
+                    // each user one step down its ranked candidate list
+                    // (bounded; full combinatorial search is admission's
+                    // offline job, not the control plane's).
+                    'search: for (i, (u, _)) in sa.users.iter().enumerate() {
+                        for &alt in sa.ranking.candidates_of(*u).iter().skip(1) {
+                            let mut users = sa.users.clone();
+                            users[i] = (*u, alt);
+                            let (users, tasks) = self.with_tasks(s, users);
+                            match self.try_placement(&mut state, s, users, tasks) {
+                                Ok(()) => {
+                                    outcome = Ok(());
+                                    break 'search;
+                                }
+                                refused => outcome = refused,
+                            }
+                        }
+                    }
+                }
+                outcome
+            }
+        };
+        match result {
+            Ok(()) => self.counters.admitted.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.counters.rejected.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Tries one placement: activate, check the delay bound, reserve in
+    /// the ledger. On refusal the state is rolled back exactly.
+    fn try_placement(
+        &self,
+        state: &mut SystemState,
+        s: SessionId,
+        users: Vec<(UserId, AgentId)>,
+        tasks: Vec<(TaskId, AgentId)>,
+    ) -> Result<(), AdmitError> {
+        state.reassign_session(s, &users, &tasks);
+        state.activate(s);
+        let load = state.session_load(s);
+        let bound = self.problem.instance().d_max_ms();
+        if load.max_flow_delay > bound + 1e-6 {
+            let refusal = AdmitError::DelayBound {
+                delay_ms: load.max_flow_delay,
+                bound_ms: bound,
+            };
+            state.deactivate(s);
+            return Err(refusal);
+        }
+        match self.ledger.try_reserve(s, SessionHold::from_load(load)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                state.deactivate(s);
+                Err(AdmitError::NoCapacity(e))
+            }
+        }
+    }
+
+    /// Completes a user placement with the transcoding rule of thumb
+    /// (session-scoped: admission must not pay a whole-instance pass).
+    fn with_tasks(&self, s: SessionId, users: Vec<(UserId, AgentId)>) -> Placement {
+        let tasks = placement::rule_of_thumb_session(&self.problem, s, &users);
+        (users, tasks)
+    }
+
+    /// Departs session `s`, releasing exactly what it reserved. Returns
+    /// the released hold (`None` if the session was not live).
+    pub fn depart(&self, s: SessionId) -> Option<SessionHold> {
+        let mut state = self.state.lock();
+        if !state.is_active(s) {
+            return None;
+        }
+        state.deactivate(s);
+        let hold = self
+            .ledger
+            .release(s)
+            .expect("live session holds a reservation");
+        self.counters.departed.fetch_add(1, Ordering::Relaxed);
+        Some(hold)
+    }
+
+    /// Fails `agent`: the ledger stops taking reservations on it, and
+    /// every stranded user/task of a live session is evacuated
+    /// immediately (via `vc-algo`'s churn module), with the ledger
+    /// re-synced for every session the evacuation touched. Returns
+    /// `(moves, forced)`.
+    pub fn fail_agent(&self, agent: AgentId) -> (usize, usize) {
+        let mut state = self.state.lock();
+        self.ledger.fail_agent(agent);
+        let report = evacuate_agent(&mut state, agent);
+        let mut touched: Vec<SessionId> =
+            report.moves.iter().map(|&d| state.session_of(d)).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for s in touched {
+            self.ledger
+                .force_swap(s, SessionHold::from_load(state.session_load(s)))
+                .expect("evacuated session holds a reservation");
+        }
+        self.counters
+            .evacuations
+            .fetch_add(report.moves.len(), Ordering::Relaxed);
+        self.counters
+            .forced_moves
+            .fetch_add(report.forced, Ordering::Relaxed);
+        (report.moves.len(), report.forced)
+    }
+
+    /// Brings a failed agent back; Alg. 1 hops will migrate load onto it
+    /// again as the Gibbs weights dictate.
+    pub fn restore_agent(&self, agent: AgentId) {
+        let mut state = self.state.lock();
+        self.ledger.restore_agent(agent);
+        state.set_agent_available(agent, true);
+    }
+
+    /// One Alg. 1 HOP for session `s` under the FREEZE lock, mirroring
+    /// any migration into the ledger. No-op for non-live sessions.
+    pub fn hop_session<R: Rng + ?Sized>(&self, s: SessionId, rng: &mut R) -> HopOutcome {
+        let mut state = self.state.lock();
+        if !state.is_active(s) {
+            return HopOutcome::NoFeasibleMove;
+        }
+        let outcome = self.engine.hop(&mut state, s, rng);
+        match outcome {
+            HopOutcome::Migrated(_) => {
+                self.ledger
+                    .force_swap(s, SessionHold::from_load(state.session_load(s)))
+                    .expect("live session holds a reservation");
+                self.counters.migrations.fetch_add(1, Ordering::Relaxed);
+            }
+            HopOutcome::Stayed | HopOutcome::NoFeasibleMove => {
+                self.counters.stays.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// Whether session `s` is live.
+    pub fn is_live(&self, s: SessionId) -> bool {
+        self.state.lock().is_active(s)
+    }
+
+    /// Number of live sessions.
+    pub fn live_count(&self) -> usize {
+        self.state.lock().active_sessions().count()
+    }
+
+    /// Global objective over live sessions.
+    pub fn objective(&self) -> f64 {
+        self.state.lock().objective()
+    }
+
+    /// Mean objective per live session (0 when idle) — the fleet-level
+    /// quality figure reported by telemetry.
+    pub fn mean_session_objective(&self) -> f64 {
+        let state = self.state.lock();
+        let n = state.active_sessions().count();
+        if n == 0 {
+            0.0
+        } else {
+            state.objective() / n as f64
+        }
+    }
+
+    /// Total inter-agent traffic (Mbps).
+    pub fn total_traffic_mbps(&self) -> f64 {
+        self.state.lock().total_traffic_mbps()
+    }
+
+    /// Mean conferencing delay over live users (ms).
+    pub fn mean_delay_ms(&self) -> f64 {
+        self.state.lock().mean_delay_ms()
+    }
+
+    /// Runs `f` on the authoritative state under the FREEZE lock (for
+    /// callers needing a consistent multi-metric read).
+    pub fn with_state<T>(&self, f: impl FnOnce(&SystemState) -> T) -> T {
+        f(&self.state.lock())
+    }
+
+    /// Ledger-vs-state conservation audit (empty = conserved).
+    pub fn audit(&self) -> Vec<String> {
+        let state = self.state.lock();
+        self.ledger.audit_against(&state)
+    }
+}

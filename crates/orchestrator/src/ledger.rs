@@ -1,0 +1,484 @@
+//! The sharded per-agent capacity ledger.
+//!
+//! A [`SystemState`](vc_core::SystemState) is a closed world: its
+//! capacity checks only see the sessions of its own instance. The
+//! orchestrator instead treats agent capacity as a *shared, contended*
+//! resource: every live session holds an explicit reservation
+//! (bandwidth + transcoding slots per agent), taken and released
+//! atomically as sessions are admitted, migrated, and torn down —
+//! possibly from many worker threads at once.
+//!
+//! Agents are partitioned into shards, each behind its own lock, so
+//! concurrent reservations contend only when they touch the same shard —
+//! the structure every future scaling PR (async runtime, multi-region
+//! fleets) builds on. A multi-agent reservation locks the shards it
+//! spans in ascending order (deadlock-free) and is all-or-nothing.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use vc_core::{SystemState, UapProblem};
+use vc_model::{AgentId, Capacity, SessionId};
+
+/// Slack for floating-point capacity comparisons (mirrors `vc-core`).
+const CAPACITY_EPS: f64 = 1e-6;
+
+/// One agent's worth of a session's reservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentHold {
+    /// The agent held on.
+    pub agent: AgentId,
+    /// Reserved download bandwidth (Mbps), constraint (5).
+    pub download_mbps: f64,
+    /// Reserved upload bandwidth (Mbps), constraint (6).
+    pub upload_mbps: f64,
+    /// Reserved transcoding units, constraint (7).
+    pub transcode_units: u32,
+}
+
+/// A session's complete reservation: one [`AgentHold`] per agent it
+/// touches (sparse — most sessions touch a handful of agents).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionHold {
+    /// Per-agent holds, ascending by agent id.
+    pub holds: Vec<AgentHold>,
+}
+
+impl SessionHold {
+    /// Extracts the reservation implied by a session's evaluated load.
+    pub fn from_load(load: &vc_core::SessionLoad) -> Self {
+        let mut holds = Vec::new();
+        for i in 0..load.download.len() {
+            let (d, u, t) = (load.download[i], load.upload[i], load.transcode_units[i]);
+            if d > 0.0 || u > 0.0 || t > 0 {
+                holds.push(AgentHold {
+                    agent: AgentId::from(i),
+                    download_mbps: d,
+                    upload_mbps: u,
+                    transcode_units: t,
+                });
+            }
+        }
+        Self { holds }
+    }
+
+    /// Whether the hold reserves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.holds.is_empty()
+    }
+}
+
+/// Why a reservation was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// An agent lacks the requested resource.
+    Insufficient {
+        /// The constrained agent.
+        agent: AgentId,
+        /// Which resource ran out: `"download"`, `"upload"` or `"transcode"`.
+        resource: &'static str,
+    },
+    /// An agent in the request is marked failed.
+    AgentDown(AgentId),
+    /// The session already holds a reservation (admit without depart).
+    AlreadyHeld(SessionId),
+    /// The session holds nothing (release/swap without admit).
+    NotHeld(SessionId),
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Insufficient { agent, resource } => {
+                write!(f, "agent {agent} has insufficient {resource}")
+            }
+            Self::AgentDown(a) => write!(f, "agent {a} is down"),
+            Self::AlreadyHeld(s) => write!(f, "session {s} already holds a reservation"),
+            Self::NotHeld(s) => write!(f, "session {s} holds no reservation"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AgentEntry {
+    capacity: Capacity,
+    reserved_download: f64,
+    reserved_upload: f64,
+    reserved_units: u32,
+    available: bool,
+}
+
+impl AgentEntry {
+    fn fits(&self, hold: &AgentHold) -> Result<(), &'static str> {
+        if self.reserved_download + hold.download_mbps > self.capacity.download_mbps + CAPACITY_EPS
+        {
+            return Err("download");
+        }
+        if self.reserved_upload + hold.upload_mbps > self.capacity.upload_mbps + CAPACITY_EPS {
+            return Err("upload");
+        }
+        if self.reserved_units + hold.transcode_units > self.capacity.transcode_slots {
+            return Err("transcode");
+        }
+        Ok(())
+    }
+
+    fn add(&mut self, hold: &AgentHold) {
+        self.reserved_download += hold.download_mbps;
+        self.reserved_upload += hold.upload_mbps;
+        self.reserved_units += hold.transcode_units;
+    }
+
+    fn remove(&mut self, hold: &AgentHold) {
+        self.reserved_download = (self.reserved_download - hold.download_mbps).max(0.0);
+        self.reserved_upload = (self.reserved_upload - hold.upload_mbps).max(0.0);
+        self.reserved_units = self.reserved_units.saturating_sub(hold.transcode_units);
+    }
+}
+
+/// Point-in-time utilization of one agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentUtilization {
+    /// The agent.
+    pub agent: AgentId,
+    /// Reserved download bandwidth (Mbps).
+    pub download_mbps: f64,
+    /// Reserved upload bandwidth (Mbps).
+    pub upload_mbps: f64,
+    /// Reserved transcoding units.
+    pub transcode_units: u32,
+    /// Largest of the three fractional utilizations (0 for unlimited
+    /// capacities).
+    pub max_fraction: f64,
+    /// Whether the agent is up.
+    pub available: bool,
+}
+
+/// A set of locked shards spanning one multi-agent operation.
+struct SpanView<'a> {
+    guards: Vec<(usize, parking_lot::MutexGuard<'a, Vec<AgentEntry>>)>,
+    num_shards: usize,
+}
+
+impl SpanView<'_> {
+    fn entry(&mut self, agent: AgentId) -> &mut AgentEntry {
+        let shard = agent.index() % self.num_shards;
+        let idx = agent.index() / self.num_shards;
+        let pos = self
+            .guards
+            .iter()
+            .position(|(i, _)| *i == shard)
+            .expect("shard locked by span");
+        &mut self.guards[pos].1[idx]
+    }
+}
+
+/// The sharded ledger. See the module docs.
+#[derive(Debug)]
+pub struct CapacityLedger {
+    /// `shards[i]` owns every agent with `agent.index() % shards.len() == i`.
+    shards: Vec<Mutex<Vec<AgentEntry>>>,
+    /// Session holds, sharded by session index.
+    holdings: Vec<Mutex<HashMap<SessionId, SessionHold>>>,
+    num_agents: usize,
+}
+
+impl CapacityLedger {
+    /// Builds a ledger over the problem's agents, all capacity free.
+    /// `num_shards` is clamped to `[1, num_agents]`.
+    pub fn new(problem: &UapProblem, num_shards: usize) -> Self {
+        let inst = problem.instance();
+        let num_agents = inst.num_agents();
+        let num_shards = num_shards.clamp(1, num_agents.max(1));
+        let mut shards: Vec<Vec<AgentEntry>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for l in inst.agent_ids() {
+            shards[l.index() % num_shards].push(AgentEntry {
+                capacity: inst.agent(l).capacity(),
+                reserved_download: 0.0,
+                reserved_upload: 0.0,
+                reserved_units: 0,
+                available: true,
+            });
+        }
+        Self {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            holdings: (0..num_shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            num_agents,
+        }
+    }
+
+    /// Number of shards (for telemetry / tests).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn slot(&self, agent: AgentId) -> (usize, usize) {
+        let shard = agent.index() % self.shards.len();
+        (shard, agent.index() / self.shards.len())
+    }
+
+    fn holding_shard(&self, s: SessionId) -> &Mutex<HashMap<SessionId, SessionHold>> {
+        &self.holdings[s.index() % self.holdings.len()]
+    }
+
+    /// Locks, in ascending shard order, every shard the hold spans, and
+    /// runs `f` over the locked view.
+    fn with_span<T>(
+        &self,
+        hold_agents: impl Iterator<Item = AgentId>,
+        f: impl FnOnce(&mut SpanView<'_>) -> T,
+    ) -> T {
+        let mut shard_ids: Vec<usize> =
+            hold_agents.map(|a| a.index() % self.shards.len()).collect();
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let guards: Vec<(usize, parking_lot::MutexGuard<'_, Vec<AgentEntry>>)> = shard_ids
+            .iter()
+            .map(|&i| (i, self.shards[i].lock()))
+            .collect();
+        f(&mut SpanView {
+            guards,
+            num_shards: self.shards.len(),
+        })
+    }
+
+    /// Visits every agent entry, locking each shard exactly once (in
+    /// index order). The view is consistent per shard, not globally —
+    /// concurrent reservations may land between shards, which every
+    /// reader here tolerates (residuals/utilization are advisory; the
+    /// audit runs under the fleet's FREEZE lock, which serializes all
+    /// mutations).
+    fn for_each_entry(&self, mut f: impl FnMut(AgentId, &AgentEntry)) {
+        let num_shards = self.shards.len();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock();
+            for (pos, entry) in guard.iter().enumerate() {
+                f(AgentId::from(pos * num_shards + i), entry);
+            }
+        }
+    }
+
+    /// Atomically reserves `hold` for `session`: either every agent in
+    /// the hold has room (and is up) and all of it is booked, or nothing
+    /// is.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::AlreadyHeld`] if the session holds a reservation,
+    /// [`LedgerError::AgentDown`] / [`LedgerError::Insufficient`] when
+    /// some agent cannot take its share.
+    pub fn try_reserve(&self, session: SessionId, hold: SessionHold) -> Result<(), LedgerError> {
+        let mut holdings = self.holding_shard(session).lock();
+        if holdings.contains_key(&session) {
+            return Err(LedgerError::AlreadyHeld(session));
+        }
+        self.with_span(hold.holds.iter().map(|h| h.agent), |view| {
+            for h in &hold.holds {
+                let entry = view.entry(h.agent);
+                if !entry.available {
+                    return Err(LedgerError::AgentDown(h.agent));
+                }
+                if let Err(resource) = entry.fits(h) {
+                    return Err(LedgerError::Insufficient {
+                        agent: h.agent,
+                        resource,
+                    });
+                }
+            }
+            for h in &hold.holds {
+                view.entry(h.agent).add(h);
+            }
+            Ok(())
+        })?;
+        holdings.insert(session, hold);
+        Ok(())
+    }
+
+    /// Releases the session's reservation, returning exactly what was
+    /// held.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NotHeld`] if the session holds nothing.
+    pub fn release(&self, session: SessionId) -> Result<SessionHold, LedgerError> {
+        let mut holdings = self.holding_shard(session).lock();
+        let hold = holdings
+            .remove(&session)
+            .ok_or(LedgerError::NotHeld(session))?;
+        self.with_span(hold.holds.iter().map(|h| h.agent), |view| {
+            for h in &hold.holds {
+                view.entry(h.agent).remove(h);
+            }
+        });
+        Ok(hold)
+    }
+
+    /// Replaces the session's reservation with `new_hold` *uncondition-
+    /// ally* (no capacity check) — the mirror operation for migrations
+    /// already validated against the authoritative `SystemState` under
+    /// the FREEZE lock, and for forced evacuations, which deliberately
+    /// overshoot (service continuity over constraint purity; the
+    /// overshoot shows up in [`utilization`](Self::utilization)).
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NotHeld`] if the session holds nothing.
+    pub fn force_swap(&self, session: SessionId, new_hold: SessionHold) -> Result<(), LedgerError> {
+        let mut holdings = self.holding_shard(session).lock();
+        let old = holdings
+            .get(&session)
+            .cloned()
+            .ok_or(LedgerError::NotHeld(session))?;
+        self.with_span(
+            old.holds
+                .iter()
+                .map(|h| h.agent)
+                .chain(new_hold.holds.iter().map(|h| h.agent)),
+            |view| {
+                for h in &old.holds {
+                    view.entry(h.agent).remove(h);
+                }
+                for h in &new_hold.holds {
+                    view.entry(h.agent).add(h);
+                }
+            },
+        );
+        holdings.insert(session, new_hold);
+        Ok(())
+    }
+
+    /// The hold currently booked for `session`, if any.
+    pub fn hold_of(&self, session: SessionId) -> Option<SessionHold> {
+        self.holding_shard(session).lock().get(&session).cloned()
+    }
+
+    /// Number of sessions holding reservations.
+    pub fn live_sessions(&self) -> usize {
+        self.holdings.iter().map(|h| h.lock().len()).sum()
+    }
+
+    /// Marks an agent failed: new reservations touching it are refused.
+    /// Existing holds stay booked until their sessions migrate or depart.
+    pub fn fail_agent(&self, agent: AgentId) {
+        let (shard, idx) = self.slot(agent);
+        self.shards[shard].lock()[idx].available = false;
+    }
+
+    /// Brings a failed agent back.
+    pub fn restore_agent(&self, agent: AgentId) {
+        let (shard, idx) = self.slot(agent);
+        self.shards[shard].lock()[idx].available = true;
+    }
+
+    /// Whether the agent is up.
+    pub fn is_agent_available(&self, agent: AgentId) -> bool {
+        let (shard, idx) = self.slot(agent);
+        self.shards[shard].lock()[idx].available
+    }
+
+    /// Point-in-time utilization of every agent.
+    pub fn utilization(&self) -> Vec<AgentUtilization> {
+        let mut out: Vec<Option<AgentUtilization>> = vec![None; self.num_agents];
+        self.for_each_entry(|agent, e| {
+            let frac = |used: f64, cap: f64| {
+                if cap.is_finite() && cap > 0.0 {
+                    used / cap
+                } else {
+                    0.0
+                }
+            };
+            let slot_frac = if e.capacity.transcode_slots == u32::MAX {
+                0.0
+            } else if e.capacity.transcode_slots == 0 {
+                f64::from(e.reserved_units.min(1))
+            } else {
+                f64::from(e.reserved_units) / f64::from(e.capacity.transcode_slots)
+            };
+            out[agent.index()] = Some(AgentUtilization {
+                agent,
+                download_mbps: e.reserved_download,
+                upload_mbps: e.reserved_upload,
+                transcode_units: e.reserved_units,
+                max_fraction: frac(e.reserved_download, e.capacity.download_mbps)
+                    .max(frac(e.reserved_upload, e.capacity.upload_mbps))
+                    .max(slot_frac),
+                available: e.available,
+            });
+        });
+        out.into_iter()
+            .map(|u| u.expect("every agent visited"))
+            .collect()
+    }
+
+    /// Conservation audit against the authoritative state: per agent,
+    /// the booked reservations must equal the state's live
+    /// [`AgentTotals`](vc_core::AgentTotals) (within float slack), and
+    /// the set of holding sessions must equal the active set. Returns
+    /// human-readable discrepancies (empty = conserved).
+    pub fn audit_against(&self, state: &SystemState) -> Vec<String> {
+        let mut problems = Vec::new();
+        let totals = state.totals();
+        self.for_each_entry(|agent, e| {
+            let i = agent.index();
+            if (e.reserved_download - totals.download[i]).abs() > 1e-3 {
+                problems.push(format!(
+                    "agent {agent}: ledger download {:.4} != state {:.4}",
+                    e.reserved_download, totals.download[i]
+                ));
+            }
+            if (e.reserved_upload - totals.upload[i]).abs() > 1e-3 {
+                problems.push(format!(
+                    "agent {agent}: ledger upload {:.4} != state {:.4}",
+                    e.reserved_upload, totals.upload[i]
+                ));
+            }
+            if e.reserved_units != totals.transcode[i] {
+                problems.push(format!(
+                    "agent {agent}: ledger units {} != state {}",
+                    e.reserved_units, totals.transcode[i]
+                ));
+            }
+        });
+        let mut held: Vec<SessionId> = self
+            .holdings
+            .iter()
+            .flat_map(|h| h.lock().keys().copied().collect::<Vec<_>>())
+            .collect();
+        held.sort_unstable();
+        let mut active: Vec<SessionId> = state.active_sessions().collect();
+        active.sort_unstable();
+        if held != active {
+            problems.push(format!(
+                "holding sessions {held:?} != active sessions {active:?}"
+            ));
+        }
+        problems
+    }
+
+    /// Residual capacities in the shape `vc-algo`'s AgRank consumes
+    /// (infinite for unlimited agents; zero for failed ones so the
+    /// ranking never proposes them).
+    pub fn residuals(&self) -> vc_algo::agrank::Residuals {
+        let mut download = vec![0.0; self.num_agents];
+        let mut upload = vec![0.0; self.num_agents];
+        let mut transcode = vec![0.0; self.num_agents];
+        self.for_each_entry(|agent, e| {
+            if e.available {
+                let i = agent.index();
+                download[i] = e.capacity.download_mbps - e.reserved_download;
+                upload[i] = e.capacity.upload_mbps - e.reserved_upload;
+                transcode[i] = if e.capacity.transcode_slots == u32::MAX {
+                    f64::INFINITY
+                } else {
+                    f64::from(e.capacity.transcode_slots.saturating_sub(e.reserved_units))
+                };
+            }
+        });
+        vc_algo::agrank::Residuals {
+            download,
+            upload,
+            transcode,
+        }
+    }
+}

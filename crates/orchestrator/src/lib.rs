@@ -1,0 +1,82 @@
+//! `vc-orchestrator` — an online multi-session control plane.
+//!
+//! The paper's Alg. 1 is explicitly *distributed and online*: sessions
+//! arrive, optimize themselves through WAIT/HOP loops, and depart, all
+//! against shared agent capacity. The rest of this workspace exercises
+//! that algorithm through closed-world drivers (a fixed instance, all
+//! sessions known up front); this crate supplies the long-running
+//! control plane that owns a *fleet* of concurrent sessions:
+//!
+//! * [`ledger`] — the **sharded capacity ledger**: per-agent bandwidth
+//!   and transcoding-slot reservations taken/released atomically across
+//!   sessions, sharded so concurrent admissions contend only on the
+//!   agents they actually touch;
+//! * [`fleet`] — the [`Fleet`] API: `admit` (AgRank-bootstrapped
+//!   placement against live residuals), `depart` (releases exactly what
+//!   was reserved), `fail_agent` (immediate evacuation via `vc-algo`'s
+//!   churn module, ledger re-synced), and `hop_session` (one Alg. 1 HOP
+//!   under the FREEZE lock, mirrored into the ledger);
+//! * [`workers`] — the **re-optimization worker pool**: one logical
+//!   WAIT/HOP worker per live session, multiplexed over either a
+//!   deterministic virtual clock ([`ReoptPool::tick_until`]) or N OS
+//!   threads ([`ReoptPool::run_wall`]), migrations FREEZE-serialized as
+//!   in `vc-sim::parallel`;
+//! * [`telemetry`] — periodic [`FleetSnapshot`]s (objective, per-agent
+//!   utilization, migration counts, admission success rate) and
+//!   [`vc_sim::metrics::TimeSeries`]-compatible series;
+//! * [`orchestrator`] — the trace-driven [`Orchestrator`] consuming
+//!   `vc-workloads`' dynamic arrival/departure traces.
+//!
+//! # Invariants
+//!
+//! The `SystemState` behind the FREEZE lock is authoritative; the
+//! ledger mirrors it reservation-by-reservation. After *any* sequence
+//! of admits, departs, failures and hops, [`Fleet::audit`] must return
+//! empty: per-agent booked capacity equals the sum of live sessions'
+//! loads, and the holding-session set equals the active-session set.
+//! `tests/orchestrator_invariants.rs` property-tests exactly this.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vc_core::UapProblem;
+//! use vc_cost::CostModel;
+//! use vc_orchestrator::{Orchestrator, OrchestratorConfig};
+//! use vc_workloads::{dynamic_trace, DynamicTraceConfig, large_scale_instance, LargeScaleConfig};
+//!
+//! let instance = large_scale_instance(&LargeScaleConfig {
+//!     num_users: 30,
+//!     ..LargeScaleConfig::default()
+//! });
+//! let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
+//! let trace = dynamic_trace(
+//!     problem.instance().num_sessions(),
+//!     &DynamicTraceConfig {
+//!         horizon_s: 20.0,
+//!         warm_sessions: 4,
+//!         ..DynamicTraceConfig::default()
+//!     },
+//! );
+//! let mut orchestrator = Orchestrator::new(problem, OrchestratorConfig::default());
+//! let report = orchestrator.run_trace(&trace, 20.0);
+//! assert_eq!(report.final_snapshot.conservation_violations, 0);
+//! assert!(report.final_snapshot.admitted >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod ledger;
+pub mod orchestrator;
+pub mod telemetry;
+#[cfg(test)]
+mod tests;
+pub mod workers;
+
+pub use fleet::{AdmitError, Fleet, FleetConfig, FleetCounters, PlacementPolicy};
+pub use ledger::{AgentHold, AgentUtilization, CapacityLedger, LedgerError, SessionHold};
+pub use orchestrator::{FleetReport, Orchestrator, OrchestratorConfig};
+pub use telemetry::{FleetSnapshot, FleetTelemetry};
+pub use workers::ReoptPool;

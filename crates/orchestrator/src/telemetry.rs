@@ -1,0 +1,162 @@
+//! Fleet telemetry: periodic snapshots and time series.
+//!
+//! Series use `vc-sim`'s [`TimeSeries`] so fleet runs drop into the
+//! existing experiment plumbing (`vc-bench`'s table printers, figure
+//! regeneration) unchanged.
+
+use crate::fleet::Fleet;
+use std::sync::atomic::Ordering;
+use vc_sim::metrics::TimeSeries;
+
+/// One periodic observation of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Virtual time of the sample (s).
+    pub time_s: f64,
+    /// Live session count.
+    pub live_sessions: usize,
+    /// Global objective `Σ_s Φ_s`.
+    pub objective: f64,
+    /// Mean objective per live session.
+    pub mean_session_objective: f64,
+    /// Total inter-agent traffic (Mbps).
+    pub traffic_mbps: f64,
+    /// Mean conferencing delay over live users (ms).
+    pub mean_delay_ms: f64,
+    /// Mean of per-agent max-fraction utilizations (capacity-limited
+    /// agents only contribute meaningfully; unlimited ones read 0).
+    pub mean_utilization: f64,
+    /// Largest per-agent utilization fraction.
+    pub max_utilization: f64,
+    /// Sessions admitted so far.
+    pub admitted: usize,
+    /// Admissions refused so far.
+    pub rejected: usize,
+    /// Sessions departed so far.
+    pub departed: usize,
+    /// HOP migrations so far.
+    pub migrations: usize,
+    /// Admission success rate so far.
+    pub admission_success_rate: f64,
+    /// Ledger-conservation discrepancies at sample time (must be 0).
+    pub conservation_violations: usize,
+}
+
+/// Accumulates snapshots and the derived time series.
+#[derive(Debug, Default)]
+pub struct FleetTelemetry {
+    snapshots: Vec<FleetSnapshot>,
+    objective: TimeSeries,
+    mean_session_objective: TimeSeries,
+    traffic: TimeSeries,
+    mean_delay: TimeSeries,
+    live_sessions: TimeSeries,
+    max_utilization: TimeSeries,
+}
+
+impl FleetTelemetry {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Samples the fleet at virtual time `t_s`, recording and returning
+    /// the snapshot. Runs the conservation audit — the control plane's
+    /// standing self-check.
+    pub fn sample(&mut self, fleet: &Fleet, t_s: f64) -> FleetSnapshot {
+        let (live, objective, traffic, delay) = fleet.with_state(|state| {
+            (
+                state.active_sessions().count(),
+                state.objective(),
+                state.total_traffic_mbps(),
+                state.mean_delay_ms(),
+            )
+        });
+        let util = fleet.ledger().utilization();
+        let fractions: Vec<f64> = util.iter().map(|u| u.max_fraction).collect();
+        let mean_util = if fractions.is_empty() {
+            0.0
+        } else {
+            fractions.iter().sum::<f64>() / fractions.len() as f64
+        };
+        let max_util = fractions.iter().copied().fold(0.0f64, f64::max);
+        let c = fleet.counters();
+        let snapshot = FleetSnapshot {
+            time_s: t_s,
+            live_sessions: live,
+            objective,
+            mean_session_objective: if live == 0 {
+                0.0
+            } else {
+                objective / live as f64
+            },
+            traffic_mbps: traffic,
+            mean_delay_ms: delay,
+            mean_utilization: mean_util,
+            max_utilization: max_util,
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            departed: c.departed.load(Ordering::Relaxed),
+            migrations: c.migrations.load(Ordering::Relaxed),
+            admission_success_rate: c.admission_success_rate(),
+            conservation_violations: fleet.audit().len(),
+        };
+        self.objective.push(t_s, snapshot.objective);
+        self.mean_session_objective
+            .push(t_s, snapshot.mean_session_objective);
+        self.traffic.push(t_s, snapshot.traffic_mbps);
+        self.mean_delay.push(t_s, snapshot.mean_delay_ms);
+        self.live_sessions.push(t_s, live as f64);
+        self.max_utilization.push(t_s, snapshot.max_utilization);
+        self.snapshots.push(snapshot.clone());
+        snapshot
+    }
+
+    /// All snapshots, in time order.
+    pub fn snapshots(&self) -> &[FleetSnapshot] {
+        &self.snapshots
+    }
+
+    /// The most recent snapshot.
+    pub fn last(&self) -> Option<&FleetSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// Global-objective series.
+    pub fn objective_series(&self) -> &TimeSeries {
+        &self.objective
+    }
+
+    /// Mean per-session objective series.
+    pub fn mean_session_objective_series(&self) -> &TimeSeries {
+        &self.mean_session_objective
+    }
+
+    /// Inter-agent-traffic series (Mbps).
+    pub fn traffic_series(&self) -> &TimeSeries {
+        &self.traffic
+    }
+
+    /// Mean-delay series (ms).
+    pub fn mean_delay_series(&self) -> &TimeSeries {
+        &self.mean_delay
+    }
+
+    /// Live-session-count series.
+    pub fn live_sessions_series(&self) -> &TimeSeries {
+        &self.live_sessions
+    }
+
+    /// Max-utilization series.
+    pub fn max_utilization_series(&self) -> &TimeSeries {
+        &self.max_utilization
+    }
+
+    /// Total conservation violations observed across all samples.
+    pub fn total_conservation_violations(&self) -> usize {
+        self.snapshots
+            .iter()
+            .map(|s| s.conservation_violations)
+            .sum()
+    }
+}

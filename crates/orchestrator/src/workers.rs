@@ -1,0 +1,174 @@
+//! Background re-optimization workers.
+//!
+//! One *logical* worker per live session runs the paper's WAIT/HOP loop:
+//! draw an exponential countdown, then HOP under the fleet's FREEZE
+//! lock (the same serialization `vc-sim::parallel` realizes with one OS
+//! thread per session — here logical workers are multiplexed so a fleet
+//! of thousands of sessions doesn't need thousands of threads).
+//!
+//! Two drive modes:
+//!
+//! * [`ReoptPool::tick_until`] — deterministic virtual time, used by the
+//!   orchestrator's trace-driven runs and by tests;
+//! * [`ReoptPool::run_wall`] — N OS threads racing over the due-session
+//!   queue for a wall-clock budget, the deployment shape (and the bench
+//!   target).
+
+use crate::fleet::Fleet;
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use vc_model::SessionId;
+
+/// Virtual due-times are kept in integer microseconds so they order
+/// totally (no NaN) inside the heap.
+fn to_us(t_s: f64) -> u64 {
+    (t_s.max(0.0) * 1e6) as u64
+}
+
+#[derive(Debug)]
+struct Schedule {
+    /// Min-heap of `(due_us, session, epoch)`.
+    due: BinaryHeap<Reverse<(u64, SessionId, u64)>>,
+    /// Per-session RNG, surviving across wakeups for reproducibility.
+    rngs: HashMap<SessionId, StdRng>,
+    /// Registration epoch per session: bumped on every `register`, so
+    /// heap entries left behind by a departed-then-readmitted session
+    /// are recognizably stale (without an epoch, a re-registration
+    /// would resurrect the old entry and double the session's hop
+    /// rate).
+    epochs: HashMap<SessionId, u64>,
+}
+
+/// The worker pool. Sessions are registered on admission and silently
+/// dropped from the schedule once they depart (lazy deletion on pop).
+#[derive(Debug)]
+pub struct ReoptPool {
+    schedule: Mutex<Schedule>,
+    seed: u64,
+    hops_executed: AtomicUsize,
+}
+
+impl ReoptPool {
+    /// An empty pool; `seed` derives every per-session RNG.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            schedule: Mutex::new(Schedule {
+                due: BinaryHeap::new(),
+                rngs: HashMap::new(),
+                epochs: HashMap::new(),
+            }),
+            seed,
+            hops_executed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers a logical worker for `s`, first wake drawn from the
+    /// fleet's countdown distribution after `now_s`.
+    pub fn register(&self, fleet: &Fleet, s: SessionId, now_s: f64) {
+        let mut sched = self.schedule.lock();
+        let epoch = {
+            let e = sched.epochs.entry(s).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s.index() as u64 + 1)),
+        );
+        let wait = fleet.engine().next_countdown(&mut rng);
+        sched.rngs.insert(s, rng);
+        sched.due.push(Reverse((to_us(now_s + wait), s, epoch)));
+    }
+
+    /// Forgets the session's RNG (departures). The heap entry, if any,
+    /// is discarded lazily when popped.
+    pub fn deregister(&self, s: SessionId) {
+        self.schedule.lock().rngs.remove(&s);
+    }
+
+    /// Total HOPs executed (migrated + stayed) since construction.
+    pub fn hops_executed(&self) -> usize {
+        self.hops_executed.load(Ordering::Relaxed)
+    }
+
+    /// Pops the next due worker at or before `horizon_us`, hops it, and
+    /// reschedules. Returns `false` when nothing is due.
+    fn step_one(&self, fleet: &Fleet, horizon_us: u64) -> bool {
+        // Take the worker out under the schedule lock, hop *outside* it
+        // so parallel callers only serialize on the FREEZE lock.
+        let (due_us, s, epoch, mut rng) = {
+            let mut sched = self.schedule.lock();
+            loop {
+                let Some(&Reverse((due_us, s, epoch))) = sched.due.peek() else {
+                    return false;
+                };
+                if due_us > horizon_us {
+                    return false;
+                }
+                sched.due.pop();
+                // Stale entries (departed sessions, or superseded by a
+                // re-registration) are lazy-discarded here.
+                if sched.epochs.get(&s) != Some(&epoch) {
+                    continue;
+                }
+                if let Some(rng) = sched.rngs.remove(&s) {
+                    break (due_us, s, epoch, rng);
+                }
+            }
+        };
+        fleet.hop_session(s, &mut rng);
+        self.hops_executed.fetch_add(1, Ordering::Relaxed);
+        let wait = fleet.engine().next_countdown(&mut rng);
+        let mut sched = self.schedule.lock();
+        // The session may have departed (or been re-registered) while we
+        // hopped; only the current registration's worker is rescheduled.
+        if fleet.is_live(s) && sched.epochs.get(&s) == Some(&epoch) {
+            sched.rngs.insert(s, rng);
+            sched.due.push(Reverse((due_us + to_us(wait), s, epoch)));
+        }
+        true
+    }
+
+    /// Deterministically executes every wakeup due at or before `t_s`
+    /// (virtual seconds), in due order. Returns the number of hops run.
+    pub fn tick_until(&self, fleet: &Fleet, t_s: f64) -> usize {
+        let horizon = to_us(t_s);
+        let mut n = 0;
+        while self.step_one(fleet, horizon) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Races `threads` OS threads over the due queue for `budget` wall
+    /// time, each hop serialized by the fleet's FREEZE lock. Virtual
+    /// due-times are treated as *priorities* (drain order), not paced to
+    /// the wall clock — the mode exists to exercise and measure the
+    /// contention structure. Returns the number of hops run.
+    pub fn run_wall(&self, fleet: &Fleet, budget: Duration, threads: usize) -> usize {
+        let stop = AtomicBool::new(false);
+        let executed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                scope.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        if self.step_one(fleet, u64::MAX) {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let started = Instant::now();
+            while started.elapsed() < budget {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        executed.load(Ordering::Relaxed)
+    }
+}

@@ -94,7 +94,10 @@ mod tests {
         b.add_user(s, r240, r240);
         b.add_user(s, r240, r240);
         b.symmetric_delays(|_, _| 50.0, |_, _| 25.0);
-        let p = Arc::new(UapProblem::new(b.build().unwrap(), CostModel::paper_default()));
+        let p = Arc::new(UapProblem::new(
+            b.build().unwrap(),
+            CostModel::paper_default(),
+        ));
         let asg = Assignment::all_to_agent(&p, vc_model::AgentId::new(0));
         SystemState::new(p, asg)
     }
@@ -125,7 +128,11 @@ mod tests {
         let st = state();
         let model = MigrationModel::default();
         let mut stats = MigrationStats::default();
-        model.record(&st, Decision::Task(vc_core::TaskId::new(0), vc_model::AgentId::new(1)), &mut stats);
+        model.record(
+            &st,
+            Decision::Task(vc_core::TaskId::new(0), vc_model::AgentId::new(1)),
+            &mut stats,
+        );
         assert_eq!(stats.task_migrations, 1);
         assert_eq!(stats.redundant_kb, 0.0);
     }

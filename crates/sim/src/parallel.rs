@@ -110,7 +110,9 @@ pub fn run_parallel(state: SystemState, config: &ParallelConfig) -> ParallelRepo
     let final_state = Arc::try_unwrap(shared)
         .expect("all workers joined")
         .into_inner();
-    let mut hops = Arc::try_unwrap(hops).expect("all workers joined").into_inner();
+    let mut hops = Arc::try_unwrap(hops)
+        .expect("all workers joined")
+        .into_inner();
     hops.sort_by_key(|h| h.at);
     ParallelReport { final_state, hops }
 }
@@ -142,7 +144,10 @@ mod tests {
             |l, k| 20.0 + 15.0 * ((l as f64) - (k as f64)).abs(),
             |l, u| 8.0 + 7.0 * ((l + u) % 3) as f64,
         );
-        let p = StdArc::new(UapProblem::new(b.build().unwrap(), CostModel::paper_default()));
+        let p = StdArc::new(UapProblem::new(
+            b.build().unwrap(),
+            CostModel::paper_default(),
+        ));
         SystemState::new(p.clone(), nearest_assignment(&p))
     }
 
@@ -169,7 +174,11 @@ mod tests {
         // Hops from several distinct sessions (true concurrency).
         let distinct: std::collections::HashSet<_> =
             report.hops.iter().map(|h| h.session).collect();
-        assert!(distinct.len() >= 3, "only {} sessions hopped", distinct.len());
+        assert!(
+            distinct.len() >= 3,
+            "only {} sessions hopped",
+            distinct.len()
+        );
         // The shared state survived concurrent mutation intact.
         let mut final_state = report.final_state;
         let drift = final_state.rebuild();

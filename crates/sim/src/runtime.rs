@@ -224,9 +224,11 @@ impl ConferenceSim {
                     if self.state.is_active(s) && self.config.optimize {
                         let outcome = engine.hop(&mut self.state, s, &mut rng);
                         if let HopOutcome::Migrated(decision) = outcome {
-                            self.config
-                                .migration
-                                .record(&self.state, decision, &mut report.migrations);
+                            self.config.migration.record(
+                                &self.state,
+                                decision,
+                                &mut report.migrations,
+                            );
                         }
                         report.hops.push(HopRecord {
                             time_s: t,
@@ -254,7 +256,9 @@ impl ConferenceSim {
                             .migration
                             .record(&self.state, *d, &mut report.migrations);
                     }
-                    report.evacuations.push((t, l, evac.moves.len(), evac.forced));
+                    report
+                        .evacuations
+                        .push((t, l, evac.moves.len(), evac.forced));
                 }
                 Event::AgentUp(l) => {
                     self.state.set_agent_available(l, true);
@@ -347,7 +351,10 @@ mod tests {
             |l, k| 25.0 + 12.0 * ((l as f64) - (k as f64)).abs(),
             |l, u| 10.0 + 9.0 * ((l + u) % 3) as f64,
         );
-        Arc::new(UapProblem::new(b.build().unwrap(), CostModel::paper_default()))
+        Arc::new(UapProblem::new(
+            b.build().unwrap(),
+            CostModel::paper_default(),
+        ))
     }
 
     fn initial_state(p: &Arc<UapProblem>) -> SystemState {

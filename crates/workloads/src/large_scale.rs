@@ -62,7 +62,10 @@ impl Default for LargeScaleConfig {
 /// session sizes below 2 are not).
 pub fn large_scale_instance(config: &LargeScaleConfig) -> Instance {
     assert!(config.num_users >= 2, "need at least two users");
-    assert!(config.max_session_size >= 2, "sessions need at least 2 users");
+    assert!(
+        config.max_session_size >= 2,
+        "sessions need at least 2 users"
+    );
     assert!(config.num_nodes >= 1, "need at least one node");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let ladder = ReprLadder::standard_four();
@@ -119,7 +122,7 @@ pub fn large_scale_instance(config: &LargeScaleConfig) -> Instance {
             rng.gen_range(2..=config.max_session_size)
         };
         if remaining - size == 1 {
-            if size + 1 <= config.max_session_size || size <= 2 {
+            if size < config.max_session_size || size <= 2 {
                 size += 1;
             } else {
                 size -= 1;
@@ -173,7 +176,11 @@ mod tests {
         let inst = large_scale_instance(&LargeScaleConfig::default());
         // 80% demand 720p of 720p upstreams → no transcoding; roughly 20%
         // of directed flows need it.
-        let total_flows: usize = inst.sessions().iter().map(|s| s.len() * (s.len() - 1)).sum();
+        let total_flows: usize = inst
+            .sessions()
+            .iter()
+            .map(|s| s.len() * (s.len() - 1))
+            .sum();
         let frac = inst.theta_sum() as f64 / total_flows as f64;
         assert!(
             (0.1..0.35).contains(&frac),
@@ -191,9 +198,17 @@ mod tests {
         });
         for a in inst.agents() {
             let c = a.capacity();
-            assert!((480.0..=720.0).contains(&c.download_mbps), "{}", c.download_mbps);
+            assert!(
+                (480.0..=720.0).contains(&c.download_mbps),
+                "{}",
+                c.download_mbps
+            );
             assert_eq!(c.download_mbps, c.upload_mbps);
-            assert!((31..=49).contains(&c.transcode_slots), "{}", c.transcode_slots);
+            assert!(
+                (31..=49).contains(&c.transcode_slots),
+                "{}",
+                c.transcode_slots
+            );
         }
     }
 

@@ -1,6 +1,6 @@
 //! Scenario generators for the paper's experiments.
 //!
-//! Two families:
+//! Three families:
 //!
 //! * [`prototype`] — the Sec. V-A testbed: 6 EC2 agents, conferencing
 //!   users in 10 metros (5 North America, 4 Asia, 1 Europe), 10 sessions
@@ -10,15 +10,20 @@
 //!   256 PlanetLab-style nodes, 200 users in sessions of at most 5, the
 //!   four-step representation ladder with a sparse transcoding matrix
 //!   (80% of users demand 720p), and optional capacity draws for the
-//!   Fig. 9 sweeps.
+//!   Fig. 9 sweeps;
+//! * [`dynamic`] — open-world fleet traces (session arrivals/departures
+//!   plus agent churn over virtual time) feeding the `vc-orchestrator`
+//!   control plane.
 //!
 //! All generators are deterministic given their seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod large_scale;
 pub mod prototype;
 
+pub use dynamic::{dynamic_trace, DynamicTraceConfig, FleetEvent, FleetTrace};
 pub use large_scale::{large_scale_instance, LargeScaleConfig};
 pub use prototype::{prototype_instance, PrototypeConfig};

@@ -115,7 +115,11 @@ pub fn prototype_instance(config: &PrototypeConfig) -> Instance {
         .collect();
     let user_points: Vec<GeoPoint> = user_sites
         .iter()
-        .map(|&i| metro(PROTOTYPE_USER_METROS[i]).expect("metro exists").point())
+        .map(|&i| {
+            metro(PROTOTYPE_USER_METROS[i])
+                .expect("metro exists")
+                .point()
+        })
         .collect();
     let delays = build_delay_matrices(
         &LatencyModel::default(),
@@ -162,7 +166,10 @@ mod tests {
     #[test]
     fn some_flows_need_transcoding() {
         let inst = prototype_instance(&PrototypeConfig::default());
-        assert!(inst.theta_sum() > 0, "expected a nonempty transcoding matrix");
+        assert!(
+            inst.theta_sum() > 0,
+            "expected a nonempty transcoding matrix"
+        );
     }
 
     #[test]

@@ -19,9 +19,7 @@ fn main() {
     // Sessions 0–5 active from the start; 6–9 arrive at t = 40 s;
     // sessions 0–2 depart at t = 80 s.
     let mut active = vec![false; problem.instance().num_sessions()];
-    for s in 0..6 {
-        active[s] = true;
-    }
+    active[..6].fill(true);
     let state = SystemState::with_active(problem.clone(), assignment, active);
 
     let mut dynamics = Vec::new();
@@ -47,13 +45,8 @@ fn main() {
         .run();
 
     println!("time_s  traffic_mbps  mean_delay_ms");
-    for (&(t, traffic), &(_, delay)) in report
-        .traffic
-        .points()
-        .iter()
-        .zip(report.delay.points())
-    {
-        if (t as u64) % 5 == 0 {
+    for (&(t, traffic), &(_, delay)) in report.traffic.points().iter().zip(report.delay.points()) {
+        if (t as u64).is_multiple_of(5) {
             println!("{t:>6.0}  {traffic:>12.2}  {delay:>13.1}");
         }
     }

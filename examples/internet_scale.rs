@@ -27,7 +27,10 @@ fn main() {
         problem.clone(),
         agrank_assignment(&problem, &AgRankConfig::paper(2)),
     );
-    println!("\n{:<28} {:>12} {:>12}", "policy", "traffic Mbps", "delay ms");
+    println!(
+        "\n{:<28} {:>12} {:>12}",
+        "policy", "traffic Mbps", "delay ms"
+    );
     println!(
         "{:<28} {:>12.1} {:>12.1}",
         "Nrst (nearest)",

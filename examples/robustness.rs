@@ -16,7 +16,10 @@ fn main() {
     let instance = prototype_instance(&PrototypeConfig::default());
     let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
 
-    println!("{:>10} {:>14} {:>14} {:>12}", "delta", "traffic Mbps", "delay ms", "objective");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "delta", "traffic Mbps", "delay ms", "objective"
+    );
     for delta in [0.0, 1.0, 5.0, 20.0, 80.0] {
         let mut total_phi = 0.0;
         let mut total_traffic = 0.0;

@@ -45,7 +45,8 @@
 //! | [`markov`] | `vc-markov` | Markov approximation theory: Gibbs, CTMC, Theorem 1 |
 //! | [`algo`] | `vc-algo` | Alg. 1, AgRank, Nrst, admission, exact solvers |
 //! | [`sim`] | `vc-sim` | discrete-event conferencing simulator, metrics, streaming |
-//! | [`workloads`] | `vc-workloads` | prototype & Internet-scale scenario generators |
+//! | [`workloads`] | `vc-workloads` | prototype, Internet-scale & dynamic-fleet generators |
+//! | [`orchestrator`] | `vc-orchestrator` | online multi-session control plane: sharded capacity ledger, admission, re-optimization workers |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +57,7 @@ pub use vc_cost as cost;
 pub use vc_markov as markov;
 pub use vc_model as model;
 pub use vc_net as net;
+pub use vc_orchestrator as orchestrator;
 pub use vc_sim as sim;
 pub use vc_workloads as workloads;
 
@@ -73,8 +75,12 @@ pub mod prelude {
         AgentId, AgentSpec, Capacity, Instance, InstanceBuilder, ReprId, ReprLadder, SessionId,
         UserId,
     };
+    pub use vc_orchestrator::{
+        Fleet, FleetConfig, FleetSnapshot, Orchestrator, OrchestratorConfig, PlacementPolicy,
+    };
     pub use vc_sim::{ConferenceSim, DynamicsEvent, SimConfig, SimReport};
     pub use vc_workloads::{
-        large_scale_instance, prototype_instance, LargeScaleConfig, PrototypeConfig,
+        dynamic_trace, large_scale_instance, prototype_instance, DynamicTraceConfig, FleetEvent,
+        FleetTrace, LargeScaleConfig, PrototypeConfig,
     };
 }

@@ -24,7 +24,10 @@ fn fig3_problem() -> Arc<UapProblem> {
     b.add_user(s, r720, r360);
     b.add_user(s, r360, r480);
     b.symmetric_delays(|_, _| 35.0, |l, u| 12.0 + 9.0 * ((l + u) % 2) as f64);
-    Arc::new(UapProblem::new(b.build().unwrap(), CostModel::paper_default()))
+    Arc::new(UapProblem::new(
+        b.build().unwrap(),
+        CostModel::paper_default(),
+    ))
 }
 
 #[test]
@@ -88,7 +91,10 @@ fn alg1_occupancy_matches_kernel_stationary_and_tracks_gibbs() {
     // a broken weight formula (e.g. uniform hopping) would give TV ≈ 0.5.
     let target = gibbs(graph.energies(), beta);
     let tv_gibbs = total_variation(&visits, &target);
-    assert!(tv_gibbs < 0.25, "occupancy far from Gibbs: TV = {tv_gibbs:.4}");
+    assert!(
+        tv_gibbs < 0.25,
+        "occupancy far from Gibbs: TV = {tv_gibbs:.4}"
+    );
 }
 
 #[test]

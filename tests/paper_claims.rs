@@ -122,8 +122,14 @@ fn fig9_success_ordering() {
             ag3_wins += 1;
         }
     }
-    assert!(ag3_wins >= ag2_wins, "AgRank#3 {ag3_wins} < AgRank#2 {ag2_wins}");
-    assert!(ag2_wins >= nrst_wins, "AgRank#2 {ag2_wins} < Nrst {nrst_wins}");
+    assert!(
+        ag3_wins >= ag2_wins,
+        "AgRank#3 {ag3_wins} < AgRank#2 {ag2_wins}"
+    );
+    assert!(
+        ag2_wins >= nrst_wins,
+        "AgRank#2 {ag2_wins} < Nrst {nrst_wins}"
+    );
     // Abundant capacity: all policies succeed.
     let instance = large_scale_instance(&LargeScaleConfig {
         num_users: 60,

@@ -90,29 +90,43 @@ fn alg1_approaches_brute_force_optimum_on_fig2() {
     let (_, phi_opt) = cloud_vc::algo::brute_force::optimal(&problem, 10_000)
         .expect("enumerable")
         .expect("feasible");
-    let mut state = SystemState::new(problem.clone(), nearest_assignment(&problem));
-    let engine = Alg1Engine::new(Alg1Config::paper(400.0));
-    let mut rng = StdRng::seed_from_u64(5);
-    engine.run(&mut state, 2_000.0, &mut rng);
     // β = 400 at this energy scale is near-greedy: the chain converges to
     // a bounded neighborhood of the optimum (Eq. 12) but single-decision
-    // energy barriers can hold it a few percent above Φmin — exactly the
-    // "may migrate to a worse assignment for some time" behaviour the
-    // paper describes for session 9 in Fig. 7.
+    // energy barriers can hold *individual runs* above Φmin for a long
+    // time — exactly the "may migrate to a worse assignment for some
+    // time" behaviour the paper describes for session 9 in Fig. 7. The
+    // claim is distributional, so assert over a panel of seeds: the
+    // median run must land within 15% of the optimum.
+    let engine = Alg1Engine::new(Alg1Config::paper(400.0));
+    let seeds = [1u64, 3, 5, 7, 11, 13, 17];
+    let mut finals: Vec<f64> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut state = SystemState::new(problem.clone(), nearest_assignment(&problem));
+            let mut rng = StdRng::seed_from_u64(seed);
+            engine.run(&mut state, 2_000.0, &mut rng);
+            assert!(state.is_feasible(), "seed {seed}: infeasible after Alg. 1");
+            state.objective()
+        })
+        .collect();
+    finals.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+    let median = finals[finals.len() / 2];
     assert!(
-        state.objective() <= phi_opt * 1.15 + 1.0,
-        "Alg.1 ended at {} vs optimum {phi_opt}",
-        state.objective()
+        median <= phi_opt * 1.15 + 1.0,
+        "Alg.1 median over {seeds:?} ended at {median} vs optimum {phi_opt} (all: {finals:?})"
     );
-    // An annealed schedule (explore first, tighten later) gets closer.
-    let mut annealed = SystemState::new(problem.clone(), nearest_assignment(&problem));
-    let mut rng = StdRng::seed_from_u64(5);
-    engine.run_annealed(&mut annealed, 2_000.0, 0.05, 400.0, &mut rng);
-    assert!(
-        annealed.objective() <= phi_opt * 1.10 + 1.0,
-        "annealed Alg.1 ended at {} vs optimum {phi_opt}",
-        annealed.objective()
-    );
+    // An annealed schedule (explore first, tighten later) suppresses the
+    // trapping: every seed must get within 10%.
+    for seed in seeds {
+        let mut annealed = SystemState::new(problem.clone(), nearest_assignment(&problem));
+        let mut rng = StdRng::seed_from_u64(seed);
+        engine.run_annealed(&mut annealed, 2_000.0, 0.05, 400.0, &mut rng);
+        assert!(
+            annealed.objective() <= phi_opt * 1.10 + 1.0,
+            "annealed Alg.1 (seed {seed}) ended at {} vs optimum {phi_opt}",
+            annealed.objective()
+        );
+    }
 }
 
 #[test]

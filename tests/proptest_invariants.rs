@@ -19,18 +19,13 @@ struct RandomInstance {
 fn random_instance_strategy() -> impl Strategy<Value = RandomInstance> {
     (
         2usize..=4,
-        prop::collection::vec(
-            prop::collection::vec((0u8..4, 0u8..4), 2..=4),
-            1..=3,
-        ),
+        prop::collection::vec(prop::collection::vec((0u8..4, 0u8..4), 2..=4), 1..=3),
         any::<u64>(),
     )
         .prop_flat_map(|(num_agents, sessions, user_delay_seed)| {
             let speeds = prop::collection::vec(1.0f64..2.5, num_agents);
-            let delays = prop::collection::vec(
-                prop::collection::vec(5.0f64..120.0, num_agents),
-                num_agents,
-            );
+            let delays =
+                prop::collection::vec(prop::collection::vec(5.0f64..120.0, num_agents), num_agents);
             (Just(sessions), Just(user_delay_seed), speeds, delays).prop_map(
                 |(sessions, user_delay_seed, speed, inter_delay)| RandomInstance {
                     sessions,
@@ -69,7 +64,10 @@ fn build(spec: &RandomInstance) -> Arc<UapProblem> {
     );
     // A generous Dmax keeps random instances feasible so moves are legal.
     b.d_max_ms(10_000.0);
-    Arc::new(UapProblem::new(b.build().expect("valid"), CostModel::paper_default()))
+    Arc::new(UapProblem::new(
+        b.build().expect("valid"),
+        CostModel::paper_default(),
+    ))
 }
 
 fn decisions_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset used by `crates/bench`: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] and
+//! [`Bencher::iter_batched`]. Measurement is a simple wall-clock loop —
+//! warm-up, then timed batches — reporting mean and best-observed
+//! iteration time. No statistics, plots, or saved baselines.
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! binaries) every benchmark body runs exactly once, as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark, overridable via the
+/// `CRITERION_MEASURE_MS` environment variable.
+fn measurement_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn smoke_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag argument is a name filter (as in real criterion).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Self {
+            filter,
+            smoke: smoke_test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.as_ref(), f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            smoke: self.smoke,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) if !self.smoke => println!(
+                "{id:<40} {:>12}/iter (best {:>12}, {} iters)",
+                format_ns(r.mean_ns),
+                format_ns(r.best_ns),
+                r.iters
+            ),
+            _ => println!("{id:<40} ok (smoke test)"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `group/name`.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Closes the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+struct Report {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    smoke: bool,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and per-iteration cost estimate.
+        let warmup = Instant::now();
+        let mut warm_iters = 0u64;
+        while warmup.elapsed() < measurement_budget() / 10 || warm_iters < 3 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = measurement_budget().as_secs_f64();
+        let batch = ((budget / 10.0 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        let mut best_ns = f64::INFINITY;
+        let started = Instant::now();
+        while started.elapsed().as_secs_f64() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            best_ns = best_ns.min(ns / batch as f64);
+            total_ns += ns;
+            total_iters += batch;
+        }
+        self.report = Some(Report {
+            mean_ns: total_ns / total_iters as f64,
+            best_ns,
+            iters: total_iters,
+        });
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let budget = measurement_budget().as_secs_f64();
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        let mut best_ns = f64::INFINITY;
+        let started = Instant::now();
+        while started.elapsed().as_secs_f64() < budget || total_iters < 3 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let ns = t.elapsed().as_nanos() as f64;
+            best_ns = best_ns.min(ns);
+            total_ns += ns;
+            total_iters += 1;
+            if total_iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.report = Some(Report {
+            mean_ns: total_ns / total_iters as f64,
+            best_ns,
+            iters: total_iters,
+        });
+    }
+
+    /// `iter_batched` variant taking inputs by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, f1, f2);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for `proptest`: deterministic randomized testing
+//! with the same call-site API for the subset this workspace uses —
+//! the [`proptest!`] macro, range/tuple/`vec`/[`strategy::Just`]/
+//! [`arbitrary::any`] strategies, `prop_map` / `prop_flat_map`
+//! combinators, and `prop_assert*`.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed sequence, and there is **no shrinking** — a
+//! failing case reports its case index so it can be re-run, not a
+//! minimized input.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy modules namespaced as `prop::...` (e.g. `prop::collection`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::{vec, SizeRange};
+    }
+    pub use crate::strategy::{Just, Strategy};
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]` function running `body` over `cases`
+/// deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                // Bundle all argument strategies into one tuple strategy
+                // (trailing comma forces a tuple even for a single arg).
+                let __strategy = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::deterministic_rng(__case as u64);
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest: `{}` failed at case {}/{} (deterministic seed; \
+                             no shrinking in the offline stand-in)",
+                            stringify!($name), __case, __config.cases,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` with proptest's call-site spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` with proptest's call-site spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` with proptest's call-site spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1usize..=8, (a, b) in (0u8..4, 10i64..20)) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_flat_map(v in prop::collection::vec(0u32..100, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn mapped(x in (1u64..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(x % 3, 0);
+            prop_assert_ne!(x, 0);
+        }
+
+        #[test]
+        fn flat_mapped(v in (1usize..4).prop_flat_map(|n| {
+            prop::collection::vec(Just(n), n)
+        })) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x == v.len()));
+        }
+    }
+
+    #[test]
+    fn any_is_deterministic_per_case() {
+        let mut a = crate::test_runner::deterministic_rng(3);
+        let mut b = crate::test_runner::deterministic_rng(3);
+        let s = any::<u64>();
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
+    }
+}

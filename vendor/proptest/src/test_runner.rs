@@ -1,0 +1,42 @@
+//! Test configuration and the deterministic case generator.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Mirrors `proptest::test_runner::Config` (subset).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Per-case random source. Deliberately deterministic: case `i` of a
+/// property sees the same inputs on every run.
+pub type TestRng = StdRng;
+
+/// Generator for the given case index (used by the
+/// [`proptest!`](crate::proptest) macro expansion).
+pub fn deterministic_rng(case: u64) -> TestRng {
+    // Golden-ratio stride decorrelates consecutive case seeds.
+    StdRng::seed_from_u64(0x5bd1_e995_u64.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}

@@ -1,0 +1,59 @@
+//! Sequence helpers (`rand::seq`): choose and shuffle.
+
+use crate::RngCore;
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly random element, or `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[i])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v: Vec<u32> = vec![];
+        assert!(v.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`: marker traits with blanket impls plus
+//! no-op derives. The workspace only ever *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` (no serializer is ever invoked —
+//! there is no `serde_json` offline), so markers are sufficient and keep
+//! every annotation source-compatible with the real crate.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,18 @@
+//! Offline no-op stand-in for `serde_derive`: the derives expand to
+//! nothing, and the marker traits in the companion `serde` shim are
+//! blanket-implemented, so `#[derive(Serialize, Deserialize)]` remains
+//! source-compatible without any code generation.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
