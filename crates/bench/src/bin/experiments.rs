@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
 //! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration
-//!      ablation churn orchestrator all
+//!      ablation churn orchestrator persist all
 //! ```
 
 use vc_bench::experiments::table2::Table2Config;
@@ -17,7 +17,7 @@ struct Options {
     seed: u64,
 }
 
-const ALL_IDS: [&str; 15] = [
+const ALL_IDS: [&str; 16] = [
     "fig2",
     "fig4",
     "fig5",
@@ -33,6 +33,7 @@ const ALL_IDS: [&str; 15] = [
     "ablation",
     "churn",
     "orchestrator",
+    "persist",
 ];
 
 fn usage() -> ! {
@@ -71,7 +72,18 @@ fn parse_args() -> Options {
             }
             "all" => opts.ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
             id if ALL_IDS.contains(&id) => opts.ids.push(id.to_string()),
-            _ => usage(),
+            unknown if unknown.starts_with("--") => {
+                eprintln!("unknown option '{unknown}'");
+                usage()
+            }
+            unknown => {
+                eprintln!("unknown experiment id '{unknown}'; valid ids are:");
+                for id in ALL_IDS {
+                    eprintln!("  {id}");
+                }
+                eprintln!("  all");
+                std::process::exit(2)
+            }
         }
     }
     if opts.ids.is_empty() {
@@ -203,6 +215,7 @@ fn main() {
                 };
                 orchestrator::print(&orchestrator::run(d, opts.seed));
             }
+            "persist" => persist::print(&persist::run(opts.seed)),
             _ => unreachable!("ids validated in parse_args"),
         }
         eprintln!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());

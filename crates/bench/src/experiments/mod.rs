@@ -12,6 +12,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod migration;
 pub mod orchestrator;
+pub mod persist;
 pub mod robust;
 pub mod table2;
 pub mod theorem1;

@@ -13,5 +13,5 @@ pub mod util;
 
 pub use experiments::{
     ablation, churn, fig10, fig2, fig4, fig5, fig6, fig7, fig8, fig9, migration, orchestrator,
-    robust, table2, theorem1,
+    persist, robust, table2, theorem1,
 };

@@ -20,7 +20,7 @@ use vc_core::{Assignment, SystemState, TaskId, UapProblem};
 use vc_model::{AgentId, SessionId, UserId};
 
 /// One candidate placement: session users and tasks to agents.
-type Placement = (Vec<(UserId, AgentId)>, Vec<(TaskId, AgentId)>);
+pub type Placement = (Vec<(UserId, AgentId)>, Vec<(TaskId, AgentId)>);
 
 /// How arriving sessions are placed.
 #[derive(Debug, Clone)]
@@ -106,13 +106,17 @@ impl FleetCounters {
 /// The multi-session control plane. See the module docs.
 #[derive(Debug)]
 pub struct Fleet {
-    problem: Arc<UapProblem>,
+    pub(crate) problem: Arc<UapProblem>,
     /// The FREEZE lock: every assignment mutation serializes here.
-    state: Mutex<SystemState>,
-    ledger: CapacityLedger,
-    engine: Alg1Engine,
-    config: FleetConfig,
-    counters: FleetCounters,
+    pub(crate) state: Mutex<SystemState>,
+    pub(crate) ledger: CapacityLedger,
+    pub(crate) engine: Alg1Engine,
+    pub(crate) config: FleetConfig,
+    pub(crate) counters: FleetCounters,
+    /// Write-ahead journal sink; `None` runs the fleet ephemeral.
+    /// Every hook below fires while the FREEZE lock is held, so journal
+    /// order equals the serialization order of the mutations.
+    pub(crate) persist: Option<crate::persist::FleetPersistence>,
 }
 
 impl Fleet {
@@ -131,6 +135,7 @@ impl Fleet {
             engine: Alg1Engine::new(config.alg1.clone()),
             config,
             counters: FleetCounters::default(),
+            persist: None,
         }
     }
 
@@ -165,6 +170,7 @@ impl Fleet {
         let mut state = self.state.lock();
         if state.is_active(s) {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.log_op(|| crate::persist::FleetOp::Reject { session: s });
             return Err(AdmitError::AlreadyLive(s));
         }
         let inst = self.problem.instance();
@@ -209,14 +215,31 @@ impl Fleet {
             }
         };
         match result {
-            Ok(()) => self.counters.admitted.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.counters.rejected.fetch_add(1, Ordering::Relaxed),
+            Ok(()) => {
+                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                self.log_op(|| {
+                    let (users, tasks) = placement_of(&state, s);
+                    crate::persist::FleetOp::Admit {
+                        session: s,
+                        users,
+                        tasks,
+                    }
+                });
+            }
+            Err(_) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.log_op(|| crate::persist::FleetOp::Reject { session: s });
+            }
         };
         result
     }
 
     /// Tries one placement: activate, check the delay bound, reserve in
-    /// the ledger. On refusal the state is rolled back exactly.
+    /// the ledger. On refusal the state is rolled back exactly —
+    /// including the session's (inert) assignment, which otherwise
+    /// would keep the refused placement and make a crashed fleet's
+    /// state diverge from what journal replay (which only logs the
+    /// refusal, not the attempted placement) reconstructs.
     fn try_placement(
         &self,
         state: &mut SystemState,
@@ -224,8 +247,13 @@ impl Fleet {
         users: Vec<(UserId, AgentId)>,
         tasks: Vec<(TaskId, AgentId)>,
     ) -> Result<(), AdmitError> {
+        let prior = placement_of(state, s);
         state.reassign_session(s, &users, &tasks);
         state.activate(s);
+        let rollback = |state: &mut SystemState| {
+            state.deactivate(s);
+            state.reassign_session(s, &prior.0, &prior.1);
+        };
         let load = state.session_load(s);
         let bound = self.problem.instance().d_max_ms();
         if load.max_flow_delay > bound + 1e-6 {
@@ -233,13 +261,13 @@ impl Fleet {
                 delay_ms: load.max_flow_delay,
                 bound_ms: bound,
             };
-            state.deactivate(s);
+            rollback(state);
             return Err(refusal);
         }
         match self.ledger.try_reserve(s, SessionHold::from_load(load)) {
             Ok(()) => Ok(()),
             Err(e) => {
-                state.deactivate(s);
+                rollback(state);
                 Err(AdmitError::NoCapacity(e))
             }
         }
@@ -265,6 +293,7 @@ impl Fleet {
             .release(s)
             .expect("live session holds a reservation");
         self.counters.departed.fetch_add(1, Ordering::Relaxed);
+        self.log_op(|| crate::persist::FleetOp::Depart { session: s });
         Some(hold)
     }
 
@@ -292,6 +321,9 @@ impl Fleet {
         self.counters
             .forced_moves
             .fetch_add(report.forced, Ordering::Relaxed);
+        // Evacuation is deterministic given the state, so the journal
+        // records the *cause*; replay re-runs the same evacuation.
+        self.log_op(|| crate::persist::FleetOp::FailAgent { agent });
         (report.moves.len(), report.forced)
     }
 
@@ -301,6 +333,7 @@ impl Fleet {
         let mut state = self.state.lock();
         self.ledger.restore_agent(agent);
         state.set_agent_available(agent, true);
+        self.log_op(|| crate::persist::FleetOp::RestoreAgent { agent });
     }
 
     /// One Alg. 1 HOP for session `s` under the FREEZE lock, mirroring
@@ -310,16 +343,45 @@ impl Fleet {
         if !state.is_active(s) {
             return HopOutcome::NoFeasibleMove;
         }
+        // Journaling needs the pre-hop placement to name the decision's
+        // old assignment; capture it (session-scoped, a handful of
+        // entries) only when a journal is attached.
+        let before = self.persist.as_ref().map(|_| placement_of(&state, s));
         let outcome = self.engine.hop(&mut state, s, rng);
         match outcome {
-            HopOutcome::Migrated(_) => {
+            HopOutcome::Migrated(decision) => {
                 self.ledger
                     .force_swap(s, SessionHold::from_load(state.session_load(s)))
                     .expect("live session holds a reservation");
                 self.counters.migrations.fetch_add(1, Ordering::Relaxed);
+                self.log_op(|| {
+                    let (users, tasks) = before.expect("captured before the hop");
+                    let old_agent = match decision {
+                        vc_core::Decision::User(u, _) => {
+                            users
+                                .iter()
+                                .find(|(user, _)| *user == u)
+                                .expect("hopped user belongs to the session")
+                                .1
+                        }
+                        vc_core::Decision::Task(t, _) => {
+                            tasks
+                                .iter()
+                                .find(|(task, _)| *task == t)
+                                .expect("hopped task belongs to the session")
+                                .1
+                        }
+                    };
+                    crate::persist::FleetOp::Hop {
+                        session: s,
+                        decision,
+                        old_agent,
+                    }
+                });
             }
             HopOutcome::Stayed | HopOutcome::NoFeasibleMove => {
                 self.counters.stays.fetch_add(1, Ordering::Relaxed);
+                self.log_op(|| crate::persist::FleetOp::Stay { session: s });
             }
         }
         outcome
@@ -373,4 +435,40 @@ impl Fleet {
         let state = self.state.lock();
         self.ledger.audit_against(&state)
     }
+
+    /// Appends one journal record, building it lazily so ephemeral
+    /// fleets pay nothing. Called with the FREEZE lock held, which
+    /// makes the journal a faithful serialization of the mutation
+    /// history. A journal write failure is fail-stop: durability was
+    /// promised and can no longer be provided.
+    pub(crate) fn log_op(&self, op: impl FnOnce() -> crate::persist::FleetOp) {
+        if let Some(p) = &self.persist {
+            p.journal
+                .lock()
+                .append(&op())
+                .expect("write-ahead journal append failed");
+        }
+    }
+}
+
+/// The full placement of one session under `state`'s assignment:
+/// `(user → agent, task → agent)`, in instance order — the shape the
+/// persistence layer journals for an admission and what replay
+/// re-installs.
+pub fn placement_of(state: &SystemState, s: SessionId) -> Placement {
+    let problem = state.problem();
+    let users = problem
+        .instance()
+        .session(s)
+        .users()
+        .iter()
+        .map(|&u| (u, state.assignment().agent_of_user(u)))
+        .collect();
+    let tasks = problem
+        .tasks()
+        .of_session(s)
+        .iter()
+        .map(|&t| (t, state.assignment().agent_of_task(t)))
+        .collect();
+    (users, tasks)
 }

@@ -353,6 +353,53 @@ impl CapacityLedger {
         self.holding_shard(session).lock().get(&session).cloned()
     }
 
+    /// Every booked reservation, ascending by session id — the ledger
+    /// half of a durable snapshot. Consistent per holding shard; for a
+    /// globally consistent view call under the fleet's FREEZE lock,
+    /// which serializes all mutations.
+    pub fn holdings(&self) -> Vec<(SessionId, SessionHold)> {
+        let mut out: Vec<(SessionId, SessionHold)> = self
+            .holdings
+            .iter()
+            .flat_map(|h| {
+                h.lock()
+                    .iter()
+                    .map(|(s, hold)| (*s, hold.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Books `hold` for `session` *without* capacity or availability
+    /// checks — the crash-recovery path re-installing a snapshot's
+    /// holdings, which may legitimately overshoot (forced evacuations)
+    /// and may sit on failed agents. Validity is established afterwards
+    /// by the recovery audit, not here.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::AlreadyHeld`] if the session already holds a
+    /// reservation.
+    pub(crate) fn restore_hold(
+        &self,
+        session: SessionId,
+        hold: SessionHold,
+    ) -> Result<(), LedgerError> {
+        let mut holdings = self.holding_shard(session).lock();
+        if holdings.contains_key(&session) {
+            return Err(LedgerError::AlreadyHeld(session));
+        }
+        self.with_span(hold.holds.iter().map(|h| h.agent), |view| {
+            for h in &hold.holds {
+                view.entry(h.agent).add(h);
+            }
+        });
+        holdings.insert(session, hold);
+        Ok(())
+    }
+
     /// Number of sessions holding reservations.
     pub fn live_sessions(&self) -> usize {
         self.holdings.iter().map(|h| h.lock().len()).sum()

@@ -70,6 +70,7 @@
 pub mod fleet;
 pub mod ledger;
 pub mod orchestrator;
+pub mod persist;
 pub mod telemetry;
 #[cfg(test)]
 mod tests;
@@ -78,5 +79,8 @@ pub mod workers;
 pub use fleet::{AdmitError, Fleet, FleetConfig, FleetCounters, PlacementPolicy};
 pub use ledger::{AgentHold, AgentUtilization, CapacityLedger, LedgerError, SessionHold};
 pub use orchestrator::{FleetReport, Orchestrator, OrchestratorConfig};
+pub use persist::{
+    CounterSnapshot, DurableFleetState, FleetOp, PersistConfig, PersistError, RecoveryReport,
+};
 pub use telemetry::{FleetSnapshot, FleetTelemetry};
 pub use workers::ReoptPool;

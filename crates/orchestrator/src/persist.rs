@@ -1,0 +1,871 @@
+//! Fleet durability: the journaled event types, the durable snapshot
+//! state, and the crash-recovery path — `vc-persist`'s generic codec,
+//! WAL, and snapshot machinery specialized to the control plane.
+//!
+//! ## What is durable
+//!
+//! The control plane's entire mutable state is the FREEZE-locked
+//! [`SystemState`] plus the ledger's holdings plus the counters;
+//! [`DurableFleetState`] captures exactly that. Between snapshots,
+//! every mutation appends one [`FleetOp`] to the write-ahead journal
+//! *while the FREEZE lock is held*, so the journal is a faithful
+//! serialization of the mutation history: snapshot + journal tail ⇒
+//! the pre-crash fleet, bit for bit (assignments and holds are exact;
+//! objectives re-evaluate to identical `f64`s).
+//!
+//! ## Replay semantics
+//!
+//! Deterministic effects are re-derived, not logged: `FailAgent`
+//! replays by re-running the (deterministic) evacuation, and an
+//! `Admit` carries the chosen placement so replay installs it directly
+//! instead of re-running the placement search. `Hop` carries the
+//! decision plus its old assignment, letting replay detect divergence
+//! (a mismatched old agent means the journal and snapshot disagree —
+//! corruption, not a tolerable tail).
+//!
+//! ## Recovery
+//!
+//! [`Fleet::recover`] loads the newest valid snapshot, replays journal
+//! records with larger sequence numbers (tolerating a torn *final*
+//! record — the expected crash artifact), re-audits ledger
+//! conservation, and re-checkpoints so the torn tail is discarded and
+//! the store is compact before the fleet goes live again.
+
+use crate::fleet::{Fleet, FleetConfig, FleetCounters};
+use crate::ledger::{AgentHold, CapacityLedger, SessionHold};
+use crate::telemetry::FleetSnapshot;
+use parking_lot::Mutex;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use vc_algo::markov::Alg1Engine;
+use vc_core::{Assignment, Decision, SystemState, TaskId, UapProblem};
+use vc_model::{AgentId, SessionId, UserId};
+use vc_persist::codec::{CodecError, Decode, Encode, Reader};
+use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter};
+use vc_persist::snapshot::{
+    compact, journal_files, journal_path, latest_snapshot, write_snapshot, SnapshotError,
+};
+
+/// One journaled fleet mutation. Every variant is applied under the
+/// FREEZE lock in both live operation and replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetOp {
+    /// A session was admitted with this exact placement.
+    Admit {
+        /// The admitted session.
+        session: SessionId,
+        /// Chosen user placement (instance order).
+        users: Vec<(UserId, AgentId)>,
+        /// Chosen transcoding-task placement (instance order).
+        tasks: Vec<(TaskId, AgentId)>,
+    },
+    /// An admission attempt was refused (counter-only; no state change).
+    Reject {
+        /// The refused session.
+        session: SessionId,
+    },
+    /// A live session departed.
+    Depart {
+        /// The departed session.
+        session: SessionId,
+    },
+    /// An agent failed; replay re-runs the deterministic evacuation.
+    FailAgent {
+        /// The failed agent.
+        agent: AgentId,
+    },
+    /// A failed agent came back.
+    RestoreAgent {
+        /// The restored agent.
+        agent: AgentId,
+    },
+    /// An Alg. 1 HOP migrated one decision.
+    Hop {
+        /// The hopping session.
+        session: SessionId,
+        /// The applied decision (target = new assignment).
+        decision: Decision,
+        /// The decision target's assignment *before* the hop — lets
+        /// replay detect journal/snapshot divergence.
+        old_agent: AgentId,
+    },
+    /// An Alg. 1 HOP stayed put (counter-only; no state change).
+    Stay {
+        /// The session whose hop stayed.
+        session: SessionId,
+    },
+}
+
+impl Encode for FleetOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Admit {
+                session,
+                users,
+                tasks,
+            } => {
+                out.push(0);
+                session.encode(out);
+                users.encode(out);
+                tasks.encode(out);
+            }
+            Self::Reject { session } => {
+                out.push(1);
+                session.encode(out);
+            }
+            Self::Depart { session } => {
+                out.push(2);
+                session.encode(out);
+            }
+            Self::FailAgent { agent } => {
+                out.push(3);
+                agent.encode(out);
+            }
+            Self::RestoreAgent { agent } => {
+                out.push(4);
+                agent.encode(out);
+            }
+            Self::Hop {
+                session,
+                decision,
+                old_agent,
+            } => {
+                out.push(5);
+                session.encode(out);
+                decision.encode(out);
+                old_agent.encode(out);
+            }
+            Self::Stay { session } => {
+                out.push(6);
+                session.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for FleetOp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::Admit {
+                session: SessionId::decode(r)?,
+                users: Vec::decode(r)?,
+                tasks: Vec::decode(r)?,
+            }),
+            1 => Ok(Self::Reject {
+                session: SessionId::decode(r)?,
+            }),
+            2 => Ok(Self::Depart {
+                session: SessionId::decode(r)?,
+            }),
+            3 => Ok(Self::FailAgent {
+                agent: AgentId::decode(r)?,
+            }),
+            4 => Ok(Self::RestoreAgent {
+                agent: AgentId::decode(r)?,
+            }),
+            5 => Ok(Self::Hop {
+                session: SessionId::decode(r)?,
+                decision: Decision::decode(r)?,
+                old_agent: AgentId::decode(r)?,
+            }),
+            6 => Ok(Self::Stay {
+                session: SessionId::decode(r)?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "FleetOp",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for AgentHold {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.agent.encode(out);
+        self.download_mbps.encode(out);
+        self.upload_mbps.encode(out);
+        self.transcode_units.encode(out);
+    }
+}
+
+impl Decode for AgentHold {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            agent: AgentId::decode(r)?,
+            download_mbps: f64::decode(r)?,
+            upload_mbps: f64::decode(r)?,
+            transcode_units: u32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SessionHold {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.holds.encode(out);
+    }
+}
+
+impl Decode for SessionHold {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            holds: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for FleetSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.time_s.encode(out);
+        self.live_sessions.encode(out);
+        self.objective.encode(out);
+        self.mean_session_objective.encode(out);
+        self.traffic_mbps.encode(out);
+        self.mean_delay_ms.encode(out);
+        self.mean_utilization.encode(out);
+        self.max_utilization.encode(out);
+        self.admitted.encode(out);
+        self.rejected.encode(out);
+        self.departed.encode(out);
+        self.migrations.encode(out);
+        self.admission_success_rate.encode(out);
+        self.conservation_violations.encode(out);
+    }
+}
+
+impl Decode for FleetSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            time_s: f64::decode(r)?,
+            live_sessions: usize::decode(r)?,
+            objective: f64::decode(r)?,
+            mean_session_objective: f64::decode(r)?,
+            traffic_mbps: f64::decode(r)?,
+            mean_delay_ms: f64::decode(r)?,
+            mean_utilization: f64::decode(r)?,
+            max_utilization: f64::decode(r)?,
+            admitted: usize::decode(r)?,
+            rejected: usize::decode(r)?,
+            departed: usize::decode(r)?,
+            migrations: usize::decode(r)?,
+            admission_success_rate: f64::decode(r)?,
+            conservation_violations: usize::decode(r)?,
+        })
+    }
+}
+
+/// The counters as plain integers (the atomics snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Sessions admitted.
+    pub admitted: u64,
+    /// Admission attempts refused.
+    pub rejected: u64,
+    /// Sessions departed.
+    pub departed: u64,
+    /// Successful HOP migrations.
+    pub migrations: u64,
+    /// HOPs that stayed put.
+    pub stays: u64,
+    /// Evacuation moves applied on agent failures.
+    pub evacuations: u64,
+    /// Forced evacuation moves.
+    pub forced_moves: u64,
+}
+
+impl CounterSnapshot {
+    /// Reads the fleet's counters.
+    pub fn capture(c: &FleetCounters) -> Self {
+        let get = |a: &std::sync::atomic::AtomicUsize| a.load(Ordering::Relaxed) as u64;
+        Self {
+            admitted: get(&c.admitted),
+            rejected: get(&c.rejected),
+            departed: get(&c.departed),
+            migrations: get(&c.migrations),
+            stays: get(&c.stays),
+            evacuations: get(&c.evacuations),
+            forced_moves: get(&c.forced_moves),
+        }
+    }
+
+    fn install(&self, c: &FleetCounters) {
+        let set = |a: &std::sync::atomic::AtomicUsize, v: u64| {
+            a.store(v as usize, Ordering::Relaxed);
+        };
+        set(&c.admitted, self.admitted);
+        set(&c.rejected, self.rejected);
+        set(&c.departed, self.departed);
+        set(&c.migrations, self.migrations);
+        set(&c.stays, self.stays);
+        set(&c.evacuations, self.evacuations);
+        set(&c.forced_moves, self.forced_moves);
+    }
+}
+
+impl Encode for CounterSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.admitted.encode(out);
+        self.rejected.encode(out);
+        self.departed.encode(out);
+        self.migrations.encode(out);
+        self.stays.encode(out);
+        self.evacuations.encode(out);
+        self.forced_moves.encode(out);
+    }
+}
+
+impl Decode for CounterSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            admitted: u64::decode(r)?,
+            rejected: u64::decode(r)?,
+            departed: u64::decode(r)?,
+            migrations: u64::decode(r)?,
+            stays: u64::decode(r)?,
+            evacuations: u64::decode(r)?,
+            forced_moves: u64::decode(r)?,
+        })
+    }
+}
+
+/// The fleet's complete control-plane state: everything a crashed
+/// orchestrator needs to resume mid-fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableFleetState {
+    /// `λ`: user → agent, instance order (inactive sessions included —
+    /// their inert assignments are part of the state).
+    pub user_agents: Vec<AgentId>,
+    /// `γ`: task → agent, instance order.
+    pub task_agents: Vec<AgentId>,
+    /// Live-session mask, instance order.
+    pub active: Vec<bool>,
+    /// Agent availability, instance order.
+    pub available: Vec<bool>,
+    /// Ledger holdings, ascending by session id.
+    pub holdings: Vec<(SessionId, SessionHold)>,
+    /// Control-plane counters.
+    pub counters: CounterSnapshot,
+}
+
+impl Encode for DurableFleetState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.user_agents.encode(out);
+        self.task_agents.encode(out);
+        self.active.encode(out);
+        self.available.encode(out);
+        self.holdings.encode(out);
+        self.counters.encode(out);
+    }
+}
+
+impl Decode for DurableFleetState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            user_agents: Vec::decode(r)?,
+            task_agents: Vec::decode(r)?,
+            active: Vec::decode(r)?,
+            available: Vec::decode(r)?,
+            holdings: Vec::decode(r)?,
+            counters: CounterSnapshot::decode(r)?,
+        })
+    }
+}
+
+/// Where and how durably the fleet persists.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// The persistence directory (created if missing).
+    pub dir: PathBuf,
+    /// Journal fsync policy. `Always` never loses an acknowledged
+    /// event; `Batch`/`Manual` trade the unsynced tail for throughput.
+    pub fsync: FsyncPolicy,
+}
+
+impl PersistConfig {
+    /// `Always`-fsync persistence in `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// The attached journal sink (one per persistent fleet). Locked
+/// *after* the FREEZE lock, never before — the same order everywhere,
+/// so the pair cannot deadlock.
+#[derive(Debug)]
+pub struct FleetPersistence {
+    pub(crate) dir: PathBuf,
+    pub(crate) fsync: FsyncPolicy,
+    pub(crate) journal: Mutex<JournalWriter<FleetOp>>,
+    /// Exclusive advisory lock on `dir/LOCK`, held for the fleet's
+    /// lifetime so two processes cannot write the same store (the
+    /// second `with_persistence` would otherwise wipe the first's
+    /// files out from under it). The OS releases it on process death,
+    /// so a crash never leaves the store unrecoverable.
+    pub(crate) _lock: std::fs::File,
+}
+
+/// Takes the exclusive store lock, refusing if another live fleet
+/// holds it.
+fn acquire_store_lock(dir: &Path) -> Result<std::fs::File, PersistError> {
+    let lock = std::fs::OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join("LOCK"))?;
+    match lock.try_lock() {
+        Ok(()) => Ok(lock),
+        Err(std::fs::TryLockError::WouldBlock) => Err(PersistError::Locked(dir.to_path_buf())),
+        Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+    }
+}
+
+/// Why persistence or recovery failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Journal-level failure (corruption, version mismatch).
+    Journal(JournalError),
+    /// Snapshot-level failure.
+    Snapshot(SnapshotError),
+    /// The snapshot does not fit the given problem (wrong instance).
+    Mismatch(String),
+    /// Journal replay diverged from the snapshot (gap, refused
+    /// admission, stale hop) — corruption beyond a torn tail.
+    Replay(String),
+    /// The recovered fleet failed the ledger-conservation audit.
+    Audit(Vec<String>),
+    /// The fleet has no persistence attached.
+    NotAttached,
+    /// The store directory holds no snapshot at all. Every valid store
+    /// has one ([`Fleet::with_persistence`] writes the genesis snapshot
+    /// before the first event), so this is a wrong path or lost data —
+    /// going live on a silently-fresh fleet would drop every
+    /// reservation the operator expected to recover.
+    NoStore(PathBuf),
+    /// Another live fleet holds the store's exclusive lock — a second
+    /// writer would corrupt it.
+    Locked(PathBuf),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "persistence I/O error: {e}"),
+            Self::Journal(e) => write!(f, "{e}"),
+            Self::Snapshot(e) => write!(f, "{e}"),
+            Self::Mismatch(m) => write!(f, "snapshot/problem mismatch: {m}"),
+            Self::Replay(m) => write!(f, "journal replay failed: {m}"),
+            Self::Audit(problems) => {
+                write!(f, "recovered fleet failed its audit: {problems:?}")
+            }
+            Self::NotAttached => write!(f, "fleet has no persistence attached"),
+            Self::NoStore(dir) => {
+                write!(f, "no snapshot found in {} — not a store", dir.display())
+            }
+            Self::Locked(dir) => {
+                write!(f, "store {} is locked by another fleet", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<JournalError> for PersistError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal(e)
+    }
+}
+
+impl From<SnapshotError> for PersistError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+/// What [`Fleet::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery started from (0 =
+    /// genesis / no snapshot).
+    pub snapshot_seq: u64,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Whether the journal ended in a torn record (discarded).
+    pub torn_tail: bool,
+    /// The last event sequence number in the recovered state.
+    pub last_seq: u64,
+}
+
+fn capture(fleet: &Fleet, state: &SystemState) -> DurableFleetState {
+    let inst = fleet.problem.instance();
+    DurableFleetState {
+        user_agents: state.assignment().user_agents().to_vec(),
+        task_agents: state.assignment().task_agents().to_vec(),
+        active: inst.session_ids().map(|s| state.is_active(s)).collect(),
+        available: inst
+            .agent_ids()
+            .map(|l| state.is_agent_available(l))
+            .collect(),
+        holdings: fleet.ledger.holdings(),
+        counters: CounterSnapshot::capture(&fleet.counters),
+    }
+}
+
+/// Removes every store file (snapshots, journals, temps) from `dir`.
+fn wipe_store(dir: &Path) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let keep = entry
+            .file_name()
+            .to_str()
+            .is_none_or(|n| !(n.starts_with("snapshot-") || n.starts_with("journal-")));
+        if !keep {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+impl Fleet {
+    /// Creates a fleet like [`Fleet::new`] that journals every mutation
+    /// to `persist.dir`, starting from a **fresh** durable store: any
+    /// store files already in the directory are removed, a genesis
+    /// snapshot (empty fleet, seq 0) is written, and the journal opens
+    /// at seq 1. Use [`Fleet::recover`] to *resume* an existing store.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn with_persistence(
+        problem: Arc<UapProblem>,
+        config: FleetConfig,
+        persist: PersistConfig,
+    ) -> Result<Self, PersistError> {
+        fs::create_dir_all(&persist.dir)?;
+        let lock = acquire_store_lock(&persist.dir)?;
+        wipe_store(&persist.dir)?;
+        let mut fleet = Fleet::new(problem, config);
+        {
+            let state = fleet.state.lock();
+            write_snapshot(&persist.dir, 0, &capture(&fleet, &state))?;
+        }
+        let journal = JournalWriter::create(journal_path(&persist.dir, 1), persist.fsync, 1)?;
+        fleet.persist = Some(FleetPersistence {
+            dir: persist.dir,
+            fsync: persist.fsync,
+            journal: Mutex::new(journal),
+            _lock: lock,
+        });
+        Ok(fleet)
+    }
+
+    /// Whether the fleet journals its mutations.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// The persistence directory, if attached.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(|p| p.dir.as_path())
+    }
+
+    /// Forces the journal's buffered tail to disk — the manual
+    /// durability boundary for `FsyncPolicy::Batch`/`Manual` fleets
+    /// (call it once per telemetry period, at shutdown, …).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NotAttached`] on an ephemeral fleet, or any
+    /// filesystem error.
+    pub fn commit_journal(&self) -> Result<(), PersistError> {
+        let p = self.persist.as_ref().ok_or(PersistError::NotAttached)?;
+        p.journal.lock().commit()?;
+        Ok(())
+    }
+
+    /// Writes a snapshot of the current state, rotates the journal, and
+    /// compacts the store (older snapshots and fully-covered journal
+    /// files are deleted). Runs under the FREEZE lock: the snapshot is
+    /// a consistent cut at the returned sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NotAttached`] on an ephemeral fleet, or any
+    /// filesystem error.
+    pub fn checkpoint(&self) -> Result<u64, PersistError> {
+        let state = self.state.lock();
+        let p = self.persist.as_ref().ok_or(PersistError::NotAttached)?;
+        let mut journal = p.journal.lock();
+        journal.commit()?;
+        let last_seq = journal.next_seq() - 1;
+        write_snapshot(&p.dir, last_seq, &capture(self, &state))?;
+        *journal =
+            JournalWriter::create(journal_path(&p.dir, last_seq + 1), p.fsync, last_seq + 1)?;
+        compact(&p.dir, last_seq)?;
+        Ok(last_seq)
+    }
+
+    /// Reconstructs a fleet from the durable store in `persist.dir`:
+    /// loads the newest valid snapshot, replays the journal tail
+    /// (tolerating a torn final record), re-audits ledger conservation,
+    /// and re-checkpoints so the recovered fleet continues journaling
+    /// from a compact store.
+    ///
+    /// `problem` must be the same instance the store was written
+    /// against (the control plane state is meaningless across
+    /// instances); dimensions are checked and a mismatch is an error,
+    /// not a panic.
+    ///
+    /// # Errors
+    ///
+    /// See [`PersistError`]. Notably, a torn record anywhere but the
+    /// journal's end, a sequence gap, a hop whose old assignment
+    /// disagrees with the replayed state, or a non-empty conservation
+    /// audit are all hard errors: recovery refuses to go live on a
+    /// state it cannot prove consistent. A directory with no snapshot
+    /// at all is [`PersistError::NoStore`] — use
+    /// [`Fleet::with_persistence`] to *start* a store.
+    pub fn recover(
+        persist: PersistConfig,
+        problem: Arc<UapProblem>,
+        config: FleetConfig,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let lock = acquire_store_lock(&persist.dir)?;
+        let snapshot = latest_snapshot::<DurableFleetState>(&persist.dir)?
+            .ok_or_else(|| PersistError::NoStore(persist.dir.clone()))?;
+        let (snapshot_seq, mut fleet) = (
+            snapshot.0,
+            Fleet::from_durable(problem, config, snapshot.1)?,
+        );
+        let mut expected = snapshot_seq + 1;
+        let mut replayed = 0usize;
+        let mut torn_tail = false;
+        let files = journal_files(&persist.dir)?;
+        for (i, (_, path)) in files.iter().enumerate() {
+            let (records, tail) = read_journal::<FleetOp>(path)?;
+            if tail.torn {
+                if i + 1 != files.len() {
+                    return Err(PersistError::Replay(format!(
+                        "torn record in non-final journal {}",
+                        path.display()
+                    )));
+                }
+                torn_tail = true;
+            }
+            for (seq, op) in records {
+                if seq <= snapshot_seq {
+                    continue; // superseded by the snapshot
+                }
+                if seq != expected {
+                    return Err(PersistError::Replay(format!(
+                        "sequence gap: expected {expected}, found {seq}"
+                    )));
+                }
+                fleet.replay_op(&op)?;
+                expected += 1;
+                replayed += 1;
+            }
+        }
+        let audit = fleet.audit();
+        if !audit.is_empty() {
+            return Err(PersistError::Audit(audit));
+        }
+        let drift = fleet.with_state(|s| s.clone().rebuild());
+        if drift > 1e-6 {
+            return Err(PersistError::Replay(format!(
+                "recovered state drifts from a from-scratch rebuild by {drift}"
+            )));
+        }
+        let last_seq = expected - 1;
+        {
+            let state = fleet.state.lock();
+            write_snapshot(&persist.dir, last_seq, &capture(&fleet, &state))?;
+        }
+        let journal = JournalWriter::create(
+            journal_path(&persist.dir, last_seq + 1),
+            persist.fsync,
+            last_seq + 1,
+        )?;
+        compact(&persist.dir, last_seq)?;
+        fleet.persist = Some(FleetPersistence {
+            dir: persist.dir,
+            fsync: persist.fsync,
+            journal: Mutex::new(journal),
+            _lock: lock,
+        });
+        Ok((
+            fleet,
+            RecoveryReport {
+                snapshot_seq,
+                replayed,
+                torn_tail,
+                last_seq,
+            },
+        ))
+    }
+
+    /// Captures the durable state under the FREEZE lock (exposed for
+    /// tests and offline tooling; [`Fleet::checkpoint`] is the
+    /// operational path).
+    pub fn durable_state(&self) -> DurableFleetState {
+        let state = self.state.lock();
+        capture(self, &state)
+    }
+
+    fn from_durable(
+        problem: Arc<UapProblem>,
+        config: FleetConfig,
+        durable: DurableFleetState,
+    ) -> Result<Self, PersistError> {
+        let inst = problem.instance();
+        let dims = [
+            ("users", durable.user_agents.len(), inst.num_users()),
+            ("tasks", durable.task_agents.len(), problem.tasks().len()),
+            ("sessions", durable.active.len(), inst.num_sessions()),
+            ("agents", durable.available.len(), inst.num_agents()),
+        ];
+        for (what, got, want) in dims {
+            if got != want {
+                return Err(PersistError::Mismatch(format!(
+                    "snapshot has {got} {what}, problem has {want}"
+                )));
+            }
+        }
+        if let Some(a) = durable
+            .user_agents
+            .iter()
+            .chain(durable.task_agents.iter())
+            .find(|a| a.index() >= inst.num_agents())
+        {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot assigns to agent {a}, past the instance's {}",
+                inst.num_agents()
+            )));
+        }
+        let assignment = Assignment::new(&problem, durable.user_agents, durable.task_agents);
+        let state = SystemState::with_active(problem.clone(), assignment, durable.active);
+        let ledger = CapacityLedger::new(&problem, config.ledger_shards);
+        let fleet = Fleet {
+            problem,
+            state: Mutex::new(state),
+            ledger,
+            engine: Alg1Engine::new(config.alg1.clone()),
+            config,
+            counters: FleetCounters::default(),
+            persist: None,
+        };
+        {
+            let mut state = fleet.state.lock();
+            for (i, &up) in durable.available.iter().enumerate() {
+                if !up {
+                    let agent = AgentId::from(i);
+                    state.set_agent_available(agent, false);
+                    fleet.ledger.fail_agent(agent);
+                }
+            }
+        }
+        for (session, hold) in durable.holdings {
+            fleet.ledger.restore_hold(session, hold).map_err(|e| {
+                PersistError::Replay(format!("snapshot holdings re-book failed: {e}"))
+            })?;
+        }
+        durable.counters.install(&fleet.counters);
+        Ok(fleet)
+    }
+
+    /// Applies one journaled op to a recovering fleet. Counter effects
+    /// mirror the live paths exactly so recovered counters equal
+    /// pre-crash counters.
+    fn replay_op(&self, op: &FleetOp) -> Result<(), PersistError> {
+        match op {
+            FleetOp::Admit {
+                session,
+                users,
+                tasks,
+            } => {
+                let mut state = self.state.lock();
+                if state.is_active(*session) {
+                    return Err(PersistError::Replay(format!(
+                        "admit of already-live session {session}"
+                    )));
+                }
+                state.reassign_session(*session, users, tasks);
+                state.activate(*session);
+                let hold = SessionHold::from_load(state.session_load(*session));
+                self.ledger.try_reserve(*session, hold).map_err(|e| {
+                    PersistError::Replay(format!("admit of {session} refused on replay: {e}"))
+                })?;
+                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            FleetOp::Reject { .. } => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            FleetOp::Depart { session } => {
+                if self.depart(*session).is_none() {
+                    return Err(PersistError::Replay(format!(
+                        "depart of non-live session {session}"
+                    )));
+                }
+            }
+            FleetOp::FailAgent { agent } => {
+                self.fail_agent(*agent);
+            }
+            FleetOp::RestoreAgent { agent } => {
+                self.restore_agent(*agent);
+            }
+            FleetOp::Hop {
+                session,
+                decision,
+                old_agent,
+            } => {
+                let mut state = self.state.lock();
+                if !state.is_active(*session) {
+                    return Err(PersistError::Replay(format!(
+                        "hop of non-live session {session}"
+                    )));
+                }
+                let current = match decision {
+                    Decision::User(u, _) => state.assignment().agent_of_user(*u),
+                    Decision::Task(t, _) => state.assignment().agent_of_task(*t),
+                };
+                if current != *old_agent {
+                    return Err(PersistError::Replay(format!(
+                        "hop {decision} expected old assignment {old_agent}, state has {current}"
+                    )));
+                }
+                state.apply_unchecked(*decision);
+                self.ledger
+                    .force_swap(
+                        *session,
+                        SessionHold::from_load(state.session_load(*session)),
+                    )
+                    .map_err(|e| {
+                        PersistError::Replay(format!("hop ledger swap failed on replay: {e}"))
+                    })?;
+                self.counters.migrations.fetch_add(1, Ordering::Relaxed);
+            }
+            FleetOp::Stay { .. } => {
+                self.counters.stays.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+}

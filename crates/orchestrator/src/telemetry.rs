@@ -42,7 +42,10 @@ pub struct FleetSnapshot {
     pub conservation_violations: usize,
 }
 
-/// Accumulates snapshots and the derived time series.
+/// Accumulates snapshots and the derived time series — one series per
+/// [`FleetSnapshot`] field, so any fleet metric (including a
+/// recovered-vs-original diff) drops into the existing table printers,
+/// and a [CSV export](FleetTelemetry::to_csv) for offline analysis.
 #[derive(Debug, Default)]
 pub struct FleetTelemetry {
     snapshots: Vec<FleetSnapshot>,
@@ -51,7 +54,14 @@ pub struct FleetTelemetry {
     traffic: TimeSeries,
     mean_delay: TimeSeries,
     live_sessions: TimeSeries,
+    mean_utilization: TimeSeries,
     max_utilization: TimeSeries,
+    admitted: TimeSeries,
+    rejected: TimeSeries,
+    departed: TimeSeries,
+    migrations: TimeSeries,
+    admission_success_rate: TimeSeries,
+    conservation_violations: TimeSeries,
 }
 
 impl FleetTelemetry {
@@ -107,7 +117,16 @@ impl FleetTelemetry {
         self.traffic.push(t_s, snapshot.traffic_mbps);
         self.mean_delay.push(t_s, snapshot.mean_delay_ms);
         self.live_sessions.push(t_s, live as f64);
+        self.mean_utilization.push(t_s, snapshot.mean_utilization);
         self.max_utilization.push(t_s, snapshot.max_utilization);
+        self.admitted.push(t_s, snapshot.admitted as f64);
+        self.rejected.push(t_s, snapshot.rejected as f64);
+        self.departed.push(t_s, snapshot.departed as f64);
+        self.migrations.push(t_s, snapshot.migrations as f64);
+        self.admission_success_rate
+            .push(t_s, snapshot.admission_success_rate);
+        self.conservation_violations
+            .push(t_s, snapshot.conservation_violations as f64);
         self.snapshots.push(snapshot.clone());
         snapshot
     }
@@ -147,9 +166,44 @@ impl FleetTelemetry {
         &self.live_sessions
     }
 
+    /// Mean-utilization series (mean of per-agent max fractions).
+    pub fn mean_utilization_series(&self) -> &TimeSeries {
+        &self.mean_utilization
+    }
+
     /// Max-utilization series.
     pub fn max_utilization_series(&self) -> &TimeSeries {
         &self.max_utilization
+    }
+
+    /// Cumulative-admissions series.
+    pub fn admitted_series(&self) -> &TimeSeries {
+        &self.admitted
+    }
+
+    /// Cumulative-rejections series.
+    pub fn rejected_series(&self) -> &TimeSeries {
+        &self.rejected
+    }
+
+    /// Cumulative-departures series.
+    pub fn departed_series(&self) -> &TimeSeries {
+        &self.departed
+    }
+
+    /// Cumulative-migrations series.
+    pub fn migrations_series(&self) -> &TimeSeries {
+        &self.migrations
+    }
+
+    /// Admission-success-rate series.
+    pub fn admission_success_rate_series(&self) -> &TimeSeries {
+        &self.admission_success_rate
+    }
+
+    /// Conservation-violations series (must be identically zero).
+    pub fn conservation_violations_series(&self) -> &TimeSeries {
+        &self.conservation_violations
     }
 
     /// Total conservation violations observed across all samples.
@@ -158,5 +212,48 @@ impl FleetTelemetry {
             .iter()
             .map(|s| s.conservation_violations)
             .sum()
+    }
+
+    /// Column names of [`to_csv`](Self::to_csv), in order.
+    pub const CSV_HEADER: &'static str = "time_s,live_sessions,objective,\
+        mean_session_objective,traffic_mbps,mean_delay_ms,mean_utilization,\
+        max_utilization,admitted,rejected,departed,migrations,\
+        admission_success_rate,conservation_violations";
+
+    /// Every snapshot as CSV (header + one row per sample), precise
+    /// enough to round-trip `f64`s — two runs can be diffed offline
+    /// (e.g. a recovered fleet against the original).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for s in &self.snapshots {
+            out.push_str(&format!(
+                "{},{},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{},{},{},{},{:.17e},{}\n",
+                s.time_s,
+                s.live_sessions,
+                s.objective,
+                s.mean_session_objective,
+                s.traffic_mbps,
+                s.mean_delay_ms,
+                s.mean_utilization,
+                s.max_utilization,
+                s.admitted,
+                s.rejected,
+                s.departed,
+                s.migrations,
+                s.admission_success_rate,
+                s.conservation_violations,
+            ));
+        }
+        out
+    }
+
+    /// Writes [`to_csv`](Self::to_csv) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
     }
 }

@@ -378,3 +378,332 @@ fn trace_run_handles_churn_events() {
     // Series cover the whole horizon at 1 Hz plus the final sample.
     assert!(report.telemetry.objective_series().len() >= 61);
 }
+
+mod persistence {
+    //! Crash-recovery round trips over the small universe.
+
+    use super::*;
+    use crate::persist::{CounterSnapshot, PersistConfig, PersistError};
+    use std::path::PathBuf;
+    use vc_persist::journal::FsyncPolicy;
+
+    fn store_dir(name: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp-persist")
+            .join(format!("orch-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn persistent_fleet(name: &str) -> (Fleet, PathBuf) {
+        let dir = store_dir(name);
+        let fleet = Fleet::with_persistence(
+            universe(120.0, 6),
+            FleetConfig {
+                placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
+                alg1: Alg1Config::paper(400.0),
+                ledger_shards: 2,
+            },
+            PersistConfig {
+                dir: dir.clone(),
+                fsync: FsyncPolicy::Always,
+            },
+        )
+        .expect("persistent fleet");
+        (fleet, dir)
+    }
+
+    fn recover(dir: &std::path::Path) -> (Fleet, crate::persist::RecoveryReport) {
+        Fleet::recover(
+            PersistConfig {
+                dir: dir.to_path_buf(),
+                fsync: FsyncPolicy::Always,
+            },
+            universe(120.0, 6),
+            FleetConfig {
+                placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
+                alg1: Alg1Config::paper(400.0),
+                ledger_shards: 2,
+            },
+        )
+        .expect("recovery")
+    }
+
+    /// A busy history: admits, hops, a failure, a departure.
+    fn churn(fleet: &Fleet) {
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..6usize {
+            let _ = fleet.admit(SessionId::from(i));
+        }
+        for i in 0..6usize {
+            let _ = fleet.hop_session(SessionId::from(i), &mut rng);
+        }
+        fleet.fail_agent(AgentId::new(1));
+        fleet.depart(SessionId::new(0));
+        let _ = fleet.admit(SessionId::new(0));
+        fleet.restore_agent(AgentId::new(1));
+        for i in 0..6usize {
+            let _ = fleet.hop_session(SessionId::from(i), &mut rng);
+        }
+    }
+
+    #[test]
+    fn crash_and_recover_reproduces_the_fleet_exactly() {
+        let (fleet, dir) = persistent_fleet("crash-exact");
+        churn(&fleet);
+        let before = fleet.durable_state();
+        let objective = fleet.objective();
+        assert!(fleet.audit().is_empty());
+        drop(fleet); // crash: Always policy ⇒ every event is durable
+
+        let (recovered, report) = recover(&dir);
+        assert!(report.replayed > 0, "nothing replayed");
+        assert!(!report.torn_tail);
+        assert_eq!(recovered.durable_state(), before);
+        assert_eq!(recovered.objective().to_bits(), objective.to_bits());
+        assert!(recovered.audit().is_empty());
+        assert!(recovered.is_persistent(), "recovered fleet must journal");
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_prefers_the_snapshot() {
+        let (fleet, dir) = persistent_fleet("checkpoint");
+        churn(&fleet);
+        let seq = fleet.checkpoint().expect("checkpoint");
+        assert!(seq > 0);
+        // Post-checkpoint tail.
+        fleet.depart(SessionId::new(2));
+        let before = fleet.durable_state();
+        drop(fleet);
+
+        let (recovered, report) = recover(&dir);
+        assert_eq!(report.snapshot_seq, seq);
+        assert_eq!(report.replayed, 1, "only the tail replays");
+        assert_eq!(recovered.durable_state(), before);
+        // Compaction kept exactly one snapshot + one (fresh) journal.
+        let snaps = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("snapshot-")
+            })
+            .count();
+        assert_eq!(snaps, 1);
+    }
+
+    #[test]
+    fn recovery_tolerates_a_torn_final_record() {
+        let (fleet, dir) = persistent_fleet("torn-tail");
+        churn(&fleet);
+        let before = fleet.durable_state();
+        drop(fleet);
+        // Simulate a crash mid-append: garbage half-frame at the end.
+        let journal = vc_persist::journal_files(&dir)
+            .expect("journal files")
+            .pop()
+            .expect("one journal")
+            .1;
+        let mut bytes = std::fs::read(&journal).expect("read journal");
+        bytes.extend_from_slice(&[0x42, 0x00, 0x00, 0x00, 0xDE, 0xAD]);
+        std::fs::write(&journal, &bytes).expect("write torn journal");
+
+        let (recovered, report) = recover(&dir);
+        assert!(report.torn_tail, "tail tear not detected");
+        assert_eq!(recovered.durable_state(), before);
+        assert!(recovered.audit().is_empty());
+    }
+
+    #[test]
+    fn recovery_rejects_a_mismatched_problem() {
+        let (fleet, dir) = persistent_fleet("mismatch");
+        churn(&fleet);
+        let mut durable = fleet.durable_state();
+        drop(fleet);
+        durable.user_agents.pop(); // snapshot for a smaller instance
+        let last = vc_persist::latest_snapshot::<crate::persist::DurableFleetState>(&dir)
+            .expect("scan")
+            .expect("snapshot")
+            .0;
+        vc_persist::write_snapshot(&dir, last + 1000, &durable).expect("write");
+        let err = Fleet::recover(
+            PersistConfig {
+                dir,
+                fsync: FsyncPolicy::Always,
+            },
+            universe(120.0, 6),
+            FleetConfig::default(),
+        )
+        .expect_err("dimension mismatch must refuse");
+        assert!(matches!(err, PersistError::Mismatch(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn recovered_counters_match_including_stays() {
+        let (fleet, dir) = persistent_fleet("counters");
+        churn(&fleet);
+        let _ = fleet.admit(SessionId::new(0)); // duplicate ⇒ rejected
+        let before = CounterSnapshot::capture(fleet.counters());
+        drop(fleet);
+        let (recovered, _) = recover(&dir);
+        assert_eq!(CounterSnapshot::capture(recovered.counters()), before);
+        assert!(before.rejected > 0, "history had no rejection");
+    }
+
+    #[test]
+    fn refused_admission_leaves_no_trace_in_the_durable_state() {
+        // A contended universe: capacity for only some of the fleet, so
+        // at least one admission is refused. A refusal must not leak
+        // the attempted placement into the (inert) assignment — journal
+        // replay only sees the Reject record, so any leak would make
+        // recovery diverge from the pre-crash state.
+        let dir = store_dir("refused-admit");
+        let fleet = Fleet::with_persistence(
+            universe(30.0, 2),
+            FleetConfig {
+                placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
+                alg1: Alg1Config::paper(400.0),
+                ledger_shards: 2,
+            },
+            PersistConfig {
+                dir: dir.clone(),
+                fsync: FsyncPolicy::Always,
+            },
+        )
+        .expect("persistent fleet");
+        let mut refused = 0usize;
+        for i in 0..6usize {
+            if fleet.admit(SessionId::from(i)).is_err() {
+                refused += 1;
+            }
+        }
+        assert!(refused > 0, "universe not contended enough to refuse");
+        let before = fleet.durable_state();
+        drop(fleet);
+        let (recovered, _) = Fleet::recover(
+            PersistConfig {
+                dir,
+                fsync: FsyncPolicy::Always,
+            },
+            universe(30.0, 2),
+            FleetConfig {
+                placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
+                alg1: Alg1Config::paper(400.0),
+                ledger_shards: 2,
+            },
+        )
+        .expect("recovery");
+        assert_eq!(
+            recovered.durable_state(),
+            before,
+            "a refused admission left state that replay cannot reproduce"
+        );
+    }
+
+    #[test]
+    fn recovering_an_empty_directory_is_a_hard_error() {
+        // Every valid store has a genesis snapshot; a snapshot-less
+        // directory is a wrong path or lost data, and going live on a
+        // silently-fresh fleet would drop every reservation.
+        let dir = store_dir("no-store");
+        std::fs::create_dir_all(&dir).expect("empty dir");
+        let err = Fleet::recover(
+            PersistConfig {
+                dir,
+                fsync: FsyncPolicy::Always,
+            },
+            universe(120.0, 6),
+            FleetConfig::default(),
+        )
+        .expect_err("empty store must refuse");
+        assert!(matches!(err, PersistError::NoStore(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn a_live_store_refuses_a_second_writer() {
+        let (fleet, dir) = persistent_fleet("store-lock");
+        // A second fleet on the same directory must be refused — it
+        // would wipe the live store. Same for a concurrent recovery.
+        let again = Fleet::with_persistence(
+            universe(120.0, 6),
+            FleetConfig::default(),
+            PersistConfig {
+                dir: dir.clone(),
+                fsync: FsyncPolicy::Always,
+            },
+        );
+        assert!(
+            matches!(again, Err(PersistError::Locked(_))),
+            "second writer was not refused"
+        );
+        let concurrent = Fleet::recover(
+            PersistConfig {
+                dir: dir.clone(),
+                fsync: FsyncPolicy::Always,
+            },
+            universe(120.0, 6),
+            FleetConfig::default(),
+        );
+        assert!(matches!(concurrent, Err(PersistError::Locked(_))));
+        // Once the holder is gone (crash or shutdown), the store opens.
+        churn(&fleet);
+        drop(fleet);
+        let (recovered, _) = recover(&dir);
+        assert!(recovered.audit().is_empty());
+    }
+
+    #[test]
+    fn ephemeral_fleet_refuses_persistence_calls() {
+        let fleet = fleet(120.0, 6);
+        assert!(!fleet.is_persistent());
+        assert!(fleet.persist_dir().is_none());
+        assert!(matches!(fleet.checkpoint(), Err(PersistError::NotAttached)));
+        assert!(matches!(
+            fleet.commit_journal(),
+            Err(PersistError::NotAttached)
+        ));
+    }
+
+    #[test]
+    fn telemetry_exports_every_field_as_csv() {
+        let problem = universe(10_000.0, 100);
+        let trace = dynamic_trace(
+            6,
+            &DynamicTraceConfig {
+                horizon_s: 10.0,
+                warm_sessions: 4,
+                ..DynamicTraceConfig::default()
+            },
+        );
+        let mut orch = Orchestrator::new(problem, OrchestratorConfig::default());
+        let report = orch.run_trace(&trace, 10.0);
+        let t = &report.telemetry;
+        let n = t.snapshots().len();
+        for series in [
+            t.objective_series(),
+            t.mean_session_objective_series(),
+            t.traffic_series(),
+            t.mean_delay_series(),
+            t.live_sessions_series(),
+            t.mean_utilization_series(),
+            t.max_utilization_series(),
+            t.admitted_series(),
+            t.rejected_series(),
+            t.departed_series(),
+            t.migrations_series(),
+            t.admission_success_rate_series(),
+            t.conservation_violations_series(),
+        ] {
+            assert_eq!(series.len(), n, "a series is missing samples");
+        }
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        assert_eq!(header.split(',').count(), 14);
+        assert_eq!(lines.count(), n);
+        // Admissions are cumulative and should end ≥ warm pool.
+        assert!(t.admitted_series().last_value().expect("samples") >= 4.0);
+    }
+}

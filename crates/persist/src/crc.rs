@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the checksum guarding
+//! every journal frame and snapshot payload.
+//!
+//! Implemented locally (table-driven, table built at compile time)
+//! because the workspace has no registry access; the value matches the
+//! ubiquitous zlib/`crc32fast` CRC-32 so externally-produced files can
+//! be cross-checked.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE, initial value `0xFFFF_FFFF`, final XOR).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let a = crc32(b"hello, journal");
+        let b = crc32(b"hello, journal\x01");
+        let c = crc32(b"hello, jou\x72nal"); // 'r' unchanged → same bytes
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,408 @@
+//! The write-ahead event journal: an append-only file of CRC-framed,
+//! sequence-numbered records.
+//!
+//! ## File format
+//!
+//! ```text
+//! ┌──────────────────────────────┐
+//! │ header: "VCWJ" ver:u16 rsv:u16│  8 bytes, written at creation
+//! ├──────────────────────────────┤
+//! │ frame: len:u32 crc:u32 payload│  payload = seq:u64 ++ record
+//! │ frame: …                      │  crc = crc32(payload)
+//! │ …                             │
+//! │ (possibly torn final frame)   │  ← tolerated by the reader
+//! └──────────────────────────────┘
+//! ```
+//!
+//! ## Durability semantics
+//!
+//! [`JournalWriter::append`] buffers the frame in memory;
+//! [`JournalWriter::commit`] writes the buffer and `fsync`s. The
+//! [`FsyncPolicy`] decides how often that happens automatically. A
+//! crash loses exactly the appends since the last commit — never a
+//! committed record, and never the file's integrity: the reader stops
+//! at the first frame that is incomplete or fails its CRC (the torn
+//! tail) and reports everything before it.
+//!
+//! Dropping a writer does **not** flush: an unclean exit is precisely
+//! the crash this module exists to survive, so the drop path must not
+//! quietly upgrade durability. Call [`JournalWriter::commit`] at
+//! shutdown.
+
+use crate::codec::{decode_exact, CodecError, Decode, Encode};
+use crate::crc::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+
+/// Journal file magic.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"VCWJ";
+/// Journal format version.
+pub const JOURNAL_VERSION: u16 = 1;
+/// Header length: magic + version + reserved.
+pub const HEADER_LEN: usize = 8;
+/// Frames longer than this are treated as garbage (a torn length
+/// prefix), not as a real record.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// How often appended records are made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` on every append — maximum durability, one syscall pair
+    /// per event.
+    Always,
+    /// `fsync` once every `n` appends (and on explicit
+    /// [`commit`](JournalWriter::commit)).
+    Batch(usize),
+    /// Only on explicit [`commit`](JournalWriter::commit) — the caller
+    /// owns the durability boundary (e.g. once per telemetry period).
+    Manual,
+}
+
+/// Why reading a journal failed outright (torn tails are *not* errors;
+/// see [`TailStatus`]).
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The header exists but is not a journal, or a CRC-valid frame
+    /// failed to decode (bit rot the CRC happened to miss, or a
+    /// format/version bug).
+    Corrupt {
+        /// Byte offset of the problem.
+        offset: u64,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The journal was written by an incompatible format version.
+    Version(u16),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "journal I/O error: {e}"),
+            Self::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+            Self::Version(v) => write!(f, "journal version {v} unsupported"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// What the reader found at the end of the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailStatus {
+    /// Whether the file ended in an incomplete or CRC-failing frame
+    /// (the expected artifact of a crash mid-append).
+    pub torn: bool,
+    /// Bytes of the file covered by valid frames (header included);
+    /// everything past this offset was ignored.
+    pub valid_len: u64,
+}
+
+/// The append side of the journal. Generic over the record type so the
+/// fleet-specific event enum lives with the fleet, not here.
+#[derive(Debug)]
+pub struct JournalWriter<T: Encode> {
+    file: File,
+    path: PathBuf,
+    /// Frames encoded but not yet written to the file.
+    buf: Vec<u8>,
+    /// Appends since the last fsync.
+    pending: usize,
+    next_seq: u64,
+    policy: FsyncPolicy,
+    _record: PhantomData<fn(&T)>,
+}
+
+impl<T: Encode> JournalWriter<T> {
+    /// Creates (truncating) a journal at `path` whose first record will
+    /// carry sequence number `first_seq`. The header is written and
+    /// synced immediately so even an empty journal is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        first_seq: u64,
+    ) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&JOURNAL_MAGIC);
+        header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(Self {
+            file,
+            path,
+            buf: Vec::new(),
+            pending: 0,
+            next_seq: first_seq,
+            policy,
+            _record: PhantomData,
+        })
+    }
+
+    /// Appends one record, assigning and returning its sequence number.
+    /// Durability follows the writer's [`FsyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error from a policy-triggered commit.
+    pub fn append(&mut self, record: &T) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut payload = Vec::with_capacity(32);
+        seq.encode(&mut payload);
+        record.encode(&mut payload);
+        let len = u32::try_from(payload.len()).expect("record under 4 GiB");
+        assert!(len <= MAX_FRAME_LEN, "record exceeds MAX_FRAME_LEN");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        self.pending += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.commit()?,
+            FsyncPolicy::Batch(n) if self.pending >= n.max(1) => self.commit()?,
+            _ => {}
+        }
+        Ok(seq)
+    }
+
+    /// Writes all buffered frames and `fsync`s: every append so far is
+    /// durable when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        if self.pending > 0 {
+            self.file.sync_data()?;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends not yet made durable.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads every valid record of a journal, in order, stopping cleanly at
+/// a torn tail (incomplete frame, garbage length, or CRC mismatch).
+///
+/// # Errors
+///
+/// [`JournalError::Corrupt`] if the file is not a journal at all or a
+/// CRC-valid frame fails to decode; [`JournalError::Version`] on a
+/// format version mismatch; [`JournalError::Io`] on filesystem errors.
+/// A missing-or-short header reads as an empty, torn journal rather
+/// than an error, so recovery after a crash at creation time works.
+pub fn read_journal<T: Decode>(path: &Path) -> Result<(Vec<(u64, T)>, TailStatus), JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_LEN {
+        return Ok((
+            Vec::new(),
+            TailStatus {
+                torn: !bytes.is_empty(),
+                valid_len: 0,
+            },
+        ));
+    }
+    if bytes[..4] != JOURNAL_MAGIC {
+        return Err(JournalError::Corrupt {
+            offset: 0,
+            reason: "bad magic".into(),
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != JOURNAL_VERSION {
+        return Err(JournalError::Version(version));
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok((
+                records,
+                TailStatus {
+                    torn: false,
+                    valid_len: pos as u64,
+                },
+            ));
+        }
+        if remaining < 8 {
+            break; // torn length/crc prefix
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len as u64 > MAX_FRAME_LEN as u64 || remaining - 8 < len {
+            break; // garbage or truncated payload
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // torn or bit-flipped frame
+        }
+        let (seq, record) =
+            decode_exact::<(u64, T)>(payload).map_err(|e: CodecError| JournalError::Corrupt {
+                offset: pos as u64,
+                reason: format!("CRC-valid frame failed to decode: {e}"),
+            })?;
+        records.push((seq, record));
+        pos += 8 + len;
+    }
+    Ok((
+        records,
+        TailStatus {
+            torn: true,
+            valid_len: pos as u64,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp-persist")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    #[test]
+    fn append_commit_read_round_trip() {
+        let dir = tmp_dir("journal-round-trip");
+        let path = dir.join("j.vcwal");
+        let mut w = JournalWriter::<u64>::create(&path, FsyncPolicy::Manual, 1).expect("create");
+        for v in [10u64, 20, 30] {
+            w.append(&v).expect("append");
+        }
+        assert_eq!(w.pending(), 3);
+        w.commit().expect("commit");
+        assert_eq!(w.pending(), 0);
+        let (records, tail) = read_journal::<u64>(&path).expect("read");
+        assert_eq!(records, vec![(1, 10), (2, 20), (3, 30)]);
+        assert!(!tail.torn);
+    }
+
+    #[test]
+    fn uncommitted_appends_are_not_on_disk() {
+        let dir = tmp_dir("journal-uncommitted");
+        let path = dir.join("j.vcwal");
+        let mut w = JournalWriter::<u64>::create(&path, FsyncPolicy::Manual, 0).expect("create");
+        w.append(&7u64).expect("append");
+        drop(w); // crash: no flush on drop
+        let (records, tail) = read_journal::<u64>(&path).expect("read");
+        assert!(records.is_empty());
+        assert!(!tail.torn);
+    }
+
+    #[test]
+    fn batch_policy_syncs_every_n() {
+        let dir = tmp_dir("journal-batch");
+        let path = dir.join("j.vcwal");
+        let mut w = JournalWriter::<u64>::create(&path, FsyncPolicy::Batch(2), 0).expect("create");
+        w.append(&1u64).expect("append");
+        assert_eq!(w.pending(), 1);
+        w.append(&2u64).expect("append"); // triggers the batch commit
+        assert_eq!(w.pending(), 0);
+        w.append(&3u64).expect("append");
+        drop(w); // the third append dies with the crash
+        let (records, _) = read_journal::<u64>(&path).expect("read");
+        assert_eq!(records, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn every_truncation_reads_a_clean_prefix() {
+        let dir = tmp_dir("journal-truncate");
+        let path = dir.join("j.vcwal");
+        let mut w = JournalWriter::<u64>::create(&path, FsyncPolicy::Always, 0).expect("create");
+        for v in 0..5u64 {
+            w.append(&(v * 100)).expect("append");
+        }
+        let bytes = fs::read(&path).expect("read file");
+        for cut in 0..=bytes.len() {
+            let p = dir.join("cut.vcwal");
+            fs::write(&p, &bytes[..cut]).expect("write prefix");
+            let (records, tail) = read_journal::<u64>(&p).expect("prefix reads");
+            // A prefix never yields an invalid record, and the record
+            // values are exactly the longest whole-frame prefix.
+            for (i, (seq, v)) in records.iter().enumerate() {
+                assert_eq!(*seq, i as u64);
+                assert_eq!(*v, i as u64 * 100);
+            }
+            assert!(tail.valid_len as usize <= cut.max(HEADER_LEN));
+            if cut == bytes.len() {
+                assert!(!tail.torn);
+                assert_eq!(records.len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_is_a_torn_tail() {
+        let dir = tmp_dir("journal-bitflip");
+        let path = dir.join("j.vcwal");
+        let mut w = JournalWriter::<u64>::create(&path, FsyncPolicy::Always, 0).expect("create");
+        w.append(&1u64).expect("append");
+        w.append(&2u64).expect("append");
+        let mut bytes = fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload bit of the final frame
+        fs::write(&path, &bytes).expect("write");
+        let (records, tail) = read_journal::<u64>(&path).expect("read");
+        assert_eq!(records, vec![(0, 1)]);
+        assert!(tail.torn);
+    }
+
+    #[test]
+    fn non_journal_file_is_corrupt() {
+        let dir = tmp_dir("journal-corrupt");
+        let path = dir.join("j.vcwal");
+        fs::write(&path, b"definitely not a journal").expect("write");
+        assert!(matches!(
+            read_journal::<u64>(&path),
+            Err(JournalError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! `vc-persist` — durability for the orchestrator control plane.
+//!
+//! The paper's dispatcher is a long-lived process: Algorithm 1 sessions
+//! WAIT/HOP continuously while conferences arrive and depart, so the
+//! control-plane state (assignments, ledger reservations, counters) is
+//! the product of an unbounded event history. This crate makes that
+//! state survive a crash with two complementary artifacts:
+//!
+//! * a **write-ahead event journal** ([`journal`]) — every fleet
+//!   mutation is appended as a CRC-checked, length-prefixed frame
+//!   *before* the caller observes its effect as durable; appends are
+//!   buffered and fsynced in batches (see [`journal::FsyncPolicy`]);
+//! * periodic **snapshots** ([`snapshot`]) — the full control-plane
+//!   state written atomically (temp file + rename), superseding the
+//!   journal prefix so the log can be **compacted**.
+//!
+//! Recovery loads the latest valid snapshot, replays the journal tail
+//! (tolerating a torn final record — the expected artifact of a crash
+//! mid-append), and hands the reconstructed state back for re-audit.
+//!
+//! Everything is serialized with a **hand-rolled, versioned binary
+//! codec** ([`codec`]): the workspace builds offline and the vendored
+//! `serde` derive is a deliberate no-op (see `vendor/README.md`), so
+//! durability cannot lean on it. The codec is little-endian,
+//! length-prefixed, and exact: `f64` round-trips through its bit
+//! pattern, so a recovered objective equals the pre-crash objective to
+//! the last bit.
+//!
+//! This crate only knows about `vc-model`/`vc-core` types plus its own
+//! framing; the fleet-specific record types and the recovery path
+//! (`Fleet::recover`) live in `vc-orchestrator::persist`, which builds
+//! on the generic machinery here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod journal;
+pub mod snapshot;
+
+pub use codec::{decode_exact, encode_to_vec, CodecError, Decode, Encode, Reader};
+pub use crc::crc32;
+pub use journal::{
+    read_journal, FsyncPolicy, JournalError, JournalWriter, TailStatus, JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+};
+pub use snapshot::{
+    compact, journal_files, journal_path, latest_snapshot, load_snapshot, snapshot_path,
+    write_snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

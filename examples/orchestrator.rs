@@ -13,17 +13,53 @@
 //! ```text
 //! cargo run --release --example orchestrator
 //! ```
+//!
+//! With `--crash-at <T> [--resume]` the example instead demonstrates
+//! the `vc-persist` durability path: it runs the orchestrated fleet
+//! with an always-fsync write-ahead journal, kills it dead at virtual
+//! time `T` (no shutdown, no checkpoint), recovers via
+//! `Fleet::recover`, proves the recovered fleet is *identical* (live
+//! set, ledger holdings, counters, objective), and — with `--resume` —
+//! finishes the remaining trace on the recovered fleet:
+//!
+//! ```text
+//! cargo run --release --example orchestrator -- --crash-at 30 --resume
+//! ```
 
 use cloud_vc::prelude::*;
 use std::sync::Arc;
 use vc_algo::agrank::AgRankConfig;
 use vc_algo::markov::Alg1Config;
 use vc_model::AgentId;
-use vc_orchestrator::FleetReport;
+use vc_orchestrator::{FleetReport, ReoptPool};
 
 const HORIZON_S: f64 = 60.0;
 
 fn main() {
+    let mut crash_at: Option<f64> = None;
+    let mut resume = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--crash-at" => {
+                crash_at = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--crash-at needs a virtual time in seconds"),
+                );
+            }
+            "--resume" => resume = true,
+            other => panic!("unknown argument '{other}' (try --crash-at <T> [--resume])"),
+        }
+    }
+    if let Some(t) = crash_at {
+        crash_demo(t, resume);
+        return;
+    }
+    comparison_demo();
+}
+
+fn comparison_demo() {
     // ~135 potential sessions over the 7 EC2 agents, with real capacity
     // limits so the ledger has something to arbitrate.
     let instance = large_scale_instance(&LargeScaleConfig {
@@ -156,4 +192,156 @@ fn main() {
     println!(
         "\nOK: ≥100 concurrent sessions, churn survived, objective improved, ledger conserved."
     );
+}
+
+/// Kill the fleet mid-run, recover it from the durable store, prove
+/// the recovered control plane is identical, optionally finish the
+/// trace on it.
+fn crash_demo(crash_at: f64, resume: bool) {
+    let instance = large_scale_instance(&LargeScaleConfig {
+        num_users: 400,
+        max_session_size: 4,
+        mean_bandwidth_mbps: Some(2_500.0),
+        mean_transcode_slots: Some(150.0),
+        seed: 42,
+        ..LargeScaleConfig::default()
+    });
+    let problem = Arc::new(UapProblem::new(instance, CostModel::paper_default()));
+    let trace = dynamic_trace(
+        problem.instance().num_sessions(),
+        &DynamicTraceConfig {
+            horizon_s: HORIZON_S,
+            warm_sessions: 110,
+            mean_interarrival_s: Some(2.0),
+            mean_holding_s: 400.0,
+            failures: vec![(crash_at * 0.66, AgentId::new(2))],
+            restores: vec![],
+            seed: 7,
+        },
+    );
+    let fleet_config = || FleetConfig {
+        placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
+        alg1: Alg1Config {
+            mean_countdown_s: 5.0,
+            ..Alg1Config::paper(400.0)
+        },
+        ledger_shards: 4,
+    };
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/persist-demo");
+    let persist = || PersistConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Always,
+    };
+
+    let apply = |fleet: &Fleet, pool: &ReoptPool, t: f64, event: FleetEvent| match event {
+        FleetEvent::Arrive(s) => {
+            if fleet.admit(s).is_ok() {
+                pool.register(fleet, s, t);
+            }
+        }
+        FleetEvent::Depart(s) => {
+            fleet.depart(s);
+            pool.deregister(s);
+        }
+        FleetEvent::FailAgent(a) => {
+            fleet.fail_agent(a);
+        }
+        FleetEvent::RestoreAgent(a) => {
+            fleet.restore_agent(a);
+        }
+    };
+
+    println!(
+        "== durability demo: journaled fleet, killed at t = {crash_at} s ==\n   store: {}",
+        dir.display()
+    );
+    let fleet = Fleet::with_persistence(problem.clone(), fleet_config(), persist())
+        .expect("persistent fleet");
+    let pool = ReoptPool::new(2015);
+    for &(t, event) in &trace.events {
+        if t > crash_at {
+            break;
+        }
+        pool.tick_until(&fleet, t);
+        apply(&fleet, &pool, t, event);
+    }
+    pool.tick_until(&fleet, crash_at);
+    let before = fleet.durable_state();
+    let objective_before = fleet.objective();
+    let live_before = fleet.live_count();
+    assert!(fleet.audit().is_empty(), "pre-crash fleet failed audit");
+    println!(
+        "   pre-crash:  {live_before} live sessions, objective {objective_before:.3}, audit clean"
+    );
+    drop(fleet); // kill -9: no shutdown, no checkpoint
+
+    let (recovered, report) =
+        Fleet::recover(persist(), problem.clone(), fleet_config()).expect("recovery");
+    println!(
+        "   recovered:  snapshot seq {}, {} journal records replayed{}",
+        report.snapshot_seq,
+        report.replayed,
+        if report.torn_tail {
+            ", torn tail discarded"
+        } else {
+            ""
+        },
+    );
+    let after = recovered.durable_state();
+    let objective_after = recovered.objective();
+    println!(
+        "   post-crash: {} live sessions, objective {objective_after:.3}, audit {}",
+        recovered.live_count(),
+        if recovered.audit().is_empty() {
+            "clean"
+        } else {
+            "DIRTY"
+        },
+    );
+    assert_eq!(after, before, "recovered control-plane state differs");
+    assert_eq!(
+        objective_after.to_bits(),
+        objective_before.to_bits(),
+        "recovered objective differs"
+    );
+    assert!(recovered.audit().is_empty(), "recovered fleet failed audit");
+    println!("   identical:  live set, ledger holdings, counters, objective (bitwise)\n");
+
+    if resume {
+        let pool = ReoptPool::new(2016);
+        let live: Vec<SessionId> = recovered.with_state(|s| s.active_sessions().collect());
+        for &s in &live {
+            pool.register(&recovered, s, crash_at);
+        }
+        for &(t, event) in &trace.events {
+            if t <= crash_at {
+                continue;
+            }
+            pool.tick_until(&recovered, t);
+            apply(&recovered, &pool, t, event);
+        }
+        pool.tick_until(&recovered, HORIZON_S);
+        recovered.commit_journal().expect("final commit");
+        let c = recovered.counters();
+        use std::sync::atomic::Ordering;
+        println!("== resumed to t = {HORIZON_S} s on the recovered fleet ==");
+        println!("   live sessions            {:>8}", recovered.live_count());
+        println!(
+            "   admitted / departed      {:>5} / {:<5}",
+            c.admitted.load(Ordering::Relaxed),
+            c.departed.load(Ordering::Relaxed)
+        );
+        println!(
+            "   migrations               {:>8}",
+            c.migrations.load(Ordering::Relaxed)
+        );
+        println!(
+            "   mean objective / session {:>8.2}",
+            recovered.mean_session_objective()
+        );
+        assert!(recovered.audit().is_empty(), "resumed fleet failed audit");
+        println!("\nOK: crash at t = {crash_at} s survived; fleet resumed and stayed conserved.");
+    } else {
+        println!("OK: crash at t = {crash_at} s survived; recovery is exact.");
+    }
 }

@@ -47,6 +47,7 @@
 //! | [`sim`] | `vc-sim` | discrete-event conferencing simulator, metrics, streaming |
 //! | [`workloads`] | `vc-workloads` | prototype, Internet-scale & dynamic-fleet generators |
 //! | [`orchestrator`] | `vc-orchestrator` | online multi-session control plane: sharded capacity ledger, admission, re-optimization workers |
+//! | [`persist`] | `vc-persist` | durability: hand-rolled binary codec, CRC-framed write-ahead journal, snapshots, crash recovery |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,6 +59,7 @@ pub use vc_markov as markov;
 pub use vc_model as model;
 pub use vc_net as net;
 pub use vc_orchestrator as orchestrator;
+pub use vc_persist as persist;
 pub use vc_sim as sim;
 pub use vc_workloads as workloads;
 
@@ -76,8 +78,10 @@ pub mod prelude {
         UserId,
     };
     pub use vc_orchestrator::{
-        Fleet, FleetConfig, FleetSnapshot, Orchestrator, OrchestratorConfig, PlacementPolicy,
+        Fleet, FleetConfig, FleetSnapshot, Orchestrator, OrchestratorConfig, PersistConfig,
+        PlacementPolicy, RecoveryReport,
     };
+    pub use vc_persist::FsyncPolicy;
     pub use vc_sim::{ConferenceSim, DynamicsEvent, SimConfig, SimReport};
     pub use vc_workloads::{
         dynamic_trace, large_scale_instance, prototype_instance, DynamicTraceConfig, FleetEvent,

@@ -1,0 +1,387 @@
+//! Durability properties of `vc-persist` + the fleet recovery path:
+//!
+//! * codec round-trips — `decode ∘ encode = id` for random
+//!   `SessionHold`s, journal records (`FleetOp`), and telemetry
+//!   `FleetSnapshot`s, with every strict truncation rejected;
+//! * a **crash-point sweep** — the write-ahead journal of a real fleet
+//!   run is cut at *every byte offset* and recovery must come back
+//!   clean (audit empty) from each prefix;
+//! * mid-trace crash recovery — a fleet killed between trace events
+//!   recovers to the exact live-session set, ledger holdings, counters
+//!   and (bitwise) objective.
+
+use cloud_vc::persist::{decode_exact, encode_to_vec, FsyncPolicy};
+use cloud_vc::prelude::*;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use vc_algo::agrank::AgRankConfig;
+use vc_algo::markov::Alg1Config;
+use vc_core::{TaskId, UapProblem};
+use vc_orchestrator::persist::FleetOp;
+use vc_orchestrator::{AgentHold, SessionHold};
+
+fn store_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/tmp-persist")
+        .join(format!("it-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Three agents with real capacity limits, six 2-user sessions — small
+/// enough that a byte-offset sweep stays fast, contended enough that
+/// admissions get refused and failures force evacuations.
+fn small_universe() -> Arc<UapProblem> {
+    let ladder = ReprLadder::standard_four();
+    let hi = ladder.highest();
+    let lo = ladder.lowest();
+    let mut b = InstanceBuilder::new(ladder);
+    for name in ["a", "b", "c"] {
+        b.add_agent(
+            AgentSpec::builder(name)
+                .capacity(Capacity::new(90.0, 90.0, 5))
+                .build(),
+        );
+    }
+    for i in 0..6 {
+        let s = b.add_session();
+        if i % 2 == 0 {
+            b.add_user(s, hi, lo);
+            b.add_user(s, lo, lo);
+        } else {
+            b.add_user(s, hi, hi);
+            b.add_user(s, hi, hi);
+        }
+    }
+    b.symmetric_delays(
+        |l, k| 25.0 + 20.0 * ((l as f64) - (k as f64)).abs(),
+        |l, u| 8.0 + ((l * 13 + u * 7) % 23) as f64,
+    );
+    b.d_max_ms(10_000.0);
+    Arc::new(UapProblem::new(
+        b.build().expect("valid universe"),
+        CostModel::paper_default(),
+    ))
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
+        alg1: Alg1Config::paper(400.0),
+        ledger_shards: 2,
+    }
+}
+
+fn persist_config(dir: &std::path::Path) -> PersistConfig {
+    PersistConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+/// A busy, failure-laden history over the small universe.
+fn churn(fleet: &Fleet) {
+    let mut rng = StdRng::seed_from_u64(23);
+    for i in 0..6usize {
+        let _ = fleet.admit(SessionId::from(i));
+    }
+    for i in 0..6usize {
+        let _ = fleet.hop_session(SessionId::from(i), &mut rng);
+    }
+    fleet.fail_agent(AgentId::new(1));
+    fleet.depart(SessionId::new(1));
+    let _ = fleet.admit(SessionId::new(1));
+    fleet.restore_agent(AgentId::new(1));
+    for i in 0..6usize {
+        let _ = fleet.hop_session(SessionId::from(i), &mut rng);
+    }
+    fleet.depart(SessionId::new(4));
+}
+
+// ---------------------------------------------------------------- codec
+
+fn agent_hold_strategy() -> impl Strategy<Value = AgentHold> {
+    (0u32..8, 0.0f64..500.0, 0.0f64..500.0, 0u32..10).prop_map(|(a, d, u, t)| AgentHold {
+        agent: AgentId::new(a),
+        download_mbps: d,
+        upload_mbps: u,
+        transcode_units: t,
+    })
+}
+
+fn session_hold_strategy() -> impl Strategy<Value = SessionHold> {
+    prop::collection::vec(agent_hold_strategy(), 0..5).prop_map(|holds| SessionHold { holds })
+}
+
+fn placement_strategy() -> impl Strategy<Value = vc_orchestrator::fleet::Placement> {
+    (
+        prop::collection::vec((0u32..128, 0u32..8), 0..5),
+        prop::collection::vec((0u32..64, 0u32..8), 0..4),
+    )
+        .prop_map(|(users, tasks)| {
+            (
+                users
+                    .into_iter()
+                    .map(|(u, a)| (UserId::new(u), AgentId::new(a)))
+                    .collect(),
+                tasks
+                    .into_iter()
+                    .map(|(t, a)| (TaskId::new(t), AgentId::new(a)))
+                    .collect(),
+            )
+        })
+}
+
+fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
+    (
+        0u8..7,
+        0u32..64,
+        0u32..8,
+        placement_strategy(),
+        any::<bool>(),
+    )
+        .prop_map(|(tag, s, a, (users, tasks), user_move)| {
+            let session = SessionId::new(s);
+            let agent = AgentId::new(a);
+            match tag {
+                0 => FleetOp::Admit {
+                    session,
+                    users,
+                    tasks,
+                },
+                1 => FleetOp::Reject { session },
+                2 => FleetOp::Depart { session },
+                3 => FleetOp::FailAgent { agent },
+                4 => FleetOp::RestoreAgent { agent },
+                5 => FleetOp::Hop {
+                    session,
+                    decision: if user_move {
+                        Decision::User(UserId::new(s), agent)
+                    } else {
+                        Decision::Task(TaskId::new(s), agent)
+                    },
+                    old_agent: AgentId::new((a + 1) % 8),
+                },
+                _ => FleetOp::Stay { session },
+            }
+        })
+}
+
+fn fleet_snapshot_strategy() -> impl Strategy<Value = FleetSnapshot> {
+    (
+        (0.0f64..600.0, 0usize..500, -1e6f64..1e6, -1e4f64..1e4),
+        (0.0f64..1e5, 0.0f64..1e3, 0.0f64..1.0, 0.0f64..2.0),
+        (0usize..1000, 0usize..1000, 0usize..1000, 0usize..1000),
+        (0.0f64..1.0, 0usize..10),
+    )
+        .prop_map(|(a, b, c, d)| FleetSnapshot {
+            time_s: a.0,
+            live_sessions: a.1,
+            objective: a.2,
+            mean_session_objective: a.3,
+            traffic_mbps: b.0,
+            mean_delay_ms: b.1,
+            mean_utilization: b.2,
+            max_utilization: b.3,
+            admitted: c.0,
+            rejected: c.1,
+            departed: c.2,
+            migrations: c.3,
+            admission_success_rate: d.0,
+            conservation_violations: d.1,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `decode ∘ encode = id` for ledger holds, and every strict
+    /// truncation of the encoding is rejected.
+    #[test]
+    fn session_hold_codec_round_trips(hold in session_hold_strategy()) {
+        let bytes = encode_to_vec(&hold);
+        prop_assert_eq!(decode_exact::<SessionHold>(&bytes).expect("decodes"), hold);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_exact::<SessionHold>(&bytes[..cut]).is_err(),
+                "truncation at {} decoded", cut
+            );
+        }
+    }
+
+    /// Journal records round-trip individually and as a batch.
+    #[test]
+    fn fleet_op_codec_round_trips(ops in prop::collection::vec(fleet_op_strategy(), 1..16)) {
+        for op in &ops {
+            let bytes = encode_to_vec(op);
+            prop_assert_eq!(&decode_exact::<FleetOp>(&bytes).expect("decodes"), op);
+        }
+        let bytes = encode_to_vec(&ops);
+        prop_assert_eq!(decode_exact::<Vec<FleetOp>>(&bytes).expect("decodes"), ops);
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_exact::<Vec<FleetOp>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Telemetry snapshots round-trip with bitwise-equal floats.
+    #[test]
+    fn fleet_snapshot_codec_round_trips(snap in fleet_snapshot_strategy()) {
+        let bytes = encode_to_vec(&snap);
+        let back = decode_exact::<FleetSnapshot>(&bytes).expect("decodes");
+        prop_assert_eq!(back.objective.to_bits(), snap.objective.to_bits());
+        prop_assert_eq!(back, snap);
+    }
+}
+
+// ------------------------------------------------------- crash recovery
+
+/// Cut the journal at **every byte offset**; recovery from each prefix
+/// must succeed with an empty conservation audit (the internal
+/// recovery path re-audits and errors otherwise, so `expect` is the
+/// assertion).
+#[test]
+fn crash_at_every_byte_offset_recovers_conserved() {
+    let problem = small_universe();
+    let src = store_dir("sweep-src");
+    let fleet = Fleet::with_persistence(problem.clone(), fleet_config(), persist_config(&src))
+        .expect("persistent fleet");
+    churn(&fleet);
+    drop(fleet);
+    let snapshot_bytes =
+        std::fs::read(cloud_vc::persist::snapshot_path(&src, 0)).expect("genesis snapshot");
+    let (start_seq, journal) = cloud_vc::persist::journal_files(&src)
+        .expect("scan")
+        .pop()
+        .expect("one journal");
+    assert_eq!(start_seq, 1);
+    let journal_bytes = std::fs::read(journal).expect("journal bytes");
+    assert!(
+        journal_bytes.len() > 200,
+        "history too small to be a meaningful sweep"
+    );
+
+    let work = store_dir("sweep-work");
+    let mut live_counts = Vec::new();
+    for cut in 0..=journal_bytes.len() {
+        let _ = std::fs::remove_dir_all(&work);
+        std::fs::create_dir_all(&work).expect("work dir");
+        std::fs::write(cloud_vc::persist::snapshot_path(&work, 0), &snapshot_bytes)
+            .expect("copy snapshot");
+        std::fs::write(
+            cloud_vc::persist::journal_path(&work, 1),
+            &journal_bytes[..cut],
+        )
+        .expect("cut journal");
+        let (recovered, report) =
+            Fleet::recover(persist_config(&work), problem.clone(), fleet_config())
+                .unwrap_or_else(|e| panic!("recovery failed at byte offset {cut}: {e}"));
+        assert!(
+            recovered.audit().is_empty(),
+            "conservation violated at byte offset {cut}"
+        );
+        live_counts.push((report.replayed, recovered.live_count()));
+    }
+    // The sweep actually exercised progressively longer histories.
+    let (last_replayed, _) = *live_counts.last().expect("sweep ran");
+    assert!(
+        last_replayed > 10,
+        "full journal replayed only {last_replayed} records"
+    );
+    assert!(live_counts.first().expect("sweep ran").0 == 0);
+}
+
+/// Kill a trace-driven fleet between events; the recovered fleet is
+/// the pre-crash fleet, exactly.
+#[test]
+fn mid_trace_crash_recovery_is_exact() {
+    let problem = small_universe();
+    let trace = dynamic_trace(
+        6,
+        &DynamicTraceConfig {
+            horizon_s: 40.0,
+            warm_sessions: 4,
+            mean_interarrival_s: Some(4.0),
+            mean_holding_s: 25.0,
+            failures: vec![(12.0, AgentId::new(0))],
+            restores: vec![(22.0, AgentId::new(0))],
+            seed: 5,
+        },
+    );
+    let crash_at = 20.0;
+    let dir = store_dir("mid-trace");
+    let fleet = Fleet::with_persistence(problem.clone(), fleet_config(), persist_config(&dir))
+        .expect("persistent fleet");
+    let mut rng = StdRng::seed_from_u64(40);
+    for &(t, event) in &trace.events {
+        if t > crash_at {
+            break;
+        }
+        match event {
+            FleetEvent::Arrive(s) => {
+                let _ = fleet.admit(s);
+            }
+            FleetEvent::Depart(s) => {
+                fleet.depart(s);
+            }
+            FleetEvent::FailAgent(a) => {
+                fleet.fail_agent(a);
+            }
+            FleetEvent::RestoreAgent(a) => {
+                fleet.restore_agent(a);
+            }
+        }
+        // Interleave re-optimization like the worker pool would.
+        for i in 0..6usize {
+            let _ = fleet.hop_session(SessionId::from(i), &mut rng);
+        }
+    }
+    let before = fleet.durable_state();
+    let objective = fleet.objective();
+    let live: Vec<SessionId> = fleet.with_state(|s| s.active_sessions().collect());
+    assert!(fleet.audit().is_empty());
+    drop(fleet); // crash
+
+    let (recovered, report) =
+        Fleet::recover(persist_config(&dir), problem, fleet_config()).expect("recovery");
+    assert!(report.replayed > 0);
+    assert_eq!(recovered.durable_state(), before);
+    assert_eq!(
+        recovered.with_state(|s| s.active_sessions().collect::<Vec<_>>()),
+        live,
+        "live-session set differs"
+    );
+    assert_eq!(
+        recovered.objective().to_bits(),
+        objective.to_bits(),
+        "objective differs beyond f64 round-trip"
+    );
+    assert!(recovered.audit().is_empty());
+}
+
+/// A half-written final record (the classic torn write) is discarded;
+/// everything before it recovers.
+#[test]
+fn torn_final_record_is_tolerated() {
+    let problem = small_universe();
+    let dir = store_dir("torn");
+    let fleet = Fleet::with_persistence(problem.clone(), fleet_config(), persist_config(&dir))
+        .expect("persistent fleet");
+    churn(&fleet);
+    let before = fleet.durable_state();
+    drop(fleet);
+    let (_, journal) = cloud_vc::persist::journal_files(&dir)
+        .expect("scan")
+        .pop()
+        .expect("one journal");
+    let mut bytes = std::fs::read(&journal).expect("read");
+    // A plausible frame start (small length prefix) that never finished.
+    bytes.extend_from_slice(&[0x30, 0x00, 0x00, 0x00, 0x11, 0x22]);
+    std::fs::write(&journal, &bytes).expect("write");
+
+    let (recovered, report) =
+        Fleet::recover(persist_config(&dir), problem, fleet_config()).expect("recovery");
+    assert!(report.torn_tail, "tear not reported");
+    assert_eq!(recovered.durable_state(), before);
+}
