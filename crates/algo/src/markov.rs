@@ -17,9 +17,9 @@
 //! values `Φ + ε`, ε drawn from the Theorem-1 quantized noise model.
 
 use rand::Rng;
-use vc_core::{neighborhood, Decision, SystemState};
+use vc_core::{Decision, EvalScratch, SystemState};
 use vc_markov::perturb::NoiseSpec;
-use vc_model::SessionId;
+use vc_model::{AgentId, SessionId};
 
 /// Exponent clamp for the Gibbs weights (β·ΔΦ can overflow `exp`).
 const MAX_EXPONENT: f64 = 600.0;
@@ -69,6 +69,30 @@ pub enum HopOutcome {
     Stayed,
     /// No feasible alternative assignment existed.
     NoFeasibleMove,
+}
+
+/// Reusable per-worker buffers for the allocation-free HOP path: the
+/// evaluation scratch plus the feasible-candidate and Gibbs-weight
+/// vectors. One per worker thread; steady-state hops allocate nothing.
+#[derive(Debug, Default)]
+pub struct HopScratch {
+    /// Candidate evaluation buffers (shared with the caller's own
+    /// evaluation needs, e.g. the orchestrator's slot-based hop).
+    pub eval: EvalScratch,
+    /// Feasible decisions of the current neighborhood, in enumeration
+    /// order.
+    pub decisions: Vec<Decision>,
+    /// The (possibly noise-observed) `Φ_s` of each feasible decision.
+    pub phis: Vec<f64>,
+    /// Gibbs exponents (`exponents[0]` is the stay option).
+    pub exponents: Vec<f64>,
+}
+
+impl HopScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The per-session Markov hopping engine.
@@ -125,48 +149,130 @@ impl Alg1Engine {
         beta: f64,
         rng: &mut R,
     ) -> HopOutcome {
-        let moves = neighborhood::feasible_moves(state, s);
-        if moves.is_empty() {
+        let mut scratch = HopScratch::new();
+        self.hop_with_beta_scratch(state, s, beta, rng, &mut scratch)
+    }
+
+    /// [`hop`](Self::hop) reusing caller-owned buffers — the
+    /// allocation-free form worker pools drive.
+    pub fn hop_scratch<R: Rng + ?Sized>(
+        &self,
+        state: &mut SystemState,
+        s: SessionId,
+        rng: &mut R,
+        scratch: &mut HopScratch,
+    ) -> HopOutcome {
+        self.hop_with_beta_scratch(state, s, self.config.beta, rng, scratch)
+    }
+
+    /// The HOP primitive: enumerates the feasible single-decision
+    /// neighbors through `scratch` (overlay evaluation, no assignment
+    /// clone, no per-candidate allocation), Gibbs-samples over
+    /// {stay} ∪ neighbors, and commits the chosen move by swapping the
+    /// evaluated load into the state.
+    pub fn hop_with_beta_scratch<R: Rng + ?Sized>(
+        &self,
+        state: &mut SystemState,
+        s: SessionId,
+        beta: f64,
+        rng: &mut R,
+        scratch: &mut HopScratch,
+    ) -> HopOutcome {
+        scratch.decisions.clear();
+        scratch.phis.clear();
+        {
+            let problem = state.problem().clone();
+            let inst = problem.instance();
+            let nl = inst.num_agents();
+            let consider = |decision: Decision, scratch: &mut HopScratch| {
+                if state.candidate_into(decision, &mut scratch.eval).is_ok() {
+                    scratch.decisions.push(decision);
+                    scratch.phis.push(scratch.eval.load().phi);
+                }
+            };
+            for &u in inst.session(s).users() {
+                let current = state.assignment().agent_of_user(u);
+                for l in 0..nl {
+                    let l = AgentId::from(l);
+                    if l != current {
+                        consider(Decision::User(u, l), scratch);
+                    }
+                }
+            }
+            for &t in problem.tasks().of_session(s) {
+                let current = state.assignment().agent_of_task(t);
+                for l in 0..nl {
+                    let l = AgentId::from(l);
+                    if l != current {
+                        consider(Decision::Task(t, l), scratch);
+                    }
+                }
+            }
+        }
+        if scratch.decisions.is_empty() {
             return HopOutcome::NoFeasibleMove;
         }
-        let observe = |phi: f64, rng: &mut R| -> f64 {
-            match &self.config.noise {
-                Some(noise) => phi + noise.sample_offset(rng),
-                None => phi,
-            }
-        };
-        let phi_now = observe(state.session_objective(s), rng);
-
-        // Stable Gibbs sampling over {stay} ∪ moves:
-        // exponent_i = ½β(Φ_now − Φ_i); stay has exponent 0.
-        let mut exponents = Vec::with_capacity(moves.len() + 1);
-        exponents.push(0.0);
-        for m in &moves {
-            let phi_m = observe(m.new_phi, rng);
-            exponents.push((0.5 * beta * (phi_now - phi_m)).clamp(-MAX_EXPONENT, MAX_EXPONENT));
+        let phi_now = self.observe(state.session_objective(s), rng);
+        for phi in &mut scratch.phis {
+            *phi = self.observe(*phi, rng);
         }
-        let max_e = exponents.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = exponents.iter().map(|e| (e - max_e).exp()).collect();
-        let total: f64 = weights.iter().sum();
-        let mut x = rng.gen::<f64>() * total;
-        let mut chosen = 0usize;
-        for (i, w) in weights.iter().enumerate() {
-            if x < *w {
-                chosen = i;
-                break;
-            }
-            x -= w;
-        }
+        let chosen = self.gibbs_select(beta, phi_now, &scratch.phis, &mut scratch.exponents, rng);
         if chosen == 0 {
             return HopOutcome::Stayed;
         }
-        let decision = moves[chosen - 1].decision;
-        match state.try_apply(decision) {
-            Ok(()) => HopOutcome::Migrated(decision),
+        let decision = scratch.decisions[chosen - 1];
+        match state.candidate_into(decision, &mut scratch.eval) {
+            Ok(()) => {
+                state.commit_scratch(decision, &mut scratch.eval);
+                HopOutcome::Migrated(decision)
+            }
             // Cannot happen single-threaded (the candidate was feasible a
             // moment ago), but stay put rather than corrupt the state.
             Err(_) => HopOutcome::Stayed,
         }
+    }
+
+    /// Applies the configured measurement-noise model to one observed
+    /// `Φ` value (identity — and no RNG consumption — without noise).
+    pub fn observe<R: Rng + ?Sized>(&self, phi: f64, rng: &mut R) -> f64 {
+        match &self.config.noise {
+            Some(noise) => phi + noise.sample_offset(rng),
+            None => phi,
+        }
+    }
+
+    /// Stable Gibbs sampling over {stay} ∪ candidates: exponent_i =
+    /// ½β(Φ_now − Φ_i), stay has exponent 0. Returns the chosen index
+    /// (0 = stay, `i > 0` = `phis[i − 1]`). `exponents` is a reusable
+    /// buffer; one `rng.gen::<f64>()` is consumed.
+    pub fn gibbs_select<R: Rng + ?Sized>(
+        &self,
+        beta: f64,
+        phi_now: f64,
+        phis: &[f64],
+        exponents: &mut Vec<f64>,
+        rng: &mut R,
+    ) -> usize {
+        exponents.clear();
+        exponents.push(0.0);
+        for &phi_m in phis {
+            exponents.push((0.5 * beta * (phi_now - phi_m)).clamp(-MAX_EXPONENT, MAX_EXPONENT));
+        }
+        let max_e = exponents.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Exponents become weights in place: one `exp` per candidate.
+        let mut total = 0.0;
+        for e in exponents.iter_mut() {
+            *e = (*e - max_e).exp();
+            total += *e;
+        }
+        let mut x = rng.gen::<f64>() * total;
+        for (i, w) in exponents.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        0
     }
 
     /// Runs the full asynchronous algorithm over all active sessions for
@@ -212,6 +318,7 @@ impl Alg1Engine {
             .map(|&s| (self.next_countdown(rng), s))
             .collect();
         let mut log = Vec::new();
+        let mut scratch = HopScratch::new();
         while let Some((idx, &(t, s))) = wakes
             .iter()
             .enumerate()
@@ -220,7 +327,7 @@ impl Alg1Engine {
             if t > duration_s {
                 break;
             }
-            let outcome = self.hop_with_beta(state, s, beta_at(t), rng);
+            let outcome = self.hop_with_beta_scratch(state, s, beta_at(t), rng, &mut scratch);
             log.push((t, s, outcome));
             wakes[idx] = (t + self.next_countdown(rng), s);
         }

@@ -3,11 +3,46 @@
 //! ```text
 //! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
 //! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration
-//!      ablation churn orchestrator persist all
+//!      ablation churn orchestrator persist hop_bench all
 //! ```
+//!
+//! The binary installs a counting global allocator so `hop_bench` can
+//! report heap allocations per hop (the overhead is one relaxed atomic
+//! increment per allocation — irrelevant to every other experiment).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use vc_bench::experiments::table2::Table2Config;
 use vc_bench::experiments::*;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper counting every allocation (including
+/// `realloc`, which may move).
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// is a relaxed atomic with no effect on allocation semantics.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -17,7 +52,7 @@ struct Options {
     seed: u64,
 }
 
-const ALL_IDS: [&str; 16] = [
+const ALL_IDS: [&str; 17] = [
     "fig2",
     "fig4",
     "fig5",
@@ -34,6 +69,7 @@ const ALL_IDS: [&str; 16] = [
     "churn",
     "orchestrator",
     "persist",
+    "hop_bench",
 ];
 
 fn usage() -> ! {
@@ -216,6 +252,21 @@ fn main() {
                 orchestrator::print(&orchestrator::run(d, opts.seed));
             }
             "persist" => persist::print(&persist::run(opts.seed)),
+            "hop_bench" => {
+                // `--duration` (seconds) sets the per-config wall budget
+                // of the concurrent runs; default 2 s each.
+                let wall_ms = if opts.duration_s > 0.0 {
+                    (opts.duration_s * 1e3) as u64
+                } else {
+                    2_000
+                };
+                hop_bench::print(&hop_bench::run(
+                    &[1_000, 10_000],
+                    wall_ms,
+                    opts.seed,
+                    alloc_count,
+                ));
+            }
             _ => unreachable!("ids validated in parse_args"),
         }
         eprintln!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());

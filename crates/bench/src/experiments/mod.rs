@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hop_bench;
 pub mod migration;
 pub mod orchestrator;
 pub mod persist;

@@ -82,6 +82,7 @@ fn run_size(target: usize, seed: u64) -> PersistRow {
         PersistConfig {
             dir: store.clone(),
             fsync: FsyncPolicy::Batch(1024),
+            stay_batch: 64,
         },
     )
     .expect("persistent fleet");
@@ -98,10 +99,18 @@ fn run_size(target: usize, seed: u64) -> PersistRow {
 
     // (a) The buffered append path in isolation, on a standalone
     // journal over records shaped like this fleet's real events.
+    // One state materialization for all sample placements (`with_state`
+    // re-evaluates every live session, so it must not sit in a loop).
+    let placements: Vec<(SessionId, vc_orchestrator::fleet::Placement)> = fleet.with_state(|st| {
+        (0..16.min(target))
+            .map(|i| {
+                let s = SessionId::from(i);
+                (s, vc_orchestrator::fleet::placement_of(st, s))
+            })
+            .collect()
+    });
     let mut sample_ops: Vec<FleetOp> = Vec::new();
-    for i in 0..16.min(target) {
-        let s = SessionId::from(i);
-        let (users, tasks) = fleet.with_state(|st| vc_orchestrator::fleet::placement_of(st, s));
+    for (s, (users, tasks)) in placements {
         sample_ops.push(FleetOp::Admit {
             session: s,
             users,
@@ -155,6 +164,7 @@ fn run_size(target: usize, seed: u64) -> PersistRow {
         PersistConfig {
             dir: store,
             fsync: FsyncPolicy::Batch(1024),
+            stay_batch: 64,
         },
         problem,
         FleetConfig {

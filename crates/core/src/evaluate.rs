@@ -20,15 +20,98 @@
 //!   through the transcoding agent when `θ_uv = 1` — and the transcoding
 //!   latency `σ_l` (counted once; the paper's printed formula nests σ
 //!   inside the `Σ_k`, an evident typo).
+//!
+//! ## The hop hot path
+//!
+//! Alg. 1 weighs `(|U(s)| + |T(s)|)·(L − 1)` candidate placements per
+//! HOP, so this module is written around a reusable [`EvalScratch`]:
+//! one evaluation touches only the agents the session actually uses
+//! (tracked in [`SessionLoad::touched`]) and clears only what it wrote,
+//! making steady-state candidate weighing allocation-free. Candidates
+//! are expressed as an [`OverlayView`] over the committed assignment —
+//! a one-decision diff — instead of cloning the whole assignment.
 
-use crate::{Assignment, UapProblem};
+use crate::{Assignment, Decision, TaskId, UapProblem};
 use vc_model::{AgentId, ReprId, SessionId, UserId};
+
+/// Read access to the decision variables `λ` (user → agent) and `γ`
+/// (task → agent). [`Assignment`] is the committed store; overlays and
+/// the orchestrator's per-session slots provide cheap alternative views
+/// so candidate evaluation never clones the global assignment.
+pub trait AssignmentView {
+    /// `λ(u)`: the agent user `u` subscribes to.
+    fn agent_of_user(&self, u: UserId) -> AgentId;
+    /// `γ(t)`: the agent running task `t`.
+    fn agent_of_task(&self, t: TaskId) -> AgentId;
+}
+
+impl AssignmentView for Assignment {
+    #[inline]
+    fn agent_of_user(&self, u: UserId) -> AgentId {
+        Assignment::agent_of_user(self, u)
+    }
+    #[inline]
+    fn agent_of_task(&self, t: TaskId) -> AgentId {
+        Assignment::agent_of_task(self, t)
+    }
+}
+
+impl<V: AssignmentView + ?Sized> AssignmentView for &V {
+    #[inline]
+    fn agent_of_user(&self, u: UserId) -> AgentId {
+        (**self).agent_of_user(u)
+    }
+    #[inline]
+    fn agent_of_task(&self, t: TaskId) -> AgentId {
+        (**self).agent_of_task(t)
+    }
+}
+
+/// A base view with exactly one decision changed — the shape of every
+/// Alg. 1 candidate. Evaluating through an overlay replaces the old
+/// clone-the-whole-`Assignment` candidate path.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayView<'a, V: AssignmentView> {
+    base: &'a V,
+    decision: Decision,
+}
+
+impl<'a, V: AssignmentView> OverlayView<'a, V> {
+    /// Views `base` with `decision` applied.
+    pub fn new(base: &'a V, decision: Decision) -> Self {
+        Self { base, decision }
+    }
+}
+
+impl<V: AssignmentView> AssignmentView for OverlayView<'_, V> {
+    #[inline]
+    fn agent_of_user(&self, u: UserId) -> AgentId {
+        if let Decision::User(w, a) = self.decision {
+            if w == u {
+                return a;
+            }
+        }
+        self.base.agent_of_user(u)
+    }
+    #[inline]
+    fn agent_of_task(&self, t: TaskId) -> AgentId {
+        if let Decision::Task(w, a) = self.decision {
+            if w == t {
+                return a;
+            }
+        }
+        self.base.agent_of_task(t)
+    }
+}
 
 /// Everything the optimizer needs to know about one session under one
 /// assignment: per-agent resource loads, inter-agent ingress `x_ls`,
 /// transcoding occupancy `y_ls`, per-user delays `d_u`, and the weighted
 /// local objective `Φ_s`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the semantic fields only — the [`touched`]
+/// (Self::touched) index is bookkeeping for sparse iteration.
+#[derive(Debug, Clone, Default)]
 pub struct SessionLoad {
     /// Per-agent download load (Mbps): last-mile upstreams + inter-agent ingress.
     pub download: Vec<f64>,
@@ -38,6 +121,13 @@ pub struct SessionLoad {
     pub ingress: Vec<f64>,
     /// `y_ls`: transcoding units occupied per agent (distinct `(u, r)` pairs).
     pub transcode_units: Vec<u32>,
+    /// Indices of agents this session's load touches, ascending. Every
+    /// nonzero entry of the dense vectors above is covered (a touched
+    /// agent may still carry an all-zero load, e.g. a one-user session's
+    /// empty downstream); consumers doing sparse scans — totals
+    /// maintenance, `check_swap`, ledger holds — iterate this instead of
+    /// all `L` agents.
+    pub touched: Vec<u32>,
     /// `d_u` per session participant (same order as `session.users()`):
     /// the worst delay `u` experiences *receiving* from the others.
     pub user_delay: Vec<f64>,
@@ -53,6 +143,23 @@ pub struct SessionLoad {
     pub phi: f64,
 }
 
+impl PartialEq for SessionLoad {
+    fn eq(&self, other: &Self) -> bool {
+        // `touched` deliberately excluded: it may be a superset of the
+        // nonzero agents and two equal loads may differ in it.
+        self.download == other.download
+            && self.upload == other.upload
+            && self.ingress == other.ingress
+            && self.transcode_units == other.transcode_units
+            && self.user_delay == other.user_delay
+            && self.max_flow_delay == other.max_flow_delay
+            && self.delay_cost == other.delay_cost
+            && self.traffic_cost == other.traffic_cost
+            && self.transcode_cost == other.transcode_cost
+            && self.phi == other.phi
+    }
+}
+
 impl SessionLoad {
     /// A zeroed load (used for inactive sessions).
     pub fn empty(num_agents: usize) -> Self {
@@ -61,6 +168,7 @@ impl SessionLoad {
             upload: vec![0.0; num_agents],
             ingress: vec![0.0; num_agents],
             transcode_units: vec![0; num_agents],
+            touched: Vec::new(),
             user_delay: Vec::new(),
             max_flow_delay: 0.0,
             delay_cost: 0.0,
@@ -77,106 +185,345 @@ impl SessionLoad {
     }
 }
 
-/// Evaluates session `s` under `assignment`, computing all loads, delays
-/// and costs from scratch.
+/// Evaluates session `s` under `view`, computing all loads, delays
+/// and costs from scratch. Convenience wrapper over [`EvalScratch`] —
+/// hot paths hold a scratch and call [`EvalScratch::evaluate`] directly.
 ///
 /// # Panics
 ///
 /// Panics if `s` is out of range for the problem's instance.
-pub fn evaluate_session(
+pub fn evaluate_session<V: AssignmentView>(
     problem: &UapProblem,
-    assignment: &Assignment,
+    view: &V,
     s: SessionId,
 ) -> SessionLoad {
-    let inst = problem.instance();
-    let nl = inst.num_agents();
-    let session = inst.session(s);
-    let mut flows = FlowMatrix::new(nl);
-    let mut load = SessionLoad::empty(nl);
+    let mut scratch = EvalScratch::new();
+    scratch.evaluate(problem, view, s).clone()
+}
 
-    // --- Traffic accounting (constraints (5)/(6) and x_ls). -------------
-    for &u in session.users() {
-        let a_u = assignment.agent_of_user(u);
-        let upstream = inst.user(u).upstream();
-        let k_up = inst.kappa(upstream);
+/// Reusable per-worker evaluation buffers: the `L×L` flow matrix (with
+/// a touched-cell list so clearing is proportional to what was written,
+/// not `L²`), the output [`SessionLoad`], the transcode-triple dedup
+/// buffer, and the small per-stream agent sets. After warm-up an
+/// evaluation performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    nl: usize,
+    /// Dense `L×L` inter-agent flows (`flows[k·L + l]` = Mbps k→l).
+    flows: Vec<f64>,
+    /// Cells of `flows` written since the last clear.
+    flow_cells: Vec<(u32, u32)>,
+    /// The output load; dense vectors sized `L`, cleared via `touched`.
+    load: SessionLoad,
+    /// Membership mask for `load.touched`, true only mid-evaluation.
+    mark: Vec<bool>,
+    /// Transcode-triple dedup buffer (sort + dedup, not O(n²) scans).
+    triples: Vec<(AgentId, UserId, ReprId)>,
+    transcoders: Vec<AgentId>,
+    raw_dests: Vec<AgentId>,
+    reps: Vec<ReprId>,
+    transcoders_r: Vec<AgentId>,
+    dest_agents_r: Vec<AgentId>,
+}
 
-        // Last-mile upstream: u pushes its stream into its agent.
-        load.download[a_u.index()] += k_up;
-        // Last-mile downstream: u's agent pushes to u every stream u demands.
-        let demanded: f64 = inst
-            .participants(u)
-            .map(|v| inst.kappa(inst.user(u).downstream_from(v)))
-            .sum();
-        load.upload[a_u.index()] += demanded;
-
-        accumulate_stream_flows(problem, assignment, u, a_u, k_up, &mut flows);
+impl EvalScratch {
+    /// An empty scratch; buffers are sized on first use and re-sized if
+    /// the agent count changes.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    for k in 0..nl {
-        for l in 0..nl {
-            if k == l {
-                continue;
-            }
-            let f = flows.get(k, l);
+    /// The load produced by the most recent [`evaluate`](Self::evaluate).
+    pub fn load(&self) -> &SessionLoad {
+        &self.load
+    }
+
+    /// Mutable access for commit paths that swap the evaluated load into
+    /// caller-owned storage (the next `evaluate` clears whatever load is
+    /// swapped in, using its `touched` index).
+    pub fn load_mut(&mut self) -> &mut SessionLoad {
+        &mut self.load
+    }
+
+    fn ensure(&mut self, nl: usize) {
+        if self.nl != nl {
+            self.nl = nl;
+            self.flows = vec![0.0; nl * nl];
+            self.flow_cells.clear();
+            self.load = SessionLoad::empty(nl);
+            self.mark = vec![false; nl];
+        }
+    }
+
+    /// Zeroes exactly what the previous evaluation (or a swapped-in
+    /// load) left behind.
+    fn clear(&mut self) {
+        for &a in &self.load.touched {
+            let i = a as usize;
+            self.load.download[i] = 0.0;
+            self.load.upload[i] = 0.0;
+            self.load.ingress[i] = 0.0;
+            self.load.transcode_units[i] = 0;
+        }
+        self.load.touched.clear();
+        for &(k, l) in &self.flow_cells {
+            self.flows[k as usize * self.nl + l as usize] = 0.0;
+        }
+        self.flow_cells.clear();
+        self.load.user_delay.clear();
+        self.load.max_flow_delay = 0.0;
+        self.load.delay_cost = 0.0;
+        self.load.traffic_cost = 0.0;
+        self.load.transcode_cost = 0.0;
+        self.load.phi = 0.0;
+    }
+
+    /// Evaluates session `s` under `view` into the scratch's load,
+    /// returning it. Results are bitwise identical to a fresh
+    /// [`evaluate_session`]: sparse accumulation visits agents and flow
+    /// cells in the same ascending order the dense scan would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range for the problem's instance.
+    pub fn evaluate<V: AssignmentView>(
+        &mut self,
+        problem: &UapProblem,
+        view: &V,
+        s: SessionId,
+    ) -> &SessionLoad {
+        let inst = problem.instance();
+        let nl = inst.num_agents();
+        self.ensure(nl);
+        self.clear();
+        let session = inst.session(s);
+
+        // --- Traffic accounting (constraints (5)/(6) and x_ls). ---------
+        for &u in session.users() {
+            let a_u = view.agent_of_user(u);
+            let upstream = inst.user(u).upstream();
+            let k_up = inst.kappa(upstream);
+
+            touch(&mut self.load.touched, &mut self.mark, a_u.index());
+            // Last-mile upstream: u pushes its stream into its agent.
+            self.load.download[a_u.index()] += k_up;
+            // Last-mile downstream: u's agent pushes to u every stream u
+            // demands (assignment-independent, precomputed).
+            self.load.upload[a_u.index()] += problem.demanded_mbps(u);
+
+            self.accumulate_stream_flows(problem, view, u, a_u, k_up);
+        }
+
+        // Row-major cell order reproduces the dense `for k { for l }`
+        // scan bitwise (each slot accumulates its terms in the same
+        // order). Cells are recorded on first write, which can repeat
+        // when that first write added exactly 0.0 Mbps (a zero-bitrate
+        // ladder rung is legal) — dedup so no cell is folded twice.
+        self.flow_cells.sort_unstable();
+        self.flow_cells.dedup();
+        for &(k, l) in &self.flow_cells {
+            let f = self.flows[k as usize * self.nl + l as usize];
             if f > 0.0 {
-                load.download[l] += f;
-                load.upload[k] += f;
-                load.ingress[l] += f;
+                touch(&mut self.load.touched, &mut self.mark, l as usize);
+                touch(&mut self.load.touched, &mut self.mark, k as usize);
+                self.load.download[l as usize] += f;
+                self.load.upload[k as usize] += f;
+                self.load.ingress[l as usize] += f;
+            }
+        }
+
+        // --- Transcoding occupancy ν_lru (constraint (7) and y_ls). -----
+        // One unit per distinct (agent, src-user, target-rep) triple;
+        // sort + dedup instead of the quadratic `seen.contains` scan.
+        self.triples.clear();
+        for &t in problem.tasks().of_session(s) {
+            let task = problem.tasks().task(t);
+            self.triples
+                .push((view.agent_of_task(t), task.src, task.target));
+        }
+        self.triples.sort_unstable();
+        self.triples.dedup();
+        for i in 0..self.triples.len() {
+            let a = self.triples[i].0;
+            touch(&mut self.load.touched, &mut self.mark, a.index());
+            self.load.transcode_units[a.index()] += 1;
+        }
+
+        // --- End-to-end delays d_uv (constraint (8) and F(d_s)). --------
+        self.load.user_delay.resize(session.len(), 0.0);
+        for (u, v) in session.flows() {
+            let d = flow_delay(problem, view, u, v);
+            self.load.max_flow_delay = self.load.max_flow_delay.max(d);
+            // d_v = max over incoming flows u→v.
+            let pos = session
+                .users()
+                .iter()
+                .position(|&w| w == v)
+                .expect("flow destination is a session member");
+            self.load.user_delay[pos] = self.load.user_delay[pos].max(d);
+        }
+
+        // --- Costs (sparse: untouched agents contribute price·g(0) = 0,
+        // and adding +0.0 leaves the ascending-order sum bitwise equal
+        // to the dense one). ---------------------------------------------
+        self.load.touched.sort_unstable();
+        for &a in &self.load.touched {
+            self.mark[a as usize] = false;
+        }
+        let cost = problem.cost();
+        self.load.delay_cost = cost.delay.cost(&self.load.user_delay);
+        self.load.traffic_cost = self
+            .load
+            .touched
+            .iter()
+            .map(|&l| {
+                inst.agent(AgentId::from(l as usize)).price_per_mbps()
+                    * cost.bandwidth.cost(self.load.ingress[l as usize])
+            })
+            .sum();
+        self.load.transcode_cost = self
+            .load
+            .touched
+            .iter()
+            .map(|&l| {
+                inst.agent(AgentId::from(l as usize)).price_per_task()
+                    * cost
+                        .transcode
+                        .cost(f64::from(self.load.transcode_units[l as usize]))
+            })
+            .sum();
+        self.load.phi = cost.weights.combine(
+            self.load.delay_cost,
+            self.load.traffic_cost,
+            self.load.transcode_cost,
+        );
+        &self.load
+    }
+
+    /// Accumulates the three `μ_klu` terms for user `u`'s stream.
+    fn accumulate_stream_flows<V: AssignmentView>(
+        &mut self,
+        problem: &UapProblem,
+        view: &V,
+        u: UserId,
+        a_u: AgentId,
+        k_up: f64,
+    ) {
+        let inst = problem.instance();
+        let tasks_u = problem.tasks().of_source(u);
+        let nl = self.nl;
+        let flows = &mut self.flows;
+        let flow_cells = &mut self.flow_cells;
+
+        // T_u: agents transcoding u's stream (ν′_lu = 1).
+        self.transcoders.clear();
+        for &t in tasks_u {
+            let a = view.agent_of_task(t);
+            if !self.transcoders.contains(&a) {
+                self.transcoders.push(a);
+            }
+        }
+
+        // Term 1: raw upstream from u's agent to every transcoding agent.
+        for &l in &self.transcoders {
+            if l != a_u {
+                flow_add(flows, flow_cells, nl, a_u, l, k_up);
+            }
+        }
+
+        // Term 2: raw upstream to agents hosting un-transcoded destinations
+        // (θ_uv = 0), unless the agent already receives it for transcoding.
+        self.raw_dests.clear();
+        for v in inst.participants(u) {
+            if !inst.theta(u, v) {
+                let a_v = view.agent_of_user(v);
+                if a_v != a_u && !self.transcoders.contains(&a_v) && !self.raw_dests.contains(&a_v)
+                {
+                    self.raw_dests.push(a_v);
+                }
+            }
+        }
+        for &l in &self.raw_dests {
+            flow_add(flows, flow_cells, nl, a_u, l, k_up);
+        }
+
+        // Term 3: transcoded streams from their transcoder(s) to the agents
+        // hosting destinations that demand them. The paper's (1−λ_lu) factor
+        // skips deliveries back to u's own agent.
+        self.reps.clear();
+        for &t in tasks_u {
+            let r = problem.tasks().task(t).target;
+            if !self.reps.contains(&r) {
+                self.reps.push(r);
+            }
+        }
+        for i in 0..self.reps.len() {
+            let r = self.reps[i];
+            let k_r = inst.kappa(r);
+            self.transcoders_r.clear();
+            self.dest_agents_r.clear();
+            for &t in tasks_u {
+                let task = problem.tasks().task(t);
+                if task.target != r {
+                    continue;
+                }
+                let ta = view.agent_of_task(t);
+                if !self.transcoders_r.contains(&ta) {
+                    self.transcoders_r.push(ta);
+                }
+                let da = view.agent_of_user(task.dst);
+                if da != a_u && !self.dest_agents_r.contains(&da) {
+                    self.dest_agents_r.push(da);
+                }
+            }
+            for &l in &self.dest_agents_r {
+                for &k in &self.transcoders_r {
+                    if k != l {
+                        flow_add(flows, flow_cells, nl, k, l, k_r);
+                    }
+                }
             }
         }
     }
+}
 
-    // --- Transcoding occupancy ν_lru (constraint (7) and y_ls). ---------
-    // One unit per distinct (agent, src-user, target-rep) triple.
-    let mut seen: Vec<(AgentId, UserId, ReprId)> = Vec::new();
-    for &t in problem.tasks().of_session(s) {
-        let task = problem.tasks().task(t);
-        let triple = (assignment.agent_of_task(t), task.src, task.target);
-        if !seen.contains(&triple) {
-            seen.push(triple);
-            load.transcode_units[triple.0.index()] += 1;
-        }
+/// Marks agent `i` as touched (idempotent).
+#[inline]
+fn touch(touched: &mut Vec<u32>, mark: &mut [bool], i: usize) {
+    if !mark[i] {
+        mark[i] = true;
+        touched.push(i as u32);
     }
+}
 
-    // --- End-to-end delays d_uv (constraint (8) and F(d_s)). ------------
-    load.user_delay = vec![0.0; session.len()];
-    for (u, v) in session.flows() {
-        let d = flow_delay(problem, assignment, u, v);
-        load.max_flow_delay = load.max_flow_delay.max(d);
-        // d_v = max over incoming flows u→v.
-        let pos = session
-            .users()
-            .iter()
-            .position(|&w| w == v)
-            .expect("flow destination is a session member");
-        load.user_delay[pos] = load.user_delay[pos].max(d);
+/// Adds `mbps` to the flow cell `from → to`, recording the cell on its
+/// first (zero → nonzero) write.
+#[inline]
+fn flow_add(
+    flows: &mut [f64],
+    cells: &mut Vec<(u32, u32)>,
+    nl: usize,
+    from: AgentId,
+    to: AgentId,
+    mbps: f64,
+) {
+    let idx = from.index() * nl + to.index();
+    if flows[idx] == 0.0 {
+        cells.push((from.index() as u32, to.index() as u32));
     }
-
-    // --- Costs. ----------------------------------------------------------
-    let cost = problem.cost();
-    load.delay_cost = cost.delay.cost(&load.user_delay);
-    load.traffic_cost = (0..nl)
-        .map(|l| {
-            inst.agent(AgentId::from(l)).price_per_mbps() * cost.bandwidth.cost(load.ingress[l])
-        })
-        .sum();
-    load.transcode_cost = (0..nl)
-        .map(|l| {
-            inst.agent(AgentId::from(l)).price_per_task()
-                * cost.transcode.cost(f64::from(load.transcode_units[l]))
-        })
-        .sum();
-    load.phi = cost
-        .weights
-        .combine(load.delay_cost, load.traffic_cost, load.transcode_cost);
-    load
+    flows[idx] += mbps;
 }
 
 /// End-to-end delay of the flow `u → v` (Sec. III-C):
 /// `H_{a(u),u} + H_{a(v),v}` plus either the direct hop `D_{a(u),a(v)}`
 /// (no transcoding) or the relay through the transcoder `l` with its
 /// latency: `D_{l,a(u)} + D_{l,a(v)} + σ_l(r^u_u, r^d_{vu})`.
-pub fn flow_delay(problem: &UapProblem, assignment: &Assignment, u: UserId, v: UserId) -> f64 {
+pub fn flow_delay<V: AssignmentView>(
+    problem: &UapProblem,
+    assignment: &V,
+    u: UserId,
+    v: UserId,
+) -> f64 {
     flow_delay_breakdown(problem, assignment, u, v).total()
 }
 
@@ -206,9 +553,9 @@ impl DelayBreakdown {
 }
 
 /// Computes the delay components of the flow `u → v`.
-pub fn flow_delay_breakdown(
+pub fn flow_delay_breakdown<V: AssignmentView>(
     problem: &UapProblem,
-    assignment: &Assignment,
+    assignment: &V,
     u: UserId,
     v: UserId,
 ) -> DelayBreakdown {
@@ -231,112 +578,6 @@ pub fn flow_delay_breakdown(
         destination_last_mile_ms: inst.h_ms(a_v, v),
         inter_agent_ms,
         transcode_ms,
-    }
-}
-
-/// Dense `L×L` inter-agent flow matrix (`flows[k][l]` = Mbps from `k` to `l`).
-struct FlowMatrix {
-    nl: usize,
-    data: Vec<f64>,
-}
-
-impl FlowMatrix {
-    fn new(nl: usize) -> Self {
-        Self {
-            nl,
-            data: vec![0.0; nl * nl],
-        }
-    }
-
-    #[inline]
-    fn add(&mut self, from: AgentId, to: AgentId, mbps: f64) {
-        self.data[from.index() * self.nl + to.index()] += mbps;
-    }
-
-    #[inline]
-    fn get(&self, from: usize, to: usize) -> f64 {
-        self.data[from * self.nl + to]
-    }
-}
-
-/// Accumulates the three `μ_klu` terms for user `u`'s stream.
-fn accumulate_stream_flows(
-    problem: &UapProblem,
-    assignment: &Assignment,
-    u: UserId,
-    a_u: AgentId,
-    k_up: f64,
-    flows: &mut FlowMatrix,
-) {
-    let inst = problem.instance();
-    let tasks_u = problem.tasks().of_source(u);
-
-    // T_u: agents transcoding u's stream (ν′_lu = 1).
-    let mut transcoder_agents: Vec<AgentId> = Vec::new();
-    for &t in tasks_u {
-        let a = assignment.agent_of_task(t);
-        if !transcoder_agents.contains(&a) {
-            transcoder_agents.push(a);
-        }
-    }
-
-    // Term 1: raw upstream from u's agent to every transcoding agent.
-    for &l in &transcoder_agents {
-        if l != a_u {
-            flows.add(a_u, l, k_up);
-        }
-    }
-
-    // Term 2: raw upstream to agents hosting un-transcoded destinations
-    // (θ_uv = 0), unless the agent already receives it for transcoding.
-    let mut raw_dest_agents: Vec<AgentId> = Vec::new();
-    for v in inst.participants(u) {
-        if !inst.theta(u, v) {
-            let a_v = assignment.agent_of_user(v);
-            if a_v != a_u && !transcoder_agents.contains(&a_v) && !raw_dest_agents.contains(&a_v) {
-                raw_dest_agents.push(a_v);
-            }
-        }
-    }
-    for &l in &raw_dest_agents {
-        flows.add(a_u, l, k_up);
-    }
-
-    // Term 3: transcoded streams from their transcoder(s) to the agents
-    // hosting destinations that demand them. The paper's (1−λ_lu) factor
-    // skips deliveries back to u's own agent.
-    let mut reps: Vec<ReprId> = Vec::new();
-    for &t in tasks_u {
-        let r = problem.tasks().task(t).target;
-        if !reps.contains(&r) {
-            reps.push(r);
-        }
-    }
-    for r in reps {
-        let k_r = inst.kappa(r);
-        let mut transcoders_r: Vec<AgentId> = Vec::new();
-        let mut dest_agents_r: Vec<AgentId> = Vec::new();
-        for &t in tasks_u {
-            let task = problem.tasks().task(t);
-            if task.target != r {
-                continue;
-            }
-            let ta = assignment.agent_of_task(t);
-            if !transcoders_r.contains(&ta) {
-                transcoders_r.push(ta);
-            }
-            let da = assignment.agent_of_user(task.dst);
-            if da != a_u && !dest_agents_r.contains(&da) {
-                dest_agents_r.push(da);
-            }
-        }
-        for &l in &dest_agents_r {
-            for &k in &transcoders_r {
-                if k != l {
-                    flows.add(k, l, k_r);
-                }
-            }
-        }
     }
 }
 

@@ -63,9 +63,9 @@ pub(crate) mod test_fixtures;
 mod violation;
 
 pub use assignment::{Assignment, Decision};
-pub use evaluate::SessionLoad;
+pub use evaluate::{AssignmentView, EvalScratch, OverlayView, SessionLoad};
 pub use problem::UapProblem;
 pub use report::SystemReport;
-pub use state::{AgentTotals, SystemState};
+pub use state::{AgentTotals, SystemState, CAPACITY_EPS};
 pub use tasks::{TaskId, TaskTable, TranscodeTask};
 pub use violation::Violation;

@@ -3,7 +3,7 @@
 use crate::TaskTable;
 use serde::{Deserialize, Serialize};
 use vc_cost::CostModel;
-use vc_model::Instance;
+use vc_model::{Instance, UserId};
 
 /// A complete UAP problem: the conferencing instance, the transcoding
 /// tasks derived from its `θ` matrix, and the cost model defining the
@@ -13,6 +13,11 @@ pub struct UapProblem {
     instance: Instance,
     tasks: TaskTable,
     cost: CostModel,
+    /// Per-user total demanded downstream bandwidth (Mbps) —
+    /// `Σ_v κ(r^d_{uv})` over the user's participants. Assignment-
+    /// independent, so it is computed once here instead of inside every
+    /// candidate evaluation of the hop hot path.
+    demanded_mbps: Vec<f64>,
 }
 
 impl UapProblem {
@@ -20,11 +25,33 @@ impl UapProblem {
     /// task table).
     pub fn new(instance: Instance, cost: CostModel) -> Self {
         let tasks = TaskTable::build(&instance);
+        let demanded_mbps = Self::compute_demanded(&instance);
         Self {
             instance,
             tasks,
             cost,
+            demanded_mbps,
         }
+    }
+
+    /// Same summation order as the evaluation loop it replaces, so the
+    /// cached value is bitwise identical to the inline sum.
+    fn compute_demanded(instance: &Instance) -> Vec<f64> {
+        instance
+            .user_ids()
+            .map(|u| {
+                instance
+                    .participants(u)
+                    .map(|v| instance.kappa(instance.user(u).downstream_from(v)))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// `Σ_v κ(r^d_{uv})`: the total last-mile downstream bandwidth user
+    /// `u` demands (Mbps), independent of the assignment.
+    pub fn demanded_mbps(&self, u: UserId) -> f64 {
+        self.demanded_mbps[u.index()]
     }
 
     /// The underlying conferencing instance.
@@ -49,6 +76,7 @@ impl UapProblem {
             instance: self.instance.clone(),
             tasks: self.tasks.clone(),
             cost,
+            demanded_mbps: self.demanded_mbps.clone(),
         }
     }
 

@@ -7,9 +7,9 @@
 //! information Alg. 1's HOP step fetches as "the updated list of residual
 //! capacities of agents".
 
-use crate::evaluate::{evaluate_session, SessionLoad};
+use crate::evaluate::{evaluate_session, EvalScratch, OverlayView, SessionLoad};
 use crate::{Assignment, Decision, UapProblem, Violation};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use vc_model::{AgentId, SessionId};
 
 /// Aggregate per-agent loads across all *active* sessions.
@@ -24,7 +24,8 @@ pub struct AgentTotals {
 }
 
 impl AgentTotals {
-    fn zero(num_agents: usize) -> Self {
+    /// All-zero totals over `num_agents` agents.
+    pub fn zero(num_agents: usize) -> Self {
         Self {
             download: vec![0.0; num_agents],
             upload: vec![0.0; num_agents],
@@ -32,16 +33,21 @@ impl AgentTotals {
         }
     }
 
-    fn add(&mut self, load: &SessionLoad) {
-        for l in 0..self.download.len() {
+    /// Adds one session's load — sparse, touching only the agents the
+    /// load touches.
+    pub fn add(&mut self, load: &SessionLoad) {
+        for &a in &load.touched {
+            let l = a as usize;
             self.download[l] += load.download[l];
             self.upload[l] += load.upload[l];
             self.transcode[l] += load.transcode_units[l];
         }
     }
 
-    fn remove(&mut self, load: &SessionLoad) {
-        for l in 0..self.download.len() {
+    /// Removes one session's load (the exact inverse of [`add`](Self::add)).
+    pub fn remove(&mut self, load: &SessionLoad) {
+        for &a in &load.touched {
+            let l = a as usize;
             self.download[l] -= load.download[l];
             self.upload[l] -= load.upload[l];
             self.transcode[l] -= load.transcode_units[l];
@@ -52,7 +58,7 @@ impl AgentTotals {
 /// The global state of the conferencing system under one assignment:
 /// cached per-session loads, per-agent totals, and the set of active
 /// sessions.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SystemState {
     problem: Arc<UapProblem>,
     assignment: Assignment,
@@ -62,11 +68,32 @@ pub struct SystemState {
     /// Per-agent availability: failed or drained agents accept no new
     /// users/tasks and are reported as violations while still loaded.
     available: Vec<bool>,
+    /// Internal evaluation scratch so the convenience paths
+    /// ([`candidate`](Self::candidate), [`try_apply`](Self::try_apply))
+    /// stay clone-free; hot loops pass their own scratch to
+    /// [`candidate_into`](Self::candidate_into) instead.
+    scratch: Mutex<EvalScratch>,
+}
+
+impl Clone for SystemState {
+    fn clone(&self) -> Self {
+        Self {
+            problem: self.problem.clone(),
+            assignment: self.assignment.clone(),
+            active: self.active.clone(),
+            loads: self.loads.clone(),
+            totals: self.totals.clone(),
+            available: self.available.clone(),
+            scratch: Mutex::new(EvalScratch::new()),
+        }
+    }
 }
 
 /// Numerical slack for capacity comparisons, guarding against float drift
-/// in the incrementally-maintained totals.
-const CAPACITY_EPS: f64 = 1e-6;
+/// in the incrementally-maintained totals. Shared with the orchestrator's
+/// ledger and hop feasibility checks so every layer accepts and refuses
+/// the same moves.
+pub const CAPACITY_EPS: f64 = 1e-6;
 
 impl SystemState {
     /// Creates a state with **all** sessions active.
@@ -94,9 +121,10 @@ impl SystemState {
         let nl = problem.instance().num_agents();
         let mut loads = Vec::with_capacity(active.len());
         let mut totals = AgentTotals::zero(nl);
+        let mut scratch = EvalScratch::new();
         for s in problem.instance().session_ids() {
             if active[s.index()] {
-                let load = evaluate_session(&problem, &assignment, s);
+                let load = scratch.evaluate(&problem, &assignment, s).clone();
                 totals.add(&load);
                 loads.push(load);
             } else {
@@ -111,6 +139,7 @@ impl SystemState {
             loads,
             totals,
             available,
+            scratch: Mutex::new(scratch),
         }
     }
 
@@ -282,31 +311,77 @@ impl SystemState {
     ///
     /// Feasibility is judged *globally*: capacities are checked against
     /// `totals − old + new`; the delay bound against the new session load.
+    /// Convenience wrapper over [`candidate_into`](Self::candidate_into)
+    /// (which is what the hop hot path calls with its own scratch).
     pub fn candidate(&self, decision: Decision) -> (SessionLoad, Result<(), Violation>) {
+        let mut scratch = self.scratch.lock().expect("scratch lock");
+        let verdict = self.candidate_into(decision, &mut scratch);
+        (scratch.load().clone(), verdict)
+    }
+
+    /// Evaluates a candidate decision into `scratch` — the allocation-free
+    /// primitive of the HOP path. The evaluated load is left in the
+    /// scratch (read it with [`EvalScratch::load`]); no global state is
+    /// cloned: the candidate is an [`OverlayView`] over the committed
+    /// assignment.
+    pub fn candidate_into(
+        &self,
+        decision: Decision,
+        scratch: &mut EvalScratch,
+    ) -> Result<(), Violation> {
         let s = self.session_of(decision);
         let target = match decision {
             Decision::User(_, a) | Decision::Task(_, a) => a,
         };
-        let mut asg = self.assignment.clone();
-        asg.apply(decision);
-        let new_load = evaluate_session(&self.problem, &asg, s);
-        let verdict = if !self.available[target.index()] {
+        let view = OverlayView::new(&self.assignment, decision);
+        scratch.evaluate(&self.problem, &view, s);
+        if !self.available[target.index()] {
             Err(Violation::Unavailable { agent: target })
         } else if self.active[s.index()] {
-            self.check_swap(s, &new_load)
+            self.check_swap(s, scratch.load())
         } else {
             Ok(())
-        };
-        (new_load, verdict)
+        }
     }
 
     /// Checks whether replacing `s`'s load with `new_load` keeps the
-    /// system feasible.
+    /// system feasible. Scans only the agents whose load changes (the
+    /// union of old and new touched sets) — an agent neither load
+    /// touches sees `totals − 0 + 0` and cannot newly violate. (A
+    /// pre-existing overshoot on an *untouched* agent — possible after a
+    /// forced evacuation — therefore no longer vetoes unrelated moves.)
     fn check_swap(&self, s: SessionId, new_load: &SessionLoad) -> Result<(), Violation> {
         let inst = self.problem.instance();
         let old = &self.loads[s.index()];
-        for l in inst.agent_ids() {
-            let i = l.index();
+        // Sorted-merge of the two ascending touched lists.
+        let (ta, tb) = (&old.touched, &new_load.touched);
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < ta.len() || ib < tb.len() {
+            let i = match (ta.get(ia), tb.get(ib)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    ia += 1;
+                    ib += 1;
+                    a as usize
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    ia += 1;
+                    a as usize
+                }
+                (Some(_), Some(&b)) => {
+                    ib += 1;
+                    b as usize
+                }
+                (Some(&a), None) => {
+                    ia += 1;
+                    a as usize
+                }
+                (None, Some(&b)) => {
+                    ib += 1;
+                    b as usize
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            let l = AgentId::from(i);
             let cap = inst.agent(l).capacity();
             let dl = self.totals.download[i] - old.download[i] + new_load.download[i];
             if dl > cap.download_mbps + CAPACITY_EPS {
@@ -351,27 +426,37 @@ impl SystemState {
     /// Returns the violation the move would introduce; the state is
     /// unchanged on error.
     pub fn try_apply(&mut self, decision: Decision) -> Result<(), Violation> {
-        let (new_load, verdict) = self.candidate(decision);
-        verdict?;
-        self.commit(decision, new_load);
-        Ok(())
+        let mut scratch = std::mem::take(self.scratch.get_mut().expect("scratch lock"));
+        let result = self.candidate_into(decision, &mut scratch);
+        if result.is_ok() {
+            self.commit_scratch(decision, &mut scratch);
+        }
+        *self.scratch.get_mut().expect("scratch lock") = scratch;
+        result
     }
 
     /// Applies a decision unconditionally (the state may become
     /// infeasible; `violations()` will report it).
     pub fn apply_unchecked(&mut self, decision: Decision) {
-        let (new_load, _) = self.candidate(decision);
-        self.commit(decision, new_load);
+        let mut scratch = std::mem::take(self.scratch.get_mut().expect("scratch lock"));
+        let _ = self.candidate_into(decision, &mut scratch);
+        self.commit_scratch(decision, &mut scratch);
+        *self.scratch.get_mut().expect("scratch lock") = scratch;
     }
 
-    fn commit(&mut self, decision: Decision, new_load: SessionLoad) {
+    /// Commits the decision whose candidate load `scratch` currently
+    /// holds (from [`candidate_into`](Self::candidate_into) for the same
+    /// decision): applies the assignment change, swaps the evaluated
+    /// load into the session's slot, and updates the per-agent totals
+    /// sparsely. No allocation.
+    pub fn commit_scratch(&mut self, decision: Decision, scratch: &mut EvalScratch) {
         let s = self.session_of(decision);
         self.assignment.apply(decision);
         if self.active[s.index()] {
             self.totals.remove(&self.loads[s.index()]);
-            self.totals.add(&new_load);
+            self.totals.add(scratch.load());
         }
-        self.loads[s.index()] = new_load;
+        std::mem::swap(&mut self.loads[s.index()], scratch.load_mut());
     }
 
     /// Activates session `s` (a session arrival), adding its load under

@@ -1,22 +1,47 @@
 //! The fleet: admission, departure, failure handling, and hop execution
-//! over one shared `SystemState` + [`CapacityLedger`] pair.
+//! over per-session assignment slots + the sharded [`CapacityLedger`].
 //!
-//! The `SystemState` (behind the FREEZE lock) is the *authoritative*
-//! assignment and load accounting; the ledger is the *contended*
-//! capacity view that admissions race on and telemetry reads without
-//! blocking migrations. Every mutation keeps the two in lock-step:
-//! [`Fleet::audit`] must always come back clean.
+//! ## The sharded FREEZE
+//!
+//! The seed design serialized *every* mutation — including each Alg. 1
+//! HOP — behind one `Mutex<SystemState>` (the paper's FREEZE message,
+//! literally). That lock is gone. The fleet now owns:
+//!
+//! * one [`SessionSlot`] per session (its users'/tasks' agents, its
+//!   evaluated [`SessionLoad`], its live flag), each behind its own
+//!   mutex — a HOP touches exactly one slot;
+//! * the sharded [`CapacityLedger`] as the *only* cross-session
+//!   coordination point: a HOP commit is a checked
+//!   [`try_swap`](CapacityLedger::try_swap), so two sessions racing for
+//!   the same agent's capacity are arbitrated by the ledger's shard
+//!   locks, not by freezing the world;
+//! * a `freeze: RwLock<()>` — hops take it **shared**, so hops on
+//!   different sessions run concurrently; the coarse paths (admit,
+//!   depart, fail/restore, snapshot, audit) take it **exclusively** and
+//!   see a quiescent fleet.
+//!
+//! Journal total order: every journal append happens through the single
+//! journal mutex, whose monotonically increasing sequence number is the
+//! global sequence counter; a hop appends while still holding its slot
+//! lock, so per-session journal order equals per-session commit order,
+//! and ops of different sessions commute under replay (state-exactly
+//! for slots and holdings; evacuation feasibility deliberately derives
+//! its residuals from slot loads, not the ledger's commit-order float
+//! sums, so `FailAgent` re-derivation is order-independent too) —
+//! recovery semantics are untouched.
 
-use crate::ledger::{CapacityLedger, LedgerError, SessionHold};
-use parking_lot::Mutex;
+use crate::ledger::{CapacityLedger, HopResiduals, LedgerError, SessionHold};
+use parking_lot::{Mutex, RwLock};
 use rand::Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use vc_algo::agrank::{self, AgRankConfig};
-use vc_algo::churn::evacuate_agent;
-use vc_algo::markov::{Alg1Config, Alg1Engine, HopOutcome};
+use vc_algo::markov::{Alg1Config, Alg1Engine, HopOutcome, HopScratch};
 use vc_algo::placement;
-use vc_core::{Assignment, SystemState, TaskId, UapProblem};
+use vc_core::{
+    AgentTotals, Assignment, AssignmentView, Decision, EvalScratch, OverlayView, SessionLoad,
+    SystemState, TaskId, UapProblem, CAPACITY_EPS,
+};
 use vc_model::{AgentId, SessionId, UserId};
 
 /// One candidate placement: session users and tasks to agents.
@@ -81,7 +106,8 @@ pub struct FleetCounters {
     pub departed: AtomicUsize,
     /// Successful HOP migrations.
     pub migrations: AtomicUsize,
-    /// HOPs that stayed put (including no-feasible-move).
+    /// HOPs that stayed put (including no-feasible-move and ledger-race
+    /// refusals).
     pub stays: AtomicUsize,
     /// Evacuation moves applied on agent failures.
     pub evacuations: AtomicUsize,
@@ -103,39 +129,149 @@ impl FleetCounters {
     }
 }
 
+/// One session's share of the assignment: its users' and tasks' agents
+/// (parallel to `instance.session(s).users()` and
+/// `tasks.of_session(s)`), the evaluated load under that placement, and
+/// whether the session is live. Inactive sessions keep their (inert)
+/// placement and a zeroed load.
+#[derive(Debug)]
+pub(crate) struct SessionSlot {
+    pub(crate) users: Vec<AgentId>,
+    pub(crate) tasks: Vec<AgentId>,
+    pub(crate) load: SessionLoad,
+    pub(crate) active: bool,
+}
+
+/// [`AssignmentView`] over one slot: lookups are linear in the session
+/// size (a handful of users), touching no global structure.
+struct SlotView<'a> {
+    user_ids: &'a [UserId],
+    task_ids: &'a [TaskId],
+    slot: &'a SessionSlot,
+}
+
+impl AssignmentView for SlotView<'_> {
+    fn agent_of_user(&self, u: UserId) -> AgentId {
+        let i = self
+            .user_ids
+            .iter()
+            .position(|&w| w == u)
+            .expect("user belongs to the evaluated session");
+        self.slot.users[i]
+    }
+    fn agent_of_task(&self, t: TaskId) -> AgentId {
+        let i = self
+            .task_ids
+            .iter()
+            .position(|&w| w == t)
+            .expect("task belongs to the evaluated session");
+        self.slot.tasks[i]
+    }
+}
+
+/// A proposed (partial) placement over a slot: pairs win, the slot's
+/// current (possibly inert) assignment backs everything else — the
+/// admission-evaluation shape.
+struct PairsView<'a> {
+    users: &'a [(UserId, AgentId)],
+    tasks: &'a [(TaskId, AgentId)],
+    base: SlotView<'a>,
+}
+
+impl AssignmentView for PairsView<'_> {
+    fn agent_of_user(&self, u: UserId) -> AgentId {
+        match self.users.iter().find(|(w, _)| *w == u) {
+            Some(&(_, a)) => a,
+            None => self.base.agent_of_user(u),
+        }
+    }
+    fn agent_of_task(&self, t: TaskId) -> AgentId {
+        match self.tasks.iter().find(|(w, _)| *w == t) {
+            Some(&(_, a)) => a,
+            None => self.base.agent_of_task(t),
+        }
+    }
+}
+
+/// Reusable per-worker buffers for the fleet hop path: the engine's
+/// [`HopScratch`] plus the ledger residual snapshot. One per worker
+/// thread; steady-state hops allocate nothing.
+#[derive(Debug, Default)]
+pub struct FleetHopScratch {
+    pub(crate) hop: HopScratch,
+    pub(crate) residuals: HopResiduals,
+}
+
+impl FleetHopScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One-pass consistent-ish fleet metrics (see [`Fleet::metrics`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FleetMetrics {
+    pub(crate) live: usize,
+    pub(crate) objective: f64,
+    pub(crate) traffic_mbps: f64,
+    pub(crate) mean_delay_ms: f64,
+}
+
 /// The multi-session control plane. See the module docs.
 #[derive(Debug)]
 pub struct Fleet {
     pub(crate) problem: Arc<UapProblem>,
-    /// The FREEZE lock: every assignment mutation serializes here.
-    pub(crate) state: Mutex<SystemState>,
+    /// The sharded FREEZE: hops shared, coarse ops exclusive.
+    pub(crate) freeze: RwLock<()>,
+    pub(crate) slots: Vec<Mutex<SessionSlot>>,
+    /// Per-agent availability (mutated only under `freeze` write).
+    pub(crate) available: Vec<AtomicBool>,
+    pub(crate) live: AtomicUsize,
     pub(crate) ledger: CapacityLedger,
     pub(crate) engine: Alg1Engine,
     pub(crate) config: FleetConfig,
     pub(crate) counters: FleetCounters,
     /// Write-ahead journal sink; `None` runs the fleet ephemeral.
-    /// Every hook below fires while the FREEZE lock is held, so journal
-    /// order equals the serialization order of the mutations.
+    /// Every state-changing hook below fires while the mutated slot's
+    /// lock (or the FREEZE write lock) is held, so per-session journal
+    /// order equals per-session commit order.
     pub(crate) persist: Option<crate::persist::FleetPersistence>,
+    /// Stays observed but not yet flushed as a `StayBatch` record.
+    pub(crate) pending_stays: AtomicU64,
 }
 
 impl Fleet {
     /// Creates a fleet over `problem` with **no** live sessions: every
     /// session of the instance is a *potential* conference that may
-    /// arrive later.
+    /// arrive later. Initial (inert) placements sit on agent 0.
     pub fn new(problem: Arc<UapProblem>, config: FleetConfig) -> Self {
-        let num_sessions = problem.instance().num_sessions();
-        let initial = Assignment::all_to_agent(&problem, AgentId::new(0));
-        let state = SystemState::with_active(problem.clone(), initial, vec![false; num_sessions]);
+        let inst = problem.instance();
+        let nl = inst.num_agents();
+        let slots = inst
+            .session_ids()
+            .map(|s| {
+                Mutex::new(SessionSlot {
+                    users: vec![AgentId::new(0); inst.session(s).len()],
+                    tasks: vec![AgentId::new(0); problem.tasks().of_session(s).len()],
+                    load: SessionLoad::empty(nl),
+                    active: false,
+                })
+            })
+            .collect();
         let ledger = CapacityLedger::new(&problem, config.ledger_shards);
         Self {
             problem,
-            state: Mutex::new(state),
+            freeze: RwLock::new(()),
+            slots,
+            available: (0..nl).map(|_| AtomicBool::new(true)).collect(),
+            live: AtomicUsize::new(0),
             ledger,
             engine: Alg1Engine::new(config.alg1.clone()),
             config,
             counters: FleetCounters::default(),
             persist: None,
+            pending_stays: AtomicU64::new(0),
         }
     }
 
@@ -159,21 +295,32 @@ impl Fleet {
         &self.engine
     }
 
+    fn slot_view<'a>(&'a self, s: SessionId, slot: &'a SessionSlot) -> SlotView<'a> {
+        SlotView {
+            user_ids: self.problem.instance().session(s).users(),
+            task_ids: self.problem.tasks().of_session(s),
+            slot,
+        }
+    }
+
     /// Admits session `s`: bootstrap placement (per the configured
     /// policy), atomic ledger reservation, activation. On any refusal
-    /// the fleet is left exactly as before.
+    /// the fleet is left exactly as before. Coarse path: takes the
+    /// FREEZE write lock.
     ///
     /// # Errors
     ///
     /// See [`AdmitError`].
     pub fn admit(&self, s: SessionId) -> Result<(), AdmitError> {
-        let mut state = self.state.lock();
-        if state.is_active(s) {
+        let _frz = self.freeze.write();
+        let mut slot = self.slots[s.index()].lock();
+        if slot.active {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             self.log_op(|| crate::persist::FleetOp::Reject { session: s });
             return Err(AdmitError::AlreadyLive(s));
         }
         let inst = self.problem.instance();
+        let mut scratch = EvalScratch::new();
         let result = match &self.config.placement {
             PlacementPolicy::Nearest => {
                 let users: Vec<(UserId, AgentId)> = inst
@@ -183,14 +330,14 @@ impl Fleet {
                     .map(|&u| (u, inst.delays().nearest_agent(u)))
                     .collect();
                 let (users, tasks) = self.with_tasks(s, users);
-                self.try_placement(&mut state, s, users, tasks)
+                self.try_placement(&mut slot, &mut scratch, s, &users, &tasks)
             }
             PlacementPolicy::AgRank(config) => {
                 let residuals = self.ledger.residuals();
                 let sa = agrank::assign_session(&self.problem, s, &residuals, config);
                 // First choice reuses the bootstrap's own task placement.
                 let mut outcome =
-                    self.try_placement(&mut state, s, sa.users.clone(), sa.tasks.clone());
+                    self.try_placement(&mut slot, &mut scratch, s, &sa.users, &sa.tasks);
                 if outcome.is_err() {
                     // Fallbacks, built lazily only after a refusal: walk
                     // each user one step down its ranked candidate list
@@ -201,7 +348,7 @@ impl Fleet {
                             let mut users = sa.users.clone();
                             users[i] = (*u, alt);
                             let (users, tasks) = self.with_tasks(s, users);
-                            match self.try_placement(&mut state, s, users, tasks) {
+                            match self.try_placement(&mut slot, &mut scratch, s, &users, &tasks) {
                                 Ok(()) => {
                                     outcome = Ok(());
                                     break 'search;
@@ -216,9 +363,10 @@ impl Fleet {
         };
         match result {
             Ok(()) => {
+                self.live.fetch_add(1, Ordering::Relaxed);
                 self.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 self.log_op(|| {
-                    let (users, tasks) = placement_of(&state, s);
+                    let (users, tasks) = self.placement_of_slot(s, &slot);
                     crate::persist::FleetOp::Admit {
                         session: s,
                         users,
@@ -234,43 +382,56 @@ impl Fleet {
         result
     }
 
-    /// Tries one placement: activate, check the delay bound, reserve in
-    /// the ledger. On refusal the state is rolled back exactly —
-    /// including the session's (inert) assignment, which otherwise
-    /// would keep the refused placement and make a crashed fleet's
-    /// state diverge from what journal replay (which only logs the
-    /// refusal, not the attempted placement) reconstructs.
+    /// Tries one placement: evaluate it (overlaying the proposal on the
+    /// slot's inert assignment), check the delay bound, reserve in the
+    /// ledger, and only then install it into the slot — nothing to roll
+    /// back on refusal.
     fn try_placement(
         &self,
-        state: &mut SystemState,
+        slot: &mut SessionSlot,
+        scratch: &mut EvalScratch,
         s: SessionId,
-        users: Vec<(UserId, AgentId)>,
-        tasks: Vec<(TaskId, AgentId)>,
+        users: &[(UserId, AgentId)],
+        tasks: &[(TaskId, AgentId)],
     ) -> Result<(), AdmitError> {
-        let prior = placement_of(state, s);
-        state.reassign_session(s, &users, &tasks);
-        state.activate(s);
-        let rollback = |state: &mut SystemState| {
-            state.deactivate(s);
-            state.reassign_session(s, &prior.0, &prior.1);
-        };
-        let load = state.session_load(s);
+        {
+            let view = PairsView {
+                users,
+                tasks,
+                base: self.slot_view(s, slot),
+            };
+            scratch.evaluate(&self.problem, &view, s);
+        }
+        let load = scratch.load();
         let bound = self.problem.instance().d_max_ms();
-        if load.max_flow_delay > bound + 1e-6 {
-            let refusal = AdmitError::DelayBound {
+        if load.max_flow_delay > bound + CAPACITY_EPS {
+            return Err(AdmitError::DelayBound {
                 delay_ms: load.max_flow_delay,
                 bound_ms: bound,
-            };
-            rollback(state);
-            return Err(refusal);
+            });
         }
-        match self.ledger.try_reserve(s, SessionHold::from_load(load)) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                rollback(state);
-                Err(AdmitError::NoCapacity(e))
-            }
+        self.ledger
+            .try_reserve(s, SessionHold::from_load(load))
+            .map_err(AdmitError::NoCapacity)?;
+        let user_ids = self.problem.instance().session(s).users();
+        for &(u, a) in users {
+            let i = user_ids
+                .iter()
+                .position(|&w| w == u)
+                .expect("placed user belongs to the session");
+            slot.users[i] = a;
         }
+        let task_ids = self.problem.tasks().of_session(s);
+        for &(t, a) in tasks {
+            let i = task_ids
+                .iter()
+                .position(|&w| w == t)
+                .expect("placed task belongs to the session");
+            slot.tasks[i] = a;
+        }
+        slot.load.clone_from(scratch.load());
+        slot.active = true;
+        Ok(())
     }
 
     /// Completes a user placement with the transcoding rule of thumb
@@ -281,13 +442,17 @@ impl Fleet {
     }
 
     /// Departs session `s`, releasing exactly what it reserved. Returns
-    /// the released hold (`None` if the session was not live).
+    /// the released hold (`None` if the session was not live). Coarse
+    /// path: takes the FREEZE write lock.
     pub fn depart(&self, s: SessionId) -> Option<SessionHold> {
-        let mut state = self.state.lock();
-        if !state.is_active(s) {
+        let _frz = self.freeze.write();
+        let mut slot = self.slots[s.index()].lock();
+        if !slot.active {
             return None;
         }
-        state.deactivate(s);
+        slot.active = false;
+        slot.load = SessionLoad::empty(self.problem.instance().num_agents());
+        self.live.fetch_sub(1, Ordering::Relaxed);
         let hold = self
             .ledger
             .release(s)
@@ -299,147 +464,586 @@ impl Fleet {
 
     /// Fails `agent`: the ledger stops taking reservations on it, and
     /// every stranded user/task of a live session is evacuated
-    /// immediately (via `vc-algo`'s churn module), with the ledger
-    /// re-synced for every session the evacuation touched. Returns
-    /// `(moves, forced)`.
+    /// immediately to its objective-minimizing feasible alternative
+    /// (force-moved to the least-bad one when nothing is feasible).
+    /// Returns `(moves, forced)`. Coarse path: takes the FREEZE write
+    /// lock, so the evacuation is deterministic — replay re-runs it.
     pub fn fail_agent(&self, agent: AgentId) -> (usize, usize) {
-        let mut state = self.state.lock();
+        let _frz = self.freeze.write();
+        self.available[agent.index()].store(false, Ordering::Relaxed);
         self.ledger.fail_agent(agent);
-        let report = evacuate_agent(&mut state, agent);
-        let mut touched: Vec<SessionId> =
-            report.moves.iter().map(|&d| state.session_of(d)).collect();
-        touched.sort_unstable();
-        touched.dedup();
-        for s in touched {
-            self.ledger
-                .force_swap(s, SessionHold::from_load(state.session_load(s)))
-                .expect("evacuated session holds a reservation");
-        }
+        let (moves, forced) = self.evacuate_locked(agent);
         self.counters
             .evacuations
-            .fetch_add(report.moves.len(), Ordering::Relaxed);
+            .fetch_add(moves, Ordering::Relaxed);
         self.counters
             .forced_moves
-            .fetch_add(report.forced, Ordering::Relaxed);
+            .fetch_add(forced, Ordering::Relaxed);
         // Evacuation is deterministic given the state, so the journal
         // records the *cause*; replay re-runs the same evacuation.
         self.log_op(|| crate::persist::FleetOp::FailAgent { agent });
-        (report.moves.len(), report.forced)
+        (moves, forced)
+    }
+
+    /// The evacuation proper (FREEZE write lock held): for each stranded
+    /// decision — sessions ascending, users before tasks, mirroring
+    /// `vc-algo`'s churn module — pick the feasible alternative
+    /// minimizing `Φ_s`, else force the least-bad one.
+    fn evacuate_locked(&self, agent: AgentId) -> (usize, usize) {
+        let inst = self.problem.instance();
+        let mut stranded: Vec<(SessionId, Decision)> = Vec::new();
+        for s in inst.session_ids() {
+            let slot = self.slots[s.index()].lock();
+            if !slot.active {
+                continue;
+            }
+            for (i, &a) in slot.users.iter().enumerate() {
+                if a == agent {
+                    stranded.push((s, Decision::User(inst.session(s).users()[i], agent)));
+                }
+            }
+            for (i, &a) in slot.tasks.iter().enumerate() {
+                if a == agent {
+                    stranded.push((
+                        s,
+                        Decision::Task(self.problem.tasks().of_session(s)[i], agent),
+                    ));
+                }
+            }
+        }
+        let mut eval = EvalScratch::new();
+        let mut residuals = HopResiduals::default();
+        let mut moves = 0usize;
+        let mut forced = 0usize;
+        for (s, d) in stranded {
+            // Residuals re-derived from the slot loads (ascending
+            // session order), NOT from the ledger's reserved sums: the
+            // latter accumulate in journal-append order, which for
+            // concurrent hops can differ between the live run and
+            // replay by a ulp — and FailAgent replay must re-pick the
+            // exact same evacuation targets. Slot-load summation is
+            // deterministic given the replayed state. (Computed before
+            // taking `s`'s slot lock — it locks every slot in turn.)
+            self.residuals_from_slots_locked(&mut residuals);
+            let mut slot = self.slots[s.index()].lock();
+            let mut best_feasible: Option<(AgentId, f64)> = None;
+            let mut best_any: Option<(AgentId, f64)> = None;
+            for l in inst.agent_ids() {
+                if l == agent || !self.available[l.index()].load(Ordering::Relaxed) {
+                    continue;
+                }
+                let candidate = redirect(d, l);
+                let feasible = self.weigh_candidate(&slot, s, candidate, &mut eval, &residuals);
+                let phi = eval.load().phi;
+                if best_any.as_ref().is_none_or(|(_, best)| phi < *best) {
+                    best_any = Some((l, phi));
+                }
+                if feasible && best_feasible.as_ref().is_none_or(|(_, best)| phi < *best) {
+                    best_feasible = Some((l, phi));
+                }
+            }
+            let target = match (best_feasible, best_any) {
+                (Some((l, _)), _) => Some(l),
+                (None, Some((l, _))) => {
+                    forced += 1;
+                    Some(l)
+                }
+                (None, None) => {
+                    // No other agent exists at all; nothing we can do.
+                    forced += 1;
+                    None
+                }
+            };
+            if let Some(l) = target {
+                let decision = redirect(d, l);
+                // Re-evaluate the chosen candidate (the scratch holds the
+                // last-scanned one) and commit slot + ledger.
+                {
+                    let base = self.slot_view(s, &slot);
+                    let view = OverlayView::new(&base, decision);
+                    eval.evaluate(&self.problem, &view, s);
+                }
+                self.apply_to_slot(&mut slot, s, decision);
+                slot.load.clone_from(eval.load());
+                self.ledger
+                    .force_swap(s, SessionHold::from_load(eval.load()))
+                    .expect("evacuated session holds a reservation");
+                moves += 1;
+            }
+        }
+        (moves, forced)
+    }
+
+    /// Availability-blind residual capacities derived by summing live
+    /// slot loads in ascending session order — bit-deterministic given
+    /// the slots, unlike the ledger's reserved sums, which accumulate
+    /// in commit order. Caller holds the FREEZE write lock and no slot
+    /// lock (every slot is locked in turn).
+    fn residuals_from_slots_locked(&self, out: &mut HopResiduals) {
+        let inst = self.problem.instance();
+        let nl = inst.num_agents();
+        let mut totals = AgentTotals::zero(nl);
+        for s in inst.session_ids() {
+            let slot = self.slots[s.index()].lock();
+            if slot.active {
+                totals.add(&slot.load);
+            }
+        }
+        out.download.clear();
+        out.download.resize(nl, 0.0);
+        out.upload.clear();
+        out.upload.resize(nl, 0.0);
+        out.transcode.clear();
+        out.transcode.resize(nl, 0.0);
+        for l in inst.agent_ids() {
+            let i = l.index();
+            let cap = inst.agent(l).capacity();
+            out.download[i] = cap.download_mbps - totals.download[i];
+            out.upload[i] = cap.upload_mbps - totals.upload[i];
+            out.transcode[i] = if cap.transcode_slots == u32::MAX {
+                f64::INFINITY
+            } else {
+                f64::from(cap.transcode_slots) - f64::from(totals.transcode[i])
+            };
+        }
     }
 
     /// Brings a failed agent back; Alg. 1 hops will migrate load onto it
-    /// again as the Gibbs weights dictate.
+    /// again as the Gibbs weights dictate. Coarse path.
     pub fn restore_agent(&self, agent: AgentId) {
-        let mut state = self.state.lock();
+        let _frz = self.freeze.write();
+        self.available[agent.index()].store(true, Ordering::Relaxed);
         self.ledger.restore_agent(agent);
-        state.set_agent_available(agent, true);
         self.log_op(|| crate::persist::FleetOp::RestoreAgent { agent });
     }
 
-    /// One Alg. 1 HOP for session `s` under the FREEZE lock, mirroring
-    /// any migration into the ledger. No-op for non-live sessions.
+    /// One Alg. 1 HOP for session `s` (convenience wrapper allocating a
+    /// fresh scratch — worker pools use
+    /// [`hop_session_with`](Self::hop_session_with)).
     pub fn hop_session<R: Rng + ?Sized>(&self, s: SessionId, rng: &mut R) -> HopOutcome {
-        let mut state = self.state.lock();
-        if !state.is_active(s) {
+        let mut scratch = FleetHopScratch::new();
+        self.hop_session_with(s, rng, &mut scratch)
+    }
+
+    /// One Alg. 1 HOP for session `s` under the **shared** FREEZE lock:
+    /// candidates are weighed against the slot's placement and the
+    /// ledger's residual snapshot (allocation-free via `scratch`), and a
+    /// chosen migration commits through the ledger's checked
+    /// [`try_swap`](CapacityLedger::try_swap) — losing a capacity race
+    /// to a concurrent hop simply stays put. No-op for non-live
+    /// sessions.
+    pub fn hop_session_with<R: Rng + ?Sized>(
+        &self,
+        s: SessionId,
+        rng: &mut R,
+        scratch: &mut FleetHopScratch,
+    ) -> HopOutcome {
+        let _frz = self.freeze.read();
+        let mut slot = self.slots[s.index()].lock();
+        if !slot.active {
             return HopOutcome::NoFeasibleMove;
         }
-        // Journaling needs the pre-hop placement to name the decision's
-        // old assignment; capture it (session-scoped, a handful of
-        // entries) only when a journal is attached.
-        let before = self.persist.as_ref().map(|_| placement_of(&state, s));
-        let outcome = self.engine.hop(&mut state, s, rng);
-        match outcome {
-            HopOutcome::Migrated(decision) => {
-                self.ledger
-                    .force_swap(s, SessionHold::from_load(state.session_load(s)))
-                    .expect("live session holds a reservation");
-                self.counters.migrations.fetch_add(1, Ordering::Relaxed);
-                self.log_op(|| {
-                    let (users, tasks) = before.expect("captured before the hop");
-                    let old_agent = match decision {
-                        vc_core::Decision::User(u, _) => {
-                            users
-                                .iter()
-                                .find(|(user, _)| *user == u)
-                                .expect("hopped user belongs to the session")
-                                .1
-                        }
-                        vc_core::Decision::Task(t, _) => {
-                            tasks
-                                .iter()
-                                .find(|(task, _)| *task == t)
-                                .expect("hopped task belongs to the session")
-                                .1
-                        }
-                    };
-                    crate::persist::FleetOp::Hop {
-                        session: s,
-                        decision,
-                        old_agent,
-                    }
-                });
-            }
-            HopOutcome::Stayed | HopOutcome::NoFeasibleMove => {
-                self.counters.stays.fetch_add(1, Ordering::Relaxed);
-                self.log_op(|| crate::persist::FleetOp::Stay { session: s });
+        let inst = self.problem.instance();
+        let nl = inst.num_agents();
+        self.ledger.hop_residuals_into(&mut scratch.residuals);
+        scratch.hop.decisions.clear();
+        scratch.hop.phis.clear();
+        let user_ids = inst.session(s).users();
+        let task_ids = self.problem.tasks().of_session(s);
+        for (i, &u) in user_ids.iter().enumerate() {
+            let current = slot.users[i];
+            for l in 0..nl {
+                let l = AgentId::from(l);
+                if l == current || !self.available[l.index()].load(Ordering::Relaxed) {
+                    continue;
+                }
+                let d = Decision::User(u, l);
+                if self.weigh_candidate(&slot, s, d, &mut scratch.hop.eval, &scratch.residuals) {
+                    scratch.hop.decisions.push(d);
+                    scratch.hop.phis.push(scratch.hop.eval.load().phi);
+                }
             }
         }
-        outcome
+        for (i, &t) in task_ids.iter().enumerate() {
+            let current = slot.tasks[i];
+            for l in 0..nl {
+                let l = AgentId::from(l);
+                if l == current || !self.available[l.index()].load(Ordering::Relaxed) {
+                    continue;
+                }
+                let d = Decision::Task(t, l);
+                if self.weigh_candidate(&slot, s, d, &mut scratch.hop.eval, &scratch.residuals) {
+                    scratch.hop.decisions.push(d);
+                    scratch.hop.phis.push(scratch.hop.eval.load().phi);
+                }
+            }
+        }
+        if scratch.hop.decisions.is_empty() {
+            self.counters.stays.fetch_add(1, Ordering::Relaxed);
+            self.note_stay();
+            return HopOutcome::NoFeasibleMove;
+        }
+        let phi_now = self.engine.observe(slot.load.phi, rng);
+        for phi in &mut scratch.hop.phis {
+            *phi = self.engine.observe(*phi, rng);
+        }
+        let chosen = self.engine.gibbs_select(
+            self.engine.config().beta,
+            phi_now,
+            &scratch.hop.phis,
+            &mut scratch.hop.exponents,
+            rng,
+        );
+        if chosen == 0 {
+            self.counters.stays.fetch_add(1, Ordering::Relaxed);
+            self.note_stay();
+            return HopOutcome::Stayed;
+        }
+        let decision = scratch.hop.decisions[chosen - 1];
+        {
+            let base = self.slot_view(s, &slot);
+            let view = OverlayView::new(&base, decision);
+            scratch.hop.eval.evaluate(&self.problem, &view, s);
+        }
+        // Resolve the slot index once; it serves both the journaled
+        // old assignment and the commit below.
+        let (slot_idx, new_agent) = match decision {
+            Decision::User(u, a) => (
+                user_ids
+                    .iter()
+                    .position(|&w| w == u)
+                    .expect("hopped user belongs to the session"),
+                a,
+            ),
+            Decision::Task(t, a) => (
+                task_ids
+                    .iter()
+                    .position(|&w| w == t)
+                    .expect("hopped task belongs to the session"),
+                a,
+            ),
+        };
+        let old_agent = match decision {
+            Decision::User(..) => slot.users[slot_idx],
+            Decision::Task(..) => slot.tasks[slot_idx],
+        };
+        match self
+            .ledger
+            .try_swap(s, SessionHold::from_load(scratch.hop.eval.load()))
+        {
+            Ok(()) => {
+                match decision {
+                    Decision::User(..) => slot.users[slot_idx] = new_agent,
+                    Decision::Task(..) => slot.tasks[slot_idx] = new_agent,
+                }
+                slot.load.clone_from(scratch.hop.eval.load());
+                self.counters.migrations.fetch_add(1, Ordering::Relaxed);
+                self.log_op(|| crate::persist::FleetOp::Hop {
+                    session: s,
+                    decision,
+                    old_agent,
+                });
+                HopOutcome::Migrated(decision)
+            }
+            Err(_) => {
+                // A concurrent hop consumed the capacity between the
+                // residual snapshot and the commit — stay put.
+                self.counters.stays.fetch_add(1, Ordering::Relaxed);
+                self.note_stay();
+                HopOutcome::Stayed
+            }
+        }
+    }
+
+    /// Evaluates `decision` over `slot` into `eval` and checks
+    /// feasibility: the delay bound plus, per *touched* agent only,
+    /// `new − old ≤ residual` (the sparse mirror of the closed-world
+    /// capacity check). Returns whether the candidate is feasible; the
+    /// evaluated load stays in `eval` either way.
+    fn weigh_candidate(
+        &self,
+        slot: &SessionSlot,
+        s: SessionId,
+        decision: Decision,
+        eval: &mut EvalScratch,
+        residuals: &HopResiduals,
+    ) -> bool {
+        {
+            let base = self.slot_view(s, slot);
+            let view = OverlayView::new(&base, decision);
+            eval.evaluate(&self.problem, &view, s);
+        }
+        let load = eval.load();
+        if load.max_flow_delay > self.problem.instance().d_max_ms() + CAPACITY_EPS {
+            return false;
+        }
+        let old = &slot.load;
+        for &a in &load.touched {
+            let i = a as usize;
+            if load.download[i] - old.download[i] > residuals.download[i] + CAPACITY_EPS {
+                return false;
+            }
+            if load.upload[i] - old.upload[i] > residuals.upload[i] + CAPACITY_EPS {
+                return false;
+            }
+            if f64::from(load.transcode_units[i]) - f64::from(old.transcode_units[i])
+                > residuals.transcode[i]
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates `slot`'s current placement for session `s` into
+    /// `scratch` (recovery/replay helper).
+    pub(crate) fn evaluate_slot<'a>(
+        &self,
+        s: SessionId,
+        slot: &SessionSlot,
+        scratch: &'a mut EvalScratch,
+    ) -> &'a SessionLoad {
+        let view = self.slot_view(s, slot);
+        scratch.evaluate(&self.problem, &view, s)
+    }
+
+    /// Writes `decision` into the slot's placement vectors.
+    pub(crate) fn apply_to_slot(&self, slot: &mut SessionSlot, s: SessionId, decision: Decision) {
+        match decision {
+            Decision::User(u, a) => {
+                let i = self
+                    .problem
+                    .instance()
+                    .session(s)
+                    .users()
+                    .iter()
+                    .position(|&w| w == u)
+                    .expect("moved user belongs to the session");
+                slot.users[i] = a;
+            }
+            Decision::Task(t, a) => {
+                let i = self
+                    .problem
+                    .tasks()
+                    .of_session(s)
+                    .iter()
+                    .position(|&w| w == t)
+                    .expect("moved task belongs to the session");
+                slot.tasks[i] = a;
+            }
+        }
+    }
+
+    /// The full placement of session `s` (its slot's current
+    /// assignment), in instance order — the shape the persistence layer
+    /// journals for an admission.
+    pub(crate) fn placement_of_slot(&self, s: SessionId, slot: &SessionSlot) -> Placement {
+        let users = self
+            .problem
+            .instance()
+            .session(s)
+            .users()
+            .iter()
+            .zip(&slot.users)
+            .map(|(&u, &a)| (u, a))
+            .collect();
+        let tasks = self
+            .problem
+            .tasks()
+            .of_session(s)
+            .iter()
+            .zip(&slot.tasks)
+            .map(|(&t, &a)| (t, a))
+            .collect();
+        (users, tasks)
     }
 
     /// Whether session `s` is live.
     pub fn is_live(&self, s: SessionId) -> bool {
-        self.state.lock().is_active(s)
+        self.slots[s.index()].lock().active
     }
 
     /// Number of live sessions.
     pub fn live_count(&self) -> usize {
-        self.state.lock().active_sessions().count()
+        self.live.load(Ordering::Relaxed)
     }
 
-    /// Global objective over live sessions.
+    /// One pass over the slots (under the shared FREEZE lock; per-slot
+    /// consistency — the telemetry contract).
+    pub(crate) fn metrics(&self) -> FleetMetrics {
+        let _frz = self.freeze.read();
+        let mut m = FleetMetrics::default();
+        let mut delay_sum = 0.0;
+        let mut users = 0usize;
+        for slot in &self.slots {
+            let slot = slot.lock();
+            if !slot.active {
+                continue;
+            }
+            m.live += 1;
+            m.objective += slot.load.phi;
+            m.traffic_mbps += slot.load.total_ingress_mbps();
+            for d in &slot.load.user_delay {
+                delay_sum += d;
+                users += 1;
+            }
+        }
+        m.mean_delay_ms = if users == 0 {
+            0.0
+        } else {
+            delay_sum / users as f64
+        };
+        m
+    }
+
+    /// Global objective over live sessions (deterministic: ascending
+    /// session order, so a recovered fleet reproduces it bitwise).
     pub fn objective(&self) -> f64 {
-        self.state.lock().objective()
+        let _frz = self.freeze.read();
+        let mut sum = 0.0;
+        for slot in &self.slots {
+            let slot = slot.lock();
+            if slot.active {
+                sum += slot.load.phi;
+            }
+        }
+        sum
     }
 
     /// Mean objective per live session (0 when idle) — the fleet-level
     /// quality figure reported by telemetry.
     pub fn mean_session_objective(&self) -> f64 {
-        let state = self.state.lock();
-        let n = state.active_sessions().count();
-        if n == 0 {
+        let m = self.metrics();
+        if m.live == 0 {
             0.0
         } else {
-            state.objective() / n as f64
+            m.objective / m.live as f64
         }
     }
 
     /// Total inter-agent traffic (Mbps).
     pub fn total_traffic_mbps(&self) -> f64 {
-        self.state.lock().total_traffic_mbps()
+        self.metrics().traffic_mbps
     }
 
     /// Mean conferencing delay over live users (ms).
     pub fn mean_delay_ms(&self) -> f64 {
-        self.state.lock().mean_delay_ms()
+        self.metrics().mean_delay_ms
     }
 
-    /// Runs `f` on the authoritative state under the FREEZE lock (for
-    /// callers needing a consistent multi-metric read).
+    /// Ids of the currently live sessions, ascending.
+    pub fn live_sessions(&self) -> Vec<SessionId> {
+        let _frz = self.freeze.read();
+        self.problem
+            .instance()
+            .session_ids()
+            .filter(|s| self.slots[s.index()].lock().active)
+            .collect()
+    }
+
+    /// Materializes a full [`SystemState`] (assignment, active set,
+    /// loads, availability) and runs `f` on it, under the FREEZE write
+    /// lock. This re-evaluates every live session — an offline-analysis
+    /// convenience, not a hot path.
     pub fn with_state<T>(&self, f: impl FnOnce(&SystemState) -> T) -> T {
-        f(&self.state.lock())
+        let _frz = self.freeze.write();
+        let state = self.materialize_locked();
+        f(&state)
     }
 
-    /// Ledger-vs-state conservation audit (empty = conserved).
+    /// Scatters the per-session slots into global instance-indexed
+    /// vectors: `(λ: user → agent, γ: task → agent, active mask)`.
+    /// Caller holds the FREEZE write lock (or exclusive ownership of a
+    /// fresh fleet). Shared by state materialization and the durable
+    /// snapshot capture.
+    pub(crate) fn global_placements_locked(&self) -> (Vec<AgentId>, Vec<AgentId>, Vec<bool>) {
+        let inst = self.problem.instance();
+        let mut user_agents = vec![AgentId::new(0); inst.num_users()];
+        let mut task_agents = vec![AgentId::new(0); self.problem.tasks().len()];
+        let mut active = vec![false; inst.num_sessions()];
+        for s in inst.session_ids() {
+            let slot = self.slots[s.index()].lock();
+            for (i, &u) in inst.session(s).users().iter().enumerate() {
+                user_agents[u.index()] = slot.users[i];
+            }
+            for (i, &t) in self.problem.tasks().of_session(s).iter().enumerate() {
+                task_agents[t.index()] = slot.tasks[i];
+            }
+            active[s.index()] = slot.active;
+        }
+        (user_agents, task_agents, active)
+    }
+
+    fn materialize_locked(&self) -> SystemState {
+        let (user_agents, task_agents, active) = self.global_placements_locked();
+        let assignment = Assignment::new(&self.problem, user_agents, task_agents);
+        let mut state = SystemState::with_active(self.problem.clone(), assignment, active);
+        for l in self.problem.instance().agent_ids() {
+            if !self.available[l.index()].load(Ordering::Relaxed) {
+                state.set_agent_available(l, false);
+            }
+        }
+        state
+    }
+
+    /// Re-evaluates every live slot from scratch and returns the largest
+    /// absolute discrepancy against the stored loads (then installs the
+    /// fresh values). The standing self-check that the allocation-free
+    /// scratch path and a cold evaluation agree.
+    pub fn load_drift(&self) -> f64 {
+        let _frz = self.freeze.write();
+        let mut scratch = EvalScratch::new();
+        let mut drift: f64 = 0.0;
+        for s in self.problem.instance().session_ids() {
+            let mut slot = self.slots[s.index()].lock();
+            if !slot.active {
+                continue;
+            }
+            {
+                let view = self.slot_view(s, &slot);
+                scratch.evaluate(&self.problem, &view, s);
+            }
+            let fresh = scratch.load();
+            // Union of the two touched sets: stale load on an agent the
+            // fresh evaluation does NOT touch must count as drift too
+            // (duplicate visits are harmless for a max-of-abs).
+            for &a in fresh.touched.iter().chain(slot.load.touched.iter()) {
+                let i = a as usize;
+                drift = drift.max((fresh.download[i] - slot.load.download[i]).abs());
+                drift = drift.max((fresh.upload[i] - slot.load.upload[i]).abs());
+            }
+            drift = drift.max((fresh.phi - slot.load.phi).abs());
+            slot.load.clone_from(fresh);
+        }
+        drift
+    }
+
+    /// Ledger-vs-state conservation audit (empty = conserved): per
+    /// agent, booked reservations must equal the sum of live slot
+    /// loads; holding sessions must equal the live set. Coarse path.
     pub fn audit(&self) -> Vec<String> {
-        let state = self.state.lock();
-        self.ledger.audit_against(&state)
+        let _frz = self.freeze.write();
+        self.audit_locked()
+    }
+
+    pub(crate) fn audit_locked(&self) -> Vec<String> {
+        let mut totals = AgentTotals::zero(self.problem.instance().num_agents());
+        let mut active = Vec::new();
+        for s in self.problem.instance().session_ids() {
+            let slot = self.slots[s.index()].lock();
+            if slot.active {
+                totals.add(&slot.load);
+                active.push(s);
+            }
+        }
+        self.ledger.audit_against_totals(&totals, &active)
     }
 
     /// Appends one journal record, building it lazily so ephemeral
-    /// fleets pay nothing. Called with the FREEZE lock held, which
-    /// makes the journal a faithful serialization of the mutation
-    /// history. A journal write failure is fail-stop: durability was
+    /// fleets pay nothing. Called with the mutated slot's lock (or the
+    /// FREEZE write lock) held; all appends serialize on the journal
+    /// mutex, whose sequence numbers are the fleet's global mutation
+    /// order. A journal write failure is fail-stop: durability was
     /// promised and can no longer be provided.
     pub(crate) fn log_op(&self, op: impl FnOnce() -> crate::persist::FleetOp) {
         if let Some(p) = &self.persist {
@@ -448,6 +1052,42 @@ impl Fleet {
                 .append(&op())
                 .expect("write-ahead journal append failed");
         }
+    }
+
+    /// Records a counter-only stay for the journal's batched
+    /// `StayBatch` stream (no-op on ephemeral fleets). Batches flush at
+    /// the configured threshold and at every durability boundary
+    /// ([`commit_journal`](Fleet::commit_journal),
+    /// [`checkpoint`](Fleet::checkpoint),
+    /// [`durable_state`](Fleet::durable_state)).
+    pub(crate) fn note_stay(&self) {
+        if let Some(p) = &self.persist {
+            let pending = self.pending_stays.fetch_add(1, Ordering::Relaxed) + 1;
+            if pending >= p.stay_batch as u64 {
+                self.flush_stays();
+            }
+        }
+    }
+
+    /// Flushes pending stays as one `StayBatch` journal record.
+    pub(crate) fn flush_stays(&self) {
+        if let Some(p) = &self.persist {
+            let count = self.pending_stays.swap(0, Ordering::Relaxed);
+            if count > 0 {
+                p.journal
+                    .lock()
+                    .append(&crate::persist::FleetOp::StayBatch { count })
+                    .expect("write-ahead journal append failed");
+            }
+        }
+    }
+}
+
+/// `d` with its target replaced by `l`.
+fn redirect(d: Decision, l: AgentId) -> Decision {
+    match d {
+        Decision::User(u, _) => Decision::User(u, l),
+        Decision::Task(t, _) => Decision::Task(t, l),
     }
 }
 

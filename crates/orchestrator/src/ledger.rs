@@ -16,11 +16,9 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use vc_core::{SystemState, UapProblem};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use vc_core::{AgentTotals, SystemState, UapProblem, CAPACITY_EPS};
 use vc_model::{AgentId, Capacity, SessionId};
-
-/// Slack for floating-point capacity comparisons (mirrors `vc-core`).
-const CAPACITY_EPS: f64 = 1e-6;
 
 /// One agent's worth of a session's reservation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,10 +42,12 @@ pub struct SessionHold {
 }
 
 impl SessionHold {
-    /// Extracts the reservation implied by a session's evaluated load.
+    /// Extracts the reservation implied by a session's evaluated load
+    /// (sparse: only the agents the load touches are scanned).
     pub fn from_load(load: &vc_core::SessionLoad) -> Self {
         let mut holds = Vec::new();
-        for i in 0..load.download.len() {
+        for &a in &load.touched {
+            let i = a as usize;
             let (d, u, t) = (load.download[i], load.upload[i], load.transcode_units[i]);
             if d > 0.0 || u > 0.0 || t > 0 {
                 holds.push(AgentHold {
@@ -98,40 +98,82 @@ impl std::fmt::Display for LedgerError {
     }
 }
 
-#[derive(Debug, Clone)]
+/// One agent's booked totals. The reserved fields are atomics:
+/// *mutation* happens only while the owning shard lock is held (so
+/// read-modify-write needs no CAS), while *readers* — per-hop residual
+/// snapshots, telemetry, the audit — load them lock-free. Each field is
+/// individually consistent; cross-field consistency for mutators comes
+/// from the shard lock, and the audit runs under the fleet's FREEZE
+/// write lock, which quiesces all mutators.
+#[derive(Debug)]
 struct AgentEntry {
     capacity: Capacity,
-    reserved_download: f64,
-    reserved_upload: f64,
-    reserved_units: u32,
-    available: bool,
+    /// `f64` bit pattern of the reserved download bandwidth (Mbps).
+    reserved_download: AtomicU64,
+    /// `f64` bit pattern of the reserved upload bandwidth (Mbps).
+    reserved_upload: AtomicU64,
+    reserved_units: AtomicU32,
+    available: AtomicBool,
 }
 
 impl AgentEntry {
+    fn download(&self) -> f64 {
+        f64::from_bits(self.reserved_download.load(Ordering::Relaxed))
+    }
+
+    fn upload(&self) -> f64 {
+        f64::from_bits(self.reserved_upload.load(Ordering::Relaxed))
+    }
+
+    fn units(&self) -> u32 {
+        self.reserved_units.load(Ordering::Relaxed)
+    }
+
+    fn is_up(&self) -> bool {
+        self.available.load(Ordering::Relaxed)
+    }
+
     fn fits(&self, hold: &AgentHold) -> Result<(), &'static str> {
-        if self.reserved_download + hold.download_mbps > self.capacity.download_mbps + CAPACITY_EPS
-        {
+        if self.download() + hold.download_mbps > self.capacity.download_mbps + CAPACITY_EPS {
             return Err("download");
         }
-        if self.reserved_upload + hold.upload_mbps > self.capacity.upload_mbps + CAPACITY_EPS {
+        if self.upload() + hold.upload_mbps > self.capacity.upload_mbps + CAPACITY_EPS {
             return Err("upload");
         }
-        if self.reserved_units + hold.transcode_units > self.capacity.transcode_slots {
+        if self.units() + hold.transcode_units > self.capacity.transcode_slots {
             return Err("transcode");
         }
         Ok(())
     }
 
-    fn add(&mut self, hold: &AgentHold) {
-        self.reserved_download += hold.download_mbps;
-        self.reserved_upload += hold.upload_mbps;
-        self.reserved_units += hold.transcode_units;
+    /// Caller holds the owning shard lock.
+    fn add(&self, hold: &AgentHold) {
+        self.reserved_download.store(
+            (self.download() + hold.download_mbps).to_bits(),
+            Ordering::Relaxed,
+        );
+        self.reserved_upload.store(
+            (self.upload() + hold.upload_mbps).to_bits(),
+            Ordering::Relaxed,
+        );
+        self.reserved_units
+            .store(self.units() + hold.transcode_units, Ordering::Relaxed);
     }
 
-    fn remove(&mut self, hold: &AgentHold) {
-        self.reserved_download = (self.reserved_download - hold.download_mbps).max(0.0);
-        self.reserved_upload = (self.reserved_upload - hold.upload_mbps).max(0.0);
-        self.reserved_units = self.reserved_units.saturating_sub(hold.transcode_units);
+    /// Caller holds the owning shard lock.
+    fn remove(&self, hold: &AgentHold) {
+        self.reserved_download.store(
+            (self.download() - hold.download_mbps).max(0.0).to_bits(),
+            Ordering::Relaxed,
+        );
+        self.reserved_upload.store(
+            (self.upload() - hold.upload_mbps).max(0.0).to_bits(),
+            Ordering::Relaxed,
+        );
+        self.reserved_units.store(
+            self.units().saturating_sub(hold.transcode_units),
+            Ordering::Relaxed,
+        );
     }
 }
 
@@ -153,30 +195,30 @@ pub struct AgentUtilization {
     pub available: bool,
 }
 
-/// A set of locked shards spanning one multi-agent operation.
-struct SpanView<'a> {
-    guards: Vec<(usize, parking_lot::MutexGuard<'a, Vec<AgentEntry>>)>,
-    num_shards: usize,
-}
-
-impl SpanView<'_> {
-    fn entry(&mut self, agent: AgentId) -> &mut AgentEntry {
-        let shard = agent.index() % self.num_shards;
-        let idx = agent.index() / self.num_shards;
-        let pos = self
-            .guards
-            .iter()
-            .position(|(i, _)| *i == shard)
-            .expect("shard locked by span");
-        &mut self.guards[pos].1[idx]
-    }
+/// Reusable per-worker residual-capacity buffers for the hop path (see
+/// [`CapacityLedger::hop_residuals_into`]).
+#[derive(Debug, Default)]
+pub struct HopResiduals {
+    /// Per-agent free download bandwidth (Mbps; may be negative after a
+    /// forced evacuation overshoot).
+    pub download: Vec<f64>,
+    /// Per-agent free upload bandwidth (Mbps).
+    pub upload: Vec<f64>,
+    /// Per-agent free transcoding units (`+∞` for unlimited).
+    pub transcode: Vec<f64>,
 }
 
 /// The sharded ledger. See the module docs.
 #[derive(Debug)]
 pub struct CapacityLedger {
-    /// `shards[i]` owns every agent with `agent.index() % shards.len() == i`.
-    shards: Vec<Mutex<Vec<AgentEntry>>>,
+    /// Per-agent entries, indexed by agent id. Reserved totals are
+    /// atomics, so residual snapshots and telemetry read them without
+    /// taking any lock — a hop's capacity snapshot costs `L` relaxed
+    /// loads instead of a walk over every shard mutex.
+    entries: Vec<AgentEntry>,
+    /// `shard_locks[i]` serializes mutation of every entry whose
+    /// `agent.index() % shard_locks.len() == i`.
+    shard_locks: Vec<Mutex<()>>,
     /// Session holds, sharded by session index.
     holdings: Vec<Mutex<HashMap<SessionId, SessionHold>>>,
     num_agents: usize,
@@ -189,18 +231,19 @@ impl CapacityLedger {
         let inst = problem.instance();
         let num_agents = inst.num_agents();
         let num_shards = num_shards.clamp(1, num_agents.max(1));
-        let mut shards: Vec<Vec<AgentEntry>> = (0..num_shards).map(|_| Vec::new()).collect();
-        for l in inst.agent_ids() {
-            shards[l.index() % num_shards].push(AgentEntry {
+        let entries = inst
+            .agent_ids()
+            .map(|l| AgentEntry {
                 capacity: inst.agent(l).capacity(),
-                reserved_download: 0.0,
-                reserved_upload: 0.0,
-                reserved_units: 0,
-                available: true,
-            });
-        }
+                reserved_download: AtomicU64::new(0.0f64.to_bits()),
+                reserved_upload: AtomicU64::new(0.0f64.to_bits()),
+                reserved_units: AtomicU32::new(0),
+                available: AtomicBool::new(true),
+            })
+            .collect();
         Self {
-            shards: shards.into_iter().map(Mutex::new).collect(),
+            entries,
+            shard_locks: (0..num_shards).map(|_| Mutex::new(())).collect(),
             holdings: (0..num_shards)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
@@ -210,12 +253,11 @@ impl CapacityLedger {
 
     /// Number of shards (for telemetry / tests).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.shard_locks.len()
     }
 
-    fn slot(&self, agent: AgentId) -> (usize, usize) {
-        let shard = agent.index() % self.shards.len();
-        (shard, agent.index() / self.shards.len())
+    fn entry(&self, agent: AgentId) -> &AgentEntry {
+        &self.entries[agent.index()]
     }
 
     fn holding_shard(&self, s: SessionId) -> &Mutex<HashMap<SessionId, SessionHold>> {
@@ -223,39 +265,32 @@ impl CapacityLedger {
     }
 
     /// Locks, in ascending shard order, every shard the hold spans, and
-    /// runs `f` over the locked view.
+    /// runs `f` with those entries exclusively writable.
     fn with_span<T>(
         &self,
         hold_agents: impl Iterator<Item = AgentId>,
-        f: impl FnOnce(&mut SpanView<'_>) -> T,
+        f: impl FnOnce(&Self) -> T,
     ) -> T {
-        let mut shard_ids: Vec<usize> =
-            hold_agents.map(|a| a.index() % self.shards.len()).collect();
+        let mut shard_ids: Vec<usize> = hold_agents
+            .map(|a| a.index() % self.shard_locks.len())
+            .collect();
         shard_ids.sort_unstable();
         shard_ids.dedup();
-        let guards: Vec<(usize, parking_lot::MutexGuard<'_, Vec<AgentEntry>>)> = shard_ids
+        let _guards: Vec<parking_lot::MutexGuard<'_, ()>> = shard_ids
             .iter()
-            .map(|&i| (i, self.shards[i].lock()))
+            .map(|&i| self.shard_locks[i].lock())
             .collect();
-        f(&mut SpanView {
-            guards,
-            num_shards: self.shards.len(),
-        })
+        f(self)
     }
 
-    /// Visits every agent entry, locking each shard exactly once (in
-    /// index order). The view is consistent per shard, not globally —
-    /// concurrent reservations may land between shards, which every
-    /// reader here tolerates (residuals/utilization are advisory; the
-    /// audit runs under the fleet's FREEZE lock, which serializes all
-    /// mutations).
+    /// Visits every agent entry, lock-free. Each field is individually
+    /// consistent; concurrent reservations may land between reads,
+    /// which every caller here tolerates (residuals/utilization are
+    /// advisory; the audit runs under the fleet's FREEZE write lock,
+    /// which quiesces all mutators).
     fn for_each_entry(&self, mut f: impl FnMut(AgentId, &AgentEntry)) {
-        let num_shards = self.shards.len();
-        for (i, shard) in self.shards.iter().enumerate() {
-            let guard = shard.lock();
-            for (pos, entry) in guard.iter().enumerate() {
-                f(AgentId::from(pos * num_shards + i), entry);
-            }
+        for (i, entry) in self.entries.iter().enumerate() {
+            f(AgentId::from(i), entry);
         }
     }
 
@@ -276,7 +311,7 @@ impl CapacityLedger {
         self.with_span(hold.holds.iter().map(|h| h.agent), |view| {
             for h in &hold.holds {
                 let entry = view.entry(h.agent);
-                if !entry.available {
+                if !entry.is_up() {
                     return Err(LedgerError::AgentDown(h.agent));
                 }
                 if let Err(resource) = entry.fits(h) {
@@ -312,6 +347,57 @@ impl CapacityLedger {
             }
         });
         Ok(hold)
+    }
+
+    /// Atomically replaces the session's reservation with `new_hold`
+    /// **iff** every agent of the new hold still has room after the old
+    /// hold is released — the commit point of a *concurrent* HOP, where
+    /// the ledger (not a global state lock) arbitrates capacity races
+    /// between sessions. On refusal the old hold is restored exactly.
+    ///
+    /// Availability is deliberately not checked: agent failure is a
+    /// coarse-path operation excluded (by the fleet's FREEZE write lock)
+    /// while any hop is in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NotHeld`] if the session holds nothing,
+    /// [`LedgerError::Insufficient`] when a concurrent reservation beat
+    /// this one to the capacity.
+    pub fn try_swap(&self, session: SessionId, new_hold: SessionHold) -> Result<(), LedgerError> {
+        let mut holdings = self.holding_shard(session).lock();
+        let old = holdings
+            .get(&session)
+            .cloned()
+            .ok_or(LedgerError::NotHeld(session))?;
+        self.with_span(
+            old.holds
+                .iter()
+                .map(|h| h.agent)
+                .chain(new_hold.holds.iter().map(|h| h.agent)),
+            |view| {
+                for h in &old.holds {
+                    view.entry(h.agent).remove(h);
+                }
+                for h in &new_hold.holds {
+                    if let Err(resource) = view.entry(h.agent).fits(h) {
+                        for h2 in &old.holds {
+                            view.entry(h2.agent).add(h2);
+                        }
+                        return Err(LedgerError::Insufficient {
+                            agent: h.agent,
+                            resource,
+                        });
+                    }
+                }
+                for h in &new_hold.holds {
+                    view.entry(h.agent).add(h);
+                }
+                Ok(())
+            },
+        )?;
+        holdings.insert(session, new_hold);
+        Ok(())
     }
 
     /// Replaces the session's reservation with `new_hold` *uncondition-
@@ -408,20 +494,17 @@ impl CapacityLedger {
     /// Marks an agent failed: new reservations touching it are refused.
     /// Existing holds stay booked until their sessions migrate or depart.
     pub fn fail_agent(&self, agent: AgentId) {
-        let (shard, idx) = self.slot(agent);
-        self.shards[shard].lock()[idx].available = false;
+        self.entry(agent).available.store(false, Ordering::Relaxed);
     }
 
     /// Brings a failed agent back.
     pub fn restore_agent(&self, agent: AgentId) {
-        let (shard, idx) = self.slot(agent);
-        self.shards[shard].lock()[idx].available = true;
+        self.entry(agent).available.store(true, Ordering::Relaxed);
     }
 
     /// Whether the agent is up.
     pub fn is_agent_available(&self, agent: AgentId) -> bool {
-        let (shard, idx) = self.slot(agent);
-        self.shards[shard].lock()[idx].available
+        self.entry(agent).is_up()
     }
 
     /// Point-in-time utilization of every agent.
@@ -435,22 +518,23 @@ impl CapacityLedger {
                     0.0
                 }
             };
+            let units = e.units();
             let slot_frac = if e.capacity.transcode_slots == u32::MAX {
                 0.0
             } else if e.capacity.transcode_slots == 0 {
-                f64::from(e.reserved_units.min(1))
+                f64::from(units.min(1))
             } else {
-                f64::from(e.reserved_units) / f64::from(e.capacity.transcode_slots)
+                f64::from(units) / f64::from(e.capacity.transcode_slots)
             };
             out[agent.index()] = Some(AgentUtilization {
                 agent,
-                download_mbps: e.reserved_download,
-                upload_mbps: e.reserved_upload,
-                transcode_units: e.reserved_units,
-                max_fraction: frac(e.reserved_download, e.capacity.download_mbps)
-                    .max(frac(e.reserved_upload, e.capacity.upload_mbps))
+                download_mbps: e.download(),
+                upload_mbps: e.upload(),
+                transcode_units: units,
+                max_fraction: frac(e.download(), e.capacity.download_mbps)
+                    .max(frac(e.upload(), e.capacity.upload_mbps))
                     .max(slot_frac),
-                available: e.available,
+                available: e.is_up(),
             });
         });
         out.into_iter()
@@ -460,30 +544,42 @@ impl CapacityLedger {
 
     /// Conservation audit against the authoritative state: per agent,
     /// the booked reservations must equal the state's live
-    /// [`AgentTotals`](vc_core::AgentTotals) (within float slack), and
-    /// the set of holding sessions must equal the active set. Returns
-    /// human-readable discrepancies (empty = conserved).
+    /// [`AgentTotals`] (within float slack), and the set of holding
+    /// sessions must equal the active set. Returns human-readable
+    /// discrepancies (empty = conserved).
     pub fn audit_against(&self, state: &SystemState) -> Vec<String> {
+        let mut active: Vec<SessionId> = state.active_sessions().collect();
+        active.sort_unstable();
+        self.audit_against_totals(state.totals(), &active)
+    }
+
+    /// [`audit_against`](Self::audit_against) on raw totals + an
+    /// ascending active-session list — the form the sharded fleet uses
+    /// (it sums per-session slot loads instead of keeping a global
+    /// `SystemState`).
+    pub fn audit_against_totals(&self, totals: &AgentTotals, active: &[SessionId]) -> Vec<String> {
         let mut problems = Vec::new();
-        let totals = state.totals();
         self.for_each_entry(|agent, e| {
             let i = agent.index();
-            if (e.reserved_download - totals.download[i]).abs() > 1e-3 {
+            if (e.download() - totals.download[i]).abs() > 1e-3 {
                 problems.push(format!(
                     "agent {agent}: ledger download {:.4} != state {:.4}",
-                    e.reserved_download, totals.download[i]
+                    e.download(),
+                    totals.download[i]
                 ));
             }
-            if (e.reserved_upload - totals.upload[i]).abs() > 1e-3 {
+            if (e.upload() - totals.upload[i]).abs() > 1e-3 {
                 problems.push(format!(
                     "agent {agent}: ledger upload {:.4} != state {:.4}",
-                    e.reserved_upload, totals.upload[i]
+                    e.upload(),
+                    totals.upload[i]
                 ));
             }
-            if e.reserved_units != totals.transcode[i] {
+            if e.units() != totals.transcode[i] {
                 problems.push(format!(
                     "agent {agent}: ledger units {} != state {}",
-                    e.reserved_units, totals.transcode[i]
+                    e.units(),
+                    totals.transcode[i]
                 ));
             }
         });
@@ -493,14 +589,39 @@ impl CapacityLedger {
             .flat_map(|h| h.lock().keys().copied().collect::<Vec<_>>())
             .collect();
         held.sort_unstable();
-        let mut active: Vec<SessionId> = state.active_sessions().collect();
-        active.sort_unstable();
         if held != active {
             problems.push(format!(
                 "holding sessions {held:?} != active sessions {active:?}"
             ));
         }
         problems
+    }
+
+    /// Fills `out` with availability-*blind* residual capacities
+    /// (`capacity − reserved`, `+∞` for unlimited resources) — the
+    /// per-hop capacity snapshot. Hops check `new − old ≤ residual`,
+    /// which mirrors the closed-world `totals − old + new ≤ capacity`
+    /// check; failed agents are excluded separately (only as *targets*),
+    /// so load already sitting on a down agent may still be carried by
+    /// moves that do not increase it. Lock-free: `L` relaxed atomic
+    /// loads, no allocation after warm-up.
+    pub fn hop_residuals_into(&self, out: &mut HopResiduals) {
+        out.download.clear();
+        out.download.resize(self.num_agents, 0.0);
+        out.upload.clear();
+        out.upload.resize(self.num_agents, 0.0);
+        out.transcode.clear();
+        out.transcode.resize(self.num_agents, 0.0);
+        self.for_each_entry(|agent, e| {
+            let i = agent.index();
+            out.download[i] = e.capacity.download_mbps - e.download();
+            out.upload[i] = e.capacity.upload_mbps - e.upload();
+            out.transcode[i] = if e.capacity.transcode_slots == u32::MAX {
+                f64::INFINITY
+            } else {
+                f64::from(e.capacity.transcode_slots) - f64::from(e.units())
+            };
+        });
     }
 
     /// Residual capacities in the shape `vc-algo`'s AgRank consumes
@@ -511,14 +632,14 @@ impl CapacityLedger {
         let mut upload = vec![0.0; self.num_agents];
         let mut transcode = vec![0.0; self.num_agents];
         self.for_each_entry(|agent, e| {
-            if e.available {
+            if e.is_up() {
                 let i = agent.index();
-                download[i] = e.capacity.download_mbps - e.reserved_download;
-                upload[i] = e.capacity.upload_mbps - e.reserved_upload;
+                download[i] = e.capacity.download_mbps - e.download();
+                upload[i] = e.capacity.upload_mbps - e.upload();
                 transcode[i] = if e.capacity.transcode_slots == u32::MAX {
                     f64::INFINITY
                 } else {
-                    f64::from(e.capacity.transcode_slots.saturating_sub(e.reserved_units))
+                    f64::from(e.capacity.transcode_slots.saturating_sub(e.units()))
                 };
             }
         });

@@ -13,14 +13,16 @@
 //!   agents they actually touch;
 //! * [`fleet`] — the [`Fleet`] API: `admit` (AgRank-bootstrapped
 //!   placement against live residuals), `depart` (releases exactly what
-//!   was reserved), `fail_agent` (immediate evacuation via `vc-algo`'s
-//!   churn module, ledger re-synced), and `hop_session` (one Alg. 1 HOP
-//!   under the FREEZE lock, mirrored into the ledger);
+//!   was reserved), `fail_agent` (immediate deterministic evacuation,
+//!   ledger re-synced), and `hop_session` (one Alg. 1 HOP under the
+//!   **sharded FREEZE**: hops take a shared lock + their session's
+//!   slot, and commit capacity through the ledger's checked
+//!   `try_swap`, so hops on different sessions run concurrently);
 //! * [`workers`] — the **re-optimization worker pool**: one logical
 //!   WAIT/HOP worker per live session, multiplexed over either a
 //!   deterministic virtual clock ([`ReoptPool::tick_until`]) or N OS
-//!   threads ([`ReoptPool::run_wall`]), migrations FREEZE-serialized as
-//!   in `vc-sim::parallel`;
+//!   threads ([`ReoptPool::run_wall`]) racing hops concurrently, each
+//!   thread reusing an allocation-free hop scratch;
 //! * [`telemetry`] — periodic [`FleetSnapshot`]s (objective, per-agent
 //!   utilization, migration counts, admission success rate) and
 //!   [`vc_sim::metrics::TimeSeries`]-compatible series;
@@ -29,12 +31,13 @@
 //!
 //! # Invariants
 //!
-//! The `SystemState` behind the FREEZE lock is authoritative; the
-//! ledger mirrors it reservation-by-reservation. After *any* sequence
-//! of admits, departs, failures and hops, [`Fleet::audit`] must return
-//! empty: per-agent booked capacity equals the sum of live sessions'
-//! loads, and the holding-session set equals the active-session set.
-//! `tests/orchestrator_invariants.rs` property-tests exactly this.
+//! The per-session slots are authoritative; the ledger mirrors them
+//! reservation-by-reservation. After *any* sequence of admits, departs,
+//! failures and hops — including hops racing on OS threads —
+//! [`Fleet::audit`] must return empty: per-agent booked capacity equals
+//! the sum of live sessions' loads, and the holding-session set equals
+//! the active-session set. `tests/orchestrator_invariants.rs` and
+//! `tests/hop_equivalence.rs` property-test exactly this.
 //!
 //! # Example
 //!
@@ -76,8 +79,10 @@ pub mod telemetry;
 mod tests;
 pub mod workers;
 
-pub use fleet::{AdmitError, Fleet, FleetConfig, FleetCounters, PlacementPolicy};
-pub use ledger::{AgentHold, AgentUtilization, CapacityLedger, LedgerError, SessionHold};
+pub use fleet::{AdmitError, Fleet, FleetConfig, FleetCounters, FleetHopScratch, PlacementPolicy};
+pub use ledger::{
+    AgentHold, AgentUtilization, CapacityLedger, HopResiduals, LedgerError, SessionHold,
+};
 pub use orchestrator::{FleetReport, Orchestrator, OrchestratorConfig};
 pub use persist::{
     CounterSnapshot, DurableFleetState, FleetOp, PersistConfig, PersistError, RecoveryReport,

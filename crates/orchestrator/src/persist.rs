@@ -4,14 +4,25 @@
 //!
 //! ## What is durable
 //!
-//! The control plane's entire mutable state is the FREEZE-locked
-//! [`SystemState`] plus the ledger's holdings plus the counters;
-//! [`DurableFleetState`] captures exactly that. Between snapshots,
-//! every mutation appends one [`FleetOp`] to the write-ahead journal
-//! *while the FREEZE lock is held*, so the journal is a faithful
-//! serialization of the mutation history: snapshot + journal tail ⇒
-//! the pre-crash fleet, bit for bit (assignments and holds are exact;
-//! objectives re-evaluate to identical `f64`s).
+//! The control plane's entire mutable state is the per-session slots
+//! (placements + live flags) plus the ledger's holdings plus the
+//! counters; [`DurableFleetState`] captures exactly that. Between
+//! snapshots, every state-changing mutation appends one [`FleetOp`] to
+//! the write-ahead journal *while the mutated slot's lock (or the
+//! FREEZE write lock) is held*, so per-session journal order equals
+//! per-session commit order and the journal's sequence numbers are a
+//! valid linearization: snapshot + journal tail ⇒ the pre-crash fleet,
+//! bit for bit (assignments and holds are exact; objectives re-evaluate
+//! to identical `f64`s).
+//!
+//! Counter-only stays are the one exception: they are batched into
+//! periodic [`FleetOp::StayBatch`] counter-delta records (one durable
+//! record per no-op hop dominated idle-fleet journal traffic). Batches
+//! flush at the configured threshold and at every durability boundary
+//! — [`Fleet::commit_journal`], [`Fleet::checkpoint`],
+//! [`Fleet::durable_state`] — so captured counters always recover
+//! exactly; only a *hard* crash between boundaries can lose up to
+//! `stay_batch − 1` stay *counts* (never any state).
 //!
 //! ## Replay semantics
 //!
@@ -32,7 +43,7 @@
 //! the store is compact before the fleet goes live again.
 
 use crate::fleet::{Fleet, FleetConfig, FleetCounters};
-use crate::ledger::{AgentHold, CapacityLedger, SessionHold};
+use crate::ledger::{AgentHold, SessionHold};
 use crate::telemetry::FleetSnapshot;
 use parking_lot::Mutex;
 use std::fs;
@@ -40,8 +51,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use vc_algo::markov::Alg1Engine;
-use vc_core::{Assignment, Decision, SystemState, TaskId, UapProblem};
+use vc_core::{Decision, TaskId, UapProblem};
 use vc_model::{AgentId, SessionId, UserId};
 use vc_persist::codec::{CodecError, Decode, Encode, Reader};
 use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter};
@@ -93,9 +103,17 @@ pub enum FleetOp {
         old_agent: AgentId,
     },
     /// An Alg. 1 HOP stayed put (counter-only; no state change).
+    /// Legacy per-stay record — still replayable, no longer emitted
+    /// (stays are batched into [`Self::StayBatch`]).
     Stay {
         /// The session whose hop stayed.
         session: SessionId,
+    },
+    /// `count` HOPs stayed put since the last flush (counter-delta; no
+    /// state change). Order-independent under replay.
+    StayBatch {
+        /// Number of stays in the batch.
+        count: u64,
     },
 }
 
@@ -142,6 +160,10 @@ impl Encode for FleetOp {
                 out.push(6);
                 session.encode(out);
             }
+            Self::StayBatch { count } => {
+                out.push(7);
+                count.encode(out);
+            }
         }
     }
 }
@@ -173,6 +195,9 @@ impl Decode for FleetOp {
             }),
             6 => Ok(Self::Stay {
                 session: SessionId::decode(r)?,
+            }),
+            7 => Ok(Self::StayBatch {
+                count: u64::decode(r)?,
             }),
             tag => Err(CodecError::BadTag {
                 what: "FleetOp",
@@ -381,25 +406,37 @@ pub struct PersistConfig {
     /// Journal fsync policy. `Always` never loses an acknowledged
     /// event; `Batch`/`Manual` trade the unsynced tail for throughput.
     pub fsync: FsyncPolicy,
+    /// Counter-only stays accumulate and flush as one `StayBatch`
+    /// record every `stay_batch` stays (and at every durability
+    /// boundary). `1` restores the legacy one-record-per-stay behavior;
+    /// larger values cut idle-fleet journal traffic proportionally at
+    /// the cost of up to `stay_batch − 1` stay *counts* (never state)
+    /// on a hard crash between boundaries.
+    pub stay_batch: usize,
 }
 
+/// Default stay-batch size (see [`PersistConfig::stay_batch`]).
+pub const DEFAULT_STAY_BATCH: usize = 64;
+
 impl PersistConfig {
-    /// `Always`-fsync persistence in `dir`.
+    /// `Always`-fsync persistence in `dir` with the default stay batch.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             fsync: FsyncPolicy::Always,
+            stay_batch: DEFAULT_STAY_BATCH,
         }
     }
 }
 
 /// The attached journal sink (one per persistent fleet). Locked
-/// *after* the FREEZE lock, never before — the same order everywhere,
-/// so the pair cannot deadlock.
+/// *after* the FREEZE/slot locks, never before — the same order
+/// everywhere, so the set cannot deadlock.
 #[derive(Debug)]
 pub struct FleetPersistence {
     pub(crate) dir: PathBuf,
     pub(crate) fsync: FsyncPolicy,
+    pub(crate) stay_batch: usize,
     pub(crate) journal: Mutex<JournalWriter<FleetOp>>,
     /// Exclusive advisory lock on `dir/LOCK`, held for the fleet's
     /// lifetime so two processes cannot write the same store (the
@@ -509,15 +546,19 @@ pub struct RecoveryReport {
     pub last_seq: u64,
 }
 
-fn capture(fleet: &Fleet, state: &SystemState) -> DurableFleetState {
-    let inst = fleet.problem.instance();
+/// Captures the durable state from the slots. Caller holds the FREEZE
+/// write lock (or exclusive ownership of a fresh fleet).
+fn capture(fleet: &Fleet) -> DurableFleetState {
+    let (user_agents, task_agents, active) = fleet.global_placements_locked();
     DurableFleetState {
-        user_agents: state.assignment().user_agents().to_vec(),
-        task_agents: state.assignment().task_agents().to_vec(),
-        active: inst.session_ids().map(|s| state.is_active(s)).collect(),
-        available: inst
+        user_agents,
+        task_agents,
+        active,
+        available: fleet
+            .problem
+            .instance()
             .agent_ids()
-            .map(|l| state.is_agent_available(l))
+            .map(|l| fleet.available[l.index()].load(Ordering::Relaxed))
             .collect(),
         holdings: fleet.ledger.holdings(),
         counters: CounterSnapshot::capture(&fleet.counters),
@@ -563,14 +604,12 @@ impl Fleet {
         let lock = acquire_store_lock(&persist.dir)?;
         wipe_store(&persist.dir)?;
         let mut fleet = Fleet::new(problem, config);
-        {
-            let state = fleet.state.lock();
-            write_snapshot(&persist.dir, 0, &capture(&fleet, &state))?;
-        }
+        write_snapshot(&persist.dir, 0, &capture(&fleet))?;
         let journal = JournalWriter::create(journal_path(&persist.dir, 1), persist.fsync, 1)?;
         fleet.persist = Some(FleetPersistence {
             dir: persist.dir,
             fsync: persist.fsync,
+            stay_batch: persist.stay_batch.max(1),
             journal: Mutex::new(journal),
             _lock: lock,
         });
@@ -589,7 +628,9 @@ impl Fleet {
 
     /// Forces the journal's buffered tail to disk — the manual
     /// durability boundary for `FsyncPolicy::Batch`/`Manual` fleets
-    /// (call it once per telemetry period, at shutdown, …).
+    /// (call it once per telemetry period, at shutdown, …). Flushes any
+    /// pending stay batch first, so the synced journal accounts for
+    /// every counter.
     ///
     /// # Errors
     ///
@@ -597,6 +638,7 @@ impl Fleet {
     /// filesystem error.
     pub fn commit_journal(&self) -> Result<(), PersistError> {
         let p = self.persist.as_ref().ok_or(PersistError::NotAttached)?;
+        self.flush_stays();
         p.journal.lock().commit()?;
         Ok(())
     }
@@ -611,12 +653,13 @@ impl Fleet {
     /// [`PersistError::NotAttached`] on an ephemeral fleet, or any
     /// filesystem error.
     pub fn checkpoint(&self) -> Result<u64, PersistError> {
-        let state = self.state.lock();
+        let _frz = self.freeze.write();
         let p = self.persist.as_ref().ok_or(PersistError::NotAttached)?;
+        self.flush_stays();
         let mut journal = p.journal.lock();
         journal.commit()?;
         let last_seq = journal.next_seq() - 1;
-        write_snapshot(&p.dir, last_seq, &capture(self, &state))?;
+        write_snapshot(&p.dir, last_seq, &capture(self))?;
         *journal =
             JournalWriter::create(journal_path(&p.dir, last_seq + 1), p.fsync, last_seq + 1)?;
         compact(&p.dir, last_seq)?;
@@ -658,6 +701,9 @@ impl Fleet {
         let mut expected = snapshot_seq + 1;
         let mut replayed = 0usize;
         let mut torn_tail = false;
+        // One evaluation scratch across the whole replay — per-op
+        // allocation would dominate recovery on large fleets.
+        let mut replay_scratch = vc_core::EvalScratch::new();
         let files = journal_files(&persist.dir)?;
         for (i, (_, path)) in files.iter().enumerate() {
             let (records, tail) = read_journal::<FleetOp>(path)?;
@@ -679,7 +725,7 @@ impl Fleet {
                         "sequence gap: expected {expected}, found {seq}"
                     )));
                 }
-                fleet.replay_op(&op)?;
+                fleet.replay_op(&op, &mut replay_scratch)?;
                 expected += 1;
                 replayed += 1;
             }
@@ -688,17 +734,14 @@ impl Fleet {
         if !audit.is_empty() {
             return Err(PersistError::Audit(audit));
         }
-        let drift = fleet.with_state(|s| s.clone().rebuild());
+        let drift = fleet.load_drift();
         if drift > 1e-6 {
             return Err(PersistError::Replay(format!(
-                "recovered state drifts from a from-scratch rebuild by {drift}"
+                "recovered loads drift from a from-scratch evaluation by {drift}"
             )));
         }
         let last_seq = expected - 1;
-        {
-            let state = fleet.state.lock();
-            write_snapshot(&persist.dir, last_seq, &capture(&fleet, &state))?;
-        }
+        write_snapshot(&persist.dir, last_seq, &capture(&fleet))?;
         let journal = JournalWriter::create(
             journal_path(&persist.dir, last_seq + 1),
             persist.fsync,
@@ -708,6 +751,7 @@ impl Fleet {
         fleet.persist = Some(FleetPersistence {
             dir: persist.dir,
             fsync: persist.fsync,
+            stay_batch: persist.stay_batch.max(1),
             journal: Mutex::new(journal),
             _lock: lock,
         });
@@ -722,12 +766,15 @@ impl Fleet {
         ))
     }
 
-    /// Captures the durable state under the FREEZE lock (exposed for
-    /// tests and offline tooling; [`Fleet::checkpoint`] is the
-    /// operational path).
+    /// Captures the durable state under the FREEZE write lock (exposed
+    /// for tests and offline tooling; [`Fleet::checkpoint`] is the
+    /// operational path). Flushes any pending stay batch first, so
+    /// recovery from the journal reproduces the captured counters
+    /// exactly.
     pub fn durable_state(&self) -> DurableFleetState {
-        let state = self.state.lock();
-        capture(self, &state)
+        let _frz = self.freeze.write();
+        self.flush_stays();
+        capture(self)
     }
 
     fn from_durable(
@@ -760,26 +807,37 @@ impl Fleet {
                 inst.num_agents()
             )));
         }
-        let assignment = Assignment::new(&problem, durable.user_agents, durable.task_agents);
-        let state = SystemState::with_active(problem.clone(), assignment, durable.active);
-        let ledger = CapacityLedger::new(&problem, config.ledger_shards);
-        let fleet = Fleet {
-            problem,
-            state: Mutex::new(state),
-            ledger,
-            engine: Alg1Engine::new(config.alg1.clone()),
-            config,
-            counters: FleetCounters::default(),
-            persist: None,
-        };
-        {
-            let mut state = fleet.state.lock();
-            for (i, &up) in durable.available.iter().enumerate() {
-                if !up {
-                    let agent = AgentId::from(i);
-                    state.set_agent_available(agent, false);
-                    fleet.ledger.fail_agent(agent);
-                }
+        let fleet = Fleet::new(problem, config);
+        let mut scratch = vc_core::EvalScratch::new();
+        let mut live = 0usize;
+        for s in fleet.problem.instance().session_ids() {
+            let mut slot = fleet.slots[s.index()].lock();
+            for (i, &u) in fleet
+                .problem
+                .instance()
+                .session(s)
+                .users()
+                .iter()
+                .enumerate()
+            {
+                slot.users[i] = durable.user_agents[u.index()];
+            }
+            for (i, &t) in fleet.problem.tasks().of_session(s).iter().enumerate() {
+                slot.tasks[i] = durable.task_agents[t.index()];
+            }
+            if durable.active[s.index()] {
+                slot.active = true;
+                live += 1;
+                let load = fleet.evaluate_slot(s, &slot, &mut scratch).clone();
+                slot.load = load;
+            }
+        }
+        fleet.live.store(live, Ordering::Relaxed);
+        for (i, &up) in durable.available.iter().enumerate() {
+            if !up {
+                let agent = AgentId::from(i);
+                fleet.available[i].store(false, Ordering::Relaxed);
+                fleet.ledger.fail_agent(agent);
             }
         }
         for (session, hold) in durable.holdings {
@@ -794,22 +852,44 @@ impl Fleet {
     /// Applies one journaled op to a recovering fleet. Counter effects
     /// mirror the live paths exactly so recovered counters equal
     /// pre-crash counters.
-    fn replay_op(&self, op: &FleetOp) -> Result<(), PersistError> {
+    fn replay_op(
+        &self,
+        op: &FleetOp,
+        scratch: &mut vc_core::EvalScratch,
+    ) -> Result<(), PersistError> {
         match op {
             FleetOp::Admit {
                 session,
                 users,
                 tasks,
             } => {
-                let mut state = self.state.lock();
-                if state.is_active(*session) {
+                let _frz = self.freeze.write();
+                let mut slot = self.slots[session.index()].lock();
+                if slot.active {
                     return Err(PersistError::Replay(format!(
                         "admit of already-live session {session}"
                     )));
                 }
-                state.reassign_session(*session, users, tasks);
-                state.activate(*session);
-                let hold = SessionHold::from_load(state.session_load(*session));
+                let inst = self.problem.instance();
+                let user_ids = inst.session(*session).users();
+                for &(u, a) in users {
+                    let i = user_ids.iter().position(|&w| w == u).ok_or_else(|| {
+                        PersistError::Replay(format!("admit of {session} places foreign user {u}"))
+                    })?;
+                    slot.users[i] = a;
+                }
+                let task_ids = self.problem.tasks().of_session(*session);
+                for &(t, a) in tasks {
+                    let i = task_ids.iter().position(|&w| w == t).ok_or_else(|| {
+                        PersistError::Replay(format!("admit of {session} places foreign task {t}"))
+                    })?;
+                    slot.tasks[i] = a;
+                }
+                slot.active = true;
+                let load = self.evaluate_slot(*session, &slot, scratch).clone();
+                let hold = SessionHold::from_load(&load);
+                slot.load = load;
+                self.live.fetch_add(1, Ordering::Relaxed);
                 self.ledger.try_reserve(*session, hold).map_err(|e| {
                     PersistError::Replay(format!("admit of {session} refused on replay: {e}"))
                 })?;
@@ -824,6 +904,7 @@ impl Fleet {
                         "depart of non-live session {session}"
                     )));
                 }
+                // depart() counted this replayed departure already.
             }
             FleetOp::FailAgent { agent } => {
                 self.fail_agent(*agent);
@@ -836,34 +917,52 @@ impl Fleet {
                 decision,
                 old_agent,
             } => {
-                let mut state = self.state.lock();
-                if !state.is_active(*session) {
+                let _frz = self.freeze.write();
+                let mut slot = self.slots[session.index()].lock();
+                if !slot.active {
                     return Err(PersistError::Replay(format!(
                         "hop of non-live session {session}"
                     )));
                 }
-                let current = match decision {
-                    Decision::User(u, _) => state.assignment().agent_of_user(*u),
-                    Decision::Task(t, _) => state.assignment().agent_of_task(*t),
+                let view = {
+                    let inst = self.problem.instance();
+                    let user_ids = inst.session(*session).users();
+                    let task_ids = self.problem.tasks().of_session(*session);
+                    match decision {
+                        Decision::User(u, _) => user_ids
+                            .iter()
+                            .position(|&w| w == *u)
+                            .map(|i| slot.users[i]),
+                        Decision::Task(t, _) => task_ids
+                            .iter()
+                            .position(|&w| w == *t)
+                            .map(|i| slot.tasks[i]),
+                    }
                 };
+                let current = view.ok_or_else(|| {
+                    PersistError::Replay(format!("hop {decision} targets a foreign session"))
+                })?;
                 if current != *old_agent {
                     return Err(PersistError::Replay(format!(
                         "hop {decision} expected old assignment {old_agent}, state has {current}"
                     )));
                 }
-                state.apply_unchecked(*decision);
-                self.ledger
-                    .force_swap(
-                        *session,
-                        SessionHold::from_load(state.session_load(*session)),
-                    )
-                    .map_err(|e| {
-                        PersistError::Replay(format!("hop ledger swap failed on replay: {e}"))
-                    })?;
+                self.apply_to_slot(&mut slot, *session, *decision);
+                let load = self.evaluate_slot(*session, &slot, scratch).clone();
+                let hold = SessionHold::from_load(&load);
+                slot.load = load;
+                self.ledger.force_swap(*session, hold).map_err(|e| {
+                    PersistError::Replay(format!("hop ledger swap failed on replay: {e}"))
+                })?;
                 self.counters.migrations.fetch_add(1, Ordering::Relaxed);
             }
             FleetOp::Stay { .. } => {
                 self.counters.stays.fetch_add(1, Ordering::Relaxed);
+            }
+            FleetOp::StayBatch { count } => {
+                self.counters
+                    .stays
+                    .fetch_add(*count as usize, Ordering::Relaxed);
             }
         }
         Ok(())

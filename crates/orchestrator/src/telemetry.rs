@@ -74,14 +74,9 @@ impl FleetTelemetry {
     /// the snapshot. Runs the conservation audit — the control plane's
     /// standing self-check.
     pub fn sample(&mut self, fleet: &Fleet, t_s: f64) -> FleetSnapshot {
-        let (live, objective, traffic, delay) = fleet.with_state(|state| {
-            (
-                state.active_sessions().count(),
-                state.objective(),
-                state.total_traffic_mbps(),
-                state.mean_delay_ms(),
-            )
-        });
+        let m = fleet.metrics();
+        let (live, objective, traffic, delay) =
+            (m.live, m.objective, m.traffic_mbps, m.mean_delay_ms);
         let util = fleet.ledger().utilization();
         let fractions: Vec<f64> = util.iter().map(|u| u.max_fraction).collect();
         let mean_util = if fractions.is_empty() {

@@ -1,10 +1,11 @@
 //! Background re-optimization workers.
 //!
-//! One *logical* worker per live session runs the paper's WAIT/HOP loop:
-//! draw an exponential countdown, then HOP under the fleet's FREEZE
-//! lock (the same serialization `vc-sim::parallel` realizes with one OS
-//! thread per session — here logical workers are multiplexed so a fleet
-//! of thousands of sessions doesn't need thousands of threads).
+//! One *logical* worker per live session runs the paper's WAIT/HOP
+//! loop: draw an exponential countdown, then HOP under the fleet's
+//! **sharded FREEZE** — hops on different sessions run concurrently,
+//! serialized only by their session slot and the ledger shards they
+//! touch. Logical workers are multiplexed so a fleet of thousands of
+//! sessions doesn't need thousands of threads.
 //!
 //! Two drive modes:
 //!
@@ -14,7 +15,7 @@
 //!   queue for a wall-clock budget, the deployment shape (and the bench
 //!   target).
 
-use crate::fleet::Fleet;
+use crate::fleet::{Fleet, FleetHopScratch};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
 use std::cmp::Reverse;
@@ -94,11 +95,13 @@ impl ReoptPool {
         self.hops_executed.load(Ordering::Relaxed)
     }
 
-    /// Pops the next due worker at or before `horizon_us`, hops it, and
-    /// reschedules. Returns `false` when nothing is due.
-    fn step_one(&self, fleet: &Fleet, horizon_us: u64) -> bool {
+    /// Pops the next due worker at or before `horizon_us`, hops it
+    /// (reusing the caller's scratch), and reschedules. Returns `false`
+    /// when nothing is due.
+    fn step_one(&self, fleet: &Fleet, horizon_us: u64, scratch: &mut FleetHopScratch) -> bool {
         // Take the worker out under the schedule lock, hop *outside* it
-        // so parallel callers only serialize on the FREEZE lock.
+        // so parallel callers only serialize on their slot's lock and
+        // the ledger shards.
         let (due_us, s, epoch, mut rng) = {
             let mut sched = self.schedule.lock();
             loop {
@@ -119,7 +122,7 @@ impl ReoptPool {
                 }
             }
         };
-        fleet.hop_session(s, &mut rng);
+        fleet.hop_session_with(s, &mut rng, scratch);
         self.hops_executed.fetch_add(1, Ordering::Relaxed);
         let wait = fleet.engine().next_countdown(&mut rng);
         let mut sched = self.schedule.lock();
@@ -136,26 +139,31 @@ impl ReoptPool {
     /// (virtual seconds), in due order. Returns the number of hops run.
     pub fn tick_until(&self, fleet: &Fleet, t_s: f64) -> usize {
         let horizon = to_us(t_s);
+        let mut scratch = FleetHopScratch::new();
         let mut n = 0;
-        while self.step_one(fleet, horizon) {
+        while self.step_one(fleet, horizon, &mut scratch) {
             n += 1;
         }
         n
     }
 
     /// Races `threads` OS threads over the due queue for `budget` wall
-    /// time, each hop serialized by the fleet's FREEZE lock. Virtual
-    /// due-times are treated as *priorities* (drain order), not paced to
-    /// the wall clock — the mode exists to exercise and measure the
-    /// contention structure. Returns the number of hops run.
+    /// time. Hops on different sessions run **concurrently** under the
+    /// shared FREEZE lock (each serialized only by its session slot and
+    /// the ledger shards it touches); each thread owns its hop scratch,
+    /// so steady-state hops allocate nothing. Virtual due-times are
+    /// treated as *priorities* (drain order), not paced to the wall
+    /// clock — the mode exists to exercise and measure the contention
+    /// structure. Returns the number of hops run.
     pub fn run_wall(&self, fleet: &Fleet, budget: Duration, threads: usize) -> usize {
         let stop = AtomicBool::new(false);
         let executed = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads.max(1) {
                 scope.spawn(|| {
+                    let mut scratch = FleetHopScratch::new();
                     while !stop.load(Ordering::Relaxed) {
-                        if self.step_one(fleet, u64::MAX) {
+                        if self.step_one(fleet, u64::MAX, &mut scratch) {
                             executed.fetch_add(1, Ordering::Relaxed);
                         } else {
                             std::thread::yield_now();

@@ -38,8 +38,11 @@ use std::path::{Path, PathBuf};
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"VCWJ";
-/// Journal format version.
-pub const JOURNAL_VERSION: u16 = 1;
+/// Journal format version. v2: `FailAgent` replay re-derives the
+/// evacuation with the sparse residual-based feasibility rule (PR 3's
+/// sharded fleet); v1 stores replayed it through the dense
+/// whole-state check, so their histories are not interchangeable.
+pub const JOURNAL_VERSION: u16 = 2;
 /// Header length: magic + version + reserved.
 pub const HEADER_LEN: usize = 8;
 /// Frames longer than this are treated as garbage (a torn length

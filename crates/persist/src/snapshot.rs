@@ -37,8 +37,9 @@ use std::path::{Path, PathBuf};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"VCSN";
-/// Snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Snapshot format version (kept in lock-step with the journal: a v2
+/// snapshot's tail journal replays under v2 semantics).
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 const SNAPSHOT_PREFIX: &str = "snapshot-";
 const SNAPSHOT_SUFFIX: &str = ".vcsnap";

@@ -231,6 +231,9 @@ fn crash_demo(crash_at: f64, resume: bool) {
     let persist = || PersistConfig {
         dir: dir.clone(),
         fsync: FsyncPolicy::Always,
+        // Stays are batched 64-to-a-record; `durable_state()` below is a
+        // durability boundary, so the recovery comparison stays bitwise.
+        stay_batch: 64,
     };
 
     let apply = |fleet: &Fleet, pool: &ReoptPool, t: f64, event: FleetEvent| match event {
@@ -309,7 +312,7 @@ fn crash_demo(crash_at: f64, resume: bool) {
 
     if resume {
         let pool = ReoptPool::new(2016);
-        let live: Vec<SessionId> = recovered.with_state(|s| s.active_sessions().collect());
+        let live: Vec<SessionId> = recovered.live_sessions();
         for &s in &live {
             pool.register(&recovered, s, crash_at);
         }

@@ -78,6 +78,10 @@ fn persist_config(dir: &std::path::Path) -> PersistConfig {
     PersistConfig {
         dir: dir.to_path_buf(),
         fsync: FsyncPolicy::Always,
+        // Per-stay records (no batching): the byte-offset sweep below
+        // wants one journal record per hop so every cut point is
+        // meaningful.
+        stay_batch: 1,
     }
 }
 
@@ -339,7 +343,7 @@ fn mid_trace_crash_recovery_is_exact() {
     }
     let before = fleet.durable_state();
     let objective = fleet.objective();
-    let live: Vec<SessionId> = fleet.with_state(|s| s.active_sessions().collect());
+    let live: Vec<SessionId> = fleet.live_sessions();
     assert!(fleet.audit().is_empty());
     drop(fleet); // crash
 
@@ -347,11 +351,7 @@ fn mid_trace_crash_recovery_is_exact() {
         Fleet::recover(persist_config(&dir), problem, fleet_config()).expect("recovery");
     assert!(report.replayed > 0);
     assert_eq!(recovered.durable_state(), before);
-    assert_eq!(
-        recovered.with_state(|s| s.active_sessions().collect::<Vec<_>>()),
-        live,
-        "live-session set differs"
-    );
+    assert_eq!(recovered.live_sessions(), live, "live-session set differs");
     assert_eq!(
         recovered.objective().to_bits(),
         objective.to_bits(),
