@@ -48,11 +48,15 @@ fn alloc_count() -> u64 {
 struct Options {
     ids: Vec<String>,
     scenarios: usize,
+    /// Whether `--scenarios` was passed explicitly (experiments whose
+    /// default differs from 100 need to distinguish "unset" from an
+    /// explicit 100).
+    scenarios_set: bool,
     duration_s: f64,
     seed: u64,
 }
 
-const ALL_IDS: [&str; 17] = [
+const ALL_IDS: [&str; 18] = [
     "fig2",
     "fig4",
     "fig5",
@@ -70,6 +74,7 @@ const ALL_IDS: [&str; 17] = [
     "orchestrator",
     "persist",
     "hop_bench",
+    "open_world",
 ];
 
 fn usage() -> ! {
@@ -82,6 +87,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         ids: Vec::new(),
         scenarios: 100,
+        scenarios_set: false,
         duration_s: 0.0, // 0 = per-experiment default
         seed: 2015,
     };
@@ -92,7 +98,8 @@ fn parse_args() -> Options {
                 opts.scenarios = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
+                opts.scenarios_set = true;
             }
             "--duration" => {
                 opts.duration_s = args
@@ -252,6 +259,18 @@ fn main() {
                 orchestrator::print(&orchestrator::run(d, opts.seed));
             }
             "persist" => persist::print(&persist::run(opts.seed)),
+            "open_world" => {
+                // `--scenarios` doubles as the seed-universe size in
+                // users (default 300 ≈ 85 sessions → ~850 grown;
+                // explicit values below 12 are raised to 12, the
+                // smallest seed with a meaningful growth ladder).
+                let seed_users = if opts.scenarios_set {
+                    opts.scenarios.max(12)
+                } else {
+                    300
+                };
+                open_world::print(&open_world::run(seed_users, 10, opts.seed));
+            }
             "hop_bench" => {
                 // `--duration` (seconds) sets the per-config wall budget
                 // of the concurrent runs; default 2 s each.

@@ -1,0 +1,286 @@
+//! Open-world growth experiment (extension): admit throughput while
+//! the session/user universe grows ≥10× online. Emits
+//! `BENCH_open_world.json`.
+//!
+//! A fleet starts from a closed-world seed (a `large_scale_instance`)
+//! with every seed session admitted, then consumes an open-world trace
+//! of never-before-seen conferences: each arrival is **registered**
+//! (`Fleet::register_session` — instance + task table + slot growth
+//! under the exclusive FREEZE) and then **admitted** (AgRank bootstrap
+//! plus ledger reservation). One row is recorded per seed-sized growth
+//! phase: registration and admission throughput, the universe/live
+//! sizes, and a conservation audit — growth must never split the
+//! ledger from the slots.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vc_algo::agrank::AgRankConfig;
+use vc_algo::markov::Alg1Config;
+use vc_core::UapProblem;
+use vc_model::SessionId;
+use vc_orchestrator::{Fleet, FleetConfig, PlacementPolicy};
+use vc_workloads::{
+    large_scale_instance, open_world_trace, LargeScaleConfig, OpenWorldConfig, OpenWorldEvent,
+};
+
+/// One growth-phase measurement.
+#[derive(Debug, Clone)]
+pub struct OpenWorldRow {
+    /// Universe size at the end of the phase (registered sessions).
+    pub universe_sessions: usize,
+    /// Universe size at the end of the phase (registered users).
+    pub universe_users: usize,
+    /// Live sessions at the end of the phase.
+    pub live_sessions: usize,
+    /// Conferences registered in this phase.
+    pub registered: usize,
+    /// Registrations per second (universe growth throughput).
+    pub registers_per_s: f64,
+    /// Admissions per second (placement + ledger reservation).
+    pub admits_per_s: f64,
+    /// Mean registration latency (µs).
+    pub mean_register_us: f64,
+    /// Mean admission latency (µs).
+    pub mean_admit_us: f64,
+    /// Conservation-audit discrepancies at the phase boundary (must
+    /// be 0).
+    pub conservation_violations: usize,
+}
+
+/// The whole run.
+#[derive(Debug, Clone)]
+pub struct OpenWorldResult {
+    /// Sessions/users in the closed-world seed.
+    pub seed_sessions: usize,
+    /// Users in the seed.
+    pub seed_users: usize,
+    /// Growth factor actually reached (final universe / seed).
+    pub growth_factor: f64,
+    /// One row per growth phase.
+    pub rows: Vec<OpenWorldRow>,
+}
+
+/// Runs the experiment: a seed of ~`seed_users` users grows by a
+/// factor of `growth` (≥ 10 for the committed numbers).
+pub fn run(seed_users: usize, growth: usize, seed: u64) -> OpenWorldResult {
+    // Capacities sized for the FINAL universe so growth, not capacity
+    // exhaustion, is what the bench measures.
+    let final_scale = (seed_users * growth) as f64 / 1_000.0;
+    let instance = large_scale_instance(&LargeScaleConfig {
+        num_users: seed_users,
+        max_session_size: 5,
+        mean_bandwidth_mbps: Some(40_000.0 * final_scale.max(1.0)),
+        mean_transcode_slots: Some(3_000.0 * final_scale.max(1.0)),
+        seed,
+        ..LargeScaleConfig::default()
+    });
+    let seed_sessions = instance.num_sessions();
+    let seed_user_count = instance.num_users();
+    let problem = Arc::new(UapProblem::new(
+        instance,
+        vc_cost::CostModel::paper_default(),
+    ));
+    let fleet = Fleet::new(
+        problem,
+        FleetConfig {
+            placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
+            alg1: Alg1Config::paper(400.0),
+            ledger_shards: 8,
+        },
+    );
+    for i in 0..seed_sessions {
+        fleet
+            .admit(SessionId::from(i))
+            .expect("seed capacities are generous");
+    }
+
+    let agents: Vec<_> = vc_net::sites::ec2_seven()
+        .iter()
+        .map(|s| s.point())
+        .collect();
+    let trace = open_world_trace(
+        &agents,
+        seed_sessions,
+        &OpenWorldConfig {
+            horizon_s: f64::MAX / 4.0,
+            mean_interarrival_s: 1.0,
+            // Conferences outlive the run: the live set grows with the
+            // universe, so late admissions face a genuinely big fleet.
+            mean_holding_s: 1e12,
+            max_arrivals: Some(seed_sessions * (growth - 1)),
+            seed,
+            ..OpenWorldConfig::default()
+        },
+    );
+
+    let mut rows = Vec::new();
+    let mut phase_registered = 0usize;
+    let mut register_time = Duration::ZERO;
+    let mut admit_time = Duration::ZERO;
+    for (_, event) in &trace.events {
+        let OpenWorldEvent::Arrive(def) = event else {
+            continue;
+        };
+        let t0 = Instant::now();
+        let s = fleet.register_session(def).expect("valid definition");
+        register_time += t0.elapsed();
+        let t0 = Instant::now();
+        fleet
+            .admit(s)
+            .expect("capacities sized for the final fleet");
+        admit_time += t0.elapsed();
+        phase_registered += 1;
+        if phase_registered == seed_sessions {
+            rows.push(phase_row(
+                &fleet,
+                phase_registered,
+                register_time,
+                admit_time,
+            ));
+            phase_registered = 0;
+            register_time = Duration::ZERO;
+            admit_time = Duration::ZERO;
+        }
+    }
+    if phase_registered > 0 {
+        rows.push(phase_row(
+            &fleet,
+            phase_registered,
+            register_time,
+            admit_time,
+        ));
+    }
+    let (final_sessions, _) = fleet.universe_size();
+    OpenWorldResult {
+        seed_sessions,
+        seed_users: seed_user_count,
+        growth_factor: final_sessions as f64 / seed_sessions as f64,
+        rows,
+    }
+}
+
+fn phase_row(
+    fleet: &Fleet,
+    registered: usize,
+    register_time: Duration,
+    admit_time: Duration,
+) -> OpenWorldRow {
+    let (universe_sessions, universe_users) = fleet.universe_size();
+    let n = registered as f64;
+    OpenWorldRow {
+        universe_sessions,
+        universe_users,
+        live_sessions: fleet.live_count(),
+        registered,
+        registers_per_s: n / register_time.as_secs_f64().max(1e-12),
+        admits_per_s: n / admit_time.as_secs_f64().max(1e-12),
+        mean_register_us: register_time.as_secs_f64() * 1e6 / n,
+        mean_admit_us: admit_time.as_secs_f64() * 1e6 / n,
+        conservation_violations: fleet.audit().len(),
+    }
+}
+
+/// Serializes the result as the `BENCH_open_world.json` document
+/// (hand-rolled: the vendored serde is a no-op shim).
+pub fn to_json(result: &OpenWorldResult) -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        concat!(
+            "{{\n  \"experiment\": \"open_world\",\n  \"cpus\": {},\n",
+            "  \"seed_sessions\": {},\n  \"seed_users\": {},\n",
+            "  \"growth_factor\": {:.2},\n  \"rows\": [\n"
+        ),
+        cpus, result.seed_sessions, result.seed_users, result.growth_factor
+    );
+    for (i, r) in result.rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"universe_sessions\": {}, \"universe_users\": {}, ",
+                "\"live_sessions\": {}, \"registered\": {}, ",
+                "\"registers_per_s\": {:.1}, \"admits_per_s\": {:.1}, ",
+                "\"mean_register_us\": {:.2}, \"mean_admit_us\": {:.2}, ",
+                "\"conservation_violations\": {}}}{}\n"
+            ),
+            r.universe_sessions,
+            r.universe_users,
+            r.live_sessions,
+            r.registered,
+            r.registers_per_s,
+            r.admits_per_s,
+            r.mean_register_us,
+            r.mean_admit_us,
+            r.conservation_violations,
+            if i + 1 == result.rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints the rows and writes `BENCH_open_world.json` into the working
+/// directory.
+pub fn print(result: &OpenWorldResult) {
+    println!(
+        "Open-world growth — seed {} sessions / {} users, grown {:.1}× online",
+        result.seed_sessions, result.seed_users, result.growth_factor
+    );
+    println!(
+        "{:>10} {:>9} {:>6} {:>12} {:>11} {:>12} {:>11} {:>11}",
+        "universe",
+        "users",
+        "live",
+        "register/s",
+        "admit/s",
+        "register µs",
+        "admit µs",
+        "violations"
+    );
+    for r in &result.rows {
+        println!(
+            "{:>10} {:>9} {:>6} {:>12.0} {:>11.0} {:>12.2} {:>11.2} {:>11}",
+            r.universe_sessions,
+            r.universe_users,
+            r.live_sessions,
+            r.registers_per_s,
+            r.admits_per_s,
+            r.mean_register_us,
+            r.mean_admit_us,
+            r.conservation_violations,
+        );
+    }
+    let json = to_json(result);
+    match std::fs::write("BENCH_open_world.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_open_world.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_open_world.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_grows_tenfold_and_conserves() {
+        let result = run(12, 10, 7);
+        assert!(
+            result.growth_factor >= 9.5,
+            "universe only grew {:.2}×",
+            result.growth_factor
+        );
+        assert!(!result.rows.is_empty());
+        for r in &result.rows {
+            assert_eq!(r.conservation_violations, 0);
+            assert!(r.admits_per_s > 0.0 && r.registers_per_s > 0.0);
+        }
+        let last = result.rows.last().unwrap();
+        assert_eq!(
+            last.live_sessions, last.universe_sessions,
+            "nobody departs in this trace: everything registered is live"
+        );
+        let json = to_json(&result);
+        assert!(json.contains("\"open_world\""));
+        assert!(json.contains("\"admits_per_s\""));
+    }
+}

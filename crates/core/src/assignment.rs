@@ -85,6 +85,24 @@ impl Assignment {
         }
     }
 
+    /// Grows the assignment to a problem whose universe was extended
+    /// online: new users and tasks start on agent 0, exactly like a
+    /// fresh slot (open-world growth never moves an existing decision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem is *smaller* than the assignment — growth
+    /// is append-only.
+    pub fn grow(&mut self, problem: &UapProblem) {
+        let (nu, nt) = (problem.instance().num_users(), problem.tasks().len());
+        assert!(
+            nu >= self.user_agent.len() && nt >= self.task_agent.len(),
+            "assignment covers more than the problem — growth is append-only"
+        );
+        self.user_agent.resize(nu, AgentId::new(0));
+        self.task_agent.resize(nt, AgentId::new(0));
+    }
+
     /// The user→agent map.
     pub fn user_agents(&self) -> &[AgentId] {
         &self.user_agent

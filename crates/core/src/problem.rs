@@ -3,7 +3,7 @@
 use crate::TaskTable;
 use serde::{Deserialize, Serialize};
 use vc_cost::CostModel;
-use vc_model::{Instance, UserId};
+use vc_model::{Instance, ModelError, SessionDef, SessionId, UserId};
 
 /// A complete UAP problem: the conferencing instance, the transcoding
 /// tasks derived from its `θ` matrix, and the cost model defining the
@@ -52,6 +52,32 @@ impl UapProblem {
     /// `u` demands (Mbps), independent of the assignment.
     pub fn demanded_mbps(&self, u: UserId) -> f64 {
         self.demanded_mbps[u.index()]
+    }
+
+    /// Registers a never-before-seen conference online (open-world
+    /// growth): extends the instance, derives the new session's
+    /// transcoding tasks, and caches its users' demanded bandwidth — all
+    /// append-only, so the problem equals one built over the grown
+    /// instance up front (task ids and cached `f64`s included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from
+    /// [`Instance::register_session`]; the problem is unchanged on
+    /// error.
+    pub fn register_session(&mut self, def: &SessionDef) -> Result<SessionId, ModelError> {
+        let s = self.instance.register_session(def)?;
+        self.tasks.extend_for_instance(&self.instance);
+        // Same summation order as `compute_demanded` for the new tail.
+        let instance = &self.instance;
+        self.demanded_mbps
+            .extend(instance.session(s).users().iter().map(|&u| {
+                instance
+                    .participants(u)
+                    .map(|v| instance.kappa(instance.user(u).downstream_from(v)))
+                    .sum::<f64>()
+            }));
+        Ok(s)
     }
 
     /// The underlying conferencing instance.

@@ -459,6 +459,36 @@ impl SystemState {
         std::mem::swap(&mut self.loads[s.index()], scratch.load_mut());
     }
 
+    /// Grows the state to a problem whose universe was extended online
+    /// (open-world growth): the assignment gains agent-0 slots for the
+    /// new users/tasks, and the active mask and load cache gain inactive
+    /// zeroed entries for the new sessions. Nothing about existing
+    /// sessions changes — totals, loads and the objective are bitwise
+    /// untouched, so a state grown session-by-session equals one built
+    /// over the full universe with the same active set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `problem` has a different agent count or covers fewer
+    /// sessions/users/tasks than the current one.
+    pub fn grow_to(&mut self, problem: Arc<UapProblem>) {
+        let nl = problem.instance().num_agents();
+        assert_eq!(
+            nl,
+            self.problem.instance().num_agents(),
+            "open-world growth keeps the agent pool fixed"
+        );
+        let n = problem.instance().num_sessions();
+        assert!(
+            n >= self.active.len(),
+            "state covers more sessions than the problem — growth is append-only"
+        );
+        self.assignment.grow(&problem);
+        self.active.resize(n, false);
+        self.loads.resize_with(n, || SessionLoad::empty(nl));
+        self.problem = problem;
+    }
+
     /// Activates session `s` (a session arrival), adding its load under
     /// the current assignment.
     pub fn activate(&mut self, s: SessionId) {
@@ -653,6 +683,108 @@ mod tests {
         // Rebuild preserves availability.
         st.rebuild();
         assert!(!st.is_agent_available(B));
+    }
+
+    /// Pins the PR 3 semantic change in `check_swap`: feasibility of a
+    /// move scans only the agents whose load changes (the union of the
+    /// old and new touched sets). A **pre-existing** capacity overshoot
+    /// on an agent the move does not touch — the artifact of a forced
+    /// evacuation — must therefore NOT veto the unrelated move. (The
+    /// seed's dense scan re-checked every agent, so a single overshot
+    /// agent froze every session in place; the overshoot itself is
+    /// still reported by `violations()` and drained by moves that do
+    /// touch the agent.)
+    #[test]
+    fn untouched_agent_overshoot_does_not_veto_unrelated_moves() {
+        let p = Arc::new(capacity_limited_problem());
+        let mut asg = Assignment::all_to_agent(&p, A);
+        // Session 0 alone would overshoot A's 2 transcode slots with all
+        // three of its tasks there; park one on B so the agents of the
+        // unrelated move below are themselves clean.
+        let spill = p
+            .tasks()
+            .find(UserId::new(1), UserId::new(2))
+            .expect("u1→u2 needs transcoding");
+        asg.set_task(spill, B);
+        let mut st = SystemState::new(p.clone(), asg);
+        let c = AgentId::new(2);
+        // Force session 1 wholesale onto agent c (8 Mbps, 0 slots): a
+        // deliberate overshoot, as a forced evacuation would leave.
+        let s1 = SessionId::new(1);
+        for &u in p.instance().session(s1).users() {
+            st.apply_unchecked(Decision::User(u, c));
+        }
+        for &t in p.tasks().of_session(s1) {
+            st.apply_unchecked(Decision::Task(t, c));
+        }
+        assert!(
+            st.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::Download { agent, .. } if *agent == c)),
+            "fixture no longer overshoots agent c: {:?}",
+            st.violations()
+        );
+        // An unrelated session-0 move between a and b touches only
+        // {a, b}; the overshoot on c must not veto it.
+        let verdict = st.try_apply(Decision::User(UserId::new(1), B));
+        assert_eq!(verdict, Ok(()), "untouched overshoot vetoed the move");
+        // Sanity: a move that DOES touch c and adds load there is still
+        // refused by the same sparse check.
+        let err = st.try_apply(Decision::User(UserId::new(0), c));
+        let refused_on_c = match err {
+            Err(Violation::Download { agent, .. }) | Err(Violation::Upload { agent, .. }) => {
+                agent == c
+            }
+            _ => false,
+        };
+        assert!(
+            refused_on_c,
+            "move onto the overshot agent was not refused: {err:?}"
+        );
+    }
+
+    #[test]
+    fn grow_to_extends_without_touching_existing_state() {
+        let p = Arc::new(two_agent_problem());
+        let asg = Assignment::all_to_agent(&p, A);
+        let mut st = SystemState::new(p.clone(), asg);
+        st.try_apply(Decision::User(UserId::new(1), B)).unwrap();
+        let objective = st.objective();
+        let totals = st.totals().clone();
+
+        // Grow the universe by one conference and the state with it.
+        let mut grown = (*p).clone();
+        let inst = grown.instance();
+        let r360 = inst.ladder().by_name("360p").unwrap().id();
+        let r720 = inst.ladder().by_name("720p").unwrap().id();
+        let def = vc_model::SessionDef {
+            users: vec![
+                vc_model::UserDef {
+                    upstream: r720,
+                    downstream: vc_model::DownstreamDemand::uniform(r360),
+                    agent_delays_ms: vec![6.0, 7.0],
+                    site_index: None,
+                },
+                vc_model::UserDef {
+                    upstream: r360,
+                    downstream: vc_model::DownstreamDemand::uniform(r360),
+                    agent_delays_ms: vec![8.0, 9.0],
+                    site_index: None,
+                },
+            ],
+        };
+        let s = grown.register_session(&def).expect("registers");
+        let grown = Arc::new(grown);
+        st.grow_to(grown.clone());
+        // Existing state is bitwise untouched; the new session is inert.
+        assert_eq!(st.objective().to_bits(), objective.to_bits());
+        assert_eq!(st.totals(), &totals);
+        assert!(!st.is_active(s));
+        // Activating it accounts its load like any other arrival.
+        st.activate(s);
+        assert!(st.session_objective(s) > 0.0);
+        let drift = st.rebuild();
+        assert!(drift < 1e-9, "drift {drift}");
     }
 
     #[test]

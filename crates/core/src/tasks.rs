@@ -85,6 +85,49 @@ impl TaskTable {
         }
     }
 
+    /// Extends the table for **whole sessions** registered online after
+    /// the build (open-world growth): enumerates the new sessions'
+    /// transcoding flows in the same session-then-flow order
+    /// [`build`](Self::build) uses, so a grown table is **identical**
+    /// to one built over the grown instance up front (dense ids
+    /// included).
+    ///
+    /// Contract: only sessions past the already-covered count are
+    /// scanned. Users added to an *already-covered* session (a late
+    /// joiner via `Instance::register_user`) create flows this method
+    /// will never see — `UapProblem` does not support late joiners yet
+    /// (a named ROADMAP follow-up); grow the problem layer only through
+    /// `UapProblem::register_session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has fewer sessions or users than the
+    /// table already covers (growth is append-only).
+    pub fn extend_for_instance(&mut self, instance: &Instance) {
+        let covered = self.by_session.len();
+        assert!(
+            instance.num_sessions() >= covered && instance.num_users() >= self.by_src.len(),
+            "task table covers more than the instance — growth is append-only"
+        );
+        self.by_src.resize(instance.num_users(), Vec::new());
+        for session in &instance.sessions()[covered..] {
+            let mut ids = Vec::new();
+            for (u, v) in session.flows() {
+                if instance.theta(u, v) {
+                    let id = TaskId::from(self.tasks.len());
+                    self.tasks.push(TranscodeTask {
+                        src: u,
+                        dst: v,
+                        target: instance.user(v).downstream_from(u),
+                    });
+                    ids.push(id);
+                    self.by_src[u.index()].push(id);
+                }
+            }
+            self.by_session.push(ids);
+        }
+    }
+
     /// Total number of tasks (`θ_sum`).
     pub fn len(&self) -> usize {
         self.tasks.len()

@@ -110,6 +110,31 @@ impl Matrix {
     pub fn is_nonnegative(&self) -> bool {
         self.data.iter().all(|v| v.is_finite() && *v >= 0.0)
     }
+
+    /// Appends `columns.len()` new columns in one restride pass:
+    /// `columns[j][r]` becomes the value at `(r, old_cols + j)`.
+    /// Existing entries keep their values (and, semantically, their
+    /// indices) — the open-world growth primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column's length differs from the row count.
+    pub fn push_columns(&mut self, columns: &[&[f64]]) {
+        if columns.is_empty() {
+            return;
+        }
+        for col in columns {
+            assert_eq!(col.len(), self.rows, "column length must equal row count");
+        }
+        let new_cols = self.cols + columns.len();
+        let mut data = Vec::with_capacity(self.rows * new_cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+            data.extend(columns.iter().map(|col| col[r]));
+        }
+        self.data = data;
+        self.cols = new_cols;
+    }
 }
 
 /// The pair of delay matrices the optimizer consumes.
@@ -216,6 +241,34 @@ impl DelayMatrices {
     /// Panics if there are no agents.
     pub fn nearest_agent(&self, u: UserId) -> AgentId {
         self.agents_by_proximity(u)[0]
+    }
+
+    /// Appends one `H` column per new user (each `columns[j]` holds the
+    /// one-way agent-to-user delays in ms, agent order). `D` is
+    /// untouched: the agent pool is fixed.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidDelays`] if any column has the wrong length
+    /// or a negative/non-finite entry; the matrices are unchanged on
+    /// error.
+    pub fn push_user_columns(&mut self, columns: &[&[f64]]) -> Result<(), ModelError> {
+        for col in columns {
+            if col.len() != self.num_agents() {
+                return Err(ModelError::InvalidDelays(format!(
+                    "new user column covers {} agents, matrices have {}",
+                    col.len(),
+                    self.num_agents()
+                )));
+            }
+            if !col.iter().all(|v| v.is_finite() && *v >= 0.0) {
+                return Err(ModelError::InvalidDelays(
+                    "new user delays must be finite and non-negative".into(),
+                ));
+            }
+        }
+        self.agent_user.push_columns(columns);
+        Ok(())
     }
 }
 

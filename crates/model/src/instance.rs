@@ -1,17 +1,95 @@
-//! Complete problem instances and their builder.
+//! Complete problem instances, their builder, and the open-world
+//! growth API.
 //!
 //! An [`Instance`] bundles everything Sec. II of the paper defines:
 //! sessions and users (with their representation demands), agents, delay
 //! matrices, the transcoding-latency model and the delay bound `Dmax`.
-//! Instances are immutable once built; session arrival/departure dynamics
-//! are expressed by *activating* subsets of sessions in `vc-core`'s
-//! system state rather than by mutating the instance.
+//! Session arrival/departure dynamics are expressed by *activating*
+//! subsets of sessions in `vc-core`'s system state rather than by
+//! mutating the instance.
+//!
+//! ## Open-world growth
+//!
+//! A production conferencing service never knows its conference
+//! population up front, so instances are **append-only extensible**:
+//! [`Instance::register_session`] adds a whole new conference (a
+//! [`SessionDef`]) after the fact, and [`Instance::register_user`] adds
+//! one user to an existing session. Growth is strictly additive —
+//! existing ids, delay entries, and session memberships are never
+//! renumbered or changed — so any quantity computed over the old
+//! universe (per-session loads, objectives, delay lookups) is bitwise
+//! unchanged under the grown one. Agents and the ladder stay fixed;
+//! growing the agent pool online is future work.
 
 use crate::{
     AgentId, AgentSpec, Capacity, DelayMatrices, DownstreamDemand, Matrix, ModelError, ReprId,
     ReprLadder, SessionId, SessionSpec, TranscodeLatencyModel, UserId, UserSpec, DEFAULT_D_MAX_MS,
 };
 use serde::{Deserialize, Serialize};
+
+/// Definition of one user of a to-be-registered conference: everything
+/// [`Instance::register_user`] needs that the instance cannot derive
+/// itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserDef {
+    /// `r^u_u`: the representation the user produces.
+    pub upstream: ReprId,
+    /// `r^d_{uv}`: what the user demands of the others. Overrides
+    /// reference **absolute** user ids valid at registration time
+    /// (typically fellow members of the same [`SessionDef`]).
+    pub downstream: DownstreamDemand,
+    /// `H` column: one-way delay from each agent to this user (ms),
+    /// in instance agent order (length must equal the agent count).
+    pub agent_delays_ms: Vec<f64>,
+    /// Geographic site index, if the workload generator knows it.
+    pub site_index: Option<usize>,
+}
+
+/// Definition of one never-before-seen conference, registered online
+/// via [`Instance::register_session`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionDef {
+    /// The conference's members (at least one).
+    pub users: Vec<UserDef>,
+}
+
+impl SessionDef {
+    /// Extracts session `s` of `instance` as a registrable definition:
+    /// upstreams, demands (with their absolute-id overrides), `H`
+    /// columns, and site indices. Registering the extracted defs of
+    /// sessions `k..n` onto the instance's `k`-session prefix rebuilds
+    /// the original universe exactly — up to semantically-inert
+    /// downstream overrides whose source is *outside* the session
+    /// (`r^d_{uv}` is only ever queried for fellow participants), which
+    /// are dropped here so the extracted def always re-registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn of_instance(instance: &Instance, s: SessionId) -> Self {
+        let session = instance.session(s);
+        let users = session
+            .users()
+            .iter()
+            .map(|&u| {
+                let spec = instance.user(u);
+                let mut downstream = DownstreamDemand::uniform(spec.downstream().default_repr());
+                for (&src, &r) in spec.downstream().overrides() {
+                    if session.contains(src) {
+                        downstream = downstream.with_override(src, r);
+                    }
+                }
+                UserDef {
+                    upstream: spec.upstream(),
+                    downstream,
+                    agent_delays_ms: instance.agent_ids().map(|l| instance.h_ms(l, u)).collect(),
+                    site_index: spec.site_index(),
+                }
+            })
+            .collect();
+        Self { users }
+    }
+}
 
 /// A complete, validated conferencing problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -189,6 +267,209 @@ impl Instance {
         let mut clone = self.clone();
         clone.d_max_ms = d_max_ms;
         clone
+    }
+
+    /// Registers a whole new conference online, returning its id (always
+    /// the next dense session id). Validation is all-or-nothing: on error
+    /// the instance is unchanged.
+    ///
+    /// Growth is append-only — no existing id or delay entry moves — so
+    /// every evaluation over previously-registered sessions is bitwise
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] if the definition is empty, references
+    /// representations outside the ladder or unknown override sources,
+    /// or carries a mis-sized/invalid delay column.
+    pub fn register_session(&mut self, def: &SessionDef) -> Result<SessionId, ModelError> {
+        if def.users.is_empty() {
+            return Err(ModelError::Inconsistent(
+                "registered session has no users".into(),
+            ));
+        }
+        let first_new_user = self.users.len();
+        for (i, u) in def.users.iter().enumerate() {
+            self.validate_user_def(u, first_new_user + def.users.len(), i)?;
+        }
+        let s = SessionId::from(self.sessions.len());
+        self.sessions.push(SessionSpec::new(s, Vec::new()));
+        for u in def.users.iter() {
+            let id = UserId::from(self.users.len());
+            let mut spec = UserSpec::new(id, s, u.upstream, u.downstream.clone());
+            if let Some(site) = u.site_index {
+                spec = spec.with_site_index(site);
+            }
+            self.users.push(spec);
+            self.sessions[s.index()].push_user(id);
+        }
+        let columns: Vec<&[f64]> = def
+            .users
+            .iter()
+            .map(|u| u.agent_delays_ms.as_slice())
+            .collect();
+        self.delays
+            .push_user_columns(&columns)
+            .expect("columns validated above");
+        Ok(s)
+    }
+
+    /// Registers one additional user into an **existing** session (a
+    /// late joiner), returning its id (always the next dense user id).
+    ///
+    /// Model-level only for now: `vc-core`'s `UapProblem` (task table,
+    /// cached demands) and the fleet grow exclusively through whole-
+    /// session registration — a late joiner changes an existing
+    /// session's flow set, which those layers do not yet re-derive
+    /// (a named ROADMAP follow-up). Do not feed an instance mutated by
+    /// this method into `UapProblem::register_session`-style extension.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] if the session is unknown or the definition is
+    /// invalid (see [`register_session`](Self::register_session)).
+    pub fn register_user(
+        &mut self,
+        session: SessionId,
+        def: &UserDef,
+    ) -> Result<UserId, ModelError> {
+        if session.index() >= self.sessions.len() {
+            return Err(ModelError::UnknownId(format!(
+                "register_user into unknown session {session}"
+            )));
+        }
+        self.validate_user_def(def, self.users.len() + 1, 0)?;
+        let id = UserId::from(self.users.len());
+        let mut spec = UserSpec::new(id, session, def.upstream, def.downstream.clone());
+        if let Some(site) = def.site_index {
+            spec = spec.with_site_index(site);
+        }
+        self.users.push(spec);
+        self.sessions[session.index()].push_user(id);
+        self.delays
+            .push_user_columns(&[def.agent_delays_ms.as_slice()])
+            .expect("column validated above");
+        Ok(id)
+    }
+
+    /// Shared validation of one [`UserDef`]: ladder membership, override
+    /// sources below `user_id_bound` (existing users plus the batch
+    /// being registered), and a well-formed delay column.
+    fn validate_user_def(
+        &self,
+        def: &UserDef,
+        user_id_bound: usize,
+        ordinal: usize,
+    ) -> Result<(), ModelError> {
+        if self.ladder.get(def.upstream).is_none() {
+            return Err(ModelError::UnknownId(format!(
+                "registered user #{ordinal} upstream representation {}",
+                def.upstream
+            )));
+        }
+        if self.ladder.get(def.downstream.default_repr()).is_none() {
+            return Err(ModelError::UnknownId(format!(
+                "registered user #{ordinal} downstream representation {}",
+                def.downstream.default_repr()
+            )));
+        }
+        for (&src, &r) in def.downstream.overrides() {
+            if src.index() >= user_id_bound {
+                return Err(ModelError::UnknownId(format!(
+                    "registered user #{ordinal} downstream override references unknown user {src}"
+                )));
+            }
+            if self.ladder.get(r).is_none() {
+                return Err(ModelError::UnknownId(format!(
+                    "registered user #{ordinal} downstream override representation {r}"
+                )));
+            }
+        }
+        if def.agent_delays_ms.len() != self.agents.len() {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.agents.len(),
+                actual: def.agent_delays_ms.len(),
+            });
+        }
+        if !def
+            .agent_delays_ms
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0)
+        {
+            return Err(ModelError::InvalidDelays(format!(
+                "registered user #{ordinal} has a negative or non-finite delay"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The first `num_sessions` sessions of this instance as a
+    /// standalone instance — the *seed* of an open world whose remaining
+    /// sessions arrive later as [`SessionDef`]s (see
+    /// [`SessionDef::of_instance`]). Downstream overrides referencing
+    /// users beyond the prefix are dropped: those users are necessarily
+    /// in other sessions, so the overrides were semantically inert
+    /// (`r^d_{uv}` is only queried for fellow participants) and keeping
+    /// them would leave dangling user ids in the seed.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Inconsistent`] if the prefix sessions' users are
+    /// not exactly the dense user prefix `0..m` (sessions registered
+    /// out of user order cannot be split).
+    pub fn prefix(&self, num_sessions: usize) -> Result<Instance, ModelError> {
+        if num_sessions == 0 || num_sessions > self.sessions.len() {
+            return Err(ModelError::Inconsistent(format!(
+                "prefix of {num_sessions} sessions out of {}",
+                self.sessions.len()
+            )));
+        }
+        let num_users: usize = self.sessions[..num_sessions].iter().map(|s| s.len()).sum();
+        for s in &self.sessions[..num_sessions] {
+            if s.users().iter().any(|u| u.index() >= num_users) {
+                return Err(ModelError::Inconsistent(format!(
+                    "session {} references users outside the dense prefix",
+                    s.id()
+                )));
+            }
+        }
+        let users = self.users[..num_users]
+            .iter()
+            .map(|spec| {
+                if spec
+                    .downstream()
+                    .overrides()
+                    .keys()
+                    .all(|src| src.index() < num_users)
+                {
+                    return spec.clone();
+                }
+                let mut downstream = DownstreamDemand::uniform(spec.downstream().default_repr());
+                for (&src, &r) in spec.downstream().overrides() {
+                    if src.index() < num_users {
+                        downstream = downstream.with_override(src, r);
+                    }
+                }
+                let mut rebuilt =
+                    UserSpec::new(spec.id(), spec.session(), spec.upstream(), downstream);
+                if let Some(site) = spec.site_index() {
+                    rebuilt = rebuilt.with_site_index(site);
+                }
+                rebuilt
+            })
+            .collect();
+        let nl = self.agents.len();
+        let d = Matrix::tabulate(nl, nl, |l, k| self.delays.inter_agent().at(l, k));
+        let h = Matrix::tabulate(nl, num_users, |l, u| self.delays.agent_user().at(l, u));
+        Ok(Instance {
+            ladder: self.ladder.clone(),
+            agents: self.agents.clone(),
+            users,
+            sessions: self.sessions[..num_sessions].to_vec(),
+            delays: DelayMatrices::new(d, h).expect("prefix delays stay valid"),
+            transcode_latency: self.transcode_latency,
+            d_max_ms: self.d_max_ms,
+        })
     }
 }
 
@@ -519,5 +800,177 @@ mod tests {
         let r = ladder.lowest();
         let mut b = InstanceBuilder::new(ladder);
         b.add_user(SessionId::new(0), r, r);
+    }
+
+    fn two_user_def(inst: &Instance) -> SessionDef {
+        let r360 = inst.ladder().by_name("360p").unwrap().id();
+        let r720 = inst.ladder().by_name("720p").unwrap().id();
+        SessionDef {
+            users: vec![
+                UserDef {
+                    upstream: r720,
+                    downstream: DownstreamDemand::uniform(r360),
+                    agent_delays_ms: vec![7.0, 9.0],
+                    site_index: Some(3),
+                },
+                UserDef {
+                    upstream: r360,
+                    downstream: DownstreamDemand::uniform(r360),
+                    agent_delays_ms: vec![11.0, 13.0],
+                    site_index: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn register_session_grows_append_only() {
+        let mut inst = two_user_instance();
+        let before_users = inst.num_users();
+        let before_theta = inst.theta_sum();
+        let h_old = inst.h_ms(AgentId::new(1), UserId::new(1));
+        let def = two_user_def(&inst);
+        let s = inst.register_session(&def).expect("registers");
+        assert_eq!(s, SessionId::new(1));
+        assert_eq!(inst.num_sessions(), 2);
+        assert_eq!(inst.num_users(), before_users + 2);
+        // Existing entries are untouched (bitwise).
+        assert_eq!(
+            inst.h_ms(AgentId::new(1), UserId::new(1)).to_bits(),
+            h_old.to_bits()
+        );
+        // New users landed with their delay columns and session links.
+        let u2 = UserId::new(2);
+        assert_eq!(inst.user(u2).session(), s);
+        assert_eq!(inst.h_ms(AgentId::new(0), u2), 7.0);
+        assert_eq!(inst.h_ms(AgentId::new(1), UserId::new(3)), 13.0);
+        assert_eq!(inst.user(u2).site_index(), Some(3));
+        // The new conference needs one transcode (720p→360p), like s0.
+        assert_eq!(inst.theta_sum(), before_theta + 1);
+        assert!(inst.theta(u2, UserId::new(3)));
+        // Cross-session pairs never transcode.
+        assert!(!inst.theta(UserId::new(0), u2));
+    }
+
+    #[test]
+    fn register_session_is_atomic_on_error() {
+        let mut inst = two_user_instance();
+        let mut def = two_user_def(&inst);
+        def.users[1].agent_delays_ms = vec![1.0]; // wrong length
+        let before = inst.clone();
+        assert!(inst.register_session(&def).is_err());
+        assert_eq!(inst, before);
+        def.users[1].agent_delays_ms = vec![1.0, f64::NAN];
+        assert!(inst.register_session(&def).is_err());
+        assert_eq!(inst, before);
+        let empty = SessionDef { users: Vec::new() };
+        assert!(inst.register_session(&empty).is_err());
+        assert_eq!(inst, before);
+    }
+
+    #[test]
+    fn register_user_joins_existing_session() {
+        let mut inst = two_user_instance();
+        let r360 = inst.ladder().by_name("360p").unwrap().id();
+        let u = inst
+            .register_user(
+                SessionId::new(0),
+                &UserDef {
+                    upstream: r360,
+                    downstream: DownstreamDemand::uniform(r360),
+                    agent_delays_ms: vec![2.0, 4.0],
+                    site_index: None,
+                },
+            )
+            .expect("joins");
+        assert_eq!(u, UserId::new(2));
+        assert!(inst.session(SessionId::new(0)).contains(u));
+        assert_eq!(inst.participants(u).count(), 2);
+        assert!(inst
+            .register_user(
+                SessionId::new(9),
+                &UserDef {
+                    upstream: r360,
+                    downstream: DownstreamDemand::uniform(r360),
+                    agent_delays_ms: vec![2.0, 4.0],
+                    site_index: None,
+                },
+            )
+            .is_err());
+    }
+
+    /// Cross-session downstream overrides are legal in the builder but
+    /// semantically inert (`r^d_{uv}` is only queried among fellow
+    /// participants). Splitting such an instance must not dangle them:
+    /// `prefix` drops overrides pointing past the split, `of_instance`
+    /// drops overrides pointing outside the session, and the extracted
+    /// tail still re-registers onto the seed.
+    #[test]
+    fn split_drops_inert_cross_session_overrides() {
+        let ladder = ReprLadder::standard_four();
+        let r360 = ladder.by_name("360p").unwrap().id();
+        let r720 = ladder.by_name("720p").unwrap().id();
+        let mut b = InstanceBuilder::new(ladder);
+        b.add_agent(AgentSpec::builder("a").build());
+        b.add_agent(AgentSpec::builder("b").build());
+        let s0 = b.add_session();
+        // u0's override references u2 — a member of the *next* session.
+        b.add_user_with_demand(
+            s0,
+            r720,
+            DownstreamDemand::uniform(r360).with_override(UserId::new(2), r720),
+        );
+        b.add_user(s0, r360, r360);
+        let s1 = b.add_session();
+        b.add_user(s1, r720, r360);
+        // u3's override references u0 — a member of the *previous* one.
+        b.add_user_with_demand(
+            s1,
+            r360,
+            DownstreamDemand::uniform(r360).with_override(UserId::new(0), r720),
+        );
+        b.symmetric_delays(|_, _| 10.0, |l, u| (l + u + 1) as f64);
+        let inst = b.build().unwrap();
+
+        let mut seed = inst.prefix(1).expect("prefix splits");
+        // The dangling forward override is gone; the demand survives.
+        assert!(seed
+            .user(UserId::new(0))
+            .downstream()
+            .overrides()
+            .is_empty());
+        assert_eq!(
+            seed.user(UserId::new(0)).downstream_from(UserId::new(1)),
+            r360
+        );
+
+        let tail = SessionDef::of_instance(&inst, s1);
+        // u3's backward (cross-session, inert) override is dropped too.
+        assert!(tail.users[1].downstream.overrides().is_empty());
+        let s = seed.register_session(&tail).expect("tail re-registers");
+        assert_eq!(s, s1);
+        // Semantics are unchanged: every in-session demand matches.
+        for u in inst.user_ids() {
+            for v in inst.participants(u) {
+                assert_eq!(
+                    seed.user(u).downstream_from(v),
+                    inst.user(u).downstream_from(v)
+                );
+            }
+            assert_eq!(seed.theta_sum(), inst.theta_sum());
+        }
+    }
+
+    #[test]
+    fn extracted_defs_rebuild_the_instance_exactly() {
+        let mut inst = two_user_instance();
+        let def = two_user_def(&inst);
+        inst.register_session(&def).unwrap();
+        // Split back at the seed and re-register the extracted tail.
+        let mut seed = inst.prefix(1).expect("dense prefix");
+        assert_eq!(seed.num_users(), 2);
+        let tail = SessionDef::of_instance(&inst, SessionId::new(1));
+        seed.register_session(&tail).unwrap();
+        assert_eq!(seed, inst);
     }
 }

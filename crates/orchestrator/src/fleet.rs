@@ -15,10 +15,25 @@
 //!   [`try_swap`](CapacityLedger::try_swap), so two sessions racing for
 //!   the same agent's capacity are arbitrated by the ledger's shard
 //!   locks, not by freezing the world;
-//! * a `freeze: RwLock<()>` — hops take it **shared**, so hops on
+//! * a `freeze: RwLock<Universe>` — hops take it **shared**, so hops on
 //!   different sessions run concurrently; the coarse paths (admit,
-//!   depart, fail/restore, snapshot, audit) take it **exclusively** and
-//!   see a quiescent fleet.
+//!   depart, fail/restore, snapshot, audit, **universe growth**) take it
+//!   **exclusively** and see a quiescent fleet.
+//!
+//! ## The open world
+//!
+//! The FREEZE lock guards more than quiescence: it owns the
+//! [`Universe`] — the problem (instance + tasks) and the per-session
+//! slot vector. Both are **append-only extensible** while the fleet is
+//! live: [`Fleet::register_session`] (exclusive FREEZE) registers a
+//! never-before-seen conference, growing the instance, the task table,
+//! and the slot vector in one step. The ledger is untouched until the
+//! new session is actually admitted (agents are fixed; a registered
+//! conference reserves nothing). Because growth never renumbers an id
+//! or moves an existing delay entry, every evaluated load, objective
+//! and hold of the pre-growth fleet is bitwise unchanged — a fleet
+//! grown session-by-session is indistinguishable from one built over
+//! the full universe up front.
 //!
 //! Journal total order: every journal append happens through the single
 //! journal mutex, whose monotonically increasing sequence number is the
@@ -42,7 +57,7 @@ use vc_core::{
     AgentTotals, Assignment, AssignmentView, Decision, EvalScratch, OverlayView, SessionLoad,
     SystemState, TaskId, UapProblem, CAPACITY_EPS,
 };
-use vc_model::{AgentId, SessionId, UserId};
+use vc_model::{AgentId, ModelError, SessionDef, SessionId, UserId};
 
 /// One candidate placement: session users and tasks to agents.
 pub type Placement = (Vec<(UserId, AgentId)>, Vec<(TaskId, AgentId)>);
@@ -93,6 +108,9 @@ pub enum AdmitError {
         /// The instance's `Dmax` (ms).
         bound_ms: f64,
     },
+    /// An open-world arrival's definition failed to register (the
+    /// universe is unchanged; nothing was admitted).
+    Register(ModelError),
 }
 
 /// Running totals of control-plane activity (all monotone counters).
@@ -218,13 +236,40 @@ pub(crate) struct FleetMetrics {
     pub(crate) mean_delay_ms: f64,
 }
 
+/// What the FREEZE lock owns: the growable universe — the problem
+/// (instance + derived tables) and one slot per registered session.
+/// Hops read it shared; coarse ops and [`Fleet::register_session`]
+/// hold it exclusively.
+#[derive(Debug)]
+pub(crate) struct Universe {
+    pub(crate) problem: Arc<UapProblem>,
+    pub(crate) slots: Vec<Mutex<SessionSlot>>,
+    /// Conferences registered online since construction, in
+    /// registration order — what a durable snapshot must carry so
+    /// recovery can regrow the universe from the seed problem.
+    pub(crate) registered: Vec<SessionDef>,
+}
+
+impl Universe {
+    /// Appends one inert slot for freshly-registered session `s`.
+    fn push_slot(&mut self, s: SessionId) {
+        let inst = self.problem.instance();
+        self.slots.push(Mutex::new(SessionSlot {
+            users: vec![AgentId::new(0); inst.session(s).len()],
+            tasks: vec![AgentId::new(0); self.problem.tasks().of_session(s).len()],
+            load: SessionLoad::empty(inst.num_agents()),
+            active: false,
+        }));
+    }
+}
+
 /// The multi-session control plane. See the module docs.
 #[derive(Debug)]
 pub struct Fleet {
-    pub(crate) problem: Arc<UapProblem>,
-    /// The sharded FREEZE: hops shared, coarse ops exclusive.
-    pub(crate) freeze: RwLock<()>,
-    pub(crate) slots: Vec<Mutex<SessionSlot>>,
+    /// The sharded FREEZE: hops shared, coarse ops exclusive. Owns the
+    /// growable [`Universe`] (problem + slots), so universe growth is
+    /// just another exclusive path.
+    pub(crate) freeze: RwLock<Universe>,
     /// Per-agent availability (mutated only under `freeze` write).
     pub(crate) available: Vec<AtomicBool>,
     pub(crate) live: AtomicUsize,
@@ -244,26 +289,22 @@ pub struct Fleet {
 impl Fleet {
     /// Creates a fleet over `problem` with **no** live sessions: every
     /// session of the instance is a *potential* conference that may
-    /// arrive later. Initial (inert) placements sit on agent 0.
+    /// arrive later (and more can be registered online afterwards via
+    /// [`register_session`](Self::register_session)). Initial (inert)
+    /// placements sit on agent 0.
     pub fn new(problem: Arc<UapProblem>, config: FleetConfig) -> Self {
-        let inst = problem.instance();
-        let nl = inst.num_agents();
-        let slots = inst
-            .session_ids()
-            .map(|s| {
-                Mutex::new(SessionSlot {
-                    users: vec![AgentId::new(0); inst.session(s).len()],
-                    tasks: vec![AgentId::new(0); problem.tasks().of_session(s).len()],
-                    load: SessionLoad::empty(nl),
-                    active: false,
-                })
-            })
-            .collect();
+        let nl = problem.instance().num_agents();
         let ledger = CapacityLedger::new(&problem, config.ledger_shards);
-        Self {
+        let mut universe = Universe {
             problem,
-            freeze: RwLock::new(()),
-            slots,
+            slots: Vec::new(),
+            registered: Vec::new(),
+        };
+        for i in 0..universe.problem.instance().num_sessions() {
+            universe.push_slot(SessionId::from(i));
+        }
+        Self {
+            freeze: RwLock::new(universe),
             available: (0..nl).map(|_| AtomicBool::new(true)).collect(),
             live: AtomicUsize::new(0),
             ledger,
@@ -275,9 +316,42 @@ impl Fleet {
         }
     }
 
-    /// The underlying problem.
-    pub fn problem(&self) -> &Arc<UapProblem> {
-        &self.problem
+    /// The current problem (a clone of the `Arc` under the shared
+    /// FREEZE lock — the universe may have grown since, so callers get
+    /// a consistent point-in-time view rather than a borrow).
+    pub fn problem(&self) -> Arc<UapProblem> {
+        self.freeze.read().problem.clone()
+    }
+
+    /// Current universe size: `(registered sessions, registered users)`.
+    /// Live sessions are a subset; see [`live_count`](Self::live_count).
+    pub fn universe_size(&self) -> (usize, usize) {
+        let u = self.freeze.read();
+        let inst = u.problem.instance();
+        (inst.num_sessions(), inst.num_users())
+    }
+
+    /// Registers a never-before-seen conference online, returning its
+    /// (always next-dense) session id. Exclusive FREEZE path: the
+    /// instance, task table and slot vector grow in one step; the
+    /// **ledger is untouched** — a registered conference holds nothing
+    /// until it is admitted. On error the fleet is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the instance-level validation.
+    pub fn register_session(&self, def: &SessionDef) -> Result<SessionId, ModelError> {
+        let mut u = self.freeze.write();
+        let mut problem = (*u.problem).clone();
+        let s = problem.register_session(def)?;
+        u.problem = Arc::new(problem);
+        u.push_slot(s);
+        u.registered.push(def.clone());
+        self.log_op(|| crate::persist::FleetOp::RegisterSession {
+            session: s,
+            def: def.clone(),
+        });
+        Ok(s)
     }
 
     /// The shared capacity ledger.
@@ -295,14 +369,6 @@ impl Fleet {
         &self.engine
     }
 
-    fn slot_view<'a>(&'a self, s: SessionId, slot: &'a SessionSlot) -> SlotView<'a> {
-        SlotView {
-            user_ids: self.problem.instance().session(s).users(),
-            task_ids: self.problem.tasks().of_session(s),
-            slot,
-        }
-    }
-
     /// Admits session `s`: bootstrap placement (per the configured
     /// policy), atomic ledger reservation, activation. On any refusal
     /// the fleet is left exactly as before. Coarse path: takes the
@@ -312,14 +378,15 @@ impl Fleet {
     ///
     /// See [`AdmitError`].
     pub fn admit(&self, s: SessionId) -> Result<(), AdmitError> {
-        let _frz = self.freeze.write();
-        let mut slot = self.slots[s.index()].lock();
+        let u = self.freeze.write();
+        let mut slot = u.slots[s.index()].lock();
         if slot.active {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             self.log_op(|| crate::persist::FleetOp::Reject { session: s });
             return Err(AdmitError::AlreadyLive(s));
         }
-        let inst = self.problem.instance();
+        let problem = &u.problem;
+        let inst = problem.instance();
         let mut scratch = EvalScratch::new();
         let result = match &self.config.placement {
             PlacementPolicy::Nearest => {
@@ -329,15 +396,15 @@ impl Fleet {
                     .iter()
                     .map(|&u| (u, inst.delays().nearest_agent(u)))
                     .collect();
-                let (users, tasks) = self.with_tasks(s, users);
-                self.try_placement(&mut slot, &mut scratch, s, &users, &tasks)
+                let (users, tasks) = with_tasks(problem, s, users);
+                self.try_placement(problem, &mut slot, &mut scratch, s, &users, &tasks)
             }
             PlacementPolicy::AgRank(config) => {
                 let residuals = self.ledger.residuals();
-                let sa = agrank::assign_session(&self.problem, s, &residuals, config);
+                let sa = agrank::assign_session(problem, s, &residuals, config);
                 // First choice reuses the bootstrap's own task placement.
                 let mut outcome =
-                    self.try_placement(&mut slot, &mut scratch, s, &sa.users, &sa.tasks);
+                    self.try_placement(problem, &mut slot, &mut scratch, s, &sa.users, &sa.tasks);
                 if outcome.is_err() {
                     // Fallbacks, built lazily only after a refusal: walk
                     // each user one step down its ranked candidate list
@@ -347,8 +414,15 @@ impl Fleet {
                         for &alt in sa.ranking.candidates_of(*u).iter().skip(1) {
                             let mut users = sa.users.clone();
                             users[i] = (*u, alt);
-                            let (users, tasks) = self.with_tasks(s, users);
-                            match self.try_placement(&mut slot, &mut scratch, s, &users, &tasks) {
+                            let (users, tasks) = with_tasks(problem, s, users);
+                            match self.try_placement(
+                                problem,
+                                &mut slot,
+                                &mut scratch,
+                                s,
+                                &users,
+                                &tasks,
+                            ) {
                                 Ok(()) => {
                                     outcome = Ok(());
                                     break 'search;
@@ -366,7 +440,7 @@ impl Fleet {
                 self.live.fetch_add(1, Ordering::Relaxed);
                 self.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 self.log_op(|| {
-                    let (users, tasks) = self.placement_of_slot(s, &slot);
+                    let (users, tasks) = placement_of_slot(problem, s, &slot);
                     crate::persist::FleetOp::Admit {
                         session: s,
                         users,
@@ -388,6 +462,7 @@ impl Fleet {
     /// back on refusal.
     fn try_placement(
         &self,
+        problem: &Arc<UapProblem>,
         slot: &mut SessionSlot,
         scratch: &mut EvalScratch,
         s: SessionId,
@@ -398,12 +473,12 @@ impl Fleet {
             let view = PairsView {
                 users,
                 tasks,
-                base: self.slot_view(s, slot),
+                base: slot_view(problem, s, slot),
             };
-            scratch.evaluate(&self.problem, &view, s);
+            scratch.evaluate(problem, &view, s);
         }
         let load = scratch.load();
-        let bound = self.problem.instance().d_max_ms();
+        let bound = problem.instance().d_max_ms();
         if load.max_flow_delay > bound + CAPACITY_EPS {
             return Err(AdmitError::DelayBound {
                 delay_ms: load.max_flow_delay,
@@ -413,7 +488,7 @@ impl Fleet {
         self.ledger
             .try_reserve(s, SessionHold::from_load(load))
             .map_err(AdmitError::NoCapacity)?;
-        let user_ids = self.problem.instance().session(s).users();
+        let user_ids = problem.instance().session(s).users();
         for &(u, a) in users {
             let i = user_ids
                 .iter()
@@ -421,7 +496,7 @@ impl Fleet {
                 .expect("placed user belongs to the session");
             slot.users[i] = a;
         }
-        let task_ids = self.problem.tasks().of_session(s);
+        let task_ids = problem.tasks().of_session(s);
         for &(t, a) in tasks {
             let i = task_ids
                 .iter()
@@ -434,24 +509,17 @@ impl Fleet {
         Ok(())
     }
 
-    /// Completes a user placement with the transcoding rule of thumb
-    /// (session-scoped: admission must not pay a whole-instance pass).
-    fn with_tasks(&self, s: SessionId, users: Vec<(UserId, AgentId)>) -> Placement {
-        let tasks = placement::rule_of_thumb_session(&self.problem, s, &users);
-        (users, tasks)
-    }
-
     /// Departs session `s`, releasing exactly what it reserved. Returns
     /// the released hold (`None` if the session was not live). Coarse
     /// path: takes the FREEZE write lock.
     pub fn depart(&self, s: SessionId) -> Option<SessionHold> {
-        let _frz = self.freeze.write();
-        let mut slot = self.slots[s.index()].lock();
+        let u = self.freeze.write();
+        let mut slot = u.slots[s.index()].lock();
         if !slot.active {
             return None;
         }
         slot.active = false;
-        slot.load = SessionLoad::empty(self.problem.instance().num_agents());
+        slot.load = SessionLoad::empty(u.problem.instance().num_agents());
         self.live.fetch_sub(1, Ordering::Relaxed);
         let hold = self
             .ledger
@@ -469,10 +537,10 @@ impl Fleet {
     /// Returns `(moves, forced)`. Coarse path: takes the FREEZE write
     /// lock, so the evacuation is deterministic — replay re-runs it.
     pub fn fail_agent(&self, agent: AgentId) -> (usize, usize) {
-        let _frz = self.freeze.write();
+        let u = self.freeze.write();
         self.available[agent.index()].store(false, Ordering::Relaxed);
         self.ledger.fail_agent(agent);
-        let (moves, forced) = self.evacuate_locked(agent);
+        let (moves, forced) = self.evacuate_locked(&u, agent);
         self.counters
             .evacuations
             .fetch_add(moves, Ordering::Relaxed);
@@ -489,11 +557,12 @@ impl Fleet {
     /// decision — sessions ascending, users before tasks, mirroring
     /// `vc-algo`'s churn module — pick the feasible alternative
     /// minimizing `Φ_s`, else force the least-bad one.
-    fn evacuate_locked(&self, agent: AgentId) -> (usize, usize) {
-        let inst = self.problem.instance();
+    fn evacuate_locked(&self, u: &Universe, agent: AgentId) -> (usize, usize) {
+        let problem = &u.problem;
+        let inst = problem.instance();
         let mut stranded: Vec<(SessionId, Decision)> = Vec::new();
         for s in inst.session_ids() {
-            let slot = self.slots[s.index()].lock();
+            let slot = u.slots[s.index()].lock();
             if !slot.active {
                 continue;
             }
@@ -504,10 +573,7 @@ impl Fleet {
             }
             for (i, &a) in slot.tasks.iter().enumerate() {
                 if a == agent {
-                    stranded.push((
-                        s,
-                        Decision::Task(self.problem.tasks().of_session(s)[i], agent),
-                    ));
+                    stranded.push((s, Decision::Task(problem.tasks().of_session(s)[i], agent)));
                 }
             }
         }
@@ -524,8 +590,8 @@ impl Fleet {
             // exact same evacuation targets. Slot-load summation is
             // deterministic given the replayed state. (Computed before
             // taking `s`'s slot lock — it locks every slot in turn.)
-            self.residuals_from_slots_locked(&mut residuals);
-            let mut slot = self.slots[s.index()].lock();
+            self.residuals_from_slots_locked(u, &mut residuals);
+            let mut slot = u.slots[s.index()].lock();
             let mut best_feasible: Option<(AgentId, f64)> = None;
             let mut best_any: Option<(AgentId, f64)> = None;
             for l in inst.agent_ids() {
@@ -533,7 +599,8 @@ impl Fleet {
                     continue;
                 }
                 let candidate = redirect(d, l);
-                let feasible = self.weigh_candidate(&slot, s, candidate, &mut eval, &residuals);
+                let feasible =
+                    self.weigh_candidate(problem, &slot, s, candidate, &mut eval, &residuals);
                 let phi = eval.load().phi;
                 if best_any.as_ref().is_none_or(|(_, best)| phi < *best) {
                     best_any = Some((l, phi));
@@ -559,11 +626,11 @@ impl Fleet {
                 // Re-evaluate the chosen candidate (the scratch holds the
                 // last-scanned one) and commit slot + ledger.
                 {
-                    let base = self.slot_view(s, &slot);
+                    let base = slot_view(problem, s, &slot);
                     let view = OverlayView::new(&base, decision);
-                    eval.evaluate(&self.problem, &view, s);
+                    eval.evaluate(problem, &view, s);
                 }
-                self.apply_to_slot(&mut slot, s, decision);
+                apply_to_slot(problem, &mut slot, s, decision);
                 slot.load.clone_from(eval.load());
                 self.ledger
                     .force_swap(s, SessionHold::from_load(eval.load()))
@@ -579,12 +646,12 @@ impl Fleet {
     /// the slots, unlike the ledger's reserved sums, which accumulate
     /// in commit order. Caller holds the FREEZE write lock and no slot
     /// lock (every slot is locked in turn).
-    fn residuals_from_slots_locked(&self, out: &mut HopResiduals) {
-        let inst = self.problem.instance();
+    fn residuals_from_slots_locked(&self, u: &Universe, out: &mut HopResiduals) {
+        let inst = u.problem.instance();
         let nl = inst.num_agents();
         let mut totals = AgentTotals::zero(nl);
         for s in inst.session_ids() {
-            let slot = self.slots[s.index()].lock();
+            let slot = u.slots[s.index()].lock();
             if slot.active {
                 totals.add(&slot.load);
             }
@@ -638,18 +705,19 @@ impl Fleet {
         rng: &mut R,
         scratch: &mut FleetHopScratch,
     ) -> HopOutcome {
-        let _frz = self.freeze.read();
-        let mut slot = self.slots[s.index()].lock();
+        let universe = self.freeze.read();
+        let problem = &universe.problem;
+        let mut slot = universe.slots[s.index()].lock();
         if !slot.active {
             return HopOutcome::NoFeasibleMove;
         }
-        let inst = self.problem.instance();
+        let inst = problem.instance();
         let nl = inst.num_agents();
         self.ledger.hop_residuals_into(&mut scratch.residuals);
         scratch.hop.decisions.clear();
         scratch.hop.phis.clear();
         let user_ids = inst.session(s).users();
-        let task_ids = self.problem.tasks().of_session(s);
+        let task_ids = problem.tasks().of_session(s);
         for (i, &u) in user_ids.iter().enumerate() {
             let current = slot.users[i];
             for l in 0..nl {
@@ -658,7 +726,14 @@ impl Fleet {
                     continue;
                 }
                 let d = Decision::User(u, l);
-                if self.weigh_candidate(&slot, s, d, &mut scratch.hop.eval, &scratch.residuals) {
+                if self.weigh_candidate(
+                    problem,
+                    &slot,
+                    s,
+                    d,
+                    &mut scratch.hop.eval,
+                    &scratch.residuals,
+                ) {
                     scratch.hop.decisions.push(d);
                     scratch.hop.phis.push(scratch.hop.eval.load().phi);
                 }
@@ -672,7 +747,14 @@ impl Fleet {
                     continue;
                 }
                 let d = Decision::Task(t, l);
-                if self.weigh_candidate(&slot, s, d, &mut scratch.hop.eval, &scratch.residuals) {
+                if self.weigh_candidate(
+                    problem,
+                    &slot,
+                    s,
+                    d,
+                    &mut scratch.hop.eval,
+                    &scratch.residuals,
+                ) {
                     scratch.hop.decisions.push(d);
                     scratch.hop.phis.push(scratch.hop.eval.load().phi);
                 }
@@ -701,9 +783,9 @@ impl Fleet {
         }
         let decision = scratch.hop.decisions[chosen - 1];
         {
-            let base = self.slot_view(s, &slot);
+            let base = slot_view(problem, s, &slot);
             let view = OverlayView::new(&base, decision);
-            scratch.hop.eval.evaluate(&self.problem, &view, s);
+            scratch.hop.eval.evaluate(problem, &view, s);
         }
         // Resolve the slot index once; it serves both the journaled
         // old assignment and the commit below.
@@ -762,6 +844,7 @@ impl Fleet {
     /// evaluated load stays in `eval` either way.
     fn weigh_candidate(
         &self,
+        problem: &Arc<UapProblem>,
         slot: &SessionSlot,
         s: SessionId,
         decision: Decision,
@@ -769,12 +852,12 @@ impl Fleet {
         residuals: &HopResiduals,
     ) -> bool {
         {
-            let base = self.slot_view(s, slot);
+            let base = slot_view(problem, s, slot);
             let view = OverlayView::new(&base, decision);
-            eval.evaluate(&self.problem, &view, s);
+            eval.evaluate(problem, &view, s);
         }
         let load = eval.load();
-        if load.max_flow_delay > self.problem.instance().d_max_ms() + CAPACITY_EPS {
+        if load.max_flow_delay > problem.instance().d_max_ms() + CAPACITY_EPS {
             return false;
         }
         let old = &slot.load;
@@ -795,72 +878,9 @@ impl Fleet {
         true
     }
 
-    /// Evaluates `slot`'s current placement for session `s` into
-    /// `scratch` (recovery/replay helper).
-    pub(crate) fn evaluate_slot<'a>(
-        &self,
-        s: SessionId,
-        slot: &SessionSlot,
-        scratch: &'a mut EvalScratch,
-    ) -> &'a SessionLoad {
-        let view = self.slot_view(s, slot);
-        scratch.evaluate(&self.problem, &view, s)
-    }
-
-    /// Writes `decision` into the slot's placement vectors.
-    pub(crate) fn apply_to_slot(&self, slot: &mut SessionSlot, s: SessionId, decision: Decision) {
-        match decision {
-            Decision::User(u, a) => {
-                let i = self
-                    .problem
-                    .instance()
-                    .session(s)
-                    .users()
-                    .iter()
-                    .position(|&w| w == u)
-                    .expect("moved user belongs to the session");
-                slot.users[i] = a;
-            }
-            Decision::Task(t, a) => {
-                let i = self
-                    .problem
-                    .tasks()
-                    .of_session(s)
-                    .iter()
-                    .position(|&w| w == t)
-                    .expect("moved task belongs to the session");
-                slot.tasks[i] = a;
-            }
-        }
-    }
-
-    /// The full placement of session `s` (its slot's current
-    /// assignment), in instance order — the shape the persistence layer
-    /// journals for an admission.
-    pub(crate) fn placement_of_slot(&self, s: SessionId, slot: &SessionSlot) -> Placement {
-        let users = self
-            .problem
-            .instance()
-            .session(s)
-            .users()
-            .iter()
-            .zip(&slot.users)
-            .map(|(&u, &a)| (u, a))
-            .collect();
-        let tasks = self
-            .problem
-            .tasks()
-            .of_session(s)
-            .iter()
-            .zip(&slot.tasks)
-            .map(|(&t, &a)| (t, a))
-            .collect();
-        (users, tasks)
-    }
-
     /// Whether session `s` is live.
     pub fn is_live(&self, s: SessionId) -> bool {
-        self.slots[s.index()].lock().active
+        self.freeze.read().slots[s.index()].lock().active
     }
 
     /// Number of live sessions.
@@ -871,11 +891,11 @@ impl Fleet {
     /// One pass over the slots (under the shared FREEZE lock; per-slot
     /// consistency — the telemetry contract).
     pub(crate) fn metrics(&self) -> FleetMetrics {
-        let _frz = self.freeze.read();
+        let u = self.freeze.read();
         let mut m = FleetMetrics::default();
         let mut delay_sum = 0.0;
         let mut users = 0usize;
-        for slot in &self.slots {
+        for slot in &u.slots {
             let slot = slot.lock();
             if !slot.active {
                 continue;
@@ -899,9 +919,9 @@ impl Fleet {
     /// Global objective over live sessions (deterministic: ascending
     /// session order, so a recovered fleet reproduces it bitwise).
     pub fn objective(&self) -> f64 {
-        let _frz = self.freeze.read();
+        let u = self.freeze.read();
         let mut sum = 0.0;
-        for slot in &self.slots {
+        for slot in &u.slots {
             let slot = slot.lock();
             if slot.active {
                 sum += slot.load.phi;
@@ -933,11 +953,11 @@ impl Fleet {
 
     /// Ids of the currently live sessions, ascending.
     pub fn live_sessions(&self) -> Vec<SessionId> {
-        let _frz = self.freeze.read();
-        self.problem
+        let u = self.freeze.read();
+        u.problem
             .instance()
             .session_ids()
-            .filter(|s| self.slots[s.index()].lock().active)
+            .filter(|s| u.slots[s.index()].lock().active)
             .collect()
     }
 
@@ -946,8 +966,8 @@ impl Fleet {
     /// lock. This re-evaluates every live session — an offline-analysis
     /// convenience, not a hot path.
     pub fn with_state<T>(&self, f: impl FnOnce(&SystemState) -> T) -> T {
-        let _frz = self.freeze.write();
-        let state = self.materialize_locked();
+        let u = self.freeze.write();
+        let state = self.materialize_locked(&u);
         f(&state)
     }
 
@@ -956,17 +976,20 @@ impl Fleet {
     /// Caller holds the FREEZE write lock (or exclusive ownership of a
     /// fresh fleet). Shared by state materialization and the durable
     /// snapshot capture.
-    pub(crate) fn global_placements_locked(&self) -> (Vec<AgentId>, Vec<AgentId>, Vec<bool>) {
-        let inst = self.problem.instance();
+    pub(crate) fn global_placements_locked(
+        &self,
+        u: &Universe,
+    ) -> (Vec<AgentId>, Vec<AgentId>, Vec<bool>) {
+        let inst = u.problem.instance();
         let mut user_agents = vec![AgentId::new(0); inst.num_users()];
-        let mut task_agents = vec![AgentId::new(0); self.problem.tasks().len()];
+        let mut task_agents = vec![AgentId::new(0); u.problem.tasks().len()];
         let mut active = vec![false; inst.num_sessions()];
         for s in inst.session_ids() {
-            let slot = self.slots[s.index()].lock();
-            for (i, &u) in inst.session(s).users().iter().enumerate() {
-                user_agents[u.index()] = slot.users[i];
+            let slot = u.slots[s.index()].lock();
+            for (i, &w) in inst.session(s).users().iter().enumerate() {
+                user_agents[w.index()] = slot.users[i];
             }
-            for (i, &t) in self.problem.tasks().of_session(s).iter().enumerate() {
+            for (i, &t) in u.problem.tasks().of_session(s).iter().enumerate() {
                 task_agents[t.index()] = slot.tasks[i];
             }
             active[s.index()] = slot.active;
@@ -974,11 +997,11 @@ impl Fleet {
         (user_agents, task_agents, active)
     }
 
-    fn materialize_locked(&self) -> SystemState {
-        let (user_agents, task_agents, active) = self.global_placements_locked();
-        let assignment = Assignment::new(&self.problem, user_agents, task_agents);
-        let mut state = SystemState::with_active(self.problem.clone(), assignment, active);
-        for l in self.problem.instance().agent_ids() {
+    fn materialize_locked(&self, u: &Universe) -> SystemState {
+        let (user_agents, task_agents, active) = self.global_placements_locked(u);
+        let assignment = Assignment::new(&u.problem, user_agents, task_agents);
+        let mut state = SystemState::with_active(u.problem.clone(), assignment, active);
+        for l in u.problem.instance().agent_ids() {
             if !self.available[l.index()].load(Ordering::Relaxed) {
                 state.set_agent_available(l, false);
             }
@@ -991,17 +1014,17 @@ impl Fleet {
     /// fresh values). The standing self-check that the allocation-free
     /// scratch path and a cold evaluation agree.
     pub fn load_drift(&self) -> f64 {
-        let _frz = self.freeze.write();
+        let u = self.freeze.write();
         let mut scratch = EvalScratch::new();
         let mut drift: f64 = 0.0;
-        for s in self.problem.instance().session_ids() {
-            let mut slot = self.slots[s.index()].lock();
+        for s in u.problem.instance().session_ids() {
+            let mut slot = u.slots[s.index()].lock();
             if !slot.active {
                 continue;
             }
             {
-                let view = self.slot_view(s, &slot);
-                scratch.evaluate(&self.problem, &view, s);
+                let view = slot_view(&u.problem, s, &slot);
+                scratch.evaluate(&u.problem, &view, s);
             }
             let fresh = scratch.load();
             // Union of the two touched sets: stale load on an agent the
@@ -1022,15 +1045,15 @@ impl Fleet {
     /// agent, booked reservations must equal the sum of live slot
     /// loads; holding sessions must equal the live set. Coarse path.
     pub fn audit(&self) -> Vec<String> {
-        let _frz = self.freeze.write();
-        self.audit_locked()
+        let u = self.freeze.write();
+        self.audit_locked(&u)
     }
 
-    pub(crate) fn audit_locked(&self) -> Vec<String> {
-        let mut totals = AgentTotals::zero(self.problem.instance().num_agents());
+    pub(crate) fn audit_locked(&self, u: &Universe) -> Vec<String> {
+        let mut totals = AgentTotals::zero(u.problem.instance().num_agents());
         let mut active = Vec::new();
-        for s in self.problem.instance().session_ids() {
-            let slot = self.slots[s.index()].lock();
+        for s in u.problem.instance().session_ids() {
+            let slot = u.slots[s.index()].lock();
             if slot.active {
                 totals.add(&slot.load);
                 active.push(s);
@@ -1081,6 +1104,92 @@ impl Fleet {
             }
         }
     }
+}
+
+/// [`SlotView`] over one slot under `problem` (free function: the
+/// problem now lives inside the FREEZE lock, so helpers take it
+/// explicitly instead of reading a fleet field).
+fn slot_view<'a>(problem: &'a UapProblem, s: SessionId, slot: &'a SessionSlot) -> SlotView<'a> {
+    SlotView {
+        user_ids: problem.instance().session(s).users(),
+        task_ids: problem.tasks().of_session(s),
+        slot,
+    }
+}
+
+/// Completes a user placement with the transcoding rule of thumb
+/// (session-scoped: admission must not pay a whole-instance pass).
+fn with_tasks(problem: &Arc<UapProblem>, s: SessionId, users: Vec<(UserId, AgentId)>) -> Placement {
+    let tasks = placement::rule_of_thumb_session(problem, s, &users);
+    (users, tasks)
+}
+
+/// Writes `decision` into the slot's placement vectors.
+pub(crate) fn apply_to_slot(
+    problem: &UapProblem,
+    slot: &mut SessionSlot,
+    s: SessionId,
+    decision: Decision,
+) {
+    match decision {
+        Decision::User(u, a) => {
+            let i = problem
+                .instance()
+                .session(s)
+                .users()
+                .iter()
+                .position(|&w| w == u)
+                .expect("moved user belongs to the session");
+            slot.users[i] = a;
+        }
+        Decision::Task(t, a) => {
+            let i = problem
+                .tasks()
+                .of_session(s)
+                .iter()
+                .position(|&w| w == t)
+                .expect("moved task belongs to the session");
+            slot.tasks[i] = a;
+        }
+    }
+}
+
+/// The full placement of session `s` (its slot's current assignment),
+/// in instance order — the shape the persistence layer journals for an
+/// admission.
+pub(crate) fn placement_of_slot(
+    problem: &UapProblem,
+    s: SessionId,
+    slot: &SessionSlot,
+) -> Placement {
+    let users = problem
+        .instance()
+        .session(s)
+        .users()
+        .iter()
+        .zip(&slot.users)
+        .map(|(&u, &a)| (u, a))
+        .collect();
+    let tasks = problem
+        .tasks()
+        .of_session(s)
+        .iter()
+        .zip(&slot.tasks)
+        .map(|(&t, &a)| (t, a))
+        .collect();
+    (users, tasks)
+}
+
+/// Evaluates `slot`'s current placement for session `s` into `scratch`
+/// (recovery/replay helper).
+pub(crate) fn evaluate_slot<'a>(
+    problem: &UapProblem,
+    s: SessionId,
+    slot: &SessionSlot,
+    scratch: &'a mut EvalScratch,
+) -> &'a SessionLoad {
+    let view = slot_view(problem, s, slot);
+    scratch.evaluate(problem, &view, s)
 }
 
 /// `d` with its target replaced by `l`.

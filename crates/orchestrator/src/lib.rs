@@ -14,10 +14,14 @@
 //! * [`fleet`] — the [`Fleet`] API: `admit` (AgRank-bootstrapped
 //!   placement against live residuals), `depart` (releases exactly what
 //!   was reserved), `fail_agent` (immediate deterministic evacuation,
-//!   ledger re-synced), and `hop_session` (one Alg. 1 HOP under the
+//!   ledger re-synced), `hop_session` (one Alg. 1 HOP under the
 //!   **sharded FREEZE**: hops take a shared lock + their session's
 //!   slot, and commit capacity through the ledger's checked
-//!   `try_swap`, so hops on different sessions run concurrently);
+//!   `try_swap`, so hops on different sessions run concurrently), and
+//!   `register_session` (**open-world growth**: a never-before-seen
+//!   conference joins the universe online — the FREEZE lock owns the
+//!   growable problem + slot vector, and the ledger is untouched until
+//!   the conference is admitted);
 //! * [`workers`] — the **re-optimization worker pool**: one logical
 //!   WAIT/HOP worker per live session, multiplexed over either a
 //!   deterministic virtual clock ([`ReoptPool::tick_until`]) or N OS

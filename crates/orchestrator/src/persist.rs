@@ -42,7 +42,7 @@
 //! conservation, and re-checkpoints so the torn tail is discarded and
 //! the store is compact before the fleet goes live again.
 
-use crate::fleet::{Fleet, FleetConfig, FleetCounters};
+use crate::fleet::{self, Fleet, FleetConfig, FleetCounters};
 use crate::ledger::{AgentHold, SessionHold};
 use crate::telemetry::FleetSnapshot;
 use parking_lot::Mutex;
@@ -52,7 +52,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use vc_core::{Decision, TaskId, UapProblem};
-use vc_model::{AgentId, SessionId, UserId};
+use vc_model::{AgentId, SessionDef, SessionId, UserId};
 use vc_persist::codec::{CodecError, Decode, Encode, Reader};
 use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter};
 use vc_persist::snapshot::{
@@ -115,6 +115,16 @@ pub enum FleetOp {
         /// Number of stays in the batch.
         count: u64,
     },
+    /// A never-before-seen conference was registered online (format v3).
+    /// Replay re-registers the definition and checks the assigned id —
+    /// a mismatch means the journal and snapshot disagree.
+    RegisterSession {
+        /// The id the registration was assigned.
+        session: SessionId,
+        /// The full conference definition (users, demands, delay
+        /// columns) — everything needed to regrow the universe.
+        def: SessionDef,
+    },
 }
 
 impl Encode for FleetOp {
@@ -164,6 +174,11 @@ impl Encode for FleetOp {
                 out.push(7);
                 count.encode(out);
             }
+            Self::RegisterSession { session, def } => {
+                out.push(8);
+                session.encode(out);
+                def.encode(out);
+            }
         }
     }
 }
@@ -198,6 +213,10 @@ impl Decode for FleetOp {
             }),
             7 => Ok(Self::StayBatch {
                 count: u64::decode(r)?,
+            }),
+            8 => Ok(Self::RegisterSession {
+                session: SessionId::decode(r)?,
+                def: SessionDef::decode(r)?,
             }),
             tag => Err(CodecError::BadTag {
                 what: "FleetOp",
@@ -244,6 +263,8 @@ impl Decode for SessionHold {
 impl Encode for FleetSnapshot {
     fn encode(&self, out: &mut Vec<u8>) {
         self.time_s.encode(out);
+        self.universe_sessions.encode(out);
+        self.universe_users.encode(out);
         self.live_sessions.encode(out);
         self.objective.encode(out);
         self.mean_session_objective.encode(out);
@@ -264,6 +285,8 @@ impl Decode for FleetSnapshot {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Self {
             time_s: f64::decode(r)?,
+            universe_sessions: usize::decode(r)?,
+            universe_users: usize::decode(r)?,
             live_sessions: usize::decode(r)?,
             objective: f64::decode(r)?,
             mean_session_objective: f64::decode(r)?,
@@ -356,9 +379,15 @@ impl Decode for CounterSnapshot {
 }
 
 /// The fleet's complete control-plane state: everything a crashed
-/// orchestrator needs to resume mid-fleet.
+/// orchestrator needs to resume mid-fleet. Format v3: carries the
+/// conferences registered online since construction, so recovery can
+/// regrow the universe from the seed problem before installing
+/// placements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DurableFleetState {
+    /// Conferences registered online, in registration order (the
+    /// universe beyond the seed problem). Applied first on restore.
+    pub registered: Vec<SessionDef>,
     /// `λ`: user → agent, instance order (inactive sessions included —
     /// their inert assignments are part of the state).
     pub user_agents: Vec<AgentId>,
@@ -376,6 +405,7 @@ pub struct DurableFleetState {
 
 impl Encode for DurableFleetState {
     fn encode(&self, out: &mut Vec<u8>) {
+        self.registered.encode(out);
         self.user_agents.encode(out);
         self.task_agents.encode(out);
         self.active.encode(out);
@@ -388,6 +418,7 @@ impl Encode for DurableFleetState {
 impl Decode for DurableFleetState {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Self {
+            registered: Vec::decode(r)?,
             user_agents: Vec::decode(r)?,
             task_agents: Vec::decode(r)?,
             active: Vec::decode(r)?,
@@ -547,14 +578,16 @@ pub struct RecoveryReport {
 }
 
 /// Captures the durable state from the slots. Caller holds the FREEZE
-/// write lock (or exclusive ownership of a fresh fleet).
-fn capture(fleet: &Fleet) -> DurableFleetState {
-    let (user_agents, task_agents, active) = fleet.global_placements_locked();
+/// lock (passing its universe in) — write for a live fleet, read for a
+/// freshly-built one no other thread can see.
+fn capture(fleet: &Fleet, u: &fleet::Universe) -> DurableFleetState {
+    let (user_agents, task_agents, active) = fleet.global_placements_locked(u);
     DurableFleetState {
+        registered: u.registered.clone(),
         user_agents,
         task_agents,
         active,
-        available: fleet
+        available: u
             .problem
             .instance()
             .agent_ids()
@@ -604,7 +637,11 @@ impl Fleet {
         let lock = acquire_store_lock(&persist.dir)?;
         wipe_store(&persist.dir)?;
         let mut fleet = Fleet::new(problem, config);
-        write_snapshot(&persist.dir, 0, &capture(&fleet))?;
+        let genesis = {
+            let u = fleet.freeze.read();
+            capture(&fleet, &u)
+        };
+        write_snapshot(&persist.dir, 0, &genesis)?;
         let journal = JournalWriter::create(journal_path(&persist.dir, 1), persist.fsync, 1)?;
         fleet.persist = Some(FleetPersistence {
             dir: persist.dir,
@@ -653,13 +690,13 @@ impl Fleet {
     /// [`PersistError::NotAttached`] on an ephemeral fleet, or any
     /// filesystem error.
     pub fn checkpoint(&self) -> Result<u64, PersistError> {
-        let _frz = self.freeze.write();
+        let u = self.freeze.write();
         let p = self.persist.as_ref().ok_or(PersistError::NotAttached)?;
         self.flush_stays();
         let mut journal = p.journal.lock();
         journal.commit()?;
         let last_seq = journal.next_seq() - 1;
-        write_snapshot(&p.dir, last_seq, &capture(self))?;
+        write_snapshot(&p.dir, last_seq, &capture(self, &u))?;
         *journal =
             JournalWriter::create(journal_path(&p.dir, last_seq + 1), p.fsync, last_seq + 1)?;
         compact(&p.dir, last_seq)?;
@@ -741,7 +778,11 @@ impl Fleet {
             )));
         }
         let last_seq = expected - 1;
-        write_snapshot(&persist.dir, last_seq, &capture(&fleet))?;
+        let recovered_state = {
+            let u = fleet.freeze.read();
+            capture(&fleet, &u)
+        };
+        write_snapshot(&persist.dir, last_seq, &recovered_state)?;
         let journal = JournalWriter::create(
             journal_path(&persist.dir, last_seq + 1),
             persist.fsync,
@@ -772,9 +813,9 @@ impl Fleet {
     /// recovery from the journal reproduces the captured counters
     /// exactly.
     pub fn durable_state(&self) -> DurableFleetState {
-        let _frz = self.freeze.write();
+        let u = self.freeze.write();
         self.flush_stays();
-        capture(self)
+        capture(self, &u)
     }
 
     fn from_durable(
@@ -782,6 +823,21 @@ impl Fleet {
         config: FleetConfig,
         durable: DurableFleetState,
     ) -> Result<Self, PersistError> {
+        // Regrow the universe first: the snapshot's placements cover the
+        // seed problem *plus* every conference registered online.
+        let problem = if durable.registered.is_empty() {
+            problem
+        } else {
+            let mut grown = (*problem).clone();
+            for (i, def) in durable.registered.iter().enumerate() {
+                grown.register_session(def).map_err(|e| {
+                    PersistError::Mismatch(format!(
+                        "snapshot-registered session #{i} failed to re-register: {e}"
+                    ))
+                })?;
+            }
+            Arc::new(grown)
+        };
         let inst = problem.instance();
         let dims = [
             ("users", durable.user_agents.len(), inst.num_users()),
@@ -810,26 +866,24 @@ impl Fleet {
         let fleet = Fleet::new(problem, config);
         let mut scratch = vc_core::EvalScratch::new();
         let mut live = 0usize;
-        for s in fleet.problem.instance().session_ids() {
-            let mut slot = fleet.slots[s.index()].lock();
-            for (i, &u) in fleet
-                .problem
-                .instance()
-                .session(s)
-                .users()
-                .iter()
-                .enumerate()
-            {
-                slot.users[i] = durable.user_agents[u.index()];
-            }
-            for (i, &t) in fleet.problem.tasks().of_session(s).iter().enumerate() {
-                slot.tasks[i] = durable.task_agents[t.index()];
-            }
-            if durable.active[s.index()] {
-                slot.active = true;
-                live += 1;
-                let load = fleet.evaluate_slot(s, &slot, &mut scratch).clone();
-                slot.load = load;
+        {
+            let mut u = fleet.freeze.write();
+            u.registered = durable.registered.clone();
+            let u = &*u;
+            for s in u.problem.instance().session_ids() {
+                let mut slot = u.slots[s.index()].lock();
+                for (i, &w) in u.problem.instance().session(s).users().iter().enumerate() {
+                    slot.users[i] = durable.user_agents[w.index()];
+                }
+                for (i, &t) in u.problem.tasks().of_session(s).iter().enumerate() {
+                    slot.tasks[i] = durable.task_agents[t.index()];
+                }
+                if durable.active[s.index()] {
+                    slot.active = true;
+                    live += 1;
+                    let load = fleet::evaluate_slot(&u.problem, s, &slot, &mut scratch).clone();
+                    slot.load = load;
+                }
             }
         }
         fleet.live.store(live, Ordering::Relaxed);
@@ -849,6 +903,28 @@ impl Fleet {
         Ok(fleet)
     }
 
+    /// Replay guard: a CRC-valid but semantically corrupt frame may
+    /// carry ids outside the (replayed-so-far) universe; recovery must
+    /// refuse with a typed error, never index-panic.
+    fn replay_session_bound(&self, session: SessionId, what: &str) -> Result<(), PersistError> {
+        if session.index() >= self.freeze.read().slots.len() {
+            return Err(PersistError::Replay(format!(
+                "{what} of unregistered session {session}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Replay guard for agent ids (the agent pool never grows).
+    fn replay_agent_bound(&self, agent: AgentId, what: &str) -> Result<(), PersistError> {
+        if agent.index() >= self.available.len() {
+            return Err(PersistError::Replay(format!(
+                "{what} of unknown agent {agent}"
+            )));
+        }
+        Ok(())
+    }
+
     /// Applies one journaled op to a recovering fleet. Counter effects
     /// mirror the live paths exactly so recovered counters equal
     /// pre-crash counters.
@@ -863,14 +939,19 @@ impl Fleet {
                 users,
                 tasks,
             } => {
-                let _frz = self.freeze.write();
-                let mut slot = self.slots[session.index()].lock();
+                let universe = self.freeze.write();
+                if session.index() >= universe.slots.len() {
+                    return Err(PersistError::Replay(format!(
+                        "admit of unregistered session {session}"
+                    )));
+                }
+                let mut slot = universe.slots[session.index()].lock();
                 if slot.active {
                     return Err(PersistError::Replay(format!(
                         "admit of already-live session {session}"
                     )));
                 }
-                let inst = self.problem.instance();
+                let inst = universe.problem.instance();
                 let user_ids = inst.session(*session).users();
                 for &(u, a) in users {
                     let i = user_ids.iter().position(|&w| w == u).ok_or_else(|| {
@@ -878,7 +959,7 @@ impl Fleet {
                     })?;
                     slot.users[i] = a;
                 }
-                let task_ids = self.problem.tasks().of_session(*session);
+                let task_ids = universe.problem.tasks().of_session(*session);
                 for &(t, a) in tasks {
                     let i = task_ids.iter().position(|&w| w == t).ok_or_else(|| {
                         PersistError::Replay(format!("admit of {session} places foreign task {t}"))
@@ -886,7 +967,8 @@ impl Fleet {
                     slot.tasks[i] = a;
                 }
                 slot.active = true;
-                let load = self.evaluate_slot(*session, &slot, scratch).clone();
+                let load =
+                    fleet::evaluate_slot(&universe.problem, *session, &slot, scratch).clone();
                 let hold = SessionHold::from_load(&load);
                 slot.load = load;
                 self.live.fetch_add(1, Ordering::Relaxed);
@@ -899,6 +981,7 @@ impl Fleet {
                 self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             }
             FleetOp::Depart { session } => {
+                self.replay_session_bound(*session, "depart")?;
                 if self.depart(*session).is_none() {
                     return Err(PersistError::Replay(format!(
                         "depart of non-live session {session}"
@@ -907,9 +990,11 @@ impl Fleet {
                 // depart() counted this replayed departure already.
             }
             FleetOp::FailAgent { agent } => {
+                self.replay_agent_bound(*agent, "failure")?;
                 self.fail_agent(*agent);
             }
             FleetOp::RestoreAgent { agent } => {
+                self.replay_agent_bound(*agent, "restore")?;
                 self.restore_agent(*agent);
             }
             FleetOp::Hop {
@@ -917,17 +1002,18 @@ impl Fleet {
                 decision,
                 old_agent,
             } => {
-                let _frz = self.freeze.write();
-                let mut slot = self.slots[session.index()].lock();
+                self.replay_session_bound(*session, "hop")?;
+                let universe = self.freeze.write();
+                let mut slot = universe.slots[session.index()].lock();
                 if !slot.active {
                     return Err(PersistError::Replay(format!(
                         "hop of non-live session {session}"
                     )));
                 }
                 let view = {
-                    let inst = self.problem.instance();
+                    let inst = universe.problem.instance();
                     let user_ids = inst.session(*session).users();
-                    let task_ids = self.problem.tasks().of_session(*session);
+                    let task_ids = universe.problem.tasks().of_session(*session);
                     match decision {
                         Decision::User(u, _) => user_ids
                             .iter()
@@ -947,8 +1033,9 @@ impl Fleet {
                         "hop {decision} expected old assignment {old_agent}, state has {current}"
                     )));
                 }
-                self.apply_to_slot(&mut slot, *session, *decision);
-                let load = self.evaluate_slot(*session, &slot, scratch).clone();
+                fleet::apply_to_slot(&universe.problem, &mut slot, *session, *decision);
+                let load =
+                    fleet::evaluate_slot(&universe.problem, *session, &slot, scratch).clone();
                 let hold = SessionHold::from_load(&load);
                 slot.load = load;
                 self.ledger.force_swap(*session, hold).map_err(|e| {
@@ -963,6 +1050,16 @@ impl Fleet {
                 self.counters
                     .stays
                     .fetch_add(*count as usize, Ordering::Relaxed);
+            }
+            FleetOp::RegisterSession { session, def } => {
+                let assigned = self.register_session(def).map_err(|e| {
+                    PersistError::Replay(format!("journaled registration failed to replay: {e}"))
+                })?;
+                if assigned != *session {
+                    return Err(PersistError::Replay(format!(
+                        "journaled registration expected id {session}, replay assigned {assigned}"
+                    )));
+                }
             }
         }
         Ok(())

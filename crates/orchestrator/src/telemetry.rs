@@ -13,6 +13,11 @@ use vc_sim::metrics::TimeSeries;
 pub struct FleetSnapshot {
     /// Virtual time of the sample (s).
     pub time_s: f64,
+    /// Registered sessions in the universe (seed + online-registered;
+    /// live sessions are a subset).
+    pub universe_sessions: usize,
+    /// Registered users in the universe.
+    pub universe_users: usize,
     /// Live session count.
     pub live_sessions: usize,
     /// Global objective `Σ_s Φ_s`.
@@ -49,6 +54,8 @@ pub struct FleetSnapshot {
 #[derive(Debug, Default)]
 pub struct FleetTelemetry {
     snapshots: Vec<FleetSnapshot>,
+    universe_sessions: TimeSeries,
+    universe_users: TimeSeries,
     objective: TimeSeries,
     mean_session_objective: TimeSeries,
     traffic: TimeSeries,
@@ -85,9 +92,12 @@ impl FleetTelemetry {
             fractions.iter().sum::<f64>() / fractions.len() as f64
         };
         let max_util = fractions.iter().copied().fold(0.0f64, f64::max);
+        let (universe_sessions, universe_users) = fleet.universe_size();
         let c = fleet.counters();
         let snapshot = FleetSnapshot {
             time_s: t_s,
+            universe_sessions,
+            universe_users,
             live_sessions: live,
             objective,
             mean_session_objective: if live == 0 {
@@ -106,6 +116,10 @@ impl FleetTelemetry {
             admission_success_rate: c.admission_success_rate(),
             conservation_violations: fleet.audit().len(),
         };
+        self.universe_sessions
+            .push(t_s, snapshot.universe_sessions as f64);
+        self.universe_users
+            .push(t_s, snapshot.universe_users as f64);
         self.objective.push(t_s, snapshot.objective);
         self.mean_session_objective
             .push(t_s, snapshot.mean_session_objective);
@@ -134,6 +148,16 @@ impl FleetTelemetry {
     /// The most recent snapshot.
     pub fn last(&self) -> Option<&FleetSnapshot> {
         self.snapshots.last()
+    }
+
+    /// Universe-size series (registered sessions).
+    pub fn universe_sessions_series(&self) -> &TimeSeries {
+        &self.universe_sessions
+    }
+
+    /// Universe-size series (registered users).
+    pub fn universe_users_series(&self) -> &TimeSeries {
+        &self.universe_users
     }
 
     /// Global-objective series.
@@ -210,7 +234,8 @@ impl FleetTelemetry {
     }
 
     /// Column names of [`to_csv`](Self::to_csv), in order.
-    pub const CSV_HEADER: &'static str = "time_s,live_sessions,objective,\
+    pub const CSV_HEADER: &'static str = "time_s,universe_sessions,universe_users,\
+        live_sessions,objective,\
         mean_session_objective,traffic_mbps,mean_delay_ms,mean_utilization,\
         max_utilization,admitted,rejected,departed,migrations,\
         admission_success_rate,conservation_violations";
@@ -223,8 +248,10 @@ impl FleetTelemetry {
         out.push('\n');
         for s in &self.snapshots {
             out.push_str(&format!(
-                "{},{},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{},{},{},{},{:.17e},{}\n",
+                "{},{},{},{},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{},{},{},{},{:.17e},{}\n",
                 s.time_s,
+                s.universe_sessions,
+                s.universe_users,
                 s.live_sessions,
                 s.objective,
                 s.mean_session_objective,

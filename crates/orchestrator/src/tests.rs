@@ -10,7 +10,10 @@ use vc_algo::agrank::AgRankConfig;
 use vc_algo::markov::Alg1Config;
 use vc_core::UapProblem;
 use vc_cost::CostModel;
-use vc_model::{AgentId, AgentSpec, Capacity, InstanceBuilder, ReprLadder, SessionId};
+use vc_model::{
+    AgentId, AgentSpec, Capacity, DownstreamDemand, InstanceBuilder, ReprLadder, SessionDef,
+    SessionId, UserDef,
+};
 use vc_workloads::{dynamic_trace, DynamicTraceConfig, FleetEvent};
 
 /// Three agents, six 2-user sessions, moderate capacities: enough for
@@ -312,6 +315,81 @@ fn worker_pool_threads_race_hops_concurrently() {
     );
 }
 
+/// A registrable two-user conference over the 3-agent test universe
+/// (one 720p→360p transcode, like the even seed sessions).
+fn late_conference(problem: &UapProblem, delay_base: f64) -> SessionDef {
+    let ladder = problem.instance().ladder();
+    let hi = ladder.highest();
+    let lo = ladder.lowest();
+    SessionDef {
+        users: vec![
+            UserDef {
+                upstream: hi,
+                downstream: DownstreamDemand::uniform(lo),
+                agent_delays_ms: vec![delay_base, delay_base + 4.0, delay_base + 8.0],
+                site_index: None,
+            },
+            UserDef {
+                upstream: lo,
+                downstream: DownstreamDemand::uniform(lo),
+                agent_delays_ms: vec![delay_base + 6.0, delay_base + 2.0, delay_base + 10.0],
+                site_index: None,
+            },
+        ],
+    }
+}
+
+#[test]
+fn registered_conference_lives_like_a_seed_one() {
+    let f = fleet(10_000.0, 100);
+    assert_eq!(f.universe_size(), (6, 12));
+    for i in 0..6 {
+        f.admit(SessionId::new(i)).unwrap();
+    }
+    let before = f.objective();
+    // Register two never-before-seen conferences while the fleet is live.
+    let s6 = f
+        .register_session(&late_conference(&f.problem(), 9.0))
+        .expect("registers");
+    let s7 = f
+        .register_session(&late_conference(&f.problem(), 14.0))
+        .expect("registers");
+    assert_eq!((s6, s7), (SessionId::new(6), SessionId::new(7)));
+    assert_eq!(f.universe_size(), (8, 16));
+    // Registration alone reserves nothing and changes no live state.
+    assert_eq!(f.objective().to_bits(), before.to_bits());
+    assert_eq!(f.ledger().live_sessions(), 6);
+    assert!(f.audit().is_empty());
+    assert!(!f.is_live(s6));
+    // The new conferences admit, hop, and depart like seed sessions.
+    f.admit(s6).unwrap();
+    f.admit(s7).unwrap();
+    assert_eq!(f.live_count(), 8);
+    let mut rng = StdRng::seed_from_u64(3);
+    for round in 0..40 {
+        f.hop_session(if round % 2 == 0 { s6 } else { s7 }, &mut rng);
+        assert!(f.audit().is_empty(), "audit broke at hop {round}");
+    }
+    assert!(f.load_drift() < 1e-9);
+    f.depart(s6).expect("live");
+    assert!(f.audit().is_empty());
+    // Growth registered while sessions hop: workers keep running.
+    let pool = ReoptPool::new(5);
+    pool.register(&f, s7, 0.0);
+    assert!(pool.tick_until(&f, 100.0) > 0);
+    assert!(f.audit().is_empty());
+}
+
+#[test]
+fn register_session_validates_atomically() {
+    let f = fleet(10_000.0, 100);
+    let mut def = late_conference(&f.problem(), 9.0);
+    def.users[0].agent_delays_ms.pop(); // wrong agent count
+    assert!(f.register_session(&def).is_err());
+    assert_eq!(f.universe_size(), (6, 12));
+    assert!(f.audit().is_empty());
+}
+
 #[test]
 fn trace_run_reoptimization_beats_nearest_bootstrap() {
     let problem = universe(10_000.0, 100);
@@ -611,6 +689,98 @@ mod persistence {
         );
     }
 
+    /// A fleet that grew its universe online recovers exactly — via
+    /// journal replay of the `RegisterSession` records (pre-checkpoint
+    /// crash) AND via the snapshot's registered definitions
+    /// (post-checkpoint crash). `recover` is handed only the seed
+    /// problem both times.
+    #[test]
+    fn grown_universe_recovers_from_journal_and_snapshot() {
+        let (fleet, dir) = persistent_fleet("open-world");
+        churn(&fleet);
+        let def_a = super::late_conference(&fleet.problem(), 9.0);
+        let def_b = super::late_conference(&fleet.problem(), 14.0);
+        let s6 = fleet.register_session(&def_a).expect("registers");
+        fleet.admit(s6).expect("admits");
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..4 {
+            let _ = fleet.hop_session(s6, &mut rng);
+        }
+        fleet.commit_journal().expect("commit");
+        let before = fleet.durable_state();
+        let objective = fleet.objective();
+        drop(fleet); // crash before any checkpoint: defs live in the journal
+
+        let (recovered, report) = recover(&dir);
+        assert!(report.replayed > 0);
+        assert_eq!(recovered.universe_size(), (7, 14));
+        assert_eq!(recovered.durable_state(), before);
+        assert_eq!(recovered.objective().to_bits(), objective.to_bits());
+        assert!(recovered.is_live(s6));
+
+        // Grow again, checkpoint (snapshot now carries both defs), more
+        // history, crash: recovery starts from the snapshot.
+        let s7 = recovered.register_session(&def_b).expect("registers");
+        recovered.admit(s7).expect("admits");
+        let seq = recovered.checkpoint().expect("checkpoint");
+        assert!(seq > 0);
+        recovered.depart(SessionId::new(2));
+        let before = recovered.durable_state();
+        drop(recovered);
+
+        let (again, report) = recover(&dir);
+        assert_eq!(report.snapshot_seq, seq);
+        assert_eq!(again.universe_size(), (8, 16));
+        assert_eq!(again.durable_state(), before);
+        assert!(again.audit().is_empty());
+        assert!(again.is_live(s7));
+    }
+
+    /// A CRC-valid journal frame can still carry ids outside the
+    /// (replayed-so-far) universe — semantic corruption the checksum
+    /// cannot catch. Recovery must refuse with a typed `Replay` error,
+    /// never index-panic.
+    #[test]
+    fn replay_refuses_out_of_range_ids_without_panicking() {
+        use vc_persist::Encode;
+        let (fleet, dir) = persistent_fleet("oob-replay");
+        churn(&fleet);
+        drop(fleet);
+        let journal = vc_persist::journal_files(&dir)
+            .expect("scan")
+            .pop()
+            .expect("one journal")
+            .1;
+        let (records, _) =
+            vc_persist::read_journal::<crate::persist::FleetOp>(&journal).expect("read");
+        let next_seq = records.last().expect("history").0 + 1;
+        // Hop of a session the universe never registered.
+        let op = crate::persist::FleetOp::Hop {
+            session: SessionId::new(99),
+            decision: vc_core::Decision::User(vc_model::UserId::new(0), AgentId::new(0)),
+            old_agent: AgentId::new(0),
+        };
+        let mut payload = Vec::new();
+        next_seq.encode(&mut payload);
+        op.encode(&mut payload);
+        let mut bytes = std::fs::read(&journal).expect("journal bytes");
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&vc_persist::crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&journal, &bytes).expect("write");
+        let err = Fleet::recover(
+            PersistConfig {
+                dir,
+                fsync: FsyncPolicy::Always,
+                stay_batch: 4,
+            },
+            universe(120.0, 6),
+            FleetConfig::default(),
+        )
+        .expect_err("out-of-range id must refuse");
+        assert!(matches!(err, PersistError::Replay(_)), "got {err:?}");
+    }
+
     #[test]
     fn recovering_an_empty_directory_is_a_hard_error() {
         // Every valid store has a genesis snapshot; a snapshot-less
@@ -694,6 +864,8 @@ mod persistence {
         let t = &report.telemetry;
         let n = t.snapshots().len();
         for series in [
+            t.universe_sessions_series(),
+            t.universe_users_series(),
             t.objective_series(),
             t.mean_session_objective_series(),
             t.traffic_series(),
@@ -713,9 +885,12 @@ mod persistence {
         let csv = t.to_csv();
         let mut lines = csv.lines();
         let header = lines.next().expect("header");
-        assert_eq!(header.split(',').count(), 14);
+        assert_eq!(header.split(',').count(), 16);
         assert_eq!(lines.count(), n);
         // Admissions are cumulative and should end ≥ warm pool.
         assert!(t.admitted_series().last_value().expect("samples") >= 4.0);
+        // The closed-world trace never grows the universe: the size
+        // series is the constant instance size.
+        assert_eq!(t.universe_sessions_series().last_value(), Some(6.0));
     }
 }

@@ -23,7 +23,7 @@
 use std::error::Error;
 use std::fmt;
 use vc_core::{Decision, TaskId};
-use vc_model::{AgentId, ReprId, SessionId, UserId};
+use vc_model::{AgentId, DownstreamDemand, ReprId, SessionDef, SessionId, UserDef, UserId};
 
 /// Why a decode failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -340,6 +340,55 @@ impl Decode for Decision {
                 tag,
             }),
         }
+    }
+}
+
+impl Encode for UserDef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.upstream.encode(out);
+        self.downstream.default_repr().encode(out);
+        // BTreeMap iterates ascending — a canonical encoding.
+        let overrides: Vec<(UserId, ReprId)> = self
+            .downstream
+            .overrides()
+            .iter()
+            .map(|(&u, &r)| (u, r))
+            .collect();
+        overrides.encode(out);
+        self.agent_delays_ms.encode(out);
+        self.site_index.encode(out);
+    }
+}
+
+impl Decode for UserDef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let upstream = ReprId::decode(r)?;
+        let default = ReprId::decode(r)?;
+        let overrides = Vec::<(UserId, ReprId)>::decode(r)?;
+        let mut downstream = DownstreamDemand::uniform(default);
+        for (u, rep) in overrides {
+            downstream = downstream.with_override(u, rep);
+        }
+        Ok(Self {
+            upstream,
+            downstream,
+            agent_delays_ms: Vec::decode(r)?,
+            site_index: Option::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SessionDef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.users.encode(out);
+    }
+}
+
+impl Decode for SessionDef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            users: Vec::decode(r)?,
+        })
     }
 }
 

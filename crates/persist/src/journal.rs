@@ -38,11 +38,19 @@ use std::path::{Path, PathBuf};
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"VCWJ";
-/// Journal format version. v2: `FailAgent` replay re-derives the
-/// evacuation with the sparse residual-based feasibility rule (PR 3's
-/// sharded fleet); v1 stores replayed it through the dense
-/// whole-state check, so their histories are not interchangeable.
-pub const JOURNAL_VERSION: u16 = 2;
+/// Journal format version. v3: open-world records — `RegisterSession`
+/// definitions grow the universe mid-journal, and the snapshot format
+/// carries the registered definitions (so v2 stores, whose snapshots
+/// lack that field, cannot be decoded under v3 and vice versa). v2:
+/// `FailAgent` replay re-derives the evacuation with the sparse
+/// residual-based feasibility rule (PR 3's sharded fleet); v1 stores
+/// replayed it through the dense whole-state check.
+pub const JOURNAL_VERSION: u16 = 3;
+/// The journal versions this build can replay. Decode is gated on this
+/// explicit set — a version outside it fails up front with an error
+/// naming both sides, instead of misreading bytes under the wrong
+/// semantics.
+pub const SUPPORTED_JOURNAL_VERSIONS: &[u16] = &[JOURNAL_VERSION];
 /// Header length: magic + version + reserved.
 pub const HEADER_LEN: usize = 8;
 /// Frames longer than this are treated as garbage (a torn length
@@ -78,8 +86,14 @@ pub enum JournalError {
         /// Human-readable cause.
         reason: String,
     },
-    /// The journal was written by an incompatible format version.
-    Version(u16),
+    /// The journal was written by a format version outside
+    /// [`SUPPORTED_JOURNAL_VERSIONS`].
+    Version {
+        /// The version found in the file header.
+        found: u16,
+        /// The versions this build can replay.
+        supported: &'static [u16],
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -89,7 +103,10 @@ impl std::fmt::Display for JournalError {
             Self::Corrupt { offset, reason } => {
                 write!(f, "journal corrupt at byte {offset}: {reason}")
             }
-            Self::Version(v) => write!(f, "journal version {v} unsupported"),
+            Self::Version { found, supported } => write!(
+                f,
+                "journal format version {found} unsupported (this build supports {supported:?})"
+            ),
         }
     }
 }
@@ -253,8 +270,11 @@ pub fn read_journal<T: Decode>(path: &Path) -> Result<(Vec<(u64, T)>, TailStatus
         });
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != JOURNAL_VERSION {
-        return Err(JournalError::Version(version));
+    if !SUPPORTED_JOURNAL_VERSIONS.contains(&version) {
+        return Err(JournalError::Version {
+            found: version,
+            supported: SUPPORTED_JOURNAL_VERSIONS,
+        });
     }
     let mut records = Vec::new();
     let mut pos = HEADER_LEN;
@@ -396,6 +416,24 @@ mod tests {
         let (records, tail) = read_journal::<u64>(&path).expect("read");
         assert_eq!(records, vec![(0, 1)]);
         assert!(tail.torn);
+    }
+
+    #[test]
+    fn unsupported_version_names_found_and_supported() {
+        let dir = tmp_dir("journal-version");
+        let path = dir.join("j.vcwal");
+        let mut w = JournalWriter::<u64>::create(&path, FsyncPolicy::Always, 0).expect("create");
+        w.append(&1u64).expect("append");
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[4] = 0x7F; // clobber the version field
+        fs::write(&path, &bytes).expect("write");
+        let err = read_journal::<u64>(&path).expect_err("version must be refused");
+        assert!(matches!(err, JournalError::Version { found: 0x7F, .. }));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("127") && msg.contains(&format!("{SUPPORTED_JOURNAL_VERSIONS:?}")),
+            "message must name found vs supported: {msg}"
+        );
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub use codec::{decode_exact, encode_to_vec, CodecError, Decode, Encode, Reader}
 pub use crc::crc32;
 pub use journal::{
     read_journal, FsyncPolicy, JournalError, JournalWriter, TailStatus, JOURNAL_MAGIC,
-    JOURNAL_VERSION,
+    JOURNAL_VERSION, SUPPORTED_JOURNAL_VERSIONS,
 };
 pub use snapshot::{
     compact, journal_files, journal_path, latest_snapshot, load_snapshot, snapshot_path,
-    write_snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    write_snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SUPPORTED_SNAPSHOT_VERSIONS,
 };

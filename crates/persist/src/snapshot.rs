@@ -37,9 +37,13 @@ use std::path::{Path, PathBuf};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"VCSN";
-/// Snapshot format version (kept in lock-step with the journal: a v2
-/// snapshot's tail journal replays under v2 semantics).
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// Snapshot format version (kept in lock-step with the journal: a v3
+/// snapshot's tail journal replays under v3 semantics). v3 snapshots
+/// carry the online-registered session definitions, which v2 lacked.
+pub const SNAPSHOT_VERSION: u16 = 3;
+/// The snapshot versions this build can load; decode is gated on this
+/// explicit set (see the journal's twin constant).
+pub const SUPPORTED_SNAPSHOT_VERSIONS: &[u16] = &[SNAPSHOT_VERSION];
 
 const SNAPSHOT_PREFIX: &str = "snapshot-";
 const SNAPSHOT_SUFFIX: &str = ".vcsnap";
@@ -53,8 +57,14 @@ pub enum SnapshotError {
     Io(io::Error),
     /// Not a snapshot, truncated, or failed its CRC.
     Corrupt(String),
-    /// Written by an incompatible format version.
-    Version(u16),
+    /// Written by a format version outside
+    /// [`SUPPORTED_SNAPSHOT_VERSIONS`].
+    Version {
+        /// The version found in the file header.
+        found: u16,
+        /// The versions this build can load.
+        supported: &'static [u16],
+    },
     /// CRC-valid payload failed to decode.
     Codec(CodecError),
 }
@@ -64,7 +74,10 @@ impl std::fmt::Display for SnapshotError {
         match self {
             Self::Io(e) => write!(f, "snapshot I/O error: {e}"),
             Self::Corrupt(reason) => write!(f, "snapshot corrupt: {reason}"),
-            Self::Version(v) => write!(f, "snapshot version {v} unsupported"),
+            Self::Version { found, supported } => write!(
+                f,
+                "snapshot format version {found} unsupported (this build supports {supported:?})"
+            ),
             Self::Codec(e) => write!(f, "snapshot payload undecodable: {e}"),
         }
     }
@@ -150,8 +163,11 @@ pub fn load_snapshot<S: Decode>(path: &Path) -> Result<(u64, S), SnapshotError> 
         return Err(SnapshotError::Corrupt("bad magic".into()));
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != SNAPSHOT_VERSION {
-        return Err(SnapshotError::Version(version));
+    if !SUPPORTED_SNAPSHOT_VERSIONS.contains(&version) {
+        return Err(SnapshotError::Version {
+            found: version,
+            supported: SUPPORTED_SNAPSHOT_VERSIONS,
+        });
     }
     let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
     let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
@@ -347,9 +363,10 @@ mod tests {
         let mut bytes = fs::read(&path).expect("read");
         bytes[4] = 0xFF; // clobber the version field
         fs::write(&path, &bytes).expect("write");
-        assert!(matches!(
-            load_snapshot::<Vec<u32>>(&path),
-            Err(SnapshotError::Version(_))
-        ));
+        let err = load_snapshot::<Vec<u32>>(&path).expect_err("version must be refused");
+        assert!(matches!(err, SnapshotError::Version { found: 0xFF, .. }));
+        // The message names both sides of the mismatch.
+        let msg = err.to_string();
+        assert!(msg.contains("255") && msg.contains(&format!("{SUPPORTED_SNAPSHOT_VERSIONS:?}")));
     }
 }

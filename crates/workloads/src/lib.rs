@@ -11,9 +11,14 @@
 //!   four-step representation ladder with a sparse transcoding matrix
 //!   (80% of users demand 720p), and optional capacity draws for the
 //!   Fig. 9 sweeps;
-//! * [`dynamic`] — open-world fleet traces (session arrivals/departures
-//!   plus agent churn over virtual time) feeding the `vc-orchestrator`
-//!   control plane.
+//! * [`dynamic`] — closed-world fleet traces (session arrivals/
+//!   departures plus agent churn over virtual time, every conference
+//!   pre-declared in the instance) feeding the `vc-orchestrator`
+//!   control plane;
+//! * [`open_world`] — open-world traces: a stream of **never-before-
+//!   seen** conferences carried as full [`SessionDef`](vc_model::SessionDef)s,
+//!   registered online via `Fleet::register_session` — traces need not
+//!   pre-declare any conference.
 //!
 //! All generators are deterministic given their seed.
 
@@ -22,8 +27,10 @@
 
 pub mod dynamic;
 pub mod large_scale;
+pub mod open_world;
 pub mod prototype;
 
 pub use dynamic::{dynamic_trace, DynamicTraceConfig, FleetEvent, FleetTrace};
 pub use large_scale::{large_scale_instance, LargeScaleConfig};
+pub use open_world::{open_world_trace, OpenWorldConfig, OpenWorldEvent, OpenWorldTrace};
 pub use prototype::{prototype_instance, PrototypeConfig};

@@ -74,8 +74,8 @@ pub mod prelude {
     pub use vc_core::{Assignment, Decision, SystemState, UapProblem};
     pub use vc_cost::{CostModel, ObjectiveWeights};
     pub use vc_model::{
-        AgentId, AgentSpec, Capacity, Instance, InstanceBuilder, ReprId, ReprLadder, SessionId,
-        UserId,
+        AgentId, AgentSpec, Capacity, Instance, InstanceBuilder, ReprId, ReprLadder, SessionDef,
+        SessionId, UserDef, UserId,
     };
     pub use vc_orchestrator::{
         Fleet, FleetConfig, FleetSnapshot, Orchestrator, OrchestratorConfig, PersistConfig,
@@ -84,7 +84,8 @@ pub mod prelude {
     pub use vc_persist::FsyncPolicy;
     pub use vc_sim::{ConferenceSim, DynamicsEvent, SimConfig, SimReport};
     pub use vc_workloads::{
-        dynamic_trace, large_scale_instance, prototype_instance, DynamicTraceConfig, FleetEvent,
-        FleetTrace, LargeScaleConfig, PrototypeConfig,
+        dynamic_trace, large_scale_instance, open_world_trace, prototype_instance,
+        DynamicTraceConfig, FleetEvent, FleetTrace, LargeScaleConfig, OpenWorldConfig,
+        OpenWorldEvent, OpenWorldTrace, PrototypeConfig,
     };
 }

@@ -138,15 +138,44 @@ fn placement_strategy() -> impl Strategy<Value = vc_orchestrator::fleet::Placeme
         })
 }
 
+fn user_def_strategy() -> impl Strategy<Value = vc_model::UserDef> {
+    (
+        0u32..4,
+        0u32..4,
+        prop::collection::vec((0u32..64, 0u32..4), 0..3),
+        prop::collection::vec(0.1f64..200.0, 1..5),
+        (any::<bool>(), 0usize..64),
+    )
+        .prop_map(|(up, down, overrides, delays, (has_site, site))| {
+            let site = has_site.then_some(site);
+            let mut demand = vc_model::DownstreamDemand::uniform(ReprId::new(down));
+            for (u, r) in overrides {
+                demand = demand.with_override(UserId::new(u), ReprId::new(r));
+            }
+            vc_model::UserDef {
+                upstream: ReprId::new(up),
+                downstream: demand,
+                agent_delays_ms: delays,
+                site_index: site,
+            }
+        })
+}
+
+fn session_def_strategy() -> impl Strategy<Value = vc_model::SessionDef> {
+    prop::collection::vec(user_def_strategy(), 1..4)
+        .prop_map(|users| vc_model::SessionDef { users })
+}
+
 fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
     (
-        0u8..7,
+        0u8..8,
         0u32..64,
         0u32..8,
         placement_strategy(),
         any::<bool>(),
+        session_def_strategy(),
     )
-        .prop_map(|(tag, s, a, (users, tasks), user_move)| {
+        .prop_map(|(tag, s, a, (users, tasks), user_move, def)| {
             let session = SessionId::new(s);
             let agent = AgentId::new(a);
             match tag {
@@ -168,7 +197,8 @@ fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
                     },
                     old_agent: AgentId::new((a + 1) % 8),
                 },
-                _ => FleetOp::Stay { session },
+                6 => FleetOp::Stay { session },
+                _ => FleetOp::RegisterSession { session, def },
             }
         })
 }
@@ -182,6 +212,8 @@ fn fleet_snapshot_strategy() -> impl Strategy<Value = FleetSnapshot> {
     )
         .prop_map(|(a, b, c, d)| FleetSnapshot {
             time_s: a.0,
+            universe_sessions: a.1 + 7,
+            universe_users: a.1 * 3,
             live_sessions: a.1,
             objective: a.2,
             mean_session_objective: a.3,
@@ -294,6 +326,101 @@ fn crash_at_every_byte_offset_recovers_conserved() {
         "full journal replayed only {last_replayed} records"
     );
     assert!(live_counts.first().expect("sweep ran").0 == 0);
+}
+
+/// A registrable two-user conference over the 3-agent sweep universe.
+fn late_conference(delay_base: f64) -> vc_model::SessionDef {
+    let ladder = ReprLadder::standard_four();
+    vc_model::SessionDef {
+        users: vec![
+            vc_model::UserDef {
+                upstream: ladder.highest(),
+                downstream: vc_model::DownstreamDemand::uniform(ladder.lowest()),
+                agent_delays_ms: vec![delay_base, delay_base + 5.0, delay_base + 9.0],
+                site_index: None,
+            },
+            vc_model::UserDef {
+                upstream: ladder.lowest(),
+                downstream: vc_model::DownstreamDemand::uniform(ladder.lowest()),
+                agent_delays_ms: vec![delay_base + 7.0, delay_base + 3.0, delay_base + 11.0],
+                site_index: None,
+            },
+        ],
+    }
+}
+
+/// The byte-offset sweep over a fleet that **grew its universe
+/// online**: `RegisterSession` definition records interleave with
+/// admits/hops/failures in the journal, and every prefix — including
+/// cuts that land *inside* a definition record, or between a
+/// registration and the admission that uses it — must recover
+/// conservation-clean from the seed problem alone.
+#[test]
+fn grown_universe_crash_sweep_recovers_conserved() {
+    let problem = small_universe();
+    let src = store_dir("sweep-grown-src");
+    let fleet = Fleet::with_persistence(problem.clone(), fleet_config(), persist_config(&src))
+        .expect("persistent fleet");
+    let mut rng = StdRng::seed_from_u64(29);
+    for i in 0..6usize {
+        let _ = fleet.admit(SessionId::from(i));
+    }
+    let s6 = fleet
+        .register_session(&late_conference(8.0))
+        .expect("registers");
+    let _ = fleet.admit(s6);
+    for i in 0..7usize {
+        let _ = fleet.hop_session(SessionId::from(i), &mut rng);
+    }
+    fleet.fail_agent(AgentId::new(2));
+    let s7 = fleet
+        .register_session(&late_conference(13.0))
+        .expect("registers");
+    let _ = fleet.admit(s7);
+    fleet.depart(SessionId::new(3));
+    fleet.restore_agent(AgentId::new(2));
+    for i in 0..8usize {
+        let _ = fleet.hop_session(SessionId::from(i), &mut rng);
+    }
+    let final_state = fleet.durable_state();
+    drop(fleet);
+
+    let snapshot_bytes =
+        std::fs::read(cloud_vc::persist::snapshot_path(&src, 0)).expect("genesis snapshot");
+    let (start_seq, journal) = cloud_vc::persist::journal_files(&src)
+        .expect("scan")
+        .pop()
+        .expect("one journal");
+    assert_eq!(start_seq, 1);
+    let journal_bytes = std::fs::read(journal).expect("journal bytes");
+
+    let work = store_dir("sweep-grown-work");
+    let mut universe_sizes = Vec::new();
+    for cut in 0..=journal_bytes.len() {
+        let _ = std::fs::remove_dir_all(&work);
+        std::fs::create_dir_all(&work).expect("work dir");
+        std::fs::write(cloud_vc::persist::snapshot_path(&work, 0), &snapshot_bytes)
+            .expect("copy snapshot");
+        std::fs::write(
+            cloud_vc::persist::journal_path(&work, 1),
+            &journal_bytes[..cut],
+        )
+        .expect("cut journal");
+        let (recovered, _) = Fleet::recover(persist_config(&work), problem.clone(), fleet_config())
+            .unwrap_or_else(|e| panic!("recovery failed at byte offset {cut}: {e}"));
+        assert!(
+            recovered.audit().is_empty(),
+            "conservation violated at byte offset {cut}"
+        );
+        universe_sizes.push(recovered.universe_size().0);
+        if cut == journal_bytes.len() {
+            assert_eq!(recovered.durable_state(), final_state);
+        }
+    }
+    // The sweep saw the universe grow: early prefixes have the seed's 6
+    // sessions, the full journal ends at 8.
+    assert_eq!(*universe_sizes.first().expect("sweep ran"), 6);
+    assert_eq!(*universe_sizes.last().expect("sweep ran"), 8);
 }
 
 /// Kill a trace-driven fleet between events; the recovered fleet is
