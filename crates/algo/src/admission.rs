@@ -1,4 +1,5 @@
-//! Sequential session admission under capacity limits.
+//! Sequential session admission under capacity limits — one engine for
+//! the offline Fig. 9 experiments **and** the live control plane.
 //!
 //! The Fig. 9 experiment measures the *success rate* of initial
 //! assignment policies: a scenario "successfully initializes" when every
@@ -13,15 +14,50 @@
 //! 2. transcoding groups follow the rule of thumb, falling back through
 //!    the rank order when the preferred agent has no free slot (AgRank
 //!    only — Nrst is resource-oblivious and simply fails);
-//! 3. the fully placed session is activated and the *global* state
-//!    (including inter-agent traffic) is checked; any violation
-//!    de-activates the session and fails the scenario.
+//! 3. the fully placed session is checked *globally* (inter-agent
+//!    traffic included); any violation triggers repair or rejection.
+//!
+//! ## The shared engine
+//!
+//! [`AdmissionEngine::place_session`] is **pure**: it searches the
+//! candidate space against a residual-capacity snapshot and returns the
+//! chosen placement without mutating anything. Both worlds drive it:
+//!
+//! * the offline [`admit_all`] (Fig. 9) derives residuals from a
+//!   closed-world [`SystemState`] and commits accepted placements into
+//!   it;
+//! * the fleet's `Fleet::admit` (vc-orchestrator) derives residuals
+//!   from the live capacity ledger and commits through the session
+//!   slots + ledger holds.
+//!
+//! Because the search consumes only `(problem, residuals, availability)`
+//! and both worlds feed it bitwise-identical residuals (capacity minus
+//! the sum of live session loads, accumulated in admission order), the
+//! two admit **identical** session sets — the parity
+//! `tests/admission_parity.rs` proptests.
+//!
+//! ## Tiers
+//!
+//! The engine searches in up to three tiers, reported in
+//! [`AdmissionStats::tier`]:
+//!
+//! 1. **Enumeration** — when the user→candidate combination count is at
+//!    most [`AdmissionConfig::combo_cap`], every combo is tried in
+//!    ascending total-fallback-depth order (the Fig. 9 monotonicity: a
+//!    larger candidate set strictly enlarges the searched space);
+//! 2. **Repair** — oversized spaces fall back to a greedy pass with
+//!    violation-driven repair (bounded by `3·|U(s)| + |tasks|` moves);
+//! 3. **RankedFallback** — the control plane's historical
+//!    walk-each-user-one-step-down-its-ranked-list search, retained as
+//!    the engine's final tier when repair fails.
 
 use crate::agrank::{self, AgRankConfig, Residuals};
 use crate::placement;
 use std::collections::HashSet;
 use std::sync::Arc;
-use vc_core::{Assignment, SystemState, TaskId, UapProblem};
+use vc_core::{
+    Assignment, AssignmentView, EvalScratch, SystemState, TaskId, UapProblem, CAPACITY_EPS,
+};
 use vc_model::{AgentId, ReprId, SessionId, UserId};
 
 /// Which initial-assignment policy admits the sessions.
@@ -43,6 +79,595 @@ pub enum AdmissionFailure {
     /// The fully placed session violated a global constraint
     /// (typically inter-agent traffic exceeding a capacity).
     GlobalCheck,
+}
+
+/// Which search tier produced an accepted placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionTier {
+    /// Rank-ordered exhaustive combination search (small sessions).
+    Enumeration,
+    /// Greedy placement plus violation-driven repair.
+    Repair,
+    /// Single-user ranked-fallback walk (the engine's final tier; also
+    /// the label of the control plane's legacy admission path).
+    RankedFallback,
+}
+
+/// Search-effort accounting for one accepted placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// The tier that produced the placement.
+    pub tier: AdmissionTier,
+    /// Violation-driven repair moves applied (tier 2 only).
+    pub repair_steps: usize,
+    /// Fully-evaluated candidate placements (global checks run).
+    pub candidates_evaluated: usize,
+}
+
+/// An accepted placement: every user and every transcoding task of the
+/// session mapped to an agent, plus how the search found it.
+#[derive(Debug, Clone)]
+pub struct AdmissionDecision {
+    /// Chosen agent per session user (instance order).
+    pub users: Vec<(UserId, AgentId)>,
+    /// Chosen agent per session task (instance order).
+    pub tasks: Vec<(TaskId, AgentId)>,
+    /// Search-effort accounting.
+    pub stats: AdmissionStats,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Upper bound on the user→candidate combination count the
+    /// enumeration tier will exhaust; larger spaces use greedy+repair.
+    pub combo_cap: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self { combo_cap: 1024 }
+    }
+}
+
+/// The shared admission search. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionEngine {
+    /// Tuning knobs.
+    pub config: AdmissionConfig,
+}
+
+/// A full-session placement as an [`AssignmentView`]: every lookup must
+/// be covered by the pairs (the engine always places the whole session).
+/// Lookups are linear scans — conferences are small (the workloads cap
+/// sessions at 5 users), so an index map would cost more than it saves;
+/// revisit if a workload ever grows sessions past a few dozen users.
+struct PlacementView<'a> {
+    users: &'a [(UserId, AgentId)],
+    tasks: &'a [(TaskId, AgentId)],
+}
+
+impl AssignmentView for PlacementView<'_> {
+    fn agent_of_user(&self, u: UserId) -> AgentId {
+        self.users
+            .iter()
+            .find(|(w, _)| *w == u)
+            .expect("admission placements cover every session user")
+            .1
+    }
+    fn agent_of_task(&self, t: TaskId) -> AgentId {
+        self.tasks
+            .iter()
+            .find(|(w, _)| *w == t)
+            .expect("admission placements cover every session task")
+            .1
+    }
+}
+
+/// The first global violation of a fully-placed candidate, in the same
+/// order `SystemState::violations` reports them (agents ascending:
+/// download, upload, transcode; then the delay bound).
+#[derive(Debug, Clone, Copy)]
+enum GlobalViolation {
+    Download(AgentId),
+    Upload(AgentId),
+    Transcode(AgentId),
+    Delay,
+    /// A target agent is down — unreachable via the normal choosers
+    /// (all filter on availability); the final check still refuses it
+    /// so no tier can ever emit a placement on a failed agent.
+    Unavailable,
+}
+
+impl AdmissionEngine {
+    /// An engine with the given knobs.
+    pub fn new(config: AdmissionConfig) -> Self {
+        Self { config }
+    }
+
+    /// Searches for a feasible placement of session `s` against the
+    /// residual capacities, without committing anything. On success the
+    /// accepted placement's evaluated load is left in `scratch` (the
+    /// caller's commit can reuse it bit-for-bit).
+    ///
+    /// `residuals` must be availability-blind capacity-minus-live-load
+    /// (see [`Residuals::from_totals`]); `available` masks failed
+    /// agents, which are never chosen as targets.
+    ///
+    /// # Errors
+    ///
+    /// The furthest stage the search reached without success.
+    pub fn place_session(
+        &self,
+        problem: &UapProblem,
+        s: SessionId,
+        policy: &AdmissionPolicy,
+        residuals: &Residuals,
+        available: &[bool],
+        scratch: &mut EvalScratch,
+    ) -> Result<AdmissionDecision, AdmissionFailure> {
+        let inst = problem.instance();
+        let session = inst.session(s);
+
+        // Candidate agents per user, best first.
+        let user_candidates: Vec<(UserId, Vec<AgentId>)> = match policy {
+            AdmissionPolicy::Nearest => session
+                .users()
+                .iter()
+                .map(|&u| (u, vec![inst.delays().nearest_agent(u)]))
+                .collect(),
+            AdmissionPolicy::AgRank(config) => {
+                let ranking = agrank::rank_agents(problem, s, residuals, config);
+                ranking.user_candidates
+            }
+        };
+
+        // Tier 1: when the combination count is modest, enumerate
+        // user→candidate combos in rank order (shallowest fallback
+        // first) — "picking among a larger number of potential agents
+        // provides a larger feasible set" holds when the admission
+        // *searches* the candidate space.
+        let combo_count: usize = user_candidates
+            .iter()
+            .map(|(_, c)| c.len())
+            .try_fold(1usize, |acc, n| acc.checked_mul(n))
+            .unwrap_or(usize::MAX);
+        if combo_count <= self.config.combo_cap {
+            return self.admit_by_enumeration(
+                problem,
+                s,
+                policy,
+                &user_candidates,
+                residuals,
+                available,
+                scratch,
+            );
+        }
+
+        // Tier 2: greedy user placement with tentative last-mile
+        // accounting, then violation-driven repair.
+        let nl = inst.num_agents();
+        let mut tent_down = vec![0.0; nl];
+        let mut tent_up = vec![0.0; nl];
+        let mut users: Vec<(UserId, AgentId)> = Vec::with_capacity(session.len());
+        let mut greedy_fit = true;
+        for (u, candidates) in &user_candidates {
+            let (need_down, need_up) = user_needs(problem, *u);
+            let slot = candidates.iter().copied().find(|l| {
+                let i = l.index();
+                available[i]
+                    && residuals.download[i] - tent_down[i] >= need_down - 1e-9
+                    && residuals.upload[i] - tent_up[i] >= need_up - 1e-9
+            });
+            match slot {
+                Some(l) => {
+                    tent_down[l.index()] += need_down;
+                    tent_up[l.index()] += need_up;
+                    users.push((*u, l));
+                }
+                None => {
+                    greedy_fit = false;
+                    break;
+                }
+            }
+        }
+        let fallback_order = fallback_order_for(problem, s, residuals, policy, available);
+        let mut furthest = AdmissionFailure::UserFit;
+        let mut candidates_evaluated = 0usize;
+        if greedy_fit {
+            furthest = AdmissionFailure::TaskFit;
+            if let Some(mut tasks) =
+                place_tasks(problem, s, &users, residuals, &fallback_order, available)
+            {
+                furthest = AdmissionFailure::GlobalCheck;
+                // Violation-driven repair: walk offenders down their
+                // candidate lists (Nrst has no alternatives and fails
+                // immediately — it is resource-oblivious by definition).
+                let repair_budget = 3 * session.len() + tasks.len();
+                let mut steps = 0usize;
+                loop {
+                    candidates_evaluated += 1;
+                    match self.check_full(problem, s, &users, &tasks, residuals, available, scratch)
+                    {
+                        None => {
+                            return Ok(AdmissionDecision {
+                                users,
+                                tasks,
+                                stats: AdmissionStats {
+                                    tier: AdmissionTier::Repair,
+                                    repair_steps: steps,
+                                    candidates_evaluated,
+                                },
+                            });
+                        }
+                        Some(violation) => {
+                            if steps >= repair_budget
+                                || !repair_step(
+                                    &mut users,
+                                    &mut tasks,
+                                    &user_candidates,
+                                    &fallback_order,
+                                    violation,
+                                    available,
+                                )
+                            {
+                                break;
+                            }
+                            steps += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tier 3: the ranked-fallback walk — first choices, then each
+        // user one step at a time down its ranked candidate list.
+        let first_choice: Vec<(UserId, AgentId)> = user_candidates
+            .iter()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(u, c)| (*u, c[0]))
+            .collect();
+        if first_choice.len() == user_candidates.len() {
+            let mut trials: Vec<Vec<(UserId, AgentId)>> = vec![first_choice.clone()];
+            for (i, (_, candidates)) in user_candidates.iter().enumerate() {
+                for &alt in candidates.iter().skip(1) {
+                    let mut t = first_choice.clone();
+                    t[i].1 = alt;
+                    trials.push(t);
+                }
+            }
+            for trial in trials {
+                if trial.iter().any(|&(_, l)| !available[l.index()]) {
+                    continue;
+                }
+                let Some(tasks) =
+                    place_tasks(problem, s, &trial, residuals, &fallback_order, available)
+                else {
+                    if matches!(furthest, AdmissionFailure::UserFit) {
+                        furthest = AdmissionFailure::TaskFit;
+                    }
+                    continue;
+                };
+                candidates_evaluated += 1;
+                if self
+                    .check_full(problem, s, &trial, &tasks, residuals, available, scratch)
+                    .is_none()
+                {
+                    return Ok(AdmissionDecision {
+                        users: trial,
+                        tasks,
+                        stats: AdmissionStats {
+                            tier: AdmissionTier::RankedFallback,
+                            repair_steps: 0,
+                            candidates_evaluated,
+                        },
+                    });
+                }
+                furthest = AdmissionFailure::GlobalCheck;
+            }
+        }
+        Err(furthest)
+    }
+
+    /// Rank-ordered exhaustive admission: tries every user→candidate
+    /// combo (shallowest total fallback depth first) until one passes
+    /// the last-mile, transcoding and global checks. Guarantees the
+    /// Fig. 9 monotonicity — a larger candidate set can only enlarge
+    /// the searched feasible set.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_by_enumeration(
+        &self,
+        problem: &UapProblem,
+        s: SessionId,
+        policy: &AdmissionPolicy,
+        user_candidates: &[(UserId, Vec<AgentId>)],
+        residuals: &Residuals,
+        available: &[bool],
+        scratch: &mut EvalScratch,
+    ) -> Result<AdmissionDecision, AdmissionFailure> {
+        let inst = problem.instance();
+        let nl = inst.num_agents();
+        let needs: Vec<(f64, f64)> = user_candidates
+            .iter()
+            .map(|(u, _)| user_needs(problem, *u))
+            .collect();
+        let lens: Vec<usize> = user_candidates.iter().map(|(_, c)| c.len()).collect();
+
+        // All combos, ordered by total fallback depth (all-first-choice
+        // first).
+        let mut combos: Vec<Vec<usize>> = vec![vec![]];
+        for &len in &lens {
+            combos = combos
+                .into_iter()
+                .flat_map(|prefix| {
+                    (0..len).map(move |i| {
+                        let mut c = prefix.clone();
+                        c.push(i);
+                        c
+                    })
+                })
+                .collect();
+        }
+        combos.sort_by_key(|c| c.iter().sum::<usize>());
+
+        let fallback_order = fallback_order_for(problem, s, residuals, policy, available);
+        let mut passed_last_mile = false;
+        let mut passed_tasks = false;
+        let mut candidates_evaluated = 0usize;
+        // Tentative last-mile accumulators, hoisted out of the combo
+        // loop (up to `combo_cap` iterations under the exclusive FREEZE
+        // lock) and reset sparsely — only the agents the combo wrote.
+        let mut tent_down = vec![0.0; nl];
+        let mut tent_up = vec![0.0; nl];
+        for combo in &combos {
+            // Tentative last-mile check.
+            let mut fits = true;
+            for (k, &choice) in combo.iter().enumerate() {
+                let l = user_candidates[k].1[choice];
+                let i = l.index();
+                if !available[i]
+                    || residuals.download[i] - tent_down[i] < needs[k].0 - 1e-9
+                    || residuals.upload[i] - tent_up[i] < needs[k].1 - 1e-9
+                {
+                    fits = false;
+                    break;
+                }
+                tent_down[i] += needs[k].0;
+                tent_up[i] += needs[k].1;
+            }
+            // Sparse reset: zeroing an agent the (possibly truncated)
+            // accumulation never wrote is a harmless no-op.
+            for (k, &choice) in combo.iter().enumerate() {
+                let i = user_candidates[k].1[choice].index();
+                tent_down[i] = 0.0;
+                tent_up[i] = 0.0;
+            }
+            if !fits {
+                continue;
+            }
+            passed_last_mile = true;
+            let users: Vec<(UserId, AgentId)> = combo
+                .iter()
+                .enumerate()
+                .map(|(k, &choice)| (user_candidates[k].0, user_candidates[k].1[choice]))
+                .collect();
+            let Some(tasks) =
+                place_tasks(problem, s, &users, residuals, &fallback_order, available)
+            else {
+                continue;
+            };
+            passed_tasks = true;
+            candidates_evaluated += 1;
+            if self
+                .check_full(problem, s, &users, &tasks, residuals, available, scratch)
+                .is_none()
+            {
+                return Ok(AdmissionDecision {
+                    users,
+                    tasks,
+                    stats: AdmissionStats {
+                        tier: AdmissionTier::Enumeration,
+                        repair_steps: 0,
+                        candidates_evaluated,
+                    },
+                });
+            }
+        }
+        Err(if !passed_last_mile {
+            AdmissionFailure::UserFit
+        } else if !passed_tasks {
+            AdmissionFailure::TaskFit
+        } else {
+            AdmissionFailure::GlobalCheck
+        })
+    }
+
+    /// Evaluates the fully-placed session into `scratch` and checks it
+    /// globally against the residuals: per *touched* agent (ascending),
+    /// `load ≤ residual` — the sparse mirror of the closed-world
+    /// `totals + load ≤ capacity` check (the prior state is feasible,
+    /// so only touched agents can newly violate) — then the delay
+    /// bound. Availability of every target is re-checked first, so no
+    /// tier can emit a placement on a failed agent. Returns the first
+    /// violation, `None` when feasible.
+    #[allow(clippy::too_many_arguments)]
+    fn check_full(
+        &self,
+        problem: &UapProblem,
+        s: SessionId,
+        users: &[(UserId, AgentId)],
+        tasks: &[(TaskId, AgentId)],
+        residuals: &Residuals,
+        available: &[bool],
+        scratch: &mut EvalScratch,
+    ) -> Option<GlobalViolation> {
+        for &(_, l) in users {
+            if !available[l.index()] {
+                return Some(GlobalViolation::Unavailable);
+            }
+        }
+        for &(_, l) in tasks {
+            if !available[l.index()] {
+                return Some(GlobalViolation::Unavailable);
+            }
+        }
+        {
+            let view = PlacementView { users, tasks };
+            scratch.evaluate(problem, &view, s);
+        }
+        let load = scratch.load();
+        // `load.touched` is ascending, mirroring the dense agent scan of
+        // `SystemState::violations`.
+        for &a in &load.touched {
+            let i = a as usize;
+            if load.download[i] > residuals.download[i] + CAPACITY_EPS {
+                return Some(GlobalViolation::Download(AgentId::from(i)));
+            }
+            if load.upload[i] > residuals.upload[i] + CAPACITY_EPS {
+                return Some(GlobalViolation::Upload(AgentId::from(i)));
+            }
+            if f64::from(load.transcode_units[i]) > residuals.transcode[i] {
+                return Some(GlobalViolation::Transcode(AgentId::from(i)));
+            }
+        }
+        if load.max_flow_delay > problem.instance().d_max_ms() + CAPACITY_EPS {
+            return Some(GlobalViolation::Delay);
+        }
+        None
+    }
+}
+
+/// `(agent download, agent upload)` the user's last mile demands.
+fn user_needs(problem: &UapProblem, u: UserId) -> (f64, f64) {
+    let inst = problem.instance();
+    let down = inst.kappa(inst.user(u).upstream());
+    let up: f64 = inst
+        .participants(u)
+        .map(|v| inst.kappa(inst.user(u).downstream_from(v)))
+        .sum();
+    (down, up)
+}
+
+/// The session's candidate agents in descending rank order (empty for
+/// the resource-oblivious Nrst policy), failed agents excluded.
+fn fallback_order_for(
+    problem: &UapProblem,
+    s: SessionId,
+    residuals: &Residuals,
+    policy: &AdmissionPolicy,
+    available: &[bool],
+) -> Vec<AgentId> {
+    match policy {
+        AdmissionPolicy::Nearest => Vec::new(),
+        AdmissionPolicy::AgRank(config) => {
+            let ranking = agrank::rank_agents(problem, s, residuals, config);
+            let mut order = ranking.candidates.clone();
+            order.retain(|l| available[l.index()]);
+            order.sort_by(|a, b| {
+                ranking
+                    .score_of(*b)
+                    .partial_cmp(&ranking.score_of(*a))
+                    .expect("finite scores")
+                    .then(a.cmp(b))
+            });
+            order
+        }
+    }
+}
+
+/// Places the session's transcoding groups: rule of thumb first, then
+/// fallback through the rank order while respecting residual slots.
+/// `None` when some group fits nowhere.
+fn place_tasks(
+    problem: &UapProblem,
+    s: SessionId,
+    users: &[(UserId, AgentId)],
+    residuals: &Residuals,
+    fallback_order: &[AgentId],
+    available: &[bool],
+) -> Option<Vec<(TaskId, AgentId)>> {
+    let inst = problem.instance();
+    let nl = inst.num_agents();
+    let preferred = placement::rule_of_thumb_session(problem, s, users);
+    let mut tent_units: Vec<u32> = vec![0; nl];
+    let mut unit_set: HashSet<(AgentId, UserId, ReprId)> = HashSet::new();
+    let mut tasks: Vec<(TaskId, AgentId)> = Vec::new();
+    for &(t, preferred_agent) in &preferred {
+        let task = problem.tasks().task(t);
+        let mut placed = false;
+        for &l in std::iter::once(&preferred_agent).chain(fallback_order.iter()) {
+            if !available[l.index()] {
+                continue;
+            }
+            let key = (l, task.src, task.target);
+            let new_unit = !unit_set.contains(&key);
+            let used = f64::from(tent_units[l.index()]) + if new_unit { 1.0 } else { 0.0 };
+            if used <= residuals.transcode[l.index()] + 1e-9 {
+                if new_unit {
+                    unit_set.insert(key);
+                    tent_units[l.index()] += 1;
+                }
+                tasks.push((t, l));
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(tasks)
+}
+
+/// One repair move over the candidate placement: shift a user or task
+/// of the session away from the agent named in `violation`, to its
+/// next-ranked *available* alternative. Returns whether any move was
+/// applied.
+fn repair_step(
+    users: &mut [(UserId, AgentId)],
+    tasks: &mut [(TaskId, AgentId)],
+    user_candidates: &[(UserId, Vec<AgentId>)],
+    fallback_order: &[AgentId],
+    violation: GlobalViolation,
+    available: &[bool],
+) -> bool {
+    let overloaded = match violation {
+        GlobalViolation::Download(agent) | GlobalViolation::Upload(agent) => agent,
+        GlobalViolation::Transcode(agent) => {
+            // Move one of this session's tasks off the agent (the
+            // fallback order is pre-filtered to available agents).
+            for slot in tasks.iter_mut() {
+                if slot.1 == agent {
+                    for &l in fallback_order {
+                        if l != agent {
+                            slot.1 = l;
+                            return true;
+                        }
+                    }
+                }
+            }
+            return false;
+        }
+        // Delay violations are not repairable by shuffling, and an
+        // unavailable target means a bug upstream (every chooser
+        // filters on availability) — give up rather than shuffle.
+        GlobalViolation::Delay | GlobalViolation::Unavailable => return false,
+    };
+    // Move the first of this session's users on the overloaded agent
+    // that has an available alternative candidate.
+    for (u, candidates) in user_candidates {
+        let Some(slot) = users.iter_mut().find(|(w, a)| w == u && *a == overloaded) else {
+            continue;
+        };
+        if let Some(&l) = candidates
+            .iter()
+            .find(|&&l| l != overloaded && available[l.index()])
+        {
+            slot.1 = l;
+            return true;
+        }
+    }
+    false
 }
 
 /// Per-stage failure counters across all sessions of one run.
@@ -71,20 +696,33 @@ pub struct AdmissionOutcome {
     pub diagnostics: AdmissionDiagnostics,
 }
 
-/// Admits every session of the problem in id order under the policy.
+/// Admits every session of the problem in id order under the policy —
+/// the offline (Fig. 9) driver of the shared [`AdmissionEngine`].
 pub fn admit_all(problem: Arc<UapProblem>, policy: &AdmissionPolicy) -> AdmissionOutcome {
+    let engine = AdmissionEngine::default();
     let inst = problem.instance();
     let num_sessions = inst.num_sessions();
     let initial = Assignment::all_to_agent(&problem, AgentId::new(0));
     let mut state = SystemState::with_active(problem.clone(), initial, vec![false; num_sessions]);
+    let mut scratch = EvalScratch::new();
 
     let mut admitted = 0;
     let mut first_failure = None;
     let mut success = true;
     let mut diagnostics = AdmissionDiagnostics::default();
-    for s in inst.session_ids() {
-        match admit_session(&problem, &mut state, s, policy) {
-            Ok(()) => admitted += 1,
+    for s in problem.instance().session_ids() {
+        let residuals = Residuals::from_state(&state);
+        let available: Vec<bool> = problem
+            .instance()
+            .agent_ids()
+            .map(|l| state.is_agent_available(l))
+            .collect();
+        match engine.place_session(&problem, s, policy, &residuals, &available, &mut scratch) {
+            Ok(decision) => {
+                state.reassign_session(s, &decision.users, &decision.tasks);
+                state.activate(s);
+                admitted += 1;
+            }
             Err(stage) => {
                 success = false;
                 if first_failure.is_none() {
@@ -105,317 +743,6 @@ pub fn admit_all(problem: Arc<UapProblem>, policy: &AdmissionPolicy) -> Admissio
         first_failure,
         diagnostics,
     }
-}
-
-/// Attempts to admit one session; returns the rejection stage on failure.
-fn admit_session(
-    problem: &Arc<UapProblem>,
-    state: &mut SystemState,
-    s: SessionId,
-    policy: &AdmissionPolicy,
-) -> Result<(), AdmissionFailure> {
-    let inst = problem.instance();
-    let session = inst.session(s);
-    let residuals = Residuals::from_state(state);
-
-    // Candidate agents per user, best first.
-    let user_candidates: Vec<(UserId, Vec<AgentId>)> = match policy {
-        AdmissionPolicy::Nearest => session
-            .users()
-            .iter()
-            .map(|&u| (u, vec![inst.delays().nearest_agent(u)]))
-            .collect(),
-        AdmissionPolicy::AgRank(config) => {
-            let ranking = agrank::rank_agents(problem, s, &residuals, config);
-            ranking.user_candidates
-        }
-    };
-
-    // User placement. The paper's Fig. 9 argument — "picking among a
-    // larger number of potential agents provides a larger feasible set" —
-    // holds when the admission *searches* the candidate space, so when
-    // the combination count is modest we enumerate user→candidate combos
-    // in rank order (shallowest fallback first) and accept the first one
-    // that passes all checks; bigger candidate sets then strictly extend
-    // the search space. Oversized spaces fall back to a greedy pass with
-    // violation-driven repair.
-    const COMBO_CAP: usize = 1024;
-    let combo_count: usize = user_candidates
-        .iter()
-        .map(|(_, c)| c.len())
-        .try_fold(1usize, |acc, n| acc.checked_mul(n))
-        .unwrap_or(usize::MAX);
-    if combo_count <= COMBO_CAP {
-        return admit_by_enumeration(problem, state, s, &user_candidates, &residuals, policy);
-    }
-
-    // Greedy user placement with tentative last-mile accounting.
-    let nl = inst.num_agents();
-    let mut tent_down = vec![0.0; nl];
-    let mut tent_up = vec![0.0; nl];
-    let mut users: Vec<(UserId, AgentId)> = Vec::with_capacity(session.len());
-    for (u, candidates) in &user_candidates {
-        let need_down = inst.kappa(inst.user(*u).upstream());
-        let need_up: f64 = inst
-            .participants(*u)
-            .map(|v| inst.kappa(inst.user(*u).downstream_from(v)))
-            .sum();
-        let slot = candidates.iter().copied().find(|l| {
-            let i = l.index();
-            residuals.download[i] - tent_down[i] >= need_down - 1e-9
-                && residuals.upload[i] - tent_up[i] >= need_up - 1e-9
-        });
-        match slot {
-            Some(l) => {
-                tent_down[l.index()] += need_down;
-                tent_up[l.index()] += need_up;
-                users.push((*u, l));
-            }
-            None => return Err(AdmissionFailure::UserFit),
-        }
-    }
-
-    // Transcoding groups: rule of thumb with rank-ordered fallback.
-    let fallback_order = fallback_order_for(problem, s, &residuals, policy);
-    let tasks = place_tasks(problem, s, &users, &residuals, &fallback_order)
-        .ok_or(AdmissionFailure::TaskFit)?;
-
-    // Commit tentatively, then verify the global state: the per-user
-    // check ignores inter-agent traffic, which the full evaluation may
-    // reveal to overflow an agent. When it does, repair by walking
-    // offenders down their candidate lists (Nrst has no alternatives and
-    // fails immediately — it is resource-oblivious by definition).
-    state.reassign_session(s, &users, &tasks);
-    state.activate(s);
-    if state.is_feasible() {
-        return Ok(());
-    }
-    let repair_budget = 3 * session.len() + tasks.len();
-    let mut attempts = 0;
-    while !state.is_feasible() && attempts < repair_budget {
-        attempts += 1;
-        let Some(violation) = state.violations().into_iter().next() else {
-            break;
-        };
-        if !repair_step(state, s, &user_candidates, &fallback_order, violation) {
-            break;
-        }
-    }
-    if state.is_feasible() {
-        Ok(())
-    } else {
-        state.deactivate(s);
-        Err(AdmissionFailure::GlobalCheck)
-    }
-}
-
-/// The session's candidate agents in descending rank order (empty for
-/// the resource-oblivious Nrst policy).
-fn fallback_order_for(
-    problem: &Arc<UapProblem>,
-    s: SessionId,
-    residuals: &Residuals,
-    policy: &AdmissionPolicy,
-) -> Vec<AgentId> {
-    match policy {
-        AdmissionPolicy::Nearest => Vec::new(),
-        AdmissionPolicy::AgRank(config) => {
-            let ranking = agrank::rank_agents(problem, s, residuals, config);
-            let mut order = ranking.candidates.clone();
-            order.sort_by(|a, b| {
-                ranking
-                    .score_of(*b)
-                    .partial_cmp(&ranking.score_of(*a))
-                    .expect("finite scores")
-                    .then(a.cmp(b))
-            });
-            order
-        }
-    }
-}
-
-/// Places the session's transcoding groups: rule of thumb first, then
-/// fallback through the rank order while respecting residual slots.
-/// `None` when some group fits nowhere.
-fn place_tasks(
-    problem: &Arc<UapProblem>,
-    s: SessionId,
-    users: &[(UserId, AgentId)],
-    residuals: &Residuals,
-    fallback_order: &[AgentId],
-) -> Option<Vec<(TaskId, AgentId)>> {
-    let inst = problem.instance();
-    let nl = inst.num_agents();
-    let mut user_agent = vec![AgentId::new(0); inst.num_users()];
-    for &(u, a) in users {
-        user_agent[u.index()] = a;
-    }
-    let preferred = placement::rule_of_thumb(problem, &user_agent);
-    let mut tent_units: Vec<u32> = vec![0; nl];
-    let mut unit_set: HashSet<(AgentId, UserId, ReprId)> = HashSet::new();
-    let mut tasks: Vec<(TaskId, AgentId)> = Vec::new();
-    for &t in problem.tasks().of_session(s) {
-        let task = problem.tasks().task(t);
-        let mut placed = false;
-        let preferred_agent = preferred[t.index()];
-        for &l in std::iter::once(&preferred_agent).chain(fallback_order.iter()) {
-            let key = (l, task.src, task.target);
-            let new_unit = !unit_set.contains(&key);
-            let used = f64::from(tent_units[l.index()]) + if new_unit { 1.0 } else { 0.0 };
-            if used <= residuals.transcode[l.index()] + 1e-9 {
-                if new_unit {
-                    unit_set.insert(key);
-                    tent_units[l.index()] += 1;
-                }
-                tasks.push((t, l));
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            return None;
-        }
-    }
-    Some(tasks)
-}
-
-/// Rank-ordered exhaustive admission: tries every user→candidate combo
-/// (shallowest total fallback depth first) until one passes the
-/// last-mile, transcoding and global checks. Guarantees the Fig. 9
-/// monotonicity — a larger candidate set can only enlarge the searched
-/// feasible set.
-fn admit_by_enumeration(
-    problem: &Arc<UapProblem>,
-    state: &mut SystemState,
-    s: SessionId,
-    user_candidates: &[(UserId, Vec<AgentId>)],
-    residuals: &Residuals,
-    policy: &AdmissionPolicy,
-) -> Result<(), AdmissionFailure> {
-    let inst = problem.instance();
-    let nl = inst.num_agents();
-    let needs: Vec<(f64, f64)> = user_candidates
-        .iter()
-        .map(|(u, _)| {
-            let down = inst.kappa(inst.user(*u).upstream());
-            let up: f64 = inst
-                .participants(*u)
-                .map(|v| inst.kappa(inst.user(*u).downstream_from(v)))
-                .sum();
-            (down, up)
-        })
-        .collect();
-    let lens: Vec<usize> = user_candidates.iter().map(|(_, c)| c.len()).collect();
-
-    // All combos, ordered by total fallback depth (all-first-choice first).
-    let mut combos: Vec<Vec<usize>> = vec![vec![]];
-    for &len in &lens {
-        combos = combos
-            .into_iter()
-            .flat_map(|prefix| {
-                (0..len).map(move |i| {
-                    let mut c = prefix.clone();
-                    c.push(i);
-                    c
-                })
-            })
-            .collect();
-    }
-    combos.sort_by_key(|c| c.iter().sum::<usize>());
-
-    let fallback_order = fallback_order_for(problem, s, residuals, policy);
-    let mut passed_last_mile = false;
-    let mut passed_tasks = false;
-    for combo in &combos {
-        // Tentative last-mile check.
-        let mut tent_down = vec![0.0; nl];
-        let mut tent_up = vec![0.0; nl];
-        let mut fits = true;
-        for (k, &choice) in combo.iter().enumerate() {
-            let l = user_candidates[k].1[choice];
-            let i = l.index();
-            if residuals.download[i] - tent_down[i] < needs[k].0 - 1e-9
-                || residuals.upload[i] - tent_up[i] < needs[k].1 - 1e-9
-            {
-                fits = false;
-                break;
-            }
-            tent_down[i] += needs[k].0;
-            tent_up[i] += needs[k].1;
-        }
-        if !fits {
-            continue;
-        }
-        passed_last_mile = true;
-        let users: Vec<(UserId, AgentId)> = combo
-            .iter()
-            .enumerate()
-            .map(|(k, &choice)| (user_candidates[k].0, user_candidates[k].1[choice]))
-            .collect();
-        let Some(tasks) = place_tasks(problem, s, &users, residuals, &fallback_order) else {
-            continue;
-        };
-        passed_tasks = true;
-        state.reassign_session(s, &users, &tasks);
-        state.activate(s);
-        if state.is_feasible() {
-            return Ok(());
-        }
-        state.deactivate(s);
-    }
-    Err(if !passed_last_mile {
-        AdmissionFailure::UserFit
-    } else if !passed_tasks {
-        AdmissionFailure::TaskFit
-    } else {
-        AdmissionFailure::GlobalCheck
-    })
-}
-
-/// One repair move: shift a user or task of session `s` away from the
-/// agent named in `violation`, to its next-ranked alternative. Returns
-/// whether any move was applied.
-fn repair_step(
-    state: &mut SystemState,
-    s: SessionId,
-    user_candidates: &[(UserId, Vec<AgentId>)],
-    fallback_order: &[AgentId],
-    violation: vc_core::Violation,
-) -> bool {
-    use vc_core::{Decision, Violation};
-    let overloaded = match violation {
-        Violation::Download { agent, .. } | Violation::Upload { agent, .. } => agent,
-        Violation::Transcode { agent, .. } => {
-            // Move one of this session's tasks off the agent.
-            let problem = state.problem().clone();
-            for &t in problem.tasks().of_session(s) {
-                if state.assignment().agent_of_task(t) == agent {
-                    for &l in fallback_order {
-                        if l != agent {
-                            state.apply_unchecked(Decision::Task(t, l));
-                            return true;
-                        }
-                    }
-                }
-            }
-            return false;
-        }
-        // Delay violations are not repairable by shuffling; unavailable
-        // agents are handled by churn evacuation, not admission.
-        Violation::Delay { .. } | Violation::Unavailable { .. } => return false,
-    };
-    // Move the first of this session's users on the overloaded agent that
-    // has an alternative candidate.
-    for (u, candidates) in user_candidates {
-        if state.assignment().agent_of_user(*u) != overloaded {
-            continue;
-        }
-        if let Some(&l) = candidates.iter().find(|&&l| l != overloaded) {
-            state.apply_unchecked(Decision::User(*u, l));
-            return true;
-        }
-    }
-    false
 }
 
 #[cfg(test)]
@@ -475,6 +802,96 @@ mod tests {
                 "state infeasible after {policy:?}: {:?}",
                 out.state.violations()
             );
+        }
+    }
+
+    #[test]
+    fn engine_reports_the_enumeration_tier_for_small_sessions() {
+        let p = Arc::new(fig2_like_problem());
+        let engine = AdmissionEngine::default();
+        let residuals = Residuals::full(&p);
+        let available = vec![true; p.instance().num_agents()];
+        let mut scratch = EvalScratch::new();
+        let decision = engine
+            .place_session(
+                &p,
+                SessionId::new(0),
+                &AdmissionPolicy::AgRank(AgRankConfig::paper(2)),
+                &residuals,
+                &available,
+                &mut scratch,
+            )
+            .expect("roomy instance admits");
+        assert_eq!(decision.stats.tier, AdmissionTier::Enumeration);
+        assert_eq!(decision.stats.repair_steps, 0);
+        assert_eq!(
+            decision.users.len(),
+            p.instance().session(SessionId::new(0)).len()
+        );
+        assert_eq!(
+            decision.tasks.len(),
+            p.tasks().of_session(SessionId::new(0)).len()
+        );
+    }
+
+    #[test]
+    fn tiny_combo_cap_exercises_the_repair_and_fallback_tiers() {
+        // Forcing the cap to 0 pushes every session through greedy +
+        // repair (and, failing that, the ranked fallback) — the result
+        // must still be a feasible full placement.
+        let p = Arc::new(fig2_like_problem());
+        let engine = AdmissionEngine::new(AdmissionConfig { combo_cap: 0 });
+        let residuals = Residuals::full(&p);
+        let available = vec![true; p.instance().num_agents()];
+        let mut scratch = EvalScratch::new();
+        let decision = engine
+            .place_session(
+                &p,
+                SessionId::new(0),
+                &AdmissionPolicy::AgRank(AgRankConfig::paper(2)),
+                &residuals,
+                &available,
+                &mut scratch,
+            )
+            .expect("roomy instance admits through repair");
+        assert!(matches!(
+            decision.stats.tier,
+            AdmissionTier::Repair | AdmissionTier::RankedFallback
+        ));
+    }
+
+    #[test]
+    fn unavailable_agents_are_never_targets() {
+        let p = Arc::new(fig2_like_problem());
+        let engine = AdmissionEngine::default();
+        let residuals = Residuals::full(&p);
+        let mut available = vec![true; p.instance().num_agents()];
+        // Fail the agent every user would otherwise pick first.
+        let down = p.instance().delays().nearest_agent(UserId::new(0));
+        available[down.index()] = false;
+        let mut scratch = EvalScratch::new();
+        // Exercise every tier: the default cap (enumeration) and a zero
+        // cap (greedy + repair, then ranked fallback) — repair in
+        // particular must never move a user onto the failed agent.
+        for engine in [
+            engine,
+            AdmissionEngine::new(AdmissionConfig { combo_cap: 0 }),
+        ] {
+            if let Ok(decision) = engine.place_session(
+                &p,
+                SessionId::new(0),
+                &AdmissionPolicy::AgRank(AgRankConfig::paper(3)),
+                &residuals,
+                &available,
+                &mut scratch,
+            ) {
+                for &(_, l) in decision.users.iter() {
+                    assert_ne!(l, down, "placed a user on a failed agent");
+                }
+                for &(_, l) in decision.tasks.iter() {
+                    assert_ne!(l, down, "placed a task on a failed agent");
+                }
+            }
         }
     }
 }

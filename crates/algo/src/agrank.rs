@@ -95,9 +95,18 @@ impl Residuals {
 
     /// Capacities minus the loads of a live system state (clamped at 0).
     pub fn from_state(state: &SystemState) -> Self {
-        let inst = state.problem().instance();
-        let totals = state.totals();
-        let mut r = Self::full(state.problem());
+        Self::from_totals(state.problem(), state.totals())
+    }
+
+    /// Capacities minus explicit per-agent load totals (clamped at 0) —
+    /// the **shared** residual derivation of the admission engine. The
+    /// offline [`from_state`](Self::from_state) and the fleet's
+    /// ledger-backed admission both route through here, so two worlds
+    /// whose live loads are bitwise equal see bitwise-equal residuals
+    /// (and hence make identical admission decisions).
+    pub fn from_totals(problem: &UapProblem, totals: &vc_core::AgentTotals) -> Self {
+        let inst = problem.instance();
+        let mut r = Self::full(problem);
         for l in inst.agent_ids() {
             let i = l.index();
             r.upload[i] = (r.upload[i] - totals.upload[i]).max(0.0);

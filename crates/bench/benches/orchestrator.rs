@@ -31,6 +31,7 @@ fn config() -> FleetConfig {
         placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
         alg1: Alg1Config::paper(400.0),
         ledger_shards: 4,
+        ..FleetConfig::default()
     }
 }
 

@@ -3,7 +3,11 @@
 //! ```text
 //! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
 //! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration
-//!      ablation churn orchestrator persist hop_bench all
+//!      ablation churn orchestrator persist hop_bench open_world admission_parity all
+//!
+//! An unknown experiment id prints the valid ids and exits with status
+//! 2 (asserted in CI), so a typo in an automation script fails the job
+//! instead of silently running nothing.
 //! ```
 //!
 //! The binary installs a counting global allocator so `hop_bench` can
@@ -56,7 +60,7 @@ struct Options {
     seed: u64,
 }
 
-const ALL_IDS: [&str; 18] = [
+const ALL_IDS: [&str; 19] = [
     "fig2",
     "fig4",
     "fig5",
@@ -75,6 +79,7 @@ const ALL_IDS: [&str; 18] = [
     "persist",
     "hop_bench",
     "open_world",
+    "admission_parity",
 ];
 
 fn usage() -> ! {
@@ -270,6 +275,16 @@ fn main() {
                     300
                 };
                 open_world::print(&open_world::run(seed_users, 10, opts.seed));
+            }
+            "admission_parity" => {
+                // `--scenarios` doubles as the large fleet-size target
+                // (default ≈1k and ≈12k sessions, the hop-bench scale).
+                let sizes: Vec<usize> = if opts.scenarios_set {
+                    vec![1_000, opts.scenarios.max(100)]
+                } else {
+                    vec![1_000, 12_000]
+                };
+                admission_parity::print(&admission_parity::run(&sizes, opts.seed));
             }
             "hop_bench" => {
                 // `--duration` (seconds) sets the per-config wall budget

@@ -1,0 +1,337 @@
+//! Admission-parity experiment (extension): one admission engine for
+//! the fleet and the Fig. 9 experiments — measured, and emitted as
+//! `BENCH_admission.json`.
+//!
+//! For each fleet size (≈1k and ≈12k sessions by default) over a
+//! capacity-contended Internet-scale universe, three admitters run over
+//! the same arrival order:
+//!
+//! * **fleet engine** — `Fleet::admit` under `AdmissionMode::Engine`
+//!   (the shared enumeration → repair → ranked-fallback search against
+//!   live ledger residuals), timed per admission;
+//! * **fleet legacy** — `Fleet::admit` under
+//!   `AdmissionMode::LegacyRanked` (the control plane's historical
+//!   walk), timed per admission;
+//! * **offline `admit_all`** — the Fig. 9 driver of the same engine
+//!   over a closed-world state.
+//!
+//! The headline claim is **parity**: the fleet engine's admitted
+//! session set equals the offline set exactly (the `parity` field must
+//! read `true`), while the legacy walk under-admits — the gap the
+//! engine closes. Conservation audits run after every fleet, and must
+//! be clean.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+use vc_algo::admission::{admit_all, AdmissionPolicy};
+use vc_algo::agrank::AgRankConfig;
+use vc_algo::markov::Alg1Config;
+use vc_core::UapProblem;
+use vc_model::SessionId;
+use vc_orchestrator::{AdmissionMode, Fleet, FleetConfig, PlacementPolicy};
+use vc_workloads::{large_scale_instance, LargeScaleConfig};
+
+/// One fleet-size measurement.
+#[derive(Debug, Clone)]
+pub struct AdmissionRow {
+    /// Sessions in the universe.
+    pub sessions: usize,
+    /// Users across those sessions.
+    pub users: usize,
+    /// Agents.
+    pub agents: usize,
+    /// Sessions the engine-mode fleet admitted.
+    pub engine_admitted: usize,
+    /// Engine-mode admitted fraction.
+    pub engine_fraction: f64,
+    /// Mean engine admit latency (µs, admissions and refusals alike).
+    pub engine_mean_us: f64,
+    /// p99 engine admit latency (µs).
+    pub engine_p99_us: f64,
+    /// Enumeration-tier admissions.
+    pub engine_enumeration: usize,
+    /// Repair-tier admissions.
+    pub engine_repair: usize,
+    /// Ranked-fallback-tier admissions.
+    pub engine_fallback: usize,
+    /// Repair moves applied across all admissions.
+    pub engine_repair_steps: usize,
+    /// Sessions the legacy-mode fleet admitted.
+    pub legacy_admitted: usize,
+    /// Legacy-mode admitted fraction.
+    pub legacy_fraction: f64,
+    /// Mean legacy admit latency (µs).
+    pub legacy_mean_us: f64,
+    /// Sessions the offline `admit_all` admitted.
+    pub offline_admitted: usize,
+    /// Offline admitted fraction.
+    pub offline_fraction: f64,
+    /// Whether the engine fleet's admitted set equals the offline set
+    /// exactly (the PR's correctness claim; must be `true`).
+    pub parity: bool,
+    /// Conservation-audit discrepancies after both fleet runs (must
+    /// be 0).
+    pub conservation_violations: usize,
+}
+
+/// All rows of one run.
+#[derive(Debug, Clone)]
+pub struct AdmissionParityResult {
+    /// One row per fleet size.
+    pub rows: Vec<AdmissionRow>,
+}
+
+/// A capacity-contended universe: tight enough that even the engine
+/// refuses a meaningful share of arrivals (~7–8 %; the legacy walk
+/// refuses ~25 %), so refusal accounting, the engine/legacy gap, and
+/// the parity claim are all exercised. Sessions here are small (≤ 3
+/// users), so every accepted placement comes from the enumeration
+/// tier; the repair/fallback tiers are exercised by the engine's unit
+/// tests, which force a zero combo cap.
+fn build_problem(target_sessions: usize, seed: u64) -> Arc<UapProblem> {
+    let instance = large_scale_instance(&LargeScaleConfig {
+        num_users: target_sessions * 3,
+        max_session_size: 3,
+        // Scale capacity with the fleet but keep it scarce: the Fig. 9
+        // transition regime, not the roomy hop-bench one.
+        mean_bandwidth_mbps: Some(7_000.0 * target_sessions as f64 / 1_000.0),
+        mean_transcode_slots: Some(450.0 * target_sessions as f64 / 1_000.0),
+        seed,
+        ..LargeScaleConfig::default()
+    });
+    Arc::new(UapProblem::new(
+        instance,
+        vc_cost::CostModel::paper_default(),
+    ))
+}
+
+fn config(admission: AdmissionMode) -> FleetConfig {
+    FleetConfig {
+        placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
+        admission,
+        alg1: Alg1Config::paper(400.0),
+        ledger_shards: 8,
+    }
+}
+
+/// Drives one fleet over all sessions in id order, timing each admit.
+/// Returns `(admitted set, per-admit latencies µs)`.
+fn drive(fleet: &Fleet) -> (BTreeSet<SessionId>, Vec<f64>) {
+    let n = fleet.problem().instance().num_sessions();
+    let mut admitted = BTreeSet::new();
+    let mut latencies = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = SessionId::new(i as u32);
+        let t0 = Instant::now();
+        let ok = fleet.admit(s).is_ok();
+        latencies.push(t0.elapsed().as_nanos() as f64 / 1e3);
+        if ok {
+            admitted.insert(s);
+        }
+    }
+    (admitted, latencies)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn p99(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    // ceil(0.99·n) − 1: the smallest rank covering 99 % of samples
+    // (n ≤ 100 would otherwise index the absolute maximum).
+    sorted[(99 * sorted.len()).div_ceil(100) - 1]
+}
+
+fn run_size(target: usize, seed: u64) -> AdmissionRow {
+    let problem = build_problem(target, seed);
+    let inst = problem.instance();
+    let n = inst.num_sessions();
+
+    let engine_fleet = Fleet::new(problem.clone(), config(AdmissionMode::default()));
+    let (engine_set, engine_lat) = drive(&engine_fleet);
+    let engine_audit = engine_fleet.audit().len();
+
+    let legacy_fleet = Fleet::new(problem.clone(), config(AdmissionMode::LegacyRanked));
+    let (legacy_set, legacy_lat) = drive(&legacy_fleet);
+    let legacy_audit = legacy_fleet.audit().len();
+
+    let offline = admit_all(
+        problem.clone(),
+        &AdmissionPolicy::AgRank(AgRankConfig::paper(3)),
+    );
+    let offline_set: BTreeSet<SessionId> = offline.state.active_sessions().collect();
+
+    use std::sync::atomic::Ordering::Relaxed;
+    let c = engine_fleet.counters();
+    AdmissionRow {
+        sessions: n,
+        users: inst.num_users(),
+        agents: inst.num_agents(),
+        engine_admitted: engine_set.len(),
+        engine_fraction: engine_set.len() as f64 / n as f64,
+        engine_mean_us: mean(&engine_lat),
+        engine_p99_us: p99(&engine_lat),
+        engine_enumeration: c.admitted_enumeration.load(Relaxed),
+        engine_repair: c.admitted_repair.load(Relaxed),
+        engine_fallback: c.admitted_fallback.load(Relaxed),
+        engine_repair_steps: c.repair_steps.load(Relaxed),
+        legacy_admitted: legacy_set.len(),
+        legacy_fraction: legacy_set.len() as f64 / n as f64,
+        legacy_mean_us: mean(&legacy_lat),
+        offline_admitted: offline_set.len(),
+        offline_fraction: offline_set.len() as f64 / n as f64,
+        parity: engine_set == offline_set,
+        conservation_violations: engine_audit + legacy_audit,
+    }
+}
+
+/// Runs the experiment across fleet sizes (target session counts).
+pub fn run(sizes: &[usize], seed: u64) -> AdmissionParityResult {
+    AdmissionParityResult {
+        rows: sizes.iter().map(|&t| run_size(t, seed)).collect(),
+    }
+}
+
+/// Serializes the result as the `BENCH_admission.json` document
+/// (hand-rolled: the vendored serde is a no-op shim).
+pub fn to_json(result: &AdmissionParityResult) -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"experiment\": \"admission_parity\",\n  \"cpus\": {cpus},\n  \"rows\": [\n"
+    );
+    for (i, r) in result.rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"sessions\": {}, \"users\": {}, \"agents\": {}, ",
+                "\"engine_admitted\": {}, \"engine_fraction\": {:.4}, ",
+                "\"engine_mean_us\": {:.1}, \"engine_p99_us\": {:.1}, ",
+                "\"engine_enumeration\": {}, \"engine_repair\": {}, ",
+                "\"engine_fallback\": {}, \"engine_repair_steps\": {}, ",
+                "\"legacy_admitted\": {}, \"legacy_fraction\": {:.4}, ",
+                "\"legacy_mean_us\": {:.1}, ",
+                "\"offline_admitted\": {}, \"offline_fraction\": {:.4}, ",
+                "\"parity\": {}, \"conservation_violations\": {}}}{}\n"
+            ),
+            r.sessions,
+            r.users,
+            r.agents,
+            r.engine_admitted,
+            r.engine_fraction,
+            r.engine_mean_us,
+            r.engine_p99_us,
+            r.engine_enumeration,
+            r.engine_repair,
+            r.engine_fallback,
+            r.engine_repair_steps,
+            r.legacy_admitted,
+            r.legacy_fraction,
+            r.legacy_mean_us,
+            r.offline_admitted,
+            r.offline_fraction,
+            r.parity,
+            r.conservation_violations,
+            if i + 1 == result.rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints the rows and writes `BENCH_admission.json` into the working
+/// directory.
+pub fn print(result: &AdmissionParityResult) {
+    println!("Admission parity — fleet engine vs legacy ranked walk vs offline admit_all");
+    println!(
+        "{:>9} {:>7} {:>8}/{:<8} {:>8}/{:<8} {:>8}/{:<8} {:>7}",
+        "sessions", "agents", "engine", "frac", "legacy", "frac", "offline", "frac", "parity"
+    );
+    for r in &result.rows {
+        println!(
+            "{:>9} {:>7} {:>8}/{:<8.4} {:>8}/{:<8.4} {:>8}/{:<8.4} {:>7}",
+            r.sessions,
+            r.agents,
+            r.engine_admitted,
+            r.engine_fraction,
+            r.legacy_admitted,
+            r.legacy_fraction,
+            r.offline_admitted,
+            r.offline_fraction,
+            r.parity,
+        );
+    }
+    println!("\nEngine admit latency and search-tier mix");
+    println!(
+        "{:>9} {:>10} {:>10} {:>12} {:>8} {:>9} {:>13} {:>11}",
+        "sessions",
+        "mean µs",
+        "p99 µs",
+        "enumeration",
+        "repair",
+        "fallback",
+        "repair steps",
+        "violations"
+    );
+    for r in &result.rows {
+        println!(
+            "{:>9} {:>10.1} {:>10.1} {:>12} {:>8} {:>9} {:>13} {:>11}",
+            r.sessions,
+            r.engine_mean_us,
+            r.engine_p99_us,
+            r.engine_enumeration,
+            r.engine_repair,
+            r.engine_fallback,
+            r.engine_repair_steps,
+            r.conservation_violations,
+        );
+    }
+    println!("\nLegacy admit latency (for comparison)");
+    for r in &result.rows {
+        println!(
+            "{:>9} sessions: mean {:.1} µs",
+            r.sessions, r.legacy_mean_us
+        );
+    }
+    let json = to_json(result);
+    match std::fs::write("BENCH_admission.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_admission.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_admission.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_has_parity_and_clean_audits() {
+        let result = run(&[60], 11);
+        assert_eq!(result.rows.len(), 1);
+        let r = &result.rows[0];
+        assert!(r.sessions >= 40, "universe lost sessions: {}", r.sessions);
+        assert!(r.parity, "engine fleet diverged from offline admit_all");
+        assert_eq!(r.conservation_violations, 0);
+        assert!(
+            r.engine_admitted >= r.legacy_admitted,
+            "engine under-admits"
+        );
+        assert_eq!(
+            r.engine_admitted,
+            r.engine_enumeration + r.engine_repair + r.engine_fallback
+        );
+        let json = to_json(&result);
+        assert!(json.contains("\"admission_parity\""));
+        assert!(json.contains("\"parity\": true"));
+    }
+}

@@ -247,6 +247,7 @@ fn run_size(
                     ..Alg1Config::paper(beta)
                 },
                 ledger_shards: 8,
+                ..FleetConfig::default()
             },
         );
         let pool = ReoptPool::new(seed);

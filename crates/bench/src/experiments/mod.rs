@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md's experiment index).
 
 pub mod ablation;
+pub mod admission_parity;
 pub mod churn;
 pub mod fig10;
 pub mod fig2;

@@ -86,6 +86,7 @@ pub fn run(seed_users: usize, growth: usize, seed: u64) -> OpenWorldResult {
             placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
             alg1: Alg1Config::paper(400.0),
             ledger_shards: 8,
+            ..FleetConfig::default()
         },
     );
     for i in 0..seed_sessions {

@@ -61,6 +61,7 @@ pub fn run(duration_s: f64, seed: u64) -> OrchestratorResult {
                         ..Alg1Config::paper(400.0)
                     },
                     ledger_shards: 4,
+                    ..FleetConfig::default()
                 },
                 sample_period_s: 1.0,
                 seed,

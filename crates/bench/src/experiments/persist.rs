@@ -78,6 +78,7 @@ fn run_size(target: usize, seed: u64) -> PersistRow {
             placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
             alg1: Alg1Config::paper(400.0),
             ledger_shards: 8,
+            ..FleetConfig::default()
         },
         PersistConfig {
             dir: store.clone(),
@@ -115,6 +116,8 @@ fn run_size(target: usize, seed: u64) -> PersistRow {
             session: s,
             users,
             tasks,
+            tier: vc_algo::admission::AdmissionTier::Enumeration,
+            repair_steps: 0,
         });
         sample_ops.push(FleetOp::Stay { session: s });
     }
@@ -171,6 +174,7 @@ fn run_size(target: usize, seed: u64) -> PersistRow {
             placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
             alg1: Alg1Config::paper(400.0),
             ledger_shards: 8,
+            ..FleetConfig::default()
         },
     )
     .expect("recover");

@@ -63,11 +63,18 @@ impl UapProblem {
     /// # Errors
     ///
     /// Propagates [`ModelError`] from
-    /// [`Instance::register_session`]; the problem is unchanged on
-    /// error.
+    /// [`Instance::register_session`], and refuses with
+    /// [`ModelError::LateJoinExtension`] if the instance carries a late
+    /// joiner (`Instance::register_user`) in a session whose tasks were
+    /// already derived — extension would silently miss the new user's
+    /// flows. The problem is unchanged on error.
     pub fn register_session(&mut self, def: &SessionDef) -> Result<SessionId, ModelError> {
+        // Guard first: the instance must not be mutated if extension is
+        // unsound, so the all-or-nothing contract holds. (The scan runs
+        // once — `extend_unchecked` skips the re-check.)
+        self.tasks.check_extension(&self.instance)?;
         let s = self.instance.register_session(def)?;
-        self.tasks.extend_for_instance(&self.instance);
+        self.tasks.extend_unchecked(&self.instance);
         // Same summation order as `compute_demanded` for the new tail.
         let instance = &self.instance;
         self.demanded_mbps

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use vc_model::{Instance, ReprId, SessionId, UserId};
+use vc_model::{Instance, ModelError, ReprId, SessionId, UserId};
 
 /// Dense identifier of a transcoding task (a `(u, v)` flow with `θ = 1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -95,15 +95,33 @@ impl TaskTable {
     /// Contract: only sessions past the already-covered count are
     /// scanned. Users added to an *already-covered* session (a late
     /// joiner via `Instance::register_user`) create flows this method
-    /// will never see — `UapProblem` does not support late joiners yet
-    /// (a named ROADMAP follow-up); grow the problem layer only through
+    /// will never see, so that case is **refused** with a typed error
+    /// (see [`check_extension`](Self::check_extension)) instead of
+    /// silently producing a table that misses the late joiner's tasks.
+    /// `UapProblem` does not support late joiners yet (a named ROADMAP
+    /// follow-up); grow the problem layer only through
     /// `UapProblem::register_session`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::LateJoinExtension`] if an already-covered session
+    /// gained a user since the table was built/extended.
     ///
     /// # Panics
     ///
     /// Panics if the instance has fewer sessions or users than the
     /// table already covers (growth is append-only).
-    pub fn extend_for_instance(&mut self, instance: &Instance) {
+    pub fn extend_for_instance(&mut self, instance: &Instance) -> Result<(), ModelError> {
+        self.check_extension(instance)?;
+        self.extend_unchecked(instance);
+        Ok(())
+    }
+
+    /// The extension proper, with the soundness scan already done —
+    /// lets `UapProblem::register_session`, which must run
+    /// [`check_extension`](Self::check_extension) *before* mutating its
+    /// instance (all-or-nothing contract), avoid scanning twice.
+    pub(crate) fn extend_unchecked(&mut self, instance: &Instance) {
         let covered = self.by_session.len();
         assert!(
             instance.num_sessions() >= covered && instance.num_users() >= self.by_src.len(),
@@ -126,6 +144,30 @@ impl TaskTable {
             }
             self.by_session.push(ids);
         }
+    }
+
+    /// Verifies that append-only extension over `instance` is sound:
+    /// every session the table already covers must still have exactly
+    /// the users it had at coverage time. A user id at or past the
+    /// covered user count inside a covered session is a late joiner
+    /// (`Instance::register_user`) whose flows extension would silently
+    /// miss.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::LateJoinExtension`] naming the first mutated
+    /// session.
+    pub fn check_extension(&self, instance: &Instance) -> Result<(), ModelError> {
+        let covered_sessions = self.by_session.len();
+        let covered_users = self.by_src.len();
+        for session in &instance.sessions()[..covered_sessions.min(instance.num_sessions())] {
+            if session.late_joined() && session.users().iter().any(|u| u.index() >= covered_users) {
+                return Err(ModelError::LateJoinExtension {
+                    session: session.id(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Total number of tasks (`θ_sum`).
@@ -282,5 +324,40 @@ mod tests {
         let t = table.task(TaskId::new(0));
         assert_eq!(t.src, u0);
         assert_eq!(t.target, r360);
+    }
+
+    #[test]
+    fn late_joined_session_refuses_append_only_extension() {
+        let mut inst = instance();
+        let mut table = TaskTable::build(&inst);
+        let r360 = inst.ladder().by_name("360p").unwrap().id();
+        // A late joiner into covered session 0: extension would miss
+        // the flows this user creates — it must refuse, typed.
+        inst.register_user(
+            SessionId::new(0),
+            &vc_model::UserDef {
+                upstream: r360,
+                downstream: DownstreamDemand::uniform(r360),
+                agent_delays_ms: vec![4.0, 5.0],
+                site_index: None,
+            },
+        )
+        .expect("model-level late join is legal");
+        assert!(inst.has_late_joiners());
+        let err = table.extend_for_instance(&inst).expect_err("must refuse");
+        assert_eq!(
+            err,
+            vc_model::ModelError::LateJoinExtension {
+                session: SessionId::new(0)
+            }
+        );
+        // A rebuild from scratch covers the late joiner fine.
+        let rebuilt = TaskTable::build(&inst);
+        assert!(rebuilt.len() >= table.len());
+        // And extension stays sound when the late joiner predates the
+        // coverage: the rebuilt table extends without complaint.
+        let mut rebuilt = rebuilt;
+        assert!(rebuilt.check_extension(&inst).is_ok());
+        assert!(rebuilt.extend_for_instance(&inst).is_ok());
     }
 }

@@ -321,8 +321,11 @@ impl Instance {
     /// cached demands) and the fleet grow exclusively through whole-
     /// session registration — a late joiner changes an existing
     /// session's flow set, which those layers do not yet re-derive
-    /// (a named ROADMAP follow-up). Do not feed an instance mutated by
-    /// this method into `UapProblem::register_session`-style extension.
+    /// (a named ROADMAP follow-up). The mutated session is flagged
+    /// ([`SessionSpec::late_joined`]); problem-layer extension over an
+    /// instance with late joiners it does not cover is refused with a
+    /// typed [`ModelError::LateJoinExtension`] instead of silently
+    /// producing a task table that misses the new user's flows.
     ///
     /// # Errors
     ///
@@ -346,10 +349,17 @@ impl Instance {
         }
         self.users.push(spec);
         self.sessions[session.index()].push_user(id);
+        self.sessions[session.index()].mark_late_joined();
         self.delays
             .push_user_columns(&[def.agent_delays_ms.as_slice()])
             .expect("column validated above");
         Ok(id)
+    }
+
+    /// Whether any session gained a late joiner via
+    /// [`register_user`](Self::register_user) since construction.
+    pub fn has_late_joiners(&self) -> bool {
+        self.sessions.iter().any(|s| s.late_joined())
     }
 
     /// Shared validation of one [`UserDef`]: ladder membership, override

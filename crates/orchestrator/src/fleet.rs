@@ -46,11 +46,15 @@
 //! recovery semantics are untouched.
 
 use crate::ledger::{CapacityLedger, HopResiduals, LedgerError, SessionHold};
+use crate::workers::TimerEntry;
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use vc_algo::agrank::{self, AgRankConfig};
+use vc_algo::admission::{
+    AdmissionConfig, AdmissionEngine, AdmissionFailure, AdmissionPolicy, AdmissionTier,
+};
+use vc_algo::agrank::{self, AgRankConfig, Residuals};
 use vc_algo::markov::{Alg1Config, Alg1Engine, HopOutcome, HopScratch};
 use vc_algo::placement;
 use vc_core::{
@@ -73,11 +77,34 @@ pub enum PlacementPolicy {
     AgRank(AgRankConfig),
 }
 
+/// Which admission search `Fleet::admit` runs.
+#[derive(Debug, Clone)]
+pub enum AdmissionMode {
+    /// The shared [`AdmissionEngine`] (enumeration → repair → ranked
+    /// fallback) against live ledger residuals — the same search the
+    /// offline Fig. 9 `admit_all` runs, so the control plane and the
+    /// experiments admit identical session sets.
+    Engine(AdmissionConfig),
+    /// The control plane's historical search: first-choice placement,
+    /// then each user walked one step down its ranked candidate list.
+    /// Retained for differential testing and the `admission_parity`
+    /// benchmark baseline.
+    LegacyRanked,
+}
+
+impl Default for AdmissionMode {
+    fn default() -> Self {
+        Self::Engine(AdmissionConfig::default())
+    }
+}
+
 /// Fleet configuration.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Placement at admission.
     pub placement: PlacementPolicy,
+    /// Which admission search runs over that policy's candidates.
+    pub admission: AdmissionMode,
     /// Alg. 1 parameters for the re-optimization workers.
     pub alg1: Alg1Config,
     /// Ledger shard count (clamped to the agent count).
@@ -88,6 +115,7 @@ impl Default for FleetConfig {
     fn default() -> Self {
         Self {
             placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
+            admission: AdmissionMode::default(),
             alg1: Alg1Config::default(),
             ledger_shards: 8,
         }
@@ -99,9 +127,20 @@ impl Default for FleetConfig {
 pub enum AdmitError {
     /// The session is already live.
     AlreadyLive(SessionId),
-    /// No placement satisfied the ledger (last refusal attached).
+    /// The admission engine exhausted its search; the stage is the
+    /// furthest the search reached (user fit → task fit → global
+    /// check), mirroring the offline `admit_all` diagnostics.
+    Refused {
+        /// The refused session.
+        session: SessionId,
+        /// The furthest search stage reached.
+        stage: AdmissionFailure,
+    },
+    /// No placement satisfied the ledger (last refusal attached;
+    /// [`AdmissionMode::LegacyRanked`] only).
     NoCapacity(LedgerError),
-    /// The placement satisfied capacities but broke the delay bound.
+    /// The placement satisfied capacities but broke the delay bound
+    /// ([`AdmissionMode::LegacyRanked`] only).
     DelayBound {
         /// Worst flow delay of the attempted placement (ms).
         delay_ms: f64,
@@ -132,6 +171,22 @@ pub struct FleetCounters {
     /// Evacuation moves that were *forced* (no feasible target existed —
     /// capacity may be overshot until re-optimization drains it).
     pub forced_moves: AtomicUsize,
+    /// Admissions placed by the engine's enumeration tier.
+    pub admitted_enumeration: AtomicUsize,
+    /// Admissions placed by greedy + violation-driven repair.
+    pub admitted_repair: AtomicUsize,
+    /// Admissions placed by the ranked-fallback tier (including every
+    /// [`AdmissionMode::LegacyRanked`] admission).
+    pub admitted_fallback: AtomicUsize,
+    /// Violation-driven repair moves applied across all admissions.
+    pub repair_steps: AtomicUsize,
+    /// Refusals at the user-placement stage.
+    pub refused_user_fit: AtomicUsize,
+    /// Refusals at the transcoding-placement stage.
+    pub refused_task_fit: AtomicUsize,
+    /// Refusals at the global feasibility check (capacity interplay or
+    /// the delay bound; legacy-mode capacity/delay refusals included).
+    pub refused_global: AtomicUsize,
 }
 
 impl FleetCounters {
@@ -284,6 +339,15 @@ pub struct Fleet {
     pub(crate) persist: Option<crate::persist::FleetPersistence>,
     /// Stays observed but not yet flushed as a `StayBatch` record.
     pub(crate) pending_stays: AtomicU64,
+    /// The last worker-pool timer state this fleet saw — journaled via
+    /// [`journal_timers`](Fleet::journal_timers), restored by recovery,
+    /// and carried by every durable snapshot so recovered fleets resume
+    /// WAIT countdowns instead of re-drawing them.
+    pub(crate) timers: Mutex<Vec<TimerEntry>>,
+    /// Reusable evaluation buffers for the admission path (admissions
+    /// are FREEZE-exclusive, so the mutex is uncontended; reusing the
+    /// `L×L` flow matrix avoids re-allocating it per admit).
+    admit_scratch: Mutex<EvalScratch>,
 }
 
 impl Fleet {
@@ -313,6 +377,8 @@ impl Fleet {
             counters: FleetCounters::default(),
             persist: None,
             pending_stays: AtomicU64::new(0),
+            timers: Mutex::new(Vec::new()),
+            admit_scratch: Mutex::new(EvalScratch::new()),
         }
     }
 
@@ -369,10 +435,26 @@ impl Fleet {
         &self.engine
     }
 
-    /// Admits session `s`: bootstrap placement (per the configured
-    /// policy), atomic ledger reservation, activation. On any refusal
-    /// the fleet is left exactly as before. Coarse path: takes the
-    /// FREEZE write lock.
+    /// The offline-shaped admission policy the configured placement
+    /// maps to (the engine consumes `vc-algo`'s policy type).
+    fn admission_policy(&self) -> AdmissionPolicy {
+        match &self.config.placement {
+            PlacementPolicy::Nearest => AdmissionPolicy::Nearest,
+            PlacementPolicy::AgRank(config) => AdmissionPolicy::AgRank(*config),
+        }
+    }
+
+    /// Admits session `s` through the configured admission search
+    /// against **live** fleet state (ledger residuals + availability),
+    /// then books the ledger hold and activates the slot. On any
+    /// refusal the fleet is left exactly as before. Coarse path: takes
+    /// the FREEZE write lock.
+    ///
+    /// Under [`AdmissionMode::Engine`] the search is the shared
+    /// [`AdmissionEngine`] — the same enumeration / violation-driven
+    /// repair / ranked fallback the Fig. 9 `admit_all` runs — so the
+    /// control plane admits exactly the sessions the offline
+    /// reproduction admits (proptested in `tests/admission_parity.rs`).
     ///
     /// # Errors
     ///
@@ -382,12 +464,143 @@ impl Fleet {
         let mut slot = u.slots[s.index()].lock();
         if slot.active {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            self.log_op(|| crate::persist::FleetOp::Reject { session: s });
+            self.log_op(|| crate::persist::FleetOp::Reject {
+                session: s,
+                reason: crate::persist::RefusalReason::AlreadyLive,
+            });
             return Err(AdmitError::AlreadyLive(s));
         }
         let problem = &u.problem;
+        let result = match &self.config.admission {
+            AdmissionMode::Engine(config) => {
+                self.admit_engine(problem, &mut slot, s, config.clone())
+            }
+            AdmissionMode::LegacyRanked => self.admit_legacy(problem, &mut slot, s),
+        };
+        match &result {
+            Ok(stats) => {
+                self.live.fetch_add(1, Ordering::Relaxed);
+                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                let tier_counter = match stats.tier {
+                    AdmissionTier::Enumeration => &self.counters.admitted_enumeration,
+                    AdmissionTier::Repair => &self.counters.admitted_repair,
+                    AdmissionTier::RankedFallback => &self.counters.admitted_fallback,
+                };
+                tier_counter.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .repair_steps
+                    .fetch_add(stats.repair_steps, Ordering::Relaxed);
+                let (tier, repair_steps) = (stats.tier, stats.repair_steps as u64);
+                self.log_op(|| {
+                    let (users, tasks) = placement_of_slot(problem, s, &slot);
+                    crate::persist::FleetOp::Admit {
+                        session: s,
+                        users,
+                        tasks,
+                        tier,
+                        repair_steps,
+                    }
+                });
+            }
+            Err(e) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                let reason = match e {
+                    AdmitError::Refused {
+                        stage: AdmissionFailure::UserFit,
+                        ..
+                    } => {
+                        self.counters
+                            .refused_user_fit
+                            .fetch_add(1, Ordering::Relaxed);
+                        crate::persist::RefusalReason::UserFit
+                    }
+                    AdmitError::Refused {
+                        stage: AdmissionFailure::TaskFit,
+                        ..
+                    } => {
+                        self.counters
+                            .refused_task_fit
+                            .fetch_add(1, Ordering::Relaxed);
+                        crate::persist::RefusalReason::TaskFit
+                    }
+                    AdmitError::Refused {
+                        stage: AdmissionFailure::GlobalCheck,
+                        ..
+                    } => {
+                        self.counters.refused_global.fetch_add(1, Ordering::Relaxed);
+                        crate::persist::RefusalReason::GlobalCheck
+                    }
+                    AdmitError::NoCapacity(_) => {
+                        self.counters.refused_global.fetch_add(1, Ordering::Relaxed);
+                        crate::persist::RefusalReason::Capacity
+                    }
+                    AdmitError::DelayBound { .. } => {
+                        self.counters.refused_global.fetch_add(1, Ordering::Relaxed);
+                        crate::persist::RefusalReason::Delay
+                    }
+                    AdmitError::AlreadyLive(_) | AdmitError::Register(_) => {
+                        unreachable!("search paths never produce these")
+                    }
+                };
+                self.log_op(|| crate::persist::FleetOp::Reject { session: s, reason });
+            }
+        };
+        result.map(|_| ())
+    }
+
+    /// The shared-engine admission search against the live ledger:
+    /// residuals are capacity minus the booked reservation totals —
+    /// derived through the same [`Residuals::from_totals`] the offline
+    /// world uses, so both worlds search identical spaces — and failed
+    /// agents are masked. On success the placement is installed and the
+    /// hold booked *unchecked* (the engine already proved it fits; the
+    /// exclusive FREEZE lock excludes races).
+    fn admit_engine(
+        &self,
+        problem: &Arc<UapProblem>,
+        slot: &mut SessionSlot,
+        s: SessionId,
+        config: AdmissionConfig,
+    ) -> Result<vc_algo::admission::AdmissionStats, AdmitError> {
+        let engine = AdmissionEngine::new(config);
+        let residuals = Residuals::from_totals(problem, &self.ledger.reserved_totals());
+        let available: Vec<bool> = self
+            .available
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let mut scratch = self.admit_scratch.lock();
+        let decision = engine
+            .place_session(
+                problem,
+                s,
+                &self.admission_policy(),
+                &residuals,
+                &available,
+                &mut scratch,
+            )
+            .map_err(|stage| AdmitError::Refused { session: s, stage })?;
+        // `scratch` holds the accepted placement's evaluated load.
+        install_placement(problem, slot, s, &decision.users, &decision.tasks);
+        slot.load.clone_from(scratch.load());
+        slot.active = true;
+        self.ledger
+            .book_unchecked(s, SessionHold::from_load(scratch.load()))
+            .expect("inactive session holds no reservation");
+        Ok(decision.stats)
+    }
+
+    /// The historical control-plane search (see
+    /// [`AdmissionMode::LegacyRanked`]).
+    fn admit_legacy(
+        &self,
+        problem: &Arc<UapProblem>,
+        slot: &mut SessionSlot,
+        s: SessionId,
+    ) -> Result<vc_algo::admission::AdmissionStats, AdmitError> {
         let inst = problem.instance();
-        let mut scratch = EvalScratch::new();
+        let mut scratch = self.admit_scratch.lock();
+        let mut candidates_evaluated = 1usize;
         let result = match &self.config.placement {
             PlacementPolicy::Nearest => {
                 let users: Vec<(UserId, AgentId)> = inst
@@ -397,32 +610,25 @@ impl Fleet {
                     .map(|&u| (u, inst.delays().nearest_agent(u)))
                     .collect();
                 let (users, tasks) = with_tasks(problem, s, users);
-                self.try_placement(problem, &mut slot, &mut scratch, s, &users, &tasks)
+                self.try_placement(problem, slot, &mut scratch, s, &users, &tasks)
             }
             PlacementPolicy::AgRank(config) => {
                 let residuals = self.ledger.residuals();
                 let sa = agrank::assign_session(problem, s, &residuals, config);
                 // First choice reuses the bootstrap's own task placement.
                 let mut outcome =
-                    self.try_placement(problem, &mut slot, &mut scratch, s, &sa.users, &sa.tasks);
+                    self.try_placement(problem, slot, &mut scratch, s, &sa.users, &sa.tasks);
                 if outcome.is_err() {
                     // Fallbacks, built lazily only after a refusal: walk
-                    // each user one step down its ranked candidate list
-                    // (bounded; full combinatorial search is admission's
-                    // offline job, not the control plane's).
+                    // each user one step down its ranked candidate list.
                     'search: for (i, (u, _)) in sa.users.iter().enumerate() {
                         for &alt in sa.ranking.candidates_of(*u).iter().skip(1) {
                             let mut users = sa.users.clone();
                             users[i] = (*u, alt);
                             let (users, tasks) = with_tasks(problem, s, users);
-                            match self.try_placement(
-                                problem,
-                                &mut slot,
-                                &mut scratch,
-                                s,
-                                &users,
-                                &tasks,
-                            ) {
+                            candidates_evaluated += 1;
+                            match self.try_placement(problem, slot, &mut scratch, s, &users, &tasks)
+                            {
                                 Ok(()) => {
                                     outcome = Ok(());
                                     break 'search;
@@ -435,25 +641,11 @@ impl Fleet {
                 outcome
             }
         };
-        match result {
-            Ok(()) => {
-                self.live.fetch_add(1, Ordering::Relaxed);
-                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
-                self.log_op(|| {
-                    let (users, tasks) = placement_of_slot(problem, s, &slot);
-                    crate::persist::FleetOp::Admit {
-                        session: s,
-                        users,
-                        tasks,
-                    }
-                });
-            }
-            Err(_) => {
-                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                self.log_op(|| crate::persist::FleetOp::Reject { session: s });
-            }
-        };
-        result
+        result.map(|()| vc_algo::admission::AdmissionStats {
+            tier: AdmissionTier::RankedFallback,
+            repair_steps: 0,
+            candidates_evaluated,
+        })
     }
 
     /// Tries one placement: evaluate it (overlaying the proposal on the
@@ -488,22 +680,7 @@ impl Fleet {
         self.ledger
             .try_reserve(s, SessionHold::from_load(load))
             .map_err(AdmitError::NoCapacity)?;
-        let user_ids = problem.instance().session(s).users();
-        for &(u, a) in users {
-            let i = user_ids
-                .iter()
-                .position(|&w| w == u)
-                .expect("placed user belongs to the session");
-            slot.users[i] = a;
-        }
-        let task_ids = problem.tasks().of_session(s);
-        for &(t, a) in tasks {
-            let i = task_ids
-                .iter()
-                .position(|&w| w == t)
-                .expect("placed task belongs to the session");
-            slot.tasks[i] = a;
-        }
+        install_placement(problem, slot, s, users, tasks);
         slot.load.clone_from(scratch.load());
         slot.active = true;
         Ok(())
@@ -1122,6 +1299,33 @@ fn slot_view<'a>(problem: &'a UapProblem, s: SessionId, slot: &'a SessionSlot) -
 fn with_tasks(problem: &Arc<UapProblem>, s: SessionId, users: Vec<(UserId, AgentId)>) -> Placement {
     let tasks = placement::rule_of_thumb_session(problem, s, &users);
     (users, tasks)
+}
+
+/// Writes a full (or partial) placement into the slot's vectors,
+/// resolving each id to its slot index.
+pub(crate) fn install_placement(
+    problem: &UapProblem,
+    slot: &mut SessionSlot,
+    s: SessionId,
+    users: &[(UserId, AgentId)],
+    tasks: &[(TaskId, AgentId)],
+) {
+    let user_ids = problem.instance().session(s).users();
+    for &(u, a) in users {
+        let i = user_ids
+            .iter()
+            .position(|&w| w == u)
+            .expect("placed user belongs to the session");
+        slot.users[i] = a;
+    }
+    let task_ids = problem.tasks().of_session(s);
+    for &(t, a) in tasks {
+        let i = task_ids
+            .iter()
+            .position(|&w| w == t)
+            .expect("placed task belongs to the session");
+        slot.tasks[i] = a;
+    }
 }
 
 /// Writes `decision` into the slot's placement vectors.

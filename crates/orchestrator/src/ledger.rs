@@ -458,6 +458,24 @@ impl CapacityLedger {
         out
     }
 
+    /// Books `hold` for `session` *without* re-checking capacity — the
+    /// admission engine already proved the placement fits against this
+    /// ledger's residuals under the exclusive FREEZE lock, so a second
+    /// epsilon-sensitive check could only disagree spuriously. The
+    /// engine is the authority; the ledger mirrors it.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::AlreadyHeld`] if the session already holds a
+    /// reservation (an admit/activate invariant breach).
+    pub(crate) fn book_unchecked(
+        &self,
+        session: SessionId,
+        hold: SessionHold,
+    ) -> Result<(), LedgerError> {
+        self.restore_hold(session, hold)
+    }
+
     /// Books `hold` for `session` *without* capacity or availability
     /// checks — the crash-recovery path re-installing a snapshot's
     /// holdings, which may legitimately overshoot (forced evacuations)
@@ -622,6 +640,24 @@ impl CapacityLedger {
                 f64::from(e.capacity.transcode_slots) - f64::from(e.units())
             };
         });
+    }
+
+    /// The booked per-agent reservation totals as [`AgentTotals`] —
+    /// the live-fleet mirror of `SystemState::totals`. Lock-free (`L`
+    /// relaxed loads per resource); globally consistent when called
+    /// under the fleet's FREEZE write lock, which quiesces mutators.
+    /// Feeding these through `Residuals::from_totals` gives the
+    /// admission engine the same residual shape the offline world
+    /// derives from a closed-world state.
+    pub fn reserved_totals(&self) -> AgentTotals {
+        let mut totals = AgentTotals::zero(self.num_agents);
+        self.for_each_entry(|agent, e| {
+            let i = agent.index();
+            totals.download[i] = e.download();
+            totals.upload[i] = e.upload();
+            totals.transcode[i] = e.units();
+        });
+        totals
     }
 
     /// Residual capacities in the shape `vc-algo`'s AgRank consumes

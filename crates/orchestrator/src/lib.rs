@@ -83,13 +83,16 @@ pub mod telemetry;
 mod tests;
 pub mod workers;
 
-pub use fleet::{AdmitError, Fleet, FleetConfig, FleetCounters, FleetHopScratch, PlacementPolicy};
+pub use fleet::{
+    AdmissionMode, AdmitError, Fleet, FleetConfig, FleetCounters, FleetHopScratch, PlacementPolicy,
+};
 pub use ledger::{
     AgentHold, AgentUtilization, CapacityLedger, HopResiduals, LedgerError, SessionHold,
 };
 pub use orchestrator::{FleetReport, Orchestrator, OrchestratorConfig};
 pub use persist::{
     CounterSnapshot, DurableFleetState, FleetOp, PersistConfig, PersistError, RecoveryReport,
+    RefusalReason,
 };
 pub use telemetry::{FleetSnapshot, FleetTelemetry};
-pub use workers::ReoptPool;
+pub use workers::{ReoptPool, TimerEntry};

@@ -27,12 +27,20 @@
 //! ## Replay semantics
 //!
 //! Deterministic effects are re-derived, not logged: `FailAgent`
-//! replays by re-running the (deterministic) evacuation, and an
-//! `Admit` carries the chosen placement so replay installs it directly
-//! instead of re-running the placement search. `Hop` carries the
+//! replays by re-running the (deterministic) evacuation. Admission is
+//! the opposite: since format v4 the decision is **search-dependent**
+//! (the engine searches against live residuals, and a recovered build
+//! might be configured differently), so an `Admit` carries the chosen
+//! placement *and* its search tier/repair effort — replay installs the
+//! journaled placement bit-for-bit and re-increments the per-tier
+//! counters, never re-running the search. `Reject` carries its typed
+//! refusal reason for the same counter-exactness. `Hop` carries the
 //! decision plus its old assignment, letting replay detect divergence
 //! (a mismatched old agent means the journal and snapshot disagree —
-//! corruption, not a tolerable tail).
+//! corruption, not a tolerable tail). `Timers` records (and the v4
+//! snapshot's timer field) carry the worker pool's reconstructible
+//! WAIT-countdown state, so a recovered fleet resumes its timers
+//! instead of re-drawing them.
 //!
 //! ## Recovery
 //!
@@ -45,12 +53,14 @@
 use crate::fleet::{self, Fleet, FleetConfig, FleetCounters};
 use crate::ledger::{AgentHold, SessionHold};
 use crate::telemetry::FleetSnapshot;
+use crate::workers::{ReoptPool, TimerEntry};
 use parking_lot::Mutex;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use vc_algo::admission::AdmissionTier;
 use vc_core::{Decision, TaskId, UapProblem};
 use vc_model::{AgentId, SessionDef, SessionId, UserId};
 use vc_persist::codec::{CodecError, Decode, Encode, Reader};
@@ -63,7 +73,10 @@ use vc_persist::snapshot::{
 /// FREEZE lock in both live operation and replay.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetOp {
-    /// A session was admitted with this exact placement.
+    /// A session was admitted with this exact placement. Admission is
+    /// search-dependent (format v4): replay installs the journaled
+    /// placement directly and re-increments the tier/repair counters —
+    /// it never re-runs the search.
     Admit {
         /// The admitted session.
         session: SessionId,
@@ -71,11 +84,17 @@ pub enum FleetOp {
         users: Vec<(UserId, AgentId)>,
         /// Chosen transcoding-task placement (instance order).
         tasks: Vec<(TaskId, AgentId)>,
+        /// The search tier that produced the placement.
+        tier: AdmissionTier,
+        /// Violation-driven repair moves the search applied.
+        repair_steps: u64,
     },
     /// An admission attempt was refused (counter-only; no state change).
     Reject {
         /// The refused session.
         session: SessionId,
+        /// Why it was refused (drives the per-reason counters).
+        reason: RefusalReason,
     },
     /// A live session departed.
     Depart {
@@ -125,6 +144,107 @@ pub enum FleetOp {
         /// columns) — everything needed to regrow the universe.
         def: SessionDef,
     },
+    /// The worker pool's WAIT-timer state at a durability boundary
+    /// (format v4): one entry per live logical worker. Replay installs
+    /// the newest record so recovery hands the caller exactly the
+    /// countdowns the crashed pool had pending.
+    Timers {
+        /// Live worker timers, ascending by session.
+        entries: Vec<TimerEntry>,
+    },
+}
+
+/// Why an admission attempt was refused — the journaled shape of
+/// `AdmitError`, driving the per-reason counters through replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The session was already live.
+    AlreadyLive,
+    /// No candidate agent could carry a user's last mile.
+    UserFit,
+    /// No agent with a free slot could take a transcoding group.
+    TaskFit,
+    /// The fully placed session failed the global check.
+    GlobalCheck,
+    /// Legacy-mode ledger refusal.
+    Capacity,
+    /// Legacy-mode delay-bound refusal.
+    Delay,
+}
+
+impl Encode for RefusalReason {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Self::AlreadyLive => 0,
+            Self::UserFit => 1,
+            Self::TaskFit => 2,
+            Self::GlobalCheck => 3,
+            Self::Capacity => 4,
+            Self::Delay => 5,
+        });
+    }
+}
+
+impl Decode for RefusalReason {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::AlreadyLive),
+            1 => Ok(Self::UserFit),
+            2 => Ok(Self::TaskFit),
+            3 => Ok(Self::GlobalCheck),
+            4 => Ok(Self::Capacity),
+            5 => Ok(Self::Delay),
+            tag => Err(CodecError::BadTag {
+                what: "RefusalReason",
+                tag,
+            }),
+        }
+    }
+}
+
+/// `AdmissionTier` lives in `vc-algo` and `Encode` in `vc-persist`, so
+/// the codec is a pair of free functions rather than an (orphan-rule-
+/// forbidden) trait impl.
+fn encode_tier(tier: AdmissionTier, out: &mut Vec<u8>) {
+    out.push(match tier {
+        AdmissionTier::Enumeration => 0,
+        AdmissionTier::Repair => 1,
+        AdmissionTier::RankedFallback => 2,
+    });
+}
+
+fn decode_tier(r: &mut Reader<'_>) -> Result<AdmissionTier, CodecError> {
+    match u8::decode(r)? {
+        0 => Ok(AdmissionTier::Enumeration),
+        1 => Ok(AdmissionTier::Repair),
+        2 => Ok(AdmissionTier::RankedFallback),
+        tag => Err(CodecError::BadTag {
+            what: "AdmissionTier",
+            tag,
+        }),
+    }
+}
+
+impl Encode for TimerEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.session.encode(out);
+        self.due_us.encode(out);
+        self.epoch.encode(out);
+        self.draws.encode(out);
+        self.active.encode(out);
+    }
+}
+
+impl Decode for TimerEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            session: SessionId::decode(r)?,
+            due_us: u64::decode(r)?,
+            epoch: u64::decode(r)?,
+            draws: u64::decode(r)?,
+            active: bool::decode(r)?,
+        })
+    }
 }
 
 impl Encode for FleetOp {
@@ -134,15 +254,20 @@ impl Encode for FleetOp {
                 session,
                 users,
                 tasks,
+                tier,
+                repair_steps,
             } => {
                 out.push(0);
                 session.encode(out);
                 users.encode(out);
                 tasks.encode(out);
+                encode_tier(*tier, out);
+                repair_steps.encode(out);
             }
-            Self::Reject { session } => {
+            Self::Reject { session, reason } => {
                 out.push(1);
                 session.encode(out);
+                reason.encode(out);
             }
             Self::Depart { session } => {
                 out.push(2);
@@ -179,6 +304,10 @@ impl Encode for FleetOp {
                 session.encode(out);
                 def.encode(out);
             }
+            Self::Timers { entries } => {
+                out.push(9);
+                entries.encode(out);
+            }
         }
     }
 }
@@ -190,9 +319,12 @@ impl Decode for FleetOp {
                 session: SessionId::decode(r)?,
                 users: Vec::decode(r)?,
                 tasks: Vec::decode(r)?,
+                tier: decode_tier(r)?,
+                repair_steps: u64::decode(r)?,
             }),
             1 => Ok(Self::Reject {
                 session: SessionId::decode(r)?,
+                reason: RefusalReason::decode(r)?,
             }),
             2 => Ok(Self::Depart {
                 session: SessionId::decode(r)?,
@@ -217,6 +349,9 @@ impl Decode for FleetOp {
             8 => Ok(Self::RegisterSession {
                 session: SessionId::decode(r)?,
                 def: SessionDef::decode(r)?,
+            }),
+            9 => Ok(Self::Timers {
+                entries: Vec::decode(r)?,
             }),
             tag => Err(CodecError::BadTag {
                 what: "FleetOp",
@@ -277,6 +412,14 @@ impl Encode for FleetSnapshot {
         self.departed.encode(out);
         self.migrations.encode(out);
         self.admission_success_rate.encode(out);
+        self.admission_attempts.encode(out);
+        self.admitted_enumeration.encode(out);
+        self.admitted_repair.encode(out);
+        self.admitted_fallback.encode(out);
+        self.admission_repair_steps.encode(out);
+        self.refused_user_fit.encode(out);
+        self.refused_task_fit.encode(out);
+        self.refused_global.encode(out);
         self.conservation_violations.encode(out);
     }
 }
@@ -299,6 +442,14 @@ impl Decode for FleetSnapshot {
             departed: usize::decode(r)?,
             migrations: usize::decode(r)?,
             admission_success_rate: f64::decode(r)?,
+            admission_attempts: usize::decode(r)?,
+            admitted_enumeration: usize::decode(r)?,
+            admitted_repair: usize::decode(r)?,
+            admitted_fallback: usize::decode(r)?,
+            admission_repair_steps: usize::decode(r)?,
+            refused_user_fit: usize::decode(r)?,
+            refused_task_fit: usize::decode(r)?,
+            refused_global: usize::decode(r)?,
             conservation_violations: usize::decode(r)?,
         })
     }
@@ -321,6 +472,20 @@ pub struct CounterSnapshot {
     pub evacuations: u64,
     /// Forced evacuation moves.
     pub forced_moves: u64,
+    /// Admissions placed by the enumeration tier.
+    pub admitted_enumeration: u64,
+    /// Admissions placed by greedy + repair.
+    pub admitted_repair: u64,
+    /// Admissions placed by the ranked fallback (legacy mode included).
+    pub admitted_fallback: u64,
+    /// Violation-driven repair moves across all admissions.
+    pub repair_steps: u64,
+    /// Refusals at the user-placement stage.
+    pub refused_user_fit: u64,
+    /// Refusals at the transcoding-placement stage.
+    pub refused_task_fit: u64,
+    /// Refusals at the global check (legacy capacity/delay included).
+    pub refused_global: u64,
 }
 
 impl CounterSnapshot {
@@ -335,6 +500,13 @@ impl CounterSnapshot {
             stays: get(&c.stays),
             evacuations: get(&c.evacuations),
             forced_moves: get(&c.forced_moves),
+            admitted_enumeration: get(&c.admitted_enumeration),
+            admitted_repair: get(&c.admitted_repair),
+            admitted_fallback: get(&c.admitted_fallback),
+            repair_steps: get(&c.repair_steps),
+            refused_user_fit: get(&c.refused_user_fit),
+            refused_task_fit: get(&c.refused_task_fit),
+            refused_global: get(&c.refused_global),
         }
     }
 
@@ -349,6 +521,13 @@ impl CounterSnapshot {
         set(&c.stays, self.stays);
         set(&c.evacuations, self.evacuations);
         set(&c.forced_moves, self.forced_moves);
+        set(&c.admitted_enumeration, self.admitted_enumeration);
+        set(&c.admitted_repair, self.admitted_repair);
+        set(&c.admitted_fallback, self.admitted_fallback);
+        set(&c.repair_steps, self.repair_steps);
+        set(&c.refused_user_fit, self.refused_user_fit);
+        set(&c.refused_task_fit, self.refused_task_fit);
+        set(&c.refused_global, self.refused_global);
     }
 }
 
@@ -361,6 +540,13 @@ impl Encode for CounterSnapshot {
         self.stays.encode(out);
         self.evacuations.encode(out);
         self.forced_moves.encode(out);
+        self.admitted_enumeration.encode(out);
+        self.admitted_repair.encode(out);
+        self.admitted_fallback.encode(out);
+        self.repair_steps.encode(out);
+        self.refused_user_fit.encode(out);
+        self.refused_task_fit.encode(out);
+        self.refused_global.encode(out);
     }
 }
 
@@ -374,6 +560,13 @@ impl Decode for CounterSnapshot {
             stays: u64::decode(r)?,
             evacuations: u64::decode(r)?,
             forced_moves: u64::decode(r)?,
+            admitted_enumeration: u64::decode(r)?,
+            admitted_repair: u64::decode(r)?,
+            admitted_fallback: u64::decode(r)?,
+            repair_steps: u64::decode(r)?,
+            refused_user_fit: u64::decode(r)?,
+            refused_task_fit: u64::decode(r)?,
+            refused_global: u64::decode(r)?,
         })
     }
 }
@@ -401,6 +594,11 @@ pub struct DurableFleetState {
     pub holdings: Vec<(SessionId, SessionHold)>,
     /// Control-plane counters.
     pub counters: CounterSnapshot,
+    /// Worker-pool WAIT timers at the last durability boundary that
+    /// recorded them (format v4; empty when the fleet runs without a
+    /// pool or never journaled timers). Recovery hands these back so
+    /// the pool resumes countdowns instead of re-drawing them.
+    pub timers: Vec<TimerEntry>,
 }
 
 impl Encode for DurableFleetState {
@@ -412,6 +610,7 @@ impl Encode for DurableFleetState {
         self.available.encode(out);
         self.holdings.encode(out);
         self.counters.encode(out);
+        self.timers.encode(out);
     }
 }
 
@@ -425,6 +624,7 @@ impl Decode for DurableFleetState {
             available: Vec::decode(r)?,
             holdings: Vec::decode(r)?,
             counters: CounterSnapshot::decode(r)?,
+            timers: Vec::decode(r)?,
         })
     }
 }
@@ -575,6 +775,10 @@ pub struct RecoveryReport {
     pub torn_tail: bool,
     /// The last event sequence number in the recovered state.
     pub last_seq: u64,
+    /// The newest journaled worker-pool timer state (empty if none was
+    /// ever recorded). Feed into `ReoptPool::restore_timers` so the
+    /// recovered fleet's WAIT countdowns resume exactly.
+    pub timers: Vec<TimerEntry>,
 }
 
 /// Captures the durable state from the slots. Caller holds the FREEZE
@@ -595,6 +799,7 @@ fn capture(fleet: &Fleet, u: &fleet::Universe) -> DurableFleetState {
             .collect(),
         holdings: fleet.ledger.holdings(),
         counters: CounterSnapshot::capture(&fleet.counters),
+        timers: fleet.timers.lock().clone(),
     }
 }
 
@@ -796,6 +1001,7 @@ impl Fleet {
             journal: Mutex::new(journal),
             _lock: lock,
         });
+        let timers = fleet.timers.lock().clone();
         Ok((
             fleet,
             RecoveryReport {
@@ -803,8 +1009,43 @@ impl Fleet {
                 replayed,
                 torn_tail,
                 last_seq,
+                timers,
             },
         ))
+    }
+
+    /// Journals the worker pool's current WAIT-timer state (and caches
+    /// it for the next snapshot). Call at durability boundaries — e.g.
+    /// alongside [`commit_journal`](Fleet::commit_journal) or before
+    /// [`checkpoint`](Fleet::checkpoint) — so a crash-recovered fleet
+    /// resumes its countdowns instead of re-drawing them. Takes the
+    /// FREEZE write lock for a consistent cut; no-op apart from the
+    /// cache on ephemeral fleets.
+    ///
+    /// **Quiescence contract**: the cut is exact only while no wakeup
+    /// is *in flight* — i.e. between [`ReoptPool::tick_until`] calls
+    /// (the virtual-clock drive, which is synchronous) or after
+    /// [`ReoptPool::run_wall`] has returned. A wall-clock worker that
+    /// has popped its due entry but not yet rescheduled is invisible to
+    /// [`ReoptPool::timer_state`]; journaling mid-flight records that
+    /// wakeup as still pending even though its hop may journal right
+    /// after, so a recovery from such a cut would re-fire it. The
+    /// bitwise resume guarantee is therefore stated (and tested) for
+    /// quiescent cuts.
+    pub fn journal_timers(&self, pool: &ReoptPool) {
+        let _frz = self.freeze.write();
+        let entries = pool.timer_state();
+        *self.timers.lock() = entries.clone();
+        self.log_op(|| FleetOp::Timers { entries });
+    }
+
+    /// Caches the pool's timer state for snapshot capture *without*
+    /// journaling it (offline comparison helper — lets an ephemeral
+    /// fleet's [`durable_state`](Fleet::durable_state) be compared
+    /// field-for-field against a persistent twin).
+    pub fn record_timers(&self, pool: &ReoptPool) {
+        let _frz = self.freeze.write();
+        *self.timers.lock() = pool.timer_state();
     }
 
     /// Captures the durable state under the FREEZE write lock (exposed
@@ -900,6 +1141,7 @@ impl Fleet {
             })?;
         }
         durable.counters.install(&fleet.counters);
+        *fleet.timers.lock() = durable.timers;
         Ok(fleet)
     }
 
@@ -938,6 +1180,8 @@ impl Fleet {
                 session,
                 users,
                 tasks,
+                tier,
+                repair_steps,
             } => {
                 let universe = self.freeze.write();
                 if session.index() >= universe.slots.len() {
@@ -972,13 +1216,45 @@ impl Fleet {
                 let hold = SessionHold::from_load(&load);
                 slot.load = load;
                 self.live.fetch_add(1, Ordering::Relaxed);
-                self.ledger.try_reserve(*session, hold).map_err(|e| {
-                    PersistError::Replay(format!("admit of {session} refused on replay: {e}"))
+                // Book unchecked, exactly like the live engine path:
+                // the admission was already accepted against the live
+                // residuals, and a re-check here could refuse at an
+                // epsilon boundary (or on an agent that failed later in
+                // the journal) — recovery must install, never re-judge.
+                // Conservation is re-established by the post-replay
+                // audit.
+                self.ledger.book_unchecked(*session, hold).map_err(|e| {
+                    PersistError::Replay(format!("admit of {session} double-booked on replay: {e}"))
                 })?;
                 self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                let tier_counter = match tier {
+                    AdmissionTier::Enumeration => &self.counters.admitted_enumeration,
+                    AdmissionTier::Repair => &self.counters.admitted_repair,
+                    AdmissionTier::RankedFallback => &self.counters.admitted_fallback,
+                };
+                tier_counter.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .repair_steps
+                    .fetch_add(*repair_steps as usize, Ordering::Relaxed);
             }
-            FleetOp::Reject { .. } => {
+            FleetOp::Reject { reason, .. } => {
                 self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                match reason {
+                    RefusalReason::AlreadyLive => {}
+                    RefusalReason::UserFit => {
+                        self.counters
+                            .refused_user_fit
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    RefusalReason::TaskFit => {
+                        self.counters
+                            .refused_task_fit
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    RefusalReason::GlobalCheck | RefusalReason::Capacity | RefusalReason::Delay => {
+                        self.counters.refused_global.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             FleetOp::Depart { session } => {
                 self.replay_session_bound(*session, "depart")?;
@@ -1060,6 +1336,11 @@ impl Fleet {
                         "journaled registration expected id {session}, replay assigned {assigned}"
                     )));
                 }
+            }
+            FleetOp::Timers { entries } => {
+                // Newest record wins: the caller gets the countdowns
+                // pending at the last durability boundary.
+                *self.timers.lock() = entries.clone();
             }
         }
         Ok(())

@@ -43,6 +43,24 @@ pub struct FleetSnapshot {
     pub migrations: usize,
     /// Admission success rate so far.
     pub admission_success_rate: f64,
+    /// Total admission attempts so far (admitted + rejected).
+    pub admission_attempts: usize,
+    /// Admissions the engine's enumeration tier placed.
+    pub admitted_enumeration: usize,
+    /// Admissions greedy + violation-driven repair placed.
+    pub admitted_repair: usize,
+    /// Admissions the ranked-fallback tier placed (every legacy-mode
+    /// admission counts here).
+    pub admitted_fallback: usize,
+    /// Violation-driven repair moves applied across all admissions.
+    pub admission_repair_steps: usize,
+    /// Refusals at the user-placement stage.
+    pub refused_user_fit: usize,
+    /// Refusals at the transcoding-placement stage.
+    pub refused_task_fit: usize,
+    /// Refusals at the global feasibility check (legacy capacity/delay
+    /// refusals included).
+    pub refused_global: usize,
     /// Ledger-conservation discrepancies at sample time (must be 0).
     pub conservation_violations: usize,
 }
@@ -68,6 +86,14 @@ pub struct FleetTelemetry {
     departed: TimeSeries,
     migrations: TimeSeries,
     admission_success_rate: TimeSeries,
+    admission_attempts: TimeSeries,
+    admitted_enumeration: TimeSeries,
+    admitted_repair: TimeSeries,
+    admitted_fallback: TimeSeries,
+    admission_repair_steps: TimeSeries,
+    refused_user_fit: TimeSeries,
+    refused_task_fit: TimeSeries,
+    refused_global: TimeSeries,
     conservation_violations: TimeSeries,
 }
 
@@ -94,6 +120,7 @@ impl FleetTelemetry {
         let max_util = fractions.iter().copied().fold(0.0f64, f64::max);
         let (universe_sessions, universe_users) = fleet.universe_size();
         let c = fleet.counters();
+        let load = |a: &std::sync::atomic::AtomicUsize| a.load(Ordering::Relaxed);
         let snapshot = FleetSnapshot {
             time_s: t_s,
             universe_sessions,
@@ -109,11 +136,19 @@ impl FleetTelemetry {
             mean_delay_ms: delay,
             mean_utilization: mean_util,
             max_utilization: max_util,
-            admitted: c.admitted.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            departed: c.departed.load(Ordering::Relaxed),
-            migrations: c.migrations.load(Ordering::Relaxed),
+            admitted: load(&c.admitted),
+            rejected: load(&c.rejected),
+            departed: load(&c.departed),
+            migrations: load(&c.migrations),
             admission_success_rate: c.admission_success_rate(),
+            admission_attempts: load(&c.admitted) + load(&c.rejected),
+            admitted_enumeration: load(&c.admitted_enumeration),
+            admitted_repair: load(&c.admitted_repair),
+            admitted_fallback: load(&c.admitted_fallback),
+            admission_repair_steps: load(&c.repair_steps),
+            refused_user_fit: load(&c.refused_user_fit),
+            refused_task_fit: load(&c.refused_task_fit),
+            refused_global: load(&c.refused_global),
             conservation_violations: fleet.audit().len(),
         };
         self.universe_sessions
@@ -134,6 +169,22 @@ impl FleetTelemetry {
         self.migrations.push(t_s, snapshot.migrations as f64);
         self.admission_success_rate
             .push(t_s, snapshot.admission_success_rate);
+        self.admission_attempts
+            .push(t_s, snapshot.admission_attempts as f64);
+        self.admitted_enumeration
+            .push(t_s, snapshot.admitted_enumeration as f64);
+        self.admitted_repair
+            .push(t_s, snapshot.admitted_repair as f64);
+        self.admitted_fallback
+            .push(t_s, snapshot.admitted_fallback as f64);
+        self.admission_repair_steps
+            .push(t_s, snapshot.admission_repair_steps as f64);
+        self.refused_user_fit
+            .push(t_s, snapshot.refused_user_fit as f64);
+        self.refused_task_fit
+            .push(t_s, snapshot.refused_task_fit as f64);
+        self.refused_global
+            .push(t_s, snapshot.refused_global as f64);
         self.conservation_violations
             .push(t_s, snapshot.conservation_violations as f64);
         self.snapshots.push(snapshot.clone());
@@ -220,6 +271,46 @@ impl FleetTelemetry {
         &self.admission_success_rate
     }
 
+    /// Cumulative-admission-attempts series (admitted + rejected).
+    pub fn admission_attempts_series(&self) -> &TimeSeries {
+        &self.admission_attempts
+    }
+
+    /// Enumeration-tier-admissions series.
+    pub fn admitted_enumeration_series(&self) -> &TimeSeries {
+        &self.admitted_enumeration
+    }
+
+    /// Repair-tier-admissions series.
+    pub fn admitted_repair_series(&self) -> &TimeSeries {
+        &self.admitted_repair
+    }
+
+    /// Ranked-fallback-admissions series.
+    pub fn admitted_fallback_series(&self) -> &TimeSeries {
+        &self.admitted_fallback
+    }
+
+    /// Cumulative-repair-steps series.
+    pub fn admission_repair_steps_series(&self) -> &TimeSeries {
+        &self.admission_repair_steps
+    }
+
+    /// User-fit-refusals series.
+    pub fn refused_user_fit_series(&self) -> &TimeSeries {
+        &self.refused_user_fit
+    }
+
+    /// Task-fit-refusals series.
+    pub fn refused_task_fit_series(&self) -> &TimeSeries {
+        &self.refused_task_fit
+    }
+
+    /// Global-check-refusals series.
+    pub fn refused_global_series(&self) -> &TimeSeries {
+        &self.refused_global
+    }
+
     /// Conservation-violations series (must be identically zero).
     pub fn conservation_violations_series(&self) -> &TimeSeries {
         &self.conservation_violations
@@ -238,7 +329,10 @@ impl FleetTelemetry {
         live_sessions,objective,\
         mean_session_objective,traffic_mbps,mean_delay_ms,mean_utilization,\
         max_utilization,admitted,rejected,departed,migrations,\
-        admission_success_rate,conservation_violations";
+        admission_success_rate,admission_attempts,admitted_enumeration,\
+        admitted_repair,admitted_fallback,admission_repair_steps,\
+        refused_user_fit,refused_task_fit,refused_global,\
+        conservation_violations";
 
     /// Every snapshot as CSV (header + one row per sample), precise
     /// enough to round-trip `f64`s — two runs can be diffed offline
@@ -248,7 +342,7 @@ impl FleetTelemetry {
         out.push('\n');
         for s in &self.snapshots {
             out.push_str(&format!(
-                "{},{},{},{},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{},{},{},{},{:.17e},{}\n",
+                "{},{},{},{},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{},{},{},{},{:.17e},{},{},{},{},{},{},{},{},{}\n",
                 s.time_s,
                 s.universe_sessions,
                 s.universe_users,
@@ -264,6 +358,14 @@ impl FleetTelemetry {
                 s.departed,
                 s.migrations,
                 s.admission_success_rate,
+                s.admission_attempts,
+                s.admitted_enumeration,
+                s.admitted_repair,
+                s.admitted_fallback,
+                s.admission_repair_steps,
+                s.refused_user_fit,
+                s.refused_task_fit,
+                s.refused_global,
                 s.conservation_violations,
             ));
         }

@@ -59,6 +59,7 @@ fn fleet(cap_mbps: f64, slots: u32) -> Fleet {
             placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
             alg1: Alg1Config::paper(400.0),
             ledger_shards: 2,
+            ..FleetConfig::default()
         },
     )
 }
@@ -168,7 +169,10 @@ fn admission_refuses_when_capacity_runs_out() {
     for i in 0..6 {
         match f.admit(SessionId::new(i)) {
             Ok(()) => admitted += 1,
-            Err(AdmitError::NoCapacity(_)) => rejected += 1,
+            Err(AdmitError::Refused { session, .. }) => {
+                assert_eq!(session, SessionId::new(i));
+                rejected += 1;
+            }
             Err(e) => panic!("unexpected rejection: {e:?}"),
         }
         assert!(f.audit().is_empty());
@@ -481,6 +485,7 @@ mod persistence {
                 placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
                 alg1: Alg1Config::paper(400.0),
                 ledger_shards: 2,
+                ..FleetConfig::default()
             },
             PersistConfig {
                 dir: dir.clone(),
@@ -504,6 +509,7 @@ mod persistence {
                 placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
                 alg1: Alg1Config::paper(400.0),
                 ledger_shards: 2,
+                ..FleetConfig::default()
             },
         )
         .expect("recovery")
@@ -651,6 +657,7 @@ mod persistence {
                 placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
                 alg1: Alg1Config::paper(400.0),
                 ledger_shards: 2,
+                ..FleetConfig::default()
             },
             PersistConfig {
                 dir: dir.clone(),
@@ -679,6 +686,7 @@ mod persistence {
                 placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
                 alg1: Alg1Config::paper(400.0),
                 ledger_shards: 2,
+                ..FleetConfig::default()
             },
         )
         .expect("recovery");
@@ -878,6 +886,14 @@ mod persistence {
             t.departed_series(),
             t.migrations_series(),
             t.admission_success_rate_series(),
+            t.admission_attempts_series(),
+            t.admitted_enumeration_series(),
+            t.admitted_repair_series(),
+            t.admitted_fallback_series(),
+            t.admission_repair_steps_series(),
+            t.refused_user_fit_series(),
+            t.refused_task_fit_series(),
+            t.refused_global_series(),
             t.conservation_violations_series(),
         ] {
             assert_eq!(series.len(), n, "a series is missing samples");
@@ -885,7 +901,7 @@ mod persistence {
         let csv = t.to_csv();
         let mut lines = csv.lines();
         let header = lines.next().expect("header");
-        assert_eq!(header.split(',').count(), 16);
+        assert_eq!(header.split(',').count(), 24);
         assert_eq!(lines.count(), n);
         // Admissions are cumulative and should end ≥ warm pool.
         assert!(t.admitted_series().last_value().expect("samples") >= 4.0);

@@ -7,6 +7,18 @@
 //! touch. Logical workers are multiplexed so a fleet of thousands of
 //! sessions doesn't need thousands of threads.
 //!
+//! ## Reconstructible timers
+//!
+//! Every random draw a worker makes comes from a generator seeded
+//! *deterministically* from `(pool seed, session, registration epoch,
+//! wakeup index, stream)` — there is no long-lived RNG whose hidden
+//! state a crash would lose. A worker's entire scheduling state is
+//! therefore four integers (a [`TimerEntry`]), which the persistence
+//! layer journals at durability boundaries and
+//! [`restore_timers`](ReoptPool::restore_timers) reinstalls after
+//! recovery: the first post-recovery wakeup fires at exactly the time,
+//! and with exactly the randomness, the uncrashed run would have used.
+//!
 //! Two drive modes:
 //!
 //! * [`ReoptPool::tick_until`] — deterministic virtual time, used by the
@@ -20,7 +32,8 @@ use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use vc_model::SessionId;
 
@@ -30,18 +43,66 @@ fn to_us(t_s: f64) -> u64 {
     (t_s.max(0.0) * 1e6) as u64
 }
 
-#[derive(Debug)]
+/// One logical worker's complete scheduling state — everything needed
+/// to resume its WAIT/HOP loop bit-for-bit after a crash.
+///
+/// Inactive entries (departed sessions) are part of the state too:
+/// their epoch must survive recovery, because a later re-admission
+/// draws its randomness from `epoch + 1` — dropping them would make a
+/// departed-then-readmitted session diverge from the uncrashed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    /// The session the worker re-optimizes.
+    pub session: SessionId,
+    /// Virtual time of the pending wakeup (µs); stale for inactive
+    /// entries (no wakeup is scheduled from it).
+    pub due_us: u64,
+    /// Registration epoch (bumped on every re-registration, so stale
+    /// heap entries of departed-then-readmitted sessions are inert).
+    pub epoch: u64,
+    /// Wakeups executed in this epoch — the index that seeds the next
+    /// wakeup's hop and countdown generators.
+    pub draws: u64,
+    /// Whether the worker is live (scheduled). Inactive entries carry
+    /// only the epoch watermark.
+    pub active: bool,
+}
+
+/// RNG stream selectors: the countdown and the hop of one wakeup use
+/// disjoint deterministic streams.
+const STREAM_WAIT: u64 = 0;
+const STREAM_HOP: u64 = 1;
+
+/// The deterministic per-draw generator: everything that identifies
+/// the draw is mixed into the seed, so the stream is reconstructible
+/// from a [`TimerEntry`] alone.
+fn draw_rng(seed: u64, s: SessionId, epoch: u64, draws: u64, stream: u64) -> StdRng {
+    let mut x = seed;
+    x ^= 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s.index() as u64 + 1);
+    x ^= 0xd1b5_4a32_d192_ed03u64.wrapping_mul(epoch.wrapping_add(1));
+    x ^= 0x94d0_49bb_1331_11ebu64.wrapping_mul(draws.wrapping_add(1));
+    x ^= 0xbf58_476d_1ce4_e5b9u64.wrapping_mul(stream.wrapping_add(1));
+    StdRng::seed_from_u64(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkerTimer {
+    epoch: u64,
+    draws: u64,
+    due_us: u64,
+    /// False once the session deregisters; the heap entry (if any) is
+    /// discarded lazily on pop.
+    active: bool,
+}
+
+#[derive(Debug, Default)]
 struct Schedule {
     /// Min-heap of `(due_us, session, epoch)`.
     due: BinaryHeap<Reverse<(u64, SessionId, u64)>>,
-    /// Per-session RNG, surviving across wakeups for reproducibility.
-    rngs: HashMap<SessionId, StdRng>,
-    /// Registration epoch per session: bumped on every `register`, so
-    /// heap entries left behind by a departed-then-readmitted session
-    /// are recognizably stale (without an epoch, a re-registration
-    /// would resurrect the old entry and double the session's hop
-    /// rate).
-    epochs: HashMap<SessionId, u64>,
+    /// Per-session timer state. Entries persist across departures so a
+    /// re-registration always bumps the epoch past every stale heap
+    /// entry.
+    timers: HashMap<SessionId, WorkerTimer>,
 }
 
 /// The worker pool. Sessions are registered on admission and silently
@@ -54,14 +115,10 @@ pub struct ReoptPool {
 }
 
 impl ReoptPool {
-    /// An empty pool; `seed` derives every per-session RNG.
+    /// An empty pool; `seed` derives every per-wakeup RNG.
     pub fn new(seed: u64) -> Self {
         Self {
-            schedule: Mutex::new(Schedule {
-                due: BinaryHeap::new(),
-                rngs: HashMap::new(),
-                epochs: HashMap::new(),
-            }),
+            schedule: Mutex::new(Schedule::default()),
             seed,
             hops_executed: AtomicUsize::new(0),
         }
@@ -71,28 +128,123 @@ impl ReoptPool {
     /// fleet's countdown distribution after `now_s`.
     pub fn register(&self, fleet: &Fleet, s: SessionId, now_s: f64) {
         let mut sched = self.schedule.lock();
-        let epoch = {
-            let e = sched.epochs.entry(s).or_insert(0);
-            *e += 1;
-            *e
-        };
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s.index() as u64 + 1)),
-        );
+        let epoch = sched.timers.get(&s).map_or(0, |t| t.epoch) + 1;
+        let mut rng = draw_rng(self.seed, s, epoch, 0, STREAM_WAIT);
         let wait = fleet.engine().next_countdown(&mut rng);
-        sched.rngs.insert(s, rng);
-        sched.due.push(Reverse((to_us(now_s + wait), s, epoch)));
+        let due_us = to_us(now_s + wait);
+        sched.timers.insert(
+            s,
+            WorkerTimer {
+                epoch,
+                draws: 0,
+                due_us,
+                active: true,
+            },
+        );
+        sched.due.push(Reverse((due_us, s, epoch)));
     }
 
-    /// Forgets the session's RNG (departures). The heap entry, if any,
-    /// is discarded lazily when popped.
+    /// Deactivates the session's worker (departures). The heap entry,
+    /// if any, is discarded lazily when popped.
     pub fn deregister(&self, s: SessionId) {
-        self.schedule.lock().rngs.remove(&s);
+        if let Some(t) = self.schedule.lock().timers.get_mut(&s) {
+            t.active = false;
+        }
     }
 
     /// Total HOPs executed (migrated + stayed) since construction.
     pub fn hops_executed(&self) -> usize {
         self.hops_executed.load(Ordering::Relaxed)
+    }
+
+    /// Every worker's scheduling state (inactive epoch watermarks
+    /// included), ascending by session — what a durability boundary
+    /// journals so recovery can resume the WAIT timers instead of
+    /// re-drawing them.
+    pub fn timer_state(&self) -> Vec<TimerEntry> {
+        let sched = self.schedule.lock();
+        let mut out: Vec<TimerEntry> = sched
+            .timers
+            .iter()
+            .map(|(&session, t)| TimerEntry {
+                session,
+                due_us: t.due_us,
+                epoch: t.epoch,
+                draws: t.draws,
+                active: t.active,
+            })
+            .collect();
+        out.sort_unstable_by_key(|e| e.session);
+        out
+    }
+
+    /// Reinstalls journaled timer state (crash recovery): each entry
+    /// whose session is still live in the **recovered fleet** resumes
+    /// its pending wakeup at its recorded virtual time with its
+    /// recorded randomness — bit-for-bit the schedule the crashed pool
+    /// would have run. Entries for sessions that are *not* live (they
+    /// departed after the timers were journaled; replay applied the
+    /// `Depart`) install as inactive epoch watermarks only — never
+    /// scheduled, but a later re-admission still continues the same
+    /// epoch sequence. Call on a freshly built pool with the same
+    /// seed, then [`ensure_registered`](Self::ensure_registered) for
+    /// the opposite gap (sessions admitted after the journaled cut).
+    pub fn restore_timers(&self, fleet: &Fleet, entries: &[TimerEntry]) {
+        let mut sched = self.schedule.lock();
+        for e in entries {
+            let active = e.active && fleet.is_live(e.session);
+            sched.timers.insert(
+                e.session,
+                WorkerTimer {
+                    epoch: e.epoch,
+                    draws: e.draws,
+                    due_us: e.due_us,
+                    active,
+                },
+            );
+            if active {
+                sched.due.push(Reverse((e.due_us, e.session, e.epoch)));
+            }
+        }
+    }
+
+    /// Registers a fresh worker for every live session of `fleet` that
+    /// has no active timer, first wakes drawn after `now_s`. Call after
+    /// [`restore_timers`](Self::restore_timers): sessions admitted
+    /// *after* the last journaled `Timers` record replay into the
+    /// recovered fleet without a timer entry, and without this step
+    /// they would silently never be re-optimized again. Returns the
+    /// sessions that were (re-)registered.
+    pub fn ensure_registered(&self, fleet: &Fleet, now_s: f64) -> Vec<SessionId> {
+        let mut registered = Vec::new();
+        for s in fleet.live_sessions() {
+            let missing = {
+                let sched = self.schedule.lock();
+                !sched.timers.get(&s).is_some_and(|t| t.active)
+            };
+            if missing {
+                self.register(fleet, s, now_s);
+                registered.push(s);
+            }
+        }
+        registered
+    }
+
+    /// The earliest pending wakeup `(due_us, session)` among live
+    /// workers, if any (telemetry / test introspection).
+    pub fn next_due(&self) -> Option<(u64, SessionId)> {
+        let sched = self.schedule.lock();
+        sched
+            .due
+            .iter()
+            .filter(|Reverse((_, s, epoch))| {
+                sched
+                    .timers
+                    .get(s)
+                    .is_some_and(|t| t.active && t.epoch == *epoch)
+            })
+            .map(|Reverse((due, s, _))| (*due, *s))
+            .min()
     }
 
     /// Pops the next due worker at or before `horizon_us`, hops it
@@ -102,7 +254,7 @@ impl ReoptPool {
         // Take the worker out under the schedule lock, hop *outside* it
         // so parallel callers only serialize on their slot's lock and
         // the ledger shards.
-        let (due_us, s, epoch, mut rng) = {
+        let (due_us, s, epoch, draws) = {
             let mut sched = self.schedule.lock();
             loop {
                 let Some(&Reverse((due_us, s, epoch))) = sched.due.peek() else {
@@ -114,23 +266,40 @@ impl ReoptPool {
                 sched.due.pop();
                 // Stale entries (departed sessions, or superseded by a
                 // re-registration) are lazy-discarded here.
-                if sched.epochs.get(&s) != Some(&epoch) {
-                    continue;
-                }
-                if let Some(rng) = sched.rngs.remove(&s) {
-                    break (due_us, s, epoch, rng);
+                match sched.timers.get(&s) {
+                    Some(t) if t.active && t.epoch == epoch => break (due_us, s, epoch, t.draws),
+                    _ => continue,
                 }
             }
         };
-        fleet.hop_session_with(s, &mut rng, scratch);
+        let mut hop_rng = draw_rng(self.seed, s, epoch, draws, STREAM_HOP);
+        fleet.hop_session_with(s, &mut hop_rng, scratch);
         self.hops_executed.fetch_add(1, Ordering::Relaxed);
-        let wait = fleet.engine().next_countdown(&mut rng);
+        let next_draws = draws + 1;
+        let mut wait_rng = draw_rng(self.seed, s, epoch, next_draws, STREAM_WAIT);
+        let wait = fleet.engine().next_countdown(&mut wait_rng);
         let mut sched = self.schedule.lock();
         // The session may have departed (or been re-registered) while we
         // hopped; only the current registration's worker is rescheduled.
-        if fleet.is_live(s) && sched.epochs.get(&s) == Some(&epoch) {
-            sched.rngs.insert(s, rng);
-            sched.due.push(Reverse((due_us + to_us(wait), s, epoch)));
+        let still_current = sched
+            .timers
+            .get(&s)
+            .is_some_and(|t| t.active && t.epoch == epoch);
+        if still_current {
+            let t = sched.timers.get_mut(&s).expect("checked above");
+            if fleet.is_live(s) {
+                let next_due = due_us + to_us(wait);
+                t.draws = next_draws;
+                t.due_us = next_due;
+                sched.due.push(Reverse((next_due, s, epoch)));
+            } else {
+                // The session died without a deregister (a caller that
+                // departs fleet-side only): retire the worker so the
+                // timer cannot linger active-but-unscheduled, which
+                // would make `ensure_registered` skip a future
+                // re-admission forever.
+                t.active = false;
+            }
         }
         true
     }

@@ -38,14 +38,20 @@ use std::path::{Path, PathBuf};
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"VCWJ";
-/// Journal format version. v3: open-world records — `RegisterSession`
-/// definitions grow the universe mid-journal, and the snapshot format
-/// carries the registered definitions (so v2 stores, whose snapshots
-/// lack that field, cannot be decoded under v3 and vice versa). v2:
-/// `FailAgent` replay re-derives the evacuation with the sparse
-/// residual-based feasibility rule (PR 3's sharded fleet); v1 stores
-/// replayed it through the dense whole-state check.
-pub const JOURNAL_VERSION: u16 = 3;
+/// Journal format version. v4: admission-parity records — `Admit`
+/// carries the chosen placement's search tier and repair effort and
+/// `Reject` its typed refusal reason (admission is search-dependent
+/// since the shared engine landed, so replay installs rather than
+/// re-derives, and the per-tier/per-reason counters must recover
+/// exactly), plus `Timers` records carrying the worker pool's
+/// reconstructible WAIT-countdown state; the snapshot format grows the
+/// matching counter and timer fields. v3: open-world records —
+/// `RegisterSession` definitions grow the universe mid-journal, and
+/// the snapshot carries the registered definitions. v2: `FailAgent`
+/// replay re-derives the evacuation with the sparse residual-based
+/// feasibility rule (PR 3's sharded fleet); v1 stores replayed it
+/// through the dense whole-state check.
+pub const JOURNAL_VERSION: u16 = 4;
 /// The journal versions this build can replay. Decode is gated on this
 /// explicit set — a version outside it fails up front with an error
 /// naming both sides, instead of misreading bytes under the wrong

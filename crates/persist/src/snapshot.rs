@@ -37,10 +37,12 @@ use std::path::{Path, PathBuf};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"VCSN";
-/// Snapshot format version (kept in lock-step with the journal: a v3
-/// snapshot's tail journal replays under v3 semantics). v3 snapshots
-/// carry the online-registered session definitions, which v2 lacked.
-pub const SNAPSHOT_VERSION: u16 = 3;
+/// Snapshot format version (kept in lock-step with the journal: a v4
+/// snapshot's tail journal replays under v4 semantics). v4 snapshots
+/// carry the admission tier/refusal counters and the worker pool's
+/// WAIT-timer state; v3 added the online-registered session
+/// definitions, which v2 lacked.
+pub const SNAPSHOT_VERSION: u16 = 4;
 /// The snapshot versions this build can load; decode is gated on this
 /// explicit set (see the journal's twin constant).
 pub const SUPPORTED_SNAPSHOT_VERSIONS: &[u16] = &[SNAPSHOT_VERSION];

@@ -106,6 +106,7 @@ fn comparison_demo() {
                         ..Alg1Config::paper(400.0)
                     },
                     ledger_shards: 4,
+                    ..FleetConfig::default()
                 },
                 sample_period_s: 1.0,
                 seed: 2015,
@@ -195,8 +196,12 @@ fn comparison_demo() {
 }
 
 /// Kill the fleet mid-run, recover it from the durable store, prove
-/// the recovered control plane is identical, optionally finish the
-/// trace on it.
+/// the recovered control plane is identical — including the worker
+/// pool's pending WAIT countdowns, which are journaled at the
+/// durability boundary and restored so the first post-recovery hop
+/// fires at exactly the time the uncrashed run's would — and
+/// optionally finish the trace on it, bit-for-bit against an
+/// uncrashed control run.
 fn crash_demo(crash_at: f64, resume: bool) {
     let instance = large_scale_instance(&LargeScaleConfig {
         num_users: 400,
@@ -226,6 +231,7 @@ fn crash_demo(crash_at: f64, resume: bool) {
             ..Alg1Config::paper(400.0)
         },
         ledger_shards: 4,
+        ..FleetConfig::default()
     };
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/persist-demo");
     let persist = || PersistConfig {
@@ -258,23 +264,37 @@ fn crash_demo(crash_at: f64, resume: bool) {
         "== durability demo: journaled fleet, killed at t = {crash_at} s ==\n   store: {}",
         dir.display()
     );
+    // Twin runs over the same trace: `fleet` journals and dies at the
+    // cut; `control` is the uncrashed reference the recovered fleet is
+    // compared against — timers, counters, placements, Φ, all bitwise.
+    const POOL_SEED: u64 = 2015;
     let fleet = Fleet::with_persistence(problem.clone(), fleet_config(), persist())
         .expect("persistent fleet");
-    let pool = ReoptPool::new(2015);
+    let pool = ReoptPool::new(POOL_SEED);
+    let control = Fleet::new(problem.clone(), fleet_config());
+    let control_pool = ReoptPool::new(POOL_SEED);
     for &(t, event) in &trace.events {
         if t > crash_at {
             break;
         }
         pool.tick_until(&fleet, t);
         apply(&fleet, &pool, t, event);
+        control_pool.tick_until(&control, t);
+        apply(&control, &control_pool, t, event);
     }
     pool.tick_until(&fleet, crash_at);
+    control_pool.tick_until(&control, crash_at);
+    // Durability boundary at the cut: journal the pending WAIT
+    // countdowns so recovery can resume them.
+    fleet.journal_timers(&pool);
     let before = fleet.durable_state();
     let objective_before = fleet.objective();
     let live_before = fleet.live_count();
     assert!(fleet.audit().is_empty(), "pre-crash fleet failed audit");
     println!(
-        "   pre-crash:  {live_before} live sessions, objective {objective_before:.3}, audit clean"
+        "   pre-crash:  {live_before} live sessions, objective {objective_before:.3}, \
+         {} pending timers journaled, audit clean",
+        pool.timer_state().len()
     );
     drop(fleet); // kill -9: no shutdown, no checkpoint
 
@@ -308,23 +328,62 @@ fn crash_demo(crash_at: f64, resume: bool) {
         "recovered objective differs"
     );
     assert!(recovered.audit().is_empty(), "recovered fleet failed audit");
-    println!("   identical:  live set, ledger holdings, counters, objective (bitwise)\n");
+
+    // Resume the WAIT timers from the journal and prove the schedule
+    // matches the uncrashed run exactly: same pending countdowns, and
+    // in particular the same first post-recovery hop time.
+    let restored_pool = ReoptPool::new(POOL_SEED);
+    restored_pool.restore_timers(&recovered, &report.timers);
+    // Cover any session admitted after the last Timers record (none
+    // here — the demo journals timers right at the cut — but this is
+    // the production recovery pattern).
+    let late = restored_pool.ensure_registered(&recovered, crash_at);
+    assert!(late.is_empty(), "demo cut journaled every timer");
+    assert_eq!(
+        restored_pool.timer_state(),
+        control_pool.timer_state(),
+        "restored WAIT timers differ from the uncrashed run"
+    );
+    let (due_us, s) = restored_pool.next_due().expect("live fleet has timers");
+    assert_eq!(
+        restored_pool.next_due(),
+        control_pool.next_due(),
+        "first post-recovery hop differs from the uncrashed run"
+    );
+    println!(
+        "   identical:  live set, holdings, counters, objective (bitwise); \
+         next hop {s} at t = {:.3} s matches the uncrashed run\n",
+        due_us as f64 / 1e6
+    );
 
     if resume {
-        let pool = ReoptPool::new(2016);
-        let live: Vec<SessionId> = recovered.live_sessions();
-        for &s in &live {
-            pool.register(&recovered, s, crash_at);
-        }
         for &(t, event) in &trace.events {
             if t <= crash_at {
                 continue;
             }
-            pool.tick_until(&recovered, t);
-            apply(&recovered, &pool, t, event);
+            restored_pool.tick_until(&recovered, t);
+            apply(&recovered, &restored_pool, t, event);
+            control_pool.tick_until(&control, t);
+            apply(&control, &control_pool, t, event);
         }
-        pool.tick_until(&recovered, HORIZON_S);
+        restored_pool.tick_until(&recovered, HORIZON_S);
+        control_pool.tick_until(&control, HORIZON_S);
         recovered.commit_journal().expect("final commit");
+        // The whole post-crash trajectory must be bitwise identical to
+        // the run that never crashed: placements, counters, Φ, and the
+        // next WAIT countdowns.
+        recovered.record_timers(&restored_pool);
+        control.record_timers(&control_pool);
+        assert_eq!(
+            recovered.durable_state(),
+            control.durable_state(),
+            "resumed trajectory diverged from the uncrashed run"
+        );
+        assert_eq!(
+            recovered.objective().to_bits(),
+            control.objective().to_bits(),
+            "resumed objective diverged from the uncrashed run"
+        );
         let c = recovered.counters();
         use std::sync::atomic::Ordering;
         println!("== resumed to t = {HORIZON_S} s on the recovered fleet ==");
@@ -343,7 +402,10 @@ fn crash_demo(crash_at: f64, resume: bool) {
             recovered.mean_session_objective()
         );
         assert!(recovered.audit().is_empty(), "resumed fleet failed audit");
-        println!("\nOK: crash at t = {crash_at} s survived; fleet resumed and stayed conserved.");
+        println!(
+            "\nOK: crash at t = {crash_at} s survived; resumed trajectory bitwise-identical \
+             to the uncrashed run (placements, counters, objective, WAIT timers)."
+        );
     } else {
         println!("OK: crash at t = {crash_at} s survived; recovery is exact.");
     }

@@ -65,7 +65,9 @@ pub use vc_workloads as workloads;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
-    pub use vc_algo::admission::{admit_all, AdmissionOutcome, AdmissionPolicy};
+    pub use vc_algo::admission::{
+        admit_all, AdmissionEngine, AdmissionOutcome, AdmissionPolicy, AdmissionTier,
+    };
     pub use vc_algo::agrank::{agrank_assignment, AgRankConfig};
     pub use vc_algo::churn::evacuate_agent;
     pub use vc_algo::markov::{Alg1Config, Alg1Engine, HopOutcome};
@@ -78,8 +80,8 @@ pub mod prelude {
         SessionId, UserDef, UserId,
     };
     pub use vc_orchestrator::{
-        Fleet, FleetConfig, FleetSnapshot, Orchestrator, OrchestratorConfig, PersistConfig,
-        PlacementPolicy, RecoveryReport,
+        AdmissionMode, Fleet, FleetConfig, FleetSnapshot, Orchestrator, OrchestratorConfig,
+        PersistConfig, PlacementPolicy, RecoveryReport, TimerEntry,
     };
     pub use vc_persist::FsyncPolicy;
     pub use vc_sim::{ConferenceSim, DynamicsEvent, SimConfig, SimReport};

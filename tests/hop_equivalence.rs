@@ -224,6 +224,7 @@ fn concurrent_hops_leave_the_fleet_conserved() {
                 ..Alg1Config::paper(200.0)
             },
             ledger_shards: 4,
+            ..FleetConfig::default()
         },
     ));
     let pool = ReoptPool::new(17);
@@ -260,6 +261,7 @@ fn unpaced_concurrent_hops_conserve() {
             placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
             alg1: Alg1Config::paper(100.0),
             ledger_shards: 3,
+            ..FleetConfig::default()
         },
     ));
     for i in 0..num_sessions {

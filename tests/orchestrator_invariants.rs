@@ -74,6 +74,7 @@ fn build_fleet(spec: &RandomUniverse) -> Fleet {
             placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
             alg1: Alg1Config::paper(400.0),
             ledger_shards: 2,
+            ..FleetConfig::default()
         },
     )
 }

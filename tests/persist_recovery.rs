@@ -71,6 +71,7 @@ fn fleet_config() -> FleetConfig {
         placement: PlacementPolicy::AgRank(AgRankConfig::paper(2)),
         alg1: Alg1Config::paper(400.0),
         ledger_shards: 2,
+        ..FleetConfig::default()
     }
 }
 
@@ -166,41 +167,77 @@ fn session_def_strategy() -> impl Strategy<Value = vc_model::SessionDef> {
         .prop_map(|users| vc_model::SessionDef { users })
 }
 
+fn timer_entry_strategy() -> impl Strategy<Value = vc_orchestrator::TimerEntry> {
+    (0u32..64, any::<u64>(), 1u64..8, 0u64..1024, any::<bool>()).prop_map(
+        |(s, due_us, epoch, draws, active)| vc_orchestrator::TimerEntry {
+            session: SessionId::new(s),
+            due_us,
+            epoch,
+            draws,
+            active,
+        },
+    )
+}
+
 fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
     (
-        0u8..8,
+        0u8..10,
         0u32..64,
         0u32..8,
         placement_strategy(),
         any::<bool>(),
         session_def_strategy(),
+        prop::collection::vec(timer_entry_strategy(), 0..6),
+        (0u8..3, 0u8..6, 0u64..64),
     )
-        .prop_map(|(tag, s, a, (users, tasks), user_move, def)| {
-            let session = SessionId::new(s);
-            let agent = AgentId::new(a);
-            match tag {
-                0 => FleetOp::Admit {
-                    session,
-                    users,
-                    tasks,
-                },
-                1 => FleetOp::Reject { session },
-                2 => FleetOp::Depart { session },
-                3 => FleetOp::FailAgent { agent },
-                4 => FleetOp::RestoreAgent { agent },
-                5 => FleetOp::Hop {
-                    session,
-                    decision: if user_move {
-                        Decision::User(UserId::new(s), agent)
-                    } else {
-                        Decision::Task(TaskId::new(s), agent)
+        .prop_map(
+            |(tag, s, a, (users, tasks), user_move, def, timers, (tier, reason, repair_steps))| {
+                let session = SessionId::new(s);
+                let agent = AgentId::new(a);
+                match tag {
+                    0 => FleetOp::Admit {
+                        session,
+                        users,
+                        tasks,
+                        tier: match tier {
+                            0 => vc_algo::admission::AdmissionTier::Enumeration,
+                            1 => vc_algo::admission::AdmissionTier::Repair,
+                            _ => vc_algo::admission::AdmissionTier::RankedFallback,
+                        },
+                        repair_steps,
                     },
-                    old_agent: AgentId::new((a + 1) % 8),
-                },
-                6 => FleetOp::Stay { session },
-                _ => FleetOp::RegisterSession { session, def },
-            }
-        })
+                    1 => FleetOp::Reject {
+                        session,
+                        reason: match reason {
+                            0 => vc_orchestrator::RefusalReason::AlreadyLive,
+                            1 => vc_orchestrator::RefusalReason::UserFit,
+                            2 => vc_orchestrator::RefusalReason::TaskFit,
+                            3 => vc_orchestrator::RefusalReason::GlobalCheck,
+                            4 => vc_orchestrator::RefusalReason::Capacity,
+                            _ => vc_orchestrator::RefusalReason::Delay,
+                        },
+                    },
+                    2 => FleetOp::Depart { session },
+                    3 => FleetOp::FailAgent { agent },
+                    4 => FleetOp::RestoreAgent { agent },
+                    5 => FleetOp::Hop {
+                        session,
+                        decision: if user_move {
+                            Decision::User(UserId::new(s), agent)
+                        } else {
+                            Decision::Task(TaskId::new(s), agent)
+                        },
+                        old_agent: AgentId::new((a + 1) % 8),
+                    },
+                    6 => FleetOp::Stay { session },
+                    7 => FleetOp::StayBatch {
+                        count: repair_steps + 1,
+                    },
+                    8 => FleetOp::Timers { entries: timers },
+                    _ => FleetOp::RegisterSession { session, def },
+                }
+            },
+        )
 }
 
 fn fleet_snapshot_strategy() -> impl Strategy<Value = FleetSnapshot> {
@@ -226,6 +263,14 @@ fn fleet_snapshot_strategy() -> impl Strategy<Value = FleetSnapshot> {
             departed: c.2,
             migrations: c.3,
             admission_success_rate: d.0,
+            admission_attempts: c.0 + c.1,
+            admitted_enumeration: c.0 / 2,
+            admitted_repair: c.0 / 3,
+            admitted_fallback: c.0 - c.0 / 2 - c.0 / 3,
+            admission_repair_steps: c.2 + 5,
+            refused_user_fit: c.1 / 2,
+            refused_task_fit: c.1 / 3,
+            refused_global: c.1 - c.1 / 2 - c.1 / 3,
             conservation_violations: d.1,
         })
 }
