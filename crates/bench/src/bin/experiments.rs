@@ -3,12 +3,22 @@
 //! ```text
 //! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
 //! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration
-//!      ablation churn orchestrator persist hop_bench open_world admission_parity all
+//!      ablation churn orchestrator persist hop_bench open_world admission_parity
+//!      obs_overhead all
 //!
-//! An unknown experiment id prints the valid ids and exits with status
-//! 2 (asserted in CI), so a typo in an automation script fails the job
-//! instead of silently running nothing.
+//! cargo run -p vc-bench --release --bin experiments -- check <id>...
 //! ```
+//!
+//! `check` re-runs each id (which must be one that emits a
+//! `BENCH_*.json`) in memory and diffs it against the committed
+//! baseline: any admitted-fraction drop, >20 % throughput regression,
+//! or `true → false` flag flip exits non-zero (the CI regression
+//! gate). A wall-clock threshold miss is re-run up to [`CHECK_ATTEMPTS`]
+//! times before it counts as a failure — noise epochs wash out,
+//! genuine regressions fail every attempt.
+//! An unknown experiment id prints the valid ids and exits with
+//! status 2 (asserted in CI), so a typo in an automation script fails
+//! the job instead of silently running nothing.
 //!
 //! The binary installs a counting global allocator so `hop_bench` can
 //! report heap allocations per hop (the overhead is one relaxed atomic
@@ -58,9 +68,12 @@ struct Options {
     scenarios_set: bool,
     duration_s: f64,
     seed: u64,
+    /// `check` mode: diff fresh runs against committed baselines
+    /// instead of printing/overwriting them.
+    check: bool,
 }
 
-const ALL_IDS: [&str; 19] = [
+const ALL_IDS: [&str; 20] = [
     "fig2",
     "fig4",
     "fig5",
@@ -80,11 +93,28 @@ const ALL_IDS: [&str; 19] = [
     "hop_bench",
     "open_world",
     "admission_parity",
+    "obs_overhead",
+];
+
+/// The ids `check` accepts, with their committed baseline documents.
+const CHECKABLE: [(&str, &str); 4] = [
+    ("hop_bench", "BENCH_hop.json"),
+    ("admission_parity", "BENCH_admission.json"),
+    ("open_world", "BENCH_open_world.json"),
+    ("obs_overhead", "BENCH_obs_overhead.json"),
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: experiments <id>... [--scenarios N] [--duration S] [--seed K]");
+    eprintln!("usage: experiments [check] <id>... [--scenarios N] [--duration S] [--seed K]");
     eprintln!("ids: {} all", ALL_IDS.join(" "));
+    eprintln!(
+        "check ids: {}",
+        CHECKABLE
+            .iter()
+            .map(|(id, _)| *id)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     std::process::exit(2)
 }
 
@@ -95,6 +125,7 @@ fn parse_args() -> Options {
         scenarios_set: false,
         duration_s: 0.0, // 0 = per-experiment default
         seed: 2015,
+        check: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -118,6 +149,7 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "check" if opts.ids.is_empty() && !opts.check => opts.check = true,
             "all" => opts.ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
             id if ALL_IDS.contains(&id) => opts.ids.push(id.to_string()),
             unknown if unknown.starts_with("--") => {
@@ -140,8 +172,151 @@ fn parse_args() -> Options {
     opts
 }
 
+/// `obs_overhead` parameters shared by the run and check paths:
+/// `(sessions, virtual horizon s, round pairs)`. `--duration` sets the
+/// virtual horizon; `--scenarios` the session target.
+fn obs_overhead_params(opts: &Options) -> (usize, f64, usize) {
+    let sessions = if opts.scenarios_set {
+        opts.scenarios.max(20)
+    } else {
+        2_000
+    };
+    // Windows of a few tens of milliseconds, so machine-noise bursts
+    // span several consecutive windows and cancel in the per-window
+    // ratio; 256 pairs so the median's own sampling error shrinks to a
+    // fraction of the budget (see the obs_overhead module docs).
+    let horizon = if opts.duration_s > 0.0 {
+        opts.duration_s
+    } else {
+        2.0
+    };
+    (sessions, horizon, 256)
+}
+
+/// Regenerates one checkable experiment's JSON document in memory,
+/// with the same parameter handling as a normal run.
+fn fresh_json(id: &str, opts: &Options) -> String {
+    match id {
+        "hop_bench" => {
+            let wall_ms = if opts.duration_s > 0.0 {
+                (opts.duration_s * 1e3) as u64
+            } else {
+                2_000
+            };
+            hop_bench::to_json(&hop_bench::run(&[1_000, 10_000], wall_ms, opts.seed))
+        }
+        "admission_parity" => {
+            let sizes: Vec<usize> = if opts.scenarios_set {
+                vec![1_000, opts.scenarios.max(100)]
+            } else {
+                vec![1_000, 12_000]
+            };
+            admission_parity::to_json(&admission_parity::run(&sizes, opts.seed))
+        }
+        "open_world" => {
+            let seed_users = if opts.scenarios_set {
+                opts.scenarios.max(12)
+            } else {
+                300
+            };
+            open_world::to_json(&open_world::run(seed_users, 10, opts.seed))
+        }
+        "obs_overhead" => {
+            let (sessions, horizon, rounds) = obs_overhead_params(opts);
+            obs_overhead::to_json(&obs_overhead::run(sessions, horizon, rounds, opts.seed))
+        }
+        other => unreachable!("'{other}' validated against CHECKABLE"),
+    }
+}
+
+/// A wall-clock comparison that comes back over a threshold is re-run
+/// before it fails the gate (sequential sampling, like the
+/// `obs_overhead` budget check): noise epochs on a shared host wash
+/// out across attempts, a genuine regression fails every one.
+const CHECK_ATTEMPTS: usize = 3;
+
+/// The `check` mode: baseline first (before anything could overwrite
+/// it), then the fresh in-memory run, then the diff. Returns the
+/// number of failed ids.
+fn run_checks(opts: &Options) -> usize {
+    let mut failed = 0usize;
+    for id in &opts.ids {
+        let Some((_, baseline_file)) = CHECKABLE.iter().find(|(cid, _)| cid == id) else {
+            eprintln!("'{id}' has no committed baseline; check ids are:");
+            for (cid, file) in CHECKABLE {
+                eprintln!("  {cid} ({file})");
+            }
+            std::process::exit(2)
+        };
+        let baseline = match std::fs::read_to_string(baseline_file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("check {id}: cannot read committed {baseline_file}: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        println!("check {id}: re-running against {baseline_file} ...");
+        let started = std::time::Instant::now();
+        let mut id_failed = false;
+        for attempt in 1..=CHECK_ATTEMPTS {
+            let current = fresh_json(id, opts);
+            match vc_bench::check::compare(id, &baseline, &current) {
+                Ok(report) => {
+                    for note in &report.notes {
+                        println!("  note: {note}");
+                    }
+                    if report.failures.is_empty() {
+                        println!(
+                            "  ok: {} value(s) within bounds [attempt {attempt}, {:.1}s]",
+                            report.compared,
+                            started.elapsed().as_secs_f64()
+                        );
+                        id_failed = false;
+                        break;
+                    }
+                    id_failed = true;
+                    let last = attempt == CHECK_ATTEMPTS;
+                    for failure in &report.failures {
+                        if last {
+                            eprintln!("  FAIL: {failure}");
+                        } else {
+                            println!("  over threshold: {failure}");
+                        }
+                    }
+                    if !last {
+                        println!("  attempt {attempt} over threshold — re-running");
+                    }
+                }
+                Err(e) => {
+                    // A parse error will not fix itself; fail now.
+                    eprintln!("  FAIL: {e}");
+                    id_failed = true;
+                    break;
+                }
+            }
+        }
+        if id_failed {
+            failed += 1;
+        }
+    }
+    failed
+}
+
 fn main() {
+    // Surface the counting allocator through vc-obs so every consumer
+    // (hop_bench, open_world, obs JSON exports) reads the same counter.
+    vc_obs::register_alloc_counter(alloc_count);
     let opts = parse_args();
+    if opts.check {
+        let failed = run_checks(&opts);
+        if failed > 0 {
+            eprintln!("\n{failed} check(s) failed");
+            std::process::exit(1);
+        }
+        println!("\nall checks passed");
+        return;
+    }
     let mut shared_table2: Option<table2::Table2Result> = None;
     for id in &opts.ids {
         let started = std::time::Instant::now();
@@ -294,12 +469,11 @@ fn main() {
                 } else {
                     2_000
                 };
-                hop_bench::print(&hop_bench::run(
-                    &[1_000, 10_000],
-                    wall_ms,
-                    opts.seed,
-                    alloc_count,
-                ));
+                hop_bench::print(&hop_bench::run(&[1_000, 10_000], wall_ms, opts.seed));
+            }
+            "obs_overhead" => {
+                let (sessions, horizon, rounds) = obs_overhead_params(&opts);
+                obs_overhead::print(&obs_overhead::run(sessions, horizon, rounds, opts.seed));
             }
             _ => unreachable!("ids validated in parse_args"),
         }

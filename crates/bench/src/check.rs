@@ -1,0 +1,472 @@
+//! Benchmark regression gate: re-runs an experiment and diffs its
+//! fresh JSON against the committed `BENCH_*.json` baseline.
+//!
+//! The `experiments` binary's `check` mode (CI runs it on every push)
+//! reads the **committed** baseline *before* re-running, regenerates
+//! the document in memory (nothing on disk is overwritten), matches
+//! rows by their size key, and applies three rules:
+//!
+//! * **admitted fractions may never drop** — every experiment here is
+//!   deterministic given its seed, so `*_fraction` keys must reproduce
+//!   exactly (an epsilon covers float formatting); any drop is a
+//!   correctness regression, not noise;
+//! * **throughput may not regress more than 20 %** — `*_per_s` keys
+//!   are wall-clock measurements, so they get a noise margin. When a
+//!   document carries a `*_per_s` key at top level, same-named keys
+//!   inside rows are treated as informational samples and skipped:
+//!   the aggregate integrates far more wall-clock time than any
+//!   single row (open-world phases accumulate only milliseconds
+//!   each), so the aggregate is the signal and the rows are noise;
+//! * **booleans may not flip `true → false`** — `parity`,
+//!   `within_budget`;
+//!
+//! plus `conservation_violations` may never increase. Rows present on
+//! only one side (e.g. a `--scenarios` override shrank the size sweep)
+//! are skipped with a note, not failed: the gate compares like with
+//! like.
+//!
+//! The JSON parser below is a minimal hand-rolled recursive descent —
+//! the vendored serde is a deliberate no-op shim, so the workspace
+//! parses exactly the documents it emits.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (only what the `BENCH_*.json` documents use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (all benchmark numbers fit f64 exactly enough).
+    Num(f64),
+    /// A string (no escape sequences beyond `\"` and `\\` needed).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered by key.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value under `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The bool if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// A human-readable message naming the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&what) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {pos:?}",
+            char::from(what),
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8], out: Json) -> Result<Json, String> {
+    if bytes.len() - *pos >= lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(out)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("truncated escape")?;
+                *pos += 1;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => return Err(format!("unsupported escape '\\{}'", char::from(other))),
+                });
+            }
+            other => out.push(char::from(other)),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Throughput keys tolerate this relative drop before failing.
+pub const THROUGHPUT_MARGIN: f64 = 0.20;
+
+/// The outcome of one baseline comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Rule violations — any entry fails the check.
+    pub failures: Vec<String>,
+    /// Skipped/unmatched context, printed but not failing.
+    pub notes: Vec<String>,
+    /// `(key, baseline, current)` pairs that were actually compared.
+    pub compared: usize,
+}
+
+fn row_key(row: &Json) -> Option<(&'static str, f64)> {
+    for key in ["sessions", "universe_sessions"] {
+        if let Some(v) = row.get(key).and_then(Json::as_num) {
+            return Some((key, v));
+        }
+    }
+    None
+}
+
+fn compare_scalars(
+    context: &str,
+    base: &Json,
+    cur: &Json,
+    superseded: &[&String],
+    report: &mut CheckReport,
+) {
+    let (Json::Obj(base_map), Json::Obj(_)) = (base, cur) else {
+        return;
+    };
+    for (key, bv) in base_map {
+        if superseded.contains(&key) {
+            continue;
+        }
+        let Some(cv) = cur.get(key) else {
+            report
+                .notes
+                .push(format!("{context}: key '{key}' missing from the fresh run"));
+            continue;
+        };
+        match (bv, cv) {
+            (Json::Bool(true), Json::Bool(false)) => {
+                report
+                    .failures
+                    .push(format!("{context}: '{key}' flipped true → false"));
+                report.compared += 1;
+            }
+            (Json::Bool(_), Json::Bool(_)) => report.compared += 1,
+            (Json::Num(b), Json::Num(c)) => {
+                let is_fraction = key.ends_with("_fraction")
+                    && key != "overhead_fraction"
+                    && key != "budget_fraction";
+                if is_fraction {
+                    report.compared += 1;
+                    if *c < *b - 1e-9 {
+                        report.failures.push(format!(
+                            "{context}: '{key}' dropped {b:.4} → {c:.4} (fractions are deterministic; any drop fails)"
+                        ));
+                    }
+                } else if key.ends_with("_per_s") {
+                    report.compared += 1;
+                    if *c < *b * (1.0 - THROUGHPUT_MARGIN) {
+                        report.failures.push(format!(
+                            "{context}: '{key}' regressed {b:.0} → {c:.0} (> {:.0}% drop)",
+                            THROUGHPUT_MARGIN * 100.0
+                        ));
+                    }
+                } else if key == "conservation_violations" {
+                    report.compared += 1;
+                    if *c > *b {
+                        report
+                            .failures
+                            .push(format!("{context}: '{key}' increased {b:.0} → {c:.0}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Compares a committed baseline document against a freshly
+/// regenerated one. Top-level scalars are compared directly; `rows`
+/// are matched by their size key (`sessions` / `universe_sessions`),
+/// and unmatched rows on either side become notes, not failures.
+pub fn compare(id: &str, baseline: &str, current: &str) -> Result<CheckReport, String> {
+    let base = parse(baseline).map_err(|e| format!("{id}: committed baseline unparsable: {e}"))?;
+    let cur = parse(current).map_err(|e| format!("{id}: fresh run unparsable: {e}"))?;
+    let mut report = CheckReport::default();
+    compare_scalars(id, &base, &cur, &[], &mut report);
+    // Top-level throughput aggregates supersede same-named per-row
+    // samples: a row integrates too little wall-clock time to gate.
+    let aggregated_rates: Vec<&String> = match &base {
+        Json::Obj(map) => map.keys().filter(|k| k.ends_with("_per_s")).collect(),
+        _ => Vec::new(),
+    };
+    let base_rows = match base.get("rows") {
+        Some(Json::Arr(rows)) => rows.as_slice(),
+        _ => &[],
+    };
+    let cur_rows = match cur.get("rows") {
+        Some(Json::Arr(rows)) => rows.as_slice(),
+        _ => &[],
+    };
+    for brow in base_rows {
+        let Some((key, size)) = row_key(brow) else {
+            report
+                .notes
+                .push(format!("{id}: baseline row without a size key"));
+            continue;
+        };
+        let matched = cur_rows
+            .iter()
+            .find(|r| row_key(r).is_some_and(|(k, v)| k == key && size_eq(v, size)));
+        match matched {
+            Some(crow) => {
+                compare_scalars(
+                    &format!("{id}[{key}={size:.0}]"),
+                    brow,
+                    crow,
+                    &aggregated_rates,
+                    &mut report,
+                );
+            }
+            None => report.notes.push(format!(
+                "{id}: baseline row {key}={size:.0} absent from the fresh run (size sweep differs); skipped"
+            )),
+        }
+    }
+    for crow in cur_rows {
+        if let Some((key, size)) = row_key(crow) {
+            if !base_rows
+                .iter()
+                .any(|r| row_key(r).is_some_and(|(k, v)| k == key && size_eq(v, size)))
+            {
+                report.notes.push(format!(
+                    "{id}: fresh row {key}={size:.0} has no committed baseline; skipped"
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Exact-size row match (sizes are integers carried as f64).
+fn size_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() < 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "experiment": "demo", "cpus": 1,
+  "rows": [
+    {"sessions": 100, "engine_fraction": 0.93, "admits_per_s": 1000.0, "parity": true, "conservation_violations": 0},
+    {"sessions": 200, "engine_fraction": 0.90, "admits_per_s": 2000.0, "parity": true, "conservation_violations": 0}
+  ]
+}"#;
+
+    #[test]
+    fn parser_round_trips_the_shapes_we_emit() {
+        let v = parse(BASE).expect("parses");
+        assert_eq!(v.get("experiment"), Some(&Json::Str("demo".into())));
+        let Some(Json::Arr(rows)) = v.get("rows") else {
+            panic!("rows missing")
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("sessions").and_then(Json::as_num), Some(100.0));
+        assert_eq!(rows[0].get("parity").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let report = compare("demo", BASE, BASE).expect("comparable");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn fraction_drop_fails_throughput_margin_tolerates() {
+        let current = BASE
+            .replace("\"engine_fraction\": 0.93", "\"engine_fraction\": 0.92")
+            .replace("\"admits_per_s\": 1000.0", "\"admits_per_s\": 850.0");
+        let report = compare("demo", BASE, &current).expect("comparable");
+        // 0.93 → 0.92 fails; 1000 → 850 is a 15% drop, inside the 20% margin.
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("engine_fraction"));
+    }
+
+    #[test]
+    fn big_throughput_drop_and_parity_flip_fail() {
+        let current = BASE
+            .replace("\"admits_per_s\": 2000.0", "\"admits_per_s\": 1500.0")
+            .replace(
+                "\"engine_fraction\": 0.90, \"admits_per_s\": 1500.0, \"parity\": true",
+                "\"engine_fraction\": 0.90, \"admits_per_s\": 1500.0, \"parity\": false",
+            );
+        let report = compare("demo", BASE, &current).expect("comparable");
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+    }
+
+    #[test]
+    fn unmatched_rows_are_notes_not_failures() {
+        let current = r#"{
+  "experiment": "demo", "cpus": 1,
+  "rows": [
+    {"sessions": 100, "engine_fraction": 0.93, "admits_per_s": 1000.0, "parity": true, "conservation_violations": 0}
+  ]
+}"#;
+        let report = compare("demo", BASE, current).expect("comparable");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("sessions=200") && n.contains("skipped")));
+    }
+
+    #[test]
+    fn top_level_aggregate_supersedes_row_rates() {
+        // `admits_per_s` appears at top level, so the 4× drop in the
+        // row sample is skipped; the aggregate itself still gates.
+        let base = r#"{
+  "experiment": "demo", "admits_per_s": 1000.0,
+  "rows": [{"sessions": 100, "admits_per_s": 1200.0}]
+}"#;
+        let noisy_row = base.replace("\"admits_per_s\": 1200.0", "\"admits_per_s\": 300.0");
+        let report = compare("demo", base, &noisy_row).expect("comparable");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let bad_aggregate = base.replacen("\"admits_per_s\": 1000.0", "\"admits_per_s\": 400.0", 1);
+        let report = compare("demo", base, &bad_aggregate).expect("comparable");
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("admits_per_s"));
+    }
+
+    #[test]
+    fn violations_increase_fails() {
+        let current = BASE.replacen(
+            "\"conservation_violations\": 0",
+            "\"conservation_violations\": 2",
+            1,
+        );
+        let report = compare("demo", BASE, &current).expect("comparable");
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("conservation_violations"));
+    }
+}

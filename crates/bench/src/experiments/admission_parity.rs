@@ -29,6 +29,7 @@ use vc_algo::agrank::AgRankConfig;
 use vc_algo::markov::Alg1Config;
 use vc_core::UapProblem;
 use vc_model::SessionId;
+use vc_obs::Site;
 use vc_orchestrator::{AdmissionMode, Fleet, FleetConfig, PlacementPolicy};
 use vc_workloads::{large_scale_instance, LargeScaleConfig};
 
@@ -47,7 +48,10 @@ pub struct AdmissionRow {
     pub engine_fraction: f64,
     /// Mean engine admit latency (µs, admissions and refusals alike).
     pub engine_mean_us: f64,
-    /// p99 engine admit latency (µs).
+    /// Median engine admit latency (µs), from the fleet's `vc-obs`
+    /// plane (all engine-tier sites plus refusals, merged).
+    pub engine_p50_us: f64,
+    /// p99 engine admit latency (µs), same source.
     pub engine_p99_us: f64,
     /// Enumeration-tier admissions.
     pub engine_enumeration: usize,
@@ -63,6 +67,11 @@ pub struct AdmissionRow {
     pub legacy_fraction: f64,
     /// Mean legacy admit latency (µs).
     pub legacy_mean_us: f64,
+    /// Median legacy admit latency (µs), from the legacy fleet's
+    /// `vc-obs` plane (`admit_legacy` + refusals).
+    pub legacy_p50_us: f64,
+    /// p99 legacy admit latency (µs), same source.
+    pub legacy_p99_us: f64,
     /// Sessions the offline `admit_all` admitted.
     pub offline_admitted: usize,
     /// Offline admitted fraction.
@@ -141,15 +150,20 @@ fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-fn p99(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    // ceil(0.99·n) − 1: the smallest rank covering 99 % of samples
-    // (n ≤ 100 would otherwise index the absolute maximum).
-    sorted[(99 * sorted.len()).div_ceil(100) - 1]
+/// The admit-latency histogram of one driven fleet: every engine tier
+/// (or the legacy walk) merged with the refusals, so the distribution
+/// covers each `Fleet::admit` call exactly once.
+fn admit_summary(fleet: &Fleet) -> vc_obs::HistSummary {
+    fleet
+        .obs()
+        .merged(&[
+            Site::AdmitEnumeration,
+            Site::AdmitRepair,
+            Site::AdmitFallback,
+            Site::AdmitLegacy,
+            Site::AdmitRefused,
+        ])
+        .summary()
 }
 
 fn run_size(target: usize, seed: u64) -> AdmissionRow {
@@ -159,10 +173,12 @@ fn run_size(target: usize, seed: u64) -> AdmissionRow {
 
     let engine_fleet = Fleet::new(problem.clone(), config(AdmissionMode::default()));
     let (engine_set, engine_lat) = drive(&engine_fleet);
+    let engine_summary = admit_summary(&engine_fleet);
     let engine_audit = engine_fleet.audit().len();
 
     let legacy_fleet = Fleet::new(problem.clone(), config(AdmissionMode::LegacyRanked));
     let (legacy_set, legacy_lat) = drive(&legacy_fleet);
+    let legacy_summary = admit_summary(&legacy_fleet);
     let legacy_audit = legacy_fleet.audit().len();
 
     let offline = admit_all(
@@ -180,7 +196,8 @@ fn run_size(target: usize, seed: u64) -> AdmissionRow {
         engine_admitted: engine_set.len(),
         engine_fraction: engine_set.len() as f64 / n as f64,
         engine_mean_us: mean(&engine_lat),
-        engine_p99_us: p99(&engine_lat),
+        engine_p50_us: engine_summary.p50_ns as f64 / 1e3,
+        engine_p99_us: engine_summary.p99_ns as f64 / 1e3,
         engine_enumeration: c.admitted_enumeration.load(Relaxed),
         engine_repair: c.admitted_repair.load(Relaxed),
         engine_fallback: c.admitted_fallback.load(Relaxed),
@@ -188,6 +205,8 @@ fn run_size(target: usize, seed: u64) -> AdmissionRow {
         legacy_admitted: legacy_set.len(),
         legacy_fraction: legacy_set.len() as f64 / n as f64,
         legacy_mean_us: mean(&legacy_lat),
+        legacy_p50_us: legacy_summary.p50_ns as f64 / 1e3,
+        legacy_p99_us: legacy_summary.p99_ns as f64 / 1e3,
         offline_admitted: offline_set.len(),
         offline_fraction: offline_set.len() as f64 / n as f64,
         parity: engine_set == offline_set,
@@ -216,11 +235,11 @@ pub fn to_json(result: &AdmissionParityResult) -> String {
             concat!(
                 "    {{\"sessions\": {}, \"users\": {}, \"agents\": {}, ",
                 "\"engine_admitted\": {}, \"engine_fraction\": {:.4}, ",
-                "\"engine_mean_us\": {:.1}, \"engine_p99_us\": {:.1}, ",
+                "\"engine_mean_us\": {:.1}, \"engine_p50_us\": {:.1}, \"engine_p99_us\": {:.1}, ",
                 "\"engine_enumeration\": {}, \"engine_repair\": {}, ",
                 "\"engine_fallback\": {}, \"engine_repair_steps\": {}, ",
                 "\"legacy_admitted\": {}, \"legacy_fraction\": {:.4}, ",
-                "\"legacy_mean_us\": {:.1}, ",
+                "\"legacy_mean_us\": {:.1}, \"legacy_p50_us\": {:.1}, \"legacy_p99_us\": {:.1}, ",
                 "\"offline_admitted\": {}, \"offline_fraction\": {:.4}, ",
                 "\"parity\": {}, \"conservation_violations\": {}}}{}\n"
             ),
@@ -230,6 +249,7 @@ pub fn to_json(result: &AdmissionParityResult) -> String {
             r.engine_admitted,
             r.engine_fraction,
             r.engine_mean_us,
+            r.engine_p50_us,
             r.engine_p99_us,
             r.engine_enumeration,
             r.engine_repair,
@@ -238,6 +258,8 @@ pub fn to_json(result: &AdmissionParityResult) -> String {
             r.legacy_admitted,
             r.legacy_fraction,
             r.legacy_mean_us,
+            r.legacy_p50_us,
+            r.legacy_p99_us,
             r.offline_admitted,
             r.offline_fraction,
             r.parity,
@@ -271,11 +293,12 @@ pub fn print(result: &AdmissionParityResult) {
             r.parity,
         );
     }
-    println!("\nEngine admit latency and search-tier mix");
+    println!("\nEngine admit latency (vc-obs percentiles) and search-tier mix");
     println!(
-        "{:>9} {:>10} {:>10} {:>12} {:>8} {:>9} {:>13} {:>11}",
+        "{:>9} {:>10} {:>10} {:>10} {:>12} {:>8} {:>9} {:>13} {:>11}",
         "sessions",
         "mean µs",
+        "p50 µs",
         "p99 µs",
         "enumeration",
         "repair",
@@ -285,9 +308,10 @@ pub fn print(result: &AdmissionParityResult) {
     );
     for r in &result.rows {
         println!(
-            "{:>9} {:>10.1} {:>10.1} {:>12} {:>8} {:>9} {:>13} {:>11}",
+            "{:>9} {:>10.1} {:>10.1} {:>10.1} {:>12} {:>8} {:>9} {:>13} {:>11}",
             r.sessions,
             r.engine_mean_us,
+            r.engine_p50_us,
             r.engine_p99_us,
             r.engine_enumeration,
             r.engine_repair,
@@ -299,8 +323,8 @@ pub fn print(result: &AdmissionParityResult) {
     println!("\nLegacy admit latency (for comparison)");
     for r in &result.rows {
         println!(
-            "{:>9} sessions: mean {:.1} µs",
-            r.sessions, r.legacy_mean_us
+            "{:>9} sessions: mean {:.1} µs, p50 {:.1} µs, p99 {:.1} µs",
+            r.sessions, r.legacy_mean_us, r.legacy_p50_us, r.legacy_p99_us
         );
     }
     let json = to_json(result);
@@ -330,8 +354,12 @@ mod tests {
             r.engine_admitted,
             r.engine_enumeration + r.engine_repair + r.engine_fallback
         );
+        // The vc-obs percentiles cover every admit call of each fleet.
+        assert!(r.engine_p50_us > 0.0 && r.engine_p99_us >= r.engine_p50_us);
+        assert!(r.legacy_p50_us > 0.0 && r.legacy_p99_us >= r.legacy_p50_us);
         let json = to_json(&result);
         assert!(json.contains("\"admission_parity\""));
         assert!(json.contains("\"parity\": true"));
+        assert!(json.contains("\"engine_p50_us\"") && json.contains("\"legacy_p99_us\""));
     }
 }

@@ -16,8 +16,13 @@
 //!   conservation audit.
 //!
 //! Allocations are counted by the `experiments` binary's counting
-//! global allocator (passed in as a function pointer; library tests
-//! pass a zero counter).
+//! global allocator, surfaced through [`vc_obs::allocs_now`] (the
+//! binary registers its counter with
+//! [`vc_obs::register_alloc_counter`]; library tests, which have no
+//! counting allocator, read 0 allocations). Per-hop latency
+//! percentiles come from `vc-obs` histograms: the serial scratch loop
+//! records into a local [`LatencyHist`], the concurrent fleet reads
+//! its own plane's `hop` site.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -26,8 +31,16 @@ use vc_algo::markov::{Alg1Config, Alg1Engine, HopScratch};
 use vc_core::evaluate::evaluate_session;
 use vc_core::{Decision, SessionLoad, SystemState, UapProblem};
 use vc_model::{AgentId, SessionId};
+use vc_obs::{LatencyHist, Site};
 use vc_orchestrator::{Fleet, FleetConfig, PlacementPolicy, ReoptPool};
 use vc_workloads::{large_scale_instance, LargeScaleConfig};
+
+/// Reads the process-wide allocation counter if the binary registered
+/// one ([`vc_obs::register_alloc_counter`]); 0 otherwise, making every
+/// allocs-per-hop figure 0 rather than garbage.
+fn alloc_count() -> u64 {
+    vc_obs::allocs_now().unwrap_or(0)
+}
 
 /// Exponent clamp mirroring the engine's Gibbs weights.
 const MAX_EXPONENT: f64 = 600.0;
@@ -49,6 +62,10 @@ pub struct HopBenchRow {
     pub scratch_hops_per_s: f64,
     /// Heap allocations per scratch hop (steady state; ~0).
     pub scratch_allocs_per_hop: f64,
+    /// Median scratch-hop latency (ns), from a `vc-obs` histogram.
+    pub scratch_p50_ns: u64,
+    /// 99th-percentile scratch-hop latency (ns).
+    pub scratch_p99_ns: u64,
     /// `scratch_hops_per_s / legacy_hops_per_s`.
     pub speedup: f64,
     /// Fleet hop throughput, 1 worker thread (sharded FREEZE).
@@ -57,6 +74,11 @@ pub struct HopBenchRow {
     pub wall_4t_hops_per_s: f64,
     /// `wall_4t / wall_1t`.
     pub scaling_4t: f64,
+    /// Median fleet-hop latency (µs) under the sharded FREEZE,
+    /// 1-thread run, from the fleet's own observability plane.
+    pub wall_hop_p50_us: f64,
+    /// 99th-percentile fleet-hop latency (µs), 1-thread run.
+    pub wall_hop_p99_us: f64,
     /// Conservation-audit discrepancies after the concurrent runs
     /// (must be 0).
     pub conservation_violations: usize,
@@ -187,7 +209,6 @@ fn run_size(
     scratch_hops: usize,
     wall_ms: u64,
     seed: u64,
-    alloc_count: fn() -> u64,
 ) -> HopBenchRow {
     let problem = build_problem(sessions_target, seed);
     let num_sessions = problem.instance().num_sessions();
@@ -225,18 +246,28 @@ fn run_size(
         );
     }
     let a0 = alloc_count();
+    // Per-hop latency: reuse each hop's end timestamp as the next
+    // start, so the histogram costs one clock read per hop on top of
+    // the throughput measurement it shares timestamps with.
+    let mut hist = LatencyHist::new();
     let t0 = Instant::now();
+    let mut t_prev = t0;
     for i in 0..scratch_hops {
         let s = SessionId::from(i % num_sessions);
         engine.hop_scratch(&mut state, s, &mut rng, &mut scratch);
+        let t = Instant::now();
+        hist.record((t - t_prev).as_nanos() as u64);
+        t_prev = t;
     }
     let scratch_elapsed = t0.elapsed().as_secs_f64();
     let scratch_allocs = (alloc_count() - a0) as f64 / scratch_hops as f64;
     let scratch_rate = scratch_hops as f64 / scratch_elapsed;
+    let scratch_summary = hist.summary();
 
     // --- Concurrent fleet under the sharded FREEZE. ---------------------
     let mut wall_rates = [0.0f64; 2];
     let mut violations = 0usize;
+    let mut wall_summary = vc_obs::HistSummary::default();
     for (slot, threads) in [(0usize, 1usize), (1, 4)] {
         let fleet = Fleet::new(
             problem.clone(),
@@ -266,6 +297,9 @@ fn run_size(
         let executed = pool.run_wall(&fleet, budget, threads);
         wall_rates[slot] = executed as f64 / budget.as_secs_f64();
         violations += fleet.audit().len();
+        if threads == 1 {
+            wall_summary = fleet.obs().summary(Site::Hop);
+        }
     }
 
     HopBenchRow {
@@ -276,18 +310,23 @@ fn run_size(
         legacy_allocs_per_hop: legacy_allocs,
         scratch_hops_per_s: scratch_rate,
         scratch_allocs_per_hop: scratch_allocs,
+        scratch_p50_ns: scratch_summary.p50_ns,
+        scratch_p99_ns: scratch_summary.p99_ns,
         speedup: scratch_rate / legacy_rate,
         wall_1t_hops_per_s: wall_rates[0],
         wall_4t_hops_per_s: wall_rates[1],
         scaling_4t: wall_rates[1] / wall_rates[0].max(1e-9),
+        wall_hop_p50_us: wall_summary.p50_ns as f64 / 1e3,
+        wall_hop_p99_us: wall_summary.p99_ns as f64 / 1e3,
         conservation_violations: violations,
     }
 }
 
-/// Runs the hop benchmark across fleet sizes. `alloc_count` reads the
-/// process-wide allocation counter (the `experiments` binary installs
-/// a counting global allocator; pass `|| 0` equivalents when absent).
-pub fn run(sizes: &[usize], wall_ms: u64, seed: u64, alloc_count: fn() -> u64) -> HopBenchResult {
+/// Runs the hop benchmark across fleet sizes. Allocation counts come
+/// from the counter registered via [`vc_obs::register_alloc_counter`]
+/// (the `experiments` binary installs one; without it every
+/// allocs-per-hop figure reads 0).
+pub fn run(sizes: &[usize], wall_ms: u64, seed: u64) -> HopBenchResult {
     HopBenchResult {
         rows: sizes
             .iter()
@@ -296,14 +335,7 @@ pub fn run(sizes: &[usize], wall_ms: u64, seed: u64, alloc_count: fn() -> u64) -
                 // enough for a stable rate.
                 let legacy_hops = if target >= 5_000 { 100 } else { 300 };
                 let scratch_hops = 20_000;
-                run_size(
-                    target,
-                    legacy_hops,
-                    scratch_hops,
-                    wall_ms,
-                    seed,
-                    alloc_count,
-                )
+                run_size(target, legacy_hops, scratch_hops, wall_ms, seed)
             })
             .collect(),
     }
@@ -323,9 +355,12 @@ pub fn to_json(result: &HopBenchResult) -> String {
                 "    {{\"sessions\": {}, \"users\": {}, \"agents\": {}, ",
                 "\"legacy_hops_per_s\": {:.1}, \"legacy_allocs_per_hop\": {:.1}, ",
                 "\"scratch_hops_per_s\": {:.1}, \"scratch_allocs_per_hop\": {:.3}, ",
+                "\"scratch_p50_ns\": {}, \"scratch_p99_ns\": {}, ",
                 "\"speedup\": {:.2}, ",
                 "\"wall_1t_hops_per_s\": {:.1}, \"wall_4t_hops_per_s\": {:.1}, ",
-                "\"scaling_4t\": {:.2}, \"conservation_violations\": {}}}{}\n"
+                "\"scaling_4t\": {:.2}, ",
+                "\"wall_hop_p50_us\": {:.1}, \"wall_hop_p99_us\": {:.1}, ",
+                "\"conservation_violations\": {}}}{}\n"
             ),
             r.sessions,
             r.users,
@@ -334,10 +369,14 @@ pub fn to_json(result: &HopBenchResult) -> String {
             r.legacy_allocs_per_hop,
             r.scratch_hops_per_s,
             r.scratch_allocs_per_hop,
+            r.scratch_p50_ns,
+            r.scratch_p99_ns,
             r.speedup,
             r.wall_1t_hops_per_s,
             r.wall_4t_hops_per_s,
             r.scaling_4t,
+            r.wall_hop_p50_us,
+            r.wall_hop_p99_us,
             r.conservation_violations,
             if i + 1 == result.rows.len() { "" } else { "," },
         ));
@@ -351,18 +390,28 @@ pub fn to_json(result: &HopBenchResult) -> String {
 pub fn print(result: &HopBenchResult) {
     println!("Hop throughput — legacy (clone-per-candidate) vs allocation-free scratch path");
     println!(
-        "{:>9} {:>8} {:>13} {:>12} {:>13} {:>12} {:>8}",
-        "sessions", "agents", "legacy hop/s", "alloc/hop", "scratch hop/s", "alloc/hop", "speedup"
+        "{:>9} {:>8} {:>13} {:>12} {:>13} {:>12} {:>10} {:>10} {:>8}",
+        "sessions",
+        "agents",
+        "legacy hop/s",
+        "alloc/hop",
+        "scratch hop/s",
+        "alloc/hop",
+        "p50 ns",
+        "p99 ns",
+        "speedup"
     );
     for r in &result.rows {
         println!(
-            "{:>9} {:>8} {:>13.0} {:>12.1} {:>13.0} {:>12.3} {:>7.1}x",
+            "{:>9} {:>8} {:>13.0} {:>12.1} {:>13.0} {:>12.3} {:>10} {:>10} {:>7.1}x",
             r.sessions,
             r.agents,
             r.legacy_hops_per_s,
             r.legacy_allocs_per_hop,
             r.scratch_hops_per_s,
             r.scratch_allocs_per_hop,
+            r.scratch_p50_ns,
+            r.scratch_p99_ns,
             r.speedup,
         );
     }
@@ -377,16 +426,18 @@ pub fn print(result: &HopBenchResult) {
         println!("   zero contention collapse under oversubscription, not absent parallelism)");
     }
     println!(
-        "{:>9} {:>15} {:>15} {:>9} {:>11}",
-        "sessions", "1-thread hop/s", "4-thread hop/s", "scaling", "violations"
+        "{:>9} {:>15} {:>15} {:>9} {:>10} {:>10} {:>11}",
+        "sessions", "1-thread hop/s", "4-thread hop/s", "scaling", "p50 µs", "p99 µs", "violations"
     );
     for r in &result.rows {
         println!(
-            "{:>9} {:>15.0} {:>15.0} {:>8.2}x {:>11}",
+            "{:>9} {:>15.0} {:>15.0} {:>8.2}x {:>10.1} {:>10.1} {:>11}",
             r.sessions,
             r.wall_1t_hops_per_s,
             r.wall_4t_hops_per_s,
             r.scaling_4t,
+            r.wall_hop_p50_us,
+            r.wall_hop_p99_us,
             r.conservation_violations,
         );
     }
@@ -401,13 +452,9 @@ pub fn print(result: &HopBenchResult) {
 mod tests {
     use super::*;
 
-    fn no_allocs() -> u64 {
-        0
-    }
-
     #[test]
     fn tiny_run_produces_consistent_rows() {
-        let result = run(&[40], 50, 11, no_allocs);
+        let result = run(&[40], 50, 11);
         assert_eq!(result.rows.len(), 1);
         let r = &result.rows[0];
         assert!(r.sessions >= 30, "universe lost sessions: {}", r.sessions);
@@ -419,8 +466,12 @@ mod tests {
             "scratch path not faster: {:.2}x",
             r.speedup
         );
+        // The vc-obs percentiles are populated and ordered.
+        assert!(r.scratch_p50_ns > 0 && r.scratch_p99_ns >= r.scratch_p50_ns);
+        assert!(r.wall_hop_p50_us > 0.0 && r.wall_hop_p99_us >= r.wall_hop_p50_us);
         let json = to_json(&result);
         assert!(json.contains("\"hop_bench\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"scratch_p50_ns\"") && json.contains("\"wall_hop_p99_us\""));
     }
 }

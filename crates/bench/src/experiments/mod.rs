@@ -13,6 +13,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod hop_bench;
 pub mod migration;
+pub mod obs_overhead;
 pub mod open_world;
 pub mod orchestrator;
 pub mod persist;

@@ -8,10 +8,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod experiments;
 pub mod util;
 
 pub use experiments::{
     ablation, churn, fig10, fig2, fig4, fig5, fig6, fig7, fig8, fig9, hop_bench, migration,
-    orchestrator, persist, robust, table2, theorem1,
+    obs_overhead, orchestrator, persist, robust, table2, theorem1,
 };

@@ -1,0 +1,264 @@
+//! A bounded, lock-free flight recorder: the last N fleet operations.
+//!
+//! Every fleet op (admit, reject, depart, fail, restore, hop, stay,
+//! register, checkpoint, recover-replay) stores one fixed-size event
+//! into a ring of atomic slots — a `fetch_add` for the sequence number
+//! plus three plain stores, no locks, so hot paths pay nanoseconds.
+//! Reads are best-effort: a slot being overwritten concurrently can
+//! surface a torn event, which the dump tolerates (events are sorted
+//! and de-duplicated by sequence; the recorder is diagnostic, never
+//! authoritative — the journal owns the serialization order).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What kind of fleet operation an event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpKind {
+    /// A session was admitted (`a` = session, `b` = engine tier).
+    Admit = 1,
+    /// An admission was refused (`a` = session).
+    Reject = 2,
+    /// A session departed (`a` = session).
+    Depart = 3,
+    /// An agent failed (`a` = agent, `b` = sessions evacuated).
+    FailAgent = 4,
+    /// An agent came back (`a` = agent).
+    RestoreAgent = 5,
+    /// A HOP migrated a session (`a` = session, `b` = old agent).
+    Hop = 6,
+    /// A HOP stayed put / lost its swap race (`a` = session).
+    Stay = 7,
+    /// A new conference joined the universe online (`a` = session).
+    RegisterSession = 8,
+    /// A snapshot checkpoint was taken.
+    Checkpoint = 9,
+    /// Recovery replayed a journal record (`a` = low bits of seq).
+    Recover = 10,
+}
+
+impl OpKind {
+    /// Stable lower-case name used in post-mortem JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Admit => "admit",
+            OpKind::Reject => "reject",
+            OpKind::Depart => "depart",
+            OpKind::FailAgent => "fail_agent",
+            OpKind::RestoreAgent => "restore_agent",
+            OpKind::Hop => "hop",
+            OpKind::Stay => "stay",
+            OpKind::RegisterSession => "register_session",
+            OpKind::Checkpoint => "checkpoint",
+            OpKind::Recover => "recover",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => OpKind::Admit,
+            2 => OpKind::Reject,
+            3 => OpKind::Depart,
+            4 => OpKind::FailAgent,
+            5 => OpKind::RestoreAgent,
+            6 => OpKind::Hop,
+            7 => OpKind::Stay,
+            8 => OpKind::RegisterSession,
+            9 => OpKind::Checkpoint,
+            10 => OpKind::Recover,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded flight event.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Global op sequence number (1-based; gaps mean overwritten slots).
+    pub seq: u64,
+    /// Microseconds since the observability plane was created.
+    pub t_us: u64,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// First payload word (usually a session or agent index).
+    pub a: u32,
+    /// Second payload word (kind-specific).
+    pub b: u32,
+}
+
+impl FlightEvent {
+    /// One JSON object line for post-mortem dumps.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\": {}, \"t_us\": {}, \"op\": \"{}\", \"a\": {}, \"b\": {}}}",
+            self.seq,
+            self.t_us,
+            self.kind.name(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+struct Slot {
+    // 0 = empty; otherwise the 1-based sequence number, stored *last*
+    // with Release so a reader that sees it also sees the data words.
+    seq: AtomicU64,
+    // t_us << 8 | kind
+    time_kind: AtomicU64,
+    // a << 32 | b
+    payload: AtomicU64,
+}
+
+/// The bounded ring itself. See module docs for the concurrency model.
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    /// `slots.len() - 1`; the capacity is a power of two so the ring
+    /// index is a mask, not a division (this runs on every fleet op).
+    mask: u64,
+    next: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` events (rounded up to the
+    /// next power of two, minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1).next_power_of_two();
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(Slot {
+                seq: AtomicU64::new(0),
+                time_kind: AtomicU64::new(0),
+                payload: AtomicU64::new(0),
+            });
+        }
+        Self {
+            slots,
+            mask: capacity as u64 - 1,
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Pre-invalidate the slot the next `record` will (probably) write.
+    ///
+    /// The ring cycles through ~100 cachelines, so by the time an op
+    /// wraps back to a slot its line has been evicted and the `record`
+    /// stores stall on an exclusive-ownership miss. Calling this at the
+    /// *start* of a long op claims the line early — the miss resolves
+    /// in the background while the op runs, and the closing `record`
+    /// hits L1. It is the same invalidating store `record` opens with,
+    /// just hoisted; under concurrency it may zero a slot another
+    /// thread claims in the meantime, which drops one stale event from
+    /// a best-effort diagnostic ring (see the module docs).
+    #[inline]
+    pub fn warm_next(&self) {
+        let idx = ((self.next.load(Ordering::Relaxed) + 1) & self.mask) as usize;
+        self.slots[idx].seq.store(0, Ordering::Relaxed);
+    }
+
+    /// Record one event. Lock-free: one `fetch_add` + three stores.
+    #[inline]
+    pub fn record(&self, t_us: u64, kind: OpKind, a: u32, b: u32) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Invalidate, write data, then publish the new seq with Release.
+        slot.seq.store(0, Ordering::Relaxed);
+        slot.time_kind
+            .store((t_us << 8) | kind as u64, Ordering::Relaxed);
+        slot.payload
+            .store(((a as u64) << 32) | b as u64, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Total ops ever recorded (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Best-effort decoded snapshot of the ring, oldest first.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let tk = slot.time_kind.load(Ordering::Relaxed);
+            let pl = slot.payload.load(Ordering::Relaxed);
+            let Some(kind) = OpKind::from_u8((tk & 0xFF) as u8) else {
+                continue; // torn slot — skip
+            };
+            out.push(FlightEvent {
+                seq,
+                t_us: tk >> 8,
+                kind,
+                a: (pl >> 32) as u32,
+                b: (pl & 0xFFFF_FFFF) as u32,
+            });
+        }
+        out.sort_by_key(|e| e.seq);
+        out.dedup_by_key(|e| e.seq);
+        out
+    }
+
+    /// The dump as a JSON array.
+    pub fn dump_json(&self) -> String {
+        let events: Vec<String> = self.dump().iter().map(FlightEvent::to_json).collect();
+        format!("[{}]", events.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_last_n() {
+        let fr = FlightRecorder::new(8);
+        for i in 0..20u32 {
+            fr.record(i as u64, OpKind::Hop, i, 0);
+        }
+        let events = fr.dump();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events.first().unwrap().seq, 13);
+        assert_eq!(events.last().unwrap().seq, 20);
+        assert_eq!(fr.total(), 20);
+        for e in &events {
+            assert_eq!(e.kind, OpKind::Hop);
+            assert_eq!(e.a as u64 + 1, e.seq);
+        }
+    }
+
+    #[test]
+    fn payload_words_round_trip() {
+        let fr = FlightRecorder::new(4);
+        fr.record(123_456, OpKind::Admit, 0xDEAD, 0xBEEF);
+        let e = fr.dump()[0];
+        assert_eq!(e.t_us, 123_456);
+        assert_eq!(e.a, 0xDEAD);
+        assert_eq!(e.b, 0xBEEF);
+        assert_eq!(e.kind, OpKind::Admit);
+        assert!(e.to_json().contains("\"op\": \"admit\""));
+    }
+
+    #[test]
+    fn concurrent_records_never_panic_and_stay_bounded() {
+        let fr = std::sync::Arc::new(FlightRecorder::new(32));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let fr = fr.clone();
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        fr.record(i as u64, OpKind::Stay, t, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.total(), 4000);
+        let events = fr.dump();
+        assert!(events.len() <= 32);
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

@@ -51,6 +51,7 @@ use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use vc_algo::admission::{
     AdmissionConfig, AdmissionEngine, AdmissionFailure, AdmissionPolicy, AdmissionTier,
 };
@@ -62,6 +63,7 @@ use vc_core::{
     SystemState, TaskId, UapProblem, CAPACITY_EPS,
 };
 use vc_model::{AgentId, ModelError, SessionDef, SessionId, UserId};
+use vc_obs::{ObsPlane, OpKind, Site};
 
 /// One candidate placement: session users and tasks to agents.
 pub type Placement = (Vec<(UserId, AgentId)>, Vec<(TaskId, AgentId)>);
@@ -348,6 +350,10 @@ pub struct Fleet {
     /// are FREEZE-exclusive, so the mutex is uncontended; reusing the
     /// `L×L` flow matrix avoids re-allocating it per admit).
     admit_scratch: Mutex<EvalScratch>,
+    /// The observability plane: per-site latency histograms, per-shard
+    /// swap contention counters, and the flight recorder. Enabled by
+    /// default; disabling reduces every probe to one relaxed load.
+    pub(crate) obs: Arc<ObsPlane>,
 }
 
 impl Fleet {
@@ -367,6 +373,7 @@ impl Fleet {
         for i in 0..universe.problem.instance().num_sessions() {
             universe.push_slot(SessionId::from(i));
         }
+        let obs = Arc::new(ObsPlane::new(ledger.num_shards()));
         Self {
             freeze: RwLock::new(universe),
             available: (0..nl).map(|_| AtomicBool::new(true)).collect(),
@@ -379,7 +386,15 @@ impl Fleet {
             pending_stays: AtomicU64::new(0),
             timers: Mutex::new(Vec::new()),
             admit_scratch: Mutex::new(EvalScratch::new()),
+            obs,
         }
+    }
+
+    /// The fleet's observability plane ([`vc_obs::ObsPlane`]): latency
+    /// histograms per instrumented site, swap contention counters, and
+    /// the flight recorder. Shareable; telemetry and benches read it.
+    pub fn obs(&self) -> &Arc<ObsPlane> {
+        &self.obs
     }
 
     /// The current problem (a clone of the `Arc` under the shared
@@ -407,7 +422,9 @@ impl Fleet {
     ///
     /// Propagates [`ModelError`] from the instance-level validation.
     pub fn register_session(&self, def: &SessionDef) -> Result<SessionId, ModelError> {
+        let t0 = self.obs.timer();
         let mut u = self.freeze.write();
+        let t_acq = t0.map(|_| Instant::now());
         let mut problem = (*u.problem).clone();
         let s = problem.register_session(def)?;
         u.problem = Arc::new(problem);
@@ -417,6 +434,16 @@ impl Fleet {
             session: s,
             def: def.clone(),
         });
+        drop(u);
+        if let Some(t0) = t0 {
+            let t_acq = t_acq.expect("taken together with t0");
+            let t_end = Instant::now();
+            self.obs.record_span(Site::FreezeWriteWait, t0, t_acq);
+            self.obs.record_span(Site::FreezeWriteHold, t_acq, t_end);
+            self.obs.record_span(Site::RegisterSession, t0, t_end);
+            self.obs
+                .note_op_at(t_end, OpKind::RegisterSession, s.index() as u32, 0);
+        }
         Ok(s)
     }
 
@@ -460,7 +487,46 @@ impl Fleet {
     ///
     /// See [`AdmitError`].
     pub fn admit(&self, s: SessionId) -> Result<(), AdmitError> {
+        let t0 = self.obs.timer();
         let u = self.freeze.write();
+        let t_acq = t0.map(|_| Instant::now());
+        let result = self.admit_locked(&u, s);
+        drop(u);
+        // All recording happens after the exclusive section is released:
+        // observation must never extend the FREEZE hold it measures.
+        if let Some(t0) = t0 {
+            let t_acq = t_acq.expect("taken together with t0");
+            let t_end = Instant::now();
+            self.obs.record_span(Site::FreezeWriteWait, t0, t_acq);
+            self.obs.record_span(Site::FreezeWriteHold, t_acq, t_end);
+            match &result {
+                Ok(stats) => {
+                    let site = match (&self.config.admission, stats.tier) {
+                        (AdmissionMode::LegacyRanked, _) => Site::AdmitLegacy,
+                        (_, AdmissionTier::Enumeration) => Site::AdmitEnumeration,
+                        (_, AdmissionTier::Repair) => Site::AdmitRepair,
+                        (_, AdmissionTier::RankedFallback) => Site::AdmitFallback,
+                    };
+                    self.obs.record_span(site, t0, t_end);
+                    self.obs
+                        .note_op_at(t_end, OpKind::Admit, s.index() as u32, stats.tier as u32);
+                }
+                Err(_) => {
+                    self.obs.record_span(Site::AdmitRefused, t0, t_end);
+                    self.obs
+                        .note_op_at(t_end, OpKind::Reject, s.index() as u32, 0);
+                }
+            }
+        }
+        result.map(|_| ())
+    }
+
+    /// The admission proper, run under the caller's FREEZE write lock.
+    fn admit_locked(
+        &self,
+        u: &Universe,
+        s: SessionId,
+    ) -> Result<vc_algo::admission::AdmissionStats, AdmitError> {
         let mut slot = u.slots[s.index()].lock();
         if slot.active {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -545,7 +611,7 @@ impl Fleet {
                 self.log_op(|| crate::persist::FleetOp::Reject { session: s, reason });
             }
         };
-        result.map(|_| ())
+        result
     }
 
     /// The shared-engine admission search against the live ledger:
@@ -704,6 +770,9 @@ impl Fleet {
             .expect("live session holds a reservation");
         self.counters.departed.fetch_add(1, Ordering::Relaxed);
         self.log_op(|| crate::persist::FleetOp::Depart { session: s });
+        drop(slot);
+        drop(u);
+        self.obs.note_op(OpKind::Depart, s.index() as u32, 0);
         Some(hold)
     }
 
@@ -727,6 +796,9 @@ impl Fleet {
         // Evacuation is deterministic given the state, so the journal
         // records the *cause*; replay re-runs the same evacuation.
         self.log_op(|| crate::persist::FleetOp::FailAgent { agent });
+        drop(u);
+        self.obs
+            .note_op(OpKind::FailAgent, agent.index() as u32, moves as u32);
         (moves, forced)
     }
 
@@ -855,10 +927,13 @@ impl Fleet {
     /// Brings a failed agent back; Alg. 1 hops will migrate load onto it
     /// again as the Gibbs weights dictate. Coarse path.
     pub fn restore_agent(&self, agent: AgentId) {
-        let _frz = self.freeze.write();
+        let frz = self.freeze.write();
         self.available[agent.index()].store(true, Ordering::Relaxed);
         self.ledger.restore_agent(agent);
         self.log_op(|| crate::persist::FleetOp::RestoreAgent { agent });
+        drop(frz);
+        self.obs
+            .note_op(OpKind::RestoreAgent, agent.index() as u32, 0);
     }
 
     /// One Alg. 1 HOP for session `s` (convenience wrapper allocating a
@@ -882,7 +957,55 @@ impl Fleet {
         rng: &mut R,
         scratch: &mut FleetHopScratch,
     ) -> HopOutcome {
-        let universe = self.freeze.read();
+        // Spans are sampled 1-in-16 (`timer_sampled`): at ~150k hops/s
+        // even two clock reads per hop measurably dent throughput, and
+        // percentiles over 1/16 of the stream are statistically the
+        // same. The flight recorder still sees *every* hop — unsampled
+        // ones carry the last sampled timestamp (`note_op_coarse`).
+        // Warming the flight slot here overlaps the ring's cache miss
+        // with the hop work instead of stalling the closing record.
+        self.obs.warm_flight();
+        let t0 = self.obs.timer_sampled();
+        let outcome = self.hop_inner(s, rng, scratch);
+        let (kind, a, b) = match outcome {
+            HopOutcome::Migrated(d) => {
+                let target = match d {
+                    Decision::User(_, a) | Decision::Task(_, a) => a,
+                };
+                (OpKind::Hop, s.index() as u32, target.index() as u32)
+            }
+            HopOutcome::Stayed | HopOutcome::NoFeasibleMove => (OpKind::Stay, s.index() as u32, 0),
+        };
+        if let Some(t0) = t0 {
+            self.obs.record_sampled(Site::Hop, t0, kind, a, b);
+        } else {
+            self.obs.note_op_coarse(kind, a, b);
+        }
+        outcome
+    }
+
+    /// The hop proper (see [`hop_session_with`](Self::hop_session_with)).
+    fn hop_inner<R: Rng + ?Sized>(
+        &self,
+        s: SessionId,
+        rng: &mut R,
+        scratch: &mut FleetHopScratch,
+    ) -> HopOutcome {
+        // FREEZE shared acquisition: the uncontended fast path is a
+        // plain counter (no clock read); only a contended wait — a
+        // coarse op holds the lock exclusively — is worth a histogram.
+        let universe = match self.freeze.try_read() {
+            Some(guard) => {
+                self.obs.note_freeze_read_fast();
+                guard
+            }
+            None => {
+                let tw = self.obs.timer();
+                let guard = self.freeze.read();
+                self.obs.record_since(Site::FreezeRead, tw);
+                guard
+            }
+        };
         let problem = &universe.problem;
         let mut slot = universe.slots[s.index()].lock();
         if !slot.active {
@@ -986,10 +1109,14 @@ impl Fleet {
             Decision::User(..) => slot.users[slot_idx],
             Decision::Task(..) => slot.tasks[slot_idx],
         };
-        match self
+        let swap = self
             .ledger
-            .try_swap(s, SessionHold::from_load(scratch.hop.eval.load()))
-        {
+            .try_swap(s, SessionHold::from_load(scratch.hop.eval.load()));
+        // Attempt/conflict counters keyed by session — no clock reads;
+        // contention shows up as a conflict ratio, not a latency. The
+        // plane masks the key onto its counter shards itself.
+        self.obs.note_swap(s.index(), swap.is_err());
+        match swap {
             Ok(()) => {
                 match decision {
                     Decision::User(..) => slot.users[slot_idx] = new_agent,

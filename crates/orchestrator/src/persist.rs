@@ -63,6 +63,7 @@ use std::sync::Arc;
 use vc_algo::admission::AdmissionTier;
 use vc_core::{Decision, TaskId, UapProblem};
 use vc_model::{AgentId, SessionDef, SessionId, UserId};
+use vc_obs::OpKind;
 use vc_persist::codec::{CodecError, Decode, Encode, Reader};
 use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter};
 use vc_persist::snapshot::{
@@ -847,7 +848,8 @@ impl Fleet {
             capture(&fleet, &u)
         };
         write_snapshot(&persist.dir, 0, &genesis)?;
-        let journal = JournalWriter::create(journal_path(&persist.dir, 1), persist.fsync, 1)?;
+        let mut journal = JournalWriter::create(journal_path(&persist.dir, 1), persist.fsync, 1)?;
+        journal.set_obs(Arc::clone(&fleet.obs));
         fleet.persist = Some(FleetPersistence {
             dir: persist.dir,
             fsync: persist.fsync,
@@ -904,7 +906,11 @@ impl Fleet {
         write_snapshot(&p.dir, last_seq, &capture(self, &u))?;
         *journal =
             JournalWriter::create(journal_path(&p.dir, last_seq + 1), p.fsync, last_seq + 1)?;
+        journal.set_obs(Arc::clone(&self.obs));
         compact(&p.dir, last_seq)?;
+        drop(journal);
+        drop(u);
+        self.obs.note_op(OpKind::Checkpoint, last_seq as u32, 0);
         Ok(last_seq)
     }
 
@@ -968,19 +974,45 @@ impl Fleet {
                     )));
                 }
                 fleet.replay_op(&op, &mut replay_scratch)?;
+                // Mirror the live paths' flight-recorder notes for the
+                // ops replay applies inline (Depart/Fail/Restore replay
+                // through the live methods, which note their own ops),
+                // so a post-replay post-mortem shows the tail of the
+                // journal, not an empty ring.
+                match &op {
+                    FleetOp::Admit { session, tier, .. } => {
+                        fleet
+                            .obs
+                            .note_op(OpKind::Admit, session.index() as u32, *tier as u32);
+                    }
+                    FleetOp::Hop {
+                        session, decision, ..
+                    } => {
+                        let target = match decision {
+                            Decision::User(_, a) | Decision::Task(_, a) => *a,
+                        };
+                        fleet.obs.note_op(
+                            OpKind::Hop,
+                            session.index() as u32,
+                            target.index() as u32,
+                        );
+                    }
+                    _ => {}
+                }
                 expected += 1;
                 replayed += 1;
             }
         }
         let audit = fleet.audit();
         if !audit.is_empty() {
+            fleet.obs.post_mortem_once("audit_failure", &audit[0]);
             return Err(PersistError::Audit(audit));
         }
         let drift = fleet.load_drift();
         if drift > 1e-6 {
-            return Err(PersistError::Replay(format!(
-                "recovered loads drift from a from-scratch evaluation by {drift}"
-            )));
+            let detail = format!("recovered loads drift from a from-scratch evaluation by {drift}");
+            fleet.obs.post_mortem_once("recovery_divergence", &detail);
+            return Err(PersistError::Replay(detail));
         }
         let last_seq = expected - 1;
         let recovered_state = {
@@ -988,12 +1020,16 @@ impl Fleet {
             capture(&fleet, &u)
         };
         write_snapshot(&persist.dir, last_seq, &recovered_state)?;
-        let journal = JournalWriter::create(
+        let mut journal = JournalWriter::create(
             journal_path(&persist.dir, last_seq + 1),
             persist.fsync,
             last_seq + 1,
         )?;
+        journal.set_obs(Arc::clone(&fleet.obs));
         compact(&persist.dir, last_seq)?;
+        fleet
+            .obs
+            .note_op(OpKind::Recover, replayed as u32, last_seq as u32);
         fleet.persist = Some(FleetPersistence {
             dir: persist.dir,
             fsync: persist.fsync,

@@ -119,6 +119,14 @@ impl FleetTelemetry {
         };
         let max_util = fractions.iter().copied().fold(0.0f64, f64::max);
         let (universe_sessions, universe_users) = fleet.universe_size();
+        let audit = fleet.audit();
+        if !audit.is_empty() {
+            // Conservation violated: dump the flight-recorder post-mortem
+            // (once per plane) before anyone asserts on the snapshot.
+            fleet
+                .obs()
+                .post_mortem_once("conservation_violation", &audit[0]);
+        }
         let c = fleet.counters();
         let load = |a: &std::sync::atomic::AtomicUsize| a.load(Ordering::Relaxed);
         let snapshot = FleetSnapshot {
@@ -149,7 +157,7 @@ impl FleetTelemetry {
             refused_user_fit: load(&c.refused_user_fit),
             refused_task_fit: load(&c.refused_task_fit),
             refused_global: load(&c.refused_global),
-            conservation_violations: fleet.audit().len(),
+            conservation_violations: audit.len(),
         };
         self.universe_sessions
             .push(t_s, snapshot.universe_sessions as f64);
@@ -379,5 +387,72 @@ impl FleetTelemetry {
     /// Any filesystem error.
     pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_csv())
+    }
+
+    /// One snapshot as a JSON object (fields mirror the CSV columns).
+    fn snapshot_json(s: &FleetSnapshot) -> String {
+        format!(
+            "{{\"time_s\": {}, \"universe_sessions\": {}, \"universe_users\": {}, \
+             \"live_sessions\": {}, \"objective\": {:.17e}, \
+             \"mean_session_objective\": {:.17e}, \"traffic_mbps\": {:.17e}, \
+             \"mean_delay_ms\": {:.17e}, \"mean_utilization\": {:.17e}, \
+             \"max_utilization\": {:.17e}, \"admitted\": {}, \"rejected\": {}, \
+             \"departed\": {}, \"migrations\": {}, \"admission_success_rate\": {:.17e}, \
+             \"admission_attempts\": {}, \"admitted_enumeration\": {}, \
+             \"admitted_repair\": {}, \"admitted_fallback\": {}, \
+             \"admission_repair_steps\": {}, \"refused_user_fit\": {}, \
+             \"refused_task_fit\": {}, \"refused_global\": {}, \
+             \"conservation_violations\": {}}}",
+            s.time_s,
+            s.universe_sessions,
+            s.universe_users,
+            s.live_sessions,
+            s.objective,
+            s.mean_session_objective,
+            s.traffic_mbps,
+            s.mean_delay_ms,
+            s.mean_utilization,
+            s.max_utilization,
+            s.admitted,
+            s.rejected,
+            s.departed,
+            s.migrations,
+            s.admission_success_rate,
+            s.admission_attempts,
+            s.admitted_enumeration,
+            s.admitted_repair,
+            s.admitted_fallback,
+            s.admission_repair_steps,
+            s.refused_user_fit,
+            s.refused_task_fit,
+            s.refused_global,
+            s.conservation_violations,
+        )
+    }
+
+    /// The structured JSON export alongside the CSV: every snapshot,
+    /// plus the fleet's observability-plane summaries — per-site
+    /// latency percentiles, swap contention per shard, flight-recorder
+    /// op count, and the process alloc counter when registered.
+    pub fn to_json(&self, fleet: &Fleet) -> String {
+        let rows: Vec<String> = self.snapshots.iter().map(Self::snapshot_json).collect();
+        format!(
+            "{{\n  \"snapshots\": [\n    {}\n  ],\n  \"obs\": {}\n}}\n",
+            rows.join(",\n    "),
+            fleet.obs().summary_json()
+        )
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn write_json(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        fleet: &Fleet,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json(fleet))
     }
 }

@@ -36,6 +36,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use vc_model::SessionId;
+use vc_obs::Site;
 
 /// Virtual due-times are kept in integer microseconds so they order
 /// totally (no NaN) inside the heap.
@@ -251,6 +252,16 @@ impl ReoptPool {
     /// (reusing the caller's scratch), and reschedules. Returns `false`
     /// when nothing is due.
     fn step_one(&self, fleet: &Fleet, horizon_us: u64, scratch: &mut FleetHopScratch) -> bool {
+        // WAIT-wakeup dispatch span (scheduler pop, including the
+        // schedule-lock wait), sampled 1-in-32 so the extra clock reads
+        // stay inside the observability overhead budget (the dispatch
+        // rate is the hop rate — even 1/32 is thousands of samples/s).
+        let obs = fleet.obs();
+        let t0 = if obs.enabled() && self.hops_executed.load(Ordering::Relaxed) & 31 == 0 {
+            Some(Instant::now())
+        } else {
+            None
+        };
         // Take the worker out under the schedule lock, hop *outside* it
         // so parallel callers only serialize on their slot's lock and
         // the ledger shards.
@@ -272,6 +283,7 @@ impl ReoptPool {
                 }
             }
         };
+        obs.record_since(Site::WaitDispatch, t0);
         let mut hop_rng = draw_rng(self.seed, s, epoch, draws, STREAM_HOP);
         fleet.hop_session_with(s, &mut hop_rng, scratch);
         self.hops_executed.fetch_add(1, Ordering::Relaxed);

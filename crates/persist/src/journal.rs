@@ -35,6 +35,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use vc_obs::{ObsPlane, Site};
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"VCWJ";
@@ -148,6 +150,11 @@ pub struct JournalWriter<T: Encode> {
     pending: usize,
     next_seq: u64,
     policy: FsyncPolicy,
+    /// Optional observability plane: when attached, `append` records a
+    /// [`Site::JournalAppend`] span (encode + buffering + any
+    /// policy-triggered commit) and `commit` a [`Site::JournalFsync`]
+    /// span covering the write + `fsync` pair.
+    obs: Option<Arc<ObsPlane>>,
     _record: PhantomData<fn(&T)>,
 }
 
@@ -183,8 +190,16 @@ impl<T: Encode> JournalWriter<T> {
             pending: 0,
             next_seq: first_seq,
             policy,
+            obs: None,
             _record: PhantomData,
         })
+    }
+
+    /// Attaches an observability plane. Journals are recreated on
+    /// rotation (checkpoint, recovery), so callers re-attach at every
+    /// creation point; the plane itself is shared and keeps history.
+    pub fn set_obs(&mut self, obs: Arc<ObsPlane>) {
+        self.obs = Some(obs);
     }
 
     /// Appends one record, assigning and returning its sequence number.
@@ -194,6 +209,7 @@ impl<T: Encode> JournalWriter<T> {
     ///
     /// Any filesystem error from a policy-triggered commit.
     pub fn append(&mut self, record: &T) -> io::Result<u64> {
+        let t0 = self.obs.as_ref().and_then(|o| o.timer());
         let seq = self.next_seq;
         self.next_seq += 1;
         let mut payload = Vec::with_capacity(32);
@@ -210,6 +226,9 @@ impl<T: Encode> JournalWriter<T> {
             FsyncPolicy::Batch(n) if self.pending >= n.max(1) => self.commit()?,
             _ => {}
         }
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            obs.record_since(Site::JournalAppend, Some(t0));
+        }
         Ok(seq)
     }
 
@@ -220,6 +239,11 @@ impl<T: Encode> JournalWriter<T> {
     ///
     /// Any filesystem error.
     pub fn commit(&mut self) -> io::Result<()> {
+        let t0 = if self.pending > 0 {
+            self.obs.as_ref().and_then(|o| o.timer())
+        } else {
+            None
+        };
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
             self.buf.clear();
@@ -227,6 +251,9 @@ impl<T: Encode> JournalWriter<T> {
         if self.pending > 0 {
             self.file.sync_data()?;
             self.pending = 0;
+        }
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            obs.record_since(Site::JournalFsync, Some(t0));
         }
         Ok(())
     }

@@ -144,6 +144,17 @@ fn comparison_demo() {
             "  conservation violations  {:>10}\n",
             s.conservation_violations
         );
+        if reoptimize {
+            // Snapshot stream + per-site latency percentiles + alloc
+            // counters, for offline analysis (archived by CI).
+            match report
+                .telemetry
+                .write_json("telemetry_obs.json", orchestrator.fleet())
+            {
+                Ok(()) => println!("  wrote telemetry_obs.json\n"),
+                Err(e) => eprintln!("  could not write telemetry_obs.json: {e}\n"),
+            }
+        }
         report
     };
 
