@@ -167,7 +167,14 @@ fn parse_args() -> Options {
         }
     }
     if opts.ids.is_empty() {
-        usage();
+        if opts.check {
+            // Bare `check` (what CI invokes) means "check everything
+            // that has a committed baseline".
+            opts.ids
+                .extend(CHECKABLE.iter().map(|(id, _)| id.to_string()));
+        } else {
+            usage();
+        }
     }
     opts
 }

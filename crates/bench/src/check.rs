@@ -271,8 +271,11 @@ fn compare_scalars(
             }
             (Json::Bool(_), Json::Bool(_)) => report.compared += 1,
             (Json::Num(b), Json::Num(c)) => {
+                // Measured-overhead fractions (plain and traced) are
+                // noisy machine measurements, not deterministic model
+                // outputs — the booleans gate them instead.
                 let is_fraction = key.ends_with("_fraction")
-                    && key != "overhead_fraction"
+                    && !key.starts_with("overhead_fraction")
                     && key != "budget_fraction";
                 if is_fraction {
                     report.compared += 1;

@@ -121,6 +121,7 @@ fn config(admission: AdmissionMode) -> FleetConfig {
         admission,
         alg1: Alg1Config::paper(400.0),
         ledger_shards: 8,
+        ..FleetConfig::default()
     }
 }
 

@@ -172,6 +172,28 @@ impl LatencyHist {
         self.max
     }
 
+    /// The window between two cumulative snapshots: bucket-wise
+    /// saturating subtraction of `prev` (an earlier snapshot of the
+    /// same recorder) from `self`.
+    ///
+    /// `count` and the percentile walk are exact for the window. `sum`
+    /// is the exact difference, so the window mean is exact too. `max`
+    /// carries the *cumulative* maximum — an upper bound for the
+    /// window, since per-window maxima are not recoverable from
+    /// cumulative state. Burn-rate detectors quantile on windows, where
+    /// the percentile cap at a too-large max is harmless.
+    pub fn delta(&self, prev: &LatencyHist) -> LatencyHist {
+        let mut out = LatencyHist::new();
+        for (idx, (a, b)) in self.buckets.iter().zip(prev.buckets.iter()).enumerate() {
+            let n = a.saturating_sub(*b);
+            if n > 0 {
+                out.add_bucket(idx, n);
+            }
+        }
+        out.add_sum_max(self.sum.saturating_sub(prev.sum), self.max);
+        out
+    }
+
     /// The standard summary used everywhere this workspace exports latency.
     pub fn summary(&self) -> HistSummary {
         HistSummary {
@@ -344,6 +366,28 @@ mod tests {
         let mut e = LatencyHist::new();
         e.merge(&a);
         assert_eq!(e.summary(), before);
+    }
+
+    #[test]
+    fn delta_between_snapshots_is_the_window() {
+        let mut early = LatencyHist::new();
+        for v in [100u64, 200, 300] {
+            early.record(v);
+        }
+        let mut late = early.clone();
+        for v in [50_000u64, 60_000, 70_000, 80_000] {
+            late.record(v);
+        }
+        let window = late.delta(&early);
+        assert_eq!(window.count(), 4);
+        // All window samples are in the 50–80 µs range; the cumulative
+        // p50 would sit far lower.
+        assert!(window.percentile(0.5) >= 50_000);
+        let mean = window.mean();
+        assert!((mean - 65_000.0).abs() < 1.0, "mean={mean}");
+        // Delta against itself is empty.
+        let none = late.delta(&late);
+        assert_eq!(none.count(), 0);
     }
 
     #[test]

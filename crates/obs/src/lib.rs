@@ -16,12 +16,20 @@
 //! * [`flight::FlightRecorder`] — a bounded ring of the last N fleet
 //!   ops that dumps a structured post-mortem on conservation
 //!   violation, audit failure, or recovery divergence;
+//! * [`trace::TraceRing`] — causal per-session lifecycle tracing
+//!   (registered → admit → WAIT → hop → depart, global seq +
+//!   per-session chain), exportable as Chrome-trace/Perfetto JSON;
+//! * [`serve::ObsServer`] — a hand-rolled HTTP/1.0 scrape endpoint
+//!   (`/metrics` Prometheus text, `/trace` Perfetto, `/postmortem`);
+//! * [`watchdog::Watchdog`] — rolling-window SLO burn detectors that
+//!   fire a post-mortem + trace dump proactively when a budget burns;
 //! * a process-wide allocation-counter hook
 //!   ([`register_alloc_counter`]) so the experiments binary's counting
 //!   global allocator surfaces as allocs-per-op in JSON exports.
 //!
-//! The plane deliberately depends on nothing, so every crate in the
-//! workspace can instrument itself without dependency cycles.
+//! The plane deliberately depends on nothing (the endpoint is plain
+//! `std::net`), so every crate in the workspace can instrument itself
+//! without dependency cycles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,10 +37,18 @@
 pub mod flight;
 pub mod hist;
 pub mod plane;
+pub mod serve;
+pub mod trace;
+pub mod watchdog;
 
 pub use flight::{FlightEvent, FlightRecorder, OpKind};
 pub use hist::{HistSummary, LatencyHist};
-pub use plane::{ObsPlane, SharedHist, Site, DEFAULT_FLIGHT_CAPACITY};
+pub use plane::{
+    ObsConfig, ObsPlane, SharedHist, Site, DEFAULT_FLIGHT_CAPACITY, DEFAULT_TRACE_CAPACITY,
+};
+pub use serve::{http_get, prometheus_text, ObsServer};
+pub use trace::{TraceEvent, TraceKind, TraceRing};
+pub use watchdog::{SloSpec, Watchdog, WatchdogFire};
 
 use std::sync::OnceLock;
 

@@ -10,10 +10,12 @@
 //! relaxed load (the [`ObsPlane::timer`] gate returns `None`).
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::flight::{FlightRecorder, OpKind};
 use crate::hist::{HistSummary, LatencyHist, NUM_BUCKETS};
+use crate::trace::{TraceKind, TraceRing};
 
 /// An instrumented code site. Each gets its own shared histogram.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,6 +181,44 @@ impl Default for SharedHist {
     }
 }
 
+/// Construction-time tuning for an [`ObsPlane`]: sampling rates and
+/// ring capacities. [`ObsConfig::default`] reproduces the historical
+/// hard-coded values (hop spans 1-in-16, WAIT dispatch 1-in-32, a
+/// 256-event flight ring, a 4096-event trace ring over 4 shards).
+///
+/// Sampling rates are rounded up to powers of two so the hot-path
+/// check stays a mask, never a division.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Sample 1-in-N hop spans ([`ObsPlane::timer_sampled`]); min 1.
+    pub hop_sample_every: u64,
+    /// Sample 1-in-N WAIT-dispatch spans (the worker pool reads this
+    /// via [`ObsPlane::wait_sample_mask`]); min 1.
+    pub wait_sample_every: u64,
+    /// Flight-recorder capacity (events; rounded up to a power of two).
+    pub flight_capacity: usize,
+    /// Lifecycle trace-ring capacity (events across all shards).
+    /// 0 constructs the plane with tracing switched off.
+    pub trace_capacity: usize,
+    /// Session shards of the trace ring (rounded up to a power of two).
+    pub trace_shards: usize,
+}
+
+/// Default trace-ring capacity (events across all shards).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            hop_sample_every: ObsPlane::SAMPLE_EVERY,
+            wait_sample_every: 32,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            trace_shards: 4,
+        }
+    }
+}
+
 /// The per-fleet observability plane. Cheap to share (`Arc`), enabled
 /// by default; disabling reduces every probe to one relaxed load.
 pub struct ObsPlane {
@@ -189,7 +229,17 @@ pub struct ObsPlane {
     swap_conflicts: Vec<AtomicU64>,
     freeze_read_fast: AtomicU64,
     flight: FlightRecorder,
+    trace: TraceRing,
+    /// Lifecycle tracing gate, separate from `enabled` so the overhead
+    /// experiment can measure the plane with and without tracing.
+    trace_on: AtomicBool,
     dumped: AtomicBool,
+    /// The JSON of the post-mortem that fired (served by `/postmortem`).
+    last_post_mortem: Mutex<Option<String>>,
+    /// `hop_sample_every - 1` (power of two → mask).
+    hop_sample_mask: u64,
+    /// `wait_sample_every - 1` (power of two → mask).
+    wait_sample_mask: u64,
     /// Round-robin tick for [`ObsPlane::timer_sampled`].
     sample_tick: AtomicU64,
     /// Plane-epoch µs of the last full-cost probe — the coarse
@@ -212,13 +262,25 @@ pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
 
 impl ObsPlane {
     /// A plane sized for `num_shards` ledger shards with the default
-    /// flight-recorder capacity.
+    /// configuration ([`ObsConfig::default`]).
     pub fn new(num_shards: usize) -> Self {
-        Self::with_flight_capacity(num_shards, DEFAULT_FLIGHT_CAPACITY)
+        Self::with_config(num_shards, ObsConfig::default())
     }
 
-    /// A plane holding the last `flight_capacity` fleet ops.
+    /// A plane holding the last `flight_capacity` fleet ops (all other
+    /// knobs at their defaults).
     pub fn with_flight_capacity(num_shards: usize, flight_capacity: usize) -> Self {
+        Self::with_config(
+            num_shards,
+            ObsConfig {
+                flight_capacity,
+                ..ObsConfig::default()
+            },
+        )
+    }
+
+    /// A plane with explicit sampling rates and ring capacities.
+    pub fn with_config(num_shards: usize, config: ObsConfig) -> Self {
         let num_shards = num_shards.max(1);
         let mut hists = Vec::with_capacity(Site::ALL.len());
         hists.resize_with(Site::ALL.len(), SharedHist::new);
@@ -226,6 +288,9 @@ impl ObsPlane {
         swap_attempts.resize_with(num_shards, || AtomicU64::new(0));
         let mut swap_conflicts = Vec::with_capacity(num_shards);
         swap_conflicts.resize_with(num_shards, || AtomicU64::new(0));
+        let hop_every = config.hop_sample_every.max(1).next_power_of_two();
+        let wait_every = config.wait_sample_every.max(1).next_power_of_two();
+        let trace_on = config.trace_capacity > 0;
         Self {
             enabled: AtomicBool::new(true),
             epoch: Instant::now(),
@@ -233,8 +298,13 @@ impl ObsPlane {
             swap_attempts,
             swap_conflicts,
             freeze_read_fast: AtomicU64::new(0),
-            flight: FlightRecorder::new(flight_capacity),
+            flight: FlightRecorder::new(config.flight_capacity),
+            trace: TraceRing::new(config.trace_shards, config.trace_capacity.max(1)),
+            trace_on: AtomicBool::new(trace_on),
             dumped: AtomicBool::new(false),
+            last_post_mortem: Mutex::new(None),
+            hop_sample_mask: hop_every - 1,
+            wait_sample_mask: wait_every - 1,
             sample_tick: AtomicU64::new(0),
             last_t_us: AtomicU64::new(0),
         }
@@ -261,14 +331,30 @@ impl ObsPlane {
         }
     }
 
-    /// How often [`ObsPlane::timer_sampled`] actually reads the clock.
+    /// The default 1-in-N hop-span sampling rate
+    /// ([`ObsConfig::hop_sample_every`] overrides it per plane).
     pub const SAMPLE_EVERY: u64 = 16;
 
-    /// Like [`ObsPlane::timer`], but 1-in-[`SAMPLE_EVERY`](Self::SAMPLE_EVERY):
-    /// the very hottest paths (the fleet hop) sample their span so the
-    /// steady-state cost is a fraction of a clock read per op.
-    /// Percentiles from ~1/8 of millions of hops are statistically the
-    /// same; the unsampled ops still reach the flight recorder via
+    /// The configured hop-span sampling rate (1-in-N).
+    pub fn hop_sample_every(&self) -> u64 {
+        self.hop_sample_mask + 1
+    }
+
+    /// The configured WAIT-dispatch sampling mask (`rate - 1`; the
+    /// rate is a power of two). The worker pool samples its dispatch
+    /// span when `ops & mask == 0`.
+    #[inline]
+    pub fn wait_sample_mask(&self) -> u64 {
+        self.wait_sample_mask
+    }
+
+    /// Like [`ObsPlane::timer`], but sampled 1-in-N (N =
+    /// [`ObsConfig::hop_sample_every`], default
+    /// [`SAMPLE_EVERY`](Self::SAMPLE_EVERY)): the very hottest paths
+    /// (the fleet hop) sample their span so the steady-state cost is a
+    /// fraction of a clock read per op. Percentiles from a fixed
+    /// fraction of millions of hops are statistically the same; the
+    /// unsampled ops still reach the flight recorder via
     /// [`ObsPlane::note_op_coarse`].
     #[inline]
     pub fn timer_sampled(&self) -> Option<Instant> {
@@ -281,7 +367,7 @@ impl ObsPlane {
         let tick = self.sample_tick.load(Ordering::Relaxed);
         self.sample_tick
             .store(tick.wrapping_add(1), Ordering::Relaxed);
-        if tick.is_multiple_of(Self::SAMPLE_EVERY) {
+        if tick & self.hop_sample_mask == 0 {
             Some(Self::clock_now())
         } else {
             None
@@ -449,6 +535,70 @@ impl ObsPlane {
         &self.flight
     }
 
+    /// Is lifecycle tracing on? Two relaxed loads (plane gate + trace
+    /// gate).
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.enabled() && self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// Toggle lifecycle tracing independently of the plane gate (the
+    /// overhead experiment measures both arms on one plane shape).
+    pub fn set_trace_enabled(&self, on: bool) {
+        self.trace_on.store(on, Ordering::Relaxed);
+    }
+
+    /// Record one lifecycle event, reading the clock. Coarse paths
+    /// (admission, registration, departure, recovery) use this; hot
+    /// paths use [`ObsPlane::note_trace_coarse`].
+    #[inline]
+    pub fn note_trace(&self, kind: TraceKind, session: u32, payload: u64) {
+        if !self.trace_enabled() {
+            return;
+        }
+        let t_us = self.epoch.elapsed().as_micros() as u64;
+        self.trace.record(t_us, kind, session, payload);
+    }
+
+    /// Record one lifecycle event reusing an already-taken clock
+    /// reading (paths that just closed a span share its `Instant`).
+    #[inline]
+    pub fn note_trace_at(&self, now: Instant, kind: TraceKind, session: u32, payload: u64) {
+        if !self.trace_enabled() {
+            return;
+        }
+        let t_us = now.duration_since(self.epoch).as_micros() as u64;
+        self.trace.record(t_us, kind, session, payload);
+    }
+
+    /// Record one lifecycle event with **no clock read**, stamped with
+    /// the time of the last full-cost probe (same contract as
+    /// [`ObsPlane::note_op_coarse`]): sequence numbers keep the ring
+    /// causally ordered; the timestamp is diagnostic and at most a few
+    /// ops stale.
+    #[inline]
+    pub fn note_trace_coarse(&self, kind: TraceKind, session: u32, payload: u64) {
+        if !self.trace_enabled() {
+            return;
+        }
+        self.trace.record(
+            self.last_t_us.load(Ordering::Relaxed),
+            kind,
+            session,
+            payload,
+        );
+    }
+
+    /// The lifecycle trace ring (for direct dumps).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// The lifecycle trace as a Chrome-trace / Perfetto JSON document.
+    pub fn trace_chrome_json(&self) -> String {
+        self.trace.chrome_json()
+    }
+
     /// Build the structured post-mortem JSON: the trigger, the flight
     /// ring, per-site summaries and contention counters.
     pub fn post_mortem(&self, reason: &str, detail: &str) -> String {
@@ -485,7 +635,16 @@ impl ObsPlane {
         }
         let json = self.post_mortem(reason, detail);
         eprintln!("vc-obs post-mortem ({reason}): {json}");
+        if let Ok(mut last) = self.last_post_mortem.lock() {
+            *last = Some(json.clone());
+        }
         Some(json)
+    }
+
+    /// The JSON of the post-mortem that fired, if any (what the scrape
+    /// endpoint serves at `/postmortem`).
+    pub fn last_post_mortem(&self) -> Option<String> {
+        self.last_post_mortem.lock().ok().and_then(|g| g.clone())
     }
 
     /// Full-plane summary JSON: every non-empty site, swap counters,
@@ -509,9 +668,10 @@ impl ObsPlane {
             None => "null".to_string(),
         };
         format!(
-            "{{\"enabled\": {}, \"ops_recorded\": {}, \"freeze_read_fast\": {}, \"allocs\": {}, \"swap_shards\": [{}], \"sites\": {{{}}}}}",
+            "{{\"enabled\": {}, \"ops_recorded\": {}, \"trace_events\": {}, \"freeze_read_fast\": {}, \"allocs\": {}, \"swap_shards\": [{}], \"sites\": {{{}}}}}",
             self.enabled(),
             self.flight.total(),
+            self.trace.total(),
             self.freeze_read_fast(),
             allocs,
             swaps.join(", "),
@@ -532,9 +692,85 @@ mod tests {
         plane.note_swap(0, true);
         plane.note_freeze_read_fast();
         plane.note_op(OpKind::Hop, 1, 2);
+        plane.note_trace(TraceKind::Registered, 1, 0);
         assert_eq!(plane.swap_counters()[0], (0, 0));
         assert_eq!(plane.freeze_read_fast(), 0);
         assert_eq!(plane.flight().total(), 0);
+        assert_eq!(plane.trace().total(), 0);
+    }
+
+    #[test]
+    fn config_controls_sampling_rates_and_trace_gate() {
+        let plane = ObsPlane::with_config(
+            2,
+            ObsConfig {
+                hop_sample_every: 4,
+                wait_sample_every: 8,
+                ..ObsConfig::default()
+            },
+        );
+        assert_eq!(plane.hop_sample_every(), 4);
+        assert_eq!(plane.wait_sample_mask(), 7);
+        let fired: usize = (0..16).filter(|_| plane.timer_sampled().is_some()).count();
+        assert_eq!(fired, 4);
+        // Non-pow2 rates round up to the next power of two.
+        let odd = ObsPlane::with_config(
+            1,
+            ObsConfig {
+                hop_sample_every: 5,
+                ..ObsConfig::default()
+            },
+        );
+        assert_eq!(odd.hop_sample_every(), 8);
+        // trace_capacity 0 constructs with tracing off; the gate is
+        // still toggleable at runtime.
+        let silent = ObsPlane::with_config(
+            1,
+            ObsConfig {
+                trace_capacity: 0,
+                ..ObsConfig::default()
+            },
+        );
+        assert!(!silent.trace_enabled());
+        silent.note_trace(TraceKind::Registered, 1, 0);
+        assert_eq!(silent.trace().total(), 0);
+        silent.set_trace_enabled(true);
+        silent.note_trace(TraceKind::Registered, 1, 0);
+        assert_eq!(silent.trace().total(), 1);
+    }
+
+    #[test]
+    fn trace_notes_flow_into_the_ring_and_export() {
+        let plane = ObsPlane::new(1);
+        assert!(plane.trace_enabled());
+        plane.note_trace(TraceKind::Registered, 5, 3);
+        let now = Instant::now();
+        plane.note_op_at(now, OpKind::Admit, 5, 0);
+        plane.note_trace_at(now, TraceKind::Admitted, 5, 0xABCD);
+        plane.note_trace_coarse(TraceKind::HopCommitted, 5, 7);
+        let events = plane.trace().dump();
+        assert_eq!(events.len(), 3);
+        // The coarse note reuses the full-cost probe's timestamp.
+        assert_eq!(events[1].t_us, events[2].t_us);
+        let chains: Vec<u32> = events.iter().map(|e| e.chain).collect();
+        assert!(chains.windows(2).all(|w| w[0] < w[1]));
+        assert!(plane.trace_chrome_json().contains("\"tid\": 5"));
+        assert!(plane.summary_json().contains("\"trace_events\": 3"));
+    }
+
+    #[test]
+    fn post_mortem_is_retrievable_after_firing() {
+        let plane = ObsPlane::new(1);
+        assert!(plane.last_post_mortem().is_none());
+        plane.post_mortem_once("test", "detail");
+        let stored = plane.last_post_mortem().expect("stored");
+        assert!(stored.contains("\"post_mortem\": \"test\""));
+        // A second fire is suppressed and does not overwrite.
+        assert!(plane.post_mortem_once("other", "x").is_none());
+        assert!(plane
+            .last_post_mortem()
+            .unwrap()
+            .contains("\"post_mortem\": \"test\""));
     }
 
     #[test]

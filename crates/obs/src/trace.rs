@@ -1,0 +1,401 @@
+//! Causal per-session lifecycle tracing: a bounded, lock-free, sharded
+//! event ring answering "what happened to *this* session?".
+//!
+//! Where the flight recorder ([`crate::flight`]) keeps the last N fleet
+//! ops as one global diagnostic ring, the trace ring records structured
+//! **lifecycle events** — registered, admit attempt/outcome, WAIT
+//! scheduling and dispatch, hop commits, swap conflicts, evacuation,
+//! departure, recovery installs — each stamped with a **global
+//! monotonic sequence** (total order across the fleet) plus a
+//! **per-session chain** counter (strictly increasing along one
+//! session's events), so the causal path of any session is
+//! reconstructible from a dump even after concurrent interleaving.
+//!
+//! The ring is sharded by session so concurrent emitters on different
+//! sessions land on different slot regions, and every slot uses the
+//! same torn-tolerant publication protocol as the flight recorder: the
+//! sequence word is zeroed, the data words are written relaxed, and the
+//! sequence is published *last* with `Release` — a reader that observes
+//! it also observes the data; a torn slot decodes to an unknown kind or
+//! a zero seq and is skipped at dump time.
+//!
+//! Dumps export as Chrome-trace / Perfetto JSON
+//! ([`TraceRing::chrome_json`]): one track (`tid`) per session, instant
+//! events carrying `seq`/`chain`/`payload` args, loadable directly in
+//! `ui.perfetto.dev` or `chrome://tracing`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A per-session lifecycle event kind.
+///
+/// The `payload` word of a [`TraceEvent`] is kind-specific; the
+/// encoding is documented per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// The conference joined the universe (`Fleet::register_session`).
+    /// `payload` = number of users in the session.
+    Registered = 1,
+    /// An admission search ran (`payload` = deepest engine tier
+    /// reached: 0 enumeration, 1 greedy+repair, 2 ranked fallback,
+    /// 3 legacy ranked walk). Emitted just before its outcome event so
+    /// the per-session chain reads attempt → `Admitted`/`Refused`.
+    AdmitAttempt = 2,
+    /// The session went live. `payload` = FNV-1a hash of the committed
+    /// placement (user/task → agent pairs), so two admissions landing
+    /// identical placements are recognizable across restarts.
+    Admitted = 3,
+    /// The admission was refused. `payload` = stage: 0 user-fit,
+    /// 1 task-fit, 2 global check, 3 no capacity, 4 delay bound,
+    /// 5 already live.
+    Refused = 4,
+    /// A WAIT countdown was armed. `payload` = virtual-clock deadline
+    /// in µs.
+    WaitScheduled = 5,
+    /// The scheduler popped the timer and dispatched the hop.
+    /// `payload` = the deadline (µs) that fired.
+    WakeupDispatched = 6,
+    /// A HOP migrated the session. `payload` = `f64::to_bits` of the
+    /// per-session potential delta (`delta_phi`) the move realized.
+    HopCommitted = 7,
+    /// A HOP lost its ledger `try_swap` race. `payload` = the capacity
+    /// shard the conflict was attributed to.
+    SwapConflict = 8,
+    /// The session was force-moved off a failed agent.
+    /// `payload` = the agent it evacuated onto.
+    Evacuated = 9,
+    /// The session departed and released capacity. `payload` = 0.
+    Departed = 10,
+    /// Recovery replayed the journaled placement — installed, never
+    /// re-searched. `payload` = the journal sequence replayed.
+    RecoveryInstalled = 11,
+}
+
+impl TraceKind {
+    /// Stable snake-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Registered => "registered",
+            TraceKind::AdmitAttempt => "admit_attempt",
+            TraceKind::Admitted => "admitted",
+            TraceKind::Refused => "refused",
+            TraceKind::WaitScheduled => "wait_scheduled",
+            TraceKind::WakeupDispatched => "wakeup_dispatched",
+            TraceKind::HopCommitted => "hop_committed",
+            TraceKind::SwapConflict => "swap_conflict",
+            TraceKind::Evacuated => "evacuated",
+            TraceKind::Departed => "departed",
+            TraceKind::RecoveryInstalled => "recovery_installed",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => TraceKind::Registered,
+            2 => TraceKind::AdmitAttempt,
+            3 => TraceKind::Admitted,
+            4 => TraceKind::Refused,
+            5 => TraceKind::WaitScheduled,
+            6 => TraceKind::WakeupDispatched,
+            7 => TraceKind::HopCommitted,
+            8 => TraceKind::SwapConflict,
+            9 => TraceKind::Evacuated,
+            10 => TraceKind::Departed,
+            11 => TraceKind::RecoveryInstalled,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded lifecycle event.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Global monotonic sequence (1-based; gaps mean overwritten slots).
+    pub seq: u64,
+    /// Microseconds since the observability plane was created.
+    pub t_us: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The session the event belongs to.
+    pub session: u32,
+    /// Per-session chain ordinal: strictly increasing along one
+    /// session's events (allocated from a striped counter, so values
+    /// are monotone per session but not dense).
+    pub chain: u32,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub payload: u64,
+}
+
+impl TraceEvent {
+    /// One JSON object for raw dumps.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\": {}, \"t_us\": {}, \"event\": \"{}\", \"session\": {}, \"chain\": {}, \"payload\": {}}}",
+            self.seq,
+            self.t_us,
+            self.kind.name(),
+            self.session,
+            self.chain,
+            self.payload
+        )
+    }
+
+    /// One Chrome-trace instant event (`ph: "i"`), one track per
+    /// session (`tid` = session index).
+    pub fn to_chrome_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"cat\": \"session\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"seq\": {}, \"chain\": {}, \"payload\": {}}}}}",
+            self.kind.name(),
+            self.t_us,
+            self.session,
+            self.seq,
+            self.chain,
+            self.payload
+        )
+    }
+}
+
+struct Slot {
+    // 0 = empty; otherwise the global 1-based sequence, stored *last*
+    // with Release (same protocol as the flight recorder).
+    seq: AtomicU64,
+    // t_us << 8 | kind
+    time_kind: AtomicU64,
+    // session << 32 | chain
+    ids: AtomicU64,
+    payload: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            time_kind: AtomicU64::new(0),
+            ids: AtomicU64::new(0),
+            payload: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shard {
+    slots: Vec<Slot>,
+    /// `slots.len() - 1` (power-of-two capacity → mask, no division).
+    mask: u64,
+    cursor: AtomicU64,
+}
+
+/// How many striped per-session chain counters a ring keeps. Sessions
+/// map onto stripes by index mask; a stripe shared between sessions
+/// still hands each of them strictly increasing chain values (the
+/// counter only grows), which is all causal reconstruction needs.
+const CHAIN_STRIPES: usize = 1024;
+
+/// The sharded lifecycle event ring. See module docs for the
+/// concurrency model and export formats.
+pub struct TraceRing {
+    shards: Vec<Shard>,
+    shard_mask: u64,
+    next_seq: AtomicU64,
+    chains: Vec<AtomicU32>,
+}
+
+impl TraceRing {
+    /// A ring holding roughly the last `capacity` events, spread over
+    /// `shards` session-sharded regions (both rounded up to powers of
+    /// two; minimum one slot per shard).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = (capacity.max(1) / shards).max(1).next_power_of_two();
+        let mut v = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let mut slots = Vec::with_capacity(per_shard);
+            slots.resize_with(per_shard, Slot::empty);
+            v.push(Shard {
+                slots,
+                mask: per_shard as u64 - 1,
+                cursor: AtomicU64::new(0),
+            });
+        }
+        let mut chains = Vec::with_capacity(CHAIN_STRIPES);
+        chains.resize_with(CHAIN_STRIPES, || AtomicU32::new(0));
+        Self {
+            shards: v,
+            shard_mask: shards as u64 - 1,
+            next_seq: AtomicU64::new(0),
+            chains,
+        }
+    }
+
+    /// Total slots across all shards (the bound).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// Record one lifecycle event. Lock-free: two `fetch_add`s (global
+    /// seq + chain stripe) and four stores on the session's shard.
+    ///
+    /// Emitters racing on the *same* session (possible only in the
+    /// narrow window after the fleet's per-session lock drops) may
+    /// publish chain values out of seq order; the ring is diagnostic
+    /// and dumps sort by seq, so a rare inversion is visible, not
+    /// corrupting. Under the fleet's per-session serialization both
+    /// counters are monotone along a session's chain.
+    #[inline]
+    pub fn record(&self, t_us: u64, kind: TraceKind, session: u32, payload: u64) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let chain = self.chains[(session as usize) & (CHAIN_STRIPES - 1)]
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(1);
+        let shard = &self.shards[(session as u64 & self.shard_mask) as usize];
+        let idx = (shard.cursor.fetch_add(1, Ordering::Relaxed) & shard.mask) as usize;
+        let slot = &shard.slots[idx];
+        slot.seq.store(0, Ordering::Relaxed);
+        slot.time_kind
+            .store((t_us << 8) | kind as u64, Ordering::Relaxed);
+        slot.ids
+            .store(((session as u64) << 32) | chain as u64, Ordering::Relaxed);
+        slot.payload.store(payload, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Best-effort decoded snapshot across all shards, sorted by global
+    /// sequence (oldest first), torn slots skipped.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.capacity());
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                let seq = slot.seq.load(Ordering::Acquire);
+                if seq == 0 {
+                    continue;
+                }
+                let tk = slot.time_kind.load(Ordering::Relaxed);
+                let ids = slot.ids.load(Ordering::Relaxed);
+                let payload = slot.payload.load(Ordering::Relaxed);
+                let Some(kind) = TraceKind::from_u8((tk & 0xFF) as u8) else {
+                    continue; // torn slot — skip
+                };
+                out.push(TraceEvent {
+                    seq,
+                    t_us: tk >> 8,
+                    kind,
+                    session: (ids >> 32) as u32,
+                    chain: (ids & 0xFFFF_FFFF) as u32,
+                    payload,
+                });
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out.dedup_by_key(|e| e.seq);
+        out
+    }
+
+    /// The dump as a raw JSON array.
+    pub fn dump_json(&self) -> String {
+        let events: Vec<String> = self.dump().iter().map(TraceEvent::to_json).collect();
+        format!("[{}]", events.join(", "))
+    }
+
+    /// The dump as a Chrome-trace / Perfetto JSON document: one
+    /// instant-event track per session, loadable in `ui.perfetto.dev`.
+    pub fn chrome_json(&self) -> String {
+        let events: Vec<String> = self.dump().iter().map(TraceEvent::to_chrome_json).collect();
+        format!(
+            "{{\"displayTimeUnit\": \"ms\", \"traceEvents\": [{}]}}",
+            events.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_seq_sorted() {
+        let ring = TraceRing::new(4, 32);
+        for i in 0..500u32 {
+            ring.record(i as u64, TraceKind::HopCommitted, i % 16, i as u64);
+        }
+        let events = ring.dump();
+        assert!(events.len() <= ring.capacity());
+        assert_eq!(ring.total(), 500);
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn per_session_chain_is_strictly_increasing() {
+        let ring = TraceRing::new(2, 256);
+        for i in 0..100u64 {
+            ring.record(i, TraceKind::WaitScheduled, 7, i);
+            ring.record(i, TraceKind::WakeupDispatched, 9, i);
+        }
+        let events = ring.dump();
+        for sid in [7u32, 9u32] {
+            let chains: Vec<u32> = events
+                .iter()
+                .filter(|e| e.session == sid)
+                .map(|e| e.chain)
+                .collect();
+            assert!(!chains.is_empty());
+            for w in chains.windows(2) {
+                assert!(w[0] < w[1], "session {sid} chain not monotone: {chains:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn payload_and_ids_round_trip() {
+        let ring = TraceRing::new(1, 8);
+        let phi = f64::to_bits(-3.25);
+        ring.record(42, TraceKind::HopCommitted, 0xDEAD, phi);
+        let e = ring.dump()[0];
+        assert_eq!(e.t_us, 42);
+        assert_eq!(e.session, 0xDEAD);
+        assert_eq!(e.chain, 1);
+        assert_eq!(f64::from_bits(e.payload), -3.25);
+        assert_eq!(e.kind, TraceKind::HopCommitted);
+    }
+
+    #[test]
+    fn chrome_export_has_one_track_per_session() {
+        let ring = TraceRing::new(2, 64);
+        ring.record(1, TraceKind::Registered, 3, 5);
+        ring.record(2, TraceKind::Admitted, 3, 99);
+        ring.record(3, TraceKind::Registered, 4, 2);
+        let json = ring.chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"tid\": 3"));
+        assert!(json.contains("\"tid\": 4"));
+        assert!(json.contains("\"name\": \"admitted\""));
+        assert!(json.contains("\"ph\": \"i\""));
+    }
+
+    #[test]
+    fn concurrent_records_stay_bounded_and_ordered() {
+        let ring = std::sync::Arc::new(TraceRing::new(4, 64));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        ring.record(i as u64, TraceKind::HopCommitted, t * 100 + (i % 3), 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.total(), 4000);
+        let events = ring.dump();
+        assert!(events.len() <= ring.capacity());
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

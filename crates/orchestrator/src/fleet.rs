@@ -63,7 +63,7 @@ use vc_core::{
     SystemState, TaskId, UapProblem, CAPACITY_EPS,
 };
 use vc_model::{AgentId, ModelError, SessionDef, SessionId, UserId};
-use vc_obs::{ObsPlane, OpKind, Site};
+use vc_obs::{ObsConfig, ObsPlane, OpKind, Site, TraceKind};
 
 /// One candidate placement: session users and tasks to agents.
 pub type Placement = (Vec<(UserId, AgentId)>, Vec<(TaskId, AgentId)>);
@@ -111,6 +111,9 @@ pub struct FleetConfig {
     pub alg1: Alg1Config,
     /// Ledger shard count (clamped to the agent count).
     pub ledger_shards: usize,
+    /// Observability-plane tuning: span sampling rates (hop, WAIT
+    /// dispatch) and flight/trace ring capacities.
+    pub obs: ObsConfig,
 }
 
 impl Default for FleetConfig {
@@ -120,6 +123,7 @@ impl Default for FleetConfig {
             admission: AdmissionMode::default(),
             alg1: Alg1Config::default(),
             ledger_shards: 8,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -275,6 +279,12 @@ impl AssignmentView for PairsView<'_> {
 pub struct FleetHopScratch {
     pub(crate) hop: HopScratch,
     pub(crate) residuals: HopResiduals,
+    /// Φ delta of the last committed migration (set inside the slot
+    /// lock, traced after it drops — recording never happens under
+    /// FREEZE).
+    pub(crate) last_delta_phi: f64,
+    /// Whether the last hop lost its ledger swap to a concurrent hop.
+    pub(crate) last_swap_conflict: bool,
 }
 
 impl FleetHopScratch {
@@ -373,7 +383,7 @@ impl Fleet {
         for i in 0..universe.problem.instance().num_sessions() {
             universe.push_slot(SessionId::from(i));
         }
-        let obs = Arc::new(ObsPlane::new(ledger.num_shards()));
+        let obs = Arc::new(ObsPlane::with_config(ledger.num_shards(), config.obs));
         Self {
             freeze: RwLock::new(universe),
             available: (0..nl).map(|_| AtomicBool::new(true)).collect(),
@@ -443,6 +453,12 @@ impl Fleet {
             self.obs.record_span(Site::RegisterSession, t0, t_end);
             self.obs
                 .note_op_at(t_end, OpKind::RegisterSession, s.index() as u32, 0);
+            self.obs.note_trace_at(
+                t_end,
+                TraceKind::Registered,
+                s.index() as u32,
+                def.users.len() as u64,
+            );
         }
         Ok(s)
     }
@@ -500,7 +516,7 @@ impl Fleet {
             self.obs.record_span(Site::FreezeWriteWait, t0, t_acq);
             self.obs.record_span(Site::FreezeWriteHold, t_acq, t_end);
             match &result {
-                Ok(stats) => {
+                Ok((stats, placement_hash)) => {
                     let site = match (&self.config.admission, stats.tier) {
                         (AdmissionMode::LegacyRanked, _) => Site::AdmitLegacy,
                         (_, AdmissionTier::Enumeration) => Site::AdmitEnumeration,
@@ -510,11 +526,57 @@ impl Fleet {
                     self.obs.record_span(site, t0, t_end);
                     self.obs
                         .note_op_at(t_end, OpKind::Admit, s.index() as u32, stats.tier as u32);
+                    let tier = match (&self.config.admission, stats.tier) {
+                        (AdmissionMode::LegacyRanked, _) => 3u64,
+                        (_, t) => t as u64,
+                    };
+                    self.obs
+                        .note_trace_at(t_end, TraceKind::AdmitAttempt, s.index() as u32, tier);
+                    self.obs.note_trace_at(
+                        t_end,
+                        TraceKind::Admitted,
+                        s.index() as u32,
+                        *placement_hash,
+                    );
                 }
-                Err(_) => {
+                Err(e) => {
                     self.obs.record_span(Site::AdmitRefused, t0, t_end);
                     self.obs
                         .note_op_at(t_end, OpKind::Reject, s.index() as u32, 0);
+                    // Refusal stage codes (see `TraceKind::Refused`); an
+                    // already-live refusal ran no search, so it gets no
+                    // `AdmitAttempt` in its chain.
+                    let stage = match e {
+                        AdmitError::Refused {
+                            stage: AdmissionFailure::UserFit,
+                            ..
+                        } => 0u64,
+                        AdmitError::Refused {
+                            stage: AdmissionFailure::TaskFit,
+                            ..
+                        } => 1,
+                        AdmitError::Refused {
+                            stage: AdmissionFailure::GlobalCheck,
+                            ..
+                        } => 2,
+                        AdmitError::NoCapacity(_) => 3,
+                        AdmitError::DelayBound { .. } => 4,
+                        AdmitError::AlreadyLive(_) | AdmitError::Register(_) => 5,
+                    };
+                    if !matches!(e, AdmitError::AlreadyLive(_)) {
+                        let tier = match &self.config.admission {
+                            AdmissionMode::LegacyRanked => 3u64,
+                            AdmissionMode::Engine(_) => 2,
+                        };
+                        self.obs.note_trace_at(
+                            t_end,
+                            TraceKind::AdmitAttempt,
+                            s.index() as u32,
+                            tier,
+                        );
+                    }
+                    self.obs
+                        .note_trace_at(t_end, TraceKind::Refused, s.index() as u32, stage);
                 }
             }
         }
@@ -522,11 +584,13 @@ impl Fleet {
     }
 
     /// The admission proper, run under the caller's FREEZE write lock.
+    /// Success carries the stats plus the FNV-1a hash of the committed
+    /// placement (the `Admitted` lifecycle event's payload).
     fn admit_locked(
         &self,
         u: &Universe,
         s: SessionId,
-    ) -> Result<vc_algo::admission::AdmissionStats, AdmitError> {
+    ) -> Result<(vc_algo::admission::AdmissionStats, u64), AdmitError> {
         let mut slot = u.slots[s.index()].lock();
         if slot.active {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -611,7 +675,7 @@ impl Fleet {
                 self.log_op(|| crate::persist::FleetOp::Reject { session: s, reason });
             }
         };
-        result
+        result.map(|stats| (stats, placement_hash(&slot)))
     }
 
     /// The shared-engine admission search against the live ledger:
@@ -773,6 +837,8 @@ impl Fleet {
         drop(slot);
         drop(u);
         self.obs.note_op(OpKind::Depart, s.index() as u32, 0);
+        self.obs
+            .note_trace(TraceKind::Departed, s.index() as u32, 0);
         Some(hold)
     }
 
@@ -783,10 +849,11 @@ impl Fleet {
     /// Returns `(moves, forced)`. Coarse path: takes the FREEZE write
     /// lock, so the evacuation is deterministic — replay re-runs it.
     pub fn fail_agent(&self, agent: AgentId) -> (usize, usize) {
+        let mut evacuated = Vec::new();
         let u = self.freeze.write();
         self.available[agent.index()].store(false, Ordering::Relaxed);
         self.ledger.fail_agent(agent);
-        let (moves, forced) = self.evacuate_locked(&u, agent);
+        let (moves, forced) = self.evacuate_locked(&u, agent, &mut evacuated);
         self.counters
             .evacuations
             .fetch_add(moves, Ordering::Relaxed);
@@ -799,6 +866,16 @@ impl Fleet {
         drop(u);
         self.obs
             .note_op(OpKind::FailAgent, agent.index() as u32, moves as u32);
+        // One `Evacuated` lifecycle event per force-moved session,
+        // emitted after the exclusive section releases (same rule as
+        // every other trace/obs record).
+        for (s, target) in evacuated {
+            self.obs.note_trace(
+                TraceKind::Evacuated,
+                s.index() as u32,
+                target.index() as u64,
+            );
+        }
         (moves, forced)
     }
 
@@ -806,7 +883,12 @@ impl Fleet {
     /// decision — sessions ascending, users before tasks, mirroring
     /// `vc-algo`'s churn module — pick the feasible alternative
     /// minimizing `Φ_s`, else force the least-bad one.
-    fn evacuate_locked(&self, u: &Universe, agent: AgentId) -> (usize, usize) {
+    fn evacuate_locked(
+        &self,
+        u: &Universe,
+        agent: AgentId,
+        evacuated: &mut Vec<(SessionId, AgentId)>,
+    ) -> (usize, usize) {
         let problem = &u.problem;
         let inst = problem.instance();
         let mut stranded: Vec<(SessionId, Decision)> = Vec::new();
@@ -885,6 +967,7 @@ impl Fleet {
                     .force_swap(s, SessionHold::from_load(eval.load()))
                     .expect("evacuated session holds a reservation");
                 moves += 1;
+                evacuated.push((s, l));
             }
         }
         (moves, forced)
@@ -966,6 +1049,8 @@ impl Fleet {
         // with the hop work instead of stalling the closing record.
         self.obs.warm_flight();
         let t0 = self.obs.timer_sampled();
+        scratch.last_delta_phi = 0.0;
+        scratch.last_swap_conflict = false;
         let outcome = self.hop_inner(s, rng, scratch);
         let (kind, a, b) = match outcome {
             HopOutcome::Migrated(d) => {
@@ -980,6 +1065,22 @@ impl Fleet {
             self.obs.record_sampled(Site::Hop, t0, kind, a, b);
         } else {
             self.obs.note_op_coarse(kind, a, b);
+        }
+        // Lifecycle tracing stays off the common path: only committed
+        // migrations and lost swaps emit, and both reuse the coarse
+        // timestamp (no extra clock read per hop).
+        match outcome {
+            HopOutcome::Migrated(_) => self.obs.note_trace_coarse(
+                TraceKind::HopCommitted,
+                s.index() as u32,
+                scratch.last_delta_phi.to_bits(),
+            ),
+            HopOutcome::Stayed if scratch.last_swap_conflict => self.obs.note_trace_coarse(
+                TraceKind::SwapConflict,
+                s.index() as u32,
+                (s.index() % self.ledger.num_shards()) as u64,
+            ),
+            _ => {}
         }
         outcome
     }
@@ -1122,6 +1223,7 @@ impl Fleet {
                     Decision::User(..) => slot.users[slot_idx] = new_agent,
                     Decision::Task(..) => slot.tasks[slot_idx] = new_agent,
                 }
+                scratch.last_delta_phi = scratch.hop.eval.load().phi - slot.load.phi;
                 slot.load.clone_from(scratch.hop.eval.load());
                 self.counters.migrations.fetch_add(1, Ordering::Relaxed);
                 self.log_op(|| crate::persist::FleetOp::Hop {
@@ -1134,6 +1236,7 @@ impl Fleet {
             Err(_) => {
                 // A concurrent hop consumed the capacity between the
                 // residual snapshot and the commit — stay put.
+                scratch.last_swap_conflict = true;
                 self.counters.stays.fetch_add(1, Ordering::Relaxed);
                 self.note_stay();
                 HopOutcome::Stayed
@@ -1509,6 +1612,20 @@ pub(crate) fn placement_of_slot(
         .map(|(&t, &a)| (t, a))
         .collect();
     (users, tasks)
+}
+
+/// FNV-1a over a slot's committed placement (user agents then task
+/// agents, in slot order) — the `Admitted` lifecycle event's payload.
+/// Two admissions that land the identical placement hash identically,
+/// across processes and restarts.
+pub(crate) fn placement_hash(slot: &SessionSlot) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &a in slot.users.iter().chain(slot.tasks.iter()) {
+        h = (h ^ a.index() as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 /// Evaluates `slot`'s current placement for session `s` into `scratch`

@@ -94,5 +94,5 @@ pub use persist::{
     CounterSnapshot, DurableFleetState, FleetOp, PersistConfig, PersistError, RecoveryReport,
     RefusalReason,
 };
-pub use telemetry::{FleetSnapshot, FleetTelemetry};
+pub use telemetry::{fleet_metrics_text, FleetSnapshot, FleetTelemetry};
 pub use workers::{ReoptPool, TimerEntry};

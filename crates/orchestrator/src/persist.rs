@@ -63,7 +63,7 @@ use std::sync::Arc;
 use vc_algo::admission::AdmissionTier;
 use vc_core::{Decision, TaskId, UapProblem};
 use vc_model::{AgentId, SessionDef, SessionId, UserId};
-use vc_obs::OpKind;
+use vc_obs::{OpKind, TraceKind};
 use vc_persist::codec::{CodecError, Decode, Encode, Reader};
 use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter};
 use vc_persist::snapshot::{
@@ -984,6 +984,14 @@ impl Fleet {
                         fleet
                             .obs
                             .note_op(OpKind::Admit, session.index() as u32, *tier as u32);
+                        // Replay *installs* a journaled placement — it
+                        // never re-runs admission search, so the trace
+                        // shows `RecoveryInstalled`, not `AdmitAttempt`.
+                        fleet.obs.note_trace(
+                            TraceKind::RecoveryInstalled,
+                            session.index() as u32,
+                            seq,
+                        );
                     }
                     FleetOp::Hop {
                         session, decision, ..

@@ -6,7 +6,40 @@
 
 use crate::fleet::Fleet;
 use std::sync::atomic::Ordering;
+use vc_obs::{Watchdog, WatchdogFire};
 use vc_sim::metrics::TimeSeries;
+
+/// Fleet-level gauges in Prometheus text exposition format — the
+/// `extra` closure for [`vc_obs::ObsServer`], so `/metrics` serves the
+/// control-plane state next to the plane's own latency series.
+pub fn fleet_metrics_text(fleet: &Fleet) -> String {
+    let m = fleet.metrics();
+    let c = fleet.counters();
+    let load = |a: &std::sync::atomic::AtomicUsize| a.load(Ordering::Relaxed);
+    let mut out = String::with_capacity(512);
+    out.push_str("# TYPE vc_fleet_live_sessions gauge\n");
+    out.push_str(&format!("vc_fleet_live_sessions {}\n", m.live));
+    out.push_str("# TYPE vc_fleet_objective gauge\n");
+    out.push_str(&format!("vc_fleet_objective {:.6}\n", m.objective));
+    out.push_str("# TYPE vc_fleet_traffic_mbps gauge\n");
+    out.push_str(&format!("vc_fleet_traffic_mbps {:.6}\n", m.traffic_mbps));
+    out.push_str("# TYPE vc_fleet_mean_delay_ms gauge\n");
+    out.push_str(&format!("vc_fleet_mean_delay_ms {:.6}\n", m.mean_delay_ms));
+    out.push_str("# TYPE vc_fleet_admitted counter\n");
+    out.push_str(&format!("vc_fleet_admitted {}\n", load(&c.admitted)));
+    out.push_str("# TYPE vc_fleet_rejected counter\n");
+    out.push_str(&format!("vc_fleet_rejected {}\n", load(&c.rejected)));
+    out.push_str("# TYPE vc_fleet_departed counter\n");
+    out.push_str(&format!("vc_fleet_departed {}\n", load(&c.departed)));
+    out.push_str("# TYPE vc_fleet_migrations counter\n");
+    out.push_str(&format!("vc_fleet_migrations {}\n", load(&c.migrations)));
+    out.push_str("# TYPE vc_fleet_admission_success_rate gauge\n");
+    out.push_str(&format!(
+        "vc_fleet_admission_success_rate {:.6}\n",
+        c.admission_success_rate()
+    ));
+    out
+}
 
 /// One periodic observation of the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,6 +230,26 @@ impl FleetTelemetry {
             .push(t_s, snapshot.conservation_violations as f64);
         self.snapshots.push(snapshot.clone());
         snapshot
+    }
+
+    /// [`sample`](Self::sample) plus one SLO-watchdog observation: the
+    /// watchdog windows the plane's histograms and the snapshot's
+    /// admission success rate, and fires (once per watchdog) when a
+    /// budget burns — the returned [`WatchdogFire`] carries the
+    /// post-mortem and the Perfetto trace dump. The admission signal is
+    /// withheld until any admission has been attempted, so an idle
+    /// warm-up can't trip the floor.
+    pub fn sample_with_watchdog(
+        &mut self,
+        fleet: &Fleet,
+        t_s: f64,
+        watchdog: &Watchdog,
+    ) -> (FleetSnapshot, Option<WatchdogFire>) {
+        let snapshot = self.sample(fleet, t_s);
+        let admission =
+            (snapshot.admission_attempts > 0).then_some(snapshot.admission_success_rate);
+        let fire = watchdog.observe(fleet.obs(), admission);
+        (snapshot, fire)
     }
 
     /// All snapshots, in time order.

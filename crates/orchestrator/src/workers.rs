@@ -36,7 +36,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use vc_model::SessionId;
-use vc_obs::Site;
+use vc_obs::{Site, TraceKind};
 
 /// Virtual due-times are kept in integer microseconds so they order
 /// totally (no NaN) inside the heap.
@@ -143,6 +143,10 @@ impl ReoptPool {
             },
         );
         sched.due.push(Reverse((due_us, s, epoch)));
+        drop(sched);
+        fleet
+            .obs()
+            .note_trace(TraceKind::WaitScheduled, s.index() as u32, due_us);
     }
 
     /// Deactivates the session's worker (departures). The heap entry,
@@ -253,11 +257,16 @@ impl ReoptPool {
     /// when nothing is due.
     fn step_one(&self, fleet: &Fleet, horizon_us: u64, scratch: &mut FleetHopScratch) -> bool {
         // WAIT-wakeup dispatch span (scheduler pop, including the
-        // schedule-lock wait), sampled 1-in-32 so the extra clock reads
-        // stay inside the observability overhead budget (the dispatch
-        // rate is the hop rate — even 1/32 is thousands of samples/s).
+        // schedule-lock wait), sampled 1-in-32 by default so the extra
+        // clock reads stay inside the observability overhead budget
+        // (the dispatch rate is the hop rate — even 1/32 is thousands
+        // of samples/s). The rate is the plane's `wait_sample_every`
+        // config; `WakeupDispatched` trace events piggyback on the
+        // same sampled ticks, so tracing adds no clock reads here.
         let obs = fleet.obs();
-        let t0 = if obs.enabled() && self.hops_executed.load(Ordering::Relaxed) & 31 == 0 {
+        let sampled =
+            self.hops_executed.load(Ordering::Relaxed) as u64 & obs.wait_sample_mask() == 0;
+        let t0 = if obs.enabled() && sampled {
             Some(Instant::now())
         } else {
             None
@@ -284,6 +293,9 @@ impl ReoptPool {
             }
         };
         obs.record_since(Site::WaitDispatch, t0);
+        if sampled {
+            obs.note_trace(TraceKind::WakeupDispatched, s.index() as u32, due_us);
+        }
         let mut hop_rng = draw_rng(self.seed, s, epoch, draws, STREAM_HOP);
         fleet.hop_session_with(s, &mut hop_rng, scratch);
         self.hops_executed.fetch_add(1, Ordering::Relaxed);
@@ -297,6 +309,7 @@ impl ReoptPool {
             .timers
             .get(&s)
             .is_some_and(|t| t.active && t.epoch == epoch);
+        let mut rescheduled = None;
         if still_current {
             let t = sched.timers.get_mut(&s).expect("checked above");
             if fleet.is_live(s) {
@@ -304,6 +317,7 @@ impl ReoptPool {
                 t.draws = next_draws;
                 t.due_us = next_due;
                 sched.due.push(Reverse((next_due, s, epoch)));
+                rescheduled = Some(next_due);
             } else {
                 // The session died without a deregister (a caller that
                 // departs fleet-side only): retire the worker so the
@@ -311,6 +325,14 @@ impl ReoptPool {
                 // would make `ensure_registered` skip a future
                 // re-admission forever.
                 t.active = false;
+            }
+        }
+        drop(sched);
+        // Re-arm events ride the same sampled ticks as the dispatch
+        // span, so a sampled wakeup traces as dispatch → next deadline.
+        if sampled {
+            if let Some(next_due) = rescheduled {
+                obs.note_trace(TraceKind::WaitScheduled, s.index() as u32, next_due);
             }
         }
         true

@@ -25,19 +25,28 @@
 //! ```text
 //! cargo run --release --example orchestrator -- --crash-at 30 --resume
 //! ```
+//!
+//! With `--serve <addr>` (e.g. `--serve 127.0.0.1:0`) the orchestrated
+//! run additionally exposes the live scrape endpoint — `/metrics`
+//! (Prometheus text), `/trace` (Perfetto JSON), `/postmortem` — and
+//! self-probes all three routes mid-run, writing the lifecycle trace
+//! to `trace_perfetto.json` (archived by CI; load it in
+//! <https://ui.perfetto.dev>).
 
 use cloud_vc::prelude::*;
 use std::sync::Arc;
 use vc_algo::agrank::AgRankConfig;
 use vc_algo::markov::Alg1Config;
 use vc_model::AgentId;
-use vc_orchestrator::{FleetReport, ReoptPool};
+use vc_obs::{http_get, ObsServer};
+use vc_orchestrator::{fleet_metrics_text, FleetReport, ReoptPool};
 
 const HORIZON_S: f64 = 60.0;
 
 fn main() {
     let mut crash_at: Option<f64> = None;
     let mut resume = false;
+    let mut serve: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -49,17 +58,25 @@ fn main() {
                 );
             }
             "--resume" => resume = true,
-            other => panic!("unknown argument '{other}' (try --crash-at <T> [--resume])"),
+            "--serve" => {
+                serve = Some(
+                    args.next()
+                        .expect("--serve needs a bind address, e.g. 127.0.0.1:9184"),
+                );
+            }
+            other => panic!(
+                "unknown argument '{other}' (try --crash-at <T> [--resume] or --serve <addr>)"
+            ),
         }
     }
     if let Some(t) = crash_at {
         crash_demo(t, resume);
         return;
     }
-    comparison_demo();
+    comparison_demo(serve.as_deref());
 }
 
-fn comparison_demo() {
+fn comparison_demo(serve: Option<&str>) {
     // ~135 potential sessions over the 7 EC2 agents, with real capacity
     // limits so the ledger has something to arbitrate.
     let instance = large_scale_instance(&LargeScaleConfig {
@@ -113,7 +130,47 @@ fn comparison_demo() {
                 reoptimize,
             },
         );
+        // The scrape endpoint serves the *orchestrated* fleet (the one
+        // that records), live for the duration of the run.
+        let server = if reoptimize {
+            serve.map(|addr| {
+                let fleet = Arc::clone(orchestrator.fleet());
+                let plane = Arc::clone(fleet.obs());
+                let server = ObsServer::bind(
+                    addr,
+                    plane,
+                    Some(Box::new(move || fleet_metrics_text(&fleet))),
+                )
+                .expect("bind scrape endpoint");
+                println!(
+                    "  serving /metrics /trace /postmortem on http://{}\n",
+                    server.local_addr()
+                );
+                server
+            })
+        } else {
+            None
+        };
         let report = orchestrator.run_trace(&trace, HORIZON_S);
+        // Self-probe while the fleet is still live: every route must
+        // answer, and /metrics must carry both the plane's and the
+        // fleet's series.
+        if let Some(server) = &server {
+            let addr = server.local_addr();
+            let (status, metrics) = http_get(addr, "/metrics").expect("GET /metrics");
+            assert_eq!(status, 200);
+            assert!(metrics.contains("vc_obs_ops_recorded"));
+            assert!(metrics.contains("vc_fleet_live_sessions"));
+            let (status, trace_json) = http_get(addr, "/trace").expect("GET /trace");
+            assert_eq!(status, 200);
+            assert!(trace_json.contains("\"traceEvents\""));
+            let (status, _) = http_get(addr, "/postmortem").expect("GET /postmortem");
+            assert_eq!(status, 200);
+            match std::fs::write("trace_perfetto.json", &trace_json) {
+                Ok(()) => println!("  scrape endpoint OK; wrote trace_perfetto.json\n"),
+                Err(e) => eprintln!("  could not write trace_perfetto.json: {e}\n"),
+            }
+        }
         let s = &report.final_snapshot;
         println!("== {label} ==");
         println!("  live sessions            {:>10}", s.live_sessions);

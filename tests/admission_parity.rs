@@ -105,6 +105,7 @@ fn fleet_config(admission: AdmissionMode) -> FleetConfig {
         admission,
         alg1: Alg1Config::paper(400.0),
         ledger_shards: 2,
+        ..FleetConfig::default()
     }
 }
 
@@ -256,6 +257,7 @@ fn replay_installs_journaled_placements_without_re_searching() {
         admission: AdmissionMode::LegacyRanked,
         alg1: Alg1Config::paper(400.0),
         ledger_shards: 2,
+        ..FleetConfig::default()
     };
     let (recovered, report) =
         Fleet::recover(persist_config(&dir), problem.clone(), perturbed).expect("recovery");
@@ -280,6 +282,7 @@ fn replay_installs_journaled_placements_without_re_searching() {
             admission: AdmissionMode::LegacyRanked,
             alg1: Alg1Config::paper(400.0),
             ledger_shards: 2,
+            ..FleetConfig::default()
         },
     );
     let legacy_set = drive_fleet(&legacy_fleet);
