@@ -4,7 +4,7 @@
 //! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
 //! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration
 //!      ablation churn orchestrator persist hop_bench open_world admission_parity
-//!      obs_overhead all
+//!      obs_overhead chaos all
 //!
 //! cargo run -p vc-bench --release --bin experiments -- check <id>...
 //! ```
@@ -73,7 +73,7 @@ struct Options {
     check: bool,
 }
 
-const ALL_IDS: [&str; 20] = [
+const ALL_IDS: [&str; 21] = [
     "fig2",
     "fig4",
     "fig5",
@@ -94,14 +94,16 @@ const ALL_IDS: [&str; 20] = [
     "open_world",
     "admission_parity",
     "obs_overhead",
+    "chaos",
 ];
 
 /// The ids `check` accepts, with their committed baseline documents.
-const CHECKABLE: [(&str, &str); 4] = [
+const CHECKABLE: [(&str, &str); 5] = [
     ("hop_bench", "BENCH_hop.json"),
     ("admission_parity", "BENCH_admission.json"),
     ("open_world", "BENCH_open_world.json"),
     ("obs_overhead", "BENCH_obs_overhead.json"),
+    ("chaos", "BENCH_chaos.json"),
 ];
 
 fn usage() -> ! {
@@ -200,6 +202,16 @@ fn obs_overhead_params(opts: &Options) -> (usize, f64, usize) {
     (sessions, horizon, 256)
 }
 
+/// `chaos` agent scales shared by the run and check paths (sessions =
+/// 2 × agents). `--scenarios` narrows the sweep to one explicit scale.
+fn chaos_scales(opts: &Options) -> Vec<usize> {
+    if opts.scenarios_set {
+        vec![opts.scenarios.clamp(2, 64)]
+    } else {
+        vec![3, 6, 9]
+    }
+}
+
 /// Regenerates one checkable experiment's JSON document in memory,
 /// with the same parameter handling as a normal run.
 fn fresh_json(id: &str, opts: &Options) -> String {
@@ -232,6 +244,7 @@ fn fresh_json(id: &str, opts: &Options) -> String {
             let (sessions, horizon, rounds) = obs_overhead_params(opts);
             obs_overhead::to_json(&obs_overhead::run(sessions, horizon, rounds, opts.seed))
         }
+        "chaos" => chaos::to_json(&chaos::run(&chaos_scales(opts), opts.seed)),
         other => unreachable!("'{other}' validated against CHECKABLE"),
     }
 }
@@ -482,6 +495,7 @@ fn main() {
                 let (sessions, horizon, rounds) = obs_overhead_params(&opts);
                 obs_overhead::print(&obs_overhead::run(sessions, horizon, rounds, opts.seed));
             }
+            "chaos" => chaos::print(&chaos::run(&chaos_scales(&opts), opts.seed)),
             _ => unreachable!("ids validated in parse_args"),
         }
         eprintln!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod admission_parity;
+pub mod chaos;
 pub mod churn;
 pub mod fig10;
 pub mod fig2;

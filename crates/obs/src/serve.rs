@@ -21,7 +21,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::plane::{ObsPlane, Site};
 
@@ -160,6 +160,15 @@ fn accept_loop(
     }
 }
 
+/// Total time one connection may spend delivering its request. The
+/// per-read timeout alone is not enough: requests are served
+/// synchronously on one thread, so a client trickling a byte per
+/// (sub-timeout) interval would hold the endpoint hostage for as long
+/// as it cares to drip — each read succeeds, the deadline never
+/// triggers. The elapsed budget cuts such a connection regardless of
+/// per-read progress.
+const READ_DEADLINE: Duration = Duration::from_secs(2);
+
 fn handle_conn(
     mut stream: TcpStream,
     plane: &ObsPlane,
@@ -167,20 +176,30 @@ fn handle_conn(
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let started = Instant::now();
     let mut buf = [0u8; 2048];
     let mut len = 0usize;
-    // Read until the header terminator (we only need the request line).
-    while len < buf.len() {
+    let mut complete = false;
+    // Read until the header terminator (we only need the request line),
+    // bounded by the total deadline.
+    while len < buf.len() && started.elapsed() < READ_DEADLINE {
         match stream.read(&mut buf[len..]) {
             Ok(0) => break,
             Ok(n) => {
                 len += n;
                 if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    complete = true;
                     break;
                 }
             }
             Err(_) => break,
         }
+    }
+    if !complete && started.elapsed() >= READ_DEADLINE {
+        let _ = stream.write_all(
+            b"HTTP/1.0 408 Request Timeout\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        return;
     }
     let request = String::from_utf8_lossy(&buf[..len]);
     let mut parts = request.split_whitespace();
@@ -292,6 +311,40 @@ mod tests {
         let (status, body) = http_get(server.local_addr(), "/postmortem").expect("get");
         assert_eq!(status, 200);
         assert!(body.contains("\"post_mortem\": \"test_reason\""));
+    }
+
+    #[test]
+    fn scrapes_stay_responsive_despite_a_stalled_client() {
+        let (server, _plane) = served_plane();
+        let addr = server.local_addr();
+        // A slow-loris client: opens the connection and trickles header
+        // bytes, never completing the request. Each per-read timeout is
+        // dodged; only the total deadline cuts it.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_trickle = Arc::clone(&stop);
+        let loris = std::thread::spawn(move || {
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                while !stop_trickle.load(Ordering::Relaxed) {
+                    if s.write_all(b"G").is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        });
+        // Let the loris get accepted first.
+        std::thread::sleep(Duration::from_millis(150));
+        let t0 = std::time::Instant::now();
+        let (status, body) = http_get(addr, "/metrics").expect("scrape while stalled");
+        assert_eq!(status, 200);
+        assert!(body.contains("vc_obs_ops_recorded"));
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "total read deadline must cut the stalled connection, took {:?}",
+            t0.elapsed()
+        );
+        stop.store(true, Ordering::Relaxed);
+        loris.join().expect("loris thread");
     }
 
     #[test]

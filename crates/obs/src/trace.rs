@@ -69,6 +69,19 @@ pub enum TraceKind {
     /// Recovery replayed the journaled placement — installed, never
     /// re-searched. `payload` = the journal sequence replayed.
     RecoveryInstalled = 11,
+    /// The session entered (or re-entered) the re-admission queue.
+    /// `payload` = virtual due time (µs) of the next attempt.
+    ReadmitQueued = 12,
+    /// A queued session was admitted back. `payload` = the attempt
+    /// index that succeeded.
+    ReadmitAdmitted = 13,
+    /// A queued session was dropped (queue overflow or retry
+    /// exhaustion). `payload` = attempts spent (0 for overflow).
+    ReadmitDropped = 14,
+    /// The write-ahead journal degraded: a storage fault exhausted its
+    /// fsync retries and appends now buffer in memory. Fleet-scoped —
+    /// `session` is `u32::MAX`. `payload` = sync retries burned so far.
+    DurabilityDegraded = 15,
 }
 
 impl TraceKind {
@@ -86,6 +99,10 @@ impl TraceKind {
             TraceKind::Evacuated => "evacuated",
             TraceKind::Departed => "departed",
             TraceKind::RecoveryInstalled => "recovery_installed",
+            TraceKind::ReadmitQueued => "readmit_queued",
+            TraceKind::ReadmitAdmitted => "readmit_admitted",
+            TraceKind::ReadmitDropped => "readmit_dropped",
+            TraceKind::DurabilityDegraded => "durability_degraded",
         }
     }
 
@@ -102,6 +119,10 @@ impl TraceKind {
             9 => TraceKind::Evacuated,
             10 => TraceKind::Departed,
             11 => TraceKind::RecoveryInstalled,
+            12 => TraceKind::ReadmitQueued,
+            13 => TraceKind::ReadmitAdmitted,
+            14 => TraceKind::ReadmitDropped,
+            15 => TraceKind::DurabilityDegraded,
             _ => return None,
         })
     }

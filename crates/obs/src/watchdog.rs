@@ -3,23 +3,33 @@
 //! lifecycle trace dump *proactively* — when a budget is burning — not
 //! only after a conservation/audit invariant already broke.
 //!
-//! Four budgets are watched, one detector each:
+//! Five budgets are watched, one detector each:
 //!
 //! * **p99 hop latency** — windowed p99 of [`Site::Hop`];
 //! * **admission fraction floor** — the caller feeds the fleet's
 //!   cumulative admission success rate per tick;
 //! * **swap-conflict ratio** — windowed `conflicts / attempts` over
 //!   the ledger shards;
-//! * **journal fsync p99** — windowed p99 of [`Site::JournalFsync`].
+//! * **journal fsync p99** — windowed p99 of [`Site::JournalFsync`];
+//! * **durability degraded** — the caller feeds the journal's
+//!   buffered-degraded flag per tick
+//!   ([`Watchdog::observe_full`]) — a fleet riding out storage faults
+//!   in memory is burning its crash-safety budget even while every
+//!   latency budget looks healthy.
 //!
 //! "Windowed" means the delta between consecutive cumulative
 //! histogram snapshots ([`LatencyHist::delta`]), so a detector sees
 //! the *current* burn rate, not the lifetime average. A budget must
 //! breach in at least `burn` of the last `window` observation ticks to
 //! fire — a single noisy window is not an incident. The watchdog fires
-//! **exactly once** per instance: the fire latches, triggers
+//! **exactly once per incident**: a fire latches, triggers
 //! [`ObsPlane::post_mortem_once`] and captures the Perfetto trace
-//! export in the returned [`WatchdogFire`].
+//! export in the returned [`WatchdogFire`]; the latch re-arms only
+//! after a *fully clean* window (every detector breach-free for
+//! `window` consecutive ticks), so one incident produces one page no
+//! matter how long it burns, and a genuinely new incident after
+//! recovery pages again ([`Watchdog::fired`] stays true once any
+//! incident has fired).
 //!
 //! The watchdog lives entirely off the hot path: one `observe` per
 //! telemetry tick walks the histograms under a plain mutex. Nothing
@@ -72,7 +82,7 @@ const MIN_SWAP_ATTEMPTS: u64 = 16;
 #[derive(Debug)]
 pub struct WatchdogFire {
     /// Which budget burned (`hop_p99`, `admission_fraction`,
-    /// `swap_conflict_ratio`, `fsync_p99`).
+    /// `swap_conflict_ratio`, `fsync_p99`, `durability_degraded`).
     pub budget: &'static str,
     /// The windowed value that breached.
     pub value: f64,
@@ -106,13 +116,21 @@ impl Detector {
         self.pos = (self.pos + 1) % self.history.len();
         self.history.iter().filter(|&&b| b).count() >= burn.max(1)
     }
+
+    /// Whether the whole window is breach-free.
+    fn is_clean(&self) -> bool {
+        self.history.iter().all(|&b| !b)
+    }
 }
 
 struct WatchState {
     hop_prev: LatencyHist,
     fsync_prev: LatencyHist,
     swap_prev: (u64, u64),
-    detectors: [Detector; 4],
+    detectors: [Detector; 5],
+    /// In-incident latch: set on fire, cleared only once every
+    /// detector's window is fully clean (the incident ended).
+    latched: bool,
 }
 
 /// The burn watchdog. One per fleet, observed once per telemetry tick.
@@ -146,7 +164,9 @@ impl Watchdog {
                     Detector::new(w),
                     Detector::new(w),
                     Detector::new(w),
+                    Detector::new(w),
                 ],
+                latched: false,
             }),
             fired: AtomicBool::new(false),
         }
@@ -157,22 +177,39 @@ impl Watchdog {
         &self.spec
     }
 
-    /// Has this watchdog already fired? (It fires at most once.)
+    /// Has this watchdog ever fired? (At most once per *incident*; a
+    /// new incident after a fully clean window fires again, but this
+    /// flag latches on the first fire and stays set.)
     pub fn fired(&self) -> bool {
         self.fired.load(Ordering::Relaxed)
     }
 
-    /// Feed one observation tick: diff the plane's cumulative
-    /// histograms into the current window, update every burn detector,
-    /// and fire (once, ever) when one crosses its burn threshold.
-    ///
-    /// `admission_success` is the fleet's cumulative admission success
-    /// fraction (the caller owns fleet counters; the plane does not) —
-    /// pass `None` before any admission has been attempted.
+    /// [`observe_full`](Self::observe_full) with a healthy durability
+    /// signal — for callers that don't persist (or predate the chaos
+    /// plane).
     pub fn observe(
         &self,
         plane: &ObsPlane,
         admission_success: Option<f64>,
+    ) -> Option<WatchdogFire> {
+        self.observe_full(plane, admission_success, false)
+    }
+
+    /// Feed one observation tick: diff the plane's cumulative
+    /// histograms into the current window, update every burn detector,
+    /// and fire (once per incident) when one crosses its burn
+    /// threshold.
+    ///
+    /// `admission_success` is the fleet's cumulative admission success
+    /// fraction (the caller owns fleet counters; the plane does not) —
+    /// pass `None` before any admission has been attempted.
+    /// `durability_degraded` is the journal's buffered-degraded flag
+    /// (`Fleet::durability_degraded()` on the orchestrator side).
+    pub fn observe_full(
+        &self,
+        plane: &ObsPlane,
+        admission_success: Option<f64>,
+        durability_degraded: bool,
     ) -> Option<WatchdogFire> {
         let mut st = self.state.lock().ok()?;
 
@@ -211,7 +248,7 @@ impl Watchdog {
         let adm_breach = admission_success.is_some() && adm < self.spec.admission_floor;
 
         let burn = self.spec.burn;
-        let ticks: [(bool, &'static str, f64, f64); 4] = [
+        let ticks: [(bool, &'static str, f64, f64); 5] = [
             (hop_breach, "hop_p99", hop_p99_us, self.spec.hop_p99_us_max),
             (
                 adm_breach,
@@ -231,6 +268,12 @@ impl Watchdog {
                 fsync_p99_us,
                 self.spec.fsync_p99_us_max,
             ),
+            (
+                durability_degraded,
+                "durability_degraded",
+                f64::from(u8::from(durability_degraded)),
+                0.0,
+            ),
         ];
         let mut tripped: Option<(&'static str, f64, f64)> = None;
         for (i, &(breach, budget, value, threshold)) in ticks.iter().enumerate() {
@@ -241,12 +284,24 @@ impl Watchdog {
                 tripped = Some((budget, value, threshold));
             }
         }
+        if tripped.is_none() {
+            // The incident is over only when *every* detector's window
+            // is fully clean — a still-breaching-but-below-burn tail
+            // keeps the latch held, so flapping at the threshold can't
+            // page repeatedly.
+            if st.latched && st.detectors.iter().all(Detector::is_clean) {
+                st.latched = false;
+            }
+            return None;
+        }
+        if st.latched {
+            return None; // same incident — already paged
+        }
+        st.latched = true;
         drop(st);
 
         let (budget, value, threshold) = tripped?;
-        if self.fired.swap(true, Ordering::Relaxed) {
-            return None; // already fired — exactly once per watchdog
-        }
+        self.fired.store(true, Ordering::Relaxed);
         let detail = format!(
             "{budget} burned: windowed value {value:.3} vs budget {threshold:.3} \
              ({burn}-of-{} window)",
@@ -301,9 +356,105 @@ mod tests {
         let pm = fire.post_mortem.expect("first plane dump");
         assert!(pm.contains("slo_burn:hop_p99"));
         assert!(fire.trace_json.contains("\"traceEvents\""));
-        // Keep burning: no second fire, ever.
+        // Keep burning: still the same incident, no second page.
         feed_hops(&plane, 32, 1_000_000);
         assert!(wd.observe(&plane, Some(0.9)).is_none());
+    }
+
+    #[test]
+    fn watchdog_rearms_after_clean_window() {
+        let plane = ObsPlane::new(1);
+        let wd = Watchdog::new(tight_spec()); // window 4, burn 2
+        feed_hops(&plane, 32, 1_000_000);
+        assert!(wd.observe(&plane, Some(0.9)).is_none());
+        feed_hops(&plane, 32, 1_000_000);
+        assert!(wd.observe(&plane, Some(0.9)).is_some(), "incident 1 pages");
+        // Recovery: enough healthy ticks to flush the whole window.
+        for _ in 0..6 {
+            feed_hops(&plane, 32, 1_000);
+            assert!(wd.observe(&plane, Some(0.9)).is_none());
+        }
+        // A genuinely new incident pages again.
+        feed_hops(&plane, 32, 1_000_000);
+        assert!(wd.observe(&plane, Some(0.9)).is_none());
+        feed_hops(&plane, 32, 1_000_000);
+        let fire = wd.observe(&plane, Some(0.9)).expect("incident 2 pages");
+        assert_eq!(fire.budget, "hop_p99");
+        // The one-shot post-mortem went to incident 1; incident 2 still
+        // carries the trace dump.
+        assert!(fire.post_mortem.is_none());
+        assert!(fire.trace_json.contains("\"traceEvents\""));
+        assert!(wd.fired(), "ever-fired flag latches across incidents");
+    }
+
+    #[test]
+    fn durability_degraded_burns() {
+        let plane = ObsPlane::new(1);
+        let wd = Watchdog::new(SloSpec {
+            window: 3,
+            burn: 2,
+            ..SloSpec::default()
+        });
+        assert!(wd.observe_full(&plane, None, true).is_none());
+        let fire = wd.observe_full(&plane, None, true).expect("fires");
+        assert_eq!(fire.budget, "durability_degraded");
+        // Healing clears the incident after a clean window…
+        for _ in 0..4 {
+            assert!(wd.observe_full(&plane, None, false).is_none());
+        }
+        // …and a relapse pages again.
+        assert!(wd.observe_full(&plane, None, true).is_none());
+        assert!(wd.observe_full(&plane, None, true).is_some());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config { cases: 64, ..Default::default() })]
+        /// Exactly-once-per-incident, against an independent reference
+        /// model: a fire happens iff the admission detector crosses its
+        /// burn threshold while un-latched, and the latch releases only
+        /// after a fully clean window.
+        fn fires_exactly_once_per_incident(
+            breaches in proptest::prop::collection::vec(proptest::arbitrary::any::<bool>(), 1..64),
+        ) {
+            const WINDOW: usize = 3;
+            const BURN: usize = 2;
+            let plane = ObsPlane::new(1);
+            let wd = Watchdog::new(SloSpec {
+                admission_floor: 0.5,
+                window: WINDOW,
+                burn: BURN,
+                ..SloSpec::default()
+            });
+            let mut ring = [false; WINDOW];
+            let mut pos = 0usize;
+            let mut latched = false;
+            let mut expected_fires = 0usize;
+            let mut observed_fires = 0usize;
+            for &breach in &breaches {
+                let signal = if breach { 0.0 } else { 1.0 };
+                let fire = wd.observe_full(&plane, Some(signal), false);
+                ring[pos] = breach;
+                pos = (pos + 1) % WINDOW;
+                let count = ring.iter().filter(|&&b| b).count();
+                if count >= BURN {
+                    if !latched {
+                        latched = true;
+                        expected_fires += 1;
+                        proptest::prop_assert!(fire.is_some(), "model fires, watchdog must too");
+                    } else {
+                        proptest::prop_assert!(fire.is_none(), "latched: same incident");
+                    }
+                } else {
+                    proptest::prop_assert!(fire.is_none(), "below burn: never fires");
+                    if count == 0 {
+                        latched = false;
+                    }
+                }
+                observed_fires += usize::from(fire.is_some());
+            }
+            proptest::prop_assert_eq!(observed_fires, expected_fires);
+            proptest::prop_assert_eq!(wd.fired(), expected_fires > 0);
+        }
     }
 
     #[test]

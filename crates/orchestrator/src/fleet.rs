@@ -46,6 +46,7 @@
 //! recovery semantics are untouched.
 
 use crate::ledger::{CapacityLedger, HopResiduals, LedgerError, SessionHold};
+use crate::readmit::{backoff_us, ReadmitConfig, ReadmitEntry, ReadmitState};
 use crate::workers::TimerEntry;
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
@@ -114,6 +115,11 @@ pub struct FleetConfig {
     /// Observability-plane tuning: span sampling rates (hop, WAIT
     /// dispatch) and flight/trace ring capacities.
     pub obs: ObsConfig,
+    /// Self-healing re-admission: `Some` queues sessions displaced by
+    /// forced evacuations (and refusals routed through
+    /// [`Fleet::admit_or_queue`]) for deterministic backoff retries;
+    /// `None` keeps the historical force-move-and-overshoot behavior.
+    pub readmit: Option<ReadmitConfig>,
 }
 
 impl Default for FleetConfig {
@@ -124,6 +130,7 @@ impl Default for FleetConfig {
             alg1: Alg1Config::default(),
             ledger_shards: 8,
             obs: ObsConfig::default(),
+            readmit: None,
         }
     }
 }
@@ -156,6 +163,23 @@ pub enum AdmitError {
     /// An open-world arrival's definition failed to register (the
     /// universe is unchanged; nothing was admitted).
     Register(ModelError),
+}
+
+/// What [`Fleet::admit_or_queue`] did with the session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitOutcome {
+    /// Admitted immediately.
+    Admitted,
+    /// Refused, but queued for deterministic-backoff re-admission.
+    Queued {
+        /// The refusal that sent it to the queue.
+        error: AdmitError,
+        /// Virtual time (µs) of the first retry.
+        due_us: u64,
+    },
+    /// Refused with no queue entry (queue disabled, full, or the
+    /// refusal is non-retryable).
+    Refused(AdmitError),
 }
 
 /// Running totals of control-plane activity (all monotone counters).
@@ -193,6 +217,17 @@ pub struct FleetCounters {
     /// Refusals at the global feasibility check (capacity interplay or
     /// the delay bound; legacy-mode capacity/delay refusals included).
     pub refused_global: AtomicUsize,
+    /// Sessions displaced whole by an evacuation that found no feasible
+    /// target (re-admission enabled; the session left the fleet and
+    /// entered — or overflowed — the re-admission queue).
+    pub displaced: AtomicUsize,
+    /// Re-admission queue installs (first enqueues and backoff
+    /// re-enqueues both count).
+    pub readmit_enqueued: AtomicUsize,
+    /// Queued sessions that were admitted back into the fleet.
+    pub readmit_admitted: AtomicUsize,
+    /// Queued sessions dropped (queue overflow or retry exhaustion).
+    pub readmit_dropped: AtomicUsize,
 }
 
 impl FleetCounters {
@@ -364,6 +399,16 @@ pub struct Fleet {
     /// swap contention counters, and the flight recorder. Enabled by
     /// default; disabling reduces every probe to one relaxed load.
     pub(crate) obs: Arc<ObsPlane>,
+    /// The bounded re-admission queue (empty and inert unless
+    /// [`FleetConfig::readmit`] is set). Locked *after* the FREEZE/slot
+    /// locks, never before.
+    pub(crate) readmit: Mutex<ReadmitState>,
+    /// Virtual-clock watermark (µs): the latest time any caller has
+    /// advanced the fleet to. New re-admission due times are computed
+    /// from it; it is *not* durable — replay takes due times from the
+    /// journaled enqueue records, and a recovered fleet's driver
+    /// re-advances the clock as it resumes.
+    pub(crate) clock_us: AtomicU64,
 }
 
 impl Fleet {
@@ -397,6 +442,8 @@ impl Fleet {
             timers: Mutex::new(Vec::new()),
             admit_scratch: Mutex::new(EvalScratch::new()),
             obs,
+            readmit: Mutex::new(ReadmitState::default()),
+            clock_us: AtomicU64::new(0),
         }
     }
 
@@ -611,6 +658,10 @@ impl Fleet {
             Ok(stats) => {
                 self.live.fetch_add(1, Ordering::Relaxed);
                 self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                // A queued re-admission that lands here is healed; any
+                // other admission of a queued session retires its entry
+                // too (replay of the `Admit` record does the same).
+                self.readmit_note_admitted(s);
                 let tier_counter = match stats.tier {
                     AdmissionTier::Enumeration => &self.counters.admitted_enumeration,
                     AdmissionTier::Repair => &self.counters.admitted_repair,
@@ -849,11 +900,27 @@ impl Fleet {
     /// Returns `(moves, forced)`. Coarse path: takes the FREEZE write
     /// lock, so the evacuation is deterministic — replay re-runs it.
     pub fn fail_agent(&self, agent: AgentId) -> (usize, usize) {
+        self.fail_agent_inner(agent, true)
+    }
+
+    /// [`fail_agent`](Self::fail_agent) with the re-admission enqueue
+    /// split out: the evacuation (including whole-session displacement
+    /// when the queue is enabled) is deterministic state change that
+    /// journal replay re-derives by re-running it, but the *enqueue* of
+    /// each displaced session rides the journal as an explicit
+    /// `ReadmitEnqueue` record — so replay passes `enqueue_displaced:
+    /// false` here and installs the queue from the records instead.
+    pub(crate) fn fail_agent_inner(
+        &self,
+        agent: AgentId,
+        enqueue_displaced: bool,
+    ) -> (usize, usize) {
         let mut evacuated = Vec::new();
+        let mut displaced = Vec::new();
         let u = self.freeze.write();
         self.available[agent.index()].store(false, Ordering::Relaxed);
         self.ledger.fail_agent(agent);
-        let (moves, forced) = self.evacuate_locked(&u, agent, &mut evacuated);
+        let (moves, forced) = self.evacuate_locked(&u, agent, &mut evacuated, &mut displaced);
         self.counters
             .evacuations
             .fetch_add(moves, Ordering::Relaxed);
@@ -863,6 +930,19 @@ impl Fleet {
         // Evacuation is deterministic given the state, so the journal
         // records the *cause*; replay re-runs the same evacuation.
         self.log_op(|| crate::persist::FleetOp::FailAgent { agent });
+        // Queue installs journal *after* the FailAgent record, under
+        // the same FREEZE hold, so replay sees the displacement state
+        // change before the enqueues that depend on it.
+        let mut queued = Vec::new();
+        let mut overflowed = Vec::new();
+        if enqueue_displaced {
+            for &s in &displaced {
+                match self.readmit_enqueue_locked(s) {
+                    Some(entry) => queued.push(entry),
+                    None => overflowed.push(s),
+                }
+            }
+        }
         drop(u);
         self.obs
             .note_op(OpKind::FailAgent, agent.index() as u32, moves as u32);
@@ -876,18 +956,34 @@ impl Fleet {
                 target.index() as u64,
             );
         }
+        for entry in queued {
+            self.obs.note_trace(
+                TraceKind::ReadmitQueued,
+                entry.session.index() as u32,
+                entry.due_us,
+            );
+        }
+        for s in overflowed {
+            self.obs
+                .note_trace(TraceKind::ReadmitDropped, s.index() as u32, 0);
+        }
         (moves, forced)
     }
 
     /// The evacuation proper (FREEZE write lock held): for each stranded
     /// decision — sessions ascending, users before tasks, mirroring
     /// `vc-algo`'s churn module — pick the feasible alternative
-    /// minimizing `Φ_s`, else force the least-bad one.
+    /// minimizing `Φ_s`. When no feasible target exists: with
+    /// re-admission enabled the *whole session* is displaced (pushed to
+    /// `displaced`, its hold released, its slot deactivated) instead of
+    /// overshooting a surviving agent; without it, the least-bad move
+    /// is forced, preserving the historical behavior.
     fn evacuate_locked(
         &self,
         u: &Universe,
         agent: AgentId,
         evacuated: &mut Vec<(SessionId, AgentId)>,
+        displaced: &mut Vec<SessionId>,
     ) -> (usize, usize) {
         let problem = &u.problem;
         let inst = problem.instance();
@@ -908,11 +1004,17 @@ impl Fleet {
                 }
             }
         }
+        let readmit_on = self.config.readmit.is_some();
         let mut eval = EvalScratch::new();
         let mut residuals = HopResiduals::default();
         let mut moves = 0usize;
         let mut forced = 0usize;
         for (s, d) in stranded {
+            // A session displaced by an earlier stranded decision is
+            // gone; its remaining decisions are moot.
+            if displaced.contains(&s) {
+                continue;
+            }
             // Residuals re-derived from the slot loads (ascending
             // session order), NOT from the ledger's reserved sums: the
             // latter accumulate in journal-append order, which for
@@ -942,6 +1044,21 @@ impl Fleet {
             }
             let target = match (best_feasible, best_any) {
                 (Some((l, _)), _) => Some(l),
+                (None, _) if readmit_on => {
+                    // No feasible target: displace the whole session
+                    // into the re-admission queue instead of forcing an
+                    // overshoot. Runs identically under replay (the
+                    // caller re-derives this from the FailAgent record).
+                    slot.active = false;
+                    slot.load = SessionLoad::empty(inst.num_agents());
+                    self.live.fetch_sub(1, Ordering::Relaxed);
+                    self.ledger
+                        .release(s)
+                        .expect("live session holds a reservation");
+                    self.counters.displaced.fetch_add(1, Ordering::Relaxed);
+                    displaced.push(s);
+                    None
+                }
                 (None, Some((l, _))) => {
                     forced += 1;
                     Some(l)
@@ -1017,6 +1134,248 @@ impl Fleet {
         drop(frz);
         self.obs
             .note_op(OpKind::RestoreAgent, agent.index() as u32, 0);
+    }
+
+    /// Advances the fleet's virtual-clock watermark (monotone max).
+    /// Drive it alongside the worker pool's virtual time: new
+    /// re-admission due times are `now + backoff`.
+    pub fn set_clock_us(&self, t_us: u64) {
+        self.clock_us.fetch_max(t_us, Ordering::Relaxed);
+    }
+
+    /// The virtual-clock watermark (µs).
+    pub fn now_us(&self) -> u64 {
+        self.clock_us.load(Ordering::Relaxed)
+    }
+
+    /// [`admit`](Self::admit), but a capacity/feasibility refusal lands
+    /// the session in the re-admission queue (when enabled) for a
+    /// deterministic backoff retry instead of being dropped on the
+    /// floor. `AlreadyLive`/`Register` refusals never queue — retrying
+    /// them cannot succeed.
+    pub fn admit_or_queue(&self, s: SessionId) -> AdmitOutcome {
+        match self.admit(s) {
+            Ok(()) => AdmitOutcome::Admitted,
+            Err(e @ (AdmitError::AlreadyLive(_) | AdmitError::Register(_))) => {
+                AdmitOutcome::Refused(e)
+            }
+            Err(e) => {
+                if self.config.readmit.is_none() {
+                    return AdmitOutcome::Refused(e);
+                }
+                let u = self.freeze.write();
+                let entry = self.readmit_enqueue_locked(s);
+                drop(u);
+                match entry {
+                    Some(entry) => {
+                        self.obs.note_trace(
+                            TraceKind::ReadmitQueued,
+                            s.index() as u32,
+                            entry.due_us,
+                        );
+                        AdmitOutcome::Queued {
+                            error: e,
+                            due_us: entry.due_us,
+                        }
+                    }
+                    None => {
+                        self.obs
+                            .note_trace(TraceKind::ReadmitDropped, s.index() as u32, 0);
+                        AdmitOutcome::Refused(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enqueues `s` for re-admission (caller holds the FREEZE write
+    /// lock). Returns the installed entry, or `None` if the bounded
+    /// queue overflowed (counted + journaled as a drop). The journaled
+    /// `ReadmitEnqueue` record carries everything replay needs — epoch,
+    /// attempt, due time — so recovery installs rather than recomputes.
+    fn readmit_enqueue_locked(&self, s: SessionId) -> Option<ReadmitEntry> {
+        let cfg = self.config.readmit?;
+        let (overflow, epoch) = {
+            let q = self.readmit.lock();
+            (
+                q.entries.len() >= cfg.capacity.max(1) && !q.entries.contains_key(&s),
+                q.epochs.get(&s).copied().unwrap_or(0) + 1,
+            )
+        };
+        if overflow {
+            self.counters
+                .readmit_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            self.log_op(|| crate::persist::FleetOp::ReadmitDrop { session: s });
+            return None;
+        }
+        let due_us = self.now_us() + backoff_us(&cfg, s, epoch, 0);
+        let entry = ReadmitEntry {
+            session: s,
+            epoch,
+            attempt: 0,
+            due_us,
+        };
+        self.readmit_install(entry);
+        self.log_op(|| crate::persist::FleetOp::ReadmitEnqueue {
+            session: s,
+            epoch,
+            attempt: 0,
+            due_us,
+        });
+        Some(entry)
+    }
+
+    /// Installs one queue entry — the shared primitive of the live
+    /// enqueue paths and `ReadmitEnqueue` replay, so counters and the
+    /// epoch watermark move identically in both worlds.
+    pub(crate) fn readmit_install(&self, e: ReadmitEntry) {
+        let mut q = self.readmit.lock();
+        let w = q.epochs.entry(e.session).or_insert(0);
+        *w = (*w).max(e.epoch);
+        q.entries.insert(e.session, e);
+        drop(q);
+        self.counters
+            .readmit_enqueued
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retires `s`'s queue entry after a successful admission (live
+    /// path and `Admit` replay both come through here). Counts only if
+    /// an entry was actually present.
+    pub(crate) fn readmit_note_admitted(&self, s: SessionId) {
+        if self.config.readmit.is_none() {
+            return;
+        }
+        let removed = self.readmit.lock().entries.remove(&s).is_some();
+        if removed {
+            self.counters
+                .readmit_admitted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops `s` from the queue under the FREEZE write lock (retry
+    /// exhaustion), journaling the drop.
+    fn readmit_drop_locked(&self, s: SessionId) {
+        self.readmit.lock().entries.remove(&s);
+        self.counters
+            .readmit_dropped
+            .fetch_add(1, Ordering::Relaxed);
+        self.log_op(|| crate::persist::FleetOp::ReadmitDrop { session: s });
+    }
+
+    /// Attempts the earliest-due queued re-admission at virtual time
+    /// `now_us` (single-threaded virtual drive — `ReoptPool::tick_until`
+    /// interleaves this with WAIT wakeups in due order). Returns the
+    /// session if it was admitted back, `None` if nothing was due or
+    /// the attempt failed (failed attempts re-enqueue with the next
+    /// backoff draw, or drop once the retry budget is spent).
+    pub fn readmit_attempt_one(&self, now_us: u64) -> Option<SessionId> {
+        let cfg = self.config.readmit?;
+        let entry = self.readmit.lock().next_due()?;
+        if entry.due_us > now_us {
+            return None;
+        }
+        self.set_clock_us(now_us);
+        match self.admit(entry.session) {
+            Ok(()) => {
+                // `admit_locked`'s success path already retired the
+                // entry and counted the heal.
+                self.obs.note_trace(
+                    TraceKind::ReadmitAdmitted,
+                    entry.session.index() as u32,
+                    u64::from(entry.attempt),
+                );
+                Some(entry.session)
+            }
+            Err(_) => {
+                // The admission journaled its own Reject record; now
+                // journal what happens to the queue entry.
+                let u = self.freeze.write();
+                let still_there = self.readmit.lock().entries.get(&entry.session) == Some(&entry);
+                if still_there {
+                    if entry.attempt + 1 >= cfg.max_attempts {
+                        self.readmit_drop_locked(entry.session);
+                        drop(u);
+                        self.obs.note_trace(
+                            TraceKind::ReadmitDropped,
+                            entry.session.index() as u32,
+                            u64::from(entry.attempt + 1),
+                        );
+                    } else {
+                        let attempt = entry.attempt + 1;
+                        let due_us =
+                            entry.due_us + backoff_us(&cfg, entry.session, entry.epoch, attempt);
+                        let next = ReadmitEntry {
+                            session: entry.session,
+                            epoch: entry.epoch,
+                            attempt,
+                            due_us,
+                        };
+                        self.readmit_install(next);
+                        self.log_op(|| crate::persist::FleetOp::ReadmitEnqueue {
+                            session: next.session,
+                            epoch: next.epoch,
+                            attempt: next.attempt,
+                            due_us: next.due_us,
+                        });
+                        drop(u);
+                        self.obs.note_trace(
+                            TraceKind::ReadmitQueued,
+                            entry.session.index() as u32,
+                            due_us,
+                        );
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Earliest pending re-admission due time (µs), if any.
+    pub fn next_readmit_due(&self) -> Option<u64> {
+        self.config.readmit?;
+        self.readmit.lock().next_due().map(|e| e.due_us)
+    }
+
+    /// Number of sessions waiting in the re-admission queue.
+    pub fn readmit_queue_len(&self) -> usize {
+        self.readmit.lock().entries.len()
+    }
+
+    /// The queued re-admission entries, ascending by session (durable
+    /// capture + test introspection).
+    pub fn readmit_entries(&self) -> Vec<ReadmitEntry> {
+        self.readmit.lock().entries.values().copied().collect()
+    }
+
+    /// Whether the attached journal is running degraded (a storage
+    /// fault exhausted its fsync retries; appends buffer in memory
+    /// until healed). Always `false` for ephemeral fleets.
+    pub fn durability_degraded(&self) -> bool {
+        self.persist
+            .as_ref()
+            .is_some_and(|p| p.journal.lock().degraded())
+    }
+
+    /// Total fsync retries the attached journal has burned (0 when
+    /// ephemeral) — the telemetry-facing wear indicator.
+    pub fn journal_sync_retries(&self) -> u64 {
+        self.persist
+            .as_ref()
+            .map_or(0, |p| p.journal.lock().sync_retries())
+    }
+
+    /// One heal attempt on a degraded journal: cut back any torn tail,
+    /// rewrite the buffered suffix, and fsync. Returns whether the
+    /// journal is fully durable again (trivially true when ephemeral or
+    /// never degraded).
+    pub fn heal_journal(&self) -> bool {
+        match &self.persist {
+            Some(p) => p.journal.lock().try_heal(),
+            None => true,
+        }
     }
 
     /// One Alg. 1 HOP for session `s` (convenience wrapper allocating a

@@ -78,13 +78,15 @@ pub mod fleet;
 pub mod ledger;
 pub mod orchestrator;
 pub mod persist;
+pub mod readmit;
 pub mod telemetry;
 #[cfg(test)]
 mod tests;
 pub mod workers;
 
 pub use fleet::{
-    AdmissionMode, AdmitError, Fleet, FleetConfig, FleetCounters, FleetHopScratch, PlacementPolicy,
+    AdmissionMode, AdmitError, AdmitOutcome, Fleet, FleetConfig, FleetCounters, FleetHopScratch,
+    PlacementPolicy,
 };
 pub use ledger::{
     AgentHold, AgentUtilization, CapacityLedger, HopResiduals, LedgerError, SessionHold,
@@ -94,5 +96,6 @@ pub use persist::{
     CounterSnapshot, DurableFleetState, FleetOp, PersistConfig, PersistError, RecoveryReport,
     RefusalReason,
 };
+pub use readmit::{backoff_us, ReadmitConfig, ReadmitEntry};
 pub use telemetry::{fleet_metrics_text, FleetSnapshot, FleetTelemetry};
 pub use workers::{ReoptPool, TimerEntry};

@@ -65,10 +65,11 @@ use vc_core::{Decision, TaskId, UapProblem};
 use vc_model::{AgentId, SessionDef, SessionId, UserId};
 use vc_obs::{OpKind, TraceKind};
 use vc_persist::codec::{CodecError, Decode, Encode, Reader};
-use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter};
+use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter, RetryPolicy};
 use vc_persist::snapshot::{
-    compact, journal_files, journal_path, latest_snapshot, write_snapshot, SnapshotError,
+    compact, journal_files, journal_path, latest_snapshot, write_snapshot_with, SnapshotError,
 };
+use vc_persist::vfs::{real_vfs, Vfs};
 
 /// One journaled fleet mutation. Every variant is applied under the
 /// FREEZE lock in both live operation and replay.
@@ -152,6 +153,29 @@ pub enum FleetOp {
     Timers {
         /// Live worker timers, ascending by session.
         entries: Vec<TimerEntry>,
+    },
+    /// A displaced/refused session entered the re-admission queue
+    /// (format v5). The record carries the entry's *entire* state —
+    /// four integers — so replay installs it verbatim; the backoff
+    /// schedule beyond `due_us` is re-derivable from
+    /// [`crate::readmit::backoff_us`]'s pure recipe.
+    ReadmitEnqueue {
+        /// The queued session.
+        session: SessionId,
+        /// Displacement epoch (per-session backoff stream selector).
+        epoch: u64,
+        /// Attempts already spent in this epoch.
+        attempt: u32,
+        /// Virtual time (µs) of the next admission attempt.
+        due_us: u64,
+    },
+    /// A session left the re-admission queue without being admitted —
+    /// queue overflow or retry-budget exhaustion (format v5). Replay
+    /// removes the entry (if present; overflow drops never installed
+    /// one) and counts the drop.
+    ReadmitDrop {
+        /// The dropped session.
+        session: SessionId,
     },
 }
 
@@ -309,6 +333,22 @@ impl Encode for FleetOp {
                 out.push(9);
                 entries.encode(out);
             }
+            Self::ReadmitEnqueue {
+                session,
+                epoch,
+                attempt,
+                due_us,
+            } => {
+                out.push(10);
+                session.encode(out);
+                epoch.encode(out);
+                attempt.encode(out);
+                due_us.encode(out);
+            }
+            Self::ReadmitDrop { session } => {
+                out.push(11);
+                session.encode(out);
+            }
         }
     }
 }
@@ -354,11 +394,40 @@ impl Decode for FleetOp {
             9 => Ok(Self::Timers {
                 entries: Vec::decode(r)?,
             }),
+            10 => Ok(Self::ReadmitEnqueue {
+                session: SessionId::decode(r)?,
+                epoch: u64::decode(r)?,
+                attempt: u32::decode(r)?,
+                due_us: u64::decode(r)?,
+            }),
+            11 => Ok(Self::ReadmitDrop {
+                session: SessionId::decode(r)?,
+            }),
             tag => Err(CodecError::BadTag {
                 what: "FleetOp",
                 tag,
             }),
         }
+    }
+}
+
+impl Encode for crate::readmit::ReadmitEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.session.encode(out);
+        self.epoch.encode(out);
+        self.attempt.encode(out);
+        self.due_us.encode(out);
+    }
+}
+
+impl Decode for crate::readmit::ReadmitEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            session: SessionId::decode(r)?,
+            epoch: u64::decode(r)?,
+            attempt: u32::decode(r)?,
+            due_us: u64::decode(r)?,
+        })
     }
 }
 
@@ -422,6 +491,10 @@ impl Encode for FleetSnapshot {
         self.refused_task_fit.encode(out);
         self.refused_global.encode(out);
         self.conservation_violations.encode(out);
+        self.overshoot_fraction.encode(out);
+        self.displaced.encode(out);
+        self.readmit_queued.encode(out);
+        self.durability_degraded.encode(out);
     }
 }
 
@@ -452,6 +525,10 @@ impl Decode for FleetSnapshot {
             refused_task_fit: usize::decode(r)?,
             refused_global: usize::decode(r)?,
             conservation_violations: usize::decode(r)?,
+            overshoot_fraction: f64::decode(r)?,
+            displaced: usize::decode(r)?,
+            readmit_queued: usize::decode(r)?,
+            durability_degraded: bool::decode(r)?,
         })
     }
 }
@@ -487,6 +564,14 @@ pub struct CounterSnapshot {
     pub refused_task_fit: u64,
     /// Refusals at the global check (legacy capacity/delay included).
     pub refused_global: u64,
+    /// Sessions displaced by forced evacuations (format v5).
+    pub displaced: u64,
+    /// Re-admission queue enqueues (initial and retry re-installs).
+    pub readmit_enqueued: u64,
+    /// Sessions re-admitted out of the queue.
+    pub readmit_admitted: u64,
+    /// Queue drops (overflow + retry-budget exhaustion).
+    pub readmit_dropped: u64,
 }
 
 impl CounterSnapshot {
@@ -508,6 +593,10 @@ impl CounterSnapshot {
             refused_user_fit: get(&c.refused_user_fit),
             refused_task_fit: get(&c.refused_task_fit),
             refused_global: get(&c.refused_global),
+            displaced: get(&c.displaced),
+            readmit_enqueued: get(&c.readmit_enqueued),
+            readmit_admitted: get(&c.readmit_admitted),
+            readmit_dropped: get(&c.readmit_dropped),
         }
     }
 
@@ -529,6 +618,10 @@ impl CounterSnapshot {
         set(&c.refused_user_fit, self.refused_user_fit);
         set(&c.refused_task_fit, self.refused_task_fit);
         set(&c.refused_global, self.refused_global);
+        set(&c.displaced, self.displaced);
+        set(&c.readmit_enqueued, self.readmit_enqueued);
+        set(&c.readmit_admitted, self.readmit_admitted);
+        set(&c.readmit_dropped, self.readmit_dropped);
     }
 }
 
@@ -548,6 +641,10 @@ impl Encode for CounterSnapshot {
         self.refused_user_fit.encode(out);
         self.refused_task_fit.encode(out);
         self.refused_global.encode(out);
+        self.displaced.encode(out);
+        self.readmit_enqueued.encode(out);
+        self.readmit_admitted.encode(out);
+        self.readmit_dropped.encode(out);
     }
 }
 
@@ -568,6 +665,10 @@ impl Decode for CounterSnapshot {
             refused_user_fit: u64::decode(r)?,
             refused_task_fit: u64::decode(r)?,
             refused_global: u64::decode(r)?,
+            displaced: u64::decode(r)?,
+            readmit_enqueued: u64::decode(r)?,
+            readmit_admitted: u64::decode(r)?,
+            readmit_dropped: u64::decode(r)?,
         })
     }
 }
@@ -600,6 +701,13 @@ pub struct DurableFleetState {
     /// pool or never journaled timers). Recovery hands these back so
     /// the pool resumes countdowns instead of re-drawing them.
     pub timers: Vec<TimerEntry>,
+    /// Re-admission queue entries, ascending by session (format v5).
+    pub readmit: Vec<crate::readmit::ReadmitEntry>,
+    /// Per-session displacement-epoch watermarks, ascending by session
+    /// (format v5). Kept beyond the queued entries so a session's next
+    /// displacement draws a fresh backoff stream even across a
+    /// checkpoint.
+    pub readmit_epochs: Vec<(SessionId, u64)>,
 }
 
 impl Encode for DurableFleetState {
@@ -612,6 +720,8 @@ impl Encode for DurableFleetState {
         self.holdings.encode(out);
         self.counters.encode(out);
         self.timers.encode(out);
+        self.readmit.encode(out);
+        self.readmit_epochs.encode(out);
     }
 }
 
@@ -626,6 +736,8 @@ impl Decode for DurableFleetState {
             holdings: Vec::decode(r)?,
             counters: CounterSnapshot::decode(r)?,
             timers: Vec::decode(r)?,
+            readmit: Vec::decode(r)?,
+            readmit_epochs: Vec::decode(r)?,
         })
     }
 }
@@ -669,6 +781,11 @@ pub struct FleetPersistence {
     pub(crate) dir: PathBuf,
     pub(crate) fsync: FsyncPolicy,
     pub(crate) stay_batch: usize,
+    /// The storage layer under every journal/snapshot write — the real
+    /// filesystem in production, a `vc-chaos` fault plane under test.
+    pub(crate) vfs: Arc<dyn Vfs>,
+    /// Fsync retry/degrade policy handed to each rotated journal.
+    pub(crate) retry: RetryPolicy,
     pub(crate) journal: Mutex<JournalWriter<FleetOp>>,
     /// Exclusive advisory lock on `dir/LOCK`, held for the fleet's
     /// lifetime so two processes cannot write the same store (the
@@ -801,6 +918,17 @@ fn capture(fleet: &Fleet, u: &fleet::Universe) -> DurableFleetState {
         holdings: fleet.ledger.holdings(),
         counters: CounterSnapshot::capture(&fleet.counters),
         timers: fleet.timers.lock().clone(),
+        readmit: {
+            let q = fleet.readmit.lock();
+            q.entries.values().copied().collect()
+        },
+        readmit_epochs: {
+            let q = fleet.readmit.lock();
+            let mut epochs: Vec<(SessionId, u64)> =
+                q.epochs.iter().map(|(&s, &e)| (s, e)).collect();
+            epochs.sort_unstable_by_key(|&(s, _)| s);
+            epochs
+        },
     }
 }
 
@@ -839,6 +967,29 @@ impl Fleet {
         config: FleetConfig,
         persist: PersistConfig,
     ) -> Result<Self, PersistError> {
+        Self::with_persistence_on(problem, config, persist, real_vfs(), RetryPolicy::default())
+    }
+
+    /// [`Fleet::with_persistence`] through an explicit storage layer:
+    /// every journal append, fsync, snapshot write, and rename goes
+    /// through `vfs`, and fsync failures follow `retry` (capped backoff,
+    /// then buffered-degraded mode). This is the chaos plane's entry
+    /// point — wrap the real filesystem in `vc-chaos`'s `FaultyVfs` and
+    /// the fleet rides out injected storage faults exactly the way
+    /// production would.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error. Store *creation* errors always propagate —
+    /// degraded mode exists for a store that was healthy once, not for
+    /// one that never existed.
+    pub fn with_persistence_on(
+        problem: Arc<UapProblem>,
+        config: FleetConfig,
+        persist: PersistConfig,
+        vfs: Arc<dyn Vfs>,
+        retry: RetryPolicy,
+    ) -> Result<Self, PersistError> {
         fs::create_dir_all(&persist.dir)?;
         let lock = acquire_store_lock(&persist.dir)?;
         wipe_store(&persist.dir)?;
@@ -847,13 +998,21 @@ impl Fleet {
             let u = fleet.freeze.read();
             capture(&fleet, &u)
         };
-        write_snapshot(&persist.dir, 0, &genesis)?;
-        let mut journal = JournalWriter::create(journal_path(&persist.dir, 1), persist.fsync, 1)?;
+        write_snapshot_with(&persist.dir, 0, &genesis, &*vfs)?;
+        let mut journal = JournalWriter::create_with(
+            journal_path(&persist.dir, 1),
+            persist.fsync,
+            1,
+            &*vfs,
+            retry,
+        )?;
         journal.set_obs(Arc::clone(&fleet.obs));
         fleet.persist = Some(FleetPersistence {
             dir: persist.dir,
             fsync: persist.fsync,
             stay_batch: persist.stay_batch.max(1),
+            vfs,
+            retry,
             journal: Mutex::new(journal),
             _lock: lock,
         });
@@ -903,9 +1062,14 @@ impl Fleet {
         let mut journal = p.journal.lock();
         journal.commit()?;
         let last_seq = journal.next_seq() - 1;
-        write_snapshot(&p.dir, last_seq, &capture(self, &u))?;
-        *journal =
-            JournalWriter::create(journal_path(&p.dir, last_seq + 1), p.fsync, last_seq + 1)?;
+        write_snapshot_with(&p.dir, last_seq, &capture(self, &u), &*p.vfs)?;
+        *journal = JournalWriter::create_with(
+            journal_path(&p.dir, last_seq + 1),
+            p.fsync,
+            last_seq + 1,
+            &*p.vfs,
+            p.retry,
+        )?;
         journal.set_obs(Arc::clone(&self.obs));
         compact(&p.dir, last_seq)?;
         drop(journal);
@@ -938,6 +1102,25 @@ impl Fleet {
         persist: PersistConfig,
         problem: Arc<UapProblem>,
         config: FleetConfig,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        Self::recover_with(persist, problem, config, real_vfs(), RetryPolicy::default())
+    }
+
+    /// [`Fleet::recover`] through an explicit storage layer (see
+    /// [`Fleet::with_persistence_on`]). Reads stay on the real
+    /// filesystem — recovery wants the actual on-disk bytes, faults and
+    /// all — but the recovery snapshot and the fresh journal the
+    /// recovered fleet continues into go through `vfs`/`retry`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fleet::recover`].
+    pub fn recover_with(
+        persist: PersistConfig,
+        problem: Arc<UapProblem>,
+        config: FleetConfig,
+        vfs: Arc<dyn Vfs>,
+        retry: RetryPolicy,
     ) -> Result<(Self, RecoveryReport), PersistError> {
         let lock = acquire_store_lock(&persist.dir)?;
         let snapshot = latest_snapshot::<DurableFleetState>(&persist.dir)?
@@ -1027,11 +1210,13 @@ impl Fleet {
             let u = fleet.freeze.read();
             capture(&fleet, &u)
         };
-        write_snapshot(&persist.dir, last_seq, &recovered_state)?;
-        let mut journal = JournalWriter::create(
+        write_snapshot_with(&persist.dir, last_seq, &recovered_state, &*vfs)?;
+        let mut journal = JournalWriter::create_with(
             journal_path(&persist.dir, last_seq + 1),
             persist.fsync,
             last_seq + 1,
+            &*vfs,
+            retry,
         )?;
         journal.set_obs(Arc::clone(&fleet.obs));
         compact(&persist.dir, last_seq)?;
@@ -1042,6 +1227,8 @@ impl Fleet {
             dir: persist.dir,
             fsync: persist.fsync,
             stay_batch: persist.stay_batch.max(1),
+            vfs,
+            retry,
             journal: Mutex::new(journal),
             _lock: lock,
         });
@@ -1186,6 +1373,15 @@ impl Fleet {
         }
         durable.counters.install(&fleet.counters);
         *fleet.timers.lock() = durable.timers;
+        {
+            let mut q = fleet.readmit.lock();
+            for e in &durable.readmit {
+                q.entries.insert(e.session, *e);
+            }
+            for &(s, epoch) in &durable.readmit_epochs {
+                q.epochs.insert(s, epoch);
+            }
+        }
         Ok(fleet)
     }
 
@@ -1280,6 +1476,12 @@ impl Fleet {
                 self.counters
                     .repair_steps
                     .fetch_add(*repair_steps as usize, Ordering::Relaxed);
+                drop(slot);
+                drop(universe);
+                // Mirror the live path: a successful admission dequeues
+                // any pending re-admission entry (and counts it) — the
+                // live admit did exactly this under its own locks.
+                self.readmit_note_admitted(*session);
             }
             FleetOp::Reject { reason, .. } => {
                 self.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -1311,7 +1513,12 @@ impl Fleet {
             }
             FleetOp::FailAgent { agent } => {
                 self.replay_agent_bound(*agent, "failure")?;
-                self.fail_agent(*agent);
+                // Replay re-runs the deterministic evacuation but does
+                // NOT re-enqueue displaced sessions: the journal carries
+                // every enqueue as an explicit `ReadmitEnqueue` record
+                // (queue mutations are never re-derived), so the live
+                // path's enqueues arrive as the very next records.
+                self.fail_agent_inner(*agent, false);
             }
             FleetOp::RestoreAgent { agent } => {
                 self.replay_agent_bound(*agent, "restore")?;
@@ -1385,6 +1592,31 @@ impl Fleet {
                 // Newest record wins: the caller gets the countdowns
                 // pending at the last durability boundary.
                 *self.timers.lock() = entries.clone();
+            }
+            FleetOp::ReadmitEnqueue {
+                session,
+                epoch,
+                attempt,
+                due_us,
+            } => {
+                self.replay_session_bound(*session, "readmit enqueue")?;
+                self.readmit_install(crate::readmit::ReadmitEntry {
+                    session: *session,
+                    epoch: *epoch,
+                    attempt: *attempt,
+                    due_us: *due_us,
+                });
+            }
+            FleetOp::ReadmitDrop { session } => {
+                self.replay_session_bound(*session, "readmit drop")?;
+                // Overflow drops never installed an entry; exhaustion
+                // drops did. Remove if present, count either way — the
+                // live path counted both shapes through the same
+                // `readmit_dropped` counter.
+                self.readmit.lock().entries.remove(session);
+                self.counters
+                    .readmit_dropped
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(())

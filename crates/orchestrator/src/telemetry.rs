@@ -38,6 +38,23 @@ pub fn fleet_metrics_text(fleet: &Fleet) -> String {
         "vc_fleet_admission_success_rate {:.6}\n",
         c.admission_success_rate()
     ));
+    out.push_str("# TYPE vc_fleet_overshoot_fraction gauge\n");
+    out.push_str(&format!(
+        "vc_fleet_overshoot_fraction {:.6}\n",
+        fleet.ledger().max_overshoot_fraction()
+    ));
+    out.push_str("# TYPE vc_fleet_displaced counter\n");
+    out.push_str(&format!("vc_fleet_displaced {}\n", load(&c.displaced)));
+    out.push_str("# TYPE vc_fleet_readmit_queued gauge\n");
+    out.push_str(&format!(
+        "vc_fleet_readmit_queued {}\n",
+        fleet.readmit_queue_len()
+    ));
+    out.push_str("# TYPE vc_fleet_durability_degraded gauge\n");
+    out.push_str(&format!(
+        "vc_fleet_durability_degraded {}\n",
+        u8::from(fleet.durability_degraded())
+    ));
     out
 }
 
@@ -96,6 +113,16 @@ pub struct FleetSnapshot {
     pub refused_global: usize,
     /// Ledger-conservation discrepancies at sample time (must be 0).
     pub conservation_violations: usize,
+    /// Worst per-agent capacity overshoot past 1.0 (0 when every agent
+    /// is within capacity) — the un-healed displacement debt gauge.
+    pub overshoot_fraction: f64,
+    /// Sessions displaced by forced evacuations so far.
+    pub displaced: usize,
+    /// Sessions currently waiting in the re-admission queue.
+    pub readmit_queued: usize,
+    /// Whether the journal is running buffered-degraded (fsync retries
+    /// exhausted; events held in memory until healed).
+    pub durability_degraded: bool,
 }
 
 /// Accumulates snapshots and the derived time series — one series per
@@ -128,6 +155,10 @@ pub struct FleetTelemetry {
     refused_task_fit: TimeSeries,
     refused_global: TimeSeries,
     conservation_violations: TimeSeries,
+    overshoot_fraction: TimeSeries,
+    displaced: TimeSeries,
+    readmit_queued: TimeSeries,
+    durability_degraded: TimeSeries,
 }
 
 impl FleetTelemetry {
@@ -191,6 +222,13 @@ impl FleetTelemetry {
             refused_task_fit: load(&c.refused_task_fit),
             refused_global: load(&c.refused_global),
             conservation_violations: audit.len(),
+            overshoot_fraction: fractions
+                .iter()
+                .map(|f| (f - 1.0).max(0.0))
+                .fold(0.0, f64::max),
+            displaced: load(&c.displaced),
+            readmit_queued: fleet.readmit_queue_len(),
+            durability_degraded: fleet.durability_degraded(),
         };
         self.universe_sessions
             .push(t_s, snapshot.universe_sessions as f64);
@@ -228,6 +266,13 @@ impl FleetTelemetry {
             .push(t_s, snapshot.refused_global as f64);
         self.conservation_violations
             .push(t_s, snapshot.conservation_violations as f64);
+        self.overshoot_fraction
+            .push(t_s, snapshot.overshoot_fraction);
+        self.displaced.push(t_s, snapshot.displaced as f64);
+        self.readmit_queued
+            .push(t_s, snapshot.readmit_queued as f64);
+        self.durability_degraded
+            .push(t_s, f64::from(u8::from(snapshot.durability_degraded)));
         self.snapshots.push(snapshot.clone());
         snapshot
     }
@@ -238,7 +283,10 @@ impl FleetTelemetry {
     /// budget burns — the returned [`WatchdogFire`] carries the
     /// post-mortem and the Perfetto trace dump. The admission signal is
     /// withheld until any admission has been attempted, so an idle
-    /// warm-up can't trip the floor.
+    /// warm-up can't trip the floor. The snapshot's durability-degraded
+    /// flag feeds the watchdog's fifth detector, so a journal riding
+    /// out storage faults in memory pages even while every latency
+    /// budget is healthy.
     pub fn sample_with_watchdog(
         &mut self,
         fleet: &Fleet,
@@ -248,7 +296,7 @@ impl FleetTelemetry {
         let snapshot = self.sample(fleet, t_s);
         let admission =
             (snapshot.admission_attempts > 0).then_some(snapshot.admission_success_rate);
-        let fire = watchdog.observe(fleet.obs(), admission);
+        let fire = watchdog.observe_full(fleet.obs(), admission, snapshot.durability_degraded);
         (snapshot, fire)
     }
 
@@ -377,6 +425,26 @@ impl FleetTelemetry {
         &self.conservation_violations
     }
 
+    /// Overshoot-fraction series (worst per-agent debt past capacity).
+    pub fn overshoot_fraction_series(&self) -> &TimeSeries {
+        &self.overshoot_fraction
+    }
+
+    /// Cumulative-displacements series.
+    pub fn displaced_series(&self) -> &TimeSeries {
+        &self.displaced
+    }
+
+    /// Re-admission queue-depth series.
+    pub fn readmit_queued_series(&self) -> &TimeSeries {
+        &self.readmit_queued
+    }
+
+    /// Durability-degraded series (0/1 per sample).
+    pub fn durability_degraded_series(&self) -> &TimeSeries {
+        &self.durability_degraded
+    }
+
     /// Total conservation violations observed across all samples.
     pub fn total_conservation_violations(&self) -> usize {
         self.snapshots
@@ -393,7 +461,8 @@ impl FleetTelemetry {
         admission_success_rate,admission_attempts,admitted_enumeration,\
         admitted_repair,admitted_fallback,admission_repair_steps,\
         refused_user_fit,refused_task_fit,refused_global,\
-        conservation_violations";
+        conservation_violations,overshoot_fraction,displaced,\
+        readmit_queued,durability_degraded";
 
     /// Every snapshot as CSV (header + one row per sample), precise
     /// enough to round-trip `f64`s — two runs can be diffed offline
@@ -403,7 +472,7 @@ impl FleetTelemetry {
         out.push('\n');
         for s in &self.snapshots {
             out.push_str(&format!(
-                "{},{},{},{},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{},{},{},{},{:.17e},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{:.17e},{},{},{},{},{:.17e},{},{},{},{},{},{},{},{},{},{:.17e},{},{},{}\n",
                 s.time_s,
                 s.universe_sessions,
                 s.universe_users,
@@ -428,6 +497,10 @@ impl FleetTelemetry {
                 s.refused_task_fit,
                 s.refused_global,
                 s.conservation_violations,
+                s.overshoot_fraction,
+                s.displaced,
+                s.readmit_queued,
+                u8::from(s.durability_degraded),
             ));
         }
         out
@@ -455,7 +528,9 @@ impl FleetTelemetry {
              \"admitted_repair\": {}, \"admitted_fallback\": {}, \
              \"admission_repair_steps\": {}, \"refused_user_fit\": {}, \
              \"refused_task_fit\": {}, \"refused_global\": {}, \
-             \"conservation_violations\": {}}}",
+             \"conservation_violations\": {}, \"overshoot_fraction\": {:.17e}, \
+             \"displaced\": {}, \"readmit_queued\": {}, \
+             \"durability_degraded\": {}}}",
             s.time_s,
             s.universe_sessions,
             s.universe_users,
@@ -480,6 +555,10 @@ impl FleetTelemetry {
             s.refused_task_fit,
             s.refused_global,
             s.conservation_violations,
+            s.overshoot_fraction,
+            s.displaced,
+            s.readmit_queued,
+            s.durability_degraded,
         )
     }
 

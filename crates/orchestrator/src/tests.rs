@@ -895,13 +895,17 @@ mod persistence {
             t.refused_task_fit_series(),
             t.refused_global_series(),
             t.conservation_violations_series(),
+            t.overshoot_fraction_series(),
+            t.displaced_series(),
+            t.readmit_queued_series(),
+            t.durability_degraded_series(),
         ] {
             assert_eq!(series.len(), n, "a series is missing samples");
         }
         let csv = t.to_csv();
         let mut lines = csv.lines();
         let header = lines.next().expect("header");
-        assert_eq!(header.split(',').count(), 24);
+        assert_eq!(header.split(',').count(), 28);
         assert_eq!(lines.count(), n);
         // Admissions are cumulative and should end ≥ warm pool.
         assert!(t.admitted_series().last_value().expect("samples") >= 4.0);

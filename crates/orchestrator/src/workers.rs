@@ -252,6 +252,26 @@ impl ReoptPool {
             .min()
     }
 
+    /// The earliest *valid* pending due time, discarding stale heap
+    /// tops (departed / re-registered sessions) as they surface —
+    /// amortized O(1) per call, unlike [`next_due`](Self::next_due)'s
+    /// full-heap filter, so the virtual-clock drive can consult it
+    /// every iteration.
+    fn peek_due_valid(&self) -> Option<u64> {
+        let mut sched = self.schedule.lock();
+        loop {
+            let Reverse((due, s, epoch)) = *sched.due.peek()?;
+            if sched
+                .timers
+                .get(&s)
+                .is_some_and(|t| t.active && t.epoch == epoch)
+            {
+                return Some(due);
+            }
+            sched.due.pop();
+        }
+    }
+
     /// Pops the next due worker at or before `horizon_us`, hops it
     /// (reusing the caller's scratch), and reschedules. Returns `false`
     /// when nothing is due.
@@ -339,13 +359,38 @@ impl ReoptPool {
     }
 
     /// Deterministically executes every wakeup due at or before `t_s`
-    /// (virtual seconds), in due order. Returns the number of hops run.
+    /// (virtual seconds), in due order — WAIT/HOP worker wakeups *and*
+    /// re-admission attempts from the fleet's self-healing queue,
+    /// merged into one timeline (re-admission wins due-time ties, so a
+    /// session re-admitted at `t` can be hopped at `t` by a worker
+    /// wakeup later in the same drive). A successful re-admission
+    /// registers a fresh worker at its admission time. Returns the
+    /// number of hops run (re-admission attempts are not hops).
     pub fn tick_until(&self, fleet: &Fleet, t_s: f64) -> usize {
         let horizon = to_us(t_s);
         let mut scratch = FleetHopScratch::new();
         let mut n = 0;
-        while self.step_one(fleet, horizon, &mut scratch) {
-            n += 1;
+        loop {
+            let worker = self.peek_due_valid().filter(|&d| d <= horizon);
+            let readmit = fleet.next_readmit_due().filter(|&d| d <= horizon);
+            match (worker, readmit) {
+                (None, None) => break,
+                (Some(_), None) => {
+                    if self.step_one(fleet, horizon, &mut scratch) {
+                        n += 1;
+                    }
+                }
+                (Some(w), Some(r)) if w < r => {
+                    if self.step_one(fleet, horizon, &mut scratch) {
+                        n += 1;
+                    }
+                }
+                (_, Some(r)) => {
+                    if let Some(s) = fleet.readmit_attempt_one(r) {
+                        self.register(fleet, s, r as f64 / 1e6);
+                    }
+                }
+            }
         }
         n
     }

@@ -28,32 +28,60 @@
 //! the crash this module exists to survive, so the drop path must not
 //! quietly upgrade durability. Call [`JournalWriter::commit`] at
 //! shutdown.
+//!
+//! ## Storage faults and degraded mode
+//!
+//! The writer performs all file I/O through a [`FaultFile`] handed out
+//! by a [`Vfs`] (the real filesystem by default), so storage faults can
+//! be injected deterministically. When a commit hits a fault the writer
+//! does **not** panic and does **not** lose accepted appends while the
+//! process lives:
+//!
+//! * a failed `fsync` is retried with capped exponential backoff
+//!   ([`RetryPolicy`]); if the budget runs out the writer enters
+//!   [`Durability::Degraded`];
+//! * a failed or torn *write* degrades immediately (retrying an append
+//!   after a partial write would bury valid frames behind garbage) and
+//!   remembers the last known-good byte offset;
+//! * in degraded mode the policy behaves as [`FsyncPolicy::Manual`]
+//!   with commits disabled — appends keep buffering in memory and the
+//!   caller is expected to surface the state (telemetry, watchdog) and
+//!   eventually [`try_heal`](JournalWriter::try_heal): truncate any
+//!   torn tail back to the known-good offset, rewrite the buffer, and
+//!   re-sync. A process crash while degraded loses exactly the
+//!   buffered tail — the same contract as uncommitted appends.
 
 use crate::codec::{decode_exact, CodecError, Decode, Encode};
 use crate::crc::crc32;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use crate::vfs::{FaultFile, RealVfs, Vfs};
+use std::fs::File;
+use std::io::{self, Read};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 use vc_obs::{ObsPlane, Site};
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"VCWJ";
-/// Journal format version. v4: admission-parity records — `Admit`
-/// carries the chosen placement's search tier and repair effort and
-/// `Reject` its typed refusal reason (admission is search-dependent
-/// since the shared engine landed, so replay installs rather than
-/// re-derives, and the per-tier/per-reason counters must recover
-/// exactly), plus `Timers` records carrying the worker pool's
-/// reconstructible WAIT-countdown state; the snapshot format grows the
-/// matching counter and timer fields. v3: open-world records —
-/// `RegisterSession` definitions grow the universe mid-journal, and
-/// the snapshot carries the registered definitions. v2: `FailAgent`
-/// replay re-derives the evacuation with the sparse residual-based
-/// feasibility rule (PR 3's sharded fleet); v1 stores replayed it
-/// through the dense whole-state check.
-pub const JOURNAL_VERSION: u16 = 4;
+/// Journal format version. v5: chaos-plane records — `ReadmitEnqueue`/
+/// `ReadmitDrop` carry the self-healing re-admission queue (sessions
+/// displaced by forced evacuations or refused under pressure, with
+/// their decorrelated-jitter backoff state), so a mid-storm
+/// crash/recover reconstructs queue and backoff bitwise; the snapshot
+/// grows the matching queue, epoch, and displacement-counter fields.
+/// v4: admission-parity records — `Admit` carries the chosen
+/// placement's search tier and repair effort and `Reject` its typed
+/// refusal reason (admission is search-dependent since the shared
+/// engine landed, so replay installs rather than re-derives, and the
+/// per-tier/per-reason counters must recover exactly), plus `Timers`
+/// records carrying the worker pool's reconstructible WAIT-countdown
+/// state. v3: open-world records — `RegisterSession` definitions grow
+/// the universe mid-journal, and the snapshot carries the registered
+/// definitions. v2: `FailAgent` replay re-derives the evacuation with
+/// the sparse residual-based feasibility rule (PR 3's sharded fleet);
+/// v1 stores replayed it through the dense whole-state check.
+pub const JOURNAL_VERSION: u16 = 5;
 /// The journal versions this build can replay. Decode is gated on this
 /// explicit set — a version outside it fails up front with an error
 /// naming both sides, instead of misreading bytes under the wrong
@@ -77,6 +105,54 @@ pub enum FsyncPolicy {
     /// Only on explicit [`commit`](JournalWriter::commit) — the caller
     /// owns the durability boundary (e.g. once per telemetry period).
     Manual,
+}
+
+/// How a failed `fsync` is retried before the writer degrades.
+///
+/// The delays are deliberately small: a stalled disk is not going to
+/// be argued with, and the whole point of degraded mode is to get off
+/// the blocking path and surface the condition instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total sync attempts per commit (≥ 1; the first try included).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A zero-sleep retry policy for tests (same attempt count,
+    /// no backoff delay).
+    pub fn immediate(attempts: u32) -> Self {
+        Self {
+            attempts: attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The writer's current durability mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Appends are made durable per the [`FsyncPolicy`].
+    Synchronous,
+    /// A storage fault exhausted the retry budget: appends buffer in
+    /// memory only (an enforced [`FsyncPolicy::Manual`] with commits
+    /// parked) until [`JournalWriter::try_heal`] succeeds.
+    Degraded,
 }
 
 /// Why reading a journal failed outright (torn tails are *not* errors;
@@ -142,7 +218,7 @@ pub struct TailStatus {
 /// fleet-specific event enum lives with the fleet, not here.
 #[derive(Debug)]
 pub struct JournalWriter<T: Encode> {
-    file: File,
+    file: Box<dyn FaultFile>,
     path: PathBuf,
     /// Frames encoded but not yet written to the file.
     buf: Vec<u8>,
@@ -150,6 +226,17 @@ pub struct JournalWriter<T: Encode> {
     pending: usize,
     next_seq: u64,
     policy: FsyncPolicy,
+    retry: RetryPolicy,
+    /// Bytes known to be fully written (header included). After a torn
+    /// write the real file length is somewhere past this; healing
+    /// truncates back to it.
+    written_len: u64,
+    durability: Durability,
+    /// A write fault left an unknown tail past `written_len`; healing
+    /// must truncate before rewriting.
+    torn: bool,
+    /// Cumulative fsync attempts that failed (retried or degraded).
+    sync_retries: u64,
     /// Optional observability plane: when attached, `append` records a
     /// [`Site::JournalAppend`] span (encode + buffering + any
     /// policy-triggered commit) and `commit` a [`Site::JournalFsync`]
@@ -171,12 +258,25 @@ impl<T: Encode> JournalWriter<T> {
         policy: FsyncPolicy,
         first_seq: u64,
     ) -> io::Result<Self> {
+        Self::create_with(path, policy, first_seq, &RealVfs, RetryPolicy::default())
+    }
+
+    /// [`create`](Self::create) through an explicit [`Vfs`] and fsync
+    /// [`RetryPolicy`] — the fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error. Creation does not degrade: a journal that
+    /// cannot even write its header durably does not exist.
+    pub fn create_with(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        first_seq: u64,
+        vfs: &dyn Vfs,
+        retry: RetryPolicy,
+    ) -> io::Result<Self> {
         let path = path.into();
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
+        let mut file = vfs.create(&path)?;
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(&JOURNAL_MAGIC);
         header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
@@ -190,6 +290,11 @@ impl<T: Encode> JournalWriter<T> {
             pending: 0,
             next_seq: first_seq,
             policy,
+            retry,
+            written_len: HEADER_LEN as u64,
+            durability: Durability::Synchronous,
+            torn: false,
+            sync_retries: 0,
             obs: None,
             _record: PhantomData,
         })
@@ -205,9 +310,14 @@ impl<T: Encode> JournalWriter<T> {
     /// Appends one record, assigning and returning its sequence number.
     /// Durability follows the writer's [`FsyncPolicy`].
     ///
+    /// Storage faults in a policy-triggered commit do **not** surface
+    /// here: the writer retries, then degrades (see
+    /// [`durability`](Self::durability)) — the append itself is always
+    /// accepted and buffered.
+    ///
     /// # Errors
     ///
-    /// Any filesystem error from a policy-triggered commit.
+    /// None today; the `Result` is kept so callers stay fault-aware.
     pub fn append(&mut self, record: &T) -> io::Result<u64> {
         let t0 = self.obs.as_ref().and_then(|o| o.timer());
         let seq = self.next_seq;
@@ -233,29 +343,128 @@ impl<T: Encode> JournalWriter<T> {
     }
 
     /// Writes all buffered frames and `fsync`s: every append so far is
-    /// durable when this returns.
+    /// durable when this returns with the writer still
+    /// [`Durability::Synchronous`].
+    ///
+    /// A failed `fsync` is retried under the [`RetryPolicy`]; when the
+    /// budget runs out — or a write faults — the writer flips to
+    /// [`Durability::Degraded`] and returns `Ok(())`: the caller's data
+    /// is buffered, not lost, and the degraded state is the signal
+    /// (panicking here would turn an injectable disk fault into a
+    /// control-plane outage). While degraded, `commit` is a no-op until
+    /// [`try_heal`](Self::try_heal) succeeds.
     ///
     /// # Errors
     ///
-    /// Any filesystem error.
+    /// None today; the `Result` is kept so callers stay fault-aware.
     pub fn commit(&mut self) -> io::Result<()> {
+        if self.durability == Durability::Degraded {
+            return Ok(());
+        }
         let t0 = if self.pending > 0 {
             self.obs.as_ref().and_then(|o| o.timer())
         } else {
             None
         };
         if !self.buf.is_empty() {
-            self.file.write_all(&self.buf)?;
+            if self.file.write_all(&self.buf).is_err() {
+                // The file tail is now unknown (possibly a torn frame);
+                // keep the buffer for healing and stop writing.
+                self.torn = true;
+                self.durability = Durability::Degraded;
+                return Ok(());
+            }
+            self.written_len += self.buf.len() as u64;
             self.buf.clear();
         }
         if self.pending > 0 {
-            self.file.sync_data()?;
+            if !self.sync_with_retry() {
+                self.durability = Durability::Degraded;
+                return Ok(());
+            }
             self.pending = 0;
         }
         if let (Some(obs), Some(t0)) = (&self.obs, t0) {
             obs.record_since(Site::JournalFsync, Some(t0));
         }
         Ok(())
+    }
+
+    /// `sync_data` under the retry policy: capped exponential backoff
+    /// between attempts, `true` on success.
+    fn sync_with_retry(&mut self) -> bool {
+        let mut delay = self.retry.base_delay;
+        for attempt in 1..=self.retry.attempts.max(1) {
+            if self.file.sync_data().is_ok() {
+                return true;
+            }
+            self.sync_retries += 1;
+            if attempt < self.retry.attempts.max(1) {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                delay = (delay * 2).min(self.retry.max_delay);
+            }
+        }
+        false
+    }
+
+    /// One attempt to leave degraded mode: truncate any torn tail back
+    /// to the last fully-written frame boundary, rewrite the buffered
+    /// frames, and `fsync` (one shot — the caller owns the retry
+    /// cadence here). Returns `true` when the writer is synchronous
+    /// again, with every accepted append durable.
+    ///
+    /// No-op `true` when the writer was never degraded.
+    pub fn try_heal(&mut self) -> bool {
+        if self.durability == Durability::Synchronous {
+            return true;
+        }
+        if self.torn {
+            if self.file.truncate(self.written_len).is_err() {
+                return false;
+            }
+            self.torn = false;
+        }
+        if !self.buf.is_empty() {
+            if self.file.write_all(&self.buf).is_err() {
+                self.torn = true;
+                return false;
+            }
+            self.written_len += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        if self.pending > 0 {
+            if self.file.sync_data().is_err() {
+                self.sync_retries += 1;
+                return false;
+            }
+            self.pending = 0;
+        }
+        self.durability = Durability::Synchronous;
+        true
+    }
+
+    /// The writer's current durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// `true` when a storage fault has parked commits (see
+    /// [`Durability::Degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.durability == Durability::Degraded
+    }
+
+    /// Cumulative failed `fsync` attempts (retried or degraded).
+    pub fn sync_retries(&self) -> u64 {
+        self.sync_retries
+    }
+
+    /// Bytes of appended frames currently buffered in memory (what a
+    /// crash right now would lose).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
     }
 
     /// The sequence number the next append will receive.

@@ -14,6 +14,14 @@
 //!   state written atomically (temp file + rename), superseding the
 //!   journal prefix so the log can be **compacted**.
 //!
+//! Both writers perform file I/O through an injectable storage layer
+//! ([`vfs`]): the real filesystem by default, or a fault plane
+//! (`vc-chaos`) that injects fsync errors, torn writes, and `ENOSPC`
+//! at exact byte offsets. On a storage fault the journal retries with
+//! capped backoff, then **degrades** instead of panicking — appends
+//! keep buffering in memory and the condition surfaces through
+//! telemetry until healed (see [`journal::Durability`]).
+//!
 //! Recovery loads the latest valid snapshot, replays the journal tail
 //! (tolerating a torn final record — the expected artifact of a crash
 //! mid-append), and hands the reconstructed state back for re-audit.
@@ -38,14 +46,17 @@ pub mod codec;
 pub mod crc;
 pub mod journal;
 pub mod snapshot;
+pub mod vfs;
 
 pub use codec::{decode_exact, encode_to_vec, CodecError, Decode, Encode, Reader};
 pub use crc::crc32;
 pub use journal::{
-    read_journal, FsyncPolicy, JournalError, JournalWriter, TailStatus, JOURNAL_MAGIC,
-    JOURNAL_VERSION, SUPPORTED_JOURNAL_VERSIONS,
+    read_journal, Durability, FsyncPolicy, JournalError, JournalWriter, RetryPolicy, TailStatus,
+    JOURNAL_MAGIC, JOURNAL_VERSION, SUPPORTED_JOURNAL_VERSIONS,
 };
 pub use snapshot::{
     compact, journal_files, journal_path, latest_snapshot, load_snapshot, snapshot_path,
-    write_snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SUPPORTED_SNAPSHOT_VERSIONS,
+    write_snapshot, write_snapshot_with, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    SUPPORTED_SNAPSHOT_VERSIONS,
 };
+pub use vfs::{real_vfs, FaultFile, RealVfs, Vfs};

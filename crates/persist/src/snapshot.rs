@@ -31,18 +31,20 @@
 
 use crate::codec::{decode_exact, encode_to_vec, CodecError, Decode, Encode};
 use crate::crc::crc32;
+use crate::vfs::{RealVfs, Vfs};
 use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"VCSN";
-/// Snapshot format version (kept in lock-step with the journal: a v4
-/// snapshot's tail journal replays under v4 semantics). v4 snapshots
-/// carry the admission tier/refusal counters and the worker pool's
-/// WAIT-timer state; v3 added the online-registered session
-/// definitions, which v2 lacked.
-pub const SNAPSHOT_VERSION: u16 = 4;
+/// Snapshot format version (kept in lock-step with the journal: a v5
+/// snapshot's tail journal replays under v5 semantics). v5 snapshots
+/// carry the re-admission queue (entries, per-session backoff epochs)
+/// and the displacement/readmission counters; v4 added the admission
+/// tier/refusal counters and the worker pool's WAIT-timer state; v3
+/// added the online-registered session definitions, which v2 lacked.
+pub const SNAPSHOT_VERSION: u16 = 5;
 /// The snapshot versions this build can load; decode is gated on this
 /// explicit set (see the journal's twin constant).
 pub const SUPPORTED_SNAPSHOT_VERSIONS: &[u16] = &[SNAPSHOT_VERSION];
@@ -127,6 +129,25 @@ fn fsync_dir(dir: &Path) -> io::Result<()> {
 ///
 /// Any filesystem error.
 pub fn write_snapshot<S: Encode>(dir: &Path, seq: u64, state: &S) -> io::Result<PathBuf> {
+    write_snapshot_with(dir, seq, state, &RealVfs)
+}
+
+/// [`write_snapshot`] through an explicit [`Vfs`] so storage faults
+/// (failed sync, torn write, refused rename) can be injected into the
+/// snapshot path. A faulted write fails cleanly here — at worst a stale
+/// `.tmp` is left behind, never a half-visible snapshot — and the
+/// caller decides whether that degrades anything (the journal is the
+/// durability path; snapshots only bound replay length).
+///
+/// # Errors
+///
+/// Any filesystem error.
+pub fn write_snapshot_with<S: Encode>(
+    dir: &Path,
+    seq: u64,
+    state: &S,
+    vfs: &dyn Vfs,
+) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let payload = encode_to_vec(&(seq, StateRef(state)));
     let mut bytes = Vec::with_capacity(16 + payload.len());
@@ -142,11 +163,11 @@ pub fn write_snapshot<S: Encode>(dir: &Path, seq: u64, state: &S) -> io::Result<
     bytes.extend_from_slice(&payload);
     let tmp = dir.join(format!("{SNAPSHOT_PREFIX}{seq:020}.tmp"));
     let path = snapshot_path(dir, seq);
-    let mut file = File::create(&tmp)?;
+    let mut file = vfs.create(&tmp)?;
     file.write_all(&bytes)?;
     file.sync_all()?;
     drop(file);
-    fs::rename(&tmp, &path)?;
+    vfs.rename(&tmp, &path)?;
     fsync_dir(dir)?;
     Ok(path)
 }

@@ -181,7 +181,7 @@ fn timer_entry_strategy() -> impl Strategy<Value = vc_orchestrator::TimerEntry> 
 
 fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
     (
-        0u8..10,
+        0u8..12,
         0u32..64,
         0u32..8,
         placement_strategy(),
@@ -234,7 +234,14 @@ fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
                         count: repair_steps + 1,
                     },
                     8 => FleetOp::Timers { entries: timers },
-                    _ => FleetOp::RegisterSession { session, def },
+                    9 => FleetOp::RegisterSession { session, def },
+                    10 => FleetOp::ReadmitEnqueue {
+                        session,
+                        epoch: u64::from(a) + 1,
+                        attempt: tier.into(),
+                        due_us: repair_steps * 500_000,
+                    },
+                    _ => FleetOp::ReadmitDrop { session },
                 }
             },
         )
@@ -272,6 +279,10 @@ fn fleet_snapshot_strategy() -> impl Strategy<Value = FleetSnapshot> {
             refused_task_fit: c.1 / 3,
             refused_global: c.1 - c.1 / 2 - c.1 / 3,
             conservation_violations: d.1,
+            overshoot_fraction: d.0 / 2.0,
+            displaced: c.3 / 2,
+            readmit_queued: c.3 / 4,
+            durability_degraded: d.1 % 2 == 1,
         })
 }
 
