@@ -222,7 +222,11 @@ fn fresh_json(id: &str, opts: &Options) -> String {
             } else {
                 2_000
             };
-            hop_bench::to_json(&hop_bench::run(&[1_000, 10_000], wall_ms, opts.seed))
+            hop_bench::to_json(&hop_bench::run(
+                &[1_000, 10_000, 100_000],
+                wall_ms,
+                opts.seed,
+            ))
         }
         "admission_parity" => {
             let sizes: Vec<usize> = if opts.scenarios_set {
@@ -489,7 +493,11 @@ fn main() {
                 } else {
                     2_000
                 };
-                hop_bench::print(&hop_bench::run(&[1_000, 10_000], wall_ms, opts.seed));
+                hop_bench::print(&hop_bench::run(
+                    &[1_000, 10_000, 100_000],
+                    wall_ms,
+                    opts.seed,
+                ));
             }
             "obs_overhead" => {
                 let (sessions, horizon, rounds) = obs_overhead_params(&opts);

@@ -1,7 +1,8 @@
 //! Hop-throughput experiment (extension): establishes the perf
 //! trajectory of the Alg. 1 HOP hot path and emits `BENCH_hop.json`.
 //!
-//! Three measurements per fleet size (1k / 10k sessions by default):
+//! Three measurements per fleet size (1k / 10k / 100k sessions by
+//! default):
 //!
 //! * **legacy** — the seed's candidate path, reproduced faithfully:
 //!   every candidate clones the entire global `Assignment`, evaluates
@@ -14,6 +15,17 @@
 //!   [`ReoptPool::run_wall`] racing 1 vs 4 OS threads, hops committing
 //!   through the ledger's checked `try_swap`, followed by a
 //!   conservation audit.
+//!
+//! The concurrent section also profiles the sharded timer-wheel
+//! scheduler itself: batched registration throughput (`register_per_s`
+//! — the top-level aggregate is the gated signal, per-row samples are
+//! informational), per-run shard-lock acquire/conflict counters, the
+//! `sched_lock_wait` p99 under 4-thread contention, and how many stale
+//! (lazily cancelled) entries cascades reclaimed. The 100k-session row
+//! exists specifically to exercise wakeup dispatch at a depth where
+//! the old global-heap scheduler serialized; the seed's legacy hop
+//! path is skipped there (`legacy_*` read 0) because clone-per-candidate
+//! hops at that scale would dominate CI for no extra signal.
 //!
 //! Allocations are counted by the `experiments` binary's counting
 //! global allocator, surfaced through [`vc_obs::allocs_now`] (the
@@ -55,8 +67,9 @@ pub struct HopBenchRow {
     /// Agents in the universe.
     pub agents: usize,
     /// Seed-path (clone-per-candidate) single-thread hop throughput.
+    /// 0 when the legacy loop was skipped (sessions ≥ 50k).
     pub legacy_hops_per_s: f64,
-    /// Heap allocations per legacy hop.
+    /// Heap allocations per legacy hop (0 when skipped).
     pub legacy_allocs_per_hop: f64,
     /// Scratch-path single-thread hop throughput.
     pub scratch_hops_per_s: f64,
@@ -66,7 +79,7 @@ pub struct HopBenchRow {
     pub scratch_p50_ns: u64,
     /// 99th-percentile scratch-hop latency (ns).
     pub scratch_p99_ns: u64,
-    /// `scratch_hops_per_s / legacy_hops_per_s`.
+    /// `scratch_hops_per_s / legacy_hops_per_s` (0 when legacy skipped).
     pub speedup: f64,
     /// Fleet hop throughput, 1 worker thread (sharded FREEZE).
     pub wall_1t_hops_per_s: f64,
@@ -79,6 +92,23 @@ pub struct HopBenchRow {
     pub wall_hop_p50_us: f64,
     /// 99th-percentile fleet-hop latency (µs), 1-thread run.
     pub wall_hop_p99_us: f64,
+    /// Timer-wheel shards in the wakeup scheduler.
+    pub sched_shards: usize,
+    /// Batched registration throughput (sessions/s, 1-thread fleet).
+    /// Per-row sample; the top-level aggregate is the gated signal.
+    pub register_per_s: f64,
+    /// Scheduler shard-lock acquisitions during the 4-thread run.
+    pub sched_lock_acquires: u64,
+    /// Scheduler shard-lock conflicts (try-lock misses) during the
+    /// 4-thread run — with the old global heap every cross-thread
+    /// acquire conflicted; sharding should keep this near 0.
+    pub sched_lock_conflicts: u64,
+    /// 99th-percentile wait to acquire a contended scheduler shard
+    /// lock (µs), 4-thread run. 0 when no acquire ever conflicted.
+    pub sched_lock_wait_p99_us: f64,
+    /// Stale (lazily cancelled) entries reclaimed by wheel cascades
+    /// and slot prunes during the 4-thread run.
+    pub sched_stale_reclaimed: u64,
     /// Conservation-audit discrepancies after the concurrent runs
     /// (must be 0).
     pub conservation_violations: usize,
@@ -89,6 +119,11 @@ pub struct HopBenchRow {
 pub struct HopBenchResult {
     /// One row per fleet size.
     pub rows: Vec<HopBenchRow>,
+    /// Aggregate batched-registration throughput (sessions/s) across
+    /// all rows' 1-thread fleets — integrates the most wall-clock at
+    /// the largest sizes, so it is the regression-gated signal (the
+    /// same-named per-row samples are superseded by it).
+    pub register_per_s: f64,
 }
 
 fn build_problem(sessions: usize, seed: u64) -> Arc<UapProblem> {
@@ -203,13 +238,16 @@ fn legacy_hop<R: Rng>(state: &mut SystemState, s: SessionId, beta: f64, rng: &mu
     feasible
 }
 
+/// One size's row plus the 1-thread fleet's batched-registration
+/// measurement `(registered sessions, elapsed seconds)` — raw inputs
+/// for the top-level aggregate rate.
 fn run_size(
     sessions_target: usize,
     legacy_hops: usize,
     scratch_hops: usize,
     wall_ms: u64,
     seed: u64,
-) -> HopBenchRow {
+) -> (HopBenchRow, usize, f64) {
     let problem = build_problem(sessions_target, seed);
     let num_sessions = problem.instance().num_sessions();
     let beta = 400.0;
@@ -219,16 +257,23 @@ fn run_size(
     let mut state = SystemState::new(problem.clone(), asg);
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Legacy (seed) path.
-    let a0 = alloc_count();
-    let t0 = Instant::now();
-    for i in 0..legacy_hops {
-        let s = SessionId::from(i % num_sessions);
-        legacy_hop(&mut state, s, beta, &mut rng);
-    }
-    let legacy_elapsed = t0.elapsed().as_secs_f64();
-    let legacy_allocs = (alloc_count() - a0) as f64 / legacy_hops as f64;
-    let legacy_rate = legacy_hops as f64 / legacy_elapsed;
+    // Legacy (seed) path. Skipped (`legacy_hops == 0`) at sizes where
+    // clone-per-candidate hops would dominate the whole benchmark run.
+    let (legacy_rate, legacy_allocs) = if legacy_hops == 0 {
+        (0.0, 0.0)
+    } else {
+        let a0 = alloc_count();
+        let t0 = Instant::now();
+        for i in 0..legacy_hops {
+            let s = SessionId::from(i % num_sessions);
+            legacy_hop(&mut state, s, beta, &mut rng);
+        }
+        let legacy_elapsed = t0.elapsed().as_secs_f64();
+        (
+            legacy_hops as f64 / legacy_elapsed,
+            (alloc_count() - a0) as f64 / legacy_hops as f64,
+        )
+    };
 
     // Scratch path (same state shape, fresh bootstrap for fairness).
     let asg = vc_algo::nearest::nearest_assignment(&problem);
@@ -268,6 +313,13 @@ fn run_size(
     let mut wall_rates = [0.0f64; 2];
     let mut violations = 0usize;
     let mut wall_summary = vc_obs::HistSummary::default();
+    let mut sched_shards = 0usize;
+    let mut reg_sessions = 0usize;
+    let mut reg_elapsed_s = 0.0f64;
+    let mut lock_acquires = 0u64;
+    let mut lock_conflicts = 0u64;
+    let mut lock_wait_p99_us = 0.0f64;
+    let mut stale_reclaimed = 0u64;
     for (slot, threads) in [(0usize, 1usize), (1, 4)] {
         let fleet = Fleet::new(
             problem.clone(),
@@ -282,27 +334,45 @@ fn run_size(
             },
         );
         let pool = ReoptPool::new(seed);
-        let mut admitted = 0usize;
-        for i in 0..num_sessions {
-            if fleet.admit(SessionId::from(i)).is_ok() {
-                pool.register(&fleet, SessionId::from(i), 0.0);
-                admitted += 1;
-            }
-        }
+        let admitted: Vec<SessionId> = (0..num_sessions)
+            .map(SessionId::from)
+            .filter(|&s| fleet.admit(s).is_ok())
+            .collect();
         assert!(
-            admitted * 10 >= num_sessions * 9,
-            "capacities too tight: only {admitted}/{num_sessions} admitted"
+            admitted.len() * 10 >= num_sessions * 9,
+            "capacities too tight: only {}/{num_sessions} admitted",
+            admitted.len()
         );
+        // Batched registration: sessions grouped by shard, one lock
+        // acquisition per shard — this is what lets 100k-session setup
+        // fit a CI budget.
+        let t_reg = Instant::now();
+        pool.register_batch(&fleet, &admitted, 0.0);
+        let reg_s = t_reg.elapsed().as_secs_f64();
         let budget = Duration::from_millis(wall_ms);
         let executed = pool.run_wall(&fleet, budget, threads);
         wall_rates[slot] = executed as f64 / budget.as_secs_f64();
         violations += fleet.audit().len();
         if threads == 1 {
             wall_summary = fleet.obs().summary(Site::Hop);
+            sched_shards = pool.num_shards();
+            reg_sessions = admitted.len();
+            reg_elapsed_s = reg_s;
+        } else {
+            // Contention profile where contention is possible: the
+            // 4-thread run races workers over the shard locks.
+            let (acq, conf) = pool
+                .shard_lock_counters()
+                .iter()
+                .fold((0u64, 0u64), |(a, c), &(x, y)| (a + x, c + y));
+            lock_acquires = acq;
+            lock_conflicts = conf;
+            lock_wait_p99_us = fleet.obs().summary(Site::SchedLock).p99_ns as f64 / 1e3;
+            stale_reclaimed = pool.stale_reclaimed();
         }
     }
 
-    HopBenchRow {
+    let row = HopBenchRow {
         sessions: num_sessions,
         users: problem.instance().num_users(),
         agents: problem.instance().num_agents(),
@@ -312,14 +382,25 @@ fn run_size(
         scratch_allocs_per_hop: scratch_allocs,
         scratch_p50_ns: scratch_summary.p50_ns,
         scratch_p99_ns: scratch_summary.p99_ns,
-        speedup: scratch_rate / legacy_rate,
+        speedup: if legacy_rate > 0.0 {
+            scratch_rate / legacy_rate
+        } else {
+            0.0
+        },
         wall_1t_hops_per_s: wall_rates[0],
         wall_4t_hops_per_s: wall_rates[1],
         scaling_4t: wall_rates[1] / wall_rates[0].max(1e-9),
         wall_hop_p50_us: wall_summary.p50_ns as f64 / 1e3,
         wall_hop_p99_us: wall_summary.p99_ns as f64 / 1e3,
+        sched_shards,
+        register_per_s: reg_sessions as f64 / reg_elapsed_s.max(1e-9),
+        sched_lock_acquires: lock_acquires,
+        sched_lock_conflicts: lock_conflicts,
+        sched_lock_wait_p99_us: lock_wait_p99_us,
+        sched_stale_reclaimed: stale_reclaimed,
         conservation_violations: violations,
-    }
+    };
+    (row, reg_sessions, reg_elapsed_s)
 }
 
 /// Runs the hop benchmark across fleet sizes. Allocation counts come
@@ -327,17 +408,29 @@ fn run_size(
 /// (the `experiments` binary installs one; without it every
 /// allocs-per-hop figure reads 0).
 pub fn run(sizes: &[usize], wall_ms: u64, seed: u64) -> HopBenchResult {
+    let mut rows = Vec::with_capacity(sizes.len());
+    let mut reg_total_sessions = 0usize;
+    let mut reg_total_s = 0.0f64;
+    for &target in sizes {
+        // Bound the slow legacy loop (skip it outright at 50k+, where
+        // clone-per-candidate hops would dominate CI); keep the scratch
+        // loop long enough for a stable rate.
+        let legacy_hops = if target >= 50_000 {
+            0
+        } else if target >= 5_000 {
+            100
+        } else {
+            300
+        };
+        let scratch_hops = 20_000;
+        let (row, reg_sessions, reg_s) = run_size(target, legacy_hops, scratch_hops, wall_ms, seed);
+        reg_total_sessions += reg_sessions;
+        reg_total_s += reg_s;
+        rows.push(row);
+    }
     HopBenchResult {
-        rows: sizes
-            .iter()
-            .map(|&target| {
-                // Bound the slow legacy loop; keep the scratch loop long
-                // enough for a stable rate.
-                let legacy_hops = if target >= 5_000 { 100 } else { 300 };
-                let scratch_hops = 20_000;
-                run_size(target, legacy_hops, scratch_hops, wall_ms, seed)
-            })
-            .collect(),
+        rows,
+        register_per_s: reg_total_sessions as f64 / reg_total_s.max(1e-9),
     }
 }
 
@@ -347,8 +440,14 @@ pub fn to_json(result: &HopBenchResult) -> String {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut out =
-        format!("{{\n  \"experiment\": \"hop_bench\",\n  \"cpus\": {cpus},\n  \"rows\": [\n");
+    let mut out = format!(
+        concat!(
+            "{{\n  \"experiment\": \"hop_bench\",\n  \"cpus\": {cpus},\n",
+            "  \"register_per_s\": {rps:.1},\n  \"rows\": [\n"
+        ),
+        cpus = cpus,
+        rps = result.register_per_s,
+    );
     for (i, r) in result.rows.iter().enumerate() {
         out.push_str(&format!(
             concat!(
@@ -360,6 +459,9 @@ pub fn to_json(result: &HopBenchResult) -> String {
                 "\"wall_1t_hops_per_s\": {:.1}, \"wall_4t_hops_per_s\": {:.1}, ",
                 "\"scaling_4t\": {:.2}, ",
                 "\"wall_hop_p50_us\": {:.1}, \"wall_hop_p99_us\": {:.1}, ",
+                "\"sched_shards\": {}, \"register_per_s\": {:.1}, ",
+                "\"sched_lock_acquires\": {}, \"sched_lock_conflicts\": {}, ",
+                "\"sched_lock_wait_p99_us\": {:.1}, \"sched_stale_reclaimed\": {}, ",
                 "\"conservation_violations\": {}}}{}\n"
             ),
             r.sessions,
@@ -377,6 +479,12 @@ pub fn to_json(result: &HopBenchResult) -> String {
             r.scaling_4t,
             r.wall_hop_p50_us,
             r.wall_hop_p99_us,
+            r.sched_shards,
+            r.register_per_s,
+            r.sched_lock_acquires,
+            r.sched_lock_conflicts,
+            r.sched_lock_wait_p99_us,
+            r.sched_stale_reclaimed,
             r.conservation_violations,
             if i + 1 == result.rows.len() { "" } else { "," },
         ));
@@ -441,6 +549,26 @@ pub fn print(result: &HopBenchResult) {
             r.conservation_violations,
         );
     }
+    println!(
+        "\nWakeup scheduler (sharded timer wheel) — aggregate batched registration {:.0} sessions/s",
+        result.register_per_s
+    );
+    println!(
+        "{:>9} {:>7} {:>14} {:>13} {:>12} {:>13} {:>10}",
+        "sessions", "shards", "register/s", "lock acq 4t", "conflicts", "wait p99 µs", "reclaimed"
+    );
+    for r in &result.rows {
+        println!(
+            "{:>9} {:>7} {:>14.0} {:>13} {:>12} {:>13.1} {:>10}",
+            r.sessions,
+            r.sched_shards,
+            r.register_per_s,
+            r.sched_lock_acquires,
+            r.sched_lock_conflicts,
+            r.sched_lock_wait_p99_us,
+            r.sched_stale_reclaimed,
+        );
+    }
     let json = to_json(result);
     match std::fs::write("BENCH_hop.json", &json) {
         Ok(()) => println!("\nwrote BENCH_hop.json"),
@@ -469,9 +597,30 @@ mod tests {
         // The vc-obs percentiles are populated and ordered.
         assert!(r.scratch_p50_ns > 0 && r.scratch_p99_ns >= r.scratch_p50_ns);
         assert!(r.wall_hop_p50_us > 0.0 && r.wall_hop_p99_us >= r.wall_hop_p50_us);
+        // Scheduler profile: shards present, registration timed, and
+        // conflicts bounded by acquisitions.
+        assert!(r.sched_shards > 0);
+        assert!(r.register_per_s > 0.0 && result.register_per_s > 0.0);
+        assert!(r.sched_lock_conflicts <= r.sched_lock_acquires);
         let json = to_json(&result);
         assert!(json.contains("\"hop_bench\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"scratch_p50_ns\"") && json.contains("\"wall_hop_p99_us\""));
+        assert!(json.contains("\"sched_shards\"") && json.contains("\"sched_lock_conflicts\""));
+        assert!(json.contains("\"register_per_s\""));
+    }
+
+    #[test]
+    fn legacy_loop_is_skipped_above_the_size_cutoff() {
+        // Directly exercise the skip path at a tiny size so the test
+        // stays fast: legacy_hops = 0 must zero the legacy columns and
+        // the speedup without disturbing the rest of the row.
+        let (r, reg_sessions, reg_s) = run_size(40, 0, 200, 50, 11);
+        assert_eq!(r.legacy_hops_per_s, 0.0);
+        assert_eq!(r.legacy_allocs_per_hop, 0.0);
+        assert_eq!(r.speedup, 0.0);
+        assert!(r.scratch_hops_per_s > 0.0);
+        assert!(reg_sessions > 0 && reg_s > 0.0);
+        assert_eq!(r.conservation_violations, 0);
     }
 }

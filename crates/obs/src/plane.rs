@@ -53,12 +53,16 @@ pub enum Site {
     JournalAppend,
     /// `vc-persist` journal fsync (`commit`: write + `sync_data`).
     JournalFsync,
+    /// Sharded wakeup-scheduler shard-lock acquisition wait —
+    /// contended path only; the uncontended `try_lock` fast path just
+    /// counts into the scheduler's per-shard acquire counters.
+    SchedLock,
 }
 
 /// Every site, in index order. `Site::ALL.len()` sizes the plane.
 impl Site {
     /// All sites in index order.
-    pub const ALL: [Site; 14] = [
+    pub const ALL: [Site; 15] = [
         Site::AdmitEnumeration,
         Site::AdmitRepair,
         Site::AdmitFallback,
@@ -73,6 +77,7 @@ impl Site {
         Site::FreezeWriteHold,
         Site::JournalAppend,
         Site::JournalFsync,
+        Site::SchedLock,
     ];
 
     /// Stable snake-case name used in JSON exports.
@@ -92,6 +97,7 @@ impl Site {
             Site::FreezeWriteHold => "freeze_write_hold",
             Site::JournalAppend => "journal_append",
             Site::JournalFsync => "journal_fsync",
+            Site::SchedLock => "sched_lock_wait",
         }
     }
 }

@@ -27,6 +27,11 @@
 //!   deterministic virtual clock ([`ReoptPool::tick_until`]) or N OS
 //!   threads ([`ReoptPool::run_wall`]) racing hops concurrently, each
 //!   thread reusing an allocation-free hop scratch;
+//! * [`sched`] — the **sharded timer-wheel scheduler** under the pool:
+//!   sessions map to independent shards, each a hierarchical wheel
+//!   behind its own short-held lock with a cached earliest-due atomic,
+//!   so 100k+ waiting sessions dispatch in deterministic
+//!   `(due_us, session, epoch)` order with no global lock;
 //! * [`telemetry`] — periodic [`FleetSnapshot`]s (objective, per-agent
 //!   utilization, migration counts, admission success rate) and
 //!   [`vc_sim::metrics::TimeSeries`]-compatible series;
@@ -79,6 +84,7 @@ pub mod ledger;
 pub mod orchestrator;
 pub mod persist;
 pub mod readmit;
+pub mod sched;
 pub mod telemetry;
 #[cfg(test)]
 mod tests;
@@ -97,5 +103,6 @@ pub use persist::{
     RefusalReason,
 };
 pub use readmit::{backoff_us, ReadmitConfig, ReadmitEntry};
-pub use telemetry::{fleet_metrics_text, FleetSnapshot, FleetTelemetry};
+pub use sched::{CompleteOutcome, PoppedTimer, ShardedWheel};
+pub use telemetry::{fleet_metrics_text, sched_metrics_text, FleetSnapshot, FleetTelemetry};
 pub use workers::{ReoptPool, TimerEntry};

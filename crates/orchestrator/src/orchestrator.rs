@@ -52,7 +52,7 @@ pub struct FleetReport {
 #[derive(Debug)]
 pub struct Orchestrator {
     fleet: Arc<Fleet>,
-    pool: ReoptPool,
+    pool: Arc<ReoptPool>,
     config: OrchestratorConfig,
 }
 
@@ -61,7 +61,7 @@ impl Orchestrator {
     pub fn new(problem: Arc<UapProblem>, config: OrchestratorConfig) -> Self {
         Self {
             fleet: Arc::new(Fleet::new(problem, config.fleet.clone())),
-            pool: ReoptPool::new(config.seed),
+            pool: Arc::new(ReoptPool::new(config.seed)),
             config,
         }
     }
@@ -71,8 +71,9 @@ impl Orchestrator {
         &self.fleet
     }
 
-    /// The worker pool.
-    pub fn pool(&self) -> &ReoptPool {
+    /// The worker pool (shared with any threads the caller spawns,
+    /// e.g. a `/metrics` closure scraping scheduler gauges).
+    pub fn pool(&self) -> &Arc<ReoptPool> {
         &self.pool
     }
 

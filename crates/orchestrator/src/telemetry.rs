@@ -5,6 +5,7 @@
 //! regeneration) unchanged.
 
 use crate::fleet::Fleet;
+use crate::workers::ReoptPool;
 use std::sync::atomic::Ordering;
 use vc_obs::{Watchdog, WatchdogFire};
 use vc_sim::metrics::TimeSeries;
@@ -54,6 +55,42 @@ pub fn fleet_metrics_text(fleet: &Fleet) -> String {
     out.push_str(&format!(
         "vc_fleet_durability_degraded {}\n",
         u8::from(fleet.durability_degraded())
+    ));
+    out
+}
+
+/// Wakeup-scheduler gauges in Prometheus text exposition format —
+/// append to [`fleet_metrics_text`]'s output in a `/metrics` closure
+/// so the sharded wheel's health (stale backlog, per-shard depth, lock
+/// contention) is scrapeable next to the fleet state.
+pub fn sched_metrics_text(pool: &ReoptPool) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("# TYPE vc_sched_shards gauge\n");
+    out.push_str(&format!("vc_sched_shards {}\n", pool.num_shards()));
+    out.push_str("# TYPE vc_sched_stale_entries gauge\n");
+    out.push_str(&format!(
+        "vc_sched_stale_entries {}\n",
+        pool.stale_entries()
+    ));
+    out.push_str("# TYPE vc_sched_stale_reclaimed counter\n");
+    out.push_str(&format!(
+        "vc_sched_stale_reclaimed {}\n",
+        pool.stale_reclaimed()
+    ));
+    out.push_str("# TYPE vc_sched_depth gauge\n");
+    for (i, depth) in pool.shard_depths().into_iter().enumerate() {
+        out.push_str(&format!("vc_sched_depth{{shard=\"{i}\"}} {depth}\n"));
+    }
+    let counters = pool.shard_lock_counters();
+    out.push_str("# TYPE vc_sched_lock_acquires counter\n");
+    out.push_str(&format!(
+        "vc_sched_lock_acquires {}\n",
+        counters.iter().map(|&(a, _)| a).sum::<u64>()
+    ));
+    out.push_str("# TYPE vc_sched_lock_conflicts counter\n");
+    out.push_str(&format!(
+        "vc_sched_lock_conflicts {}\n",
+        counters.iter().map(|&(_, c)| c).sum::<u64>()
     ));
     out
 }

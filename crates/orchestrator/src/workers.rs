@@ -7,6 +7,19 @@
 //! touch. Logical workers are multiplexed so a fleet of thousands of
 //! sessions doesn't need thousands of threads.
 //!
+//! ## Sharded wakeup scheduling
+//!
+//! Pending wakeups live in a [`ShardedWheel`](crate::sched): sessions
+//! map to independent shards, each a hierarchical timer wheel behind
+//! its own short-held lock, with a cached earliest-due atomic per
+//! shard so dispatch finds the next event by scanning N atomics — not
+//! by filtering one global heap behind one global mutex (the shape
+//! this module had before, and the last shared structure on the hop
+//! path). Dispatch order is unchanged: globally ascending
+//! `(due_us, session, epoch)`; see the `sched` module docs for the
+//! determinism argument and `tests/scheduler_equivalence.rs` for the
+//! proptest against a reference heap.
+//!
 //! ## Reconstructible timers
 //!
 //! Every random draw a worker makes comes from a generator seeded
@@ -28,45 +41,20 @@
 //!   target).
 
 use crate::fleet::{Fleet, FleetHopScratch};
-use parking_lot::Mutex;
+use crate::sched::{CompleteOutcome, ShardedWheel};
 use rand::{rngs::StdRng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use vc_model::SessionId;
 use vc_obs::{Site, TraceKind};
 
+pub use crate::sched::TimerEntry;
+
 /// Virtual due-times are kept in integer microseconds so they order
-/// totally (no NaN) inside the heap.
+/// totally (no NaN) inside the scheduler.
 fn to_us(t_s: f64) -> u64 {
     (t_s.max(0.0) * 1e6) as u64
-}
-
-/// One logical worker's complete scheduling state — everything needed
-/// to resume its WAIT/HOP loop bit-for-bit after a crash.
-///
-/// Inactive entries (departed sessions) are part of the state too:
-/// their epoch must survive recovery, because a later re-admission
-/// draws its randomness from `epoch + 1` — dropping them would make a
-/// departed-then-readmitted session diverge from the uncrashed run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TimerEntry {
-    /// The session the worker re-optimizes.
-    pub session: SessionId,
-    /// Virtual time of the pending wakeup (µs); stale for inactive
-    /// entries (no wakeup is scheduled from it).
-    pub due_us: u64,
-    /// Registration epoch (bumped on every re-registration, so stale
-    /// heap entries of departed-then-readmitted sessions are inert).
-    pub epoch: u64,
-    /// Wakeups executed in this epoch — the index that seeds the next
-    /// wakeup's hop and countdown generators.
-    pub draws: u64,
-    /// Whether the worker is live (scheduled). Inactive entries carry
-    /// only the epoch watermark.
-    pub active: bool,
 }
 
 /// RNG stream selectors: the countdown and the hop of one wakeup use
@@ -86,40 +74,33 @@ fn draw_rng(seed: u64, s: SessionId, epoch: u64, draws: u64, stream: u64) -> Std
     StdRng::seed_from_u64(x)
 }
 
-#[derive(Debug, Clone, Copy)]
-struct WorkerTimer {
-    epoch: u64,
-    draws: u64,
-    due_us: u64,
-    /// False once the session deregisters; the heap entry (if any) is
-    /// discarded lazily on pop.
-    active: bool,
-}
-
-#[derive(Debug, Default)]
-struct Schedule {
-    /// Min-heap of `(due_us, session, epoch)`.
-    due: BinaryHeap<Reverse<(u64, SessionId, u64)>>,
-    /// Per-session timer state. Entries persist across departures so a
-    /// re-registration always bumps the epoch past every stale heap
-    /// entry.
-    timers: HashMap<SessionId, WorkerTimer>,
-}
-
 /// The worker pool. Sessions are registered on admission and silently
-/// dropped from the schedule once they depart (lazy deletion on pop).
+/// dropped from the schedule once they depart (lazy deletion, eagerly
+/// reclaimed on wheel cascade).
 #[derive(Debug)]
 pub struct ReoptPool {
-    schedule: Mutex<Schedule>,
+    wheel: ShardedWheel,
     seed: u64,
     hops_executed: AtomicUsize,
 }
 
 impl ReoptPool {
-    /// An empty pool; `seed` derives every per-wakeup RNG.
+    /// An empty pool with the default shard count; `seed` derives
+    /// every per-wakeup RNG.
     pub fn new(seed: u64) -> Self {
         Self {
-            schedule: Mutex::new(Schedule::default()),
+            wheel: ShardedWheel::new(),
+            seed,
+            hops_executed: AtomicUsize::new(0),
+        }
+    }
+
+    /// An empty pool over `shards` scheduler shards (a contention
+    /// knob only — dispatch order, and therefore every journaled
+    /// record, is independent of it).
+    pub fn with_shards(seed: u64, shards: usize) -> Self {
+        Self {
+            wheel: ShardedWheel::with_shards(shards),
             seed,
             hops_executed: AtomicUsize::new(0),
         }
@@ -128,33 +109,41 @@ impl ReoptPool {
     /// Registers a logical worker for `s`, first wake drawn from the
     /// fleet's countdown distribution after `now_s`.
     pub fn register(&self, fleet: &Fleet, s: SessionId, now_s: f64) {
-        let mut sched = self.schedule.lock();
-        let epoch = sched.timers.get(&s).map_or(0, |t| t.epoch) + 1;
-        let mut rng = draw_rng(self.seed, s, epoch, 0, STREAM_WAIT);
-        let wait = fleet.engine().next_countdown(&mut rng);
-        let due_us = to_us(now_s + wait);
-        sched.timers.insert(
+        let obs = fleet.obs();
+        let (_, due_us) = self.wheel.register_with(
             s,
-            WorkerTimer {
-                epoch,
-                draws: 0,
-                due_us,
-                active: true,
+            |epoch| {
+                let mut rng = draw_rng(self.seed, s, epoch, 0, STREAM_WAIT);
+                to_us(now_s + fleet.engine().next_countdown(&mut rng))
             },
+            Some(obs),
         );
-        sched.due.push(Reverse((due_us, s, epoch)));
-        drop(sched);
-        fleet
-            .obs()
-            .note_trace(TraceKind::WaitScheduled, s.index() as u32, due_us);
+        obs.note_trace(TraceKind::WaitScheduled, s.index() as u32, due_us);
     }
 
-    /// Deactivates the session's worker (departures). The heap entry,
-    /// if any, is discarded lazily when popped.
+    /// Registers a worker for every session in `sessions`, grouping by
+    /// scheduler shard so each shard lock is taken once per batch —
+    /// the setup path for 100k+-session fleets. Produces exactly the
+    /// timers per-session [`register`](Self::register) calls would.
+    pub fn register_batch(&self, fleet: &Fleet, sessions: &[SessionId], now_s: f64) {
+        let obs = fleet.obs();
+        self.wheel.register_batch(
+            sessions,
+            |s, epoch| {
+                let mut rng = draw_rng(self.seed, s, epoch, 0, STREAM_WAIT);
+                to_us(now_s + fleet.engine().next_countdown(&mut rng))
+            },
+            |s, due_us| {
+                obs.note_trace(TraceKind::WaitScheduled, s.index() as u32, due_us);
+            },
+            Some(obs),
+        );
+    }
+
+    /// Deactivates the session's worker (departures). The wheel entry,
+    /// if any, goes stale and is reclaimed on a later cascade.
     pub fn deregister(&self, s: SessionId) {
-        if let Some(t) = self.schedule.lock().timers.get_mut(&s) {
-            t.active = false;
-        }
+        self.wheel.deregister(s);
     }
 
     /// Total HOPs executed (migrated + stayed) since construction.
@@ -162,25 +151,40 @@ impl ReoptPool {
         self.hops_executed.load(Ordering::Relaxed)
     }
 
+    /// The scheduler shard count.
+    pub fn num_shards(&self) -> usize {
+        self.wheel.num_shards()
+    }
+
+    /// Resident scheduler entries whose registrations were superseded
+    /// or deactivated and that await reclamation (the
+    /// `vc_sched_stale_entries` gauge).
+    pub fn stale_entries(&self) -> u64 {
+        self.wheel.stale_entries()
+    }
+
+    /// Stale entries reclaimed so far by cascades and slot prunes.
+    pub fn stale_reclaimed(&self) -> u64 {
+        self.wheel.stale_reclaimed()
+    }
+
+    /// Resident entries per scheduler shard.
+    pub fn shard_depths(&self) -> Vec<u64> {
+        self.wheel.shard_depths()
+    }
+
+    /// Per-shard `(lock acquisitions, contended acquisitions)` — the
+    /// contention-profile evidence the hop bench archives.
+    pub fn shard_lock_counters(&self) -> Vec<(u64, u64)> {
+        self.wheel.shard_lock_counters()
+    }
+
     /// Every worker's scheduling state (inactive epoch watermarks
     /// included), ascending by session — what a durability boundary
     /// journals so recovery can resume the WAIT timers instead of
     /// re-drawing them.
     pub fn timer_state(&self) -> Vec<TimerEntry> {
-        let sched = self.schedule.lock();
-        let mut out: Vec<TimerEntry> = sched
-            .timers
-            .iter()
-            .map(|(&session, t)| TimerEntry {
-                session,
-                due_us: t.due_us,
-                epoch: t.epoch,
-                draws: t.draws,
-                active: t.active,
-            })
-            .collect();
-        out.sort_unstable_by_key(|e| e.session);
-        out
+        self.wheel.timer_state()
     }
 
     /// Reinstalls journaled timer state (crash recovery): each entry
@@ -195,22 +199,7 @@ impl ReoptPool {
     /// seed, then [`ensure_registered`](Self::ensure_registered) for
     /// the opposite gap (sessions admitted after the journaled cut).
     pub fn restore_timers(&self, fleet: &Fleet, entries: &[TimerEntry]) {
-        let mut sched = self.schedule.lock();
-        for e in entries {
-            let active = e.active && fleet.is_live(e.session);
-            sched.timers.insert(
-                e.session,
-                WorkerTimer {
-                    epoch: e.epoch,
-                    draws: e.draws,
-                    due_us: e.due_us,
-                    active,
-                },
-            );
-            if active {
-                sched.due.push(Reverse((e.due_us, e.session, e.epoch)));
-            }
-        }
+        self.wheel.restore(entries, |s| fleet.is_live(s));
     }
 
     /// Registers a fresh worker for every live session of `fleet` that
@@ -223,11 +212,7 @@ impl ReoptPool {
     pub fn ensure_registered(&self, fleet: &Fleet, now_s: f64) -> Vec<SessionId> {
         let mut registered = Vec::new();
         for s in fleet.live_sessions() {
-            let missing = {
-                let sched = self.schedule.lock();
-                !sched.timers.get(&s).is_some_and(|t| t.active)
-            };
-            if missing {
+            if !self.wheel.has_active(s) {
                 self.register(fleet, s, now_s);
                 registered.push(s);
             }
@@ -236,51 +221,22 @@ impl ReoptPool {
     }
 
     /// The earliest pending wakeup `(due_us, session)` among live
-    /// workers, if any (telemetry / test introspection).
+    /// workers, if any (telemetry / test introspection). Amortized
+    /// per-shard peeks guided by the cached earliest-due atomics — the
+    /// old full-heap filter is gone.
     pub fn next_due(&self) -> Option<(u64, SessionId)> {
-        let sched = self.schedule.lock();
-        sched
-            .due
-            .iter()
-            .filter(|Reverse((_, s, epoch))| {
-                sched
-                    .timers
-                    .get(s)
-                    .is_some_and(|t| t.active && t.epoch == *epoch)
-            })
-            .map(|Reverse((due, s, _))| (*due, *s))
-            .min()
-    }
-
-    /// The earliest *valid* pending due time, discarding stale heap
-    /// tops (departed / re-registered sessions) as they surface —
-    /// amortized O(1) per call, unlike [`next_due`](Self::next_due)'s
-    /// full-heap filter, so the virtual-clock drive can consult it
-    /// every iteration.
-    fn peek_due_valid(&self) -> Option<u64> {
-        let mut sched = self.schedule.lock();
-        loop {
-            let Reverse((due, s, epoch)) = *sched.due.peek()?;
-            if sched
-                .timers
-                .get(&s)
-                .is_some_and(|t| t.active && t.epoch == epoch)
-            {
-                return Some(due);
-            }
-            sched.due.pop();
-        }
+        self.wheel.peek(None)
     }
 
     /// Pops the next due worker at or before `horizon_us`, hops it
     /// (reusing the caller's scratch), and reschedules. Returns `false`
     /// when nothing is due.
     fn step_one(&self, fleet: &Fleet, horizon_us: u64, scratch: &mut FleetHopScratch) -> bool {
-        // WAIT-wakeup dispatch span (scheduler pop, including the
-        // schedule-lock wait), sampled 1-in-32 by default so the extra
-        // clock reads stay inside the observability overhead budget
-        // (the dispatch rate is the hop rate — even 1/32 is thousands
-        // of samples/s). The rate is the plane's `wait_sample_every`
+        // WAIT-wakeup dispatch span (scheduler pop, including shard
+        // lock waits), sampled 1-in-32 by default so the extra clock
+        // reads stay inside the observability overhead budget (the
+        // dispatch rate is the hop rate — even 1/32 is thousands of
+        // samples/s). The rate is the plane's `wait_sample_every`
         // config; `WakeupDispatched` trace events piggyback on the
         // same sampled ticks, so tracing adds no clock reads here.
         let obs = fleet.obs();
@@ -291,27 +247,13 @@ impl ReoptPool {
         } else {
             None
         };
-        // Take the worker out under the schedule lock, hop *outside* it
-        // so parallel callers only serialize on their slot's lock and
-        // the ledger shards.
-        let (due_us, s, epoch, draws) = {
-            let mut sched = self.schedule.lock();
-            loop {
-                let Some(&Reverse((due_us, s, epoch))) = sched.due.peek() else {
-                    return false;
-                };
-                if due_us > horizon_us {
-                    return false;
-                }
-                sched.due.pop();
-                // Stale entries (departed sessions, or superseded by a
-                // re-registration) are lazy-discarded here.
-                match sched.timers.get(&s) {
-                    Some(t) if t.active && t.epoch == epoch => break (due_us, s, epoch, t.draws),
-                    _ => continue,
-                }
-            }
+        // Take the worker off the wheel under its shard lock, hop
+        // *outside* it so parallel callers only serialize on their
+        // session slot and the ledger shards.
+        let Some(popped) = self.wheel.pop_due(horizon_us, Some(obs)) else {
+            return false;
         };
+        let (due_us, s, epoch, draws) = (popped.due_us, popped.session, popped.epoch, popped.draws);
         obs.record_since(Site::WaitDispatch, t0);
         if sampled {
             obs.note_trace(TraceKind::WakeupDispatched, s.index() as u32, due_us);
@@ -322,36 +264,18 @@ impl ReoptPool {
         let next_draws = draws + 1;
         let mut wait_rng = draw_rng(self.seed, s, epoch, next_draws, STREAM_WAIT);
         let wait = fleet.engine().next_countdown(&mut wait_rng);
-        let mut sched = self.schedule.lock();
-        // The session may have departed (or been re-registered) while we
-        // hopped; only the current registration's worker is rescheduled.
-        let still_current = sched
-            .timers
-            .get(&s)
-            .is_some_and(|t| t.active && t.epoch == epoch);
-        let mut rescheduled = None;
-        if still_current {
-            let t = sched.timers.get_mut(&s).expect("checked above");
-            if fleet.is_live(s) {
-                let next_due = due_us + to_us(wait);
-                t.draws = next_draws;
-                t.due_us = next_due;
-                sched.due.push(Reverse((next_due, s, epoch)));
-                rescheduled = Some(next_due);
-            } else {
-                // The session died without a deregister (a caller that
-                // departs fleet-side only): retire the worker so the
-                // timer cannot linger active-but-unscheduled, which
-                // would make `ensure_registered` skip a future
-                // re-admission forever.
-                t.active = false;
-            }
-        }
-        drop(sched);
+        // The session may have departed (or been re-registered) while
+        // we hopped; `complete` re-arms only the current registration,
+        // and retires the worker if the session died fleet-side
+        // without a deregister.
+        let next = fleet
+            .is_live(s)
+            .then_some((due_us + to_us(wait), next_draws));
+        let outcome = self.wheel.complete(s, epoch, next, Some(obs));
         // Re-arm events ride the same sampled ticks as the dispatch
         // span, so a sampled wakeup traces as dispatch → next deadline.
         if sampled {
-            if let Some(next_due) = rescheduled {
+            if let CompleteOutcome::Rescheduled(next_due) = outcome {
                 obs.note_trace(TraceKind::WaitScheduled, s.index() as u32, next_due);
             }
         }
@@ -368,10 +292,15 @@ impl ReoptPool {
     /// number of hops run (re-admission attempts are not hops).
     pub fn tick_until(&self, fleet: &Fleet, t_s: f64) -> usize {
         let horizon = to_us(t_s);
+        let obs = fleet.obs();
         let mut scratch = FleetHopScratch::new();
         let mut n = 0;
         loop {
-            let worker = self.peek_due_valid().filter(|&d| d <= horizon);
+            let worker = self
+                .wheel
+                .peek(Some(obs))
+                .map(|(d, _)| d)
+                .filter(|&d| d <= horizon);
             let readmit = fleet.next_readmit_due().filter(|&d| d <= horizon);
             match (worker, readmit) {
                 (None, None) => break,

@@ -39,7 +39,7 @@ use vc_algo::agrank::AgRankConfig;
 use vc_algo::markov::Alg1Config;
 use vc_model::AgentId;
 use vc_obs::{http_get, ObsServer};
-use vc_orchestrator::{fleet_metrics_text, FleetReport, ReoptPool};
+use vc_orchestrator::{fleet_metrics_text, sched_metrics_text, FleetReport, ReoptPool};
 
 const HORIZON_S: f64 = 60.0;
 
@@ -135,11 +135,16 @@ fn comparison_demo(serve: Option<&str>) {
         let server = if reoptimize {
             serve.map(|addr| {
                 let fleet = Arc::clone(orchestrator.fleet());
+                let pool = Arc::clone(orchestrator.pool());
                 let plane = Arc::clone(fleet.obs());
                 let server = ObsServer::bind(
                     addr,
                     plane,
-                    Some(Box::new(move || fleet_metrics_text(&fleet))),
+                    Some(Box::new(move || {
+                        let mut text = fleet_metrics_text(&fleet);
+                        text.push_str(&sched_metrics_text(&pool));
+                        text
+                    })),
                 )
                 .expect("bind scrape endpoint");
                 println!(
@@ -161,6 +166,8 @@ fn comparison_demo(serve: Option<&str>) {
             assert_eq!(status, 200);
             assert!(metrics.contains("vc_obs_ops_recorded"));
             assert!(metrics.contains("vc_fleet_live_sessions"));
+            assert!(metrics.contains("vc_sched_stale_entries"));
+            assert!(metrics.contains("vc_sched_depth{shard=\"0\"}"));
             let (status, trace_json) = http_get(addr, "/trace").expect("GET /trace");
             assert_eq!(status, 200);
             assert!(trace_json.contains("\"traceEvents\""));
