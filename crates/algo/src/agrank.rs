@@ -41,6 +41,14 @@ pub struct AgRankConfig {
 
 impl AgRankConfig {
     /// The paper's configuration with the given `n_ngbr`.
+    ///
+    /// **Footgun under elastic capacity**: a fixed `n_ngbr` smaller than
+    /// the live agent count silently hides every farther agent from the
+    /// candidate set — including agents registered *after* the config
+    /// was chosen, which tend to be exactly the free ones. Growing
+    /// fleets should use [`live`](Self::live) (the default), or check
+    /// [`excludes_agents`](Self::excludes_agents) when a paper-faithful
+    /// fixed neighborhood is intended.
     pub fn paper(n_ngbr: usize) -> Self {
         assert!(n_ngbr >= 1, "n_ngbr must be at least 1");
         Self {
@@ -50,11 +58,26 @@ impl AgRankConfig {
             max_iters: 500,
         }
     }
+
+    /// The paper's configuration with the neighborhood following the
+    /// *live* agent count: `n_ngbr` is the `usize::MAX` sentinel, which
+    /// the ranking clamps to the instance's current agent count at every
+    /// call — agents registered online are candidates immediately.
+    pub fn live() -> Self {
+        Self::paper(usize::MAX)
+    }
+
+    /// Whether this config's fixed neighborhood hides registered agents:
+    /// true iff `n_ngbr < num_agents`. [`live`](Self::live) configs
+    /// never exclude.
+    pub fn excludes_agents(&self, num_agents: usize) -> bool {
+        self.n_ngbr < num_agents
+    }
 }
 
 impl Default for AgRankConfig {
     fn default() -> Self {
-        Self::paper(2)
+        Self::live()
     }
 }
 
@@ -490,6 +513,22 @@ mod tests {
         let depleted = rank_agents(&p, SessionId::new(0), &r, &cfg);
         for (a, b) in full.scores.iter().zip(&depleted.scores) {
             assert!((a - b).abs() < 1e-6, "pure power iteration forgot init");
+        }
+    }
+
+    #[test]
+    fn live_config_follows_the_agent_count() {
+        let p = fig2_like_problem();
+        let nl = p.instance().num_agents();
+        let live = AgRankConfig::live();
+        assert!(!live.excludes_agents(nl));
+        assert!(!live.excludes_agents(nl + 1000));
+        assert!(AgRankConfig::paper(2).excludes_agents(nl));
+        // The sentinel clamps to "all agents": every agent is a candidate
+        // for every user.
+        let ranking = rank_agents(&p, SessionId::new(0), &Residuals::full(&p), &live);
+        for (_, cands) in &ranking.user_candidates {
+            assert_eq!(cands.len(), nl, "live neighborhood must cover all agents");
         }
     }
 

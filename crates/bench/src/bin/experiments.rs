@@ -4,7 +4,7 @@
 //! cargo run -p vc-bench --release --bin experiments -- <id>... [--scenarios N] [--duration S]
 //! ids: fig2 fig4 fig5 fig6 fig7 table2 fig8 fig9 fig10 theorem1 robust migration
 //!      ablation churn orchestrator persist hop_bench open_world admission_parity
-//!      obs_overhead chaos all
+//!      obs_overhead chaos elastic all
 //!
 //! cargo run -p vc-bench --release --bin experiments -- check <id>...
 //! ```
@@ -73,7 +73,7 @@ struct Options {
     check: bool,
 }
 
-const ALL_IDS: [&str; 21] = [
+const ALL_IDS: [&str; 22] = [
     "fig2",
     "fig4",
     "fig5",
@@ -95,15 +95,17 @@ const ALL_IDS: [&str; 21] = [
     "admission_parity",
     "obs_overhead",
     "chaos",
+    "elastic",
 ];
 
 /// The ids `check` accepts, with their committed baseline documents.
-const CHECKABLE: [(&str, &str); 5] = [
+const CHECKABLE: [(&str, &str); 6] = [
     ("hop_bench", "BENCH_hop.json"),
     ("admission_parity", "BENCH_admission.json"),
     ("open_world", "BENCH_open_world.json"),
     ("obs_overhead", "BENCH_obs_overhead.json"),
     ("chaos", "BENCH_chaos.json"),
+    ("elastic", "BENCH_elastic.json"),
 ];
 
 fn usage() -> ! {
@@ -212,6 +214,19 @@ fn chaos_scales(opts: &Options) -> Vec<usize> {
     }
 }
 
+/// `elastic` parameters shared by the run and check paths:
+/// `(seed users, growth tiers)`. `--scenarios` sets the seed-universe
+/// size in users; the pool doubles once per tier (7 → 7·2⁴ agents by
+/// default).
+fn elastic_params(opts: &Options) -> (usize, usize) {
+    let seed_users = if opts.scenarios_set {
+        opts.scenarios.max(24)
+    } else {
+        200
+    };
+    (seed_users, 4)
+}
+
 /// Regenerates one checkable experiment's JSON document in memory,
 /// with the same parameter handling as a normal run.
 fn fresh_json(id: &str, opts: &Options) -> String {
@@ -249,6 +264,10 @@ fn fresh_json(id: &str, opts: &Options) -> String {
             obs_overhead::to_json(&obs_overhead::run(sessions, horizon, rounds, opts.seed))
         }
         "chaos" => chaos::to_json(&chaos::run(&chaos_scales(opts), opts.seed)),
+        "elastic" => {
+            let (seed_users, tiers) = elastic_params(opts);
+            elastic::to_json(&elastic::run(seed_users, tiers, opts.seed))
+        }
         other => unreachable!("'{other}' validated against CHECKABLE"),
     }
 }
@@ -504,6 +523,10 @@ fn main() {
                 obs_overhead::print(&obs_overhead::run(sessions, horizon, rounds, opts.seed));
             }
             "chaos" => chaos::print(&chaos::run(&chaos_scales(&opts), opts.seed)),
+            "elastic" => {
+                let (seed_users, tiers) = elastic_params(&opts);
+                elastic::print(&elastic::run(seed_users, tiers, opts.seed));
+            }
             _ => unreachable!("ids validated in parse_args"),
         }
         eprintln!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod admission_parity;
 pub mod chaos;
 pub mod churn;
+pub mod elastic;
 pub mod fig10;
 pub mod fig2;
 pub mod fig4;

@@ -3,7 +3,7 @@
 use crate::TaskTable;
 use serde::{Deserialize, Serialize};
 use vc_cost::CostModel;
-use vc_model::{Instance, ModelError, SessionDef, SessionId, UserId};
+use vc_model::{AgentDef, AgentId, Instance, ModelError, SessionDef, SessionId, UserId};
 
 /// A complete UAP problem: the conferencing instance, the transcoding
 /// tasks derived from its `θ` matrix, and the cost model defining the
@@ -85,6 +85,20 @@ impl UapProblem {
                     .sum::<f64>()
             }));
         Ok(s)
+    }
+
+    /// Registers a never-before-seen agent online (elastic capacity):
+    /// extends the instance's agent pool and delay matrices. The task
+    /// table and cached demands are agent-independent, so they are
+    /// untouched — the grown problem equals one built over the grown
+    /// instance up front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from [`Instance::register_agent`]; the
+    /// problem is unchanged on error.
+    pub fn register_agent(&mut self, def: &AgentDef) -> Result<AgentId, ModelError> {
+        self.instance.register_agent(def)
     }
 
     /// The underlying conferencing instance.

@@ -10,11 +10,30 @@ use crate::{AgentId, ModelError, UserId};
 use serde::{Deserialize, Serialize};
 
 /// Dense row-major `rows×cols` matrix of `f64`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Rows are stored with a physical stride of `col_cap ≥ cols` columns:
+/// [`push_columns`](Self::push_columns) fills the spare capacity in
+/// place and doubles it on overflow, so appending a column is `O(rows)`
+/// amortized instead of a full `O(rows×cols)` restride — the primitive
+/// behind sublinear open-world growth. Padding cells are never part of
+/// the matrix: equality, extrema, and validation see logical cells only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
+    /// Physical row stride (`≥ cols`); `data.len() == rows * col_cap`.
+    col_cap: usize,
     data: Vec<f64>,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare logical cells only — two equal matrices may carry
+        // different spare column capacity.
+        self.rows == other.rows
+            && self.cols == other.cols
+            && (0..self.rows).all(|r| self.row(r) == other.row(r))
+    }
 }
 
 impl Matrix {
@@ -23,6 +42,7 @@ impl Matrix {
         Self {
             rows,
             cols,
+            col_cap: cols,
             data: vec![value; rows * cols],
         }
     }
@@ -39,7 +59,12 @@ impl Matrix {
                 actual: data.len(),
             });
         }
-        Ok(Self { rows, cols, data })
+        Ok(Self {
+            rows,
+            cols,
+            col_cap: cols,
+            data,
+        })
     }
 
     /// Creates a matrix by tabulating `f(row, col)`.
@@ -50,7 +75,12 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            col_cap: cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -74,7 +104,7 @@ impl Matrix {
             row < self.rows && col < self.cols,
             "matrix index out of bounds"
         );
-        self.data[row * self.cols + col]
+        self.data[row * self.col_cap + col]
     }
 
     /// Sets the value at `(row, col)`.
@@ -88,33 +118,43 @@ impl Matrix {
             row < self.rows && col < self.cols,
             "matrix index out of bounds"
         );
-        self.data[row * self.cols + col] = value;
+        self.data[row * self.col_cap + col] = value;
     }
 
     /// Borrow of one row.
     pub fn row(&self, row: usize) -> &[f64] {
-        &self.data[row * self.cols..(row + 1) * self.cols]
+        &self.data[row * self.col_cap..row * self.col_cap + self.cols]
     }
 
     /// Minimum over all entries (NaN-free input assumed).
     pub fn min(&self) -> f64 {
-        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+        (0..self.rows)
+            .flat_map(|r| self.row(r))
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum over all entries (NaN-free input assumed).
     pub fn max(&self) -> f64 {
-        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        (0..self.rows)
+            .flat_map(|r| self.row(r))
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Whether all entries are finite and non-negative.
     pub fn is_nonnegative(&self) -> bool {
-        self.data.iter().all(|v| v.is_finite() && *v >= 0.0)
+        (0..self.rows)
+            .flat_map(|r| self.row(r))
+            .all(|v| v.is_finite() && *v >= 0.0)
     }
 
-    /// Appends `columns.len()` new columns in one restride pass:
-    /// `columns[j][r]` becomes the value at `(r, old_cols + j)`.
-    /// Existing entries keep their values (and, semantically, their
-    /// indices) — the open-world growth primitive.
+    /// Appends `columns.len()` new columns: `columns[j][r]` becomes the
+    /// value at `(r, old_cols + j)`. Existing entries keep their values
+    /// (and, semantically, their indices) — the open-world growth
+    /// primitive. Columns land in the spare per-row capacity when it
+    /// suffices; otherwise capacity at least doubles and the matrix
+    /// restrides once, so appending is `O(rows)` amortized per column.
     ///
     /// # Panics
     ///
@@ -127,13 +167,37 @@ impl Matrix {
             assert_eq!(col.len(), self.rows, "column length must equal row count");
         }
         let new_cols = self.cols + columns.len();
-        let mut data = Vec::with_capacity(self.rows * new_cols);
-        for r in 0..self.rows {
-            data.extend_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
-            data.extend(columns.iter().map(|col| col[r]));
+        if new_cols > self.col_cap {
+            let new_cap = new_cols.max(self.col_cap * 2).max(4);
+            let mut data = vec![0.0; self.rows * new_cap];
+            for r in 0..self.rows {
+                data[r * new_cap..r * new_cap + self.cols]
+                    .copy_from_slice(&self.data[r * self.col_cap..r * self.col_cap + self.cols]);
+            }
+            self.data = data;
+            self.col_cap = new_cap;
         }
-        self.data = data;
+        for r in 0..self.rows {
+            for (j, col) in columns.iter().enumerate() {
+                self.data[r * self.col_cap + self.cols + j] = col[r];
+            }
+        }
         self.cols = new_cols;
+    }
+
+    /// Appends one row (`row.len()` must equal the column count) in
+    /// `O(col_cap)` — the agent-axis twin of
+    /// [`push_columns`](Self::push_columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row length must equal column count");
+        let start = self.rows * self.col_cap;
+        self.data.resize(start + self.col_cap, 0.0);
+        self.data[start..start + self.cols].copy_from_slice(row);
+        self.rows += 1;
     }
 }
 
@@ -243,9 +307,54 @@ impl DelayMatrices {
         self.agents_by_proximity(u)[0]
     }
 
+    /// Appends one agent to both matrices: `D` gains a symmetric row
+    /// and column built from `inter_ms` (one-way ms to each *existing*
+    /// agent, agent order; the new diagonal entry is zero) and `H`
+    /// gains a row of `user_ms` (one-way ms to each existing user, user
+    /// order). Existing entries keep their values and indices — the
+    /// agent-axis open-world growth primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidDelays`] if either slice has the wrong
+    /// length or a negative/non-finite entry; the matrices are
+    /// unchanged on error.
+    pub fn push_agent(&mut self, inter_ms: &[f64], user_ms: &[f64]) -> Result<(), ModelError> {
+        if inter_ms.len() != self.num_agents() {
+            return Err(ModelError::InvalidDelays(format!(
+                "new agent's inter-agent delays cover {} agents, matrices have {}",
+                inter_ms.len(),
+                self.num_agents()
+            )));
+        }
+        if user_ms.len() != self.num_users() {
+            return Err(ModelError::InvalidDelays(format!(
+                "new agent's user delays cover {} users, matrices have {}",
+                user_ms.len(),
+                self.num_users()
+            )));
+        }
+        if !inter_ms
+            .iter()
+            .chain(user_ms.iter())
+            .all(|v| v.is_finite() && *v >= 0.0)
+        {
+            return Err(ModelError::InvalidDelays(
+                "new agent delays must be finite and non-negative".into(),
+            ));
+        }
+        self.inter_agent.push_columns(&[inter_ms]);
+        let mut inter_row = inter_ms.to_vec();
+        inter_row.push(0.0); // zero self-delay diagonal
+        self.inter_agent.push_row(&inter_row);
+        self.agent_user.push_row(user_ms);
+        Ok(())
+    }
+
     /// Appends one `H` column per new user (each `columns[j]` holds the
     /// one-way agent-to-user delays in ms, agent order). `D` is
-    /// untouched: the agent pool is fixed.
+    /// untouched — grow the agent pool via
+    /// [`push_agent`](Self::push_agent).
     ///
     /// # Errors
     ///
@@ -355,6 +464,71 @@ mod tests {
             vec![AgentId::new(1), AgentId::new(0)]
         );
         assert_eq!(d.nearest_agent(UserId::new(0)), AgentId::new(0));
+    }
+
+    #[test]
+    fn push_columns_matches_full_rebuild_through_capacity_growth() {
+        let mut grown = Matrix::filled(3, 1, 1.0);
+        for j in 0..9usize {
+            let col: Vec<f64> = (0..3).map(|r| (r * 10 + j) as f64).collect();
+            grown.push_columns(&[&col]);
+        }
+        let rebuilt = Matrix::tabulate(3, 10, |r, c| {
+            if c == 0 {
+                1.0
+            } else {
+                (r * 10 + (c - 1)) as f64
+            }
+        });
+        assert_eq!(grown, rebuilt);
+        assert_eq!(grown.row(1), rebuilt.row(1));
+        assert_eq!(grown.max(), rebuilt.max());
+    }
+
+    #[test]
+    fn push_row_appends_in_place() {
+        let mut m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        m.push_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row(2), &[7.0, 8.0, 9.0]);
+        assert_eq!(m.at(0, 1), 2.0);
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let mut grown = Matrix::filled(2, 2, 0.5);
+        let col = [0.25, 0.75];
+        grown.push_columns(&[&col]);
+        let flat = Matrix::from_rows(2, 3, vec![0.5, 0.5, 0.25, 0.5, 0.5, 0.75]).unwrap();
+        assert_eq!(grown, flat);
+        assert_eq!(flat, grown);
+    }
+
+    #[test]
+    fn push_agent_extends_both_matrices() {
+        let mut d = simple();
+        d.push_agent(&[40.0, 60.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(d.num_agents(), 3);
+        assert_eq!(d.num_users(), 3);
+        let l2 = AgentId::new(2);
+        assert_eq!(d.inter_agent_ms(AgentId::new(0), l2), 40.0);
+        assert_eq!(d.inter_agent_ms(l2, AgentId::new(1)), 60.0);
+        assert_eq!(d.inter_agent_ms(l2, l2), 0.0);
+        assert_eq!(d.agent_user_ms(l2, UserId::new(1)), 2.0);
+        // Old entries untouched.
+        assert_eq!(d.inter_agent_ms(AgentId::new(0), AgentId::new(1)), 50.0);
+        // Still a valid matrix pair (square, zero diagonal, symmetric).
+        DelayMatrices::new(d.inter_agent().clone(), d.agent_user().clone()).unwrap();
+    }
+
+    #[test]
+    fn push_agent_is_atomic_on_error() {
+        let mut d = simple();
+        let before = d.clone();
+        assert!(d.push_agent(&[40.0], &[1.0, 2.0, 3.0]).is_err()); // wrong D len
+        assert!(d.push_agent(&[40.0, 60.0], &[1.0]).is_err()); // wrong H len
+        assert!(d.push_agent(&[40.0, -1.0], &[1.0, 2.0, 3.0]).is_err()); // negative
+        assert_eq!(d, before);
     }
 
     #[test]

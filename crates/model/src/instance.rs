@@ -18,8 +18,11 @@
 //! existing ids, delay entries, and session memberships are never
 //! renumbered or changed — so any quantity computed over the old
 //! universe (per-session loads, objectives, delay lookups) is bitwise
-//! unchanged under the grown one. Agents and the ladder stay fixed;
-//! growing the agent pool online is future work.
+//! unchanged under the grown one. The agent pool grows the same way:
+//! [`Instance::register_agent`] appends one agent (an [`AgentDef`]) —
+//! a new `D` row/column and `H` row — without moving any existing
+//! delay entry, so provisioned capacity is elastic too. Only the
+//! representation ladder stays fixed.
 
 use crate::{
     AgentId, AgentSpec, Capacity, DelayMatrices, DownstreamDemand, Matrix, ModelError, ReprId,
@@ -88,6 +91,43 @@ impl SessionDef {
             })
             .collect();
         Self { users }
+    }
+}
+
+/// Definition of one never-before-seen agent, registered online via
+/// [`Instance::register_agent`] — the agent-axis twin of
+/// [`SessionDef`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentDef {
+    /// The agent's name, capacity, speed factor, and prices.
+    pub spec: AgentSpec,
+    /// New `D` row/column: one-way delay to each **existing** agent
+    /// (ms), in instance agent order (length must equal the agent
+    /// count; the new diagonal entry is implicitly zero).
+    pub inter_agent_ms: Vec<f64>,
+    /// New `H` row: one-way delay to each existing user (ms), in
+    /// instance user order (length must equal the user count).
+    pub user_delays_ms: Vec<f64>,
+}
+
+impl AgentDef {
+    /// Extracts agent `l` of `instance` as a registrable definition
+    /// covering only the agents and users that precede it — so
+    /// registering the extracted defs of agents `k..L` (in order) onto
+    /// [`Instance::agent_prefix`]`(k)` rebuilds the original agent pool
+    /// exactly, provided every user predates agent `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn of_instance(instance: &Instance, l: AgentId) -> Self {
+        Self {
+            spec: instance.agent(l).clone(),
+            inter_agent_ms: (0..l.index())
+                .map(|k| instance.d_ms(l, AgentId::from(k)))
+                .collect(),
+            user_delays_ms: instance.user_ids().map(|u| instance.h_ms(l, u)).collect(),
+        }
     }
 }
 
@@ -312,6 +352,61 @@ impl Instance {
             .push_user_columns(&columns)
             .expect("columns validated above");
         Ok(s)
+    }
+
+    /// Registers a never-before-seen agent online, returning its id
+    /// (always the next dense agent id). Validation is all-or-nothing:
+    /// on error the instance is unchanged.
+    ///
+    /// Growth is append-only — no existing id or delay entry moves —
+    /// so every evaluation over previously-registered agents and
+    /// sessions is bitwise unaffected, and a universe grown one agent
+    /// at a time equals the same universe built up front.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] if either delay vector is mis-sized or carries a
+    /// negative/non-finite entry.
+    pub fn register_agent(&mut self, def: &AgentDef) -> Result<AgentId, ModelError> {
+        self.delays
+            .push_agent(&def.inter_agent_ms, &def.user_delays_ms)?;
+        let id = AgentId::from(self.agents.len());
+        self.agents.push(def.spec.clone());
+        Ok(id)
+    }
+
+    /// The first `num_agents` agents of this instance as a standalone
+    /// instance — the *seed* of an elastic fleet whose remaining agents
+    /// arrive later as [`AgentDef`]s (see [`AgentDef::of_instance`]).
+    /// Sessions and users are kept in full: only the delay matrices and
+    /// agent list shrink.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Inconsistent`] if `num_agents` is zero or exceeds
+    /// the agent count.
+    pub fn agent_prefix(&self, num_agents: usize) -> Result<Instance, ModelError> {
+        if num_agents == 0 || num_agents > self.agents.len() {
+            return Err(ModelError::Inconsistent(format!(
+                "agent prefix of {num_agents} agents out of {}",
+                self.agents.len()
+            )));
+        }
+        let d = Matrix::tabulate(num_agents, num_agents, |l, k| {
+            self.delays.inter_agent().at(l, k)
+        });
+        let h = Matrix::tabulate(num_agents, self.users.len(), |l, u| {
+            self.delays.agent_user().at(l, u)
+        });
+        Ok(Instance {
+            ladder: self.ladder.clone(),
+            agents: self.agents[..num_agents].to_vec(),
+            users: self.users.clone(),
+            sessions: self.sessions.clone(),
+            delays: DelayMatrices::new(d, h).expect("prefix delays stay valid"),
+            transcode_latency: self.transcode_latency,
+            d_max_ms: self.d_max_ms,
+        })
     }
 
     /// Registers one additional user into an **existing** session (a
@@ -969,6 +1064,75 @@ mod tests {
             }
             assert_eq!(seed.theta_sum(), inst.theta_sum());
         }
+    }
+
+    #[test]
+    fn register_agent_grows_append_only() {
+        let mut inst = two_user_instance();
+        let h_old = inst.h_ms(AgentId::new(1), UserId::new(1));
+        let d_old = inst.d_ms(AgentId::new(0), AgentId::new(1));
+        let def = AgentDef {
+            spec: AgentSpec::builder("c").speed_factor(1.0).build(),
+            inter_agent_ms: vec![15.0, 25.0],
+            user_delays_ms: vec![3.0, 6.0],
+        };
+        let l = inst.register_agent(&def).expect("registers");
+        assert_eq!(l, AgentId::new(2));
+        assert_eq!(inst.num_agents(), 3);
+        // Existing entries are untouched (bitwise).
+        assert_eq!(
+            inst.h_ms(AgentId::new(1), UserId::new(1)).to_bits(),
+            h_old.to_bits()
+        );
+        assert_eq!(
+            inst.d_ms(AgentId::new(0), AgentId::new(1)).to_bits(),
+            d_old.to_bits()
+        );
+        // New entries landed symmetrically with a zero diagonal.
+        assert_eq!(inst.d_ms(l, AgentId::new(0)), 15.0);
+        assert_eq!(inst.d_ms(AgentId::new(1), l), 25.0);
+        assert_eq!(inst.d_ms(l, l), 0.0);
+        assert_eq!(inst.h_ms(l, UserId::new(1)), 6.0);
+        assert_eq!(inst.agent(l).name(), "c");
+    }
+
+    #[test]
+    fn register_agent_is_atomic_on_error() {
+        let mut inst = two_user_instance();
+        let before = inst.clone();
+        let bad_d = AgentDef {
+            spec: AgentSpec::builder("c").build(),
+            inter_agent_ms: vec![15.0],
+            user_delays_ms: vec![3.0, 6.0],
+        };
+        assert!(inst.register_agent(&bad_d).is_err());
+        assert_eq!(inst, before);
+        let bad_h = AgentDef {
+            spec: AgentSpec::builder("c").build(),
+            inter_agent_ms: vec![15.0, 25.0],
+            user_delays_ms: vec![3.0],
+        };
+        assert!(inst.register_agent(&bad_h).is_err());
+        assert_eq!(inst, before);
+    }
+
+    #[test]
+    fn extracted_agent_defs_rebuild_the_instance_exactly() {
+        let mut inst = two_user_instance();
+        let def = AgentDef {
+            spec: AgentSpec::builder("c").speed_factor(1.5).build(),
+            inter_agent_ms: vec![15.0, 25.0],
+            user_delays_ms: vec![3.0, 6.0],
+        };
+        inst.register_agent(&def).unwrap();
+        // Split back at the two-agent seed and re-register the tail.
+        let mut seed = inst.agent_prefix(2).expect("agent prefix");
+        assert_eq!(seed.num_agents(), 2);
+        assert_eq!(seed.num_users(), inst.num_users());
+        let tail = AgentDef::of_instance(&inst, AgentId::new(2));
+        let l = seed.register_agent(&tail).unwrap();
+        assert_eq!(l, AgentId::new(2));
+        assert_eq!(seed, inst);
     }
 
     #[test]

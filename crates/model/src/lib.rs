@@ -48,7 +48,7 @@ pub use agent::{AgentBuilder, AgentSpec, Capacity};
 pub use delay::{DelayMatrices, Matrix};
 pub use error::ModelError;
 pub use ids::{id_range, AgentId, ReprId, SessionId, UserId};
-pub use instance::{Instance, InstanceBuilder, SessionDef, UserDef};
+pub use instance::{AgentDef, Instance, InstanceBuilder, SessionDef, UserDef};
 pub use repr::{ReprLadder, Representation};
 pub use session::SessionSpec;
 pub use transcode::TranscodeLatencyModel;

@@ -50,7 +50,7 @@ use crate::readmit::{backoff_us, ReadmitConfig, ReadmitEntry, ReadmitState};
 use crate::workers::TimerEntry;
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use vc_algo::admission::{
@@ -63,7 +63,7 @@ use vc_core::{
     AgentTotals, Assignment, AssignmentView, Decision, EvalScratch, OverlayView, SessionLoad,
     SystemState, TaskId, UapProblem, CAPACITY_EPS,
 };
-use vc_model::{AgentId, ModelError, SessionDef, SessionId, UserId};
+use vc_model::{AgentDef, AgentId, ModelError, SessionDef, SessionId, UserId};
 use vc_obs::{ObsConfig, ObsPlane, OpKind, Site, TraceKind};
 
 /// One candidate placement: session users and tasks to agents.
@@ -125,7 +125,7 @@ pub struct FleetConfig {
 impl Default for FleetConfig {
     fn default() -> Self {
         Self {
-            placement: PlacementPolicy::AgRank(AgRankConfig::paper(3)),
+            placement: PlacementPolicy::AgRank(AgRankConfig::live()),
             admission: AdmissionMode::default(),
             alg1: Alg1Config::default(),
             ledger_shards: 8,
@@ -338,18 +338,38 @@ pub(crate) struct FleetMetrics {
     pub(crate) mean_delay_ms: f64,
 }
 
+/// One append-only universe-growth event. A durable snapshot carries
+/// these in registration order so recovery can regrow the universe from
+/// the seed problem; sessions and agents must replay **interleaved
+/// exactly as they happened** — a session definition's per-agent delay
+/// rows are sized by the agent count at its registration time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrowthRecord {
+    /// `register_session(def)`.
+    Session(SessionDef),
+    /// `register_agent(def, region)`.
+    Agent(AgentDef, String),
+}
+
 /// What the FREEZE lock owns: the growable universe — the problem
-/// (instance + derived tables) and one slot per registered session.
-/// Hops read it shared; coarse ops and [`Fleet::register_session`]
-/// hold it exclusively.
+/// (instance + derived tables), one slot per registered session, and
+/// the per-agent availability/drain masks. Hops read it shared; coarse
+/// ops and [`Fleet::register_session`] / [`Fleet::register_agent`] hold
+/// it exclusively.
 #[derive(Debug)]
 pub(crate) struct Universe {
     pub(crate) problem: Arc<UapProblem>,
     pub(crate) slots: Vec<Mutex<SessionSlot>>,
-    /// Conferences registered online since construction, in
-    /// registration order — what a durable snapshot must carry so
-    /// recovery can regrow the universe from the seed problem.
-    pub(crate) registered: Vec<SessionDef>,
+    /// Universe growth since construction, in registration order —
+    /// what a durable snapshot must carry so recovery can regrow the
+    /// universe from the seed problem.
+    pub(crate) growth: Vec<GrowthRecord>,
+    /// Per-agent availability. Mutated only under the FREEZE write
+    /// lock; read under (at least) the shared lock.
+    pub(crate) available: Vec<bool>,
+    /// Per-agent drain flag: a drained agent is permanently out —
+    /// [`Fleet::restore_agent`] refuses it.
+    pub(crate) drained: Vec<bool>,
 }
 
 impl Universe {
@@ -372,8 +392,6 @@ pub struct Fleet {
     /// growable [`Universe`] (problem + slots), so universe growth is
     /// just another exclusive path.
     pub(crate) freeze: RwLock<Universe>,
-    /// Per-agent availability (mutated only under `freeze` write).
-    pub(crate) available: Vec<AtomicBool>,
     pub(crate) live: AtomicUsize,
     pub(crate) ledger: CapacityLedger,
     pub(crate) engine: Alg1Engine,
@@ -423,7 +441,9 @@ impl Fleet {
         let mut universe = Universe {
             problem,
             slots: Vec::new(),
-            registered: Vec::new(),
+            growth: Vec::new(),
+            available: vec![true; nl],
+            drained: vec![false; nl],
         };
         for i in 0..universe.problem.instance().num_sessions() {
             universe.push_slot(SessionId::from(i));
@@ -431,7 +451,6 @@ impl Fleet {
         let obs = Arc::new(ObsPlane::with_config(ledger.num_shards(), config.obs));
         Self {
             freeze: RwLock::new(universe),
-            available: (0..nl).map(|_| AtomicBool::new(true)).collect(),
             live: AtomicUsize::new(0),
             ledger,
             engine: Alg1Engine::new(config.alg1.clone()),
@@ -482,11 +501,13 @@ impl Fleet {
         let t0 = self.obs.timer();
         let mut u = self.freeze.write();
         let t_acq = t0.map(|_| Instant::now());
-        let mut problem = (*u.problem).clone();
-        let s = problem.register_session(def)?;
-        u.problem = Arc::new(problem);
+        // `make_mut` mutates in place when the fleet is the sole owner
+        // (the common case — `problem()` clones are short-lived), so a
+        // burst of registrations does not deep-copy the whole problem
+        // per arrival.
+        let s = Arc::make_mut(&mut u.problem).register_session(def)?;
         u.push_slot(s);
-        u.registered.push(def.clone());
+        u.growth.push(GrowthRecord::Session(def.clone()));
         self.log_op(|| crate::persist::FleetOp::RegisterSession {
             session: s,
             def: def.clone(),
@@ -508,6 +529,70 @@ impl Fleet {
             );
         }
         Ok(s)
+    }
+
+    /// Registers a never-before-seen agent online into `region`
+    /// (elastic capacity), returning its (always next-dense) agent id.
+    /// Exclusive FREEZE path: the instance's agent pool and delay
+    /// matrices, every stored slot load's agent axis, the availability/
+    /// drain masks, and the ledger all grow in one step — append-only,
+    /// nothing renumbers, so every evaluated load, objective and hold of
+    /// the pre-growth fleet is bitwise unchanged. The region is created
+    /// if new. On error the fleet is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the instance-level validation
+    /// (delay-row lengths, finiteness).
+    pub fn register_agent(&self, def: &AgentDef, region: &str) -> Result<AgentId, ModelError> {
+        let t0 = self.obs.timer();
+        let mut u = self.freeze.write();
+        let t_acq = t0.map(|_| Instant::now());
+        let l = Arc::make_mut(&mut u.problem).register_agent(def)?;
+        let nl = u.problem.instance().num_agents();
+        // Stored slot loads are dense over the agent axis; grow them so
+        // every later evaluation/summation sees matching lengths. The
+        // new tail is zero, so grown loads stay bitwise-equal to their
+        // up-front-construction twins.
+        for slot in &u.slots {
+            slot.lock().load.grow(nl);
+        }
+        u.available.push(true);
+        u.drained.push(false);
+        let region_id = self.ledger.ensure_region(region);
+        let ledger_id = self.ledger.register_agent(def.spec.capacity(), region_id);
+        debug_assert_eq!(l, ledger_id, "problem and ledger agree on the new id");
+        u.growth
+            .push(GrowthRecord::Agent(def.clone(), region.to_string()));
+        self.log_op(|| crate::persist::FleetOp::RegisterAgent {
+            agent: l,
+            def: def.clone(),
+            region: region.to_string(),
+        });
+        drop(u);
+        if let Some(t0) = t0 {
+            let t_acq = t_acq.expect("taken together with t0");
+            let t_end = Instant::now();
+            self.obs.record_span(Site::FreezeWriteWait, t0, t_acq);
+            self.obs.record_span(Site::FreezeWriteHold, t_acq, t_end);
+        }
+        Ok(l)
+    }
+
+    /// Current agent-pool size (grows with
+    /// [`register_agent`](Self::register_agent)).
+    pub fn num_agents(&self) -> usize {
+        self.freeze.read().problem.instance().num_agents()
+    }
+
+    /// Whether `agent` has been drained (permanently out).
+    pub fn is_agent_drained(&self, agent: AgentId) -> bool {
+        self.freeze.read().drained[agent.index()]
+    }
+
+    /// Whether `agent` is currently available.
+    pub fn is_agent_available(&self, agent: AgentId) -> bool {
+        self.freeze.read().available[agent.index()]
     }
 
     /// The shared capacity ledger.
@@ -650,7 +735,7 @@ impl Fleet {
         let problem = &u.problem;
         let result = match &self.config.admission {
             AdmissionMode::Engine(config) => {
-                self.admit_engine(problem, &mut slot, s, config.clone())
+                self.admit_engine(problem, &u.available, &mut slot, s, config.clone())
             }
             AdmissionMode::LegacyRanked => self.admit_legacy(problem, &mut slot, s),
         };
@@ -739,17 +824,13 @@ impl Fleet {
     fn admit_engine(
         &self,
         problem: &Arc<UapProblem>,
+        available: &[bool],
         slot: &mut SessionSlot,
         s: SessionId,
         config: AdmissionConfig,
     ) -> Result<vc_algo::admission::AdmissionStats, AdmitError> {
         let engine = AdmissionEngine::new(config);
         let residuals = Residuals::from_totals(problem, &self.ledger.reserved_totals());
-        let available: Vec<bool> = self
-            .available
-            .iter()
-            .map(|a| a.load(Ordering::Relaxed))
-            .collect();
         let mut scratch = self.admit_scratch.lock();
         let decision = engine
             .place_session(
@@ -757,7 +838,7 @@ impl Fleet {
                 s,
                 &self.admission_policy(),
                 &residuals,
-                &available,
+                available,
                 &mut scratch,
             )
             .map_err(|stage| AdmitError::Refused { session: s, stage })?;
@@ -765,9 +846,23 @@ impl Fleet {
         install_placement(problem, slot, s, &decision.users, &decision.tasks);
         slot.load.clone_from(scratch.load());
         slot.active = true;
-        self.ledger
-            .book_unchecked(s, SessionHold::from_load(scratch.load()))
-            .expect("inactive session holds no reservation");
+        // Booking is unchecked either way (the engine already proved the
+        // fit). A hold spanning ≥ 2 regions routes through the two-phase
+        // protocol so the commit point — and hence the journal record —
+        // sits strictly after every region's debit: a crash between
+        // prepare and commit replays to pre-admission residuals in every
+        // region.
+        let hold = SessionHold::from_load(scratch.load());
+        if self.ledger.split_by_region(&hold).len() >= 2 {
+            let prepared = self.ledger.prepare_booked(s, hold);
+            self.ledger
+                .commit_prepared(prepared)
+                .expect("inactive session holds no reservation");
+        } else {
+            self.ledger
+                .book_unchecked(s, hold)
+                .expect("inactive session holds no reservation");
+        }
         Ok(decision.stats)
     }
 
@@ -900,25 +995,63 @@ impl Fleet {
     /// Returns `(moves, forced)`. Coarse path: takes the FREEZE write
     /// lock, so the evacuation is deterministic — replay re-runs it.
     pub fn fail_agent(&self, agent: AgentId) -> (usize, usize) {
-        self.fail_agent_inner(agent, true)
+        self.down_agent_inner(agent, true, false)
+    }
+
+    /// Drains `agent`: a *planned* evacuation. The ledger refuses new
+    /// reservations on the agent first, then its load is evacuated
+    /// through exactly the [`fail_agent`](Self::fail_agent) machinery,
+    /// and the agent is marked permanently drained —
+    /// [`restore_agent`](Self::restore_agent) refuses it. Returns
+    /// `(moves, forced)`. Coarse path: takes the FREEZE write lock.
+    pub fn drain_agent(&self, agent: AgentId) -> (usize, usize) {
+        self.down_agent_inner(agent, true, true)
     }
 
     /// [`fail_agent`](Self::fail_agent) with the re-admission enqueue
-    /// split out: the evacuation (including whole-session displacement
-    /// when the queue is enabled) is deterministic state change that
-    /// journal replay re-derives by re-running it, but the *enqueue* of
-    /// each displaced session rides the journal as an explicit
-    /// `ReadmitEnqueue` record — so replay passes `enqueue_displaced:
-    /// false` here and installs the queue from the records instead.
+    /// split out (see [`down_agent_inner`](Self::down_agent_inner)) —
+    /// the `FailAgent` replay entry point.
     pub(crate) fn fail_agent_inner(
         &self,
         agent: AgentId,
         enqueue_displaced: bool,
     ) -> (usize, usize) {
+        self.down_agent_inner(agent, enqueue_displaced, false)
+    }
+
+    /// [`drain_agent`](Self::drain_agent) with the re-admission enqueue
+    /// split out — the `DrainAgent` replay entry point.
+    pub(crate) fn drain_agent_inner(
+        &self,
+        agent: AgentId,
+        enqueue_displaced: bool,
+    ) -> (usize, usize) {
+        self.down_agent_inner(agent, enqueue_displaced, true)
+    }
+
+    /// The shared fail/drain path, with the re-admission enqueue split
+    /// out: the evacuation (including whole-session displacement when
+    /// the queue is enabled) is deterministic state change that journal
+    /// replay re-derives by re-running it, but the *enqueue* of each
+    /// displaced session rides the journal as an explicit
+    /// `ReadmitEnqueue` record — so replay passes `enqueue_displaced:
+    /// false` here and installs the queue from the records instead.
+    /// `drain` marks the agent permanently out (refuse-then-evacuate:
+    /// the ledger availability flips before any session moves, so no
+    /// concurrent path can book onto the leaving agent).
+    fn down_agent_inner(
+        &self,
+        agent: AgentId,
+        enqueue_displaced: bool,
+        drain: bool,
+    ) -> (usize, usize) {
         let mut evacuated = Vec::new();
         let mut displaced = Vec::new();
-        let u = self.freeze.write();
-        self.available[agent.index()].store(false, Ordering::Relaxed);
+        let mut u = self.freeze.write();
+        u.available[agent.index()] = false;
+        if drain {
+            u.drained[agent.index()] = true;
+        }
         self.ledger.fail_agent(agent);
         let (moves, forced) = self.evacuate_locked(&u, agent, &mut evacuated, &mut displaced);
         self.counters
@@ -929,7 +1062,13 @@ impl Fleet {
             .fetch_add(forced, Ordering::Relaxed);
         // Evacuation is deterministic given the state, so the journal
         // records the *cause*; replay re-runs the same evacuation.
-        self.log_op(|| crate::persist::FleetOp::FailAgent { agent });
+        self.log_op(|| {
+            if drain {
+                crate::persist::FleetOp::DrainAgent { agent }
+            } else {
+                crate::persist::FleetOp::FailAgent { agent }
+            }
+        });
         // Queue installs journal *after* the FailAgent record, under
         // the same FREEZE hold, so replay sees the displacement state
         // change before the enqueues that depend on it.
@@ -1028,7 +1167,7 @@ impl Fleet {
             let mut best_feasible: Option<(AgentId, f64)> = None;
             let mut best_any: Option<(AgentId, f64)> = None;
             for l in inst.agent_ids() {
-                if l == agent || !self.available[l.index()].load(Ordering::Relaxed) {
+                if l == agent || !u.available[l.index()] {
                     continue;
                 }
                 let candidate = redirect(d, l);
@@ -1125,15 +1264,22 @@ impl Fleet {
     }
 
     /// Brings a failed agent back; Alg. 1 hops will migrate load onto it
-    /// again as the Gibbs weights dictate. Coarse path.
-    pub fn restore_agent(&self, agent: AgentId) {
-        let frz = self.freeze.write();
-        self.available[agent.index()].store(true, Ordering::Relaxed);
+    /// again as the Gibbs weights dictate. Returns whether the agent was
+    /// actually restored: **drained agents are refused** (a drain is a
+    /// permanent, planned departure — nothing is journaled for a refused
+    /// restore, so replay never sees one). Coarse path.
+    pub fn restore_agent(&self, agent: AgentId) -> bool {
+        let mut frz = self.freeze.write();
+        if frz.drained[agent.index()] {
+            return false;
+        }
+        frz.available[agent.index()] = true;
         self.ledger.restore_agent(agent);
         self.log_op(|| crate::persist::FleetOp::RestoreAgent { agent });
         drop(frz);
         self.obs
             .note_op(OpKind::RestoreAgent, agent.index() as u32, 0);
+        true
     }
 
     /// Advances the fleet's virtual-clock watermark (monotone max).
@@ -1482,7 +1628,7 @@ impl Fleet {
             let current = slot.users[i];
             for l in 0..nl {
                 let l = AgentId::from(l);
-                if l == current || !self.available[l.index()].load(Ordering::Relaxed) {
+                if l == current || !universe.available[l.index()] {
                     continue;
                 }
                 let d = Decision::User(u, l);
@@ -1503,7 +1649,7 @@ impl Fleet {
             let current = slot.tasks[i];
             for l in 0..nl {
                 let l = AgentId::from(l);
-                if l == current || !self.available[l.index()].load(Ordering::Relaxed) {
+                if l == current || !universe.available[l.index()] {
                     continue;
                 }
                 let d = Decision::Task(t, l);
@@ -1768,7 +1914,7 @@ impl Fleet {
         let assignment = Assignment::new(&u.problem, user_agents, task_agents);
         let mut state = SystemState::with_active(u.problem.clone(), assignment, active);
         for l in u.problem.instance().agent_ids() {
-            if !self.available[l.index()].load(Ordering::Relaxed) {
+            if !u.available[l.index()] {
                 state.set_agent_available(l, false);
             }
         }

@@ -21,7 +21,9 @@
 //!   `register_session` (**open-world growth**: a never-before-seen
 //!   conference joins the universe online — the FREEZE lock owns the
 //!   growable problem + slot vector, and the ledger is untouched until
-//!   the conference is admitted);
+//!   the conference is admitted), and `register_agent`/`drain_agent`
+//!   (**elastic capacity**: agents join named regions online and leave
+//!   via planned drains — refuse new holds first, then evacuate);
 //! * [`workers`] — the **re-optimization worker pool**: one logical
 //!   WAIT/HOP worker per live session, multiplexed over either a
 //!   deterministic virtual clock ([`ReoptPool::tick_until`]) or N OS
@@ -37,6 +39,46 @@
 //!   [`vc_sim::metrics::TimeSeries`]-compatible series;
 //! * [`orchestrator`] — the trace-driven [`Orchestrator`] consuming
 //!   `vc-workloads`' dynamic arrival/departure traces.
+//!
+//! # Cross-region admission: the two-phase reserve protocol
+//!
+//! Agents group into named **regions** (one ledger region per agent,
+//! default region `"default"`). A session whose placement spans two or
+//! more regions must reserve in all of them atomically — a crash
+//! between per-region debits must never leave one region charged and
+//! another not. The ledger runs a two-phase protocol over its existing
+//! all-or-nothing multi-shard reserve:
+//!
+//! 1. **Prepare** — [`CapacityLedger::prepare_reserve`] splits the
+//!    session's hold by region ([`CapacityLedger::split_by_region`])
+//!    and debits each region's agents in ascending region order. The
+//!    result is a [`PreparedReserve`]: capacity is debited but the
+//!    session holds nothing yet (`hold_of` still returns `None`). If
+//!    any region refuses, the already-debited regions are credited
+//!    back and the caller gets a typed
+//!    [`CrossRegionError::Prepare`] naming the refusing region —
+//!    residuals are bitwise what they were before the attempt.
+//! 2. **Commit** — [`CapacityLedger::commit_prepared`] merges the
+//!    per-region sub-holds and installs the merged hold in the
+//!    holdings table. *Installation is the commit point*: before it,
+//!    the reservation is invisible; after it, departure releases
+//!    exactly what was reserved.
+//! 3. **Abort** — [`CapacityLedger::abort_prepared`] credits every
+//!    debit back, leaving both regions at their pre-admission
+//!    residuals.
+//!
+//! **Who journals what**: the fleet journals `FleetOp::Admit` only
+//! *after* `commit_prepared` returns — the journal never records a
+//! prepared-but-uncommitted state, so replay either re-books the whole
+//! admission (`book_unchecked`, single- and cross-region alike) or
+//! none of it. A crash between prepare and commit reconstructs from
+//! the journal *without* the in-flight prepare; the debits existed
+//! only in volatile entry state, so recovery's from-scratch ledger is
+//! automatically at pre-admission residuals (the atomicity the chaos
+//! tests assert). Agent growth journals `FleetOp::RegisterAgent`
+//! (definition + region name), drains `FleetOp::DrainAgent`; the
+//! snapshot carries the interleaved session/agent growth log, the
+//! drained flags, and the region table (format v6).
 //!
 //! # Invariants
 //!
@@ -92,10 +134,11 @@ pub mod workers;
 
 pub use fleet::{
     AdmissionMode, AdmitError, AdmitOutcome, Fleet, FleetConfig, FleetCounters, FleetHopScratch,
-    PlacementPolicy,
+    GrowthRecord, PlacementPolicy,
 };
 pub use ledger::{
-    AgentHold, AgentUtilization, CapacityLedger, HopResiduals, LedgerError, SessionHold,
+    AgentHold, AgentUtilization, CapacityLedger, CrossRegionError, HopResiduals, LedgerError,
+    PreparedReserve, RegionResiduals, SessionHold, DEFAULT_REGION,
 };
 pub use orchestrator::{FleetReport, Orchestrator, OrchestratorConfig};
 pub use persist::{

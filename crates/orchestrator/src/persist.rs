@@ -50,7 +50,7 @@
 //! conservation, and re-checkpoints so the torn tail is discarded and
 //! the store is compact before the fleet goes live again.
 
-use crate::fleet::{self, Fleet, FleetConfig, FleetCounters};
+use crate::fleet::{self, Fleet, FleetConfig, FleetCounters, GrowthRecord};
 use crate::ledger::{AgentHold, SessionHold};
 use crate::telemetry::FleetSnapshot;
 use crate::workers::{ReoptPool, TimerEntry};
@@ -62,7 +62,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use vc_algo::admission::AdmissionTier;
 use vc_core::{Decision, TaskId, UapProblem};
-use vc_model::{AgentId, SessionDef, SessionId, UserId};
+use vc_model::{AgentDef, AgentId, SessionDef, SessionId, UserId};
 use vc_obs::{OpKind, TraceKind};
 use vc_persist::codec::{CodecError, Decode, Encode, Reader};
 use vc_persist::journal::{read_journal, FsyncPolicy, JournalError, JournalWriter, RetryPolicy};
@@ -176,6 +176,26 @@ pub enum FleetOp {
     ReadmitDrop {
         /// The dropped session.
         session: SessionId,
+    },
+    /// A never-before-seen agent joined the fleet online (format v6).
+    /// Replay re-registers the definition (growing the problem, every
+    /// slot's load vector, and the ledger) and checks the assigned id —
+    /// a mismatch means the journal and snapshot disagree.
+    RegisterAgent {
+        /// The id the registration was assigned.
+        agent: AgentId,
+        /// The full agent definition (spec, delay row/column) —
+        /// everything needed to regrow the agent pool.
+        def: AgentDef,
+        /// The ledger region the agent joined.
+        region: String,
+    },
+    /// An agent was drained — planned evacuation (format v6). Replay
+    /// re-runs the deterministic evacuation exactly like `FailAgent`
+    /// and marks the agent permanently drained.
+    DrainAgent {
+        /// The drained agent.
+        agent: AgentId,
     },
 }
 
@@ -349,6 +369,16 @@ impl Encode for FleetOp {
                 out.push(11);
                 session.encode(out);
             }
+            Self::RegisterAgent { agent, def, region } => {
+                out.push(12);
+                agent.encode(out);
+                def.encode(out);
+                region.encode(out);
+            }
+            Self::DrainAgent { agent } => {
+                out.push(13);
+                agent.encode(out);
+            }
         }
     }
 }
@@ -403,8 +433,45 @@ impl Decode for FleetOp {
             11 => Ok(Self::ReadmitDrop {
                 session: SessionId::decode(r)?,
             }),
+            12 => Ok(Self::RegisterAgent {
+                agent: AgentId::decode(r)?,
+                def: AgentDef::decode(r)?,
+                region: String::decode(r)?,
+            }),
+            13 => Ok(Self::DrainAgent {
+                agent: AgentId::decode(r)?,
+            }),
             tag => Err(CodecError::BadTag {
                 what: "FleetOp",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for GrowthRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Session(def) => {
+                out.push(0);
+                def.encode(out);
+            }
+            Self::Agent(def, region) => {
+                out.push(1);
+                def.encode(out);
+                region.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for GrowthRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::Session(SessionDef::decode(r)?)),
+            1 => Ok(Self::Agent(AgentDef::decode(r)?, String::decode(r)?)),
+            tag => Err(CodecError::BadTag {
+                what: "GrowthRecord",
                 tag,
             }),
         }
@@ -674,15 +741,18 @@ impl Decode for CounterSnapshot {
 }
 
 /// The fleet's complete control-plane state: everything a crashed
-/// orchestrator needs to resume mid-fleet. Format v3: carries the
-/// conferences registered online since construction, so recovery can
-/// regrow the universe from the seed problem before installing
-/// placements.
+/// orchestrator needs to resume mid-fleet. Format v6: carries the
+/// *interleaved* session/agent growth log (sessions and agents
+/// registered online since construction), so recovery can regrow the
+/// universe from the seed problem — in the original order, which
+/// matters because a session's delay rows depend on the agent count at
+/// its registration time — before installing placements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DurableFleetState {
-    /// Conferences registered online, in registration order (the
-    /// universe beyond the seed problem). Applied first on restore.
-    pub registered: Vec<SessionDef>,
+    /// Sessions and agents registered online, in registration order
+    /// (the universe beyond the seed problem). Applied first on
+    /// restore.
+    pub growth: Vec<GrowthRecord>,
     /// `λ`: user → agent, instance order (inactive sessions included —
     /// their inert assignments are part of the state).
     pub user_agents: Vec<AgentId>,
@@ -692,6 +762,15 @@ pub struct DurableFleetState {
     pub active: Vec<bool>,
     /// Agent availability, instance order.
     pub available: Vec<bool>,
+    /// Agent drained flags, instance order (format v6). A drained
+    /// agent is permanently out: restore refuses it.
+    pub drained: Vec<bool>,
+    /// Region name table, region-id order (format v6). Index 0 is the
+    /// default region.
+    pub regions: Vec<String>,
+    /// Per-agent region ids, instance order (format v6). Indices into
+    /// `regions`.
+    pub agent_regions: Vec<u32>,
     /// Ledger holdings, ascending by session id.
     pub holdings: Vec<(SessionId, SessionHold)>,
     /// Control-plane counters.
@@ -712,11 +791,14 @@ pub struct DurableFleetState {
 
 impl Encode for DurableFleetState {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.registered.encode(out);
+        self.growth.encode(out);
         self.user_agents.encode(out);
         self.task_agents.encode(out);
         self.active.encode(out);
         self.available.encode(out);
+        self.drained.encode(out);
+        self.regions.encode(out);
+        self.agent_regions.encode(out);
         self.holdings.encode(out);
         self.counters.encode(out);
         self.timers.encode(out);
@@ -728,11 +810,14 @@ impl Encode for DurableFleetState {
 impl Decode for DurableFleetState {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Self {
-            registered: Vec::decode(r)?,
+            growth: Vec::decode(r)?,
             user_agents: Vec::decode(r)?,
             task_agents: Vec::decode(r)?,
             active: Vec::decode(r)?,
             available: Vec::decode(r)?,
+            drained: Vec::decode(r)?,
+            regions: Vec::decode(r)?,
+            agent_regions: Vec::decode(r)?,
             holdings: Vec::decode(r)?,
             counters: CounterSnapshot::decode(r)?,
             timers: Vec::decode(r)?,
@@ -905,15 +990,18 @@ pub struct RecoveryReport {
 fn capture(fleet: &Fleet, u: &fleet::Universe) -> DurableFleetState {
     let (user_agents, task_agents, active) = fleet.global_placements_locked(u);
     DurableFleetState {
-        registered: u.registered.clone(),
+        growth: u.growth.clone(),
         user_agents,
         task_agents,
         active,
-        available: u
+        available: u.available.clone(),
+        drained: u.drained.clone(),
+        regions: fleet.ledger.region_names(),
+        agent_regions: u
             .problem
             .instance()
             .agent_ids()
-            .map(|l| fleet.available[l.index()].load(Ordering::Relaxed))
+            .map(|l| fleet.ledger.region_of(l))
             .collect(),
         holdings: fleet.ledger.holdings(),
         counters: CounterSnapshot::capture(&fleet.counters),
@@ -1295,18 +1383,33 @@ impl Fleet {
         config: FleetConfig,
         durable: DurableFleetState,
     ) -> Result<Self, PersistError> {
-        // Regrow the universe first: the snapshot's placements cover the
-        // seed problem *plus* every conference registered online.
-        let problem = if durable.registered.is_empty() {
+        // Regrow the universe first: the snapshot's placements cover
+        // the seed problem *plus* everything registered online. The
+        // growth log is replayed in its original interleaved order —
+        // a session's delay rows depend on how many agents existed
+        // when it registered, so reordering would rebuild a different
+        // universe.
+        let problem = if durable.growth.is_empty() {
             problem
         } else {
             let mut grown = (*problem).clone();
-            for (i, def) in durable.registered.iter().enumerate() {
-                grown.register_session(def).map_err(|e| {
-                    PersistError::Mismatch(format!(
-                        "snapshot-registered session #{i} failed to re-register: {e}"
-                    ))
-                })?;
+            for (i, rec) in durable.growth.iter().enumerate() {
+                match rec {
+                    GrowthRecord::Session(def) => {
+                        grown.register_session(def).map_err(|e| {
+                            PersistError::Mismatch(format!(
+                                "snapshot growth record #{i} (session) failed to re-register: {e}"
+                            ))
+                        })?;
+                    }
+                    GrowthRecord::Agent(def, _region) => {
+                        grown.register_agent(def).map_err(|e| {
+                            PersistError::Mismatch(format!(
+                                "snapshot growth record #{i} (agent) failed to re-register: {e}"
+                            ))
+                        })?;
+                    }
+                }
             }
             Arc::new(grown)
         };
@@ -1316,6 +1419,12 @@ impl Fleet {
             ("tasks", durable.task_agents.len(), problem.tasks().len()),
             ("sessions", durable.active.len(), inst.num_sessions()),
             ("agents", durable.available.len(), inst.num_agents()),
+            ("drained flags", durable.drained.len(), inst.num_agents()),
+            (
+                "agent regions",
+                durable.agent_regions.len(),
+                inst.num_agents(),
+            ),
         ];
         for (what, got, want) in dims {
             if got != want {
@@ -1335,12 +1444,38 @@ impl Fleet {
                 inst.num_agents()
             )));
         }
+        if let Some(&r) = durable
+            .agent_regions
+            .iter()
+            .find(|&&r| r as usize >= durable.regions.len())
+        {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot assigns an agent to region id {r}, past its {}-entry region table",
+                durable.regions.len()
+            )));
+        }
         let fleet = Fleet::new(problem, config);
+        // Install the region table before anything touches the ledger:
+        // `ensure_region` re-creates the ids in captured order (index 0
+        // is the default region both here and in a fresh ledger).
+        for (i, name) in durable.regions.iter().enumerate() {
+            let id = fleet.ledger.ensure_region(name);
+            if id as usize != i {
+                return Err(PersistError::Mismatch(format!(
+                    "snapshot region table re-registered {name:?} as id {id}, expected {i}"
+                )));
+            }
+        }
+        for (i, &r) in durable.agent_regions.iter().enumerate() {
+            fleet.ledger.assign_region(AgentId::from(i), r);
+        }
         let mut scratch = vc_core::EvalScratch::new();
         let mut live = 0usize;
         {
             let mut u = fleet.freeze.write();
-            u.registered = durable.registered.clone();
+            u.growth = durable.growth.clone();
+            u.available = durable.available.clone();
+            u.drained = durable.drained.clone();
             let u = &*u;
             for s in u.problem.instance().session_ids() {
                 let mut slot = u.slots[s.index()].lock();
@@ -1359,11 +1494,12 @@ impl Fleet {
             }
         }
         fleet.live.store(live, Ordering::Relaxed);
+        // Availability flags were installed with the universe above;
+        // mirror them into the ledger (a down agent — failed or drained
+        // — holds no availability there either).
         for (i, &up) in durable.available.iter().enumerate() {
             if !up {
-                let agent = AgentId::from(i);
-                fleet.available[i].store(false, Ordering::Relaxed);
-                fleet.ledger.fail_agent(agent);
+                fleet.ledger.fail_agent(AgentId::from(i));
             }
         }
         for (session, hold) in durable.holdings {
@@ -1397,11 +1533,18 @@ impl Fleet {
         Ok(())
     }
 
-    /// Replay guard for agent ids (the agent pool never grows).
+    /// Replay guard for agent ids. The agent pool grows mid-journal
+    /// (format v6 `RegisterAgent`), so the bound is the *replayed-so-
+    /// far* universe: a journal referencing agents the seed problem +
+    /// growth log never produced means recovery was handed the wrong
+    /// (too-small) seed problem — a typed error naming the missing
+    /// agent, never an index panic.
     fn replay_agent_bound(&self, agent: AgentId, what: &str) -> Result<(), PersistError> {
-        if agent.index() >= self.available.len() {
+        let num = self.freeze.read().problem.instance().num_agents();
+        if agent.index() >= num {
             return Err(PersistError::Replay(format!(
-                "{what} of unknown agent {agent}"
+                "{what} of unknown agent {agent}: the replayed universe has only {num} agents \
+                 (wrong or stale seed problem?)"
             )));
         }
         Ok(())
@@ -1522,7 +1665,14 @@ impl Fleet {
             }
             FleetOp::RestoreAgent { agent } => {
                 self.replay_agent_bound(*agent, "restore")?;
-                self.restore_agent(*agent);
+                // Refused restores (drained agents) journal nothing, so
+                // a journaled restore that the replayed state refuses
+                // means journal and snapshot disagree.
+                if !self.restore_agent(*agent) {
+                    return Err(PersistError::Replay(format!(
+                        "restore of drained agent {agent}"
+                    )));
+                }
             }
             FleetOp::Hop {
                 session,
@@ -1606,6 +1756,28 @@ impl Fleet {
                     attempt: *attempt,
                     due_us: *due_us,
                 });
+            }
+            FleetOp::RegisterAgent { agent, def, region } => {
+                // Replay runs with persistence detached, so the live
+                // registration path journals nothing here.
+                let assigned = self.register_agent(def, region).map_err(|e| {
+                    PersistError::Replay(format!(
+                        "journaled agent registration failed to replay: {e}"
+                    ))
+                })?;
+                if assigned != *agent {
+                    return Err(PersistError::Replay(format!(
+                        "journaled agent registration expected id {agent}, replay assigned \
+                         {assigned}"
+                    )));
+                }
+            }
+            FleetOp::DrainAgent { agent } => {
+                self.replay_agent_bound(*agent, "drain")?;
+                // Like `FailAgent`: re-run the deterministic evacuation
+                // but never re-enqueue — the journal carries every
+                // enqueue as an explicit `ReadmitEnqueue` record.
+                self.drain_agent_inner(*agent, false);
             }
             FleetOp::ReadmitDrop { session } => {
                 self.replay_session_bound(*session, "readmit drop")?;

@@ -56,6 +56,69 @@ pub fn fleet_metrics_text(fleet: &Fleet) -> String {
         "vc_fleet_durability_degraded {}\n",
         u8::from(fleet.durability_degraded())
     ));
+    // Per-region residual/occupancy gauges (elastic capacity). Inf is
+    // Prometheus' `+Inf` — unlimited agents sum to an infinite residual.
+    let prom = |v: f64| {
+        if v == f64::INFINITY {
+            "+Inf".to_string()
+        } else {
+            format!("{v:.6}")
+        }
+    };
+    let regions = fleet.ledger().region_residuals();
+    out.push_str("# TYPE vc_region_agents gauge\n");
+    for r in &regions {
+        out.push_str(&format!(
+            "vc_region_agents{{region=\"{}\"}} {}\n",
+            r.name, r.agents
+        ));
+    }
+    out.push_str("# TYPE vc_region_available_agents gauge\n");
+    for r in &regions {
+        out.push_str(&format!(
+            "vc_region_available_agents{{region=\"{}\"}} {}\n",
+            r.name, r.available_agents
+        ));
+    }
+    out.push_str("# TYPE vc_region_residual_download_mbps gauge\n");
+    for r in &regions {
+        out.push_str(&format!(
+            "vc_region_residual_download_mbps{{region=\"{}\"}} {}\n",
+            r.name,
+            prom(r.download_mbps)
+        ));
+    }
+    out.push_str("# TYPE vc_region_residual_upload_mbps gauge\n");
+    for r in &regions {
+        out.push_str(&format!(
+            "vc_region_residual_upload_mbps{{region=\"{}\"}} {}\n",
+            r.name,
+            prom(r.upload_mbps)
+        ));
+    }
+    out.push_str("# TYPE vc_region_reserved_download_mbps gauge\n");
+    for r in &regions {
+        out.push_str(&format!(
+            "vc_region_reserved_download_mbps{{region=\"{}\"}} {}\n",
+            r.name,
+            prom(r.reserved_download_mbps)
+        ));
+    }
+    out.push_str("# TYPE vc_region_reserved_upload_mbps gauge\n");
+    for r in &regions {
+        out.push_str(&format!(
+            "vc_region_reserved_upload_mbps{{region=\"{}\"}} {}\n",
+            r.name,
+            prom(r.reserved_upload_mbps)
+        ));
+    }
+    let (prepares, commits, aborts) = fleet.ledger().cross_region_counters();
+    out.push_str("# TYPE vc_region_cross_prepares counter\n");
+    out.push_str(&format!("vc_region_cross_prepares {prepares}\n"));
+    out.push_str("# TYPE vc_region_cross_commits counter\n");
+    out.push_str(&format!("vc_region_cross_commits {commits}\n"));
+    out.push_str("# TYPE vc_region_cross_aborts counter\n");
+    out.push_str(&format!("vc_region_cross_aborts {aborts}\n"));
     out
 }
 

@@ -23,7 +23,10 @@
 use std::error::Error;
 use std::fmt;
 use vc_core::{Decision, TaskId};
-use vc_model::{AgentId, DownstreamDemand, ReprId, SessionDef, SessionId, UserDef, UserId};
+use vc_model::{
+    AgentDef, AgentId, AgentSpec, Capacity, DownstreamDemand, ReprId, SessionDef, SessionId,
+    UserDef, UserId,
+};
 
 /// Why a decode failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -224,6 +227,26 @@ impl Decode for bool {
     }
 }
 
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        u32::try_from(self.len())
+            .expect("string length exceeds u32::MAX")
+            .encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u32::decode(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadTag {
+            what: "String (invalid UTF-8)",
+            tag: 0,
+        })
+    }
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         u32::try_from(self.len())
@@ -388,6 +411,77 @@ impl Decode for SessionDef {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Self {
             users: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Capacity {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.upload_mbps.encode(out);
+        self.download_mbps.encode(out);
+        self.transcode_slots.encode(out);
+    }
+}
+
+impl Decode for Capacity {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            upload_mbps: f64::decode(r)?,
+            download_mbps: f64::decode(r)?,
+            transcode_slots: u32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for AgentSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name().to_string().encode(out);
+        self.capacity().encode(out);
+        self.speed_factor().encode(out);
+        self.price_per_mbps().encode(out);
+        self.price_per_task().encode(out);
+    }
+}
+
+impl Decode for AgentSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = String::decode(r)?;
+        let capacity = Capacity::decode(r)?;
+        let speed_factor = f64::decode(r)?;
+        let price_per_mbps = f64::decode(r)?;
+        let price_per_task = f64::decode(r)?;
+        // The builder asserts positivity; a corrupt frame (including a
+        // NaN, which fails this comparison) must decode to an error,
+        // never a panic.
+        if speed_factor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(CodecError::BadTag {
+                what: "AgentSpec (non-positive speed factor)",
+                tag: 0,
+            });
+        }
+        Ok(AgentSpec::builder(name)
+            .capacity(capacity)
+            .speed_factor(speed_factor)
+            .price_per_mbps(price_per_mbps)
+            .price_per_task(price_per_task)
+            .build())
+    }
+}
+
+impl Encode for AgentDef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.spec.encode(out);
+        self.inter_agent_ms.encode(out);
+        self.user_delays_ms.encode(out);
+    }
+}
+
+impl Decode for AgentDef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            spec: AgentSpec::decode(r)?,
+            inter_agent_ms: Vec::decode(r)?,
+            user_delays_ms: Vec::decode(r)?,
         })
     }
 }

@@ -38,13 +38,15 @@ use std::path::{Path, PathBuf};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"VCSN";
-/// Snapshot format version (kept in lock-step with the journal: a v5
-/// snapshot's tail journal replays under v5 semantics). v5 snapshots
-/// carry the re-admission queue (entries, per-session backoff epochs)
-/// and the displacement/readmission counters; v4 added the admission
+/// Snapshot format version (kept in lock-step with the journal: a v6
+/// snapshot's tail journal replays under v6 semantics). v6 snapshots
+/// carry the interleaved session/agent growth log, the per-agent
+/// drained flags, and the region table (elastic capacity); v5 added
+/// the re-admission queue (entries, per-session backoff epochs) and
+/// the displacement/readmission counters; v4 added the admission
 /// tier/refusal counters and the worker pool's WAIT-timer state; v3
 /// added the online-registered session definitions, which v2 lacked.
-pub const SNAPSHOT_VERSION: u16 = 5;
+pub const SNAPSHOT_VERSION: u16 = 6;
 /// The snapshot versions this build can load; decode is gated on this
 /// explicit set (see the journal's twin constant).
 pub const SUPPORTED_SNAPSHOT_VERSIONS: &[u16] = &[SNAPSHOT_VERSION];

@@ -168,6 +168,8 @@ fn comparison_demo(serve: Option<&str>) {
             assert!(metrics.contains("vc_fleet_live_sessions"));
             assert!(metrics.contains("vc_sched_stale_entries"));
             assert!(metrics.contains("vc_sched_depth{shard=\"0\"}"));
+            assert!(metrics.contains("vc_region_agents{region=\"default\"}"));
+            assert!(metrics.contains("vc_region_cross_commits"));
             let (status, trace_json) = http_get(addr, "/trace").expect("GET /trace");
             assert_eq!(status, 200);
             assert!(trace_json.contains("\"traceEvents\""));

@@ -76,8 +76,8 @@ pub mod prelude {
     pub use vc_core::{Assignment, Decision, SystemState, UapProblem};
     pub use vc_cost::{CostModel, ObjectiveWeights};
     pub use vc_model::{
-        AgentId, AgentSpec, Capacity, Instance, InstanceBuilder, ReprId, ReprLadder, SessionDef,
-        SessionId, UserDef, UserId,
+        AgentDef, AgentId, AgentSpec, Capacity, Instance, InstanceBuilder, ReprId, ReprLadder,
+        SessionDef, SessionId, UserDef, UserId,
     };
     pub use vc_orchestrator::{
         AdmissionMode, Fleet, FleetConfig, FleetSnapshot, Orchestrator, OrchestratorConfig,

@@ -156,8 +156,8 @@ proptest! {
         // only allowed difference.
         let a = closed.durable_state();
         let mut b = open.durable_state();
-        prop_assert_eq!(b.registered.len(), n - spec.split);
-        b.registered.clear();
+        prop_assert_eq!(b.growth.len(), n - spec.split);
+        b.growth.clear();
         prop_assert_eq!(a, b);
         // Conservation audit: clean on both sides.
         prop_assert!(closed.audit().is_empty(), "closed-world audit: {:?}", closed.audit());

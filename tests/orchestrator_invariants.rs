@@ -102,7 +102,9 @@ fn run_events(fleet: &Fleet, events: &[(u8, u8)]) -> usize {
                 let (_, forced) = fleet.fail_agent(AgentId::from(arg as usize % num_agents));
                 forced_total += forced;
             }
-            3 => fleet.restore_agent(AgentId::from(arg as usize % num_agents)),
+            3 => {
+                let _ = fleet.restore_agent(AgentId::from(arg as usize % num_agents));
+            }
             _ => {
                 let _ = fleet.hop_session(SessionId::from(arg as usize % num_sessions), &mut rng);
             }

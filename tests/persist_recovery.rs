@@ -167,6 +167,29 @@ fn session_def_strategy() -> impl Strategy<Value = vc_model::SessionDef> {
         .prop_map(|users| vc_model::SessionDef { users })
 }
 
+fn agent_def_strategy() -> impl Strategy<Value = vc_model::AgentDef> {
+    (
+        0u32..64,
+        (1.0f64..500.0, 1.0f64..500.0, 0u32..16),
+        0.1f64..4.0,
+        (0.0f64..2.0, 0.0f64..5.0),
+        prop::collection::vec(0.5f64..200.0, 0..4),
+        prop::collection::vec(0.5f64..200.0, 0..6),
+    )
+        .prop_map(|(name, (up, down, slots), speed, (pm, pt), inter, user)| {
+            vc_model::AgentDef {
+                spec: AgentSpec::builder(format!("site-{name}"))
+                    .capacity(Capacity::new(up, down, slots))
+                    .speed_factor(speed)
+                    .price_per_mbps(pm)
+                    .price_per_task(pt)
+                    .build(),
+                inter_agent_ms: inter,
+                user_delays_ms: user,
+            }
+        })
+}
+
 fn timer_entry_strategy() -> impl Strategy<Value = vc_orchestrator::TimerEntry> {
     (0u32..64, any::<u64>(), 1u64..8, 0u64..1024, any::<bool>()).prop_map(
         |(s, due_us, epoch, draws, active)| vc_orchestrator::TimerEntry {
@@ -181,17 +204,26 @@ fn timer_entry_strategy() -> impl Strategy<Value = vc_orchestrator::TimerEntry> 
 
 fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
     (
-        0u8..12,
+        0u8..14,
         0u32..64,
         0u32..8,
         placement_strategy(),
         any::<bool>(),
         session_def_strategy(),
         prop::collection::vec(timer_entry_strategy(), 0..6),
-        (0u8..3, 0u8..6, 0u64..64),
+        ((0u8..3, 0u8..6, 0u64..64), agent_def_strategy()),
     )
         .prop_map(
-            |(tag, s, a, (users, tasks), user_move, def, timers, (tier, reason, repair_steps))| {
+            |(
+                tag,
+                s,
+                a,
+                (users, tasks),
+                user_move,
+                def,
+                timers,
+                ((tier, reason, repair_steps), agent_def),
+            )| {
                 let session = SessionId::new(s);
                 let agent = AgentId::new(a);
                 match tag {
@@ -241,7 +273,13 @@ fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
                         attempt: tier.into(),
                         due_us: repair_steps * 500_000,
                     },
-                    _ => FleetOp::ReadmitDrop { session },
+                    11 => FleetOp::ReadmitDrop { session },
+                    12 => FleetOp::RegisterAgent {
+                        agent,
+                        def: agent_def,
+                        region: format!("r{}", a % 3),
+                    },
+                    _ => FleetOp::DrainAgent { agent },
                 }
             },
         )
